@@ -1,0 +1,196 @@
+// Claim C6 (paper §4): in the stable pair, a write costs one companion round trip plus
+// two disk writes ("writes are always carried out on the companion disk first"); reads are
+// purely local; collisions are detected before damage is done.
+//
+// Expected shape: stable write ≈ one extra RPC + 2x the disk writes of a plain write;
+// stable read ≈ plain read; fail-over read only marginally slower. Disk-write counters
+// make the 2x explicit, independent of wall clock.
+
+#include <benchmark/benchmark.h>
+
+#include "src/block/block_server.h"
+#include "src/block/block_store.h"
+#include "src/block/protocol.h"
+#include "src/disk/mem_disk.h"
+#include "src/rpc/network.h"
+
+namespace afs {
+namespace {
+
+struct PairRig {
+  PairRig()
+      : net(4),
+        disk_a(kDefaultBlockSize, 1 << 14),
+        disk_b(kDefaultBlockSize, 1 << 14),
+        a(&net, "A", &disk_a, 7),
+        b(&net, "B", &disk_b, 7) {
+    a.Start();
+    b.Start();
+    a.SetCompanion(b.port());
+    b.SetCompanion(a.port());
+    account = a.CreateAccountDirect();
+    store = std::make_unique<StableStore>(
+        std::make_unique<BlockClient>(&net, a.port(), account, a.payload_capacity()),
+        std::make_unique<BlockClient>(&net, b.port(), account, b.payload_capacity()),
+        11);
+  }
+
+  Network net;
+  MemDisk disk_a;
+  MemDisk disk_b;
+  BlockServer a;
+  BlockServer b;
+  Capability account;
+  std::unique_ptr<StableStore> store;
+};
+
+struct SoloRig {
+  SoloRig() : net(5), disk(kDefaultBlockSize, 1 << 14), server(&net, "solo", &disk, 7) {
+    server.Start();
+    account = server.CreateAccountDirect();
+    client = std::make_unique<BlockClient>(&net, server.port(), account,
+                                           server.payload_capacity());
+  }
+  Network net;
+  MemDisk disk;
+  BlockServer server;
+  Capability account;
+  std::unique_ptr<BlockClient> client;
+};
+
+const std::vector<uint8_t>& Payload() {
+  static const std::vector<uint8_t> payload(1024, 0x5a);
+  return payload;
+}
+
+void BM_PlainWrite(benchmark::State& state) {
+  SoloRig rig;
+  auto bno = rig.client->AllocWrite(Payload());
+  uint64_t disk_writes_before = rig.disk.writes();
+  int64_t n = 0;
+  for (auto _ : state) {
+    if (!rig.client->Write(*bno, Payload()).ok()) {
+      state.SkipWithError("write failed");
+      return;
+    }
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+  state.counters["disk_writes_per_op"] = benchmark::Counter(
+      static_cast<double>(rig.disk.writes() - disk_writes_before) / std::max<int64_t>(1, n));
+}
+BENCHMARK(BM_PlainWrite)->Unit(benchmark::kMicrosecond);
+
+void BM_StablePairWrite(benchmark::State& state) {
+  PairRig rig;
+  auto bno = rig.store->AllocWrite(Payload());
+  uint64_t disk_writes_before = rig.disk_a.writes() + rig.disk_b.writes();
+  int64_t n = 0;
+  for (auto _ : state) {
+    if (!rig.store->Write(*bno, Payload()).ok()) {
+      state.SkipWithError("write failed");
+      return;
+    }
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+  state.counters["disk_writes_per_op"] = benchmark::Counter(
+      static_cast<double>(rig.disk_a.writes() + rig.disk_b.writes() - disk_writes_before) /
+      std::max<int64_t>(1, n));
+}
+BENCHMARK(BM_StablePairWrite)->Unit(benchmark::kMicrosecond);
+
+void BM_PlainRead(benchmark::State& state) {
+  SoloRig rig;
+  auto bno = rig.client->AllocWrite(Payload());
+  int64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.client->Read(*bno));
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_PlainRead)->Unit(benchmark::kMicrosecond);
+
+void BM_StablePairRead(benchmark::State& state) {
+  PairRig rig;
+  auto bno = rig.store->AllocWrite(Payload());
+  uint64_t b_reads_before = rig.disk_b.reads();
+  int64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.store->Read(*bno));
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+  // "For reads, the block server need not consult its companion."
+  state.counters["companion_disk_reads"] =
+      benchmark::Counter(static_cast<double>(rig.disk_b.reads() - b_reads_before));
+}
+BENCHMARK(BM_StablePairRead)->Unit(benchmark::kMicrosecond);
+
+void BM_FailoverRead(benchmark::State& state) {
+  PairRig rig;
+  auto bno = rig.store->AllocWrite(Payload());
+  rig.a.Crash();  // reads must fail over to the survivor
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto data = rig.store->Read(*bno);
+    if (!data.ok()) {
+      state.SkipWithError("failover read failed");
+      return;
+    }
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_FailoverRead)->Unit(benchmark::kMicrosecond);
+
+void BM_CorruptRepairRead(benchmark::State& state) {
+  PairRig rig;
+  auto bno = rig.store->AllocWrite(Payload());
+  if (!bno.ok()) {
+    state.SkipWithError("alloc failed");
+    return;
+  }
+  int64_t n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rig.disk_a.CorruptBlock(*bno);  // re-damage the repaired block each round
+    state.ResumeTiming();
+    auto data = rig.store->Read(*bno);  // detect + fetch from companion + repair
+    if (!data.ok() || *data != Payload()) {
+      state.SkipWithError("repair read failed");
+      return;
+    }
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_CorruptRepairRead)->Unit(benchmark::kMicrosecond);
+
+void BM_AllocWrite(benchmark::State& state) {
+  PairRig rig;
+  uint64_t collisions_before = rig.a.collisions_detected() + rig.b.collisions_detected();
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto bno = rig.store->AllocWrite(Payload());
+    if (!bno.ok()) {
+      state.SkipWithError("alloc failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*bno);
+    state.PauseTiming();
+    (void)rig.store->Free(*bno);  // recycle so calibration cannot exhaust the disk
+    state.ResumeTiming();
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+  state.counters["collisions"] = benchmark::Counter(static_cast<double>(
+      rig.a.collisions_detected() + rig.b.collisions_detected() - collisions_before));
+}
+BENCHMARK(BM_AllocWrite)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace afs
+
+BENCHMARK_MAIN();

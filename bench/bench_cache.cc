@@ -1,0 +1,98 @@
+// Claim C4 (paper §5.4): cache validation is "a null operation" for unshared files, and
+// for shared files costs time "proportional to the size of the intersection of the set of
+// pages of the version in the cache and the union of the sets of pages in the versions
+// since then" — never proportional to file size, and never requiring unsolicited messages.
+//
+// Expected shape: validation latency ~flat for a private file regardless of cache size;
+// grows with (cached pages x intervening versions) for a shared file; block reads per
+// validation near zero when the flag-bit cache (committed-page cache) is enabled.
+// Args vary per benchmark; see each.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace afs {
+namespace {
+
+std::vector<PagePath> CachedPaths(int n) {
+  std::vector<PagePath> paths;
+  for (int i = 0; i < n; ++i) {
+    paths.push_back(PagePath({static_cast<uint32_t>(i)}));
+  }
+  return paths;
+}
+
+// Private file: the cached version IS current -> the test degenerates to a stamp compare.
+// Args: {cached_pages}.
+void BM_ValidatePrivateFile(benchmark::State& state) {
+  const int cached_pages = static_cast<int>(state.range(0));
+  bench::Rig rig;
+  Capability file = rig.MakeFile(cached_pages);
+  BlockNo current = static_cast<BlockNo>(rig.fs->GetCurrentVersion(file)->object);
+  auto paths = CachedPaths(cached_pages);
+
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto check = rig.fs->ValidateCache(file, current, paths);
+    if (!check.ok() || !check->invalid.empty()) {
+      state.SkipWithError("private validation must be a clean null operation");
+      return;
+    }
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_ValidatePrivateFile)->Arg(1)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+// Shared file: `versions_behind` committed updates (each touching one page) happened since
+// the cache entry was made. Args: {cached_pages, versions_behind}.
+void RunValidateShared(benchmark::State& state, bool flag_cache) {
+  const int cached_pages = static_cast<int>(state.range(0));
+  const int versions_behind = static_cast<int>(state.range(1));
+  FileServerOptions options;
+  options.cache_committed_pages = flag_cache;
+  options.reshare_on_commit = true;
+  bench::Rig rig(options);
+  Capability file = rig.MakeFile(cached_pages);
+  BlockNo cached = static_cast<BlockNo>(rig.fs->GetCurrentVersion(file)->object);
+  for (int i = 0; i < versions_behind; ++i) {
+    auto v = rig.fs->CreateVersion(file, kNullPort, false);
+    (void)rig.fs->WritePage(*v, PagePath({static_cast<uint32_t>(i % cached_pages)}),
+                            std::vector<uint8_t>(64, 9));
+    (void)rig.fs->Commit(*v);
+  }
+  auto paths = CachedPaths(cached_pages);
+
+  uint64_t reads_before = rig.store.total_reads();
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto check = rig.fs->ValidateCache(file, cached, paths);
+    if (!check.ok()) {
+      state.SkipWithError("validation failed");
+      return;
+    }
+    benchmark::DoNotOptimize(check->invalid.size());
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+  state.counters["block_reads_per_validate"] = benchmark::Counter(
+      static_cast<double>(rig.store.total_reads() - reads_before) / std::max<int64_t>(1, n));
+}
+
+void BM_ValidateSharedFile(benchmark::State& state) { RunValidateShared(state, true); }
+void BM_ValidateSharedNoFlagCache(benchmark::State& state) {
+  RunValidateShared(state, false);
+}
+
+#define SHARED_ARGS                                                      \
+  ->Args({16, 1})->Args({16, 4})->Args({16, 16})->Args({64, 4})->Args({256, 4}) \
+      ->Unit(benchmark::kMicrosecond)
+
+BENCHMARK(BM_ValidateSharedFile) SHARED_ARGS;
+BENCHMARK(BM_ValidateSharedNoFlagCache) SHARED_ARGS;
+
+}  // namespace
+}  // namespace afs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Shared setup helpers for the benchmark harness (EXPERIMENTS.md maps each binary to the
+// paper claim it reproduces).
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/block/block_store.h"
+#include "src/client/file_client.h"
+#include "src/core/file_server.h"
+#include "src/rpc/network.h"
+
+namespace afs {
+namespace bench {
+
+// One in-process file service on an in-memory store: isolates the algorithmic costs the
+// claims are about (RPC and disk latency are benchmarked separately in C6).
+struct Rig {
+  explicit Rig(FileServerOptions options = {}, uint32_t blocks = 1 << 20)
+      : net(1), store(4068, blocks) {
+    fs = std::make_unique<FileServer>(&net, "bench-fs", &store, options);
+    fs->Start();
+    Status st = fs->AttachStore();
+    if (!st.ok()) {
+      std::abort();
+    }
+  }
+
+  // A file with `pages` children under the root, each `page_bytes` of data.
+  Capability MakeFile(int pages, size_t page_bytes = 256) {
+    auto file = fs->CreateFile();
+    auto v = fs->CreateVersion(*file, kNullPort, false);
+    for (int i = 0; i < pages; ++i) {
+      (void)fs->InsertRef(*v, PagePath::Root(), i);
+      (void)fs->WritePage(*v, PagePath({static_cast<uint32_t>(i)}),
+                          std::vector<uint8_t>(page_bytes, static_cast<uint8_t>(i)));
+    }
+    (void)fs->Commit(*v);
+    return *file;
+  }
+
+  // A balanced tree of depth `depth` with `fanout` children per page; returns the file and
+  // fills `leaf` with the path of one leaf.
+  Capability MakeTree(int depth, int fanout, PagePath* leaf) {
+    auto file = fs->CreateFile();
+    auto v = fs->CreateVersion(*file, kNullPort, false);
+    std::vector<PagePath> level = {PagePath::Root()};
+    for (int d = 0; d < depth; ++d) {
+      std::vector<PagePath> next;
+      for (const PagePath& parent : level) {
+        for (int c = 0; c < fanout; ++c) {
+          (void)fs->InsertRef(*v, parent, c);
+          PagePath child = parent.Child(c);
+          (void)fs->WritePage(*v, child, std::vector<uint8_t>(64, 1));
+          if (static_cast<int>(next.size()) < 4) {  // keep the tree walk bounded
+            next.push_back(child);
+          }
+        }
+      }
+      level = next;
+    }
+    (void)fs->Commit(*v);
+    PagePath path = PagePath::Root();
+    for (int d = 0; d < depth; ++d) {
+      path = path.Child(0);
+    }
+    *leaf = path;
+    return *file;
+  }
+
+  Network net;
+  InMemoryBlockStore store;
+  std::unique_ptr<FileServer> fs;
+};
+
+}  // namespace bench
+}  // namespace afs
+
+#endif  // BENCH_BENCH_COMMON_H_

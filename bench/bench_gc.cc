@@ -1,0 +1,120 @@
+// Claim C9 (paper abstract): "A garbage collector that runs independent of, and in
+// parallel with, the operation of the system" — foreground commit latency should be
+// essentially unchanged by a continuously running collector, and the collector must keep
+// space bounded under update churn.
+//
+// Ablation A2 (paper §5.1): reshare-on-commit on/off — the space amplification of keeping
+// copied-but-unmodified pages in committed trees.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/gc.h"
+
+namespace afs {
+namespace {
+
+void RunCommitLoop(benchmark::State& state, bool gc_running) {
+  bench::Rig rig;
+  Capability file = rig.MakeFile(16);
+  GarbageCollector gc({rig.fs.get()}, GcOptions{.keep_versions = 2});
+  if (gc_running) {
+    gc.Start(std::chrono::milliseconds(1));
+  }
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto v = rig.fs->CreateVersion(file, kNullPort, false);
+    if (!v.ok()) {
+      state.SkipWithError("create version failed");
+      return;
+    }
+    (void)rig.fs->WritePage(*v, PagePath({static_cast<uint32_t>(n % 16)}),
+                            std::vector<uint8_t>(256, 1));
+    if (!rig.fs->Commit(*v).ok()) {
+      state.SkipWithError("commit failed");
+      return;
+    }
+    ++n;
+  }
+  if (gc_running) {
+    gc.Stop();
+    state.counters["gc_cycles"] = benchmark::Counter(static_cast<double>(gc.stats().cycles));
+    state.counters["blocks_swept"] =
+        benchmark::Counter(static_cast<double>(gc.stats().blocks_swept));
+  }
+  state.counters["blocks_resident"] =
+      benchmark::Counter(static_cast<double>(rig.store.allocated_blocks()));
+  state.SetItemsProcessed(n);
+}
+
+// Foreground commit latency without / with a concurrent collector: should be ~equal.
+void BM_CommitsGcOff(benchmark::State& state) { RunCommitLoop(state, false); }
+void BM_CommitsGcOn(benchmark::State& state) { RunCommitLoop(state, true); }
+BENCHMARK(BM_CommitsGcOff)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CommitsGcOn)->Unit(benchmark::kMicrosecond);
+
+// Space under churn: GC keeps the footprint bounded regardless of update count.
+void BM_SpaceBoundedUnderChurn(benchmark::State& state) {
+  const int updates = static_cast<int>(state.range(0));
+  int64_t n = 0;
+  double resident = 0;
+  for (auto _ : state) {
+    bench::Rig rig;
+    Capability file = rig.MakeFile(8);
+    GarbageCollector gc({rig.fs.get()}, GcOptions{.keep_versions = 2});
+    for (int i = 0; i < updates; ++i) {
+      auto v = rig.fs->CreateVersion(file, kNullPort, false);
+      (void)rig.fs->WritePage(*v, PagePath({static_cast<uint32_t>(i % 8)}),
+                              std::vector<uint8_t>(256, 1));
+      (void)rig.fs->Commit(*v);
+      if (i % 16 == 15) {
+        (void)gc.RunCycle();
+      }
+    }
+    (void)gc.RunCycle();
+    resident += static_cast<double>(rig.store.allocated_blocks());
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+  state.counters["blocks_resident_after"] =
+      benchmark::Counter(resident / std::max<int64_t>(1, n));
+}
+BENCHMARK(BM_SpaceBoundedUnderChurn)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+// Ablation A2: space cost of read-heavy committed versions with and without resharing.
+void RunReshareSpace(benchmark::State& state, bool reshare) {
+  FileServerOptions options;
+  options.reshare_on_commit = reshare;
+  int64_t n = 0;
+  double resident = 0;
+  for (auto _ : state) {
+    bench::Rig rig(options);
+    Capability file = rig.MakeFile(32, 1024);
+    GarbageCollector gc({rig.fs.get()}, GcOptions{.keep_versions = 100});
+    // Each update READS 31 pages and writes 1: the read copies are pure overhead unless
+    // reshared.
+    for (int round = 0; round < 8; ++round) {
+      auto v = rig.fs->CreateVersion(file, kNullPort, false);
+      for (int i = 0; i < 31; ++i) {
+        (void)rig.fs->ReadPage(*v, PagePath({static_cast<uint32_t>(i)}), false);
+      }
+      (void)rig.fs->WritePage(*v, PagePath({31}), std::vector<uint8_t>(1024, 2));
+      (void)rig.fs->Commit(*v);
+    }
+    (void)gc.RunCycle();  // reclaims the dropped copies (reshare makes them unreachable)
+    resident += static_cast<double>(rig.store.allocated_blocks());
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+  state.counters["blocks_resident"] = benchmark::Counter(resident / std::max<int64_t>(1, n));
+}
+void BM_ReshareOn(benchmark::State& state) { RunReshareSpace(state, true); }
+void BM_ReshareOff(benchmark::State& state) { RunReshareSpace(state, false); }
+BENCHMARK(BM_ReshareOn)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_ReshareOff)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+}  // namespace afs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,290 @@
+// Claim C1 (paper §3.1, §6): "Optimistic concurrency control maximises concurrency and
+// works best when updates are small and the likelihood that an item is the subject of two
+// simultaneous updates is small. Locking ... is more suitable when updates are large and
+// unwieldy and when the probability of an item being subject to more than one update is
+// significant."
+//
+// Workload: `threads` workers each run transactions that update `update_pages` pages of a
+// shared file; with probability conflict%/100 a transaction targets one hot page (forcing
+// overlap), otherwise it picks private pages. Three systems run the same workload:
+//   AFS/OCC        — page-granularity optimistic versions (the paper's design)
+//   AFS/OCC+soft   — ablation A1: the §5.3 soft-lock hint defers likely-conflicting updates
+//   Locking        — the FELIX/XDFS-style file-level two-phase locking baseline
+//   Timestamps     — the SWALLOW-style timestamp-ordering baseline
+// Expected shape: OCC wins easily at low conflict (locking serialises the whole file);
+// as conflict -> 100% and updates grow, OCC burns redo work and the gap narrows/reverses.
+// Args: {conflict_percent, update_pages}.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/baseline/locking_server.h"
+#include "src/baseline/timestamp_server.h"
+#include "src/base/rng.h"
+
+namespace afs {
+namespace {
+
+constexpr int kFilePages = 128;
+constexpr int kThreads = 8;
+constexpr int kTxPerThreadPerIter = 8;
+// Client think time between a transaction's read phase and its write phase. This is the
+// lever behind the paper's §3.1 trade-off: a locking server holds the file lock across it,
+// the optimistic server does not.
+constexpr std::chrono::microseconds kThinkTime{1000};
+// Simulated per-block-op I/O latency: the paper's servers were disk-bound; sleeping (not
+// spinning) lets overlapping I/O parallelise even on one core, which is exactly the
+// concurrency the comparison is about (DESIGN.md substitution table).
+constexpr std::chrono::microseconds kIoLatency{25};
+
+struct WorkloadStats {
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> redone{0};
+};
+
+// Pick the pages a transaction touches. Hot transactions hammer page 0.
+std::vector<uint32_t> PickPages(Rng* rng, int conflict_percent, int update_pages,
+                                int thread_id) {
+  std::vector<uint32_t> pages;
+  bool hot = rng->NextBool(conflict_percent / 100.0);
+  for (int i = 0; i < update_pages; ++i) {
+    if (hot) {
+      pages.push_back(static_cast<uint32_t>(i % 4));  // contended region
+    } else {
+      // Private region per thread (disjoint stripes; threads never overlap here).
+      pages.push_back(static_cast<uint32_t>(4 + thread_id * 15 + i));
+    }
+  }
+  return pages;
+}
+
+void RunOcc(benchmark::State& state, bool soft_locks) {
+  const int conflict = static_cast<int>(state.range(0));
+  const int update_pages = static_cast<int>(state.range(1));
+  bench::Rig rig;
+  Capability file = rig.MakeFile(kFilePages);
+  rig.store.set_op_latency(kIoLatency);
+  WorkloadStats stats;
+
+  for (auto _ : state) {
+    std::atomic<int> barrier{kThreads};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        // Start barrier: every worker spins until all are running, so the transactions
+        // genuinely overlap (the whole point of the concurrency comparison).
+        barrier.fetch_sub(1);
+        while (barrier.load() > 0) {
+        }
+        Rng rng(state.iterations() * 131 + t);
+        for (int i = 0; i < kTxPerThreadPerIter; ++i) {
+          auto pages = PickPages(&rng, conflict, update_pages, t);
+          for (int attempt = 0; attempt < 400; ++attempt) {
+            Port owner = rig.net.AllocatePort();
+            auto v = rig.fs->CreateVersion(file, owner, soft_locks);
+            if (!v.ok()) {
+              rig.net.ClosePort(owner);
+              stats.redone.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            bool ok = true;
+            for (uint32_t page : pages) {
+              if (!rig.fs->ReadPage(*v, PagePath({page}), false).ok()) {
+                ok = false;
+                break;
+              }
+            }
+            std::this_thread::sleep_for(kThinkTime);  // the client computes
+            for (uint32_t page : pages) {
+              if (!ok ||
+                  !rig.fs->WritePage(*v, PagePath({page}), std::vector<uint8_t>(64, 7))
+                       .ok()) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok && rig.fs->Commit(*v).ok()) {
+              rig.net.ClosePort(owner);
+              stats.committed.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            if (!ok) {
+              (void)rig.fs->Abort(*v);
+            }
+            rig.net.ClosePort(owner);
+            stats.redone.fetch_add(1, std::memory_order_relaxed);
+            // Client-side redo backoff, as RunTransaction does.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(rng.NextInRange(50, 400)));
+          }
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(stats.committed.load()));
+  state.counters["redo_rate"] = benchmark::Counter(
+      static_cast<double>(stats.redone.load()) /
+      std::max<double>(1.0, static_cast<double>(stats.committed.load())));
+  state.counters["tx_per_sec"] = benchmark::Counter(
+      static_cast<double>(stats.committed.load()), benchmark::Counter::kIsRate);
+}
+
+void BM_OccOptimistic(benchmark::State& state) { RunOcc(state, /*soft_locks=*/false); }
+void BM_OccSoftLocks(benchmark::State& state) { RunOcc(state, /*soft_locks=*/true); }
+
+void BM_Locking(benchmark::State& state) {
+  const int conflict = static_cast<int>(state.range(0));
+  const int update_pages = static_cast<int>(state.range(1));
+  Network net(2);
+  InMemoryBlockStore store(4068, 1 << 20);
+  LockingFileServer server(&net, "locking", &store);
+  server.Start();
+  auto file = server.CreateFile(kFilePages);
+  store.set_op_latency(kIoLatency);
+  WorkloadStats stats;
+
+  for (auto _ : state) {
+    std::atomic<int> barrier{kThreads};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        // Start barrier: every worker spins until all are running, so the transactions
+        // genuinely overlap (the whole point of the concurrency comparison).
+        barrier.fetch_sub(1);
+        while (barrier.load() > 0) {
+        }
+        Rng rng(state.iterations() * 131 + t);
+        for (int i = 0; i < kTxPerThreadPerIter; ++i) {
+          auto pages = PickPages(&rng, conflict, update_pages, t);
+          for (int attempt = 0; attempt < 400; ++attempt) {
+            auto tx = server.Begin(net.AllocatePort());
+            if (!tx.ok()) {
+              continue;
+            }
+            // File-level lock: even disjoint pages serialise here.
+            if (!server.OpenFile(*tx, *file, true).ok()) {
+              (void)server.Abort(*tx);
+              stats.redone.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            bool ok = true;
+            for (uint32_t page : pages) {
+              if (!server.Read(*tx, *file, page).ok()) {
+                ok = false;
+                break;
+              }
+            }
+            std::this_thread::sleep_for(kThinkTime);  // lock held across the think time
+            for (uint32_t page : pages) {
+              if (!ok || !server.Write(*tx, *file, page, std::vector<uint8_t>(64, 7)).ok()) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok && server.Commit(*tx).ok()) {
+              stats.committed.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            (void)server.Abort(*tx);
+            stats.redone.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(rng.NextInRange(50, 400)));
+          }
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(stats.committed.load()));
+  state.counters["redo_rate"] = benchmark::Counter(
+      static_cast<double>(stats.redone.load()) /
+      std::max<double>(1.0, static_cast<double>(stats.committed.load())));
+  state.counters["tx_per_sec"] = benchmark::Counter(
+      static_cast<double>(stats.committed.load()), benchmark::Counter::kIsRate);
+}
+
+void BM_Timestamps(benchmark::State& state) {
+  const int conflict = static_cast<int>(state.range(0));
+  const int update_pages = static_cast<int>(state.range(1));
+  Network net(3);
+  InMemoryBlockStore store(4068, 1 << 20);
+  TimestampFileServer server(&net, "ts", &store);
+  server.Start();
+  auto file = server.CreateFile(kFilePages);
+  store.set_op_latency(kIoLatency);
+  WorkloadStats stats;
+
+  for (auto _ : state) {
+    std::atomic<int> barrier{kThreads};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        // Start barrier: every worker spins until all are running, so the transactions
+        // genuinely overlap (the whole point of the concurrency comparison).
+        barrier.fetch_sub(1);
+        while (barrier.load() > 0) {
+        }
+        Rng rng(state.iterations() * 131 + t);
+        for (int i = 0; i < kTxPerThreadPerIter; ++i) {
+          auto pages = PickPages(&rng, conflict, update_pages, t);
+          for (int attempt = 0; attempt < 400; ++attempt) {
+            auto tx = server.Begin();
+            bool ok = tx.ok();
+            for (uint32_t page : pages) {
+              if (!ok) {
+                break;
+              }
+              ok = server.Read(*tx, *file, page).ok();
+            }
+            std::this_thread::sleep_for(kThinkTime);
+            for (uint32_t page : pages) {
+              if (!ok) {
+                break;
+              }
+              ok = server.Write(*tx, *file, page, std::vector<uint8_t>(64, 7)).ok();
+            }
+            if (ok && server.Commit(*tx).ok()) {
+              stats.committed.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            stats.redone.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(rng.NextInRange(50, 400)));
+          }
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(stats.committed.load()));
+  state.counters["redo_rate"] = benchmark::Counter(
+      static_cast<double>(stats.redone.load()) /
+      std::max<double>(1.0, static_cast<double>(stats.committed.load())));
+  state.counters["tx_per_sec"] = benchmark::Counter(
+      static_cast<double>(stats.committed.load()), benchmark::Counter::kIsRate);
+}
+
+// Sweep: conflict 0/50/90 percent x update size 1/8 pages.
+#define CONFLICT_ARGS                                      \
+  ->Args({0, 1})->Args({50, 1})->Args({90, 1})->Args({0, 8})->Args({50, 8})->Args({90, 8}) \
+      ->Unit(benchmark::kMillisecond)->Iterations(2)->UseRealTime()
+
+BENCHMARK(BM_OccOptimistic) CONFLICT_ARGS;
+BENCHMARK(BM_OccSoftLocks) CONFLICT_ARGS;
+BENCHMARK(BM_Locking) CONFLICT_ARGS;
+BENCHMARK(BM_Timestamps) CONFLICT_ARGS;
+
+}  // namespace
+}  // namespace afs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Claim C3 (paper §5.2, §5.4): the serialisability test "can be carried out ... in one
+// pass over the page tree. Unvisited branches in either page tree are not descended, which
+// makes the serialisability check quite fast when at least one of the concurrent updates
+// is small" — its cost tracks the ACCESSED set, not the file size.
+//
+// Files are two-level trees: `groups` interior pages of 16 leaves each (file size =
+// 16 x groups). Two conflict-free concurrent updates each touch `touched` leaves in
+// disjoint groups; the second commit runs the test-and-merge. Expected shape: time grows
+// with `touched` and stays ~flat in `groups` (untouched groups are never descended).
+// Ablation A3: the committed-page cache (§5.4's "serialisability tests without having to
+// read the page tree") on vs off, with simulated I/O latency so reads have a price.
+// Args: {groups, touched_leaves}.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace afs {
+namespace {
+
+constexpr int kFanout = 16;
+
+Capability MakeGroupedFile(bench::Rig* rig, int groups) {
+  auto file = rig->fs->CreateFile();
+  auto v = rig->fs->CreateVersion(*file, kNullPort, false);
+  for (int g = 0; g < groups; ++g) {
+    (void)rig->fs->InsertRef(*v, PagePath::Root(), g);
+    (void)rig->fs->WritePage(*v, PagePath({static_cast<uint32_t>(g)}),
+                             std::vector<uint8_t>(64, 1));
+    for (int c = 0; c < kFanout; ++c) {
+      (void)rig->fs->InsertRef(*v, PagePath({static_cast<uint32_t>(g)}), c);
+      (void)rig->fs->WritePage(
+          *v, PagePath({static_cast<uint32_t>(g), static_cast<uint32_t>(c)}),
+          std::vector<uint8_t>(64, 2));
+    }
+  }
+  (void)rig->fs->Commit(*v);
+  return *file;
+}
+
+// Leaf i of update `side` (0 or 1): both sides visit the SAME groups (forcing the merge to
+// recurse into them) but touch disjoint leaves within each (even vs odd slots) — the
+// contention-free overlap that exercises the one-pass descent.
+PagePath LeafFor(int side, int i, int groups) {
+  uint32_t group = static_cast<uint32_t>((i / (kFanout / 2)) % groups);
+  uint32_t leaf = static_cast<uint32_t>((i % (kFanout / 2)) * 2 + side);
+  return PagePath({group, leaf});
+}
+
+void RunSerialise(benchmark::State& state, bool flag_cache) {
+  const int groups = static_cast<int>(state.range(0));
+  const int touched = static_cast<int>(state.range(1));
+  FileServerOptions options;
+  options.cache_committed_pages = flag_cache;
+  bench::Rig rig(options);
+  Capability file = MakeGroupedFile(&rig, groups);
+  // Reads cost something, as on a real server; the committed-page cache is what §5.4
+  // proposes to avoid them during serialisability tests.
+  rig.store.set_op_latency(std::chrono::microseconds(5));
+
+  uint64_t tests_before = rig.fs->serialise_tests_run();
+  int64_t merges = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto vb = rig.fs->CreateVersion(file, kNullPort, false);
+    auto vc = rig.fs->CreateVersion(file, kNullPort, false);
+    for (int i = 0; i < touched; ++i) {
+      (void)rig.fs->WritePage(*vc, LeafFor(0, i, groups), std::vector<uint8_t>(64, 3));
+      (void)rig.fs->WritePage(*vb, LeafFor(1, i, groups), std::vector<uint8_t>(64, 4));
+    }
+    if (!rig.fs->Commit(*vc).ok()) {
+      state.SkipWithError("first commit failed");
+      return;
+    }
+    state.ResumeTiming();
+    // The timed part: V.b's commit must run the serialisability test + one-pass merge.
+    if (!rig.fs->Commit(*vb).ok()) {
+      state.SkipWithError("merge commit failed");
+      return;
+    }
+    ++merges;
+  }
+  state.SetItemsProcessed(merges);
+  state.counters["serialise_tests"] =
+      benchmark::Counter(static_cast<double>(rig.fs->serialise_tests_run() - tests_before));
+}
+
+void BM_SerialiseMerge(benchmark::State& state) { RunSerialise(state, true); }
+void BM_SerialiseMergeNoCache(benchmark::State& state) { RunSerialise(state, false); }
+
+// File-size sweep at fixed touched-set (flat expected), then touched-set sweep at fixed
+// file size (linear expected). groups: 4 -> 64 leaves, 16 -> 256, 64 -> 1024 leaves.
+#define SERIALISE_ARGS                                                      \
+  ->Args({4, 4})->Args({16, 4})->Args({64, 4})                              \
+  ->Args({64, 1})->Args({64, 16})->Args({64, 48})                          \
+      ->Unit(benchmark::kMicrosecond)->Iterations(50)
+
+BENCHMARK(BM_SerialiseMerge) SERIALISE_ARGS;
+BENCHMARK(BM_SerialiseMergeNoCache) SERIALISE_ARGS;
+
+}  // namespace
+}  // namespace afs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// Claim C8 (paper §5.3): "this locking mechanism gives exclusive access to any subtree of
+// the file system ... sub-files, not accessed by an update, are not locked and therefore
+// accessible to other updates. Full concurrent update remains possible on small files."
+//
+// A super-file holds `subfiles` sub-files. We measure small-file (sub-file) update
+// throughput (a) with no super-file activity, (b) while super-file updates repeatedly
+// touch a DISJOINT sub-file, and (c) while super-file updates touch the SAME sub-file.
+// Expected shape: (a) ≈ (b) — unvisited sub-files stay unlocked; (c) collapses — the
+// inner lock serialises them.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace afs {
+namespace {
+
+struct SuperRig {
+  SuperRig() : rig() {
+    auto super_file = rig.fs->CreateFile();
+    super = *super_file;
+    auto v = rig.fs->CreateVersion(super, kNullPort, false);
+    for (int i = 0; i < 4; ++i) {
+      auto sub = rig.fs->CreateSubFile(*v, PagePath::Root(), i);
+      subs.push_back(*sub);
+    }
+    (void)rig.fs->Commit(*v);
+    for (auto& sub : subs) {
+      auto sv = rig.fs->CreateVersion(sub, kNullPort, false);
+      (void)rig.fs->WritePage(*sv, PagePath::Root(), std::vector<uint8_t>(64, 1));
+      (void)rig.fs->Commit(*sv);
+    }
+  }
+
+  bench::Rig rig;
+  Capability super;
+  std::vector<Capability> subs;
+};
+
+// One small-file update of sub 0, with bounded lock-wait retries.
+bool UpdateSub(SuperRig* rig, const Capability& sub) {
+  for (int attempt = 0; attempt < 4000; ++attempt) {
+    auto v = rig->rig.fs->CreateVersion(sub, kNullPort, false);
+    if (!v.ok()) {
+      if (v.status().code() == ErrorCode::kLocked) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      return false;
+    }
+    if (!rig->rig.fs->WritePage(*v, PagePath::Root(), std::vector<uint8_t>(64, 2)).ok()) {
+      (void)rig->rig.fs->Abort(*v);
+      continue;
+    }
+    if (rig->rig.fs->Commit(*v).ok()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Background super-file updates writing through sub `target` until stopped.
+void SuperUpdater(SuperRig* rig, uint32_t target, std::atomic<bool>* stop,
+                  std::atomic<uint64_t>* supers_done) {
+  while (!stop->load()) {
+    Port owner = rig->rig.net.AllocatePort();
+    auto v = rig->rig.fs->CreateVersion(rig->super, owner, false);
+    if (!v.ok()) {
+      rig->rig.net.ClosePort(owner);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    bool ok =
+        rig->rig.fs->WritePage(*v, PagePath({target}), std::vector<uint8_t>(64, 3)).ok();
+    if (ok && rig->rig.fs->Commit(*v).ok()) {
+      supers_done->fetch_add(1);
+    } else {
+      (void)rig->rig.fs->Abort(*v);
+    }
+    rig->rig.net.ClosePort(owner);
+  }
+}
+
+void BM_SubUpdateNoSuperActivity(benchmark::State& state) {
+  SuperRig rig;
+  int64_t n = 0;
+  for (auto _ : state) {
+    if (!UpdateSub(&rig, rig.subs[0])) {
+      state.SkipWithError("sub update failed");
+      return;
+    }
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_SubUpdateNoSuperActivity)->Unit(benchmark::kMicrosecond);
+
+void RunWithSuperUpdates(benchmark::State& state, uint32_t super_target) {
+  SuperRig rig;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> supers_done{0};
+  std::thread background(SuperUpdater, &rig, super_target, &stop, &supers_done);
+  int64_t n = 0;
+  for (auto _ : state) {
+    if (!UpdateSub(&rig, rig.subs[0])) {
+      stop = true;
+      background.join();
+      state.SkipWithError("sub update failed");
+      return;
+    }
+    ++n;
+  }
+  stop = true;
+  background.join();
+  state.SetItemsProcessed(n);
+  state.counters["super_commits"] = benchmark::Counter(static_cast<double>(supers_done));
+}
+
+// (b) super-file updates touch sub 3; we update sub 0 — disjoint, unaffected.
+void BM_SubUpdateWithDisjointSuper(benchmark::State& state) {
+  RunWithSuperUpdates(state, /*super_target=*/3);
+}
+BENCHMARK(BM_SubUpdateWithDisjointSuper)->Unit(benchmark::kMicrosecond);
+
+// (c) super-file updates touch sub 0 too — the inner lock serialises us behind them.
+void BM_SubUpdateWithOverlappingSuper(benchmark::State& state) {
+  RunWithSuperUpdates(state, /*super_target=*/0);
+}
+BENCHMARK(BM_SubUpdateWithOverlappingSuper)->Unit(benchmark::kMicrosecond);
+
+// Exclusive super-file updates: back-to-back super commits (each inner-locking one sub).
+void BM_SuperFileUpdate(benchmark::State& state) {
+  SuperRig rig;
+  int64_t n = 0;
+  for (auto _ : state) {
+    Port owner = rig.rig.net.AllocatePort();
+    auto v = rig.rig.fs->CreateVersion(rig.super, owner, false);
+    if (!v.ok()) {
+      rig.rig.net.ClosePort(owner);
+      state.SkipWithError("super version failed");
+      return;
+    }
+    (void)rig.rig.fs->WritePage(*v, PagePath({1}), std::vector<uint8_t>(64, 4));
+    if (!rig.rig.fs->Commit(*v).ok()) {
+      rig.rig.net.ClosePort(owner);
+      state.SkipWithError("super commit failed");
+      return;
+    }
+    rig.rig.net.ClosePort(owner);
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_SuperFileUpdate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace afs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,223 @@
+// afs_shell: an interactive shell over a complete AFS deployment — directory server, two
+// file servers on a stable block-server pair, garbage collector, and consistency checker.
+// Useful for poking at the system by hand.
+//
+//   $ ./afs_shell
+//   afs> create notes
+//   afs> write notes / hello world
+//   afs> read notes /
+//   afs> history notes
+//   afs> crash fs0        # then keep working; redo goes via fs1
+//   afs> fsck
+//   afs> help
+//
+// Commands read from stdin; EOF or `quit` exits.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/block/block_server.h"
+#include "src/block/block_store.h"
+#include "src/block/protocol.h"
+#include "src/client/file_client.h"
+#include "src/client/transaction.h"
+#include "src/core/file_server.h"
+#include "src/core/fsck.h"
+#include "src/core/gc.h"
+#include "src/disk/mem_disk.h"
+#include "src/namesvc/directory_server.h"
+#include "src/rpc/network.h"
+
+using namespace afs;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  ls                          list named files\n"
+      "  create <name>               create and name a file\n"
+      "  write <name> <path> <text>  atomic write of a page (path like / or /0/1)\n"
+      "  mkpage <name> <path> <idx>  insert a reference slot under <path>\n"
+      "  read <name> <path>          read a page of the current version\n"
+      "  history <name>              committed version count\n"
+      "  rm <name>                   remove the directory entry and delete the file\n"
+      "  crash <fs0|fs1|blockA>      crash a server\n"
+      "  restart <fs0|fs1|blockA>    restart it\n"
+      "  gc                          run one garbage-collection cycle\n"
+      "  fsck                        run the consistency checker\n"
+      "  help, quit\n");
+}
+
+}  // namespace
+
+int main() {
+  Network net(11);
+  MemDisk disk_a(kDefaultBlockSize, 8192);
+  MemDisk disk_b(kDefaultBlockSize, 8192);
+  BlockServer block_a(&net, "block-a", &disk_a, 3);
+  BlockServer block_b(&net, "block-b", &disk_b, 3);
+  block_a.Start();
+  block_b.Start();
+  block_a.SetCompanion(block_b.port());
+  block_b.SetCompanion(block_a.port());
+  Capability account = block_a.CreateAccountDirect();
+  auto make_store = [&] {
+    return std::make_unique<StableStore>(
+        std::make_unique<BlockClient>(&net, block_a.port(), account,
+                                      block_a.payload_capacity()),
+        std::make_unique<BlockClient>(&net, block_b.port(), account,
+                                      block_b.payload_capacity()),
+        1);
+  };
+  auto store0 = make_store();
+  auto store1 = make_store();
+  FileServer fs0(&net, "fs0", store0.get());
+  FileServer fs1(&net, "fs1", store1.get());
+  fs0.Start();
+  fs1.Start();
+  if (!fs0.AttachStore().ok() || !fs1.AttachStore().ok()) {
+    std::fprintf(stderr, "attach failed\n");
+    return 1;
+  }
+  DirectoryServer dir(&net, "dir", {fs0.port(), fs1.port()});
+  dir.Start();
+  if (!dir.Init().ok()) {
+    std::fprintf(stderr, "directory init failed\n");
+    return 1;
+  }
+  FileClient client(&net, {fs0.port(), fs1.port()});
+  GarbageCollector gc({&fs0, &fs1}, GcOptions{.keep_versions = 4});
+
+  std::printf("Amoeba File Service shell — 'help' for commands\n");
+  std::string line;
+  while (std::printf("afs> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) {
+      continue;
+    }
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    }
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "ls") {
+      auto names = dir.List();
+      if (!names.ok()) {
+        std::printf("error: %s\n", names.status().ToString().c_str());
+        continue;
+      }
+      for (const std::string& name : *names) {
+        std::printf("  %s\n", name.c_str());
+      }
+    } else if (cmd == "create") {
+      std::string name;
+      in >> name;
+      auto file = client.CreateFile();
+      Status st = file.ok() ? dir.Enter(name, *file) : file.status();
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "write" || cmd == "read" || cmd == "mkpage" || cmd == "history" ||
+               cmd == "rm") {
+      std::string name;
+      in >> name;
+      auto cap = dir.Lookup(name);
+      if (!cap.ok()) {
+        std::printf("error: %s\n", cap.status().ToString().c_str());
+        continue;
+      }
+      if (cmd == "history") {
+        auto stat = client.FileStat(*cap);
+        if (stat.ok()) {
+          std::printf("%u committed version(s)%s\n", stat->committed_versions,
+                      stat->is_super ? " (super-file)" : "");
+        } else {
+          std::printf("error: %s\n", stat.status().ToString().c_str());
+        }
+        continue;
+      }
+      if (cmd == "rm") {
+        Status st = dir.Remove(name);
+        if (st.ok()) {
+          st = client.DeleteFile(*cap);
+        }
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      std::string path_text;
+      in >> path_text;
+      auto path = PagePath::Parse(path_text);
+      if (!path.ok()) {
+        std::printf("bad path: %s\n", path.status().ToString().c_str());
+        continue;
+      }
+      if (cmd == "read") {
+        auto current = client.GetCurrentVersion(*cap);
+        if (!current.ok()) {
+          std::printf("error: %s\n", current.status().ToString().c_str());
+          continue;
+        }
+        auto text = client.ReadString(*current, *path);
+        if (text.ok()) {
+          std::printf("%s\n", text->c_str());
+        } else {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+        }
+        continue;
+      }
+      if (cmd == "mkpage") {
+        uint32_t index = 0;
+        in >> index;
+        auto stats =
+            RunTransaction(&client, *cap, [&](FileClient& c, const Capability& v) {
+              return c.InsertRef(v, *path, index);
+            });
+        std::printf("%s\n", stats.status().ToString().c_str());
+        continue;
+      }
+      std::string text;
+      std::getline(in, text);
+      if (!text.empty() && text[0] == ' ') {
+        text.erase(0, 1);
+      }
+      auto stats = RunTransaction(&client, *cap, [&](FileClient& c, const Capability& v) {
+        return c.WriteString(v, *path, text);
+      });
+      if (stats.ok()) {
+        std::printf("committed in %d attempt(s)\n", stats->attempts);
+      } else {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+      }
+    } else if (cmd == "crash" || cmd == "restart") {
+      std::string which;
+      in >> which;
+      Service* target = which == "fs0"      ? static_cast<Service*>(&fs0)
+                        : which == "fs1"    ? static_cast<Service*>(&fs1)
+                        : which == "blockA" ? static_cast<Service*>(&block_a)
+                                            : nullptr;
+      if (target == nullptr) {
+        std::printf("unknown server '%s'\n", which.c_str());
+        continue;
+      }
+      if (cmd == "crash") {
+        target->Crash();
+      } else {
+        target->Restart();
+      }
+      std::printf("%s %sed\n", which.c_str(), cmd.c_str());
+    } else if (cmd == "gc") {
+      Status st = gc.RunCycle();
+      std::printf("%s (%llu block(s) swept so far)\n", st.ToString().c_str(),
+                  (unsigned long long)gc.stats().blocks_swept);
+    } else if (cmd == "fsck") {
+      FsckReport report = RunFsck(&fs0);
+      std::printf("%s\n", report.ToString().c_str());
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Crash recovery demo — the paper's headline operational claim (§3.1, §6): "With
+// optimistic concurrency control, the file system is always in a consistent state. After a
+// crash, there is no necessity for recovery: no rollback is required, no locks have to be
+// cleared, no intentions lists have to be carried out."
+//
+// Side by side, the same multi-page update is interrupted by a server crash on
+//   (a) the Amoeba File Service        -> restart serves instantly; client redoes update
+//   (b) the locking baseline (FELIX/XDFS style, in-place + undo log)
+//                                      -> restart must roll back every logged write first
+//
+//   $ ./crash_recovery_demo
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/baseline/locking_server.h"
+#include "src/block/block_store.h"
+#include "src/client/file_client.h"
+#include "src/client/transaction.h"
+#include "src/core/file_server.h"
+#include "src/rpc/network.h"
+
+using namespace afs;
+
+namespace {
+
+constexpr int kPages = 64;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Crash recovery: optimistic versions vs locking with undo logs ==\n\n");
+  Network net(3);
+
+  // ---------- (a) Amoeba File Service ----------
+  InMemoryBlockStore afs_store(4068, 1 << 20);
+  FileServer fs(&net, "afs", &afs_store);
+  fs.Start();
+  (void)fs.AttachStore();
+  FileClient client(&net, {fs.port()});
+  auto file = client.CreateFile();
+  (void)RunTransaction(&client, *file, [](FileClient& c, const Capability& v) -> Status {
+    for (int i = 0; i < kPages; ++i) {
+      RETURN_IF_ERROR(c.InsertRef(v, PagePath::Root(), i));
+      RETURN_IF_ERROR(c.WriteString(v, PagePath({static_cast<uint32_t>(i)}), "committed"));
+    }
+    return OkStatus();
+  });
+
+  // A big update is in flight when the server dies.
+  auto doomed = client.CreateVersion(*file);
+  for (int i = 0; i < kPages; ++i) {
+    (void)client.WriteString(*doomed, PagePath({static_cast<uint32_t>(i)}), "in-flight");
+  }
+  std::printf("[afs] server crashes with a %d-page update in flight...\n", kPages);
+  fs.Crash();
+  auto afs_start = std::chrono::steady_clock::now();
+  fs.Restart();
+  double afs_restart_ms = MillisSince(afs_start);
+  auto current = client.GetCurrentVersion(*file);
+  auto page0 = client.ReadString(*current, PagePath({0}));
+  std::printf("[afs] restart-to-service: %.2f ms; page 0 reads \"%s\"\n", afs_restart_ms,
+              page0->c_str());
+  auto redo = RunTransaction(&client, *file, [](FileClient& c, const Capability& v) -> Status {
+    for (int i = 0; i < kPages; ++i) {
+      RETURN_IF_ERROR(c.WriteString(v, PagePath({static_cast<uint32_t>(i)}), "redone"));
+    }
+    return OkStatus();
+  });
+  std::printf("[afs] client redid the update in %d attempt(s); no rollback happened\n\n",
+              redo->attempts);
+
+  // ---------- (b) locking baseline ----------
+  InMemoryBlockStore lock_store(4068, 1 << 20);
+  LockingFileServer locking(&net, "locking", &lock_store);
+  locking.Start();
+  auto lfile = locking.CreateFile(kPages);
+  {
+    auto tx = locking.Begin(net.AllocatePort());
+    (void)locking.OpenFile(*tx, *lfile, true);
+    for (uint32_t i = 0; i < kPages; ++i) {
+      (void)locking.Write(*tx, *lfile, i, std::vector<uint8_t>(9, 'c'));
+    }
+    (void)locking.Commit(*tx);
+  }
+  auto tx = locking.Begin(net.AllocatePort());
+  (void)locking.OpenFile(*tx, *lfile, true);
+  for (uint32_t i = 0; i < kPages; ++i) {
+    (void)locking.Write(*tx, *lfile, i, std::vector<uint8_t>(9, 'X'));  // in place!
+  }
+  std::printf("[lock] server crashes with the same update in flight (in-place writes)...\n");
+  locking.Crash();
+  auto lock_start = std::chrono::steady_clock::now();
+  locking.Restart();  // rolls back from the persisted undo log before serving
+  double lock_restart_ms = MillisSince(lock_start);
+  std::printf("[lock] restart-to-service: %.2f ms; undo records rolled back: %llu\n",
+              lock_restart_ms, (unsigned long long)locking.last_recovery_rollbacks());
+
+  auto reader = locking.Begin(net.AllocatePort());
+  (void)locking.OpenFile(*reader, *lfile, false);
+  auto data = locking.Read(*reader, *lfile, 0);
+  std::printf("[lock] page 0 after rollback: \"%.*s\"\n\n", static_cast<int>(data->size()),
+              reinterpret_cast<const char*>(data->data()));
+
+  std::printf("Summary: AFS restart did zero recovery work (%llu rollbacks);\n",
+              0ull);
+  std::printf("the locking server performed %llu rollback writes before serving.\n",
+              (unsigned long long)locking.last_recovery_rollbacks());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Quickstart: bring up the paper's full deployment — a stable pair of block servers
+// (§4), two file servers sharing the store (§5), and a directory server layered on top
+// (Figure 1) — then create, name, update and read a file through the public client API.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "src/block/block_server.h"
+#include "src/block/block_store.h"
+#include "src/block/protocol.h"
+#include "src/client/file_client.h"
+#include "src/core/file_server.h"
+#include "src/client/transaction.h"
+#include "src/disk/mem_disk.h"
+#include "src/namesvc/directory_server.h"
+#include "src/rpc/network.h"
+
+using namespace afs;
+
+int main() {
+  std::printf("== Amoeba File Service quickstart ==\n\n");
+
+  // --- the network and the stable storage pair (paper §4) --------------------
+  Network net(/*seed=*/2024);
+  MemDisk disk_a(kDefaultBlockSize, 4096);
+  MemDisk disk_b(kDefaultBlockSize, 4096);
+  BlockServer block_a(&net, "block-a", &disk_a, /*secret=*/7);
+  BlockServer block_b(&net, "block-b", &disk_b, /*secret=*/7);
+  block_a.Start();
+  block_b.Start();
+  block_a.SetCompanion(block_b.port());
+  block_b.SetCompanion(block_a.port());
+  Capability account = block_a.CreateAccountDirect();
+  std::printf("block servers up: ports %llu and %llu (companions)\n",
+              (unsigned long long)block_a.port(), (unsigned long long)block_b.port());
+
+  auto make_store = [&] {
+    return std::make_unique<StableStore>(
+        std::make_unique<BlockClient>(&net, block_a.port(), account,
+                                      block_a.payload_capacity()),
+        std::make_unique<BlockClient>(&net, block_b.port(), account,
+                                      block_b.payload_capacity()),
+        /*retry_seed=*/1);
+  };
+
+  // --- two file servers sharing the store (paper §5) -------------------------
+  auto store0 = make_store();
+  auto store1 = make_store();
+  FileServer fs0(&net, "fs0", store0.get());
+  FileServer fs1(&net, "fs1", store1.get());
+  fs0.Start();
+  fs1.Start();
+  if (!fs0.AttachStore().ok() || !fs1.AttachStore().ok()) {
+    std::printf("attach failed\n");
+    return 1;
+  }
+  std::printf("file servers up: ports %llu and %llu (one service group)\n\n",
+              (unsigned long long)fs0.port(), (unsigned long long)fs1.port());
+
+  // --- a client creates and updates a file -----------------------------------
+  FileClient client(&net, {fs0.port(), fs1.port()});
+  auto file = client.CreateFile();
+  if (!file.ok()) {
+    std::printf("create failed: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("created file, capability %s\n", file->ToString().c_str());
+
+  // An atomic update: create a version, write pages, commit (§5's bracket).
+  auto tx = RunTransaction(&client, *file, [](FileClient& c, const Capability& v) -> Status {
+    RETURN_IF_ERROR(c.WriteString(v, PagePath::Root(), "chapter index"));
+    RETURN_IF_ERROR(c.InsertRef(v, PagePath::Root(), 0));
+    RETURN_IF_ERROR(c.InsertRef(v, PagePath::Root(), 1));
+    RETURN_IF_ERROR(c.WriteString(v, PagePath({0}), "It was a dark and stormy night."));
+    return c.WriteString(v, PagePath({1}), "The server room hummed quietly.");
+  });
+  std::printf("committed atomic update in %d attempt(s)\n", tx->attempts);
+
+  // Read back through a committed snapshot (no concurrency control needed).
+  auto current = client.GetCurrentVersion(*file);
+  std::printf("root : %s\n", client.ReadString(*current, PagePath::Root())->c_str());
+  std::printf("/0   : %s\n", client.ReadString(*current, PagePath({0}))->c_str());
+  std::printf("/1   : %s\n\n", client.ReadString(*current, PagePath({1}))->c_str());
+
+  // --- the directory server on top (Figure 1) --------------------------------
+  DirectoryServer dir(&net, "dir", {fs0.port(), fs1.port()});
+  dir.Start();
+  if (!dir.Init().ok()) {
+    std::printf("directory init failed\n");
+    return 1;
+  }
+  (void)dir.Enter("novel.txt", *file);
+  auto looked_up = dir.Lookup("novel.txt");
+  std::printf("directory lookup 'novel.txt' -> %s (same file: %s)\n",
+              looked_up->ToString().c_str(),
+              (looked_up->object == file->object) ? "yes" : "no");
+
+  // --- crash resilience demo: kill fs0, keep working --------------------------
+  fs0.Crash();
+  auto after_crash = RunTransaction(&client, *file, [](FileClient& c, const Capability& v) {
+    return c.WriteString(v, PagePath({0}), "Rewritten after the crash, via fs1.");
+  });
+  std::printf("\nfs0 crashed; update redone through fs1 in %d attempt(s)\n",
+              after_crash->attempts);
+  current = client.GetCurrentVersion(*file);
+  std::printf("/0   : %s\n", client.ReadString(*current, PagePath({0}))->c_str());
+  std::printf("\nNo rollback, no lock cleanup, no intentions lists were needed.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "src/base/capability.h"
+
+#include <sstream>
+
+namespace afs {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string Capability::ToString() const {
+  std::ostringstream os;
+  os << port << ":" << object << ":" << std::hex << rights;
+  return os.str();
+}
+
+uint64_t CapabilitySigner::Check(uint64_t object, uint32_t rights) const {
+  uint64_t h = secret_;
+  h = Mix64(h ^ service_port_);
+  h = Mix64(h ^ object);
+  h = Mix64(h ^ rights);
+  return h;
+}
+
+Capability CapabilitySigner::Sign(uint64_t object, uint32_t rights) const {
+  Capability cap;
+  cap.port = service_port_;
+  cap.object = object;
+  cap.rights = rights;
+  cap.check = Check(object, rights);
+  return cap;
+}
+
+Status CapabilitySigner::Verify(const Capability& cap, uint32_t required_rights) const {
+  if (cap.port != service_port_) {
+    return BadCapabilityError("capability for wrong service port");
+  }
+  return VerifyObject(cap, required_rights);
+}
+
+Status CapabilitySigner::VerifyObject(const Capability& cap, uint32_t required_rights) const {
+  if (cap.check != Check(cap.object, cap.rights)) {
+    return BadCapabilityError("capability check field does not verify");
+  }
+  if ((cap.rights & required_rights) != required_rights) {
+    return BadCapabilityError("capability lacks required rights");
+  }
+  return OkStatus();
+}
+
+Result<Capability> CapabilitySigner::Restrict(const Capability& cap, uint32_t new_rights) const {
+  RETURN_IF_ERROR(Verify(cap, 0));
+  if ((new_rights & cap.rights) != new_rights) {
+    return BadCapabilityError("restriction would amplify rights");
+  }
+  return Sign(cap.object, new_rights);
+}
+
+}  // namespace afs

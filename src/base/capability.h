@@ -1,0 +1,93 @@
+// Amoeba-style ports and capabilities (paper §2, [Mullender85b]).
+//
+// Every service in Amoeba listens on a *port*; every object a service manages is named by a
+// *capability*: {port, object number, rights, check}. The check field is a keyed one-way
+// function of (object, rights) under a secret known only to the managing service, so clients
+// cannot forge capabilities or amplify rights. The AFS uses capabilities to name files and
+// versions ("Files are accessed by their file capability, versions by their version
+// capability"), and block-server accounts.
+
+#ifndef SRC_BASE_CAPABILITY_H_
+#define SRC_BASE_CAPABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+
+namespace afs {
+
+// A port names a service (or a transaction, for the lock-of-ports mechanism in §5.3).
+// Port 0 is the distinguished null port.
+using Port = uint64_t;
+inline constexpr Port kNullPort = 0;
+
+// Rights bits. A capability grants the union of the bits set in `rights`.
+struct Rights {
+  static constexpr uint32_t kRead = 1u << 0;
+  static constexpr uint32_t kWrite = 1u << 1;
+  static constexpr uint32_t kCreate = 1u << 2;   // create versions / allocate blocks
+  static constexpr uint32_t kDestroy = 1u << 3;  // delete file / free blocks
+  static constexpr uint32_t kAdmin = 1u << 4;    // recovery operations
+  static constexpr uint32_t kAll = kRead | kWrite | kCreate | kDestroy | kAdmin;
+};
+
+// A capability is a plain value: it travels in messages and can be stored in directories and
+// page headers. Equality is field-wise.
+struct Capability {
+  Port port = kNullPort;     // the managing service
+  uint64_t object = 0;       // object number within the service
+  uint32_t rights = 0;       // rights mask
+  uint64_t check = 0;        // keyed check field
+
+  bool IsNull() const { return port == kNullPort && object == 0 && check == 0; }
+
+  bool operator==(const Capability& other) const {
+    return port == other.port && object == other.object && rights == other.rights &&
+           check == other.check;
+  }
+  bool operator!=(const Capability& other) const { return !(*this == other); }
+
+  // "port:object:rights" for logs.
+  std::string ToString() const;
+};
+
+// Issues and verifies capabilities for one service. The signer's secret never leaves the
+// service; restrictions (rights subsets) are re-signed by the service on request.
+class CapabilitySigner {
+ public:
+  // The secret should come from Rng::NextU64() at service start; deterministic tests may pass
+  // a fixed value.
+  explicit CapabilitySigner(Port service_port, uint64_t secret)
+      : service_port_(service_port), secret_(secret) {}
+
+  // Mint a capability for `object` granting `rights`.
+  Capability Sign(uint64_t object, uint32_t rights) const;
+
+  // Verify integrity and that every bit of `required_rights` is granted.
+  Status Verify(const Capability& cap, uint32_t required_rights) const;
+
+  // Like Verify but ignores the capability's port field. Used by service *groups* (several
+  // file servers sharing one secret): the port field is then a routing hint naming the
+  // managing server, not part of the signature.
+  Status VerifyObject(const Capability& cap, uint32_t required_rights) const;
+
+  // Produce a capability for the same object with a subset of the rights. Fails if
+  // `new_rights` is not a subset or `cap` does not verify.
+  Result<Capability> Restrict(const Capability& cap, uint32_t new_rights) const;
+
+  Port service_port() const { return service_port_; }
+
+ private:
+  uint64_t Check(uint64_t object, uint32_t rights) const;
+
+  Port service_port_;
+  uint64_t secret_;
+};
+
+// 64-bit mix used for capability checks and content hashes (SplitMix64 finalizer).
+uint64_t Mix64(uint64_t x);
+
+}  // namespace afs
+
+#endif  // SRC_BASE_CAPABILITY_H_

@@ -1,0 +1,34 @@
+#include "src/base/crc32.h"
+
+#include <array>
+
+namespace afs {
+namespace {
+
+// Table-driven CRC-32C, reflected polynomial 0x82f63b78.
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace afs

@@ -1,0 +1,18 @@
+// CRC-32C (Castagnoli) used by the disk layer to detect block corruption (paper §4: a block
+// server consults its companion "when the block on its disk is corrupted" — something must
+// detect the corruption first).
+
+#ifndef SRC_BASE_CRC32_H_
+#define SRC_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace afs {
+
+// CRC-32C of `data[0..len)`. `seed` allows incremental computation: pass a previous result.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace afs
+
+#endif  // SRC_BASE_CRC32_H_

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random source. Tests and benchmarks seed it explicitly so every run is
+// reproducible; services use it for capability secrets, port numbers, and retry jitter
+// (the paper's collision handling: "redo the operation after a random wait interval").
+
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace afs {
+
+// xoshiro256** — fast, high-quality, and trivially seedable. Not thread-safe; each thread or
+// service owns its own instance.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace afs
+
+#endif  // SRC_BASE_RNG_H_

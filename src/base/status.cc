@@ -1,0 +1,75 @@
+#include "src/base/status.h"
+
+namespace afs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kBadCapability:
+      return "BAD_CAPABILITY";
+    case ErrorCode::kConflict:
+      return "CONFLICT";
+    case ErrorCode::kLocked:
+      return "LOCKED";
+    case ErrorCode::kNoSpace:
+      return "NO_SPACE";
+    case ErrorCode::kCorrupt:
+      return "CORRUPT";
+    case ErrorCode::kCrashed:
+      return "CRASHED";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kReadOnly:
+      return "READ_ONLY";
+    case ErrorCode::kAborted:
+      return "ABORTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string m) {
+  return Status(ErrorCode::kInvalidArgument, std::move(m));
+}
+Status NotFoundError(std::string m) { return Status(ErrorCode::kNotFound, std::move(m)); }
+Status AlreadyExistsError(std::string m) {
+  return Status(ErrorCode::kAlreadyExists, std::move(m));
+}
+Status BadCapabilityError(std::string m) {
+  return Status(ErrorCode::kBadCapability, std::move(m));
+}
+Status ConflictError(std::string m) { return Status(ErrorCode::kConflict, std::move(m)); }
+Status LockedError(std::string m) { return Status(ErrorCode::kLocked, std::move(m)); }
+Status NoSpaceError(std::string m) { return Status(ErrorCode::kNoSpace, std::move(m)); }
+Status CorruptError(std::string m) { return Status(ErrorCode::kCorrupt, std::move(m)); }
+Status CrashedError(std::string m) { return Status(ErrorCode::kCrashed, std::move(m)); }
+Status TimeoutError(std::string m) { return Status(ErrorCode::kTimeout, std::move(m)); }
+Status UnavailableError(std::string m) { return Status(ErrorCode::kUnavailable, std::move(m)); }
+Status ReadOnlyError(std::string m) { return Status(ErrorCode::kReadOnly, std::move(m)); }
+Status AbortedError(std::string m) { return Status(ErrorCode::kAborted, std::move(m)); }
+Status InternalError(std::string m) { return Status(ErrorCode::kInternal, std::move(m)); }
+
+}  // namespace afs

@@ -1,0 +1,144 @@
+// Status and Result<T>: error handling used across every AFS module.
+//
+// AFS never throws across API boundaries. Every fallible operation returns either a
+// `Status` (no payload) or a `Result<T>` (payload or error), in the style of
+// absl::Status/StatusOr. Error codes mirror the failure classes the paper's protocols
+// distinguish: serialisability conflicts, locks, crashed servers, corrupt blocks, etc.
+
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace afs {
+
+// Failure classes. Values are part of the wire format (replies carry them), so they are
+// explicitly numbered and must not be reordered.
+enum class ErrorCode : uint32_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // malformed request, bad path name, oversized page
+  kNotFound = 2,          // no such file / version / block / directory entry
+  kAlreadyExists = 3,     // duplicate create
+  kBadCapability = 4,     // capability check field does not verify, or rights missing
+  kConflict = 5,          // serialisability conflict: client must redo the update
+  kLocked = 6,            // top/inner lock or block lock held by another transaction
+  kNoSpace = 7,           // disk or account out of blocks
+  kCorrupt = 8,           // CRC mismatch on a block, or unparsable page
+  kCrashed = 9,           // the server (or its port) died while the request was outstanding
+  kTimeout = 10,          // transaction timed out
+  kUnavailable = 11,      // server administratively offline / partitioned
+  kReadOnly = 12,         // write to write-once (optical) medium, or to a committed version
+  kAborted = 13,          // version was aborted / removed under the caller
+  kInternal = 14,         // invariant violation; always a bug
+};
+
+// Human-readable name of an error code, e.g. "CONFLICT".
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A Status is an ErrorCode plus an optional human-readable message. Ok statuses carry no
+// message and are cheap to copy.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CONFLICT: version superseded" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+// Convenience constructors, one per error class.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status BadCapabilityError(std::string message);
+Status ConflictError(std::string message);
+Status LockedError(std::string message);
+Status NoSpaceError(std::string message);
+Status CorruptError(std::string message);
+Status CrashedError(std::string message);
+Status TimeoutError(std::string message);
+Status UnavailableError(std::string message);
+Status ReadOnlyError(std::string message);
+Status AbortedError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T>: either a value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from values and from error statuses keeps call sites terse:
+  //   Result<int> F() { if (bad) return InvalidArgumentError("..."); return 7; }
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(rep_).ok()) {
+      // A Result constructed from a status must carry an error; an ok status here is a bug.
+      rep_ = Status(ErrorCode::kInternal, "Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// RETURN_IF_ERROR(expr): propagate a non-ok Status.
+#define RETURN_IF_ERROR(expr)             \
+  do {                                    \
+    ::afs::Status _st = (expr);           \
+    if (!_st.ok()) {                      \
+      return _st;                         \
+    }                                     \
+  } while (0)
+
+// ASSIGN_OR_RETURN(lhs, expr): evaluate a Result-returning expression, propagate errors,
+// otherwise bind the value. `lhs` may declare a new variable.
+#define AFS_CONCAT_INNER(a, b) a##b
+#define AFS_CONCAT(a, b) AFS_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN(lhs, expr)                   \
+  auto AFS_CONCAT(_res_, __LINE__) = (expr);          \
+  if (!AFS_CONCAT(_res_, __LINE__).ok()) {            \
+    return AFS_CONCAT(_res_, __LINE__).status();      \
+  }                                                   \
+  lhs = std::move(AFS_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace afs
+
+#endif  // SRC_BASE_STATUS_H_

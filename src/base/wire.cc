@@ -1,0 +1,89 @@
+#include "src/base/wire.h"
+
+namespace afs {
+
+void WireEncoder::PutLittleEndian(uint64_t v, int nbytes) {
+  for (int i = 0; i < nbytes; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireEncoder::PutBytes(std::span<const uint8_t> bytes) {
+  PutU32(static_cast<uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void WireEncoder::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireEncoder::PutRaw(std::span<const uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void WireEncoder::PutCapability(const Capability& cap) {
+  PutU64(cap.port);
+  PutU64(cap.object);
+  PutU32(cap.rights);
+  PutU64(cap.check);
+}
+
+Result<uint64_t> WireDecoder::GetLittleEndian(int nbytes) {
+  if (remaining() < static_cast<size_t>(nbytes)) {
+    return CorruptError("wire decode past end of buffer");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < nbytes; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += nbytes;
+  return v;
+}
+
+Result<uint8_t> WireDecoder::GetU8() {
+  ASSIGN_OR_RETURN(uint64_t v, GetLittleEndian(1));
+  return static_cast<uint8_t>(v);
+}
+
+Result<uint16_t> WireDecoder::GetU16() {
+  ASSIGN_OR_RETURN(uint64_t v, GetLittleEndian(2));
+  return static_cast<uint16_t>(v);
+}
+
+Result<uint32_t> WireDecoder::GetU32() {
+  ASSIGN_OR_RETURN(uint64_t v, GetLittleEndian(4));
+  return static_cast<uint32_t>(v);
+}
+
+Result<uint64_t> WireDecoder::GetU64() { return GetLittleEndian(8); }
+
+Result<std::vector<uint8_t>> WireDecoder::GetBytes() {
+  ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  return GetRaw(n);
+}
+
+Result<std::string> WireDecoder::GetString() {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, GetBytes());
+  return std::string(bytes.begin(), bytes.end());
+}
+
+Result<std::vector<uint8_t>> WireDecoder::GetRaw(size_t n) {
+  if (remaining() < n) {
+    return CorruptError("wire decode past end of buffer");
+  }
+  std::vector<uint8_t> out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Result<Capability> WireDecoder::GetCapability() {
+  Capability cap;
+  ASSIGN_OR_RETURN(cap.port, GetU64());
+  ASSIGN_OR_RETURN(cap.object, GetU64());
+  ASSIGN_OR_RETURN(cap.rights, GetU32());
+  ASSIGN_OR_RETURN(cap.check, GetU64());
+  return cap;
+}
+
+}  // namespace afs

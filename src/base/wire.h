@@ -1,0 +1,91 @@
+// Wire format for AFS messages and on-disk structures.
+//
+// Everything that crosses a port (requests, replies) or is stored in a block (page headers,
+// reference tables) is encoded with these helpers. The format is little-endian, explicitly
+// sized, and self-delimiting for variable-length fields (u32 length prefix), matching the
+// Amoeba convention of fixed request/reply headers plus a data buffer.
+
+#ifndef SRC_BASE_WIRE_H_
+#define SRC_BASE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/status.h"
+
+namespace afs {
+
+// Append-only encoder.
+class WireEncoder {
+ public:
+  WireEncoder() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLittleEndian(v, 2); }
+  void PutU32(uint32_t v) { PutLittleEndian(v, 4); }
+  void PutU64(uint64_t v) { PutLittleEndian(v, 8); }
+
+  // Length-prefixed byte string.
+  void PutBytes(std::span<const uint8_t> bytes);
+  void PutString(std::string_view s);
+
+  // Fixed-size raw bytes (no length prefix); reader must know the size.
+  void PutRaw(std::span<const uint8_t> bytes);
+
+  void PutCapability(const Capability& cap);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() && { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutLittleEndian(uint64_t v, int nbytes);
+
+  std::vector<uint8_t> buf_;
+};
+
+// Bounds-checked decoder. Every getter fails cleanly (never reads out of bounds) so a
+// corrupt block or malicious message cannot crash a server. The decoder either borrows the
+// buffer (span constructor — caller keeps it alive) or owns it (vector constructor — used
+// for RPC replies). Move-only when owning; the span stays valid across moves because vector
+// move transfers the heap buffer.
+class WireDecoder {
+ public:
+  explicit WireDecoder(std::span<const uint8_t> data) : data_(data) {}
+  explicit WireDecoder(std::vector<uint8_t> owned)
+      : owned_(std::move(owned)), data_(owned_) {}
+
+  WireDecoder(WireDecoder&&) = default;
+  WireDecoder& operator=(WireDecoder&&) = default;
+  WireDecoder(const WireDecoder&) = delete;
+  WireDecoder& operator=(const WireDecoder&) = delete;
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<std::vector<uint8_t>> GetBytes();
+  Result<std::string> GetString();
+  Result<std::vector<uint8_t>> GetRaw(size_t n);
+  Result<Capability> GetCapability();
+
+  // All input consumed?
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Result<uint64_t> GetLittleEndian(int nbytes);
+
+  std::vector<uint8_t> owned_;
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace afs
+
+#endif  // SRC_BASE_WIRE_H_

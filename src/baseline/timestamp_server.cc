@@ -1,0 +1,178 @@
+#include "src/baseline/timestamp_server.h"
+
+#include "src/base/wire.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+
+TimestampFileServer::TimestampFileServer(Network* network, std::string name,
+                                         BlockStore* blocks)
+    : Service(network, std::move(name)), blocks_(blocks) {}
+
+Result<uint64_t> TimestampFileServer::CreateFile(uint32_t npages) {
+  std::vector<PageState> pages(npages);
+  for (PageState& page : pages) {
+    ASSIGN_OR_RETURN(page.block, blocks_->AllocWrite({}));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_id_++;
+  files_[id] = std::move(pages);
+  return id;
+}
+
+Result<uint64_t> TimestampFileServer::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_id_++;
+  txs_[id].ts = clock_++;
+  return id;
+}
+
+Result<std::vector<uint8_t>> TimestampFileServer::Read(uint64_t tx, uint64_t file,
+                                                       uint32_t page) {
+  BlockNo bno;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto tx_it = txs_.find(tx);
+    auto file_it = files_.find(file);
+    if (tx_it == txs_.end() || file_it == files_.end()) {
+      return NotFoundError("no such transaction or file");
+    }
+    if (page >= file_it->second.size()) {
+      return InvalidArgumentError("page index out of range");
+    }
+    // Serve the transaction's own buffered write first (read-your-writes).
+    auto own = tx_it->second.writes.find({file, page});
+    if (own != tx_it->second.writes.end()) {
+      return own->second;
+    }
+    PageState& ps = file_it->second[page];
+    if (tx_it->second.ts < ps.write_ts) {
+      ++ts_aborts_;
+      txs_.erase(tx_it);
+      return ConflictError("read arrived after a later write (timestamp order)");
+    }
+    ps.read_ts = std::max(ps.read_ts, tx_it->second.ts);
+    bno = ps.block;
+  }
+  return blocks_->Read(bno);
+}
+
+Status TimestampFileServer::Write(uint64_t tx, uint64_t file, uint32_t page,
+                                  std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto tx_it = txs_.find(tx);
+  auto file_it = files_.find(file);
+  if (tx_it == txs_.end() || file_it == files_.end()) {
+    return NotFoundError("no such transaction or file");
+  }
+  if (page >= file_it->second.size()) {
+    return InvalidArgumentError("page index out of range");
+  }
+  PageState& ps = file_it->second[page];
+  if (tx_it->second.ts < ps.read_ts || tx_it->second.ts < ps.write_ts) {
+    ++ts_aborts_;
+    txs_.erase(tx_it);
+    return ConflictError("write arrived too late (timestamp order)");
+  }
+  tx_it->second.writes[{file, page}] = std::vector<uint8_t>(data.begin(), data.end());
+  return OkStatus();
+}
+
+Status TimestampFileServer::Commit(uint64_t tx) {
+  TxState state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txs_.find(tx);
+    if (it == txs_.end()) {
+      return ConflictError("transaction was aborted by timestamp order");
+    }
+    state = std::move(it->second);
+    txs_.erase(it);
+    // Final validation + stamp under the lock; block writes happen after.
+    for (const auto& [key, data] : state.writes) {
+      (void)data;
+      auto file_it = files_.find(key.first);
+      if (file_it == files_.end()) {
+        return NotFoundError("file vanished");
+      }
+      PageState& ps = file_it->second[key.second];
+      if (state.ts < ps.read_ts || state.ts < ps.write_ts) {
+        ++ts_aborts_;
+        return ConflictError("commit-time timestamp conflict");
+      }
+    }
+    for (const auto& [key, data] : state.writes) {
+      (void)data;
+      files_[key.first][key.second].write_ts = state.ts;
+    }
+  }
+  for (const auto& [key, data] : state.writes) {
+    BlockNo bno;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      bno = files_[key.first][key.second].block;
+    }
+    RETURN_IF_ERROR(blocks_->Write(bno, data));
+  }
+  return OkStatus();
+}
+
+Status TimestampFileServer::Abort(uint64_t tx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  txs_.erase(tx);
+  return OkStatus();
+}
+
+uint64_t TimestampFileServer::timestamp_aborts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ts_aborts_;
+}
+
+Result<Message> TimestampFileServer::Handle(const Message& m) {
+  WireDecoder in(m.payload);
+  switch (static_cast<TsOp>(m.opcode)) {
+    case TsOp::kCreateFile: {
+      ASSIGN_OR_RETURN(uint32_t npages, in.GetU32());
+      ASSIGN_OR_RETURN(uint64_t id, CreateFile(npages));
+      WireEncoder out;
+      out.PutU64(id);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case TsOp::kBegin: {
+      ASSIGN_OR_RETURN(uint64_t id, Begin());
+      WireEncoder out;
+      out.PutU64(id);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case TsOp::kRead: {
+      ASSIGN_OR_RETURN(uint64_t tx, in.GetU64());
+      ASSIGN_OR_RETURN(uint64_t file, in.GetU64());
+      ASSIGN_OR_RETURN(uint32_t page, in.GetU32());
+      ASSIGN_OR_RETURN(std::vector<uint8_t> data, Read(tx, file, page));
+      WireEncoder out;
+      out.PutBytes(data);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case TsOp::kWrite: {
+      ASSIGN_OR_RETURN(uint64_t tx, in.GetU64());
+      ASSIGN_OR_RETURN(uint64_t file, in.GetU64());
+      ASSIGN_OR_RETURN(uint32_t page, in.GetU32());
+      ASSIGN_OR_RETURN(std::vector<uint8_t> data, in.GetBytes());
+      RETURN_IF_ERROR(Write(tx, file, page, data));
+      return OkReply(m.opcode);
+    }
+    case TsOp::kCommit: {
+      ASSIGN_OR_RETURN(uint64_t tx, in.GetU64());
+      RETURN_IF_ERROR(Commit(tx));
+      return OkReply(m.opcode);
+    }
+    case TsOp::kAbort: {
+      ASSIGN_OR_RETURN(uint64_t tx, in.GetU64());
+      RETURN_IF_ERROR(Abort(tx));
+      return OkReply(m.opcode);
+    }
+  }
+  return InvalidArgumentError("unknown timestamp server opcode");
+}
+
+}  // namespace afs

@@ -1,0 +1,649 @@
+#include "src/block/block_server.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/base/crc32.h"
+#include "src/base/wire.h"
+#include "src/block/protocol.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+namespace {
+
+struct BlockHeader {
+  uint32_t magic = 0;
+  uint64_t account = 0;
+  uint64_t seq = 0;
+  uint32_t crc = 0;
+  uint32_t len = 0;
+};
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+void EncodeBlock(std::span<uint8_t> block, const BlockHeader& h,
+                 std::span<const uint8_t> payload) {
+  StoreU32(block.data(), h.magic);
+  StoreU64(block.data() + 4, h.account);
+  StoreU64(block.data() + 12, h.seq);
+  StoreU32(block.data() + 20, h.crc);
+  StoreU32(block.data() + 24, h.len);
+  std::memcpy(block.data() + kBlockHeaderBytes, payload.data(), payload.size());
+  std::memset(block.data() + kBlockHeaderBytes + payload.size(), 0,
+              block.size() - kBlockHeaderBytes - payload.size());
+}
+
+// Parses and integrity-checks a raw block. kCorrupt on bad magic, bad length, or CRC
+// mismatch; a never-written (all-zero) block decodes as "not in use".
+Result<BlockHeader> DecodeBlock(std::span<const uint8_t> block) {
+  BlockHeader h;
+  h.magic = LoadU32(block.data());
+  h.account = LoadU64(block.data() + 4);
+  h.seq = LoadU64(block.data() + 12);
+  h.crc = LoadU32(block.data() + 20);
+  h.len = LoadU32(block.data() + 24);
+  if (h.magic == 0 && h.account == 0 && h.len == 0) {
+    // Virgin block.
+    return h;
+  }
+  if (h.magic != kBlockMagic) {
+    return CorruptError("bad block magic");
+  }
+  if (h.len > block.size() - kBlockHeaderBytes) {
+    return CorruptError("block payload length out of range");
+  }
+  if (Crc32c(block.data() + kBlockHeaderBytes, h.len) != h.crc) {
+    return CorruptError("block payload CRC mismatch");
+  }
+  return h;
+}
+
+}  // namespace
+
+BlockServer::BlockServer(Network* network, std::string name, BlockDevice* device,
+                         uint64_t secret_seed)
+    : Service(network, std::move(name)),
+      device_(device),
+      signer_(0, Mix64(secret_seed)),
+      rng_(secret_seed ^ 0xb10c) {
+  blocks_.resize(device->geometry().num_blocks);
+}
+
+void BlockServer::SetCompanion(Port companion) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  companion_ = companion;
+}
+
+uint32_t BlockServer::payload_capacity() const {
+  return device_->geometry().block_size - kBlockHeaderBytes;
+}
+
+Capability BlockServer::CreateAccountDirect() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  uint64_t account = rng_.NextU64() | 1;
+  accounts_.insert(account);
+  // The signer's port field is not known until Start(); accounts are signed against object
+  // ids only (port 0), so capabilities survive server restarts on the same secret.
+  return signer_.Sign(account, Rights::kAll);
+}
+
+uint64_t BlockServer::collisions_detected() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return collisions_;
+}
+
+uint64_t BlockServer::degraded_writes() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return degraded_writes_;
+}
+
+Status BlockServer::VerifyAccount(const Capability& cap, uint32_t rights,
+                                  uint64_t* account_out) {
+  RETURN_IF_ERROR(signer_.Verify(cap, rights));
+  *account_out = cap.object;
+  return OkStatus();
+}
+
+Result<BlockNo> BlockServer::PickFreeBlock() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const auto num_blocks = static_cast<BlockNo>(blocks_.size());
+  for (BlockNo probe = 0; probe < num_blocks; ++probe) {
+    BlockNo bno = (alloc_cursor_ + probe) % num_blocks;
+    if (!blocks_[bno].in_use && in_flight_primary_.find(bno) == in_flight_primary_.end() &&
+        locks_.find(bno) == locks_.end()) {
+      alloc_cursor_ = (bno + 1) % num_blocks;
+      blocks_[bno].in_use = true;  // tentative; rolled back on collision
+      return bno;
+    }
+  }
+  return NoSpaceError("disk full");
+}
+
+Status BlockServer::WriteLocal(BlockNo bno, uint64_t account, uint64_t seq,
+                               std::span<const uint8_t> payload) {
+  const uint32_t block_size = device_->geometry().block_size;
+  if (payload.size() > block_size - kBlockHeaderBytes) {
+    return InvalidArgumentError("payload exceeds block capacity");
+  }
+  std::vector<uint8_t> raw(block_size);
+  BlockHeader h;
+  h.magic = kBlockMagic;
+  h.account = account;
+  h.seq = seq;
+  h.len = static_cast<uint32_t>(payload.size());
+  h.crc = Crc32c(payload.data(), payload.size());
+  EncodeBlock(raw, h, payload);
+  RETURN_IF_ERROR(device_->Write(bno, raw));
+  std::lock_guard<std::mutex> lock(state_mu_);
+  blocks_[bno].account = account;
+  blocks_[bno].seq = seq;
+  blocks_[bno].in_use = account != 0;
+  return OkStatus();
+}
+
+void BlockServer::RecordIntention(BlockNo bno) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  intentions_for_companion_.insert(bno);
+  ++degraded_writes_;
+}
+
+Status BlockServer::StableWrite(BlockNo bno, uint64_t account,
+                                std::span<const uint8_t> payload, bool is_alloc) {
+  Port companion;
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    companion = companion_;
+    seq = next_seq_++;
+    ++in_flight_primary_[bno];
+  }
+
+  Status result = OkStatus();
+  if (companion != kNullPort) {
+    // "writes are always carried out on the companion disk first."
+    WireEncoder req;
+    req.PutU32(bno);
+    req.PutU64(account);
+    req.PutU64(seq);
+    req.PutBytes(payload);
+    req.PutU8(is_alloc ? 1 : 0);
+    auto reply = CallAndCheck(network(), companion,
+                              static_cast<uint32_t>(BlockOp::kCompanionWrite), std::move(req));
+    if (!reply.ok()) {
+      switch (reply.status().code()) {
+        case ErrorCode::kConflict:
+          // Allocate or write collision, detected at the companion before any damage.
+          result = ConflictError("block write collision at companion");
+          break;
+        case ErrorCode::kCrashed:
+        case ErrorCode::kTimeout:
+        case ErrorCode::kUnavailable:
+        case ErrorCode::kNotFound:
+          // Companion down: degrade to local-only and remember what it missed.
+          RecordIntention(bno);
+          break;
+        default:
+          result = reply.status();
+          break;
+      }
+    }
+  }
+  if (result.ok()) {
+    result = WriteLocal(bno, account, seq, payload);
+  }
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = in_flight_primary_.find(bno);
+  if (it != in_flight_primary_.end() && --it->second == 0) {
+    in_flight_primary_.erase(it);
+  }
+  if (!result.ok() && is_alloc) {
+    blocks_[bno].in_use = false;  // roll back the tentative allocation
+  }
+  return result;
+}
+
+Result<std::vector<uint8_t>> BlockServer::FetchFromCompanion(BlockNo bno) {
+  Port companion;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    companion = companion_;
+  }
+  if (companion == kNullPort) {
+    return CorruptError("block corrupt and no companion configured");
+  }
+  WireEncoder req;
+  req.PutU32(bno);
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(network(), companion,
+                                static_cast<uint32_t>(BlockOp::kCompanionRead), std::move(req)));
+  ASSIGN_OR_RETURN(uint64_t account, reply.GetU64());
+  ASSIGN_OR_RETURN(uint8_t in_use, reply.GetU8());
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, reply.GetBytes());
+  if (in_use == 0) {
+    return NotFoundError("companion copy not in use");
+  }
+  (void)account;
+  return payload;
+}
+
+Result<std::vector<uint8_t>> BlockServer::ReadPayload(BlockNo bno, uint64_t account,
+                                                      bool check_account) {
+  const uint32_t block_size = device_->geometry().block_size;
+  if (bno >= blocks_.size()) {
+    return InvalidArgumentError("block number out of range");
+  }
+  std::vector<uint8_t> raw(block_size);
+  RETURN_IF_ERROR(device_->Read(bno, raw));
+  auto header = DecodeBlock(raw);
+  if (!header.ok()) {
+    // "the block server need not consult its companion, except when the block on its disk
+    // is corrupted." Fetch the good copy and repair the local one.
+    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, FetchFromCompanion(bno));
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      seq = next_seq_++;
+    }
+    uint64_t repaired_account = account;
+    RETURN_IF_ERROR(WriteLocal(bno, repaired_account, seq, payload));
+    return payload;
+  }
+  if (header->magic == 0) {
+    return NotFoundError("block never written");
+  }
+  if (check_account && header->account != account) {
+    return BadCapabilityError("block owned by a different account");
+  }
+  std::vector<uint8_t> payload(raw.begin() + kBlockHeaderBytes,
+                               raw.begin() + kBlockHeaderBytes + header->len);
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch
+// ---------------------------------------------------------------------------
+
+Result<Message> BlockServer::Handle(const Message& request) {
+  switch (static_cast<BlockOp>(request.opcode)) {
+    case BlockOp::kCreateAccount:
+      return HandleCreateAccount(request);
+    case BlockOp::kAllocate:
+      return HandleAllocate(request);
+    case BlockOp::kAllocWrite:
+      return HandleAllocWrite(request);
+    case BlockOp::kWrite:
+      return HandleWrite(request);
+    case BlockOp::kRead:
+      return HandleRead(request);
+    case BlockOp::kFree:
+      return HandleFree(request);
+    case BlockOp::kLock:
+      return HandleLock(request);
+    case BlockOp::kUnlock:
+      return HandleUnlock(request);
+    case BlockOp::kRecover:
+      return HandleRecover(request);
+    case BlockOp::kStat:
+      return HandleStat(request);
+    case BlockOp::kCompanionWrite:
+      return HandleCompanionWrite(request);
+    case BlockOp::kCompanionFree:
+      return HandleCompanionFree(request);
+    case BlockOp::kFetchIntentions:
+      return HandleFetchIntentions(request);
+    case BlockOp::kCompanionRead:
+      return HandleCompanionRead(request);
+  }
+  return InvalidArgumentError("unknown block server opcode");
+}
+
+Result<Message> BlockServer::HandleCreateAccount(const Message& m) {
+  Capability cap = CreateAccountDirect();
+  WireEncoder out;
+  out.PutCapability(cap);
+  return OkReply(m.opcode, std::move(out));
+}
+
+Result<Message> BlockServer::HandleAllocate(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(Capability cap, in.GetCapability());
+  uint64_t account;
+  RETURN_IF_ERROR(VerifyAccount(cap, Rights::kCreate, &account));
+  ASSIGN_OR_RETURN(BlockNo bno, PickFreeBlock());
+  // Stamp ownership so Recover() finds it even if never written by the client.
+  Status st = StableWrite(bno, account, {}, /*is_alloc=*/true);
+  if (!st.ok()) {
+    return st;
+  }
+  WireEncoder out;
+  out.PutU32(bno);
+  return OkReply(m.opcode, std::move(out));
+}
+
+Result<Message> BlockServer::HandleAllocWrite(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(Capability cap, in.GetCapability());
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, in.GetBytes());
+  uint64_t account;
+  RETURN_IF_ERROR(VerifyAccount(cap, Rights::kCreate | Rights::kWrite, &account));
+  ASSIGN_OR_RETURN(BlockNo bno, PickFreeBlock());
+  Status st = StableWrite(bno, account, payload, /*is_alloc=*/true);
+  if (!st.ok()) {
+    return st;
+  }
+  WireEncoder out;
+  out.PutU32(bno);
+  return OkReply(m.opcode, std::move(out));
+}
+
+Result<Message> BlockServer::HandleWrite(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(Capability cap, in.GetCapability());
+  ASSIGN_OR_RETURN(BlockNo bno, in.GetU32());
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, in.GetBytes());
+  uint64_t account;
+  RETURN_IF_ERROR(VerifyAccount(cap, Rights::kWrite, &account));
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (bno >= blocks_.size()) {
+      return InvalidArgumentError("block number out of range");
+    }
+    if (!blocks_[bno].in_use) {
+      return NotFoundError("write to unallocated block");
+    }
+    if (blocks_[bno].account != 0 && blocks_[bno].account != account) {
+      return BadCapabilityError("block owned by a different account");
+    }
+  }
+  RETURN_IF_ERROR(StableWrite(bno, account, payload, /*is_alloc=*/false));
+  return OkReply(m.opcode);
+}
+
+Result<Message> BlockServer::HandleRead(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(Capability cap, in.GetCapability());
+  ASSIGN_OR_RETURN(BlockNo bno, in.GetU32());
+  uint64_t account;
+  RETURN_IF_ERROR(VerifyAccount(cap, Rights::kRead, &account));
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                   ReadPayload(bno, account, /*check_account=*/true));
+  WireEncoder out;
+  out.PutBytes(payload);
+  return OkReply(m.opcode, std::move(out));
+}
+
+Result<Message> BlockServer::HandleFree(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(Capability cap, in.GetCapability());
+  ASSIGN_OR_RETURN(BlockNo bno, in.GetU32());
+  uint64_t account;
+  RETURN_IF_ERROR(VerifyAccount(cap, Rights::kDestroy, &account));
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (bno >= blocks_.size()) {
+      return InvalidArgumentError("block number out of range");
+    }
+    if (!blocks_[bno].in_use) {
+      return OkReply(m.opcode);  // freeing a free block is idempotent
+    }
+    if (blocks_[bno].account != 0 && blocks_[bno].account != account) {
+      return BadCapabilityError("block owned by a different account");
+    }
+  }
+  // A free is a stable write of a tombstone (account 0), mirrored on the companion.
+  RETURN_IF_ERROR(StableWrite(bno, 0, {}, /*is_alloc=*/false));
+  return OkReply(m.opcode);
+}
+
+Result<Message> BlockServer::HandleLock(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(Capability cap, in.GetCapability());
+  ASSIGN_OR_RETURN(BlockNo bno, in.GetU32());
+  ASSIGN_OR_RETURN(Port owner, in.GetU64());
+  uint64_t account;
+  RETURN_IF_ERROR(VerifyAccount(cap, Rights::kWrite, &account));
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = locks_.find(bno);
+  if (it != locks_.end() && it->second != owner) {
+    if (network()->IsPortAlive(it->second)) {
+      return LockedError("block locked by another live transaction");
+    }
+    // The holder's port is dead — its process crashed; steal the lock (locks made of ports).
+    it->second = owner;
+    return OkReply(m.opcode);
+  }
+  locks_[bno] = owner;
+  return OkReply(m.opcode);
+}
+
+Result<Message> BlockServer::HandleUnlock(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(Capability cap, in.GetCapability());
+  ASSIGN_OR_RETURN(BlockNo bno, in.GetU32());
+  ASSIGN_OR_RETURN(Port owner, in.GetU64());
+  uint64_t account;
+  RETURN_IF_ERROR(VerifyAccount(cap, Rights::kWrite, &account));
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = locks_.find(bno);
+  if (it == locks_.end() || it->second != owner) {
+    return InvalidArgumentError("unlock by non-holder");
+  }
+  locks_.erase(it);
+  return OkReply(m.opcode);
+}
+
+Result<Message> BlockServer::HandleRecover(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(Capability cap, in.GetCapability());
+  uint64_t account;
+  RETURN_IF_ERROR(VerifyAccount(cap, Rights::kAdmin, &account));
+  std::vector<BlockNo> owned;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (BlockNo bno = 0; bno < blocks_.size(); ++bno) {
+      if (blocks_[bno].in_use && blocks_[bno].account == account) {
+        owned.push_back(bno);
+      }
+    }
+  }
+  WireEncoder out;
+  out.PutU32(static_cast<uint32_t>(owned.size()));
+  for (BlockNo bno : owned) {
+    out.PutU32(bno);
+  }
+  return OkReply(m.opcode, std::move(out));
+}
+
+Result<Message> BlockServer::HandleStat(const Message& m) {
+  uint32_t free_blocks = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const auto& b : blocks_) {
+      if (!b.in_use) {
+        ++free_blocks;
+      }
+    }
+  }
+  WireEncoder out;
+  out.PutU32(free_blocks);
+  out.PutU32(device_->geometry().num_blocks);
+  out.PutU64(device_->reads());
+  out.PutU64(device_->writes());
+  return OkReply(m.opcode, std::move(out));
+}
+
+Result<Message> BlockServer::HandleCompanionWrite(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(BlockNo bno, in.GetU32());
+  ASSIGN_OR_RETURN(uint64_t account, in.GetU64());
+  ASSIGN_OR_RETURN(uint64_t seq, in.GetU64());
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, in.GetBytes());
+  ASSIGN_OR_RETURN(uint8_t is_alloc, in.GetU8());
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (bno >= blocks_.size()) {
+      return InvalidArgumentError("block number out of range");
+    }
+    if (in_flight_primary_.find(bno) != in_flight_primary_.end()) {
+      // Collision: this server is itself the primary for a concurrent operation on the same
+      // block. Detected "before any damage is done" because companion writes happen first.
+      ++collisions_;
+      return ConflictError("concurrent primary operation on this block");
+    }
+    if (is_alloc != 0 && blocks_[bno].in_use) {
+      // Allocate collision: the peer picked a number this server already handed out.
+      ++collisions_;
+      return ConflictError("allocate collision");
+    }
+  }
+  RETURN_IF_ERROR(WriteLocal(bno, account, seq, payload));
+  return OkReply(m.opcode);
+}
+
+Result<Message> BlockServer::HandleCompanionFree(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(BlockNo bno, in.GetU32());
+  RETURN_IF_ERROR(WriteLocal(bno, 0, 0, {}));
+  return OkReply(m.opcode);
+}
+
+Result<Message> BlockServer::HandleFetchIntentions(const Message& m) {
+  std::set<BlockNo> intentions;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    intentions.swap(intentions_for_companion_);
+  }
+  WireEncoder out;
+  out.PutU32(static_cast<uint32_t>(intentions.size()));
+  for (BlockNo bno : intentions) {
+    out.PutU32(bno);
+  }
+  return OkReply(m.opcode, std::move(out));
+}
+
+Result<Message> BlockServer::HandleCompanionRead(const Message& m) {
+  WireDecoder in(m.payload);
+  ASSIGN_OR_RETURN(BlockNo bno, in.GetU32());
+  if (bno >= blocks_.size()) {
+    return InvalidArgumentError("block number out of range");
+  }
+  const uint32_t block_size = device_->geometry().block_size;
+  std::vector<uint8_t> raw(block_size);
+  RETURN_IF_ERROR(device_->Read(bno, raw));
+  ASSIGN_OR_RETURN(BlockHeader header, DecodeBlock(raw));
+  WireEncoder out;
+  out.PutU64(header.account);
+  out.PutU8(header.magic != 0 && header.account != 0 ? 1 : 0);
+  out.PutBytes(std::span<const uint8_t>(raw.data() + kBlockHeaderBytes, header.len));
+  return OkReply(m.opcode, std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+void BlockServer::RebuildAllocationFromDisk() {
+  const DiskGeometry geo = device_->geometry();
+  std::vector<uint8_t> raw(geo.block_size);
+  uint64_t max_seq = 0;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (BlockNo bno = 0; bno < geo.num_blocks; ++bno) {
+    blocks_[bno] = BlockMeta{};
+    if (!device_->Read(bno, raw).ok()) {
+      continue;
+    }
+    auto header = DecodeBlock(raw);
+    if (!header.ok() || header->magic == 0) {
+      continue;
+    }
+    blocks_[bno].account = header->account;
+    blocks_[bno].seq = header->seq;
+    blocks_[bno].in_use = header->account != 0;
+    max_seq = std::max(max_seq, header->seq);
+  }
+  next_seq_ = std::max(next_seq_, max_seq + 1);
+  locks_.clear();  // locks died with the crashed process
+  in_flight_primary_.clear();
+}
+
+void BlockServer::ReplayIntentionsFromCompanion() {
+  Port companion;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    companion = companion_;
+  }
+  if (companion == kNullPort) {
+    return;
+  }
+  auto reply = CallAndCheck(network(), companion,
+                            static_cast<uint32_t>(BlockOp::kFetchIntentions), WireEncoder());
+  if (!reply.ok()) {
+    return;  // companion also down; it will push state when it recovers
+  }
+  auto count = reply->GetU32();
+  if (!count.ok()) {
+    return;
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto bno = reply->GetU32();
+    if (!bno.ok()) {
+      return;
+    }
+    WireEncoder req;
+    req.PutU32(*bno);
+    auto data = CallAndCheck(network(), companion,
+                             static_cast<uint32_t>(BlockOp::kCompanionRead), std::move(req));
+    if (!data.ok()) {
+      continue;
+    }
+    auto account = data->GetU64();
+    auto in_use = data->GetU8();
+    auto payload = data->GetBytes();
+    if (!account.ok() || !in_use.ok() || !payload.ok()) {
+      continue;
+    }
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      seq = next_seq_++;
+    }
+    (void)WriteLocal(*bno, *in_use != 0 ? *account : 0, seq, *payload);
+  }
+}
+
+void BlockServer::OnRestart() {
+  // "After a crash, the block server compares notes with its companion, and restores its
+  // disk before accepting any requests."
+  RebuildAllocationFromDisk();
+  ReplayIntentionsFromCompanion();
+}
+
+}  // namespace afs

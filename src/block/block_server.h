@@ -1,0 +1,128 @@
+// BlockServer: the bottom of the storage hierarchy (paper §4, Figure 1).
+//
+// Manages fixed-size blocks on one BlockDevice: allocate, free, read, write — writes atomic
+// and acknowledged only once durable — plus account-based protection, a simple locking
+// facility, and the account-scan recovery operation. A BlockServer may be paired with a
+// *companion* on a different disk to form stable storage: every write then goes to the
+// companion's disk first ("in contrast to Lampson and Sturgis' method which uses one server
+// and two disk drives"), collisions are detected at the companion, and after a crash the
+// returning server compares notes with the survivor before accepting requests.
+//
+// On-disk block format (self-describing, enabling Recover() by scan and CRC integrity):
+//   u32 magic | u64 account_object | u64 write_seq | u32 payload_crc | u32 payload_len | data
+// The header steals 28 bytes of each physical block; payload capacity is block_size - 28.
+
+#ifndef SRC_BLOCK_BLOCK_SERVER_H_
+#define SRC_BLOCK_BLOCK_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/rng.h"
+#include "src/disk/block_device.h"
+#include "src/rpc/service.h"
+
+namespace afs {
+
+inline constexpr uint32_t kBlockHeaderBytes = 28;
+inline constexpr uint32_t kBlockMagic = 0xafb10c05;
+
+class BlockServer : public Service {
+ public:
+  // `device` must outlive the server. `secret_seed` keys the capability signer.
+  BlockServer(Network* network, std::string name, BlockDevice* device, uint64_t secret_seed);
+
+  // Pair this server with its companion. Both directions must be configured. Until paired
+  // (or when `companion == kNullPort`), the server runs standalone and writes only locally.
+  void SetCompanion(Port companion);
+
+  // Usable payload bytes per block.
+  uint32_t payload_capacity() const;
+
+  // Direct (in-process) account creation for bootstrap; also reachable via kCreateAccount.
+  Capability CreateAccountDirect();
+
+  // Test hooks / stats.
+  uint64_t collisions_detected() const;
+  uint64_t degraded_writes() const;  // writes performed while the companion was down
+  BlockDevice* device() const { return device_; }
+
+ protected:
+  Result<Message> Handle(const Message& request) override;
+
+  // Crash recovery (paper §4): scan the local disk to rebuild the allocation map, then
+  // compare notes with the companion — fetch its intentions list and replay the blocks this
+  // server missed while down — before accepting any requests.
+  void OnRestart() override;
+
+ private:
+  struct BlockMeta {
+    uint64_t account = 0;
+    uint64_t seq = 0;
+    bool in_use = false;
+  };
+
+  // -- Request handlers (one per opcode) ------------------------------------
+  Result<Message> HandleCreateAccount(const Message& m);
+  Result<Message> HandleAllocate(const Message& m);
+  Result<Message> HandleAllocWrite(const Message& m);
+  Result<Message> HandleWrite(const Message& m);
+  Result<Message> HandleRead(const Message& m);
+  Result<Message> HandleFree(const Message& m);
+  Result<Message> HandleLock(const Message& m);
+  Result<Message> HandleUnlock(const Message& m);
+  Result<Message> HandleRecover(const Message& m);
+  Result<Message> HandleStat(const Message& m);
+  Result<Message> HandleCompanionWrite(const Message& m);
+  Result<Message> HandleCompanionFree(const Message& m);
+  Result<Message> HandleFetchIntentions(const Message& m);
+  Result<Message> HandleCompanionRead(const Message& m);
+
+  // -- Internals -------------------------------------------------------------
+  Status VerifyAccount(const Capability& cap, uint32_t rights, uint64_t* account_out);
+  Result<BlockNo> PickFreeBlock();
+  // Core of Write/AllocWrite: companion-first stable write, with intentions-list fallback
+  // when the companion is down.
+  Status StableWrite(BlockNo bno, uint64_t account, std::span<const uint8_t> payload,
+                     bool is_alloc);
+  Status WriteLocal(BlockNo bno, uint64_t account, uint64_t seq,
+                    std::span<const uint8_t> payload);
+  // Reads the payload; on CRC failure consults the companion and repairs the local copy.
+  Result<std::vector<uint8_t>> ReadPayload(BlockNo bno, uint64_t account,
+                                           bool check_account);
+  Result<std::vector<uint8_t>> FetchFromCompanion(BlockNo bno);
+  void RecordIntention(BlockNo bno);
+  void RebuildAllocationFromDisk();
+  void ReplayIntentionsFromCompanion();
+
+  BlockDevice* device_;
+  CapabilitySigner signer_;
+  Rng rng_;
+
+  mutable std::mutex state_mu_;
+  std::unordered_set<uint64_t> accounts_;
+  uint64_t next_account_ = 1;
+  uint64_t next_seq_ = 1;
+  std::vector<BlockMeta> blocks_;
+  BlockNo alloc_cursor_ = 0;
+  std::unordered_map<BlockNo, Port> locks_;
+  // Blocks with local primary operations currently in flight (value = nesting count); a
+  // companion write that lands on one of these is a collision.
+  std::unordered_map<BlockNo, int> in_flight_primary_;
+  // Blocks written while the companion was unreachable; shipped to it on its restart.
+  std::set<BlockNo> intentions_for_companion_;
+  Port companion_ = kNullPort;
+  uint64_t collisions_ = 0;
+  uint64_t degraded_writes_ = 0;
+};
+
+}  // namespace afs
+
+#endif  // SRC_BLOCK_BLOCK_SERVER_H_

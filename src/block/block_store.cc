@@ -1,0 +1,320 @@
+#include "src/block/block_store.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/base/wire.h"
+#include "src/block/protocol.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+
+// ---------------------------------------------------------------------------
+// BlockClient
+// ---------------------------------------------------------------------------
+
+BlockClient::BlockClient(Network* network, Port server, Capability account,
+                         uint32_t payload_capacity)
+    : network_(network),
+      server_(server),
+      account_(account),
+      payload_capacity_(payload_capacity) {}
+
+Result<BlockNo> BlockClient::AllocWrite(std::span<const uint8_t> payload) {
+  WireEncoder req;
+  req.PutCapability(account_);
+  req.PutBytes(payload);
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kAllocWrite),
+                                std::move(req)));
+  return reply.GetU32();
+}
+
+Status BlockClient::Write(BlockNo bno, std::span<const uint8_t> payload) {
+  WireEncoder req;
+  req.PutCapability(account_);
+  req.PutU32(bno);
+  req.PutBytes(payload);
+  return CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kWrite), std::move(req))
+      .status();
+}
+
+Result<std::vector<uint8_t>> BlockClient::Read(BlockNo bno) {
+  WireEncoder req;
+  req.PutCapability(account_);
+  req.PutU32(bno);
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kRead),
+                                std::move(req)));
+  return reply.GetBytes();
+}
+
+Status BlockClient::Free(BlockNo bno) {
+  WireEncoder req;
+  req.PutCapability(account_);
+  req.PutU32(bno);
+  return CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kFree), std::move(req))
+      .status();
+}
+
+Status BlockClient::Lock(BlockNo bno, Port owner) {
+  WireEncoder req;
+  req.PutCapability(account_);
+  req.PutU32(bno);
+  req.PutU64(owner);
+  return CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kLock), std::move(req))
+      .status();
+}
+
+Status BlockClient::Unlock(BlockNo bno, Port owner) {
+  WireEncoder req;
+  req.PutCapability(account_);
+  req.PutU32(bno);
+  req.PutU64(owner);
+  return CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kUnlock), std::move(req))
+      .status();
+}
+
+Result<std::vector<BlockNo>> BlockClient::ListBlocks() {
+  WireEncoder req;
+  req.PutCapability(account_);
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kRecover),
+                                std::move(req)));
+  ASSIGN_OR_RETURN(uint32_t n, reply.GetU32());
+  std::vector<BlockNo> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(BlockNo bno, reply.GetU32());
+    out.push_back(bno);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StableStore
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsConnectivityError(const Status& s) {
+  switch (s.code()) {
+    case ErrorCode::kCrashed:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+StableStore::StableStore(std::unique_ptr<BlockClient> a, std::unique_ptr<BlockClient> b,
+                         uint64_t retry_seed)
+    : rng_(retry_seed) {
+  members_[0] = std::move(a);
+  members_[1] = std::move(b);
+}
+
+template <typename T>
+Result<T> StableStore::WithFailover(const std::function<Result<T>(BlockClient*)>& op) {
+  constexpr int kMaxCollisionRetries = 8;
+  for (int attempt = 0; attempt < kMaxCollisionRetries; ++attempt) {
+    int first;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      first = preferred_;
+    }
+    Result<T> result = op(members_[first].get());
+    if (!result.ok() && IsConnectivityError(result.status())) {
+      // "Clients send requests to the alternative block server if the primary fails to
+      // respond."
+      int other = 1 - first;
+      result = op(members_[other].get());
+      if (result.ok() || !IsConnectivityError(result.status())) {
+        std::lock_guard<std::mutex> lock(mu_);
+        preferred_ = other;
+      }
+    }
+    if (result.ok() || result.status().code() != ErrorCode::kConflict) {
+      return result;
+    }
+    // Allocate/write collision: "redo the operation after a random wait interval."
+    uint64_t wait_us;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      wait_us = rng_.NextInRange(50, 500) << attempt;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+  }
+  return ConflictError("persistent block collision");
+}
+
+Result<BlockNo> StableStore::AllocWrite(std::span<const uint8_t> payload) {
+  return WithFailover<BlockNo>([&](BlockClient* c) { return c->AllocWrite(payload); });
+}
+
+namespace {
+// Adapts a Status-returning call to the Result-based failover helper.
+struct Unit {};
+}  // namespace
+
+Status StableStore::Write(BlockNo bno, std::span<const uint8_t> payload) {
+  return WithFailover<Unit>([&](BlockClient* c) -> Result<Unit> {
+           RETURN_IF_ERROR(c->Write(bno, payload));
+           return Unit{};
+         })
+      .status();
+}
+
+Result<std::vector<uint8_t>> StableStore::Read(BlockNo bno) {
+  return WithFailover<std::vector<uint8_t>>([&](BlockClient* c) { return c->Read(bno); });
+}
+
+Status StableStore::Free(BlockNo bno) {
+  return WithFailover<Unit>([&](BlockClient* c) -> Result<Unit> {
+           RETURN_IF_ERROR(c->Free(bno));
+           return Unit{};
+         })
+      .status();
+}
+
+Status StableStore::Lock(BlockNo bno, Port owner) {
+  // Locks are not replicated: they die with the server that grants them, and lock holders
+  // are identified by (possibly dead) ports, so the waiter-side recovery of §5.3 applies.
+  // Locks always target the preferred member so both parties race on the same lock table.
+  return WithFailover<Unit>([&](BlockClient* c) -> Result<Unit> {
+           RETURN_IF_ERROR(c->Lock(bno, owner));
+           return Unit{};
+         })
+      .status();
+}
+
+Status StableStore::Unlock(BlockNo bno, Port owner) {
+  return WithFailover<Unit>([&](BlockClient* c) -> Result<Unit> {
+           RETURN_IF_ERROR(c->Unlock(bno, owner));
+           return Unit{};
+         })
+      .status();
+}
+
+Result<std::vector<BlockNo>> StableStore::ListBlocks() {
+  return WithFailover<std::vector<BlockNo>>([&](BlockClient* c) { return c->ListBlocks(); });
+}
+
+uint32_t StableStore::payload_capacity() const { return members_[0]->payload_capacity(); }
+
+// ---------------------------------------------------------------------------
+// InMemoryBlockStore
+// ---------------------------------------------------------------------------
+
+InMemoryBlockStore::InMemoryBlockStore(uint32_t payload_capacity, uint32_t num_blocks)
+    : payload_capacity_(payload_capacity), num_blocks_(num_blocks) {}
+
+void InMemoryBlockStore::ChargeLatency() const {
+  uint32_t us = op_latency_us_.load(std::memory_order_relaxed);
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+Result<BlockNo> InMemoryBlockStore::AllocWrite(std::span<const uint8_t> payload) {
+  ChargeLatency();
+  if (payload.size() > payload_capacity_) {
+    return InvalidArgumentError("payload exceeds block capacity");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (blocks_.size() >= num_blocks_) {
+    return NoSpaceError("in-memory store full");
+  }
+  while (blocks_.count(next_) > 0) {
+    next_ = (next_ + 1) & kMaxBlockNo;
+  }
+  BlockNo bno = next_;
+  next_ = (next_ + 1) & kMaxBlockNo;
+  blocks_[bno] = std::vector<uint8_t>(payload.begin(), payload.end());
+  ++writes_;
+  return bno;
+}
+
+Status InMemoryBlockStore::Write(BlockNo bno, std::span<const uint8_t> payload) {
+  ChargeLatency();
+  if (payload.size() > payload_capacity_) {
+    return InvalidArgumentError("payload exceeds block capacity");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(bno);
+  if (it == blocks_.end()) {
+    return NotFoundError("write to unallocated block");
+  }
+  it->second.assign(payload.begin(), payload.end());
+  ++writes_;
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> InMemoryBlockStore::Read(BlockNo bno) {
+  ChargeLatency();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(bno);
+  if (it == blocks_.end()) {
+    return NotFoundError("read of unallocated block");
+  }
+  ++reads_;
+  return it->second;
+}
+
+Status InMemoryBlockStore::Free(BlockNo bno) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.erase(bno);
+  locks_.erase(bno);
+  return OkStatus();
+}
+
+Status InMemoryBlockStore::Lock(BlockNo bno, Port owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(bno);
+  if (it != locks_.end() && it->second != owner) {
+    return LockedError("block locked");
+  }
+  locks_[bno] = owner;
+  return OkStatus();
+}
+
+Status InMemoryBlockStore::Unlock(BlockNo bno, Port owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(bno);
+  if (it == locks_.end() || it->second != owner) {
+    return InvalidArgumentError("unlock by non-holder");
+  }
+  locks_.erase(it);
+  return OkStatus();
+}
+
+Result<std::vector<BlockNo>> InMemoryBlockStore::ListBlocks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlockNo> out;
+  out.reserve(blocks_.size());
+  for (const auto& [bno, data] : blocks_) {
+    (void)data;
+    out.push_back(bno);
+  }
+  return out;
+}
+
+size_t InMemoryBlockStore::allocated_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+uint64_t InMemoryBlockStore::total_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+uint64_t InMemoryBlockStore::total_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+
+}  // namespace afs

@@ -1,0 +1,150 @@
+// BlockStore: the client-side view of block storage that the file service is written
+// against. Three implementations:
+//   * BlockClient      — RPC stub talking to one BlockServer.
+//   * StableStore      — a pair of BlockClients with automatic fail-over: "clients send
+//                        requests to the alternative block server if the primary fails to
+//                        respond" (§4).
+//   * InMemoryBlockStore — direct in-process store, for unit tests and CPU-cost benchmarks
+//                        that must not be dominated by RPC machinery.
+//
+// The file service's commit critical section (test-and-set of the commit reference, §5.2)
+// is expressed through Lock/Read/Write/Unlock: "lock and read a block, examine and modify
+// it, then write and unlock the block again" (§4).
+
+#ifndef SRC_BLOCK_BLOCK_STORE_H_
+#define SRC_BLOCK_BLOCK_STORE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/disk/block_device.h"
+#include "src/rpc/network.h"
+
+namespace afs {
+
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  // Allocate a fresh block and write `payload` into it atomically.
+  virtual Result<BlockNo> AllocWrite(std::span<const uint8_t> payload) = 0;
+  // Overwrite an existing block atomically.
+  virtual Status Write(BlockNo bno, std::span<const uint8_t> payload) = 0;
+  virtual Result<std::vector<uint8_t>> Read(BlockNo bno) = 0;
+  virtual Status Free(BlockNo bno) = 0;
+
+  // Advisory block lock keyed by a port. A lock whose port has died is stealable.
+  virtual Status Lock(BlockNo bno, Port owner) = 0;
+  virtual Status Unlock(BlockNo bno, Port owner) = 0;
+
+  // All blocks owned by this store's account (the §4 recovery operation).
+  virtual Result<std::vector<BlockNo>> ListBlocks() = 0;
+
+  // Usable payload bytes per block.
+  virtual uint32_t payload_capacity() const = 0;
+};
+
+// RPC stub bound to (server port, account capability).
+class BlockClient : public BlockStore {
+ public:
+  BlockClient(Network* network, Port server, Capability account, uint32_t payload_capacity);
+
+  Result<BlockNo> AllocWrite(std::span<const uint8_t> payload) override;
+  Status Write(BlockNo bno, std::span<const uint8_t> payload) override;
+  Result<std::vector<uint8_t>> Read(BlockNo bno) override;
+  Status Free(BlockNo bno) override;
+  Status Lock(BlockNo bno, Port owner) override;
+  Status Unlock(BlockNo bno, Port owner) override;
+  Result<std::vector<BlockNo>> ListBlocks() override;
+  uint32_t payload_capacity() const override { return payload_capacity_; }
+
+  Port server_port() const { return server_; }
+
+ private:
+  Network* network_;
+  Port server_;
+  Capability account_;
+  uint32_t payload_capacity_;
+};
+
+// Fail-over wrapper over the two members of a stable pair. Requests go to the preferred
+// member; on kCrashed/kTimeout/kUnavailable the other member is tried and becomes preferred.
+// Write collisions (kConflict) are retried with random backoff, per §4.
+class StableStore : public BlockStore {
+ public:
+  StableStore(std::unique_ptr<BlockClient> a, std::unique_ptr<BlockClient> b,
+              uint64_t retry_seed);
+
+  Result<BlockNo> AllocWrite(std::span<const uint8_t> payload) override;
+  Status Write(BlockNo bno, std::span<const uint8_t> payload) override;
+  Result<std::vector<uint8_t>> Read(BlockNo bno) override;
+  Status Free(BlockNo bno) override;
+  Status Lock(BlockNo bno, Port owner) override;
+  Status Unlock(BlockNo bno, Port owner) override;
+  Result<std::vector<BlockNo>> ListBlocks() override;
+  uint32_t payload_capacity() const override;
+
+ private:
+  // Runs `op` against the preferred member, failing over once on connectivity errors and
+  // retrying a bounded number of times on collision.
+  template <typename T>
+  Result<T> WithFailover(const std::function<Result<T>(BlockClient*)>& op);
+
+  std::unique_ptr<BlockClient> members_[2];
+  std::mutex mu_;
+  int preferred_ = 0;
+  Rng rng_;
+};
+
+// Direct in-process store (no RPC, no server). Thread-safe.
+class InMemoryBlockStore : public BlockStore {
+ public:
+  explicit InMemoryBlockStore(uint32_t payload_capacity = 4068, uint32_t num_blocks = 1 << 20);
+
+  Result<BlockNo> AllocWrite(std::span<const uint8_t> payload) override;
+  Status Write(BlockNo bno, std::span<const uint8_t> payload) override;
+  Result<std::vector<uint8_t>> Read(BlockNo bno) override;
+  Status Free(BlockNo bno) override;
+  Status Lock(BlockNo bno, Port owner) override;
+  Status Unlock(BlockNo bno, Port owner) override;
+  Result<std::vector<BlockNo>> ListBlocks() override;
+  uint32_t payload_capacity() const override { return payload_capacity_; }
+
+  // Number of blocks currently allocated (GC tests assert exact reclamation).
+  size_t allocated_blocks() const;
+  uint64_t total_writes() const;
+  uint64_t total_reads() const;
+
+  // Simulated per-operation I/O latency, slept OUTSIDE the internal mutex so that
+  // concurrent operations overlap — this is how benchmarks model the disk-bound servers
+  // of the paper's era (DESIGN.md substitution table). Zero (the default) disables it.
+  void set_op_latency(std::chrono::microseconds latency) {
+    op_latency_us_.store(static_cast<uint32_t>(latency.count()), std::memory_order_relaxed);
+  }
+
+ private:
+  void ChargeLatency() const;
+
+  const uint32_t payload_capacity_;
+  const uint32_t num_blocks_;
+  std::atomic<uint32_t> op_latency_us_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<BlockNo, std::vector<uint8_t>> blocks_;
+  std::unordered_map<BlockNo, Port> locks_;
+  BlockNo next_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t reads_ = 0;
+};
+
+}  // namespace afs
+
+#endif  // SRC_BLOCK_BLOCK_STORE_H_

@@ -1,0 +1,68 @@
+// Wire protocol of the block server (paper §4).
+//
+// Request payloads are WireEncoder-encoded in the field order documented per opcode below;
+// replies are status-header + fields (see src/rpc/client.h). The same opcodes serve both
+// plain block servers and members of a stable pair; companion traffic (server-to-server)
+// uses the kCompanion* opcodes.
+
+#ifndef SRC_BLOCK_PROTOCOL_H_
+#define SRC_BLOCK_PROTOCOL_H_
+
+#include <cstdint>
+
+namespace afs {
+
+enum class BlockOp : uint32_t {
+  // CreateAccount: () -> (capability account)
+  kCreateAccount = 1,
+  // Allocate: (capability account) -> (u32 bno)
+  //   Reserves a block number without writing it. Rarely used alone; see kAllocWrite.
+  kAllocate = 2,
+  // AllocWrite: (capability account, bytes payload) -> (u32 bno)
+  //   The paper's "request to allocate and write a block" — one round trip, and in a stable
+  //   pair the companion disk is written first.
+  kAllocWrite = 3,
+  // Write: (capability account, u32 bno, bytes payload) -> ()
+  //   Atomic overwrite; acked only after durable (and, in a pair, after the companion ack).
+  kWrite = 4,
+  // Read: (capability account, u32 bno) -> (bytes payload)
+  kRead = 5,
+  // Free: (capability account, u32 bno) -> ()
+  kFree = 6,
+  // Lock: (capability account, u32 bno, u64 owner_port) -> ()
+  //   The "simple locking facility" used by file servers for commit ("lock and read a block,
+  //   examine and modify it, then write and unlock"). A lock held by a dead port is stolen.
+  kLock = 7,
+  // Unlock: (capability account, u32 bno, u64 owner_port) -> ()
+  kUnlock = 8,
+  // Recover: (capability account) -> (u32 n, n * u32 bno)
+  //   "given an account number, returns a list of block numbers owned by that account."
+  kRecover = 9,
+  // Stat: () -> (u32 free_blocks, u32 total_blocks, u64 reads, u64 writes)
+  kStat = 10,
+
+  // Companion traffic (only accepted from the configured companion):
+  // CompanionWrite: (u32 bno, u64 account_object, bytes payload, u8 is_alloc) -> ()
+  //   "B then writes the block to disk at the address indicated by A". Collision detection
+  //   happens here: if B itself has an in-flight primary operation on the same block, the
+  //   write is rejected with kConflict ("collisions are detected ... because writes are
+  //   always carried out on the companion disk first").
+  kCompanionWrite = 20,
+  // CompanionFree: (u32 bno) -> ()
+  kCompanionFree = 21,
+  // FetchIntentions: () -> (u32 n, n * u32 bno)
+  //   Restarting server asks the survivor which blocks changed while it was down
+  //   ("block servers make intentions lists for crashed companion servers").
+  kFetchIntentions = 22,
+  // CompanionRead: (u32 bno) -> (u64 account_object, u8 in_use, bytes payload)
+  //   Raw read used during compare-notes recovery and corrupt-block repair.
+  kCompanionRead = 23,
+};
+
+// Default geometry: 4 KiB physical blocks. The page layer chains blocks for pages larger
+// than one block's payload (§5.1 footnote on arbitrarily long atomic pages).
+inline constexpr uint32_t kDefaultBlockSize = 4096;
+
+}  // namespace afs
+
+#endif  // SRC_BLOCK_PROTOCOL_H_

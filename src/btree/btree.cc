@@ -1,0 +1,301 @@
+#include "src/btree/btree.h"
+
+#include <algorithm>
+
+#include "src/base/wire.h"
+#include "src/client/transaction.h"
+
+namespace afs {
+namespace {
+
+constexpr uint8_t kLeafTag = 1;
+constexpr uint8_t kInternalTag = 2;
+
+// Child index for `key` among separators: child i covers keys < separators[i]; the last
+// child covers the rest.
+size_t ChildIndexFor(const std::vector<std::string>& separators, const std::string& key) {
+  return static_cast<size_t>(
+      std::upper_bound(separators.begin(), separators.end(), key) - separators.begin());
+}
+
+}  // namespace
+
+std::vector<uint8_t> BTreeClient::EncodeNode(const Node& node) {
+  WireEncoder enc;
+  enc.PutU8(node.leaf ? kLeafTag : kInternalTag);
+  enc.PutU16(static_cast<uint16_t>(node.keys.size()));
+  for (size_t i = 0; i < node.keys.size(); ++i) {
+    enc.PutString(node.keys[i]);
+    if (node.leaf) {
+      enc.PutString(node.values[i]);
+    }
+  }
+  return std::move(enc).Take();
+}
+
+Result<BTreeClient::Node> BTreeClient::DecodeNode(std::span<const uint8_t> data) {
+  WireDecoder dec(data);
+  Node node;
+  ASSIGN_OR_RETURN(uint8_t tag, dec.GetU8());
+  if (tag != kLeafTag && tag != kInternalTag) {
+    return CorruptError("not a B-tree node");
+  }
+  node.leaf = tag == kLeafTag;
+  ASSIGN_OR_RETURN(uint16_t n, dec.GetU16());
+  for (uint16_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::string key, dec.GetString());
+    node.keys.push_back(std::move(key));
+    if (node.leaf) {
+      ASSIGN_OR_RETURN(std::string value, dec.GetString());
+      node.values.push_back(std::move(value));
+    }
+  }
+  return node;
+}
+
+Result<BTreeClient::Node> BTreeClient::Load(FileClient& c, const Capability& version,
+                                            const PagePath& path) {
+  ASSIGN_OR_RETURN(FileClient::ReadResult page, c.ReadPage(version, path, /*want_refs=*/true));
+  ASSIGN_OR_RETURN(Node node, DecodeNode(page.data));
+  node.nchildren = page.nrefs;
+  return node;
+}
+
+Status BTreeClient::Store(FileClient& c, const Capability& version, const PagePath& path,
+                          const Node& node) {
+  return c.WritePage(version, path, EncodeNode(node));
+}
+
+Result<Capability> BTreeClient::Create() {
+  ASSIGN_OR_RETURN(Capability tree, files_->CreateFile());
+  auto stats = RunTransaction(files_, tree, [](FileClient& c, const Capability& v) {
+    Node empty;
+    return c.WritePage(v, PagePath::Root(), EncodeNode(empty));
+  });
+  RETURN_IF_ERROR(stats.status());
+  return tree;
+}
+
+Status BTreeClient::Put(const Capability& tree, const std::string& key,
+                        const std::string& value) {
+  auto stats = RunTransaction(
+      files_, tree, [&](FileClient& c, const Capability& v) -> Status {
+        // Preemptive top-down splitting: every full node on the way down is split before
+        // it is entered, so insertion never overflows upward.
+        ASSIGN_OR_RETURN(Node root, Load(c, v, PagePath::Root()));
+        const bool root_full = root.leaf ? root.keys.size() >= kMaxLeafEntries
+                                         : root.keys.size() >= kMaxSeparators;
+        if (root_full) {
+          // Push the root's contents down into a single child, then split that child.
+          RETURN_IF_ERROR(c.InsertRef(v, PagePath::Root(), 0));
+          RETURN_IF_ERROR(Store(c, v, PagePath({0}), root));
+          // The root's former children (if any) now sit at indices 1..n; move them under
+          // the new child, preserving order.
+          for (uint32_t moved = 0; moved < root.nchildren; ++moved) {
+            RETURN_IF_ERROR(c.MoveSubtree(v, PagePath({1}), PagePath({0}), moved));
+          }
+          Node new_root;
+          new_root.leaf = false;
+          RETURN_IF_ERROR(Store(c, v, PagePath::Root(), new_root));
+          Node hoisted = new_root;
+          hoisted.nchildren = 1;
+          RETURN_IF_ERROR(SplitChild(c, v, PagePath::Root(), &hoisted, 0));
+        }
+
+        PagePath path = PagePath::Root();
+        for (int depth = 0; depth < 64; ++depth) {
+          ASSIGN_OR_RETURN(Node node, Load(c, v, path));
+          if (node.leaf) {
+            auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+            size_t index = static_cast<size_t>(it - node.keys.begin());
+            if (it != node.keys.end() && *it == key) {
+              node.values[index] = value;
+            } else {
+              node.keys.insert(it, key);
+              node.values.insert(node.values.begin() + index, value);
+            }
+            return Store(c, v, path, node);
+          }
+          size_t child = ChildIndexFor(node.keys, key);
+          PagePath child_path = path.Child(static_cast<uint32_t>(child));
+          ASSIGN_OR_RETURN(Node child_node, Load(c, v, child_path));
+          const bool child_full = child_node.leaf
+                                      ? child_node.keys.size() >= kMaxLeafEntries
+                                      : child_node.keys.size() >= kMaxSeparators;
+          if (child_full) {
+            RETURN_IF_ERROR(SplitChild(c, v, path, &node, child));
+            if (key >= node.keys[child]) {
+              ++child;
+            }
+            child_path = path.Child(static_cast<uint32_t>(child));
+          }
+          path = child_path;
+        }
+        return InternalError("B-tree deeper than 64 levels");
+      });
+  return stats.status();
+}
+
+Status BTreeClient::SplitChild(FileClient& c, const Capability& v, const PagePath& parent_path,
+                               Node* parent, size_t child_index) {
+  PagePath child_path = parent_path.Child(static_cast<uint32_t>(child_index));
+  ASSIGN_OR_RETURN(Node child, Load(c, v, child_path));
+  size_t mid = child.keys.size() / 2;
+
+  Node left;
+  Node right;
+  std::string separator;
+  left.leaf = right.leaf = child.leaf;
+  if (child.leaf) {
+    // B+-style leaf split: the separator is copied up, both halves keep their pairs.
+    separator = child.keys[mid];
+    left.keys.assign(child.keys.begin(), child.keys.begin() + mid);
+    left.values.assign(child.values.begin(), child.values.begin() + mid);
+    right.keys.assign(child.keys.begin() + mid, child.keys.end());
+    right.values.assign(child.values.begin() + mid, child.values.end());
+  } else {
+    // Internal split: the middle separator moves up.
+    separator = child.keys[mid];
+    left.keys.assign(child.keys.begin(), child.keys.begin() + mid);
+    right.keys.assign(child.keys.begin() + mid + 1, child.keys.end());
+  }
+
+  // Make room for the right sibling and write both halves.
+  RETURN_IF_ERROR(c.InsertRef(v, parent_path, static_cast<uint32_t>(child_index) + 1));
+  PagePath right_path = parent_path.Child(static_cast<uint32_t>(child_index) + 1);
+  RETURN_IF_ERROR(Store(c, v, right_path, right));
+  if (!child.leaf) {
+    // Move the tail children (mid+1 .. n-1) under the right sibling, preserving order.
+    uint32_t to_move = child.nchildren - static_cast<uint32_t>(mid) - 1;
+    for (uint32_t moved = 0; moved < to_move; ++moved) {
+      RETURN_IF_ERROR(c.MoveSubtree(v, child_path.Child(static_cast<uint32_t>(mid) + 1),
+                                    right_path, moved));
+    }
+  }
+  RETURN_IF_ERROR(Store(c, v, child_path, left));
+
+  parent->keys.insert(parent->keys.begin() + child_index, separator);
+  parent->nchildren += 1;
+  return Store(c, v, parent_path, *parent);
+}
+
+Result<std::optional<std::string>> BTreeClient::Get(const Capability& tree,
+                                                    const std::string& key) {
+  ASSIGN_OR_RETURN(Capability current, files_->GetCurrentVersion(tree));
+  PagePath path = PagePath::Root();
+  for (int depth = 0; depth < 64; ++depth) {
+    ASSIGN_OR_RETURN(Node node, Load(*files_, current, path));
+    if (node.leaf) {
+      auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+      if (it != node.keys.end() && *it == key) {
+        return std::optional<std::string>(
+            node.values[static_cast<size_t>(it - node.keys.begin())]);
+      }
+      return std::optional<std::string>();
+    }
+    path = path.Child(static_cast<uint32_t>(ChildIndexFor(node.keys, key)));
+  }
+  return InternalError("B-tree deeper than 64 levels");
+}
+
+Status BTreeClient::Delete(const Capability& tree, const std::string& key) {
+  auto stats = RunTransaction(
+      files_, tree, [&](FileClient& c, const Capability& v) -> Status {
+        PagePath path = PagePath::Root();
+        for (int depth = 0; depth < 64; ++depth) {
+          ASSIGN_OR_RETURN(Node node, Load(c, v, path));
+          if (node.leaf) {
+            auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+            if (it == node.keys.end() || *it != key) {
+              return NotFoundError("no such key: " + key);
+            }
+            size_t index = static_cast<size_t>(it - node.keys.begin());
+            node.keys.erase(it);
+            node.values.erase(node.values.begin() + index);
+            return Store(c, v, path, node);
+          }
+          path = path.Child(static_cast<uint32_t>(ChildIndexFor(node.keys, key)));
+        }
+        return InternalError("B-tree deeper than 64 levels");
+      });
+  return stats.status();
+}
+
+Status BTreeClient::ScanRec(FileClient& c, const Capability& version, const PagePath& path,
+                            const std::string& first, const std::string& last,
+                            std::vector<std::pair<std::string, std::string>>* out) {
+  ASSIGN_OR_RETURN(Node node, Load(c, version, path));
+  if (node.leaf) {
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      if (node.keys[i] >= first && node.keys[i] <= last) {
+        out->emplace_back(node.keys[i], node.values[i]);
+      }
+    }
+    return OkStatus();
+  }
+  // Visit only children whose range intersects [first, last].
+  size_t from = ChildIndexFor(node.keys, first);
+  size_t to = ChildIndexFor(node.keys, last);
+  for (size_t child = from; child <= to && child < node.nchildren; ++child) {
+    RETURN_IF_ERROR(ScanRec(c, version, path.Child(static_cast<uint32_t>(child)), first, last,
+                            out));
+  }
+  return OkStatus();
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> BTreeClient::Scan(
+    const Capability& tree, const std::string& first, const std::string& last) {
+  ASSIGN_OR_RETURN(Capability current, files_->GetCurrentVersion(tree));
+  std::vector<std::pair<std::string, std::string>> out;
+  RETURN_IF_ERROR(ScanRec(*files_, current, PagePath::Root(), first, last, &out));
+  return out;
+}
+
+Result<size_t> BTreeClient::Size(const Capability& tree) {
+  ASSIGN_OR_RETURN(auto all, Scan(tree, std::string(1, '\0'), std::string(64, '\x7f')));
+  return all.size();
+}
+
+Result<int> BTreeClient::ValidateRec(FileClient& c, const Capability& version,
+                                     const PagePath& path, const std::string* lower,
+                                     const std::string* upper) {
+  ASSIGN_OR_RETURN(Node node, Load(c, version, path));
+  if (!std::is_sorted(node.keys.begin(), node.keys.end())) {
+    return CorruptError("unsorted node at " + path.ToString());
+  }
+  for (const std::string& key : node.keys) {
+    if ((lower != nullptr && key < *lower) || (upper != nullptr && key > *upper)) {
+      return CorruptError("key outside separator range at " + path.ToString());
+    }
+  }
+  if (node.leaf) {
+    if (node.nchildren != 0) {
+      return CorruptError("leaf with children at " + path.ToString());
+    }
+    return 1;
+  }
+  if (node.nchildren != node.keys.size() + 1) {
+    return CorruptError("internal node child/separator mismatch at " + path.ToString());
+  }
+  int depth = -1;
+  for (size_t child = 0; child < node.nchildren; ++child) {
+    const std::string* child_lower = child == 0 ? lower : &node.keys[child - 1];
+    const std::string* child_upper = child == node.keys.size() ? upper : &node.keys[child];
+    ASSIGN_OR_RETURN(int child_depth,
+                     ValidateRec(c, version, path.Child(static_cast<uint32_t>(child)),
+                                 child_lower, child_upper));
+    if (depth == -1) {
+      depth = child_depth;
+    } else if (depth != child_depth) {
+      return CorruptError("uneven leaf depth under " + path.ToString());
+    }
+  }
+  return depth + 1;
+}
+
+Result<int> BTreeClient::Validate(const Capability& tree) {
+  ASSIGN_OR_RETURN(Capability current, files_->GetCurrentVersion(tree));
+  return ValidateRec(*files_, current, PagePath::Root(), nullptr, nullptr);
+}
+
+}  // namespace afs

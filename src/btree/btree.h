@@ -1,0 +1,95 @@
+// BTreeClient: an ordered key-value map stored in an AFS page tree — the paper's claim
+// made executable: "Using the file structure provided by the Amoeba File Service, objects
+// ranging from linear files to B-trees can easily be represented" (§5).
+//
+// Layout: every page is one B+-tree node. Leaf pages hold sorted (key, value) pairs in
+// their data and no references; internal pages hold the separator keys in their data and
+// their children in the reference table (children = separators + 1). The root node is the
+// file's root page, so the tree grows by *pushing the root's contents down* into two new
+// children. Every mutation is one atomic AFS transaction: structural node splits are
+// ordinary InsertRef/WritePage calls, and concurrent updates of *different* leaves commit
+// concurrently under the optimistic machinery, while updates that split the same node
+// conflict and redo — the database-workload story of §2 in miniature.
+
+#ifndef SRC_BTREE_BTREE_H_
+#define SRC_BTREE_BTREE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/client/file_client.h"
+
+namespace afs {
+
+class BTreeClient {
+ public:
+  // Maximum (key, value) pairs per leaf and separators per internal node before a split.
+  static constexpr size_t kMaxLeafEntries = 16;
+  static constexpr size_t kMaxSeparators = 16;
+
+  explicit BTreeClient(FileClient* files) : files_(files) {}
+
+  // Create an empty tree (one empty leaf as the root).
+  Result<Capability> Create();
+
+  // Insert or overwrite.
+  Status Put(const Capability& tree, const std::string& key, const std::string& value);
+
+  // Point lookup against the current committed state.
+  Result<std::optional<std::string>> Get(const Capability& tree, const std::string& key);
+
+  // Remove a key (no rebalancing: underfull nodes are tolerated, as in many production
+  // B-trees; space comes back when a later split rewrites the region).
+  Status Delete(const Capability& tree, const std::string& key);
+
+  // All pairs with first <= key <= last, in order.
+  Result<std::vector<std::pair<std::string, std::string>>> Scan(const Capability& tree,
+                                                                const std::string& first,
+                                                                const std::string& last);
+
+  // Number of keys (full walk).
+  Result<size_t> Size(const Capability& tree);
+
+  // Structural self-check of the committed tree: sorted nodes, separator sanity,
+  // children counts. Returns the tree depth.
+  Result<int> Validate(const Capability& tree);
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::string> keys;    // leaf: keys; internal: separators
+    std::vector<std::string> values;  // leaf only, parallel to keys
+    uint32_t nchildren = 0;           // internal only (from the page's reference table)
+  };
+
+  static std::vector<uint8_t> EncodeNode(const Node& node);
+  static Result<Node> DecodeNode(std::span<const uint8_t> data);
+
+  // Read + decode the node at `path` in `version`.
+  Result<Node> Load(FileClient& c, const Capability& version, const PagePath& path);
+  // Encode + write the node at `path`.
+  Status Store(FileClient& c, const Capability& version, const PagePath& path,
+               const Node& node);
+
+  // Split the (full) child at `parent_path`/`child_index`: a new right sibling is inserted
+  // at child_index + 1, the separator is hoisted into *parent, and for internal children
+  // the tail grandchildren are moved across with MoveSubtree. Preemptive top-down
+  // splitting keeps insertion a single downward pass.
+  Status SplitChild(FileClient& c, const Capability& v, const PagePath& parent_path,
+                    Node* parent, size_t child_index);
+
+  Status ScanRec(FileClient& c, const Capability& version, const PagePath& path,
+                 const std::string& first, const std::string& last,
+                 std::vector<std::pair<std::string, std::string>>* out);
+
+  Result<int> ValidateRec(FileClient& c, const Capability& version, const PagePath& path,
+                          const std::string* lower, const std::string* upper);
+
+  FileClient* files_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_BTREE_BTREE_H_

@@ -1,0 +1,39 @@
+#include "src/client/cached_client.h"
+
+namespace afs {
+
+CachedFileClient::CachedFileClient(Network* network, std::vector<Port> servers)
+    : client_(network, std::move(servers)) {}
+
+Result<size_t> CachedFileClient::Revalidate(const Capability& file) {
+  const uint64_t file_id = file.object;
+  BlockNo cached = cache_.VersionOf(file_id);
+  if (cached == kNilRef) {
+    return static_cast<size_t>(0);
+  }
+  std::vector<PagePath> paths = cache_.PathsOf(file_id);
+  ++validations_;
+  ASSIGN_OR_RETURN(FileClient::CacheCheck check, client_.ValidateCache(file, cached, paths));
+  cache_.ApplyValidation(file_id, static_cast<BlockNo>(check.current_version.object),
+                         check.invalid);
+  return check.invalid.size();
+}
+
+Result<std::vector<uint8_t>> CachedFileClient::Read(const Capability& file,
+                                                    const PagePath& path) {
+  const uint64_t file_id = file.object;
+  if (cache_.VersionOf(file_id) != kNilRef) {
+    RETURN_IF_ERROR(Revalidate(file).status());
+    auto hit = cache_.Get(file_id, path);
+    if (hit.has_value()) {
+      return *hit;
+    }
+  }
+  // Miss: fetch from the current version and install.
+  ASSIGN_OR_RETURN(Capability version, client_.GetCurrentVersion(file));
+  ASSIGN_OR_RETURN(FileClient::ReadResult result, client_.ReadPage(version, path));
+  cache_.Put(file_id, static_cast<BlockNo>(version.object), path, result.data);
+  return result.data;
+}
+
+}  // namespace afs

@@ -1,0 +1,45 @@
+// CachedFileClient: FileClient plus the §5.4 client-side page cache.
+//
+// Reads of committed data are served from the local cache after a single validation
+// round-trip per (file, current-version) pair: "The integrity of the cache is checked at
+// the start of a transaction. The cost of checking whether the cache is up-to-date is
+// small, even for files that are frequently modified." For unshared files the check
+// degenerates to comparing version stamps — the paper's "null operation".
+
+#ifndef SRC_CLIENT_CACHED_CLIENT_H_
+#define SRC_CLIENT_CACHED_CLIENT_H_
+
+#include <memory>
+
+#include "src/client/file_client.h"
+#include "src/core/cache.h"
+
+namespace afs {
+
+class CachedFileClient {
+ public:
+  CachedFileClient(Network* network, std::vector<Port> servers);
+
+  // Read a page of the file's current version, serving from cache when the cached entry
+  // validates. Exactly one ValidateCache round-trip happens per call when the cache holds
+  // anything for the file; pages proven valid are not transferred again.
+  Result<std::vector<uint8_t>> Read(const Capability& file, const PagePath& path);
+
+  // Validate the file's cache entry against the current version without reading anything.
+  // Returns the number of pages discarded.
+  Result<size_t> Revalidate(const Capability& file);
+
+  FileClient& client() { return client_; }
+  PageCache& cache() { return cache_; }
+
+  uint64_t validation_round_trips() const { return validations_; }
+
+ private:
+  FileClient client_;
+  PageCache cache_;
+  uint64_t validations_ = 0;
+};
+
+}  // namespace afs
+
+#endif  // SRC_CLIENT_CACHED_CLIENT_H_

@@ -1,0 +1,265 @@
+#include "src/client/file_client.h"
+
+#include <functional>
+
+#include "src/base/wire.h"
+#include "src/core/protocol.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+namespace {
+
+bool IsConnectivityError(const Status& s) {
+  switch (s.code()) {
+    case ErrorCode::kCrashed:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FileClient::FileClient(Network* network, std::vector<Port> servers)
+    : network_(network), servers_(std::move(servers)) {}
+
+template <typename T>
+Result<T> FileClient::WithServer(const std::function<Result<T>(Port)>& op) {
+  size_t start = preferred_;
+  Status last = UnavailableError("no file servers configured");
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    size_t idx = (start + i) % servers_.size();
+    Result<T> result = op(servers_[idx]);
+    if (result.ok() || !IsConnectivityError(result.status())) {
+      preferred_ = idx;
+      return result;
+    }
+    last = result.status();
+  }
+  return last;
+}
+
+Result<Capability> FileClient::CreateFile() {
+  return WithServer<Capability>([&](Port server) -> Result<Capability> {
+    ASSIGN_OR_RETURN(WireDecoder reply,
+                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kCreateFile),
+                                  WireEncoder()));
+    return reply.GetCapability();
+  });
+}
+
+Status FileClient::DeleteFile(const Capability& file) {
+  return WithServer<bool>([&](Port server) -> Result<bool> {
+           WireEncoder req;
+           req.PutCapability(file);
+           RETURN_IF_ERROR(CallAndCheck(network_, server,
+                                        static_cast<uint32_t>(FileOp::kDeleteFile),
+                                        std::move(req))
+                               .status());
+           return true;
+         })
+      .status();
+}
+
+Result<Capability> FileClient::GetCurrentVersion(const Capability& file) {
+  return WithServer<Capability>([&](Port server) -> Result<Capability> {
+    WireEncoder req;
+    req.PutCapability(file);
+    ASSIGN_OR_RETURN(WireDecoder reply,
+                     CallAndCheck(network_, server,
+                                  static_cast<uint32_t>(FileOp::kGetCurrentVersion),
+                                  std::move(req)));
+    return reply.GetCapability();
+  });
+}
+
+Result<Capability> FileClient::CreateVersion(const Capability& file, Port owner_port,
+                                             bool respect_soft_lock) {
+  return WithServer<Capability>([&](Port server) -> Result<Capability> {
+    WireEncoder req;
+    req.PutCapability(file);
+    req.PutU64(owner_port);
+    req.PutU8(respect_soft_lock ? 1 : 0);
+    ASSIGN_OR_RETURN(WireDecoder reply,
+                     CallAndCheck(network_, server,
+                                  static_cast<uint32_t>(FileOp::kCreateVersion),
+                                  std::move(req)));
+    return reply.GetCapability();
+  });
+}
+
+Result<FileClient::ReadResult> FileClient::ReadPage(const Capability& version,
+                                                    const PagePath& path, bool want_refs) {
+  WireEncoder req;
+  req.PutCapability(version);
+  path.Encode(&req);
+  req.PutU8(want_refs ? 1 : 0);
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(network_, version.port,
+                                static_cast<uint32_t>(FileOp::kReadPage), std::move(req)));
+  ReadResult out;
+  ASSIGN_OR_RETURN(out.nrefs, reply.GetU32());
+  ASSIGN_OR_RETURN(out.data, reply.GetBytes());
+  return out;
+}
+
+Status FileClient::WritePage(const Capability& version, const PagePath& path,
+                             std::span<const uint8_t> data) {
+  WireEncoder req;
+  req.PutCapability(version);
+  path.Encode(&req);
+  req.PutBytes(data);
+  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kWritePage),
+                      std::move(req))
+      .status();
+}
+
+Status FileClient::WriteString(const Capability& version, const PagePath& path,
+                               std::string_view text) {
+  return WritePage(version, path,
+                   std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(text.data()),
+                                            text.size()));
+}
+
+Result<std::string> FileClient::ReadString(const Capability& version, const PagePath& path) {
+  ASSIGN_OR_RETURN(ReadResult result, ReadPage(version, path));
+  return std::string(result.data.begin(), result.data.end());
+}
+
+Status FileClient::InsertRef(const Capability& version, const PagePath& parent,
+                             uint32_t index) {
+  WireEncoder req;
+  req.PutCapability(version);
+  parent.Encode(&req);
+  req.PutU32(index);
+  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kInsertRef),
+                      std::move(req))
+      .status();
+}
+
+Status FileClient::RemoveRef(const Capability& version, const PagePath& parent,
+                             uint32_t index) {
+  WireEncoder req;
+  req.PutCapability(version);
+  parent.Encode(&req);
+  req.PutU32(index);
+  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kRemoveRef),
+                      std::move(req))
+      .status();
+}
+
+Result<std::vector<uint8_t>> FileClient::ReadRefs(const Capability& version,
+                                                  const PagePath& path) {
+  WireEncoder req;
+  req.PutCapability(version);
+  path.Encode(&req);
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(network_, version.port,
+                                static_cast<uint32_t>(FileOp::kReadRefs), std::move(req)));
+  ASSIGN_OR_RETURN(uint32_t n, reply.GetU32());
+  std::vector<uint8_t> masks;
+  masks.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint8_t mask, reply.GetU8());
+    masks.push_back(mask);
+  }
+  return masks;
+}
+
+Status FileClient::MoveSubtree(const Capability& version, const PagePath& from,
+                               const PagePath& to_parent, uint32_t index) {
+  WireEncoder req;
+  req.PutCapability(version);
+  from.Encode(&req);
+  to_parent.Encode(&req);
+  req.PutU32(index);
+  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kMoveSubtree),
+                      std::move(req))
+      .status();
+}
+
+Status FileClient::SplitPage(const Capability& version, const PagePath& path,
+                             uint32_t data_offset, uint32_t ref_index) {
+  WireEncoder req;
+  req.PutCapability(version);
+  path.Encode(&req);
+  req.PutU32(data_offset);
+  req.PutU32(ref_index);
+  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kSplitPage),
+                      std::move(req))
+      .status();
+}
+
+Result<BlockNo> FileClient::Commit(const Capability& version) {
+  WireEncoder req;
+  req.PutCapability(version);
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(network_, version.port,
+                                static_cast<uint32_t>(FileOp::kCommit), std::move(req)));
+  return reply.GetU32();
+}
+
+Status FileClient::Abort(const Capability& version) {
+  WireEncoder req;
+  req.PutCapability(version);
+  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kAbort),
+                      std::move(req))
+      .status();
+}
+
+Result<Capability> FileClient::CreateSubFile(const Capability& version, const PagePath& parent,
+                                             uint32_t index) {
+  WireEncoder req;
+  req.PutCapability(version);
+  parent.Encode(&req);
+  req.PutU32(index);
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(network_, version.port,
+                                static_cast<uint32_t>(FileOp::kCreateSubFile), std::move(req)));
+  return reply.GetCapability();
+}
+
+Result<FileClient::CacheCheck> FileClient::ValidateCache(
+    const Capability& file, BlockNo cached_head, const std::vector<PagePath>& cached_paths) {
+  return WithServer<CacheCheck>([&](Port server) -> Result<CacheCheck> {
+    WireEncoder req;
+    req.PutCapability(file);
+    req.PutU32(cached_head);
+    req.PutU32(static_cast<uint32_t>(cached_paths.size()));
+    for (const PagePath& path : cached_paths) {
+      path.Encode(&req);
+    }
+    ASSIGN_OR_RETURN(WireDecoder reply,
+                     CallAndCheck(network_, server,
+                                  static_cast<uint32_t>(FileOp::kValidateCache),
+                                  std::move(req)));
+    CacheCheck out;
+    ASSIGN_OR_RETURN(out.current_version, reply.GetCapability());
+    ASSIGN_OR_RETURN(uint32_t n, reply.GetU32());
+    for (uint32_t i = 0; i < n; ++i) {
+      ASSIGN_OR_RETURN(PagePath path, PagePath::Decode(&reply));
+      out.invalid.push_back(std::move(path));
+    }
+    return out;
+  });
+}
+
+Result<FileClient::FileStatInfo> FileClient::FileStat(const Capability& file) {
+  return WithServer<FileStatInfo>([&](Port server) -> Result<FileStatInfo> {
+    WireEncoder req;
+    req.PutCapability(file);
+    ASSIGN_OR_RETURN(WireDecoder reply,
+                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kFileStat),
+                                  std::move(req)));
+    FileStatInfo info;
+    ASSIGN_OR_RETURN(info.current_head, reply.GetU32());
+    ASSIGN_OR_RETURN(info.committed_versions, reply.GetU32());
+    ASSIGN_OR_RETURN(uint8_t is_super, reply.GetU8());
+    info.is_super = is_super != 0;
+    return info;
+  });
+}
+
+}  // namespace afs

@@ -1,0 +1,92 @@
+// FileClient: client-side stub of the Amoeba File Service.
+//
+// Holds the ports of one or more file servers of the same service group. Version
+// operations are routed to the version's managing server (the capability's port field);
+// file-level operations go to any live server, failing over on crash — "Clients do not
+// have to wait until the server is restored, because they can use another server to do it"
+// (§3.1).
+
+#ifndef SRC_CLIENT_FILE_CLIENT_H_
+#define SRC_CLIENT_FILE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/status.h"
+#include "src/core/flags.h"
+#include "src/core/path.h"
+#include "src/rpc/network.h"
+
+namespace afs {
+
+class FileClient {
+ public:
+  FileClient(Network* network, std::vector<Port> servers);
+
+  // --- file lifecycle ---
+  Result<Capability> CreateFile();
+  Status DeleteFile(const Capability& file);
+  Result<Capability> GetCurrentVersion(const Capability& file);
+  Result<Capability> CreateVersion(const Capability& file, Port owner_port = kNullPort,
+                                   bool respect_soft_lock = false);
+
+  // --- page access ---
+  struct ReadResult {
+    uint32_t nrefs = 0;
+    std::vector<uint8_t> data;
+  };
+  Result<ReadResult> ReadPage(const Capability& version, const PagePath& path,
+                              bool want_refs = false);
+  Status WritePage(const Capability& version, const PagePath& path,
+                   std::span<const uint8_t> data);
+  Status WriteString(const Capability& version, const PagePath& path, std::string_view text);
+  Result<std::string> ReadString(const Capability& version, const PagePath& path);
+  Status InsertRef(const Capability& version, const PagePath& parent, uint32_t index);
+  Status RemoveRef(const Capability& version, const PagePath& parent, uint32_t index);
+  Result<std::vector<uint8_t>> ReadRefs(const Capability& version, const PagePath& path);
+  Status MoveSubtree(const Capability& version, const PagePath& from,
+                     const PagePath& to_parent, uint32_t index);
+  Status SplitPage(const Capability& version, const PagePath& path, uint32_t data_offset,
+                   uint32_t ref_index);
+
+  // --- transactions ---
+  Result<BlockNo> Commit(const Capability& version);
+  Status Abort(const Capability& version);
+  Result<Capability> CreateSubFile(const Capability& version, const PagePath& parent,
+                                   uint32_t index);
+
+  // --- cache validation (§5.4) ---
+  struct CacheCheck {
+    Capability current_version;
+    std::vector<PagePath> invalid;
+  };
+  Result<CacheCheck> ValidateCache(const Capability& file, BlockNo cached_head,
+                                   const std::vector<PagePath>& cached_paths);
+
+  struct FileStatInfo {
+    BlockNo current_head = kNilRef;
+    uint32_t committed_versions = 0;
+    bool is_super = false;
+  };
+  Result<FileStatInfo> FileStat(const Capability& file);
+
+  Network* network() const { return network_; }
+  const std::vector<Port>& servers() const { return servers_; }
+
+ private:
+  // Run `op` against a file server, failing over across the group on connectivity errors.
+  template <typename T>
+  Result<T> WithServer(const std::function<Result<T>(Port)>& op);
+
+  Network* network_;
+  std::vector<Port> servers_;
+  size_t preferred_ = 0;
+};
+
+}  // namespace afs
+
+#endif  // SRC_CLIENT_FILE_CLIENT_H_

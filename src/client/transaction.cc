@@ -1,0 +1,81 @@
+#include "src/client/transaction.h"
+
+#include <thread>
+
+#include "src/base/rng.h"
+
+namespace afs {
+namespace {
+
+bool ShouldRedo(const Status& s) {
+  switch (s.code()) {
+    case ErrorCode::kConflict:
+    case ErrorCode::kLocked:
+    case ErrorCode::kCrashed:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kAborted:  // version lost in a server crash
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<TransactionStats> RunTransaction(FileClient* client, const Capability& file,
+                                        const UpdateBody& body,
+                                        const TransactionOptions& options) {
+  TransactionStats stats;
+  Rng rng(options.backoff_seed);
+  Network* net = client->network();
+
+  Status last = InternalError("transaction never attempted");
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    ++stats.attempts;
+    // The transaction port identifies this update in top/inner lock fields; if this client
+    // dies, the port dies, and waiters recover the locks (§5.3).
+    Port tx_port = net->AllocatePort();
+
+    auto version = client->CreateVersion(file, tx_port, options.respect_soft_lock);
+    Status step = version.ok() ? OkStatus() : version.status();
+    if (step.ok()) {
+      step = body(*client, *version);
+      if (step.ok()) {
+        auto committed = client->Commit(*version);
+        if (committed.ok()) {
+          net->ClosePort(tx_port);
+          stats.committed_head = *committed;
+          return stats;
+        }
+        step = committed.status();
+      } else {
+        (void)client->Abort(*version);
+      }
+    }
+    net->ClosePort(tx_port);
+    last = step;
+    if (!ShouldRedo(step)) {
+      return step;
+    }
+    switch (step.code()) {
+      case ErrorCode::kConflict:
+        ++stats.conflicts;
+        break;
+      case ErrorCode::kLocked:
+        ++stats.lock_waits;
+        break;
+      default:
+        ++stats.crash_redos;
+        break;
+    }
+    // Randomised exponential backoff, capped; conflicts in OCC resolve fastest with a
+    // short, jittered wait.
+    uint64_t shift = std::min(attempt, 8);
+    uint64_t wait = options.initial_backoff.count() << shift;
+    std::this_thread::sleep_for(std::chrono::microseconds(rng.NextInRange(wait / 2, wait)));
+  }
+  return last;
+}
+
+}  // namespace afs

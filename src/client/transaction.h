@@ -1,0 +1,50 @@
+// Transaction: the client-side redo loop the optimistic method requires.
+//
+// "Some updates will have to be redone when concurrent updates are not serialisable, but
+// with the unbounded potential of computing power that distributed systems offer, redoing
+// an operation now and then is acceptable" (§6). The loop:
+//   1. allocate a transaction port (the update's identity for locks-made-of-ports),
+//   2. create a version, 3. run the caller's update body, 4. commit;
+//   on kConflict redo from 2 (fresh version, re-reading current data);
+//   on kLocked wait briefly and redo (lock waiter);
+//   on kCrashed redo through another server ("clients need only redo the update that
+//   remained unfinished because of the crash").
+
+#ifndef SRC_CLIENT_TRANSACTION_H_
+#define SRC_CLIENT_TRANSACTION_H_
+
+#include <chrono>
+#include <functional>
+
+#include "src/client/file_client.h"
+
+namespace afs {
+
+struct TransactionOptions {
+  int max_attempts = 64;
+  std::chrono::microseconds initial_backoff{100};
+  // §5.3 soft locking: defer this update while another update's top-lock hint is set.
+  bool respect_soft_lock = false;
+  uint64_t backoff_seed = 42;
+};
+
+struct TransactionStats {
+  int attempts = 0;         // total tries (1 = first-try success)
+  int conflicts = 0;        // serialisability conflicts redone
+  int lock_waits = 0;       // kLocked retries
+  int crash_redos = 0;      // kCrashed redos
+  BlockNo committed_head = kNilRef;
+};
+
+// The update body reads and writes through `client` on `version`. Returning a non-ok
+// status aborts the transaction (no retry unless it is kConflict/kLocked/kCrashed).
+using UpdateBody = std::function<Status(FileClient&, const Capability& version)>;
+
+// Run one atomic update on `file` to completion (or exhaustion of attempts).
+Result<TransactionStats> RunTransaction(FileClient* client, const Capability& file,
+                                        const UpdateBody& body,
+                                        const TransactionOptions& options = {});
+
+}  // namespace afs
+
+#endif  // SRC_CLIENT_TRANSACTION_H_

@@ -1,0 +1,65 @@
+// Client/server page cache (paper §5.4).
+//
+// "For each file, a server or a private client can make a cache entry, consisting of pages
+// of the most recent version it has had locally. When a request for a new version of the
+// file is made, a serialisability test is made between the cache entry and the current
+// version in order to find out which blocks of the cache are still valid." The test itself
+// runs on a file server (kValidateCache); this class is the client-side store the test
+// prunes. No unsolicited messages are ever needed: the cache is checked at the *start* of
+// an update, pull-style.
+
+#ifndef SRC_CORE_CACHE_H_
+#define SRC_CORE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/core/flags.h"
+#include "src/core/path.h"
+
+namespace afs {
+
+class PageCache {
+ public:
+  struct Entry {
+    BlockNo version_head = kNilRef;           // version the pages were read from
+    std::map<PagePath, std::vector<uint8_t>> pages;
+  };
+
+  // Store/refresh a page under the file's cache entry. If the entry is for an older
+  // version it is rebased: pages are kept (they will be validated on next use) and the
+  // version stamp advances.
+  void Put(uint64_t file_id, BlockNo version_head, const PagePath& path,
+           std::vector<uint8_t> data);
+
+  std::optional<std::vector<uint8_t>> Get(uint64_t file_id, const PagePath& path) const;
+
+  // Version the entry was last validated against; kNilRef if no entry.
+  BlockNo VersionOf(uint64_t file_id) const;
+
+  // All cached paths for the file (input to kValidateCache).
+  std::vector<PagePath> PathsOf(uint64_t file_id) const;
+
+  // Apply a validation result: discard `invalid`, stamp the entry with `new_head`.
+  void ApplyValidation(uint64_t file_id, BlockNo new_head,
+                       const std::vector<PagePath>& invalid);
+
+  void Drop(uint64_t file_id);
+  void Clear();
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> entries_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace afs
+
+#endif  // SRC_CORE_CACHE_H_

@@ -1,0 +1,294 @@
+// FileServer: the Amoeba File Service (paper §5) — the system's primary contribution.
+//
+// One FileServer is one server process of the service group. Several FileServers may share
+// the same block storage (and capability secret); each manages the versions it created
+// ("M.b, V.b's managing server"), while files and committed versions are global state on
+// the shared store. A crashed file server loses only its uncommitted versions; clients
+// redo those updates through another server (§5.4.1).
+//
+// On-disk structures:
+//   * File table — one page (PageKind::kPlain with a magic tag) listing, per file:
+//     file id, oldest retained version head, and the is-super-file bit. "Access paths to
+//     committed versions go through the replicated file table"; the current version is
+//     found by following commit references from the oldest retained version, maintaining
+//     the Figure 4 invariant that the current version's commit reference is nil.
+//   * Version pages and page trees as described in page.h.
+//
+// Concurrency control, exactly as §5.2/§5.3:
+//   * Small files: optimistic. Commit's only critical section is test-and-set of the base
+//     version's commit reference (implemented by lock/read/modify/write/unlock on the
+//     version page's head block). On a set commit reference the server serialises the
+//     update against the committed successor and merges the trees in one pass, repeating
+//     down the chain until it wins or a real conflict is found.
+//   * Super-files: top/inner locks made of ports. A waiter that finds a lock whose port has
+//     died performs the §5.3 recovery itself: clear the lock if the commit reference is
+//     unset, finish the crashed commit if it is set.
+
+#ifndef SRC_CORE_FILE_SERVER_H_
+#define SRC_CORE_FILE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/rng.h"
+#include "src/block/block_store.h"
+#include "src/core/page.h"
+#include "src/core/page_store.h"
+#include "src/core/path.h"
+#include "src/rpc/service.h"
+
+namespace afs {
+
+struct FileServerOptions {
+  // Shared secret of the file service group; all servers of one cluster must agree.
+  uint64_t group_secret = 0x5afe5ec7e7ull;
+  // Reshare pages that were copied but never written or modified back to the base version
+  // at commit time (§5.1's GC rule, applied eagerly). Ablation A2.
+  bool reshare_on_commit = true;
+  // Cache committed (immutable) pages in memory so serialisability and cache-validation
+  // tests run "without having to read the page tree" (§5.4's flag-bit cache). Ablation A3.
+  bool cache_committed_pages = true;
+  size_t committed_cache_capacity = 4096;
+  // §5.3 relaxation: allow creating a version of a super-file even when its top lock is
+  // set; "the optimistic concurrency control which still lurks underneath this locking
+  // mechanism will see to it that no harm is done".
+  bool relaxed_superfile_locking = false;
+};
+
+class FileServer : public Service {
+ public:
+  FileServer(Network* network, std::string name, BlockStore* blocks,
+             FileServerOptions options = {});
+  ~FileServer() override;
+
+  // Attach to the shared store: find the file table (by scanning the account's blocks, the
+  // §4 recovery operation) or create a fresh one. Must be called once after Start().
+  Status AttachStore();
+
+  // ----- Direct (in-process) API -------------------------------------------
+  // The RPC handlers call straight into these; tests, benches and co-located layers may
+  // use them directly to factor out transport cost. All methods are thread-safe.
+
+  Result<Capability> CreateFile();
+  Status DeleteFile(const Capability& file);
+  Result<Capability> GetCurrentVersion(const Capability& file);
+  Result<Capability> CreateVersion(const Capability& file, Port owner_port,
+                                   bool respect_soft_lock);
+
+  struct ReadResult {
+    uint32_t nrefs = 0;
+    std::vector<uint8_t> data;
+  };
+  Result<ReadResult> ReadPage(const Capability& version, const PagePath& path, bool want_refs);
+  Status WritePage(const Capability& version, const PagePath& path,
+                   std::span<const uint8_t> data);
+  Status InsertRef(const Capability& version, const PagePath& parent, uint32_t index);
+  Status RemoveRef(const Capability& version, const PagePath& parent, uint32_t index);
+  Result<std::vector<uint8_t>> ReadRefs(const Capability& version, const PagePath& path);
+  Status MoveSubtree(const Capability& version, const PagePath& from, const PagePath& to_parent,
+                     uint32_t index);
+  // §5's "split pages into two": the page at `path` keeps data[0, data_offset) and
+  // refs[0, ref_index); a new sibling inserted right after it in the parent receives the
+  // rest. Sets W and M on the split page, M on the parent.
+  Status SplitPage(const Capability& version, const PagePath& path, uint32_t data_offset,
+                   uint32_t ref_index);
+  // On success returns the committed version's head. On kConflict the version is removed
+  // ("V.b is removed, and its owner notified. The update can be retried on another
+  // version.").
+  Result<BlockNo> Commit(const Capability& version);
+  Status Abort(const Capability& version);
+  Result<Capability> CreateSubFile(const Capability& version, const PagePath& parent,
+                                   uint32_t index);
+
+  struct CacheCheck {
+    Capability current_version;
+    std::vector<PagePath> invalid;  // cached paths that must be discarded
+  };
+  Result<CacheCheck> ValidateCache(const Capability& file, BlockNo cached_head,
+                                   const std::vector<PagePath>& cached_paths);
+
+  struct FileStatInfo {
+    BlockNo current_head = kNilRef;
+    uint32_t committed_versions = 0;
+    bool is_super = false;
+  };
+  Result<FileStatInfo> FileStat(const Capability& file);
+
+  std::vector<BlockNo> ListUncommitted() const;
+
+  // ----- GC / test support ---------------------------------------------------
+
+  PageStore* page_store() { return &pages_; }
+  // Snapshot of the file table: (file id -> oldest retained head, is_super).
+  struct FileEntry {
+    uint64_t file_id = 0;
+    BlockNo oldest_head = kNilRef;
+    bool is_super = false;
+  };
+  std::vector<FileEntry> SnapshotFileTable();
+  // Rewrite a file's oldest-retained pointer (GC pruning).
+  Status SetOldestHead(uint64_t file_id, BlockNo new_oldest);
+  // Walk the committed chain of a file from its oldest retained version (oldest first).
+  Result<std::vector<BlockNo>> CommittedChain(uint64_t file_id);
+  // Blocks of the on-disk file table page chain (GC must not sweep them).
+  Result<std::vector<BlockNo>> FileTableBlocks();
+  const FileServerOptions& options() const { return options_; }
+  uint64_t serialise_tests_run() const;
+  uint64_t commits_fast_path() const;
+
+ protected:
+  Result<Message> Handle(const Message& request) override;
+  void OnRestart() override;
+
+ private:
+  struct VersionInfo {
+    uint64_t file_id = 0;
+    BlockNo head = kNilRef;
+    BlockNo base_head = kNilRef;
+    Port owner = kNullPort;
+    bool is_super_update = false;
+    // Serialises operations on one version; ops on different versions run in parallel.
+    std::shared_ptr<std::mutex> op_mu = std::make_shared<std::mutex>();
+    // Every page-chain head this version allocated. Abort frees exactly these — merged
+    // trees may share committed pages of other versions, which must never be freed.
+    std::vector<BlockNo> allocated_blocks;
+    // Sub-file version pages copied during this super-file update: old head -> new head.
+    std::vector<std::pair<BlockNo, BlockNo>> copied_subfiles;
+    // Sub-file version pages visited and inner-locked but not (yet) copied.
+    std::vector<BlockNo> locked_subfiles;
+    // Files created inside this (uncommitted) version; removed again on abort.
+    std::vector<uint64_t> created_subfiles;
+  };
+
+  // Guard for operating on one uncommitted version: holds the per-version mutex and the
+  // (node-stable) VersionInfo pointer. A null info means the version is not managed here
+  // (a committed snapshot, or lost in a crash).
+  struct VersionOpGuard {
+    std::unique_lock<std::mutex> lock;
+    VersionInfo* info = nullptr;
+  };
+  Result<VersionOpGuard> AcquireVersionOp(BlockNo head);
+
+  // --- capability helpers ---
+  Capability SignFileCap(uint64_t file_id);
+  Capability SignVersionCap(BlockNo head);
+  Status VerifyFileCap(const Capability& cap, uint32_t rights, uint64_t* file_id);
+  Status VerifyVersionCap(const Capability& cap, uint32_t rights, BlockNo* head);
+
+  // --- file table ---
+  Status LoadFileTable();
+  Status PersistFileTableLocked();  // requires table_mu_
+  Result<FileEntry> LookupFileLocked(uint64_t file_id);
+
+  // --- version chain ---
+  // Follow commit references from `from` to the chain's end; returns the current head.
+  Result<BlockNo> FindCurrentHead(uint64_t file_id);
+  Result<Page> LoadPage(BlockNo head);             // with committed-page cache
+  Result<Page> LoadPageUncached(BlockNo head);
+  void CacheCommittedPage(BlockNo head, const Page& page);
+  void UncachePage(BlockNo head);
+
+  // --- tree operations ---
+  struct WalkStep {
+    BlockNo bno = kNilRef;
+    Page page;
+    bool dirty = false;  // needs persisting (flags or refs changed during the walk)
+  };
+  // Persist the dirty steps of a walk (all private copies; in-place overwrites).
+  Status PersistSteps(std::vector<WalkStep>* steps);
+  // Descend `path` in version `head`, copying shared pages on the way (COW + flag
+  // bookkeeping). `final_access` is the flag(s) to set on the target's reference
+  // (kRead/kWritten/kSearched/kModified); `materialize_target` controls whether a hole at
+  // the final position is filled with a fresh page (writes) or reported (reads).
+  // Returns the chain of pages from root to target; all returned pages are already
+  // persisted with updated flags. `info` may be null for committed (read-only) walks, in
+  // which case no mutation is permitted (kReadOnly if the walk would need to copy).
+  Result<std::vector<WalkStep>> WalkPath(VersionInfo* info, BlockNo head, const PagePath& path,
+                                         uint8_t final_access, bool materialize_target);
+
+  // Copy-on-first-access of the child at refs[index] of `parent` (whose own head is
+  // parent_bno). Handles sub-file version pages: sets the inner lock on the shared current
+  // sub-version page first (§5.3) and records the copy in `info`.
+  Result<BlockNo> CopyChild(VersionInfo* info, WalkStep* parent, uint32_t index);
+
+  // --- block-level critical sections ---
+  // Mint a per-operation lock identity (a transaction port parent-linked to this server's
+  // port, so it dies with the server) and take the block lock, spinning briefly on
+  // contention. Every version-page read-modify-write goes through this.
+  Result<Port> AcquireBlockLock(BlockNo bno);
+  void ReleaseBlockLock(BlockNo bno, Port owner);
+
+  // --- locks (§5.3) ---
+  // Test the locking rules on the current version page and set the top lock.
+  // May perform dead-holder recovery.
+  Status AcquireUpdateLocks(uint64_t file_id, bool is_super, Port owner,
+                            bool respect_soft_lock, BlockNo* current_head);
+  Status SetInnerLock(BlockNo sub_head, Port owner);
+  Status ClearInnerLock(BlockNo sub_head, Port owner);
+  Status ClearTopLock(BlockNo head, Port owner);
+  // §5.3 waiter recovery: the holder of `locked_head`'s top lock died. If its commit
+  // reference is set, finish the crashed super-file commit; otherwise just clear the lock.
+  Status RecoverDeadTopLock(BlockNo locked_head, const Page& locked_page);
+
+  // --- commit (§5.2) ---
+  // One test-and-set attempt on base_head's commit reference. Returns:
+  //   ok(true)   — commit reference set, V.b is now current.
+  //   ok(false)  — base already superseded; *successor receives the next version.
+  Result<bool> TestAndSetCommitRef(BlockNo base_head, BlockNo new_head, BlockNo* successor);
+  // After a super-file version committed: descend, commit the copied sub-files ("these
+  // commits always succeed"), clear remaining inner locks.
+  Status FinishSuperCommit(VersionInfo* info);
+  // §5.1 GC rule applied eagerly: reshare copied-but-unchanged subtrees with the base.
+  Status ReshareCleanPages(BlockNo head);
+  // Post-order reshare helper; returns whether `page` changed, and reports via
+  // `subtree_clean` whether the page's subtree contains no writes or modifications.
+  Result<bool> ReshareSubtree(Page* page, bool* subtree_clean);
+  // Abort with the version's op mutex already held.
+  Status AbortLocked(VersionInfo* info);
+  // Free the private (copied, unshared) pages of an uncommitted version.
+  Status FreePrivatePages(BlockNo head);
+
+  // --- cache validation (§5.4) ---
+  // True if committed version `head`'s update wrote the page at `path` or restructured one
+  // of its ancestors.
+  Result<bool> VersionWrotePath(BlockNo head, const PagePath& path);
+  Result<bool> VersionWrotePathFromRoot(const Page& root, const PagePath& path);
+
+  // --- RPC plumbing ---
+  Result<Message> Dispatch(const Message& request);
+
+  BlockStore* blocks_;
+  PageStore pages_;
+  FileServerOptions options_;
+  CapabilitySigner file_signer_;
+  CapabilitySigner version_signer_;
+  Rng rng_;
+
+  mutable std::mutex table_mu_;
+  BlockNo table_head_ = kNilRef;
+  std::map<uint64_t, FileEntry> files_;
+  std::unordered_map<uint64_t, BlockNo> current_cache_;  // file id -> last known current
+
+  mutable std::mutex versions_mu_;
+  std::unordered_map<BlockNo, VersionInfo> uncommitted_;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<BlockNo, Page> committed_cache_;
+  std::vector<BlockNo> cache_lru_;  // simple clock-ish eviction
+
+  mutable std::mutex stats_mu_;
+  uint64_t serialise_tests_ = 0;
+  uint64_t fast_commits_ = 0;
+
+  friend class Serialiser;
+};
+
+}  // namespace afs
+
+#endif  // SRC_CORE_FILE_SERVER_H_

@@ -1,0 +1,433 @@
+// FileServer commit path (§5.2), super-file commit completion (§5.3), abort, the §5.1
+// reshare rule, cache validation (§5.4), and the RPC surface.
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <unordered_set>
+
+#include "src/base/wire.h"
+#include "src/core/file_server.h"
+#include "src/core/protocol.h"
+#include "src/core/serialise.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+
+// ---------------------------------------------------------------------------
+// Commit (§5.2)
+// ---------------------------------------------------------------------------
+
+Result<bool> FileServer::TestAndSetCommitRef(BlockNo base_head, BlockNo new_head,
+                                             BlockNo* successor) {
+  // "This is the only critical section in version commit: test and set the commit
+  // reference." Realised exactly as §4 prescribes: lock the version page's block, read it,
+  // examine and modify it, write and unlock.
+  ASSIGN_OR_RETURN(Port block_lock, AcquireBlockLock(base_head));
+  bool won = false;
+  Status st = OkStatus();
+  auto base = LoadPageUncached(base_head);
+  if (!base.ok()) {
+    st = base.status();
+  } else if (base->commit_ref == kNilRef) {
+    base->commit_ref = new_head;
+    st = pages_.OverwritePage(base_head, *base);
+    won = st.ok();
+  } else {
+    *successor = base->commit_ref;
+  }
+  ReleaseBlockLock(base_head, block_lock);
+  RETURN_IF_ERROR(st);
+  return won;
+}
+
+Result<BlockNo> FileServer::Commit(const Capability& version) {
+  BlockNo head;
+  RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
+  ASSIGN_OR_RETURN(VersionOpGuard op, AcquireVersionOp(head));
+  if (op.info == nullptr) {
+    return AbortedError("version is not managed by this server (already finished?)");
+  }
+  VersionInfo* info = op.info;
+  ASSIGN_OR_RETURN(Page root, LoadPageUncached(head));
+
+  int attempts = 0;
+  for (;;) {
+    if (++attempts > 256) {
+      return ConflictError("commit starved by concurrent committers");
+    }
+    BlockNo successor = kNilRef;
+    ASSIGN_OR_RETURN(bool won, TestAndSetCommitRef(root.base_ref, head, &successor));
+    if (won) {
+      break;
+    }
+    // The base has a committed successor V.c: run the serialisability test and, on
+    // success, merge the two updates and try to succeed V.c instead (§5.2, Figure 6).
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++serialise_tests_;
+    }
+    Serialiser serialiser(&pages_, [this](BlockNo bno) { return LoadPage(bno); });
+    auto mergeable = serialiser.TestAndMerge(head, &root, successor);
+    if (!mergeable.ok() || !*mergeable) {
+      // "When serialise returns FALSE, the concurrent updates are not serialisable, and
+      // V.b is removed, and its owner notified."
+      Status conflict = mergeable.ok()
+                            ? ConflictError("update not serialisable with committed version")
+                            : mergeable.status();
+      (void)AbortLocked(info);
+      return conflict;
+    }
+    root.base_ref = successor;
+    RETURN_IF_ERROR(pages_.OverwritePage(head, root));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (attempts == 1) {
+      ++fast_commits_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    current_cache_[info->file_id] = head;
+  }
+  if (info->is_super_update) {
+    RETURN_IF_ERROR(FinishSuperCommit(info));
+  }
+  // §5.1 reshare, fast-path commits only: a merged tree contains grafted content its flags
+  // do not mark as written (see serialise.h), which resharing would silently undo.
+  if (options_.reshare_on_commit && attempts == 1) {
+    (void)ReshareCleanPages(head);  // best effort; failures leave extra garbage for the GC
+  }
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    uncommitted_.erase(head);
+  }
+  return head;
+}
+
+Status FileServer::FinishSuperCommit(VersionInfo* info) {
+  // "After commit on a super-file, the page tree must be descended to commit the sub-files
+  // of the super-file, and clear the locks. These commits always succeed, because the
+  // locks prevent access by other clients during the update to the super-file."
+  std::unordered_set<BlockNo> superseded;
+  for (const auto& [old_head, new_head] : info->copied_subfiles) {
+    ASSIGN_OR_RETURN(Port block_lock, AcquireBlockLock(old_head));
+    auto base = LoadPageUncached(old_head);
+    Status st = base.ok() ? OkStatus() : base.status();
+    if (st.ok() && base->commit_ref == kNilRef) {
+      base->commit_ref = new_head;
+      base->inner_lock = kNullPort;
+      st = pages_.OverwritePage(old_head, *base);
+    }
+    ReleaseBlockLock(old_head, block_lock);
+    RETURN_IF_ERROR(st);
+    superseded.insert(old_head);
+    // Keep the current-version hint warm for the sub-file.
+    auto new_page = LoadPageUncached(new_head);
+    if (new_page.ok()) {
+      std::lock_guard<std::mutex> lock(table_mu_);
+      current_cache_[new_page->file_cap.object] = new_head;
+    }
+  }
+  for (BlockNo sub_head : info->locked_subfiles) {
+    if (superseded.count(sub_head) == 0) {
+      (void)ClearInnerLock(sub_head, info->owner);
+    }
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Abort
+// ---------------------------------------------------------------------------
+
+Status FileServer::AbortLocked(VersionInfo* info) {
+  // Release §5.3 locks first.
+  for (BlockNo sub_head : info->locked_subfiles) {
+    (void)ClearInnerLock(sub_head, info->owner);
+  }
+  (void)ClearTopLock(info->base_head, info->owner);
+
+  // Unregister files created inside this aborted update.
+  if (!info->created_subfiles.empty()) {
+    auto block_lock = AcquireBlockLock(table_head_);
+    if (block_lock.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(table_mu_);
+        if (LoadFileTable().ok()) {
+          for (uint64_t sub_id : info->created_subfiles) {
+            files_.erase(sub_id);
+            current_cache_.erase(sub_id);
+          }
+          (void)PersistFileTableLocked();
+        }
+      }
+      ReleaseBlockLock(table_head_, *block_lock);
+    }
+  }
+
+  // Free exactly the chains this version allocated; merged trees may reference committed
+  // pages of other versions, which must survive.
+  for (BlockNo bno : info->allocated_blocks) {
+    (void)pages_.FreePage(bno);
+  }
+
+  BlockNo head = info->head;
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  uncommitted_.erase(head);
+  return OkStatus();
+}
+
+Status FileServer::Abort(const Capability& version) {
+  BlockNo head;
+  RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
+  ASSIGN_OR_RETURN(VersionOpGuard op, AcquireVersionOp(head));
+  if (op.info == nullptr) {
+    return OkStatus();  // already gone; abort is idempotent
+  }
+  return AbortLocked(op.info);
+}
+
+// ---------------------------------------------------------------------------
+// Reshare (§5.1's GC rule, applied at commit)
+// ---------------------------------------------------------------------------
+
+Result<bool> FileServer::ReshareSubtree(Page* page, bool* subtree_clean) {
+  // Post-order: try to reshare each copied child, then report whether this page's whole
+  // subtree is free of writes and modifications.
+  bool changed = false;
+  bool clean = true;
+  for (PageRef& ref : page->refs) {
+    if (!ref.copied() || ref.block == kNilRef) {
+      continue;
+    }
+    auto child = LoadPageUncached(ref.block);
+    if (!child.ok()) {
+      clean = false;
+      continue;
+    }
+    if (child->IsVersionPage()) {
+      clean = false;  // sub-file version pages are never reshared
+      continue;
+    }
+    bool child_clean = true;
+    ASSIGN_OR_RETURN(bool child_changed, ReshareSubtree(&*child, &child_clean));
+    if (child_changed) {
+      UncachePage(ref.block);
+      RETURN_IF_ERROR(pages_.OverwritePage(ref.block, *child));
+      changed = true;
+    }
+    if (child_clean && !ref.written() && !ref.modified() && child->base_ref != kNilRef) {
+      // "The garbage collector may remove pages that were copied but not written or
+      // modified and reshare the corresponding page from the version on which it was
+      // based." The copy is left for the background GC to sweep (it is unreachable once
+      // the reference is redirected); freeing it here could pull blocks out from under a
+      // concurrent serialisability test.
+      ref.block = child->base_ref;
+      ref.flags = 0;
+      changed = true;
+    } else if (!child_clean || ref.written() || ref.modified()) {
+      clean = false;
+    }
+  }
+  *subtree_clean = clean;
+  return changed;
+}
+
+Status FileServer::ReshareCleanPages(BlockNo head) {
+  ASSIGN_OR_RETURN(Page root, LoadPageUncached(head));
+  bool clean = true;
+  ASSIGN_OR_RETURN(bool changed, ReshareSubtree(&root, &clean));
+  if (!changed) {
+    return OkStatus();
+  }
+  // The version page is shared mutable state: a successor may set our commit reference at
+  // any moment. Re-read under the block lock and only replace the reference table, keeping
+  // the freshly observed header (commit reference, locks).
+  ASSIGN_OR_RETURN(Port block_lock, AcquireBlockLock(head));
+  Status st;
+  auto fresh = LoadPageUncached(head);
+  if (fresh.ok()) {
+    fresh->refs = root.refs;
+    st = pages_.OverwritePage(head, *fresh);
+  } else {
+    st = fresh.status();
+  }
+  ReleaseBlockLock(head, block_lock);
+  return st;
+}
+
+Status FileServer::FreePrivatePages(BlockNo head) {
+  // Only used for orphan cleanup in tests; normal aborts free via allocated_blocks.
+  ASSIGN_OR_RETURN(Page root, LoadPageUncached(head));
+  std::deque<PageRef> frontier(root.refs.begin(), root.refs.end());
+  while (!frontier.empty()) {
+    PageRef ref = frontier.front();
+    frontier.pop_front();
+    if (!ref.copied() || ref.block == kNilRef) {
+      continue;
+    }
+    auto child = LoadPageUncached(ref.block);
+    if (child.ok()) {
+      frontier.insert(frontier.end(), child->refs.begin(), child->refs.end());
+    }
+    (void)pages_.FreePage(ref.block);
+  }
+  return pages_.FreePage(head);
+}
+
+// ---------------------------------------------------------------------------
+// Cache validation (§5.4)
+// ---------------------------------------------------------------------------
+
+Result<bool> FileServer::VersionWrotePath(BlockNo head, const PagePath& path) {
+  ASSIGN_OR_RETURN(Page root, LoadPageUncached(head));
+  return VersionWrotePathFromRoot(root, path);
+}
+
+Result<bool> FileServer::VersionWrotePathFromRoot(const Page& root, const PagePath& path) {
+  Page page = root;
+  uint8_t flags = page.root_flags;
+  for (size_t depth = 0;; ++depth) {
+    const bool last = depth == path.depth();
+    if (last) {
+      return (flags & (RefFlag::kWritten | RefFlag::kModified)) != 0;
+    }
+    // An ancestor whose references were modified may have moved the page; conservative.
+    if ((flags & RefFlag::kModified) != 0) {
+      return true;
+    }
+    if ((flags & RefFlag::kCopied) == 0) {
+      return false;  // untouched subtree — cannot contain writes
+    }
+    if (path.at(depth) >= page.refs.size()) {
+      return true;  // structure differs from the cached view; be conservative
+    }
+    PageRef ref = page.refs[path.at(depth)];
+    flags = ref.flags;
+    if ((flags & RefFlag::kCopied) == 0 || ref.block == kNilRef) {
+      // Deeper pages were never copied in this version: no writes below. The final
+      // verdict for this path is just this reference's own W/M bits.
+      return (flags & (RefFlag::kWritten | RefFlag::kModified)) != 0;
+    }
+    if (depth + 1 < path.depth()) {
+      ASSIGN_OR_RETURN(page, LoadPage(ref.block));
+    }
+  }
+}
+
+Result<FileServer::CacheCheck> FileServer::ValidateCache(
+    const Capability& file, BlockNo cached_head, const std::vector<PagePath>& cached_paths) {
+  uint64_t file_id;
+  RETURN_IF_ERROR(VerifyFileCap(file, Rights::kRead, &file_id));
+  ASSIGN_OR_RETURN(BlockNo current, FindCurrentHead(file_id));
+
+  CacheCheck out;
+  out.current_version = SignVersionCap(current);
+  if (cached_head == current) {
+    // "For files that are not shared, the cache entry will always be the most recent
+    // version of the file, so the serialisability test is a null operation."
+    return out;
+  }
+
+  // Collect the committed versions after the cached one by following commit references.
+  std::vector<BlockNo> newer;
+  BlockNo cursor = cached_head;
+  for (int step = 0; step < 4096; ++step) {
+    auto page = LoadPageUncached(cursor);
+    if (!page.ok() || (cursor == cached_head && page->file_cap.object != file_id)) {
+      // The cached version was pruned (or never belonged to this file): discard everything.
+      out.invalid = cached_paths;
+      return out;
+    }
+    if (page->commit_ref == kNilRef) {
+      break;
+    }
+    cursor = page->commit_ref;
+    newer.push_back(cursor);
+  }
+
+  // "The serialisability test can be made in time proportional to the size of the
+  // intersection of the set of pages of the version in the cache and the union of the sets
+  // of pages in the versions since then." Each intervening version's root is read once;
+  // per-path work then descends only parts that version actually wrote.
+  std::vector<Page> roots;
+  roots.reserve(newer.size());
+  for (BlockNo version : newer) {
+    ASSIGN_OR_RETURN(Page root, LoadPageUncached(version));
+    roots.push_back(std::move(root));
+  }
+  for (const PagePath& path : cached_paths) {
+    for (const Page& root : roots) {
+      ASSIGN_OR_RETURN(bool wrote, VersionWrotePathFromRoot(root, path));
+      if (wrote) {
+        out.invalid.push_back(path);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+Result<FileServer::FileStatInfo> FileServer::FileStat(const Capability& file) {
+  uint64_t file_id;
+  RETURN_IF_ERROR(VerifyFileCap(file, Rights::kRead, &file_id));
+  FileStatInfo info;
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    ASSIGN_OR_RETURN(FileEntry entry, LookupFileLocked(file_id));
+    info.is_super = entry.is_super;
+  }
+  ASSIGN_OR_RETURN(std::vector<BlockNo> chain, CommittedChain(file_id));
+  info.committed_versions = static_cast<uint32_t>(chain.size());
+  info.current_head = chain.empty() ? kNilRef : chain.back();
+  return info;
+}
+
+std::vector<BlockNo> FileServer::ListUncommitted() const {
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  std::vector<BlockNo> out;
+  out.reserve(uncommitted_.size());
+  for (const auto& [head, info] : uncommitted_) {
+    (void)info;
+    out.push_back(head);
+  }
+  return out;
+}
+
+uint64_t FileServer::serialise_tests_run() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return serialise_tests_;
+}
+
+uint64_t FileServer::commits_fast_path() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return fast_commits_;
+}
+
+void FileServer::OnRestart() {
+  // A crashed file server loses its uncommitted versions ("clients must be prepared to
+  // redo the updates in a version") and rebuilds its view of the shared store.
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    uncommitted_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    committed_cache_.clear();
+    cache_lru_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    current_cache_.clear();
+  }
+  (void)AttachStore();
+}
+
+}  // namespace afs

@@ -1,0 +1,168 @@
+// FileServer RPC surface: decode requests, call the direct API, encode replies.
+
+#include "src/base/wire.h"
+#include "src/core/file_server.h"
+#include "src/core/protocol.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+
+Result<Message> FileServer::Handle(const Message& request) { return Dispatch(request); }
+
+Result<Message> FileServer::Dispatch(const Message& m) {
+  WireDecoder in(m.payload);
+  switch (static_cast<FileOp>(m.opcode)) {
+    case FileOp::kCreateFile: {
+      ASSIGN_OR_RETURN(Capability cap, CreateFile());
+      WireEncoder out;
+      out.PutCapability(cap);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kGetCurrentVersion: {
+      ASSIGN_OR_RETURN(Capability file, in.GetCapability());
+      ASSIGN_OR_RETURN(Capability version, GetCurrentVersion(file));
+      WireEncoder out;
+      out.PutCapability(version);
+      out.PutU32(static_cast<uint32_t>(version.object));
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kCreateVersion: {
+      ASSIGN_OR_RETURN(Capability file, in.GetCapability());
+      ASSIGN_OR_RETURN(Port owner, in.GetU64());
+      ASSIGN_OR_RETURN(uint8_t respect_soft, in.GetU8());
+      ASSIGN_OR_RETURN(Capability version, CreateVersion(file, owner, respect_soft != 0));
+      WireEncoder out;
+      out.PutCapability(version);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kReadPage: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(PagePath path, PagePath::Decode(&in));
+      ASSIGN_OR_RETURN(uint8_t want_refs, in.GetU8());
+      ASSIGN_OR_RETURN(ReadResult result, ReadPage(version, path, want_refs != 0));
+      WireEncoder out;
+      out.PutU32(result.nrefs);
+      out.PutBytes(result.data);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kWritePage: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(PagePath path, PagePath::Decode(&in));
+      ASSIGN_OR_RETURN(std::vector<uint8_t> data, in.GetBytes());
+      RETURN_IF_ERROR(WritePage(version, path, data));
+      return OkReply(m.opcode);
+    }
+    case FileOp::kInsertRef: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(PagePath parent, PagePath::Decode(&in));
+      ASSIGN_OR_RETURN(uint32_t index, in.GetU32());
+      RETURN_IF_ERROR(InsertRef(version, parent, index));
+      return OkReply(m.opcode);
+    }
+    case FileOp::kRemoveRef: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(PagePath parent, PagePath::Decode(&in));
+      ASSIGN_OR_RETURN(uint32_t index, in.GetU32());
+      RETURN_IF_ERROR(RemoveRef(version, parent, index));
+      return OkReply(m.opcode);
+    }
+    case FileOp::kReadRefs: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(PagePath path, PagePath::Decode(&in));
+      ASSIGN_OR_RETURN(std::vector<uint8_t> masks, ReadRefs(version, path));
+      WireEncoder out;
+      out.PutU32(static_cast<uint32_t>(masks.size()));
+      for (uint8_t mask : masks) {
+        out.PutU8(mask);
+      }
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kMoveSubtree: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(PagePath from, PagePath::Decode(&in));
+      ASSIGN_OR_RETURN(PagePath to_parent, PagePath::Decode(&in));
+      ASSIGN_OR_RETURN(uint32_t index, in.GetU32());
+      RETURN_IF_ERROR(MoveSubtree(version, from, to_parent, index));
+      return OkReply(m.opcode);
+    }
+    case FileOp::kCommit: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(BlockNo head, Commit(version));
+      WireEncoder out;
+      out.PutU32(head);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kAbort: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      RETURN_IF_ERROR(Abort(version));
+      return OkReply(m.opcode);
+    }
+    case FileOp::kValidateCache: {
+      ASSIGN_OR_RETURN(Capability file, in.GetCapability());
+      ASSIGN_OR_RETURN(BlockNo cached_head, in.GetU32());
+      ASSIGN_OR_RETURN(uint32_t npaths, in.GetU32());
+      // Every encoded path occupies at least its 2-byte count; a claimed count beyond that
+      // is a malformed (or hostile) message — reject before reserving anything.
+      if (npaths > in.remaining() / 2) {
+        return CorruptError("path count exceeds message size");
+      }
+      std::vector<PagePath> paths;
+      paths.reserve(npaths);
+      for (uint32_t i = 0; i < npaths; ++i) {
+        ASSIGN_OR_RETURN(PagePath path, PagePath::Decode(&in));
+        paths.push_back(std::move(path));
+      }
+      ASSIGN_OR_RETURN(CacheCheck check, ValidateCache(file, cached_head, paths));
+      WireEncoder out;
+      out.PutCapability(check.current_version);
+      out.PutU32(static_cast<uint32_t>(check.invalid.size()));
+      for (const PagePath& path : check.invalid) {
+        path.Encode(&out);
+      }
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kFileStat: {
+      ASSIGN_OR_RETURN(Capability file, in.GetCapability());
+      ASSIGN_OR_RETURN(FileStatInfo info, FileStat(file));
+      WireEncoder out;
+      out.PutU32(info.current_head);
+      out.PutU32(info.committed_versions);
+      out.PutU8(info.is_super ? 1 : 0);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kCreateSubFile: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(PagePath parent, PagePath::Decode(&in));
+      ASSIGN_OR_RETURN(uint32_t index, in.GetU32());
+      ASSIGN_OR_RETURN(Capability sub, CreateSubFile(version, parent, index));
+      WireEncoder out;
+      out.PutCapability(sub);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kDeleteFile: {
+      ASSIGN_OR_RETURN(Capability file, in.GetCapability());
+      RETURN_IF_ERROR(DeleteFile(file));
+      return OkReply(m.opcode);
+    }
+    case FileOp::kListUncommitted: {
+      std::vector<BlockNo> heads = ListUncommitted();
+      WireEncoder out;
+      out.PutU32(static_cast<uint32_t>(heads.size()));
+      for (BlockNo head : heads) {
+        out.PutU32(head);
+      }
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kSplitPage: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(PagePath path, PagePath::Decode(&in));
+      ASSIGN_OR_RETURN(uint32_t data_offset, in.GetU32());
+      ASSIGN_OR_RETURN(uint32_t ref_index, in.GetU32());
+      RETURN_IF_ERROR(SplitPage(version, path, data_offset, ref_index));
+      return OkReply(m.opcode);
+    }
+  }
+  return InvalidArgumentError("unknown file service opcode");
+}
+
+}  // namespace afs

@@ -1,0 +1,110 @@
+#include "src/core/flags.h"
+
+#include <array>
+
+namespace afs {
+namespace {
+
+// The 13 valid combinations, in a fixed order that defines the 4-bit code. Order: the
+// shared/untouched state first, then copied states by increasing access.
+constexpr std::array<uint8_t, kNumValidFlagCombos> BuildTable() {
+  std::array<uint8_t, kNumValidFlagCombos> table{};
+  int n = 0;
+  for (uint8_t flags = 0; flags <= RefFlag::kAllFlags; ++flags) {
+    const bool c = (flags & RefFlag::kCopied) != 0;
+    const bool r = (flags & RefFlag::kRead) != 0;
+    const bool w = (flags & RefFlag::kWritten) != 0;
+    const bool s = (flags & RefFlag::kSearched) != 0;
+    const bool m = (flags & RefFlag::kModified) != 0;
+    const bool implies_c = !(r || w || s || m) || c;
+    const bool m_implies_s = !m || s;
+    if (implies_c && m_implies_s) {
+      table[n++] = flags;
+    }
+  }
+  return table;
+}
+
+constexpr std::array<uint8_t, kNumValidFlagCombos> kCombos = BuildTable();
+
+// Inverse map: flag mask (0..31) -> code, or -1 if invalid.
+constexpr std::array<int8_t, 32> BuildInverse() {
+  std::array<int8_t, 32> inv{};
+  for (auto& v : inv) {
+    v = -1;
+  }
+  for (int code = 0; code < kNumValidFlagCombos; ++code) {
+    inv[kCombos[code]] = static_cast<int8_t>(code);
+  }
+  return inv;
+}
+
+constexpr std::array<int8_t, 32> kInverse = BuildInverse();
+
+}  // namespace
+
+bool FlagsValid(uint8_t flags) {
+  return flags <= RefFlag::kAllFlags && kInverse[flags] >= 0;
+}
+
+uint8_t NormalizeFlags(uint8_t flags) {
+  flags &= RefFlag::kAllFlags;
+  if ((flags & RefFlag::kModified) != 0) {
+    flags |= RefFlag::kSearched;
+  }
+  if ((flags & (RefFlag::kRead | RefFlag::kWritten | RefFlag::kSearched)) != 0) {
+    flags |= RefFlag::kCopied;
+  }
+  return flags;
+}
+
+Result<uint8_t> EncodeFlags(uint8_t flags) {
+  if (!FlagsValid(flags)) {
+    return InvalidArgumentError("invalid C/R/W/S/M flag combination");
+  }
+  return static_cast<uint8_t>(kInverse[flags]);
+}
+
+Result<uint8_t> DecodeFlags(uint8_t code) {
+  if (code >= kNumValidFlagCombos) {
+    return CorruptError("flag code out of range");
+  }
+  return kCombos[code];
+}
+
+std::string FlagsToString(uint8_t flags) {
+  std::string out = "-----";
+  if ((flags & RefFlag::kCopied) != 0) {
+    out[0] = 'C';
+  }
+  if ((flags & RefFlag::kRead) != 0) {
+    out[1] = 'R';
+  }
+  if ((flags & RefFlag::kWritten) != 0) {
+    out[2] = 'W';
+  }
+  if ((flags & RefFlag::kSearched) != 0) {
+    out[3] = 'S';
+  }
+  if ((flags & RefFlag::kModified) != 0) {
+    out[4] = 'M';
+  }
+  return out;
+}
+
+Result<uint32_t> PackRef(const PageRef& ref) {
+  if (ref.block > kMaxBlockNo) {
+    return InvalidArgumentError("block number exceeds 28 bits");
+  }
+  ASSIGN_OR_RETURN(uint8_t code, EncodeFlags(ref.flags));
+  return (static_cast<uint32_t>(code) << 28) | ref.block;
+}
+
+Result<PageRef> UnpackRef(uint32_t raw) {
+  PageRef ref;
+  ref.block = raw & kMaxBlockNo;
+  ASSIGN_OR_RETURN(ref.flags, DecodeFlags(static_cast<uint8_t>(raw >> 28)));
+  return ref;
+}
+
+}  // namespace afs

@@ -1,0 +1,79 @@
+// The C/R/W/S/M page-reference flags and their 4-bit encoding (paper §5.1).
+//
+// A page reference in a parent page carries five flags about the referred-to child page:
+//   C — the child was Copied into this version (no longer shared with the base version)
+//   R — the child's data was Read
+//   W — the child's data was Written
+//   S — the child's references were Searched (the tree was descended through it)
+//   M — the child's references were Modified (insert page, remove page, ...)
+//
+// The flags are not independent: "it is not possible to access a page without copying it,
+// nor is it possible to modify the references without looking at them." Hence R, W, S or M
+// imply C, and M implies S. "This reduces the number of flag combinations to 13, which
+// allows encoding the flags in four bits. Amoeba uses 28 bits for a block number and four
+// bits for the flags." We reproduce exactly that packing.
+
+#ifndef SRC_CORE_FLAGS_H_
+#define SRC_CORE_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/disk/block_device.h"
+
+namespace afs {
+
+// Individual flag bits (the unpacked representation).
+struct RefFlag {
+  static constexpr uint8_t kCopied = 1u << 0;    // C
+  static constexpr uint8_t kRead = 1u << 1;      // R
+  static constexpr uint8_t kWritten = 1u << 2;   // W
+  static constexpr uint8_t kSearched = 1u << 3;  // S
+  static constexpr uint8_t kModified = 1u << 4;  // M
+  static constexpr uint8_t kAllFlags = 0x1f;
+};
+
+// Number of valid flag combinations under the implication rules (the paper's 13).
+inline constexpr int kNumValidFlagCombos = 13;
+
+// True iff `flags` satisfies the implication rules (R|W|S|M => C, M => S).
+bool FlagsValid(uint8_t flags);
+
+// Enforce the implications by setting the implied bits (used when orring in new accesses).
+uint8_t NormalizeFlags(uint8_t flags);
+
+// 4-bit code <-> flag mask. EncodeFlags fails on an invalid combination; DecodeFlags fails
+// on a code >= 13 (such a code in a stored page means corruption).
+Result<uint8_t> EncodeFlags(uint8_t flags);
+Result<uint8_t> DecodeFlags(uint8_t code);
+
+// "RWC--" style string for logs and test failure messages.
+std::string FlagsToString(uint8_t flags);
+
+// A page reference: 28-bit block number of the child page (chain head) plus flags.
+// kNilRef marks an absent reference.
+inline constexpr BlockNo kNilRef = kMaxBlockNo;  // 0x0fffffff, never allocated
+
+struct PageRef {
+  BlockNo block = kNilRef;
+  uint8_t flags = 0;
+
+  bool copied() const { return (flags & RefFlag::kCopied) != 0; }
+  bool read() const { return (flags & RefFlag::kRead) != 0; }
+  bool written() const { return (flags & RefFlag::kWritten) != 0; }
+  bool searched() const { return (flags & RefFlag::kSearched) != 0; }
+  bool modified() const { return (flags & RefFlag::kModified) != 0; }
+
+  bool operator==(const PageRef& other) const {
+    return block == other.block && flags == other.flags;
+  }
+};
+
+// Pack to the on-disk u32: high 4 bits flag code, low 28 bits block number.
+Result<uint32_t> PackRef(const PageRef& ref);
+Result<PageRef> UnpackRef(uint32_t raw);
+
+}  // namespace afs
+
+#endif  // SRC_CORE_FLAGS_H_

@@ -1,0 +1,198 @@
+#include "src/core/fsck.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+namespace afs {
+namespace {
+
+// Collect every block of every page reachable from `head`'s tree into `reachable`;
+// report parse errors. Returns the set of page heads in the tree (for I4 sharing checks).
+std::unordered_set<BlockNo> WalkTree(PageStore* pages, BlockNo head,
+                                     std::unordered_set<BlockNo>* reachable,
+                                     FsckReport* report, const std::string& what) {
+  std::unordered_set<BlockNo> page_heads;
+  std::deque<BlockNo> frontier{head};
+  while (!frontier.empty()) {
+    BlockNo page_head = frontier.front();
+    frontier.pop_front();
+    if (!page_heads.insert(page_head).second) {
+      continue;
+    }
+    auto chain = pages->ChainBlocks(page_head);
+    if (!chain.ok()) {
+      report->clean = false;
+      report->errors.push_back(what + ": unreadable page chain at block " +
+                               std::to_string(page_head) + " (" +
+                               chain.status().ToString() + ")");
+      continue;
+    }
+    for (BlockNo bno : *chain) {
+      reachable->insert(bno);
+    }
+    auto page = pages->ReadPage(page_head);
+    if (!page.ok()) {
+      report->clean = false;
+      report->errors.push_back(what + ": unparsable page at block " +
+                               std::to_string(page_head) + " (" +
+                               page.status().ToString() + ")");
+      continue;
+    }
+    ++report->pages_checked;
+    for (const PageRef& ref : page->refs) {
+      if (!FlagsValid(ref.flags)) {  // I3 (defence in depth; Deserialize validates too)
+        report->clean = false;
+        report->errors.push_back(what + ": invalid flags in page " +
+                                 std::to_string(page_head));
+      }
+      if (ref.block != kNilRef) {
+        frontier.push_back(ref.block);
+      }
+    }
+  }
+  return page_heads;
+}
+
+}  // namespace
+
+std::string FsckReport::ToString() const {
+  std::ostringstream os;
+  os << (clean ? "CLEAN" : "CORRUPT") << ": " << files << " file(s), " << committed_versions
+     << " committed version(s), " << pages_checked << " page(s), " << blocks_reachable
+     << " block(s) reachable, " << blocks_garbage << " garbage";
+  for (const std::string& error : errors) {
+    os << "\n  ERROR: " << error;
+  }
+  for (const std::string& warning : warnings) {
+    os << "\n  warning: " << warning;
+  }
+  return os.str();
+}
+
+FsckReport RunFsck(FileServer* server, const FsckOptions& options) {
+  FsckReport report;
+  PageStore* pages = server->page_store();
+  std::unordered_set<BlockNo> reachable;
+
+  // I1: the file table itself.
+  auto table_blocks = server->FileTableBlocks();
+  if (!table_blocks.ok()) {
+    report.clean = false;
+    report.errors.push_back("file table unreadable: " + table_blocks.status().ToString());
+    return report;
+  }
+  for (BlockNo bno : *table_blocks) {
+    reachable.insert(bno);
+  }
+
+  for (const FileServer::FileEntry& entry : server->SnapshotFileTable()) {
+    ++report.files;
+    const std::string file_tag = "file " + std::to_string(entry.file_id);
+    auto chain = server->CommittedChain(entry.file_id);
+    if (!chain.ok()) {
+      report.clean = false;
+      report.errors.push_back(file_tag + ": version chain unreadable (" +
+                              chain.status().ToString() + ")");
+      continue;
+    }
+    // I2: double linking, nil terminators, acyclicity (CommittedChain already bounds the
+    // walk; verify the back links explicitly).
+    std::unordered_set<BlockNo> seen;
+    for (size_t i = 0; i < chain->size(); ++i) {
+      if (!seen.insert((*chain)[i]).second) {
+        report.clean = false;
+        report.errors.push_back(file_tag + ": version chain cycle");
+        break;
+      }
+      auto page = pages->ReadPage((*chain)[i]);
+      if (!page.ok()) {
+        report.clean = false;
+        report.errors.push_back(file_tag + ": unreadable version page");
+        continue;
+      }
+      if (!page->IsVersionPage()) {
+        report.clean = false;
+        report.errors.push_back(file_tag + ": chain element is not a version page");
+      }
+      if (i == 0 && page->base_ref != kNilRef) {
+        report.clean = false;
+        report.errors.push_back(file_tag + ": oldest version's base reference is not nil");
+      }
+      if (i > 0 && page->base_ref != (*chain)[i - 1]) {
+        report.clean = false;
+        report.errors.push_back(file_tag + ": base reference does not point to predecessor");
+      }
+      if (i + 1 == chain->size() && page->commit_ref != kNilRef) {
+        report.clean = false;
+        report.errors.push_back(file_tag + ": current version's commit reference is not nil");
+      }
+      // I6: locks in the current version page must name live ports.
+      if (i + 1 == chain->size()) {
+        if (page->top_lock != kNullPort &&
+            !server->network()->IsPortAlive(page->top_lock)) {
+          report.warnings.push_back(file_tag + ": dead top lock awaiting waiter recovery");
+        }
+        if (page->inner_lock != kNullPort &&
+            !server->network()->IsPortAlive(page->inner_lock)) {
+          report.warnings.push_back(file_tag + ": dead inner lock awaiting waiter recovery");
+        }
+      }
+    }
+    // I3/I4: walk every retained version tree.
+    std::unordered_set<BlockNo> base_pages;
+    for (size_t i = 0; i < chain->size(); ++i) {
+      ++report.committed_versions;
+      std::unordered_set<BlockNo> tree_pages = WalkTree(
+          pages, (*chain)[i], &reachable, &report,
+          file_tag + " version " + std::to_string(i));
+      if (i > 0) {
+        // I4: uncopied references must resolve to pages of the base's tree.
+        auto page = pages->ReadPage((*chain)[i]);
+        if (page.ok()) {
+          for (const PageRef& ref : page->refs) {
+            if (ref.block != kNilRef && !ref.copied() && base_pages.count(ref.block) == 0) {
+              report.clean = false;
+              report.errors.push_back(file_tag + ": shared (uncopied) reference to block " +
+                                      std::to_string(ref.block) +
+                                      " that is not part of the base version");
+            }
+          }
+        }
+      }
+      base_pages = std::move(tree_pages);
+    }
+  }
+
+  // Local uncommitted versions are legitimate roots too.
+  for (BlockNo head : server->ListUncommitted()) {
+    WalkTree(pages, head, &reachable, &report, "uncommitted version");
+  }
+
+  // I5: account for every owned block.
+  auto owned = pages->blocks()->ListBlocks();
+  if (!owned.ok()) {
+    report.clean = false;
+    report.errors.push_back("block store enumeration failed");
+    return report;
+  }
+  report.blocks_reachable = reachable.size();
+  for (BlockNo bno : *owned) {
+    if (reachable.count(bno) == 0) {
+      ++report.blocks_garbage;
+    }
+  }
+  if (report.blocks_garbage > 0) {
+    std::string note = std::to_string(report.blocks_garbage) +
+                       " unreachable block(s) awaiting garbage collection";
+    if (options.fail_on_garbage) {
+      report.clean = false;
+      report.errors.push_back(note);
+    } else {
+      report.warnings.push_back(note);
+    }
+  }
+  return report;
+}
+
+}  // namespace afs

@@ -1,0 +1,79 @@
+// Garbage collector (paper abstract: "A garbage collector that runs independent of, and in
+// parallel with, the operation of the system").
+//
+// Mark-and-sweep over the shared block store:
+//   roots = { retained committed versions of every file in the file table }
+//         ∪ { live uncommitted versions reported by the live file servers }.
+// Uncommitted versions of crashed servers are deliberately *not* roots — "uncommitted
+// versions need not be salvaged in a server crash" — so their pages are reclaimed.
+//
+// Safety against concurrent operation comes from two mechanisms:
+//   * an allocation epoch on the PageStore: blocks allocated while the mark phase runs are
+//     never swept this cycle;
+//   * conservative aborts: if any page read fails mid-mark (e.g. a racing reshare), the
+//     cycle is abandoned — garbage survives to the next cycle, live data is never freed.
+//
+// Retention: at least `keep_versions` committed versions per file are retained; versions
+// still needed by an uncommitted update (its base and everything after) are always kept.
+// Pruning advances the file table's oldest pointer and clears the new oldest version's
+// base reference, maintaining Figure 4's invariant.
+
+#ifndef SRC_CORE_GC_H_
+#define SRC_CORE_GC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/file_server.h"
+
+namespace afs {
+
+struct GcOptions {
+  // Committed versions retained per file (>= 1; the current version is always kept).
+  uint32_t keep_versions = 1;
+};
+
+struct GcStats {
+  uint64_t cycles = 0;
+  uint64_t blocks_swept = 0;
+  uint64_t versions_pruned = 0;
+  uint64_t cycles_aborted = 0;
+};
+
+class GarbageCollector {
+ public:
+  // `servers` are the live file servers whose uncommitted versions are roots. The first
+  // server's page store and file table drive the walk (all servers share the store).
+  GarbageCollector(std::vector<FileServer*> servers, GcOptions options = {});
+  ~GarbageCollector();
+
+  // One full cycle: prune old versions, mark, sweep. Safe to call while the system runs.
+  Status RunCycle();
+
+  // Background operation.
+  void Start(std::chrono::milliseconds interval);
+  void Stop();
+
+  GcStats stats() const;
+
+ private:
+  Status PruneOldVersions();
+  // Mark every block reachable from `head`'s page tree into `marked`.
+  Status MarkVersionTree(BlockNo head, std::unordered_set<BlockNo>* marked);
+
+  std::vector<FileServer*> servers_;
+  GcOptions options_;
+
+  mutable std::mutex mu_;
+  GcStats stats_;
+
+  std::atomic<bool> stop_{false};
+  std::thread background_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_CORE_GC_H_

@@ -1,0 +1,105 @@
+#include "src/core/page.h"
+
+#include "src/base/wire.h"
+
+namespace afs {
+namespace {
+
+// kind(1) + base_ref(4) + nrefs(2) + dsize(4)
+constexpr size_t kPlainHeaderBytes = 11;
+// file_cap(28) + version_cap(28) + commit_ref(4) + top_lock(8) + inner_lock(8) +
+// parent_ref(4) + root_flags(1)
+constexpr size_t kVersionExtraBytes = 81;
+
+}  // namespace
+
+size_t Page::SerializedSize() const {
+  size_t size = kPlainHeaderBytes + refs.size() * 4 + data.size();
+  if (kind == PageKind::kVersion) {
+    size += kVersionExtraBytes;
+  }
+  return size;
+}
+
+Result<std::vector<uint8_t>> Page::Serialize() const {
+  if (SerializedSize() > kMaxPageBytes) {
+    return InvalidArgumentError("page exceeds 32K transaction limit");
+  }
+  WireEncoder enc;
+  enc.PutU8(static_cast<uint8_t>(kind));
+  if (kind == PageKind::kVersion) {
+    enc.PutCapability(file_cap);
+    enc.PutCapability(version_cap);
+    enc.PutU32(commit_ref);
+    enc.PutU64(top_lock);
+    enc.PutU64(inner_lock);
+    enc.PutU32(parent_ref);
+    if (!FlagsValid(root_flags)) {
+      return InvalidArgumentError("invalid root flags");
+    }
+    enc.PutU8(root_flags);
+  }
+  enc.PutU32(base_ref);
+  enc.PutU16(static_cast<uint16_t>(refs.size()));
+  enc.PutU32(static_cast<uint32_t>(data.size()));
+  for (const PageRef& ref : refs) {
+    ASSIGN_OR_RETURN(uint32_t packed, PackRef(ref));
+    enc.PutU32(packed);
+  }
+  enc.PutRaw(data);
+  return std::move(enc).Take();
+}
+
+Result<Page> Page::Deserialize(std::span<const uint8_t> payload) {
+  WireDecoder dec(payload);
+  Page page;
+  ASSIGN_OR_RETURN(uint8_t kind_raw, dec.GetU8());
+  if (kind_raw != static_cast<uint8_t>(PageKind::kPlain) &&
+      kind_raw != static_cast<uint8_t>(PageKind::kVersion)) {
+    return CorruptError("bad page kind");
+  }
+  page.kind = static_cast<PageKind>(kind_raw);
+  if (page.kind == PageKind::kVersion) {
+    ASSIGN_OR_RETURN(page.file_cap, dec.GetCapability());
+    ASSIGN_OR_RETURN(page.version_cap, dec.GetCapability());
+    ASSIGN_OR_RETURN(page.commit_ref, dec.GetU32());
+    ASSIGN_OR_RETURN(page.top_lock, dec.GetU64());
+    ASSIGN_OR_RETURN(page.inner_lock, dec.GetU64());
+    ASSIGN_OR_RETURN(page.parent_ref, dec.GetU32());
+    ASSIGN_OR_RETURN(page.root_flags, dec.GetU8());
+    if (!FlagsValid(page.root_flags)) {
+      return CorruptError("invalid root flags");
+    }
+  }
+  ASSIGN_OR_RETURN(page.base_ref, dec.GetU32());
+  ASSIGN_OR_RETURN(uint16_t nrefs, dec.GetU16());
+  ASSIGN_OR_RETURN(uint32_t dsize, dec.GetU32());
+  page.refs.reserve(nrefs);
+  for (uint16_t i = 0; i < nrefs; ++i) {
+    ASSIGN_OR_RETURN(uint32_t packed, dec.GetU32());
+    ASSIGN_OR_RETURN(PageRef ref, UnpackRef(packed));
+    page.refs.push_back(ref);
+  }
+  ASSIGN_OR_RETURN(page.data, dec.GetRaw(dsize));
+  if (!dec.AtEnd()) {
+    return CorruptError("trailing bytes after page data");
+  }
+  return page;
+}
+
+Result<PageRef> Page::RefAt(uint32_t index) const {
+  if (index >= refs.size()) {
+    return InvalidArgumentError("reference index out of range");
+  }
+  return refs[index];
+}
+
+Status Page::SetRef(uint32_t index, PageRef ref) {
+  if (index >= refs.size()) {
+    return InvalidArgumentError("reference index out of range");
+  }
+  refs[index] = ref;
+  return OkStatus();
+}
+
+}  // namespace afs

@@ -1,0 +1,76 @@
+// Page layout (paper §5.1, Figure 3).
+//
+// A page is the unit the file service reads and writes; it holds client data plus a
+// reference table of child pages. The header area (above Figure 3's double line) carries:
+//   file capability, version capability      — version pages only
+//   commit reference                          — version pages only (the committed-successor
+//                                               link that the atomic commit sets)
+//   top lock, inner lock                      — version pages only (§5.3; "locks are made of
+//                                               ports", so the fields hold Port values)
+//   parent reference                          — version pages only (ascend the system tree)
+//   base reference                            — every page: the block it was copied from
+//   nrefs, dsize                              — table and data sizes
+// The reference table entries pack a 28-bit block number with the 4-bit C/R/W/S/M code.
+//
+// The root page of a version tree — the *version page* — is the only page without a
+// parent-held flag set; "the managing server keeps these flags separate", which we model as
+// the root_flags field stored in the version page header itself. A version page is also the
+// only page overwritten in place.
+
+#ifndef SRC_CORE_PAGE_H_
+#define SRC_CORE_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/status.h"
+#include "src/core/flags.h"
+
+namespace afs {
+
+// Maximum serialized page size: "The maximum length of a page is determined by the maximum
+// length of a message in a transaction: 32K bytes."
+inline constexpr size_t kMaxPageBytes = 32 * 1024;
+
+enum class PageKind : uint8_t {
+  kPlain = 1,    // interior or leaf page of a page tree
+  kVersion = 2,  // root page of a version (a "version page" / "version block")
+};
+
+struct Page {
+  PageKind kind = PageKind::kPlain;
+
+  // --- version page fields (ignored for plain pages) ---
+  Capability file_cap;
+  Capability version_cap;
+  BlockNo commit_ref = kNilRef;  // nil for the current version and uncommitted versions
+  Port top_lock = kNullPort;
+  Port inner_lock = kNullPort;
+  BlockNo parent_ref = kNilRef;  // version page of the enclosing super-file, if any
+  uint8_t root_flags = 0;        // manager-kept C/R/W/S/M of the root page itself
+
+  // --- all pages ---
+  BlockNo base_ref = kNilRef;  // block this page was copied from
+  std::vector<PageRef> refs;   // reference table
+  std::vector<uint8_t> data;   // client data
+
+  bool IsVersionPage() const { return kind == PageKind::kVersion; }
+
+  // Serialized size; fails validation if it would exceed kMaxPageBytes.
+  size_t SerializedSize() const;
+
+  // Encode to the byte payload stored through the page store.
+  Result<std::vector<uint8_t>> Serialize() const;
+
+  // Decode and validate (flag codes, sizes). kCorrupt on any malformation.
+  static Result<Page> Deserialize(std::span<const uint8_t> payload);
+
+  // Reference accessors with bounds checking.
+  Result<PageRef> RefAt(uint32_t index) const;
+  Status SetRef(uint32_t index, PageRef ref);
+};
+
+}  // namespace afs
+
+#endif  // SRC_CORE_PAGE_H_

@@ -1,0 +1,148 @@
+#include "src/core/page_store.h"
+
+#include "src/base/wire.h"
+
+namespace afs {
+namespace {
+
+// Chain block overhead: next(4) + chunk_len(2).
+constexpr uint32_t kChainHeaderBytes = 6;
+
+std::vector<uint8_t> EncodeChainBlock(BlockNo next, std::span<const uint8_t> chunk) {
+  WireEncoder enc;
+  enc.PutU32(next);
+  enc.PutU16(static_cast<uint16_t>(chunk.size()));
+  enc.PutRaw(chunk);
+  return std::move(enc).Take();
+}
+
+struct ChainBlock {
+  BlockNo next;
+  std::vector<uint8_t> chunk;
+};
+
+Result<ChainBlock> DecodeChainBlock(std::span<const uint8_t> payload) {
+  WireDecoder dec(payload);
+  ChainBlock out;
+  ASSIGN_OR_RETURN(out.next, dec.GetU32());
+  ASSIGN_OR_RETURN(uint16_t len, dec.GetU16());
+  ASSIGN_OR_RETURN(out.chunk, dec.GetRaw(len));
+  return out;
+}
+
+}  // namespace
+
+PageStore::PageStore(BlockStore* blocks) : blocks_(blocks) {}
+
+Result<BlockNo> PageStore::AllocBlock(std::span<const uint8_t> payload) {
+  ASSIGN_OR_RETURN(BlockNo bno, blocks_->AllocWrite(payload));
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (epoch_open_) {
+    epoch_allocations_.insert(bno);
+  }
+  return bno;
+}
+
+Result<BlockNo> PageStore::WritePage(const Page& page) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, page.Serialize());
+  const uint32_t chunk_cap = blocks_->payload_capacity() - kChainHeaderBytes;
+
+  // Split into chunks; write back-to-front so every block's successor exists before the
+  // block pointing at it does.
+  size_t total = payload.size();
+  size_t num_chunks = total == 0 ? 1 : (total + chunk_cap - 1) / chunk_cap;
+  BlockNo next = kNilRef;
+  for (size_t i = num_chunks; i-- > 0;) {
+    size_t begin = i * chunk_cap;
+    size_t len = std::min<size_t>(chunk_cap, total - begin);
+    auto chunk = std::span<const uint8_t>(payload.data() + begin, len);
+    ASSIGN_OR_RETURN(next, AllocBlock(EncodeChainBlock(next, chunk)));
+  }
+  return next;  // head
+}
+
+Status PageStore::OverwritePage(BlockNo head, const Page& page) {
+  // Remember the old tail so it can be freed after the atomic head switch.
+  std::vector<BlockNo> old_tail;
+  {
+    ASSIGN_OR_RETURN(std::vector<BlockNo> old_chain, ChainBlocks(head));
+    old_tail.assign(old_chain.begin() + 1, old_chain.end());
+  }
+
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, page.Serialize());
+  const uint32_t chunk_cap = blocks_->payload_capacity() - kChainHeaderBytes;
+  size_t total = payload.size();
+  size_t num_chunks = total == 0 ? 1 : (total + chunk_cap - 1) / chunk_cap;
+
+  // New tail blocks first (back to front), head overwritten last: the head write is the
+  // atomic commit point of the overwrite.
+  BlockNo next = kNilRef;
+  for (size_t i = num_chunks; i-- > 1;) {
+    size_t begin = i * chunk_cap;
+    size_t len = std::min<size_t>(chunk_cap, total - begin);
+    auto chunk = std::span<const uint8_t>(payload.data() + begin, len);
+    ASSIGN_OR_RETURN(next, AllocBlock(EncodeChainBlock(next, chunk)));
+  }
+  size_t head_len = std::min<size_t>(chunk_cap, total);
+  RETURN_IF_ERROR(blocks_->Write(
+      head, EncodeChainBlock(next, std::span<const uint8_t>(payload.data(), head_len))));
+
+  for (BlockNo bno : old_tail) {
+    RETURN_IF_ERROR(blocks_->Free(bno));
+  }
+  return OkStatus();
+}
+
+Result<Page> PageStore::ReadPage(BlockNo head) {
+  std::vector<uint8_t> payload;
+  BlockNo bno = head;
+  size_t guard = 0;
+  while (bno != kNilRef) {
+    if (++guard > 4096) {
+      return CorruptError("page chain too long (cycle?)");
+    }
+    ASSIGN_OR_RETURN(std::vector<uint8_t> raw, blocks_->Read(bno));
+    ASSIGN_OR_RETURN(ChainBlock cb, DecodeChainBlock(raw));
+    payload.insert(payload.end(), cb.chunk.begin(), cb.chunk.end());
+    bno = cb.next;
+  }
+  return Page::Deserialize(payload);
+}
+
+Result<std::vector<BlockNo>> PageStore::ChainBlocks(BlockNo head) {
+  std::vector<BlockNo> chain;
+  BlockNo bno = head;
+  size_t guard = 0;
+  while (bno != kNilRef) {
+    if (++guard > 4096) {
+      return CorruptError("page chain too long (cycle?)");
+    }
+    chain.push_back(bno);
+    ASSIGN_OR_RETURN(std::vector<uint8_t> raw, blocks_->Read(bno));
+    ASSIGN_OR_RETURN(ChainBlock cb, DecodeChainBlock(raw));
+    bno = cb.next;
+  }
+  return chain;
+}
+
+Status PageStore::FreePage(BlockNo head) {
+  ASSIGN_OR_RETURN(std::vector<BlockNo> chain, ChainBlocks(head));
+  for (BlockNo bno : chain) {
+    RETURN_IF_ERROR(blocks_->Free(bno));
+  }
+  return OkStatus();
+}
+
+void PageStore::BeginAllocationEpoch() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  epoch_open_ = true;
+  epoch_allocations_.clear();
+}
+
+std::unordered_set<BlockNo> PageStore::EndAllocationEpoch() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  epoch_open_ = false;
+  return std::move(epoch_allocations_);
+}
+
+}  // namespace afs

@@ -1,0 +1,75 @@
+// PageStore: atomic page I/O over fixed-size blocks (paper §5.1 and its footnote).
+//
+// "Pages are stored by the block server in such a way that they can be read and written as
+// atomic actions. ... Arbitrarily long pages can be written atomically by writing them
+// back-to-front as a linked list, whereby the head block is (over)written last, and the
+// other blocks in the list are allocated from the pool of free disk blocks. After writing,
+// the blocks making up the previous linked list can be freed."
+//
+// Chain block payload format: u32 next_block (kNilRef terminates) | u16 chunk_len | chunk.
+// A page whose serialized form fits one block uses a single block with next == kNilRef.
+//
+// WritePage allocates a fresh chain (new page identity = new head block).
+// OverwritePage keeps the head block number (used only for version pages, the one page kind
+// that is written in place): new tail blocks are written first, then the head atomically
+// switches the page to its new contents, then the old tail blocks are freed.
+
+#ifndef SRC_CORE_PAGE_STORE_H_
+#define SRC_CORE_PAGE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/block/block_store.h"
+#include "src/core/page.h"
+
+namespace afs {
+
+class PageStore {
+ public:
+  explicit PageStore(BlockStore* blocks);
+
+  // Write a new page; returns the head block number.
+  Result<BlockNo> WritePage(const Page& page);
+
+  // Atomically replace the contents of the page whose head is `head`.
+  Status OverwritePage(BlockNo head, const Page& page);
+
+  Result<Page> ReadPage(BlockNo head);
+
+  // Free the whole chain.
+  Status FreePage(BlockNo head);
+
+  // All blocks of the chain starting at `head` (head first). Used by the GC mark phase.
+  Result<std::vector<BlockNo>> ChainBlocks(BlockNo head);
+
+  // Block-level lock passthroughs (the commit critical section locks the version page's
+  // head block).
+  Status LockBlock(BlockNo head, Port owner) { return blocks_->Lock(head, owner); }
+  Status UnlockBlock(BlockNo head, Port owner) { return blocks_->Unlock(head, owner); }
+
+  BlockStore* blocks() const { return blocks_; }
+
+  // --- GC epoch support -----------------------------------------------------
+  // While an epoch is open, every block allocated through this store is recorded; the GC
+  // opens an epoch before marking so that blocks born during a concurrent mark are never
+  // swept (DESIGN.md §3).
+  void BeginAllocationEpoch();
+  std::unordered_set<BlockNo> EndAllocationEpoch();
+
+ private:
+  Result<BlockNo> AllocBlock(std::span<const uint8_t> payload);
+
+  BlockStore* blocks_;
+  std::mutex epoch_mu_;
+  bool epoch_open_ = false;
+  std::unordered_set<BlockNo> epoch_allocations_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_CORE_PAGE_STORE_H_

@@ -1,0 +1,89 @@
+#include "src/core/path.h"
+
+#include <sstream>
+
+namespace afs {
+
+PagePath PagePath::Child(uint32_t index) const {
+  std::vector<uint32_t> v = indices_;
+  v.push_back(index);
+  return PagePath(std::move(v));
+}
+
+PagePath PagePath::Parent() const {
+  std::vector<uint32_t> v(indices_.begin(), indices_.end() - 1);
+  return PagePath(std::move(v));
+}
+
+bool PagePath::IsPrefixOf(const PagePath& other) const {
+  if (indices_.size() > other.indices_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    if (indices_[i] != other.indices_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string PagePath::ToString() const {
+  if (indices_.empty()) {
+    return "/";
+  }
+  std::ostringstream os;
+  for (uint32_t idx : indices_) {
+    os << "/" << idx;
+  }
+  return os.str();
+}
+
+Result<PagePath> PagePath::Parse(const std::string& text) {
+  if (text.empty() || text[0] != '/') {
+    return InvalidArgumentError("path must start with '/'");
+  }
+  std::vector<uint32_t> indices;
+  size_t pos = 1;
+  while (pos < text.size()) {
+    size_t next = text.find('/', pos);
+    if (next == std::string::npos) {
+      next = text.size();
+    }
+    if (next == pos) {
+      return InvalidArgumentError("empty path component");
+    }
+    uint64_t value = 0;
+    for (size_t i = pos; i < next; ++i) {
+      if (text[i] < '0' || text[i] > '9') {
+        return InvalidArgumentError("non-numeric path component");
+      }
+      value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+      if (value > UINT32_MAX) {
+        return InvalidArgumentError("path component overflows u32");
+      }
+    }
+    indices.push_back(static_cast<uint32_t>(value));
+    pos = next + 1;
+  }
+  return PagePath(std::move(indices));
+}
+
+void PagePath::Encode(WireEncoder* enc) const {
+  enc->PutU16(static_cast<uint16_t>(indices_.size()));
+  for (uint32_t idx : indices_) {
+    enc->PutU32(idx);
+  }
+}
+
+Result<PagePath> PagePath::Decode(WireDecoder* dec) {
+  ASSIGN_OR_RETURN(uint16_t n, dec->GetU16());
+  std::vector<uint32_t> indices;
+  indices.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint32_t idx, dec->GetU32());
+    indices.push_back(idx);
+  }
+  return PagePath(std::move(indices));
+}
+
+}  // namespace afs

@@ -1,0 +1,60 @@
+// Page path names (paper §5).
+//
+// "Pages within a file are referred to by a pathname ... The root page has an empty
+// pathname. The pathname of a page that is not the root is the concatenation of the
+// pathname of its parent page with the index of its reference in the array of references in
+// the parent page." Path names are visible to clients, "giving them explicit control over
+// the structure of their files" — linear files, B-trees, whatever the client wants.
+
+#ifndef SRC_CORE_PATH_H_
+#define SRC_CORE_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/wire.h"
+
+namespace afs {
+
+class PagePath {
+ public:
+  PagePath() = default;
+  explicit PagePath(std::vector<uint32_t> indices) : indices_(std::move(indices)) {}
+  PagePath(std::initializer_list<uint32_t> indices) : indices_(indices) {}
+
+  static PagePath Root() { return PagePath(); }
+
+  bool IsRoot() const { return indices_.empty(); }
+  size_t depth() const { return indices_.size(); }
+  const std::vector<uint32_t>& indices() const { return indices_; }
+  uint32_t at(size_t i) const { return indices_[i]; }
+
+  PagePath Child(uint32_t index) const;
+  // Parent of a non-root path.
+  PagePath Parent() const;
+  uint32_t LastIndex() const { return indices_.back(); }
+
+  // True if `this` is a (non-strict) prefix of `other`.
+  bool IsPrefixOf(const PagePath& other) const;
+
+  // "/" for the root, "/3/0/7" otherwise.
+  std::string ToString() const;
+  // Parses the ToString() form.
+  static Result<PagePath> Parse(const std::string& text);
+
+  void Encode(WireEncoder* enc) const;
+  static Result<PagePath> Decode(WireDecoder* dec);
+
+  bool operator==(const PagePath& other) const { return indices_ == other.indices_; }
+  bool operator!=(const PagePath& other) const { return !(*this == other); }
+  bool operator<(const PagePath& other) const { return indices_ < other.indices_; }
+
+ private:
+  std::vector<uint32_t> indices_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_CORE_PATH_H_

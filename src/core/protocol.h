@@ -1,0 +1,83 @@
+// Wire protocol of the Amoeba File Service (paper §5).
+//
+// The command set follows §5's description: "commands to read and write the pages of a
+// version and commands to manipulate the shape of a version's page tree", bracketed by
+// create-version / commit ("Atomic updates on files are bracketed by creating a version and
+// committing a version"), plus cache validation (§5.4) and the administrative operations
+// the GC and tests need.
+
+#ifndef SRC_CORE_PROTOCOL_H_
+#define SRC_CORE_PROTOCOL_H_
+
+#include <cstdint>
+
+namespace afs {
+
+enum class FileOp : uint32_t {
+  // CreateFile: () -> (capability file)
+  //   Creates a file with one committed, empty version.
+  kCreateFile = 1,
+  // GetCurrentVersion: (capability file) -> (capability version, u32 head)
+  //   Read-only snapshot handle of the current committed version.
+  kGetCurrentVersion = 2,
+  // CreateVersion: (capability file, u64 owner_port, u8 respect_soft_lock) -> (capability
+  //   version). Applies the §5.3 locking rules: a small file tests the inner lock and sets
+  //   the top lock (a hint); a super-file tests both and sets the top lock exclusively.
+  //   owner_port identifies the update for the locks-made-of-ports mechanism; with
+  //   respect_soft_lock, a set top lock on a small file defers the update (§5.3 "soft
+  //   locking").
+  kCreateVersion = 3,
+  // ReadPage: (capability version, path, u8 want_refs) -> (u32 nrefs, bytes data)
+  //   Sets R (and S if want_refs) on the page's reference; searches (S) ancestors.
+  kReadPage = 4,
+  // WritePage: (capability version, path, bytes data) -> ()
+  //   Copy-on-write: first write of a page copies it; later writes go in place (§5.1).
+  kWritePage = 5,
+  // InsertRef: (capability version, path parent, u32 index) -> ()
+  //   Inserts a hole (nil reference) at `index`; writing through the hole creates the page.
+  //   Sets M on the parent ("make hole").
+  kInsertRef = 6,
+  // RemoveRef: (capability version, path parent, u32 index) -> ()
+  //   Removes the reference (and its subtree, from this version's point of view). Sets M.
+  kRemoveRef = 7,
+  // ReadRefs: (capability version, path) -> (u32 nrefs, nrefs * u8 flag_mask)
+  //   Searches the page's references (sets S).
+  kReadRefs = 8,
+  // MoveSubtree: (capability version, path from, path to_parent, u32 index) -> ()
+  //   "move subtrees to another part of the tree". Sets M on both parents.
+  kMoveSubtree = 9,
+  // Commit: (capability version) -> (u32 new_head)
+  //   The optimistic commit of §5.2. kConflict if the update cannot be serialised; the
+  //   version is then removed and the client must redo the update.
+  kCommit = 10,
+  // Abort: (capability version) -> ()
+  kAbort = 11,
+  // ValidateCache: (capability file, u32 cached_head, u32 npaths, paths...) ->
+  //   (capability current_version, u32 ninvalid, paths...)
+  //   The §5.4 cache check: a serialisability test between the cache entry and the current
+  //   version; returns "a list of path names of pages to be discarded". A null operation
+  //   when the cached version is still current.
+  kValidateCache = 12,
+  // FileStat: (capability file) -> (u32 current_head, u32 committed_versions, u8 is_super)
+  kFileStat = 13,
+  // CreateSubFile: (capability version, path parent, u32 index) -> (capability subfile)
+  //   Nests a new file's version page inside a super-file update (Figure 2's files within
+  //   files).
+  kCreateSubFile = 14,
+  // DeleteFile: (capability file) -> ()
+  kDeleteFile = 15,
+  // ListUncommitted: () -> (u32 n, n * u32 head)
+  //   GC support: live uncommitted version roots managed by this server. Uncommitted
+  //   versions of crashed servers are intentionally not reported — their pages are garbage
+  //   ("uncommitted versions need not be salvaged in a server crash").
+  kListUncommitted = 16,
+  // SplitPage: (capability version, path, u32 data_offset, u32 ref_index) -> ()
+  //   "split pages into two" (§5): a new sibling page directly after `path` receives the
+  //   data from `data_offset` on and the references from `ref_index` on; the original
+  //   keeps the prefixes. The root cannot be split (it has no parent to hold the sibling).
+  kSplitPage = 17,
+};
+
+}  // namespace afs
+
+#endif  // SRC_CORE_PROTOCOL_H_

@@ -1,0 +1,50 @@
+// BlockDevice: the storage abstraction under the block server (paper §4).
+//
+// The paper assumes exactly this contract: fixed-size blocks; "writing a block must be an
+// atomic action, with an acknowledgement that is returned after the block has been stored";
+// media occasionally corrupt a block or become (temporarily) inaccessible. Devices model
+// the three media of Figure 2: fast "electronic" disks, magnetic disks, and write-once
+// optical disks.
+
+#ifndef SRC_DISK_BLOCK_DEVICE_H_
+#define SRC_DISK_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace afs {
+
+// Block numbers are 28-bit on the wire (page references pack them with 4 flag bits, §5.1).
+using BlockNo = uint32_t;
+inline constexpr BlockNo kMaxBlockNo = (1u << 28) - 1;
+
+struct DiskGeometry {
+  uint32_t block_size = 0;
+  uint32_t num_blocks = 0;
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual DiskGeometry geometry() const = 0;
+
+  // Read one block into `out` (must be exactly block_size long).
+  // kCorrupt if the stored data was damaged; kUnavailable if the device is offline.
+  virtual Status Read(BlockNo bno, std::span<uint8_t> out) = 0;
+
+  // Atomically persist one block; returns only after the block is durable.
+  // kReadOnly on write-once media whose block was already written.
+  virtual Status Write(BlockNo bno, std::span<const uint8_t> data) = 0;
+
+  // Operation counters, used by benchmarks to count disk I/O independently of wall time.
+  virtual uint64_t reads() const = 0;
+  virtual uint64_t writes() const = 0;
+};
+
+}  // namespace afs
+
+#endif  // SRC_DISK_BLOCK_DEVICE_H_

@@ -1,0 +1,68 @@
+// MemDisk: RAM-backed block device with fault injection.
+//
+// Stands in for the paper's physical disks (DESIGN.md substitution table). Writes are
+// atomic per block (an internal mutex orders them and a write is either entirely stored or,
+// if the device is taken offline first, not at all — there is no torn-write state, matching
+// the §4 contract). Fault hooks drive every recovery path in the paper:
+//   * CorruptBlock(): flips bytes so the next read returns kCorrupt via the block server's
+//     checksum, exercising "consult the companion when the block is corrupted".
+//   * SetOffline(): the disk becomes inaccessible, exercising crash / fail-over paths.
+//   * set_latency_ops(): charges a busy-loop per operation so benchmarks can model slow
+//     magnetic vs fast electronic disks without wall-clock sleeps.
+
+#ifndef SRC_DISK_MEM_DISK_H_
+#define SRC_DISK_MEM_DISK_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "src/disk/block_device.h"
+
+namespace afs {
+
+class MemDisk : public BlockDevice {
+ public:
+  MemDisk(uint32_t block_size, uint32_t num_blocks);
+
+  DiskGeometry geometry() const override;
+  Status Read(BlockNo bno, std::span<uint8_t> out) override;
+  Status Write(BlockNo bno, std::span<const uint8_t> data) override;
+
+  uint64_t reads() const override { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const override { return writes_.load(std::memory_order_relaxed); }
+
+  // -- Fault injection ------------------------------------------------------
+
+  // Damage the stored copy of `bno` (XORs a byte). Reads will still "succeed" at this layer;
+  // integrity is the block server's job (its per-block checksum catches it).
+  void CorruptBlock(BlockNo bno);
+
+  // Take the device off line (media crash); all ops fail with kUnavailable until restored.
+  void SetOffline(bool offline);
+
+  // Erase everything, as if the medium were destroyed and replaced. Used by companion
+  // recovery tests: the replacement disk is rebuilt from the companion server.
+  void WipeClean();
+
+  // Simulated per-operation cost in relative "ticks" (spun, not slept).
+  void set_latency_ticks(uint32_t ticks) { latency_ticks_ = ticks; }
+
+ private:
+  Status CheckAccess(BlockNo bno, size_t len, size_t expected_len) const;
+  void ChargeLatency() const;
+
+  const uint32_t block_size_;
+  const uint32_t num_blocks_;
+  mutable std::mutex mu_;
+  std::vector<uint8_t> data_;
+  std::vector<bool> written_;
+  bool offline_ = false;
+  std::atomic<uint32_t> latency_ticks_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+};
+
+}  // namespace afs
+
+#endif  // SRC_DISK_MEM_DISK_H_

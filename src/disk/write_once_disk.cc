@@ -1,0 +1,30 @@
+#include "src/disk/write_once_disk.h"
+
+namespace afs {
+
+WriteOnceDisk::WriteOnceDisk(uint32_t block_size, uint32_t num_blocks)
+    : inner_(block_size, num_blocks), burned_(num_blocks, false) {}
+
+DiskGeometry WriteOnceDisk::geometry() const { return inner_.geometry(); }
+
+Status WriteOnceDisk::Read(BlockNo bno, std::span<uint8_t> out) { return inner_.Read(bno, out); }
+
+Status WriteOnceDisk::Write(BlockNo bno, std::span<const uint8_t> data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bno < burned_.size() && burned_[bno]) {
+      return ReadOnlyError("write-once block already burned");
+    }
+  }
+  RETURN_IF_ERROR(inner_.Write(bno, data));
+  std::lock_guard<std::mutex> lock(mu_);
+  burned_[bno] = true;
+  return OkStatus();
+}
+
+bool WriteOnceDisk::IsBurned(BlockNo bno) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bno < burned_.size() && burned_[bno];
+}
+
+}  // namespace afs

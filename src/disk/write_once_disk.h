@@ -1,0 +1,41 @@
+// WriteOnceDisk: optical write-once medium (paper §6: "files cannot be overwritten on a
+// write-once device. The version mechanism ... seems an ideal file store for optical
+// disks."). Each block may be written exactly once; rewriting fails with kReadOnly. The
+// version mechanism never rewrites committed pages except the version page itself, which the
+// file server places on rewritable media — the optical_archive example demonstrates the
+// split.
+
+#ifndef SRC_DISK_WRITE_ONCE_DISK_H_
+#define SRC_DISK_WRITE_ONCE_DISK_H_
+
+#include <mutex>
+#include <vector>
+
+#include "src/disk/mem_disk.h"
+
+namespace afs {
+
+class WriteOnceDisk : public BlockDevice {
+ public:
+  WriteOnceDisk(uint32_t block_size, uint32_t num_blocks);
+
+  DiskGeometry geometry() const override;
+  Status Read(BlockNo bno, std::span<uint8_t> out) override;
+
+  // First write to a block burns it; any subsequent write returns kReadOnly.
+  Status Write(BlockNo bno, std::span<const uint8_t> data) override;
+
+  uint64_t reads() const override { return inner_.reads(); }
+  uint64_t writes() const override { return inner_.writes(); }
+
+  bool IsBurned(BlockNo bno) const;
+
+ private:
+  MemDisk inner_;
+  mutable std::mutex mu_;
+  std::vector<bool> burned_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_DISK_WRITE_ONCE_DISK_H_

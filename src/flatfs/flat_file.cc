@@ -1,0 +1,239 @@
+#include "src/flatfs/flat_file.h"
+
+#include <algorithm>
+
+#include "src/base/wire.h"
+#include "src/client/transaction.h"
+
+namespace afs {
+namespace {
+
+constexpr uint64_t kMetaMagic = 0xf1a7f11eull;
+
+uint32_t ExtentOf(uint64_t offset) {
+  return static_cast<uint32_t>(offset / FlatFileClient::kExtentBytes);
+}
+
+}  // namespace
+
+std::vector<uint8_t> FlatFileClient::EncodeMeta(const Meta& meta) {
+  WireEncoder enc;
+  enc.PutU64(kMetaMagic);
+  enc.PutU64(meta.size);
+  return std::move(enc).Take();
+}
+
+Result<FlatFileClient::Meta> FlatFileClient::DecodeMeta(std::span<const uint8_t> data) {
+  if (data.empty()) {
+    return Meta{};  // freshly created: zero length
+  }
+  WireDecoder dec(data);
+  ASSIGN_OR_RETURN(uint64_t magic, dec.GetU64());
+  if (magic != kMetaMagic) {
+    return CorruptError("not a flat file (metadata magic mismatch)");
+  }
+  Meta meta;
+  ASSIGN_OR_RETURN(meta.size, dec.GetU64());
+  return meta;
+}
+
+Result<Capability> FlatFileClient::Create() {
+  ASSIGN_OR_RETURN(Capability file, files_->CreateFile());
+  auto stats = RunTransaction(files_, file, [](FileClient& c, const Capability& v) {
+    return c.WritePage(v, PagePath::Root(), EncodeMeta(Meta{}));
+  });
+  RETURN_IF_ERROR(stats.status());
+  return file;
+}
+
+Result<uint64_t> FlatFileClient::Size(const Capability& file) {
+  ASSIGN_OR_RETURN(Capability current, files_->GetCurrentVersion(file));
+  ASSIGN_OR_RETURN(FileClient::ReadResult root, files_->ReadPage(current, PagePath::Root()));
+  ASSIGN_OR_RETURN(Meta meta, DecodeMeta(root.data));
+  return meta.size;
+}
+
+Result<std::vector<uint8_t>> FlatFileClient::ReadAt(const Capability& file, uint64_t offset,
+                                                    size_t length) {
+  ASSIGN_OR_RETURN(Capability current, files_->GetCurrentVersion(file));
+  ASSIGN_OR_RETURN(FileClient::ReadResult root, files_->ReadPage(current, PagePath::Root()));
+  ASSIGN_OR_RETURN(Meta meta, DecodeMeta(root.data));
+  if (offset >= meta.size) {
+    return std::vector<uint8_t>{};
+  }
+  length = static_cast<size_t>(std::min<uint64_t>(length, meta.size - offset));
+  std::vector<uint8_t> out(length, 0);
+
+  uint64_t pos = offset;
+  while (pos < offset + length) {
+    uint32_t extent = ExtentOf(pos);
+    uint64_t extent_start = static_cast<uint64_t>(extent) * kExtentBytes;
+    size_t in_page = static_cast<size_t>(pos - extent_start);
+    size_t take = std::min<size_t>(kExtentBytes - in_page, offset + length - pos);
+    auto page = files_->ReadPage(current, PagePath({extent}));
+    if (page.ok()) {
+      size_t available = page->data.size() > in_page ? page->data.size() - in_page : 0;
+      size_t copy = std::min(take, available);
+      std::copy_n(page->data.begin() + in_page, copy, out.begin() + (pos - offset));
+    } else if (page.status().code() != ErrorCode::kNotFound) {
+      return page.status();  // holes read as zeros; real errors propagate
+    }
+    pos += take;
+  }
+  return out;
+}
+
+Status FlatFileClient::Mutate(const Capability& file, uint64_t offset,
+                              std::span<const uint8_t> data, bool truncate,
+                              uint64_t truncate_size) {
+  auto stats = RunTransaction(
+      files_, file, [&](FileClient& c, const Capability& v) -> Status {
+        ASSIGN_OR_RETURN(FileClient::ReadResult root, c.ReadPage(v, PagePath::Root()));
+        ASSIGN_OR_RETURN(Meta meta, DecodeMeta(root.data));
+        uint32_t nrefs = root.nrefs;
+
+        uint64_t new_size = meta.size;
+        if (truncate) {
+          new_size = truncate_size;
+        } else if (!data.empty()) {
+          new_size = std::max<uint64_t>(meta.size, offset + data.size());
+        }
+
+        if (truncate && new_size < meta.size) {
+          // Shrink: drop whole extents past the new end and zero the tail of the last one,
+          // so a later extension cannot resurrect stale bytes.
+          uint32_t keep_extents =
+              new_size == 0 ? 0 : ExtentOf(new_size - 1) + 1;
+          for (uint32_t extent = nrefs; extent-- > keep_extents;) {
+            RETURN_IF_ERROR(c.RemoveRef(v, PagePath::Root(), extent));
+          }
+          nrefs = std::min(nrefs, keep_extents);
+          size_t tail = static_cast<size_t>(new_size % kExtentBytes);
+          if (tail != 0 && keep_extents > 0 && keep_extents <= nrefs) {
+            uint32_t last = keep_extents - 1;
+            auto page = c.ReadPage(v, PagePath({last}));
+            if (page.ok() && page->data.size() > tail) {
+              page->data.resize(tail);
+              RETURN_IF_ERROR(c.WritePage(v, PagePath({last}), page->data));
+            }
+          }
+        }
+
+        // Ensure reference slots exist up to the last touched extent (holes, not pages:
+        // untouched gaps cost nothing and read as zeros).
+        uint64_t last_needed = 0;
+        if (!data.empty()) {
+          last_needed = offset + data.size() - 1;
+        } else if (new_size > 0) {
+          last_needed = new_size - 1;
+        }
+        if (new_size > 0) {
+          for (uint32_t extent = nrefs; extent <= ExtentOf(last_needed); ++extent) {
+            RETURN_IF_ERROR(c.InsertRef(v, PagePath::Root(), extent));
+          }
+        }
+
+        // Write the data, extent by extent. Aligned full-extent writes are blind (no read),
+        // which the optimistic machinery rewards; partial writes read-modify-write.
+        uint64_t pos = offset;
+        while (pos < offset + data.size()) {
+          uint32_t extent = ExtentOf(pos);
+          uint64_t extent_start = static_cast<uint64_t>(extent) * kExtentBytes;
+          size_t in_page = static_cast<size_t>(pos - extent_start);
+          size_t take = std::min<size_t>(kExtentBytes - in_page, offset + data.size() - pos);
+          std::vector<uint8_t> page_data;
+          if (in_page == 0 && take == kExtentBytes) {
+            page_data.assign(data.begin() + (pos - offset),
+                             data.begin() + (pos - offset) + take);
+          } else {
+            auto existing = c.ReadPage(v, PagePath({extent}));
+            if (existing.ok()) {
+              page_data = std::move(existing->data);
+            } else if (existing.status().code() != ErrorCode::kNotFound) {
+              return existing.status();
+            }
+            if (page_data.size() < in_page + take) {
+              page_data.resize(in_page + take, 0);
+            }
+            std::copy_n(data.begin() + (pos - offset), take, page_data.begin() + in_page);
+          }
+          RETURN_IF_ERROR(c.WritePage(v, PagePath({extent}), page_data));
+          pos += take;
+        }
+
+        if (new_size != meta.size || truncate) {
+          RETURN_IF_ERROR(c.WritePage(v, PagePath::Root(), EncodeMeta(Meta{new_size})));
+        }
+        return OkStatus();
+      });
+  return stats.status();
+}
+
+Status FlatFileClient::WriteAt(const Capability& file, uint64_t offset,
+                               std::span<const uint8_t> data) {
+  if (data.empty()) {
+    return OkStatus();
+  }
+  return Mutate(file, offset, data, /*truncate=*/false, 0);
+}
+
+Result<uint64_t> FlatFileClient::Append(const Capability& file,
+                                        std::span<const uint8_t> data) {
+  // The size read and the write happen inside ONE transaction, so concurrent appends
+  // serialise (each sees the size the previous one committed).
+  uint64_t landed = 0;
+  auto stats = RunTransaction(
+      files_, file, [&](FileClient& c, const Capability& v) -> Status {
+        ASSIGN_OR_RETURN(FileClient::ReadResult root, c.ReadPage(v, PagePath::Root()));
+        ASSIGN_OR_RETURN(Meta meta, DecodeMeta(root.data));
+        landed = meta.size;
+        uint64_t end = meta.size + data.size();
+        uint32_t nrefs = root.nrefs;
+        if (end > 0) {
+          for (uint32_t extent = nrefs; extent <= ExtentOf(end - 1); ++extent) {
+            RETURN_IF_ERROR(c.InsertRef(v, PagePath::Root(), extent));
+          }
+        }
+        uint64_t pos = meta.size;
+        while (pos < end) {
+          uint32_t extent = ExtentOf(pos);
+          uint64_t extent_start = static_cast<uint64_t>(extent) * kExtentBytes;
+          size_t in_page = static_cast<size_t>(pos - extent_start);
+          size_t take = std::min<size_t>(kExtentBytes - in_page, end - pos);
+          std::vector<uint8_t> page_data;
+          if (in_page != 0) {
+            auto existing = c.ReadPage(v, PagePath({extent}));
+            if (existing.ok()) {
+              page_data = std::move(existing->data);
+            }
+            page_data.resize(in_page, 0);
+          }
+          page_data.insert(page_data.end(), data.begin() + (pos - meta.size),
+                           data.begin() + (pos - meta.size) + take);
+          RETURN_IF_ERROR(c.WritePage(v, PagePath({extent}), page_data));
+          pos += take;
+        }
+        return c.WritePage(v, PagePath::Root(), EncodeMeta(Meta{end}));
+      });
+  RETURN_IF_ERROR(stats.status());
+  return landed;
+}
+
+Status FlatFileClient::Truncate(const Capability& file, uint64_t new_size) {
+  return Mutate(file, 0, {}, /*truncate=*/true, new_size);
+}
+
+Status FlatFileClient::WriteAll(const Capability& file, std::string_view contents) {
+  RETURN_IF_ERROR(Truncate(file, 0));
+  return WriteAt(file, 0,
+                 std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(contents.data()),
+                                          contents.size()));
+}
+
+Result<std::string> FlatFileClient::ReadAll(const Capability& file) {
+  ASSIGN_OR_RETURN(uint64_t size, Size(file));
+  ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAt(file, 0, static_cast<size_t>(size)));
+  return std::string(data.begin(), data.end());
+}
+
+}  // namespace afs

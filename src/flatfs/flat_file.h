@@ -1,0 +1,72 @@
+// FlatFileClient: ordinary linear (byte-stream) files on top of the Amoeba File Service —
+// the "flat file server" of the paper's storage hierarchy (Figure 1), and the service the
+// §2 compiler user wants: "a temporary file that can be quickly accessed and changed".
+//
+// A flat file is one AFS file whose root data holds the byte length and whose children are
+// fixed-size extent pages: byte offset o lives in page o / kExtentBytes. Reads and writes
+// at arbitrary offsets become page reads/writes; every mutation is one atomic AFS
+// transaction, so concurrent writers of one flat file are serialised by the optimistic
+// machinery underneath (writers of disjoint extents merge; overlapping writers redo).
+// This layer demonstrates what §5's client-controlled trees are FOR: it decides the shape
+// (a flat array of extents) and the file service neither knows nor cares.
+
+#ifndef SRC_FLATFS_FLAT_FILE_H_
+#define SRC_FLATFS_FLAT_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/client/file_client.h"
+
+namespace afs {
+
+class FlatFileClient {
+ public:
+  // Bytes per extent page. Must leave room in a 32K page; 8 KiB keeps trees shallow while
+  // exercising multi-page operations in tests.
+  static constexpr size_t kExtentBytes = 8192;
+
+  explicit FlatFileClient(FileClient* files) : files_(files) {}
+
+  // Create an empty flat file; the returned capability is an ordinary AFS file capability.
+  Result<Capability> Create();
+
+  // Current length in bytes.
+  Result<uint64_t> Size(const Capability& file);
+
+  // Read up to `length` bytes at `offset` from the current committed state. Short reads
+  // happen only at end-of-file.
+  Result<std::vector<uint8_t>> ReadAt(const Capability& file, uint64_t offset, size_t length);
+
+  // Atomically write `data` at `offset`, extending the file (zero-filling any gap) if the
+  // write lies past the end.
+  Status WriteAt(const Capability& file, uint64_t offset, std::span<const uint8_t> data);
+
+  // Atomically append; returns the offset the data landed at.
+  Result<uint64_t> Append(const Capability& file, std::span<const uint8_t> data);
+
+  // Atomically truncate (or extend with zeros) to `new_size` bytes.
+  Status Truncate(const Capability& file, uint64_t new_size);
+
+  // Whole-file convenience helpers.
+  Status WriteAll(const Capability& file, std::string_view contents);
+  Result<std::string> ReadAll(const Capability& file);
+
+ private:
+  struct Meta {
+    uint64_t size = 0;
+  };
+  static std::vector<uint8_t> EncodeMeta(const Meta& meta);
+  static Result<Meta> DecodeMeta(std::span<const uint8_t> data);
+
+  // Performs one transactional mutation of [offset, offset+len) plus the size field.
+  Status Mutate(const Capability& file, uint64_t offset, std::span<const uint8_t> data,
+                bool truncate, uint64_t truncate_size);
+
+  FileClient* files_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_FLATFS_FLAT_FILE_H_

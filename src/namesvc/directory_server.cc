@@ -1,0 +1,163 @@
+#include "src/namesvc/directory_server.h"
+
+#include "src/base/wire.h"
+#include "src/client/transaction.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+
+DirectoryServer::DirectoryServer(Network* network, std::string name,
+                                 std::vector<Port> file_servers)
+    : Service(network, std::move(name)), files_(network, std::move(file_servers)) {}
+
+Status DirectoryServer::Init() {
+  ASSIGN_OR_RETURN(dir_file_, files_.CreateFile());
+  return Mutate([](Entries* entries) {
+    entries->clear();
+    return OkStatus();
+  });
+}
+
+Status DirectoryServer::Adopt(const Capability& dir_file) {
+  dir_file_ = dir_file;
+  return OkStatus();
+}
+
+Result<DirectoryServer::Entries> DirectoryServer::Decode(std::span<const uint8_t> data) {
+  Entries entries;
+  if (data.empty()) {
+    return entries;
+  }
+  WireDecoder dec(data);
+  ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::string name, dec.GetString());
+    ASSIGN_OR_RETURN(Capability cap, dec.GetCapability());
+    entries[name] = cap;
+  }
+  return entries;
+}
+
+std::vector<uint8_t> DirectoryServer::Encode(const Entries& entries) {
+  WireEncoder enc;
+  enc.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [name, cap] : entries) {
+    enc.PutString(name);
+    enc.PutCapability(cap);
+  }
+  return std::move(enc).Take();
+}
+
+Status DirectoryServer::Mutate(const std::function<Status(Entries*)>& mutate) {
+  auto stats = RunTransaction(
+      &files_, dir_file_,
+      [&](FileClient& client, const Capability& version) -> Status {
+        ASSIGN_OR_RETURN(FileClient::ReadResult page, client.ReadPage(version, PagePath::Root()));
+        ASSIGN_OR_RETURN(Entries entries, Decode(page.data));
+        RETURN_IF_ERROR(mutate(&entries));
+        return client.WritePage(version, PagePath::Root(), Encode(entries));
+      });
+  return stats.status();
+}
+
+Result<DirectoryServer::Entries> DirectoryServer::Snapshot() {
+  ASSIGN_OR_RETURN(Capability current, files_.GetCurrentVersion(dir_file_));
+  ASSIGN_OR_RETURN(FileClient::ReadResult page, files_.ReadPage(current, PagePath::Root()));
+  return Decode(page.data);
+}
+
+Status DirectoryServer::Enter(const std::string& name, const Capability& target) {
+  return Mutate([&](Entries* entries) -> Status {
+    if (entries->count(name) > 0) {
+      return AlreadyExistsError("directory entry exists: " + name);
+    }
+    (*entries)[name] = target;
+    return OkStatus();
+  });
+}
+
+Result<Capability> DirectoryServer::Lookup(const std::string& name) {
+  ASSIGN_OR_RETURN(Entries entries, Snapshot());
+  auto it = entries.find(name);
+  if (it == entries.end()) {
+    return NotFoundError("no directory entry: " + name);
+  }
+  return it->second;
+}
+
+Status DirectoryServer::Remove(const std::string& name) {
+  return Mutate([&](Entries* entries) -> Status {
+    if (entries->erase(name) == 0) {
+      return NotFoundError("no directory entry: " + name);
+    }
+    return OkStatus();
+  });
+}
+
+Result<std::vector<std::string>> DirectoryServer::List() {
+  ASSIGN_OR_RETURN(Entries entries, Snapshot());
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (const auto& [name, cap] : entries) {
+    (void)cap;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status DirectoryServer::Rename(const std::string& old_name, const std::string& new_name) {
+  return Mutate([&](Entries* entries) -> Status {
+    auto it = entries->find(old_name);
+    if (it == entries->end()) {
+      return NotFoundError("no directory entry: " + old_name);
+    }
+    if (entries->count(new_name) > 0) {
+      return AlreadyExistsError("directory entry exists: " + new_name);
+    }
+    (*entries)[new_name] = it->second;
+    entries->erase(it);
+    return OkStatus();
+  });
+}
+
+Result<Message> DirectoryServer::Handle(const Message& m) {
+  WireDecoder in(m.payload);
+  switch (static_cast<DirOp>(m.opcode)) {
+    case DirOp::kEnter: {
+      ASSIGN_OR_RETURN(std::string name, in.GetString());
+      ASSIGN_OR_RETURN(Capability cap, in.GetCapability());
+      RETURN_IF_ERROR(Enter(name, cap));
+      return OkReply(m.opcode);
+    }
+    case DirOp::kLookup: {
+      ASSIGN_OR_RETURN(std::string name, in.GetString());
+      ASSIGN_OR_RETURN(Capability cap, Lookup(name));
+      WireEncoder out;
+      out.PutCapability(cap);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case DirOp::kRemove: {
+      ASSIGN_OR_RETURN(std::string name, in.GetString());
+      RETURN_IF_ERROR(Remove(name));
+      return OkReply(m.opcode);
+    }
+    case DirOp::kList: {
+      ASSIGN_OR_RETURN(std::vector<std::string> names, List());
+      WireEncoder out;
+      out.PutU32(static_cast<uint32_t>(names.size()));
+      for (const std::string& name : names) {
+        out.PutString(name);
+      }
+      return OkReply(m.opcode, std::move(out));
+    }
+    case DirOp::kRename: {
+      ASSIGN_OR_RETURN(std::string old_name, in.GetString());
+      ASSIGN_OR_RETURN(std::string new_name, in.GetString());
+      RETURN_IF_ERROR(Rename(old_name, new_name));
+      return OkReply(m.opcode);
+    }
+  }
+  return InvalidArgumentError("unknown directory opcode");
+}
+
+}  // namespace afs

@@ -1,0 +1,35 @@
+#include "src/rpc/client.h"
+
+namespace afs {
+
+Message OkReply(uint32_t opcode, WireEncoder payload) {
+  WireEncoder out;
+  out.PutU32(static_cast<uint32_t>(ErrorCode::kOk));
+  out.PutString("");
+  out.PutRaw(payload.buffer());
+  return Message(opcode, std::move(out).Take());
+}
+
+Message OkReply(uint32_t opcode) { return OkReply(opcode, WireEncoder()); }
+
+Message ErrorReply(uint32_t opcode, const Status& status) {
+  WireEncoder out;
+  out.PutU32(static_cast<uint32_t>(status.code()));
+  out.PutString(status.message());
+  return Message(opcode, std::move(out).Take());
+}
+
+Result<WireDecoder> CallAndCheck(Network* network, Port target, uint32_t opcode,
+                                 WireEncoder request, const CallOptions& options) {
+  Message req(opcode, std::move(request).Take());
+  ASSIGN_OR_RETURN(Message reply, network->Call(target, std::move(req), options));
+  WireDecoder dec(std::move(reply.payload));
+  ASSIGN_OR_RETURN(uint32_t code, dec.GetU32());
+  ASSIGN_OR_RETURN(std::string message, dec.GetString());
+  if (code != static_cast<uint32_t>(ErrorCode::kOk)) {
+    return Status(static_cast<ErrorCode>(code), std::move(message));
+  }
+  return dec;
+}
+
+}  // namespace afs

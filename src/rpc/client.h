@@ -1,0 +1,33 @@
+// Small client-side helpers shared by every service stub: encode a request, perform the
+// transaction, decode the status header of the reply.
+//
+// Reply wire format, used by all AFS services:
+//   u32 error_code, string error_message, then service-specific payload.
+
+#ifndef SRC_RPC_CLIENT_H_
+#define SRC_RPC_CLIENT_H_
+
+#include <utility>
+
+#include "src/base/status.h"
+#include "src/base/wire.h"
+#include "src/rpc/message.h"
+#include "src/rpc/network.h"
+
+namespace afs {
+
+// Service-side: encode an ok reply carrying `payload`'s bytes (status header + payload).
+Message OkReply(uint32_t opcode, WireEncoder payload);
+Message OkReply(uint32_t opcode);
+
+// Service-side: encode an error reply.
+Message ErrorReply(uint32_t opcode, const Status& status);
+
+// Client-side: perform the call and peel the status header. On success the returned decoder
+// owns the reply buffer and is positioned at the service-specific payload.
+Result<WireDecoder> CallAndCheck(Network* network, Port target, uint32_t opcode,
+                                 WireEncoder request, const CallOptions& options = {});
+
+}  // namespace afs
+
+#endif  // SRC_RPC_CLIENT_H_

@@ -1,0 +1,29 @@
+// Request/reply messages, the unit of an Amoeba transaction.
+//
+// The paper bounds a page by "the maximum length of a message in a transaction: 32K bytes";
+// we enforce the same limit on payloads so that every page really is read or written in one
+// atomic request.
+
+#ifndef SRC_RPC_MESSAGE_H_
+#define SRC_RPC_MESSAGE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace afs {
+
+// Maximum payload of one transaction message (and therefore of one page), per the paper.
+inline constexpr size_t kMaxMessageBytes = 32 * 1024;
+
+struct Message {
+  uint32_t opcode = 0;
+  std::vector<uint8_t> payload;
+
+  Message() = default;
+  Message(uint32_t op, std::vector<uint8_t> data) : opcode(op), payload(std::move(data)) {}
+};
+
+}  // namespace afs
+
+#endif  // SRC_RPC_MESSAGE_H_

@@ -1,0 +1,130 @@
+#include "src/rpc/network.h"
+
+#include <thread>
+
+#include "src/rpc/service.h"
+
+namespace afs {
+
+Network::Network(uint64_t seed) : rng_(seed) {}
+
+Network::~Network() = default;
+
+Port Network::AllocatePort(Port parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Port port = next_port_++;
+  transaction_ports_[port] = parent;
+  return port;
+}
+
+void Network::ClosePort(Port port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transaction_ports_.erase(port);
+}
+
+bool Network::IsPortAlive(Port port) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_service_ports_.count(port) > 0) {
+    return true;
+  }
+  auto it = transaction_ports_.find(port);
+  if (it == transaction_ports_.end()) {
+    return false;
+  }
+  // A parent-linked port dies with its parent service (one level of linking only).
+  return it->second == kNullPort || live_service_ports_.count(it->second) > 0 ||
+         transaction_ports_.count(it->second) > 0;
+}
+
+Port Network::BindService(Service* service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Port port = next_port_++;
+  services_[port] = service;
+  live_service_ports_.insert(port);
+  return port;
+}
+
+void Network::RebindService(Service* service, Port port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  services_[port] = service;
+  live_service_ports_.insert(port);
+}
+
+void Network::UnbindService(Port port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  services_.erase(port);
+  live_service_ports_.erase(port);
+}
+
+void Network::SetServiceAlive(Port port, bool alive) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (alive) {
+    live_service_ports_.insert(port);
+  } else {
+    live_service_ports_.erase(port);
+  }
+}
+
+void Network::set_drop_probability(double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_probability_ = p;
+}
+
+void Network::set_latency(std::chrono::microseconds min, std::chrono::microseconds max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_min_ = min;
+  latency_max_ = max;
+}
+
+void Network::SetPartitioned(Port port, bool partitioned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partitioned) {
+    partitioned_.insert(port);
+  } else {
+    partitioned_.erase(port);
+  }
+}
+
+Result<Service*> Network::LookupForCall(Port port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = services_.find(port);
+  if (it == services_.end()) {
+    return NotFoundError("no service bound to port");
+  }
+  if (partitioned_.count(port) > 0) {
+    return UnavailableError("port partitioned");
+  }
+  if (live_service_ports_.count(port) == 0) {
+    return CrashedError("service is down");
+  }
+  if (drop_probability_ > 0.0 && rng_.NextBool(drop_probability_)) {
+    dropped_calls_.fetch_add(1, std::memory_order_relaxed);
+    return TimeoutError("message dropped");
+  }
+  return it->second;
+}
+
+std::chrono::microseconds Network::PickLatency() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latency_max_.count() == 0) {
+    return std::chrono::microseconds(0);
+  }
+  auto span = static_cast<uint64_t>((latency_max_ - latency_min_).count());
+  auto extra = span == 0 ? 0 : rng_.NextBelow(span + 1);
+  return latency_min_ + std::chrono::microseconds(extra);
+}
+
+Result<Message> Network::Call(Port target, Message request, const CallOptions& options) {
+  total_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (request.payload.size() > kMaxMessageBytes) {
+    return InvalidArgumentError("message exceeds 32K transaction limit");
+  }
+  auto latency = PickLatency();
+  if (latency.count() > 0) {
+    std::this_thread::sleep_for(latency);
+  }
+  ASSIGN_OR_RETURN(Service * service, LookupForCall(target));
+  return service->Submit(std::move(request), options.timeout);
+}
+
+}  // namespace afs

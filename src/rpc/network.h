@@ -1,0 +1,112 @@
+// The simulated network: a registry of ports and the request/reply transaction primitive.
+//
+// This stands in for the Amoeba kernel's transaction layer (DESIGN.md substitution table).
+// Semantics preserved from the paper:
+//   * A client sends a request to a port and blocks for the reply (one transaction).
+//   * If the server crashes while a transaction is outstanding, the transaction fails
+//     immediately with kCrashed — this is the "automatic warning mechanism" that lock
+//     waiters rely on in §5.3.
+//   * Ports are unforgeable names. Besides service ports, clients allocate *transaction
+//     ports* whose liveness other parties can observe; locks store such ports.
+// Fault injection: per-network message drop probability (surfaces as kTimeout), per-message
+// latency bounds, and per-port partitions (kUnavailable).
+
+#ifndef SRC_RPC_NETWORK_H_
+#define SRC_RPC_NETWORK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/base/capability.h"
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/rpc/message.h"
+
+namespace afs {
+
+class Service;
+
+struct CallOptions {
+  std::chrono::milliseconds timeout{1000};
+};
+
+class Network {
+ public:
+  explicit Network(uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // -- Port management ------------------------------------------------------
+
+  // Allocate a fresh port not bound to a service (a transaction port). It is alive until
+  // ClosePort() is called. Locks in version pages store these (§5.3). A port may be
+  // parent-linked to a service port: it is then only alive while the parent is — the
+  // mechanism a server uses to mint per-operation lock identities that die with it, so
+  // waiters can steal the locks of a crashed server.
+  Port AllocatePort(Port parent = kNullPort);
+  void ClosePort(Port port);
+
+  // True if the port currently accepts transactions: either a running service's port or an
+  // open transaction port. Lock waiters poll this to detect crashed lock holders.
+  bool IsPortAlive(Port port) const;
+
+  // -- Transactions ---------------------------------------------------------
+
+  // Perform one request/reply transaction against `target`.
+  // Failure modes: kNotFound (no such port ever), kCrashed (service down or crashed
+  // mid-call), kTimeout (message dropped or handler exceeded the timeout),
+  // kUnavailable (partitioned).
+  Result<Message> Call(Port target, Message request, const CallOptions& options = {});
+
+  // -- Fault injection ------------------------------------------------------
+
+  void set_drop_probability(double p);
+  void set_latency(std::chrono::microseconds min, std::chrono::microseconds max);
+  // While partitioned, calls to `port` fail with kUnavailable.
+  void SetPartitioned(Port port, bool partitioned);
+
+  // -- Introspection --------------------------------------------------------
+
+  uint64_t total_calls() const { return total_calls_.load(std::memory_order_relaxed); }
+  uint64_t dropped_calls() const { return dropped_calls_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Service;
+
+  // Called by Service::Start / Service::Shutdown.
+  Port BindService(Service* service);
+  void RebindService(Service* service, Port port);
+  void UnbindService(Port port);
+  // Crash/stop flips liveness without unbinding, so the port number is preserved across
+  // Restart() (an Amoeba service keeps its port when a new server process takes over).
+  void SetServiceAlive(Port port, bool alive);
+
+  Result<Service*> LookupForCall(Port port);
+  std::chrono::microseconds PickLatency();
+
+  mutable std::mutex mu_;
+  uint64_t next_port_ = 1;
+  std::unordered_map<Port, Service*> services_;
+  std::unordered_set<Port> live_service_ports_;
+  std::unordered_map<Port, Port> transaction_ports_;  // port -> parent (or kNullPort)
+  std::unordered_set<Port> partitioned_;
+  double drop_probability_ = 0.0;
+  std::chrono::microseconds latency_min_{0};
+  std::chrono::microseconds latency_max_{0};
+  Rng rng_;
+
+  std::atomic<uint64_t> total_calls_{0};
+  std::atomic<uint64_t> dropped_calls_{0};
+};
+
+}  // namespace afs
+
+#endif  // SRC_RPC_NETWORK_H_

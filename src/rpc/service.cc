@@ -1,0 +1,166 @@
+#include "src/rpc/service.h"
+
+#include <algorithm>
+
+namespace afs {
+
+Service::Service(Network* network, std::string name, int num_workers)
+    : network_(network), name_(std::move(name)), num_workers_(std::max(1, num_workers)) {}
+
+Service::~Service() {
+  Shutdown();
+  ReapZombies();
+  if (port_ != kNullPort) {
+    network_->UnbindService(port_);
+  }
+}
+
+void Service::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return;
+    }
+  }
+  if (port_ == kNullPort) {
+    port_ = network_->BindService(this);
+  } else {
+    network_->RebindService(this, port_);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = true;
+  stopping_ = false;
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool Service::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void Service::StopWorkers(bool mark_crashed) {
+  std::vector<std::shared_ptr<CallState>> to_fail;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return;
+    }
+    running_ = false;
+    stopping_ = true;
+    // Fail everything queued and everything a worker is currently handling. The client
+    // unblocks immediately with kCrashed — the paper's crash-notification property.
+    for (auto& [req, state] : queue_) {
+      (void)req;
+      to_fail.push_back(state);
+    }
+    queue_.clear();
+    for (auto& state : in_flight_) {
+      to_fail.push_back(state);
+    }
+    // Workers are not joined here: a crash must not wait for in-flight handlers. They
+    // drain into zombies_ and are reaped on Restart() or destruction.
+    for (auto& w : workers_) {
+      zombies_.push_back(std::move(w));
+    }
+    workers_.clear();
+  }
+  queue_cv_.notify_all();
+  for (auto& state : to_fail) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->done) {
+      state->done = true;
+      state->result = mark_crashed ? CrashedError(name_ + " crashed")
+                                   : UnavailableError(name_ + " shut down");
+      state->cv.notify_all();
+    }
+  }
+  if (port_ != kNullPort) {
+    network_->SetServiceAlive(port_, false);
+  }
+}
+
+void Service::ReapZombies() {
+  std::vector<std::thread> zombies;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    zombies.swap(zombies_);
+  }
+  for (auto& z : zombies) {
+    if (z.joinable()) {
+      z.join();
+    }
+  }
+}
+
+void Service::Crash() { StopWorkers(/*mark_crashed=*/true); }
+
+void Service::Shutdown() { StopWorkers(/*mark_crashed=*/false); }
+
+void Service::Restart() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return;
+    }
+  }
+  ReapZombies();
+  OnRestart();
+  Start();
+}
+
+Result<Message> Service::Submit(Message request, std::chrono::milliseconds timeout) {
+  auto state = std::make_shared<CallState>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return CrashedError(name_ + " is down");
+    }
+    queue_.emplace_back(std::move(request), state);
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  if (!state->cv.wait_for(lock, timeout, [&] { return state->done; })) {
+    state->done = true;  // worker reply, if it ever arrives, is discarded
+    return TimeoutError(name_ + " transaction timed out");
+  }
+  return std::move(state->result);
+}
+
+void Service::WorkerLoop() {
+  for (;;) {
+    Message request;
+    std::shared_ptr<CallState> state;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) {
+        return;
+      }
+      request = std::move(queue_.front().first);
+      state = std::move(queue_.front().second);
+      queue_.pop_front();
+      in_flight_.push_back(state);
+    }
+
+    Result<Message> result = Handle(request);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_.erase(std::remove(in_flight_.begin(), in_flight_.end(), state),
+                       in_flight_.end());
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->done) {
+        state->done = true;
+        state->result = std::move(result);
+        state->cv.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace afs

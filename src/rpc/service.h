@@ -1,0 +1,102 @@
+// Service: base class for every AFS server process (block servers, file servers, directory
+// servers, baselines).
+//
+// A Service owns a pool of worker threads that pop requests from a queue and run the
+// subclass's Handle(). Crash() models a server-process crash: workers stop, every queued and
+// in-flight transaction fails with kCrashed (the paper: "the outstanding transactions with
+// the server crash as well"), and the port goes dead until Restart(). Restart() reuses the
+// same port — an Amoeba service port survives server replacement — and runs the subclass's
+// OnRestart() recovery hook before accepting requests.
+
+#ifndef SRC_RPC_SERVICE_H_
+#define SRC_RPC_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/rpc/message.h"
+#include "src/rpc/network.h"
+
+namespace afs {
+
+class Service {
+ public:
+  // `num_workers` > 1 lets a file server run serialisability tests in parallel with other
+  // commits, as §5.2 requires; subclass Handle() implementations must be thread-safe.
+  Service(Network* network, std::string name, int num_workers = 4);
+  virtual ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Bind a port (first call) and begin serving. Idempotent while running.
+  void Start();
+
+  // Model a crash: stop serving, fail queued and in-flight calls with kCrashed, drop the
+  // port's liveness. State in the subclass is NOT cleaned up — exactly like a real crash.
+  void Crash();
+
+  // Graceful stop (drains nothing; like Crash but without the pejorative semantics for
+  // callers — pending calls still fail with kCrashed).
+  void Shutdown();
+
+  // Bring a crashed service back on its old port. Runs OnRestart() before serving.
+  void Restart();
+
+  Port port() const { return port_; }
+  const std::string& name() const { return name_; }
+  Network* network() const { return network_; }
+  bool running() const;
+
+ protected:
+  // Serve one request. Returning a non-ok Status produces an error reply at the caller.
+  virtual Result<Message> Handle(const Message& request) = 0;
+
+  // Crash-recovery hook, run on Restart() before the port goes live (e.g. a block server
+  // "compares notes with its companion, and restores its disk before accepting any
+  // requests", §4).
+  virtual void OnRestart() {}
+
+ private:
+  friend class Network;
+
+  struct CallState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<Message> result = Status(ErrorCode::kInternal);
+  };
+
+  // Network-side entry: enqueue and wait.
+  Result<Message> Submit(Message request, std::chrono::milliseconds timeout);
+
+  void WorkerLoop();
+  // Stop serving without waiting for in-flight handlers (a crash does not politely join its
+  // threads). Stopped workers become zombies, reaped on Restart()/destruction.
+  void StopWorkers(bool mark_crashed);
+  void ReapZombies();
+
+  Network* network_;
+  std::string name_;
+  int num_workers_;
+  Port port_ = kNullPort;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::pair<Message, std::shared_ptr<CallState>>> queue_;
+  std::vector<std::shared_ptr<CallState>> in_flight_;
+  std::vector<std::thread> workers_;
+  std::vector<std::thread> zombies_;
+  bool running_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace afs
+
+#endif  // SRC_RPC_SERVICE_H_

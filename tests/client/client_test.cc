@@ -1,0 +1,222 @@
+// Client library tests: RPC stubs, the transaction redo loop (§5.2/§6), and the cached
+// client (§5.4) — all over the full RPC cluster.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/client/cached_client.h"
+#include "src/client/file_client.h"
+#include "src/client/transaction.h"
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : cluster_(2), client_(&cluster_.net(), cluster_.FileServerPorts()) {}
+
+  FullCluster cluster_;
+  FileClient client_;
+};
+
+TEST_F(ClientTest, EndToEndWriteReadOverRpc) {
+  auto file = client_.CreateFile();
+  ASSERT_TRUE(file.ok());
+  auto v = client_.CreateVersion(*file);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(client_.WriteString(*v, PagePath::Root(), "over the wire").ok());
+  ASSERT_TRUE(client_.Commit(*v).ok());
+  auto current = client_.GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*client_.ReadString(*current, PagePath::Root()), "over the wire");
+}
+
+TEST_F(ClientTest, StructuralOpsOverRpc) {
+  auto file = client_.CreateFile();
+  auto v = client_.CreateVersion(*file);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(client_.InsertRef(*v, PagePath::Root(), 0).ok());
+  ASSERT_TRUE(client_.InsertRef(*v, PagePath::Root(), 1).ok());
+  ASSERT_TRUE(client_.WriteString(*v, PagePath({0}), "a").ok());
+  ASSERT_TRUE(client_.WriteString(*v, PagePath({1}), "b").ok());
+  auto refs = client_.ReadRefs(*v, PagePath::Root());
+  ASSERT_TRUE(refs.ok());
+  EXPECT_EQ(refs->size(), 2u);
+  ASSERT_TRUE(client_.MoveSubtree(*v, PagePath({0}), PagePath({1}), 0).ok());
+  ASSERT_TRUE(client_.Commit(*v).ok());
+  auto current = client_.GetCurrentVersion(*file);
+  EXPECT_EQ(*client_.ReadString(*current, PagePath({0})), "b");
+  EXPECT_EQ(*client_.ReadString(*current, PagePath({0, 0})), "a");
+}
+
+TEST_F(ClientTest, VersionOpsRouteToManagingServer) {
+  auto file = client_.CreateFile();
+  // Create a version whose manager is server 1 explicitly.
+  FileClient direct(&cluster_.net(), {cluster_.FileServerPorts()[1]});
+  auto v = direct.CreateVersion(*file);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->port, cluster_.FileServerPorts()[1]);
+  // The shared client (preferring server 0) still reaches the right manager.
+  ASSERT_TRUE(client_.WriteString(*v, PagePath::Root(), "routed").ok());
+  ASSERT_TRUE(client_.Commit(*v).ok());
+}
+
+TEST_F(ClientTest, TransactionCommitsFirstTryWhenUncontended) {
+  auto file = client_.CreateFile();
+  auto stats = RunTransaction(&client_, *file, [](FileClient& c, const Capability& v) {
+    return c.WriteString(v, PagePath::Root(), "tx");
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->attempts, 1);
+  EXPECT_EQ(stats->conflicts, 0);
+}
+
+TEST_F(ClientTest, TransactionRedoesOnConflict) {
+  // Two counter transactions race; the redo loop must make both increments stick.
+  auto file = client_.CreateFile();
+  {
+    auto stats = RunTransaction(&client_, *file, [](FileClient& c, const Capability& v) {
+      return c.WriteString(v, PagePath::Root(), "0");
+    });
+    ASSERT_TRUE(stats.ok());
+  }
+  auto increment = [this, &file](int id) -> int {
+    TransactionOptions options;
+    options.backoff_seed = 1000 + id;
+    auto stats = RunTransaction(
+        &client_, *file,
+        [](FileClient& c, const Capability& v) -> Status {
+          ASSIGN_OR_RETURN(std::string text, c.ReadString(v, PagePath::Root()));
+          int n = std::stoi(text);
+          return c.WriteString(v, PagePath::Root(), std::to_string(n + 1));
+        },
+        options);
+    return stats.ok() ? stats->conflicts : -1;
+  };
+  std::atomic<int> total_conflicts{0};
+  std::thread t1([&] { total_conflicts += increment(1); });
+  std::thread t2([&] { total_conflicts += increment(2); });
+  t1.join();
+  t2.join();
+  ASSERT_GE(total_conflicts.load(), 0);
+  auto current = client_.GetCurrentVersion(*file);
+  EXPECT_EQ(*client_.ReadString(*current, PagePath::Root()), "2");  // no lost update
+}
+
+TEST_F(ClientTest, ManyConcurrentCountersSerialise) {
+  auto file = client_.CreateFile();
+  ASSERT_TRUE(RunTransaction(&client_, *file, [](FileClient& c, const Capability& v) {
+                return c.WriteString(v, PagePath::Root(), "0");
+              }).ok());
+  constexpr int kThreads = 6;
+  constexpr int kIncrements = 5;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      FileClient local(&cluster_.net(), cluster_.FileServerPorts());
+      for (int i = 0; i < kIncrements; ++i) {
+        TransactionOptions options;
+        options.backoff_seed = t * 100 + i;
+        options.max_attempts = 256;
+        auto stats = RunTransaction(
+            &local, *file,
+            [](FileClient& c, const Capability& v) -> Status {
+              ASSIGN_OR_RETURN(std::string text, c.ReadString(v, PagePath::Root()));
+              return c.WriteString(v, PagePath::Root(), std::to_string(std::stoi(text) + 1));
+            },
+            options);
+        if (!stats.ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  auto current = client_.GetCurrentVersion(*file);
+  EXPECT_EQ(*client_.ReadString(*current, PagePath::Root()),
+            std::to_string(kThreads * kIncrements));
+}
+
+TEST_F(ClientTest, CachedClientServesFromCacheAfterValidation) {
+  auto file = client_.CreateFile();
+  ASSERT_TRUE(RunTransaction(&client_, *file, [](FileClient& c, const Capability& v) {
+                RETURN_IF_ERROR(c.InsertRef(v, PagePath::Root(), 0));
+                return c.WriteString(v, PagePath({0}), "cacheable");
+              }).ok());
+
+  CachedFileClient cached(&cluster_.net(), cluster_.FileServerPorts());
+  auto first = cached.Read(*file, PagePath({0}));
+  ASSERT_TRUE(first.ok());
+  uint64_t calls_after_first = cluster_.net().total_calls();
+  // Second read: one validation round-trip, zero page transfers.
+  auto second = cached.Read(*file, PagePath({0}));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, *first);
+  EXPECT_EQ(cached.cache().hits(), 1u);
+  uint64_t calls_after_second = cluster_.net().total_calls();
+  EXPECT_LE(calls_after_second - calls_after_first, 2u);  // the validation transaction
+}
+
+TEST_F(ClientTest, CachedClientDiscardsStalePagesOnly) {
+  auto file = client_.CreateFile();
+  ASSERT_TRUE(RunTransaction(&client_, *file, [](FileClient& c, const Capability& v) {
+                RETURN_IF_ERROR(c.InsertRef(v, PagePath::Root(), 0));
+                RETURN_IF_ERROR(c.InsertRef(v, PagePath::Root(), 1));
+                RETURN_IF_ERROR(c.WriteString(v, PagePath({0}), "stable"));
+                return c.WriteString(v, PagePath({1}), "volatile-v1");
+              }).ok());
+  CachedFileClient cached(&cluster_.net(), cluster_.FileServerPorts());
+  ASSERT_TRUE(cached.Read(*file, PagePath({0})).ok());
+  ASSERT_TRUE(cached.Read(*file, PagePath({1})).ok());
+
+  // Another client modifies page 1 only.
+  ASSERT_TRUE(RunTransaction(&client_, *file, [](FileClient& c, const Capability& v) {
+                return c.WriteString(v, PagePath({1}), "volatile-v2");
+              }).ok());
+
+  // Page 0 still served from cache; page 1 refetched with the new contents. No
+  // unsolicited message was ever needed.
+  auto page1 = cached.Read(*file, PagePath({1}));
+  ASSERT_TRUE(page1.ok());
+  EXPECT_EQ(std::string(page1->begin(), page1->end()), "volatile-v2");
+  uint64_t hits_before = cached.cache().hits();
+  ASSERT_TRUE(cached.Read(*file, PagePath({0})).ok());
+  EXPECT_EQ(cached.cache().hits(), hits_before + 1);
+}
+
+TEST_F(ClientTest, SoftLockedTransactionWaits) {
+  auto file = client_.CreateFile();
+  Port holder = cluster_.net().AllocatePort();
+  auto blocker = client_.CreateVersion(*file, holder, false);
+  ASSERT_TRUE(blocker.ok());
+  // A soft-lock-respecting update defers until the blocker commits.
+  std::atomic<bool> committed{false};
+  std::thread deferred([&] {
+    TransactionOptions options;
+    options.respect_soft_lock = true;
+    options.max_attempts = 1000;
+    auto stats = RunTransaction(
+        &client_, *file,
+        [](FileClient& c, const Capability& v) {
+          return c.WriteString(v, PagePath::Root(), "deferred");
+        },
+        options);
+    EXPECT_TRUE(stats.ok());
+    EXPECT_TRUE(committed.load());  // must not have run before the blocker finished
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  committed = true;
+  ASSERT_TRUE(client_.Commit(*blocker).ok());
+  cluster_.net().ClosePort(holder);
+  deferred.join();
+}
+
+}  // namespace
+}  // namespace afs

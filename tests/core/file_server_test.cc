@@ -1,0 +1,282 @@
+// FileServer basics: file lifecycle, version creation (the paper's "behaves as if it were
+// a copy"), page reads/writes through the COW machinery, structural operations, holes,
+// and read-only access to committed snapshots.
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+class FileServerTest : public ::testing::Test {
+ protected:
+  FastCluster cluster_;
+};
+
+TEST_F(FileServerTest, CreateFileHasOneCommittedEmptyVersion) {
+  auto file = cluster_.fs().CreateFile();
+  ASSERT_TRUE(file.ok());
+  auto stat = cluster_.fs().FileStat(*file);
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->committed_versions, 1u);
+  EXPECT_FALSE(stat->is_super);
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  auto read = cluster_.fs().ReadPage(*current, PagePath::Root(), false);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->data.empty());
+  EXPECT_EQ(read->nrefs, 0u);
+}
+
+TEST_F(FileServerTest, WriteCommitRead) {
+  auto file = cluster_.fs().CreateFile();
+  ASSERT_TRUE(file.ok());
+  auto version = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(version.ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*version, PagePath::Root(), Bytes("hello")).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*version).ok());
+
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  auto read = cluster_.fs().ReadPage(*current, PagePath::Root(), false);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->data, Bytes("hello"));
+}
+
+TEST_F(FileServerTest, UncommittedVersionInvisibleToReaders) {
+  auto file = cluster_.fs().CreateFile();
+  auto version = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(version.ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*version, PagePath::Root(), Bytes("draft")).ok());
+  // The current version still shows the old (empty) state.
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  auto read = cluster_.fs().ReadPage(*current, PagePath::Root(), false);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->data.empty());
+}
+
+TEST_F(FileServerTest, VersionBehavesAsCopyOfCurrent) {
+  // Build v1 with content, then check a new version reads it back before any write.
+  auto file = cluster_.fs().CreateFile();
+  auto v1 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().WritePage(*v1, PagePath::Root(), Bytes("base")).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v1).ok());
+
+  auto v2 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(v2.ok());
+  auto read = cluster_.fs().ReadPage(*v2, PagePath::Root(), false);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->data, Bytes("base"));
+}
+
+TEST_F(FileServerTest, AbortDiscardsChangesAndFreesPages) {
+  auto file = cluster_.fs().CreateFile();
+  size_t blocks_before = cluster_.store().allocated_blocks();
+  auto version = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(version.ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*version, PagePath::Root(), Bytes("gone")).ok());
+  ASSERT_TRUE(cluster_.fs().Abort(*version).ok());
+  EXPECT_EQ(cluster_.store().allocated_blocks(), blocks_before);
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  EXPECT_TRUE(cluster_.fs().ReadPage(*current, PagePath::Root(), false)->data.empty());
+}
+
+TEST_F(FileServerTest, TreeConstructionWithInsertAndHoles) {
+  auto file = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(v.ok());
+  // Insert two holes under the root, write through them (materialising pages).
+  ASSERT_TRUE(cluster_.fs().InsertRef(*v, PagePath::Root(), 0).ok());
+  ASSERT_TRUE(cluster_.fs().InsertRef(*v, PagePath::Root(), 1).ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({0}), Bytes("left")).ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({1}), Bytes("right")).ok());
+  // A hole that was never written reads as NotFound.
+  ASSERT_TRUE(cluster_.fs().InsertRef(*v, PagePath::Root(), 2).ok());
+  EXPECT_EQ(cluster_.fs().ReadPage(*v, PagePath({2}), false).status().code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0}), false)->data, Bytes("left"));
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({1}), false)->data, Bytes("right"));
+}
+
+TEST_F(FileServerTest, DeepTreePaths) {
+  auto file = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  // Build a depth-4 path /0/0/0/0 by inserting a hole at each level then writing.
+  PagePath path = PagePath::Root();
+  for (int depth = 0; depth < 4; ++depth) {
+    ASSERT_TRUE(cluster_.fs().InsertRef(*v, path, 0).ok());
+    path = path.Child(0);
+    ASSERT_TRUE(cluster_.fs()
+                    .WritePage(*v, path, Bytes("level" + std::to_string(depth)))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0, 0, 0, 0}), false)->data,
+            Bytes("level3"));
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0, 0}), false)->data, Bytes("level1"));
+}
+
+TEST_F(FileServerTest, RemoveRefDetachesSubtree) {
+  auto file = cluster_.fs().CreateFile();
+  auto v1 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().InsertRef(*v1, PagePath::Root(), 0).ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*v1, PagePath({0}), Bytes("child")).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v1).ok());
+
+  auto v2 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().RemoveRef(*v2, PagePath::Root(), 0).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v2).ok());
+
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  auto read = cluster_.fs().ReadPage(*current, PagePath({0}), false);
+  EXPECT_FALSE(read.ok());
+  // The old version still has it (differential history).
+  EXPECT_EQ(cluster_.fs().ReadPage(*v1, PagePath({0}), false)->data, Bytes("child"));
+}
+
+TEST_F(FileServerTest, MoveSubtreeRelocatesPages) {
+  auto file = cluster_.fs().CreateFile();
+  auto v1 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().InsertRef(*v1, PagePath::Root(), 0).ok());
+  ASSERT_TRUE(cluster_.fs().InsertRef(*v1, PagePath::Root(), 1).ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*v1, PagePath({0}), Bytes("movable")).ok());
+  ASSERT_TRUE(cluster_.fs().InsertRef(*v1, PagePath({0}), 0).ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*v1, PagePath({0, 0}), Bytes("nested")).ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*v1, PagePath({1}), Bytes("target-parent")).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v1).ok());
+
+  auto v2 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().MoveSubtree(*v2, PagePath({0}), PagePath({1}), 0).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v2).ok());
+
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0, 0}), false)->data, Bytes("movable"));
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0, 0, 0}), false)->data,
+            Bytes("nested"));
+}
+
+TEST_F(FileServerTest, MoveIntoOwnSubtreeRejected) {
+  auto file = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().InsertRef(*v, PagePath::Root(), 0).ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({0}), Bytes("x")).ok());
+  EXPECT_EQ(cluster_.fs().MoveSubtree(*v, PagePath({0}), PagePath({0}), 0).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FileServerTest, WriteToCommittedVersionRejected) {
+  auto file = cluster_.fs().CreateFile();
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(cluster_.fs().WritePage(*current, PagePath::Root(), Bytes("nope")).code(),
+            ErrorCode::kReadOnly);
+}
+
+TEST_F(FileServerTest, CommitTwiceRejected) {
+  auto file = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  EXPECT_EQ(cluster_.fs().Commit(*v).status().code(), ErrorCode::kAborted);
+}
+
+TEST_F(FileServerTest, ForgedCapsRejected) {
+  auto file = cluster_.fs().CreateFile();
+  Capability forged = *file;
+  forged.check ^= 0x40;
+  EXPECT_EQ(cluster_.fs().GetCurrentVersion(forged).status().code(),
+            ErrorCode::kBadCapability);
+  EXPECT_EQ(cluster_.fs().CreateVersion(forged, kNullPort, false).status().code(),
+            ErrorCode::kBadCapability);
+}
+
+TEST_F(FileServerTest, DeleteFileRemovesIt) {
+  auto file = cluster_.fs().CreateFile();
+  ASSERT_TRUE(cluster_.fs().DeleteFile(*file).ok());
+  EXPECT_EQ(cluster_.fs().GetCurrentVersion(*file).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(cluster_.fs().DeleteFile(*file).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FileServerTest, VersionChainGrowsWithCommits) {
+  auto file = cluster_.fs().CreateFile();
+  for (int i = 0; i < 5; ++i) {
+    auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(
+        cluster_.fs().WritePage(*v, PagePath::Root(), Bytes("v" + std::to_string(i))).ok());
+    ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  }
+  auto stat = cluster_.fs().FileStat(*file);
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->committed_versions, 6u);  // initial + 5
+}
+
+TEST_F(FileServerTest, HistoricalVersionsRemainReadable) {
+  // Figure 4: committed versions represent past states of the file.
+  auto file = cluster_.fs().CreateFile();
+  std::vector<Capability> history;
+  for (int i = 0; i < 3; ++i) {
+    auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(
+        cluster_.fs().WritePage(*v, PagePath::Root(), Bytes("gen" + std::to_string(i))).ok());
+    ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+    history.push_back(*v);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto read = cluster_.fs().ReadPage(history[i], PagePath::Root(), false);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read->data, Bytes("gen" + std::to_string(i)));
+  }
+}
+
+TEST_F(FileServerTest, LargePagesViaChaining) {
+  auto file = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  std::vector<uint8_t> big(30000, 0xd1);
+  ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath::Root(), big).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath::Root(), false)->data, big);
+}
+
+TEST_F(FileServerTest, PageSizeLimitEnforced) {
+  auto file = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  std::vector<uint8_t> too_big(kMaxPageBytes + 1, 0);
+  EXPECT_EQ(cluster_.fs().WritePage(*v, PagePath::Root(), too_big).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FileServerTest, SharedUnwrittenPagesAreNotCopied) {
+  // Differential files: a version copies only what it touches.
+  auto file = cluster_.fs().CreateFile();
+  auto v1 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster_.fs().InsertRef(*v1, PagePath::Root(), i).ok());
+    ASSERT_TRUE(cluster_.fs()
+                    .WritePage(*v1, PagePath({static_cast<uint32_t>(i)}),
+                               std::vector<uint8_t>(3000, static_cast<uint8_t>(i)))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster_.fs().Commit(*v1).ok());
+
+  size_t before = cluster_.store().allocated_blocks();
+  auto v2 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().WritePage(*v2, PagePath({0}), Bytes("touched")).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v2).ok());
+  size_t after = cluster_.store().allocated_blocks();
+  // Touching one of eight pages must cost far less than re-materialising the file: the new
+  // version page + one copied page, not eight.
+  EXPECT_LE(after - before, 4u);
+}
+
+}  // namespace
+}  // namespace afs

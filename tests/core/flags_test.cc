@@ -1,0 +1,152 @@
+// Tests of the C/R/W/S/M flag algebra and the 4-bit packed encoding (paper §5.1):
+// exactly 13 valid combinations, 28-bit block numbers, conflict predicate.
+
+#include <gtest/gtest.h>
+
+#include "src/core/flags.h"
+#include "src/core/serialise.h"
+
+namespace afs {
+namespace {
+
+TEST(FlagsTest, ExactlyThirteenValidCombinations) {
+  int valid = 0;
+  for (int flags = 0; flags < 32; ++flags) {
+    if (FlagsValid(static_cast<uint8_t>(flags))) {
+      ++valid;
+    }
+  }
+  EXPECT_EQ(valid, kNumValidFlagCombos);
+  EXPECT_EQ(valid, 13);  // the paper's count
+}
+
+TEST(FlagsTest, ImplicationRules) {
+  // R, W, S, M each imply C.
+  EXPECT_FALSE(FlagsValid(RefFlag::kRead));
+  EXPECT_FALSE(FlagsValid(RefFlag::kWritten));
+  EXPECT_FALSE(FlagsValid(RefFlag::kSearched));
+  // M implies S (and C).
+  EXPECT_FALSE(FlagsValid(RefFlag::kCopied | RefFlag::kModified));
+  EXPECT_TRUE(FlagsValid(RefFlag::kCopied | RefFlag::kSearched | RefFlag::kModified));
+  // The empty (shared) state and bare C are valid.
+  EXPECT_TRUE(FlagsValid(0));
+  EXPECT_TRUE(FlagsValid(RefFlag::kCopied));
+}
+
+TEST(FlagsTest, EncodeDecodeBijectiveOverValidCombos) {
+  for (int flags = 0; flags < 32; ++flags) {
+    auto code = EncodeFlags(static_cast<uint8_t>(flags));
+    if (!FlagsValid(static_cast<uint8_t>(flags))) {
+      EXPECT_FALSE(code.ok()) << FlagsToString(static_cast<uint8_t>(flags));
+      continue;
+    }
+    ASSERT_TRUE(code.ok());
+    EXPECT_LT(*code, 13);  // fits in 4 bits with room to detect corruption
+    auto back = DecodeFlags(*code);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, flags);
+  }
+}
+
+TEST(FlagsTest, DecodeRejectsOutOfRangeCodes) {
+  for (uint8_t code = 13; code < 16; ++code) {
+    EXPECT_EQ(DecodeFlags(code).status().code(), ErrorCode::kCorrupt);
+  }
+}
+
+TEST(FlagsTest, NormalizeSetsImpliedBits) {
+  EXPECT_EQ(NormalizeFlags(RefFlag::kRead), RefFlag::kRead | RefFlag::kCopied);
+  EXPECT_EQ(NormalizeFlags(RefFlag::kModified),
+            RefFlag::kModified | RefFlag::kSearched | RefFlag::kCopied);
+  EXPECT_TRUE(FlagsValid(NormalizeFlags(0x1f)));
+}
+
+TEST(FlagsTest, NormalizeIsIdempotent) {
+  for (int flags = 0; flags < 32; ++flags) {
+    uint8_t once = NormalizeFlags(static_cast<uint8_t>(flags));
+    EXPECT_EQ(once, NormalizeFlags(once));
+    EXPECT_TRUE(FlagsValid(once));
+  }
+}
+
+TEST(FlagsTest, ToStringFormatsAllPositions) {
+  EXPECT_EQ(FlagsToString(0), "-----");
+  EXPECT_EQ(FlagsToString(RefFlag::kAllFlags), "CRWSM");
+  EXPECT_EQ(FlagsToString(RefFlag::kCopied | RefFlag::kWritten), "C-W--");
+}
+
+TEST(PackRefTest, RoundTripPreservesBlockAndFlags) {
+  PageRef ref;
+  ref.block = 0x0abcdef;
+  ref.flags = RefFlag::kCopied | RefFlag::kRead;
+  auto raw = PackRef(ref);
+  ASSERT_TRUE(raw.ok());
+  auto back = UnpackRef(*raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, ref);
+}
+
+TEST(PackRefTest, TwentyEightBitLimit) {
+  PageRef ref;
+  ref.block = kMaxBlockNo;
+  ref.flags = 0;
+  EXPECT_TRUE(PackRef(ref).ok());
+  ref.block = kMaxBlockNo + 1;
+  EXPECT_FALSE(PackRef(ref).ok());
+}
+
+TEST(PackRefTest, PackedFormUses28Plus4Bits) {
+  PageRef ref;
+  ref.block = 1;
+  ref.flags = RefFlag::kCopied;  // encodes as code 1
+  auto raw = PackRef(ref);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw & kMaxBlockNo, 1u);
+  EXPECT_EQ(*raw >> 28, 1u);
+}
+
+TEST(PackRefTest, NilRefRoundTrips) {
+  PageRef nil;  // default: kNilRef, no flags
+  auto raw = PackRef(nil);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(UnpackRef(*raw)->block, kNilRef);
+}
+
+// --- Conflict predicate (§5.2 via serialise.h) ---
+
+TEST(FlagsConflictTest, ReadVsWriteConflicts) {
+  EXPECT_TRUE(FlagsConflict(NormalizeFlags(RefFlag::kRead), NormalizeFlags(RefFlag::kWritten)));
+}
+
+TEST(FlagsConflictTest, WriteVsWriteDoesNotConflict) {
+  // Blind writes serialise; V.b's data wins.
+  EXPECT_FALSE(
+      FlagsConflict(NormalizeFlags(RefFlag::kWritten), NormalizeFlags(RefFlag::kWritten)));
+}
+
+TEST(FlagsConflictTest, SearchVsModifyConflicts) {
+  EXPECT_TRUE(
+      FlagsConflict(NormalizeFlags(RefFlag::kSearched), NormalizeFlags(RefFlag::kModified)));
+  EXPECT_TRUE(
+      FlagsConflict(NormalizeFlags(RefFlag::kModified), NormalizeFlags(RefFlag::kSearched)));
+}
+
+TEST(FlagsConflictTest, ReadVsModifyDoesNotConflict) {
+  // Data reads do not depend on sibling structure.
+  EXPECT_FALSE(
+      FlagsConflict(NormalizeFlags(RefFlag::kRead), NormalizeFlags(RefFlag::kModified)));
+}
+
+TEST(FlagsConflictTest, WriteVsSearchDoesNotConflict) {
+  EXPECT_FALSE(
+      FlagsConflict(NormalizeFlags(RefFlag::kWritten), NormalizeFlags(RefFlag::kSearched)));
+}
+
+TEST(FlagsConflictTest, UntouchedNeverConflicts) {
+  for (int fc = 0; fc < 32; ++fc) {
+    EXPECT_FALSE(FlagsConflict(0, NormalizeFlags(static_cast<uint8_t>(fc))));
+  }
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,283 @@
+// Garbage collector tests: exact reclamation, pruning with Figure 4 invariant
+// maintenance, pinning by uncommitted versions, crashed-server garbage, concurrency, and
+// the reshare-on-commit rule (§5.1).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/core/gc.h"
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+class GcTest : public ::testing::Test {
+ protected:
+  GcTest() : gc_({&cluster_.fs()}, GcOptions{.keep_versions = 1}) {}
+
+  Capability MakeFile(int pages) {
+    auto file = cluster_.fs().CreateFile();
+    auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+    for (int i = 0; i < pages; ++i) {
+      (void)cluster_.fs().InsertRef(*v, PagePath::Root(), i);
+      (void)cluster_.fs().WritePage(*v, PagePath({static_cast<uint32_t>(i)}),
+                                    std::vector<uint8_t>(2000, static_cast<uint8_t>(i)));
+    }
+    (void)cluster_.fs().Commit(*v);
+    return *file;
+  }
+
+  void CommitWrite(const Capability& file, uint32_t page, std::string_view value) {
+    auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
+    ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({page}), Bytes(value)).ok());
+    ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  }
+
+  FastCluster cluster_;
+  GarbageCollector gc_;
+};
+
+TEST_F(GcTest, IdleCycleFreesNothingLive) {
+  // A non-pruning collector must not touch anything in a quiescent system.
+  GarbageCollector keeper({&cluster_.fs()}, GcOptions{.keep_versions = 100});
+  Capability file = MakeFile(4);
+  size_t before = cluster_.store().allocated_blocks();
+  ASSERT_TRUE(keeper.RunCycle().ok());
+  EXPECT_EQ(cluster_.store().allocated_blocks(), before);
+  // The file remains fully readable.
+  auto current = cluster_.fs().GetCurrentVersion(file);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(cluster_.fs().ReadPage(*current, PagePath({i}), false).ok());
+  }
+}
+
+TEST_F(GcTest, OldVersionsPrunedAndChainInvariantKept) {
+  Capability file = MakeFile(2);
+  for (int i = 0; i < 5; ++i) {
+    CommitWrite(file, 0, "gen" + std::to_string(i));
+  }
+  EXPECT_EQ(cluster_.fs().FileStat(file)->committed_versions, 7u);  // initial + makefile + 5
+  ASSERT_TRUE(gc_.RunCycle().ok());
+  EXPECT_GT(gc_.stats().versions_pruned, 0u);
+  auto stat = cluster_.fs().FileStat(file);
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->committed_versions, 1u);
+  // Figure 4 invariant after pruning: the (new) oldest version's base reference is nil.
+  auto chain = cluster_.fs().CommittedChain(file.object);
+  ASSERT_TRUE(chain.ok());
+  auto oldest = cluster_.fs().page_store()->ReadPage(chain->front());
+  ASSERT_TRUE(oldest.ok());
+  EXPECT_EQ(oldest->base_ref, kNilRef);
+  // Current data intact.
+  auto current = cluster_.fs().GetCurrentVersion(file);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0}), false)->data, Bytes("gen4"));
+  EXPECT_FALSE(cluster_.fs().ReadPage(*current, PagePath({1}), false)->data.empty());
+}
+
+TEST_F(GcTest, SpaceReclaimedAfterPruning) {
+  Capability file = MakeFile(2);
+  size_t baseline = cluster_.store().allocated_blocks();
+  for (int i = 0; i < 10; ++i) {
+    CommitWrite(file, 0, std::string(2000, 'x'));
+  }
+  size_t grown = cluster_.store().allocated_blocks();
+  ASSERT_GT(grown, baseline);
+  ASSERT_TRUE(gc_.RunCycle().ok());
+  EXPECT_GT(gc_.stats().blocks_swept, 0u);
+  // Near-baseline occupancy: the 10 historical root pages + their copied pages are gone.
+  EXPECT_LT(cluster_.store().allocated_blocks(), baseline + 4);
+}
+
+TEST_F(GcTest, AbortedVersionsLeaveNoGarbage) {
+  Capability file = MakeFile(2);
+  size_t before = cluster_.store().allocated_blocks();
+  for (int i = 0; i < 5; ++i) {
+    auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
+    ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({0}), Bytes("temp")).ok());
+    ASSERT_TRUE(cluster_.fs().Abort(*v).ok());
+  }
+  EXPECT_EQ(cluster_.store().allocated_blocks(), before);  // abort frees eagerly
+  GarbageCollector keeper({&cluster_.fs()}, GcOptions{.keep_versions = 100});
+  ASSERT_TRUE(keeper.RunCycle().ok());
+  EXPECT_EQ(cluster_.store().allocated_blocks(), before);  // and the GC finds no more
+}
+
+TEST_F(GcTest, UncommittedVersionsPinTheirBase) {
+  Capability file = MakeFile(1);
+  auto open_version = cluster_.fs().CreateVersion(file, kNullPort, false);
+  ASSERT_TRUE(open_version.ok());
+  // Several newer versions commit meanwhile.
+  for (int i = 0; i < 4; ++i) {
+    CommitWrite(file, 0, "newer" + std::to_string(i));
+  }
+  ASSERT_TRUE(gc_.RunCycle().ok());
+  // The open version's pages survive, and the commit still works (its serialisability
+  // tests walk the retained chain).
+  ASSERT_TRUE(cluster_.fs().WritePage(*open_version, PagePath({0}), Bytes("late")).ok());
+  auto commit = cluster_.fs().Commit(*open_version);
+  EXPECT_TRUE(commit.ok()) << commit.status();
+  auto current = cluster_.fs().GetCurrentVersion(file);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0}), false)->data, Bytes("late"));
+}
+
+TEST_F(GcTest, CrashedServersUncommittedVersionsAreCollected) {
+  // "Uncommitted versions need not be salvaged in a server crash."
+  Capability file = MakeFile(2);
+  auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({0}), Bytes("doomed")).ok());
+  size_t with_version = cluster_.store().allocated_blocks();
+  cluster_.fs().Crash();
+  cluster_.fs().Restart();
+  ASSERT_TRUE(gc_.RunCycle().ok());
+  EXPECT_LT(cluster_.store().allocated_blocks(), with_version);
+  // The file itself is unharmed.
+  auto current = cluster_.fs().GetCurrentVersion(file);
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(cluster_.fs().ReadPage(*current, PagePath({0}), false).ok());
+}
+
+TEST_F(GcTest, DeletedFilesFullyReclaimed) {
+  size_t before = cluster_.store().allocated_blocks();
+  Capability file = MakeFile(8);
+  ASSERT_TRUE(cluster_.fs().DeleteFile(file).ok());
+  ASSERT_TRUE(gc_.RunCycle().ok());
+  // Only the (rewritten) file table may differ in block count.
+  EXPECT_LE(cluster_.store().allocated_blocks(), before + 1);
+}
+
+TEST_F(GcTest, KeepVersionsRespected) {
+  GarbageCollector keeper({&cluster_.fs()}, GcOptions{.keep_versions = 3});
+  Capability file = MakeFile(1);
+  for (int i = 0; i < 6; ++i) {
+    CommitWrite(file, 0, "g" + std::to_string(i));
+  }
+  ASSERT_TRUE(keeper.RunCycle().ok());
+  EXPECT_EQ(cluster_.fs().FileStat(file)->committed_versions, 3u);
+}
+
+TEST_F(GcTest, RunsInParallelWithUpdates) {
+  // Abstract: "A garbage collector that runs independent of, and in parallel with, the
+  // operation of the system."
+  Capability file = MakeFile(4);
+  std::atomic<bool> stop{false};
+  std::atomic<int> commits{0};
+  std::thread mutator([&] {
+    int i = 0;
+    while (!stop.load()) {
+      auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
+      if (!v.ok()) {
+        continue;
+      }
+      if (cluster_.fs()
+              .WritePage(*v, PagePath({static_cast<uint32_t>(i % 4)}), Bytes("data"))
+              .ok() &&
+          cluster_.fs().Commit(*v).ok()) {
+        ++commits;
+      }
+      ++i;
+    }
+  });
+  int cycles = 0;
+  while (commits.load() < 10 && cycles < 2000) {
+    Status st = gc_.RunCycle();
+    ++cycles;
+    // Aborted cycles (racing mutations) are fine; failed invariants are not.
+    if (!st.ok()) {
+      EXPECT_NE(st.code(), ErrorCode::kInternal) << st;
+    }
+  }
+  stop = true;
+  mutator.join();
+  EXPECT_GT(commits.load(), 0);
+  // Final state consistent: everything readable.
+  auto current = cluster_.fs().GetCurrentVersion(file);
+  ASSERT_TRUE(current.ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(cluster_.fs().ReadPage(*current, PagePath({i}), false).ok());
+  }
+  // And a quiescent cycle still reclaims all remaining garbage.
+  ASSERT_TRUE(gc_.RunCycle().ok());
+}
+
+TEST_F(GcTest, BackgroundModeStartsAndStops) {
+  Capability file = MakeFile(1);
+  gc_.Start(std::chrono::milliseconds(5));
+  for (int i = 0; i < 10; ++i) {
+    CommitWrite(file, 0, "bg" + std::to_string(i));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gc_.Stop();
+  EXPECT_GT(gc_.stats().cycles, 0u);
+}
+
+// --- Reshare-on-commit (ablation A2, §5.1's "copied but not written" rule) ---
+
+TEST(ReshareTest, CopiedButUnwrittenPagesResharedWithBase) {
+  FileServerOptions with;
+  with.reshare_on_commit = true;
+  FileServerOptions without;
+  without.reshare_on_commit = false;
+
+  auto measure = [](FileServerOptions options) -> size_t {
+    FastCluster cluster(options);
+    auto file = cluster.fs().CreateFile();
+    auto v0 = cluster.fs().CreateVersion(*file, kNullPort, false);
+    for (int i = 0; i < 8; ++i) {
+      (void)cluster.fs().InsertRef(*v0, PagePath::Root(), i);
+      (void)cluster.fs().WritePage(*v0, PagePath({static_cast<uint32_t>(i)}),
+                                   std::vector<uint8_t>(2000, 1));
+    }
+    (void)cluster.fs().Commit(*v0);
+    // The update READS seven pages and writes one: the seven read-copies are clean.
+    auto v1 = cluster.fs().CreateVersion(*file, kNullPort, false);
+    for (int i = 0; i < 7; ++i) {
+      (void)cluster.fs().ReadPage(*v1, PagePath({static_cast<uint32_t>(i)}), false);
+    }
+    (void)cluster.fs().WritePage(*v1, PagePath({7}), std::vector<uint8_t>(2000, 2));
+    (void)cluster.fs().Commit(*v1);
+    // Resharing redirects references; the dropped copies become unreachable and are
+    // reclaimed by the collector (both versions retained, so pruning plays no part).
+    GarbageCollector gc({&cluster.fs()}, GcOptions{.keep_versions = 100});
+    (void)gc.RunCycle();
+    return cluster.store().allocated_blocks();
+  };
+
+  // With resharing, the clean read-copies are dropped from the committed tree; the
+  // space difference is the point of the §5.1 rule.
+  EXPECT_LT(measure(with), measure(without));
+}
+
+TEST(ReshareTest, ReshareKeepsContentIdentical) {
+  FileServerOptions options;
+  options.reshare_on_commit = true;
+  FastCluster cluster(options);
+  auto file = cluster.fs().CreateFile();
+  auto v0 = cluster.fs().CreateVersion(*file, kNullPort, false);
+  for (int i = 0; i < 4; ++i) {
+    (void)cluster.fs().InsertRef(*v0, PagePath::Root(), i);
+    (void)cluster.fs().WritePage(*v0, PagePath({static_cast<uint32_t>(i)}),
+                                 Bytes("original" + std::to_string(i)));
+  }
+  (void)cluster.fs().Commit(*v0);
+  auto v1 = cluster.fs().CreateVersion(*file, kNullPort, false);
+  for (int i = 0; i < 3; ++i) {
+    (void)cluster.fs().ReadPage(*v1, PagePath({static_cast<uint32_t>(i)}), false);
+  }
+  ASSERT_TRUE(cluster.fs().WritePage(*v1, PagePath({3}), Bytes("rewritten")).ok());
+  ASSERT_TRUE(cluster.fs().Commit(*v1).ok());
+  auto current = cluster.fs().GetCurrentVersion(*file);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.fs().ReadPage(*current, PagePath({static_cast<uint32_t>(i)}), false)->data,
+              Bytes("original" + std::to_string(i)));
+  }
+  EXPECT_EQ(cluster.fs().ReadPage(*current, PagePath({3}), false)->data, Bytes("rewritten"));
+}
+
+}  // namespace
+}  // namespace afs

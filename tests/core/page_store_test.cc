@@ -1,0 +1,124 @@
+// PageStore tests: chained atomic pages over fixed-size blocks (§5.1 footnote).
+
+#include <gtest/gtest.h>
+
+#include "src/block/block_store.h"
+#include "src/core/page_store.h"
+
+namespace afs {
+namespace {
+
+class PageStoreTest : public ::testing::Test {
+ protected:
+  PageStoreTest() : blocks_(4068, 1 << 16), store_(&blocks_) {}
+
+  Page MakePage(size_t dsize, uint8_t fill = 0x5a) {
+    Page page;
+    page.data.assign(dsize, fill);
+    return page;
+  }
+
+  InMemoryBlockStore blocks_;
+  PageStore store_;
+};
+
+TEST_F(PageStoreTest, SmallPageSingleBlock) {
+  auto head = store_.WritePage(MakePage(100));
+  ASSERT_TRUE(head.ok());
+  auto chain = store_.ChainBlocks(*head);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->size(), 1u);
+  EXPECT_EQ(store_.ReadPage(*head)->data, MakePage(100).data);
+}
+
+TEST_F(PageStoreTest, LargePageChainsBlocks) {
+  // A 20000-byte page cannot fit one 4068-byte block; the footnote's linked list kicks in.
+  auto head = store_.WritePage(MakePage(20000, 0x11));
+  ASSERT_TRUE(head.ok());
+  auto chain = store_.ChainBlocks(*head);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_GE(chain->size(), 5u);
+  auto back = store_.ReadPage(*head);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->data, MakePage(20000, 0x11).data);
+}
+
+TEST_F(PageStoreTest, MaxSizePageRoundTrips) {
+  auto head = store_.WritePage(MakePage(kMaxPageBytes - 100, 0x22));
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(store_.ReadPage(*head)->data.size(), kMaxPageBytes - 100);
+}
+
+TEST_F(PageStoreTest, OverwriteKeepsHeadBlock) {
+  // "the head block is (over)written last" — the page identity (head) is stable.
+  auto head = store_.WritePage(MakePage(100, 1));
+  ASSERT_TRUE(head.ok());
+  ASSERT_TRUE(store_.OverwritePage(*head, MakePage(200, 2)).ok());
+  EXPECT_EQ(store_.ReadPage(*head)->data, MakePage(200, 2).data);
+}
+
+TEST_F(PageStoreTest, OverwriteShrinkGrowFreesOldTails) {
+  auto head = store_.WritePage(MakePage(20000, 1));
+  ASSERT_TRUE(head.ok());
+  size_t after_large = blocks_.allocated_blocks();
+  ASSERT_TRUE(store_.OverwritePage(*head, MakePage(10, 2)).ok());
+  EXPECT_LT(blocks_.allocated_blocks(), after_large);  // old tail blocks freed
+  ASSERT_TRUE(store_.OverwritePage(*head, MakePage(25000, 3)).ok());
+  EXPECT_EQ(store_.ReadPage(*head)->data, MakePage(25000, 3).data);
+}
+
+TEST_F(PageStoreTest, FreePageReleasesWholeChain) {
+  size_t before = blocks_.allocated_blocks();
+  auto head = store_.WritePage(MakePage(20000));
+  ASSERT_TRUE(head.ok());
+  ASSERT_TRUE(store_.FreePage(*head).ok());
+  EXPECT_EQ(blocks_.allocated_blocks(), before);
+}
+
+TEST_F(PageStoreTest, ReadAfterFreeFails) {
+  auto head = store_.WritePage(MakePage(10));
+  ASSERT_TRUE(head.ok());
+  ASSERT_TRUE(store_.FreePage(*head).ok());
+  EXPECT_FALSE(store_.ReadPage(*head).ok());
+}
+
+TEST_F(PageStoreTest, PageWithRefsRoundTrips) {
+  Page page;
+  page.kind = PageKind::kVersion;
+  page.version_cap = Capability{1, 2, 3, 4};
+  page.root_flags = RefFlag::kCopied;
+  for (uint32_t i = 0; i < 100; ++i) {
+    page.refs.push_back({i + 1000, static_cast<uint8_t>(i % 2 ? RefFlag::kCopied : 0)});
+  }
+  page.data.assign(5000, 0x7e);
+  auto head = store_.WritePage(page);
+  ASSERT_TRUE(head.ok());
+  auto back = store_.ReadPage(*head);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->refs, page.refs);
+  EXPECT_EQ(back->data, page.data);
+  EXPECT_EQ(back->version_cap, page.version_cap);
+}
+
+TEST_F(PageStoreTest, AllocationEpochRecordsBirths) {
+  store_.BeginAllocationEpoch();
+  auto head = store_.WritePage(MakePage(20000));
+  ASSERT_TRUE(head.ok());
+  auto born = store_.EndAllocationEpoch();
+  auto chain = store_.ChainBlocks(*head);
+  ASSERT_TRUE(chain.ok());
+  for (BlockNo bno : *chain) {
+    EXPECT_TRUE(born.count(bno) > 0) << "block " << bno << " not recorded in epoch";
+  }
+}
+
+TEST_F(PageStoreTest, EpochClosedDoesNotRecord) {
+  store_.BeginAllocationEpoch();
+  (void)store_.EndAllocationEpoch();
+  auto head = store_.WritePage(MakePage(10));
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(store_.EndAllocationEpoch().empty());
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,207 @@
+// Page layout tests (paper Figure 3): field-for-field serialization round-trips for plain
+// and version pages, the 32K limit, and corruption rejection. Reproduces experiment F3.
+
+#include <gtest/gtest.h>
+
+#include "src/core/page.h"
+#include "src/core/path.h"
+
+namespace afs {
+namespace {
+
+Page MakeVersionPage() {
+  Page page;
+  page.kind = PageKind::kVersion;
+  page.file_cap = Capability{1, 2, 3, 4};
+  page.version_cap = Capability{5, 6, 7, 8};
+  page.commit_ref = 1234;
+  page.top_lock = 111;
+  page.inner_lock = 222;
+  page.parent_ref = 5678;
+  page.root_flags = RefFlag::kCopied | RefFlag::kWritten;
+  page.base_ref = 91011;
+  page.refs.push_back({42, static_cast<uint8_t>(RefFlag::kCopied | RefFlag::kRead)});
+  page.refs.push_back({kNilRef, 0});
+  page.data = {'h', 'i'};
+  return page;
+}
+
+TEST(PageTest, VersionPageRoundTripsEveryField) {
+  Page page = MakeVersionPage();
+  auto bytes = page.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  auto back = Page::Deserialize(*bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, PageKind::kVersion);
+  EXPECT_EQ(back->file_cap, page.file_cap);
+  EXPECT_EQ(back->version_cap, page.version_cap);
+  EXPECT_EQ(back->commit_ref, page.commit_ref);
+  EXPECT_EQ(back->top_lock, page.top_lock);
+  EXPECT_EQ(back->inner_lock, page.inner_lock);
+  EXPECT_EQ(back->parent_ref, page.parent_ref);
+  EXPECT_EQ(back->root_flags, page.root_flags);
+  EXPECT_EQ(back->base_ref, page.base_ref);
+  ASSERT_EQ(back->refs.size(), page.refs.size());
+  EXPECT_EQ(back->refs[0], page.refs[0]);
+  EXPECT_EQ(back->refs[1], page.refs[1]);
+  EXPECT_EQ(back->data, page.data);
+}
+
+TEST(PageTest, PlainPageOmitsVersionHeader) {
+  Page page;
+  page.kind = PageKind::kPlain;
+  page.base_ref = 7;
+  page.data = {1, 2, 3};
+  auto bytes = page.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  // kind(1) + base(4) + nrefs(2) + dsize(4) + data(3)
+  EXPECT_EQ(bytes->size(), 14u);
+  auto back = Page::Deserialize(*bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, PageKind::kPlain);
+  EXPECT_EQ(back->base_ref, 7u);
+  EXPECT_EQ(back->data, page.data);
+}
+
+TEST(PageTest, EmptyPageRoundTrips) {
+  Page page;
+  auto bytes = page.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  auto back = Page::Deserialize(*bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->refs.empty());
+  EXPECT_TRUE(back->data.empty());
+}
+
+TEST(PageTest, VariableDataSizePerPage) {
+  // "The number of data bytes in a page is variable (per page) up to the maximum size."
+  for (size_t dsize : std::vector<size_t>{0, 1, 100, 10000}) {
+    Page page;
+    page.data.assign(dsize, 0x5a);
+    auto bytes = page.Serialize();
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(Page::Deserialize(*bytes)->data.size(), dsize);
+  }
+}
+
+TEST(PageTest, ThirtyTwoKLimitEnforced) {
+  Page page;
+  page.data.assign(kMaxPageBytes + 1, 0);
+  EXPECT_FALSE(page.Serialize().ok());
+  page.data.assign(kMaxPageBytes - 11, 0);  // exactly at the limit with the plain header
+  EXPECT_TRUE(page.Serialize().ok());
+}
+
+TEST(PageTest, MixedDataAndRefs) {
+  // "A page may contain both data and references to pages further down in the tree."
+  Page page;
+  page.data.assign(1000, 0xcd);
+  for (uint32_t i = 0; i < 50; ++i) {
+    page.refs.push_back({i, static_cast<uint8_t>(i % 2 == 0 ? 0 : RefFlag::kCopied)});
+  }
+  auto bytes = page.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  auto back = Page::Deserialize(*bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->refs.size(), 50u);
+  EXPECT_EQ(back->data.size(), 1000u);
+}
+
+TEST(PageTest, DeserializeRejectsBadKind) {
+  std::vector<uint8_t> bytes = {99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(Page::Deserialize(bytes).status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(PageTest, DeserializeRejectsTruncation) {
+  Page page = MakeVersionPage();
+  auto bytes = page.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  for (size_t cut : std::vector<size_t>{1, 10, 40, bytes->size() - 1}) {
+    std::vector<uint8_t> truncated(bytes->begin(), bytes->begin() + cut);
+    EXPECT_FALSE(Page::Deserialize(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(PageTest, DeserializeRejectsTrailingGarbage) {
+  Page page;
+  auto bytes = page.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  bytes->push_back(0xff);
+  EXPECT_EQ(Page::Deserialize(*bytes).status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(PageTest, DeserializeRejectsInvalidFlagCode) {
+  Page page;
+  page.refs.push_back({1, RefFlag::kCopied});
+  auto bytes = page.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  // The packed ref is the last 4 bytes before (empty) data; force flag code 15.
+  (*bytes)[bytes->size() - 1] |= 0xf0;
+  EXPECT_EQ(Page::Deserialize(*bytes).status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(PageTest, RefAtBoundsChecked) {
+  Page page;
+  page.refs.push_back({5, 0});
+  EXPECT_TRUE(page.RefAt(0).ok());
+  EXPECT_FALSE(page.RefAt(1).ok());
+  EXPECT_FALSE(page.SetRef(1, PageRef{}).ok());
+}
+
+// --- PagePath (client-visible path names, §5) ---
+
+TEST(PathTest, RootIsEmpty) {
+  PagePath root = PagePath::Root();
+  EXPECT_TRUE(root.IsRoot());
+  EXPECT_EQ(root.ToString(), "/");
+}
+
+TEST(PathTest, ChildAndParent) {
+  PagePath p = PagePath::Root().Child(3).Child(0).Child(7);
+  EXPECT_EQ(p.ToString(), "/3/0/7");
+  EXPECT_EQ(p.depth(), 3u);
+  EXPECT_EQ(p.Parent().ToString(), "/3/0");
+  EXPECT_EQ(p.LastIndex(), 7u);
+}
+
+TEST(PathTest, ParseRoundTrip) {
+  for (const std::string& text : {"/", "/0", "/3/0/7", "/4294967295"}) {
+    auto path = PagePath::Parse(text);
+    ASSERT_TRUE(path.ok()) << text;
+    EXPECT_EQ(path->ToString(), text);
+  }
+}
+
+TEST(PathTest, ParseRejectsMalformed) {
+  for (const std::string& text : {"", "3/0", "/a", "//", "/1//2", "/4294967296"}) {
+    EXPECT_FALSE(PagePath::Parse(text).ok()) << text;
+  }
+}
+
+TEST(PathTest, PrefixRelation) {
+  PagePath a({1, 2});
+  PagePath b({1, 2, 3});
+  EXPECT_TRUE(a.IsPrefixOf(b));
+  EXPECT_TRUE(a.IsPrefixOf(a));
+  EXPECT_FALSE(b.IsPrefixOf(a));
+  EXPECT_TRUE(PagePath::Root().IsPrefixOf(a));
+  EXPECT_FALSE(PagePath({2}).IsPrefixOf(b));
+}
+
+TEST(PathTest, WireRoundTrip) {
+  PagePath p({9, 8, 7, 6});
+  WireEncoder enc;
+  p.Encode(&enc);
+  WireDecoder dec(enc.buffer());
+  auto back = PagePath::Decode(&dec);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(PathTest, Ordering) {
+  EXPECT_LT(PagePath({1}), PagePath({1, 0}));
+  EXPECT_LT(PagePath({1, 0}), PagePath({2}));
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,125 @@
+// SplitPage tests (§5: "commands to manipulate the shape of a version's page tree (split
+// pages into two, ...)").
+
+#include <gtest/gtest.h>
+
+#include "src/client/file_client.h"
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+class SplitPageTest : public ::testing::Test {
+ protected:
+  // A file whose page {0} holds "abcdefgh" and two children.
+  Capability MakeFile() {
+    auto file = cluster_.fs().CreateFile();
+    auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+    (void)cluster_.fs().InsertRef(*v, PagePath::Root(), 0);
+    (void)cluster_.fs().WritePage(*v, PagePath({0}), Bytes("abcdefgh"));
+    (void)cluster_.fs().InsertRef(*v, PagePath({0}), 0);
+    (void)cluster_.fs().WritePage(*v, PagePath({0, 0}), Bytes("child0"));
+    (void)cluster_.fs().InsertRef(*v, PagePath({0}), 1);
+    (void)cluster_.fs().WritePage(*v, PagePath({0, 1}), Bytes("child1"));
+    EXPECT_TRUE(cluster_.fs().Commit(*v).ok());
+    return *file;
+  }
+
+  FastCluster cluster_;
+};
+
+TEST_F(SplitPageTest, SplitsDataAndRefsAtGivenPoints) {
+  Capability file = MakeFile();
+  auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().SplitPage(*v, PagePath({0}), 3, 1).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+
+  auto current = cluster_.fs().GetCurrentVersion(file);
+  // Original keeps the prefix and child 0.
+  auto left = cluster_.fs().ReadPage(*current, PagePath({0}), true);
+  ASSERT_TRUE(left.ok());
+  EXPECT_EQ(left->data, Bytes("abc"));
+  EXPECT_EQ(left->nrefs, 1u);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0, 0}), false)->data, Bytes("child0"));
+  // The sibling receives the tail and child 1 (now at {1, 0}).
+  auto right = cluster_.fs().ReadPage(*current, PagePath({1}), true);
+  ASSERT_TRUE(right.ok());
+  EXPECT_EQ(right->data, Bytes("defgh"));
+  EXPECT_EQ(right->nrefs, 1u);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({1, 0}), false)->data, Bytes("child1"));
+}
+
+TEST_F(SplitPageTest, SplitAtBoundaries) {
+  Capability file = MakeFile();
+  auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
+  // Everything stays left; the sibling is empty.
+  ASSERT_TRUE(cluster_.fs().SplitPage(*v, PagePath({0}), 8, 2).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  auto current = cluster_.fs().GetCurrentVersion(file);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0}), false)->data, Bytes("abcdefgh"));
+  auto sibling = cluster_.fs().ReadPage(*current, PagePath({1}), true);
+  ASSERT_TRUE(sibling.ok());
+  EXPECT_TRUE(sibling->data.empty());
+  EXPECT_EQ(sibling->nrefs, 0u);
+}
+
+TEST_F(SplitPageTest, OutOfRangeSplitPointsRejected) {
+  Capability file = MakeFile();
+  auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
+  EXPECT_EQ(cluster_.fs().SplitPage(*v, PagePath({0}), 9, 0).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(cluster_.fs().SplitPage(*v, PagePath({0}), 0, 3).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SplitPageTest, RootCannotBeSplit) {
+  Capability file = MakeFile();
+  auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
+  EXPECT_EQ(cluster_.fs().SplitPage(*v, PagePath::Root(), 0, 0).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SplitPageTest, SplitIsStructuralForConcurrencyControl) {
+  // A split counts as modifying the parent's references: a concurrent update that searched
+  // them conflicts; one that never looked at this subtree merges.
+  Capability file = MakeFile();
+  auto vb = cluster_.fs().CreateVersion(file, kNullPort, false);
+  auto vc = cluster_.fs().CreateVersion(file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().ReadRefs(*vb, PagePath::Root()).ok());  // b searched the root
+  ASSERT_TRUE(cluster_.fs().WritePage(*vb, PagePath({0, 0}), Bytes("b")).ok());
+  ASSERT_TRUE(cluster_.fs().SplitPage(*vc, PagePath({0}), 3, 1).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*vc).ok());
+  EXPECT_EQ(cluster_.fs().Commit(*vb).status().code(), ErrorCode::kConflict);
+}
+
+TEST_F(SplitPageTest, SplitSurvivesAbort) {
+  Capability file = MakeFile();
+  size_t before = cluster_.store().allocated_blocks();
+  auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().SplitPage(*v, PagePath({0}), 3, 1).ok());
+  ASSERT_TRUE(cluster_.fs().Abort(*v).ok());
+  EXPECT_EQ(cluster_.store().allocated_blocks(), before);
+  auto current = cluster_.fs().GetCurrentVersion(file);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath({0}), false)->data, Bytes("abcdefgh"));
+}
+
+TEST_F(SplitPageTest, WorksOverRpc) {
+  FullCluster cluster(1);
+  FileClient client(&cluster.net(), cluster.FileServerPorts());
+  auto file = client.CreateFile();
+  auto v = client.CreateVersion(*file);
+  ASSERT_TRUE(client.InsertRef(*v, PagePath::Root(), 0).ok());
+  ASSERT_TRUE(client.WriteString(*v, PagePath({0}), "splitme").ok());
+  ASSERT_TRUE(client.SplitPage(*v, PagePath({0}), 5, 0).ok());
+  ASSERT_TRUE(client.Commit(*v).ok());
+  auto current = client.GetCurrentVersion(*file);
+  EXPECT_EQ(*client.ReadString(*current, PagePath({0})), "split");
+  EXPECT_EQ(*client.ReadString(*current, PagePath({1})), "me");
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,245 @@
+// Super-file tests (paper §5.3, Figure 2): sub-files nested in super-files, top/inner
+// locks, exclusive super-file updates, undisturbed small-file concurrency, soft locks, and
+// the relaxed-locking option.
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+class SuperFileTest : public ::testing::Test {
+ protected:
+  // Creates super-file with `n` sub-files at root indices 0..n-1, each holding "subN".
+  Capability MakeSuper(int n, std::vector<Capability>* subs) {
+    auto super = cluster_.fs().CreateFile();
+    auto v = cluster_.fs().CreateVersion(*super, kNullPort, false);
+    for (int i = 0; i < n; ++i) {
+      auto sub = cluster_.fs().CreateSubFile(*v, PagePath::Root(), i);
+      EXPECT_TRUE(sub.ok()) << sub.status();
+      subs->push_back(*sub);
+    }
+    EXPECT_TRUE(cluster_.fs().Commit(*v).ok());
+    // Give each sub-file initial content through its own small-file update.
+    for (int i = 0; i < n; ++i) {
+      auto sv = cluster_.fs().CreateVersion((*subs)[i], kNullPort, false);
+      EXPECT_TRUE(sv.ok()) << sv.status();
+      EXPECT_TRUE(
+          cluster_.fs().WritePage(*sv, PagePath::Root(), Bytes("sub" + std::to_string(i)))
+              .ok());
+      EXPECT_TRUE(cluster_.fs().Commit(*sv).ok());
+    }
+    return *super;
+  }
+
+  FastCluster cluster_;
+};
+
+TEST_F(SuperFileTest, CreateSubFileMarksSuper) {
+  auto super = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*super, kNullPort, false);
+  auto sub = cluster_.fs().CreateSubFile(*v, PagePath::Root(), 0);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  auto stat = cluster_.fs().FileStat(*super);
+  ASSERT_TRUE(stat.ok());
+  EXPECT_TRUE(stat->is_super);
+  auto sub_stat = cluster_.fs().FileStat(*sub);
+  ASSERT_TRUE(sub_stat.ok());
+  EXPECT_FALSE(sub_stat->is_super);
+}
+
+TEST_F(SuperFileTest, SubFileUpdatableAsSmallFile) {
+  auto super = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*super, kNullPort, false);
+  auto sub = cluster_.fs().CreateSubFile(*v, PagePath::Root(), 0);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+
+  auto sv = cluster_.fs().CreateVersion(*sub, kNullPort, false);
+  ASSERT_TRUE(sv.ok()) << sv.status();
+  ASSERT_TRUE(cluster_.fs().WritePage(*sv, PagePath::Root(), Bytes("hello sub")).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*sv).ok());
+  auto current = cluster_.fs().GetCurrentVersion(*sub);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath::Root(), false)->data,
+            Bytes("hello sub"));
+}
+
+TEST_F(SuperFileTest, SubFileLockedDuringEnclosingUpdate) {
+  // A freshly created sub-file is inner-locked until the super-file update commits.
+  auto super = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*super, kNullPort, false);
+  auto sub = cluster_.fs().CreateSubFile(*v, PagePath::Root(), 0);
+  ASSERT_TRUE(sub.ok());
+  // Updating the sub-file while the super-file update is open must block (kLocked).
+  auto sv = cluster_.fs().CreateVersion(*sub, kNullPort, false);
+  EXPECT_EQ(sv.status().code(), ErrorCode::kLocked);
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  // After the commit the inner lock is cleared.
+  auto sv2 = cluster_.fs().CreateVersion(*sub, kNullPort, false);
+  EXPECT_TRUE(sv2.ok()) << sv2.status();
+}
+
+TEST_F(SuperFileTest, SuperUpdateThroughSubFilePages) {
+  // A super-file update descends THROUGH sub-file version pages (inner-locking them),
+  // and after commit the sub-files' own chains advance.
+  std::vector<Capability> subs;
+  Capability super = MakeSuper(2, &subs);
+
+  auto v = cluster_.fs().CreateVersion(super, kNullPort, false);
+  ASSERT_TRUE(v.ok()) << v.status();
+  // Path /0 is sub 0's version page; write its root data through the super-file update.
+  ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({0}), Bytes("via super")).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+
+  // The sub-file's CURRENT version must now show the super-file's write.
+  auto current = cluster_.fs().GetCurrentVersion(subs[0]);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath::Root(), false)->data,
+            Bytes("via super"));
+  // Sub 1 was not touched.
+  auto current1 = cluster_.fs().GetCurrentVersion(subs[1]);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current1, PagePath::Root(), false)->data, Bytes("sub1"));
+  // And the sub-file's committed chain grew (its commit reference was set by
+  // FinishSuperCommit).
+  EXPECT_EQ(cluster_.fs().FileStat(subs[0])->committed_versions, 3u);
+  EXPECT_EQ(cluster_.fs().FileStat(subs[1])->committed_versions, 2u);
+}
+
+TEST_F(SuperFileTest, ExclusiveSuperFileUpdates) {
+  // "Before a version may be created, the version block for the current version must be
+  // locked" — a second super-file update waits (kLocked).
+  std::vector<Capability> subs;
+  Capability super = MakeSuper(1, &subs);
+  Port owner1 = cluster_.net().AllocatePort();
+  Port owner2 = cluster_.net().AllocatePort();
+  auto v1 = cluster_.fs().CreateVersion(super, owner1, false);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  auto v2 = cluster_.fs().CreateVersion(super, owner2, false);
+  EXPECT_EQ(v2.status().code(), ErrorCode::kLocked);
+  ASSERT_TRUE(cluster_.fs().Commit(*v1).ok());
+  auto v3 = cluster_.fs().CreateVersion(super, owner2, false);
+  EXPECT_TRUE(v3.ok()) << v3.status();
+}
+
+TEST_F(SuperFileTest, SmallFileConcurrencyUnaffectedBySuperSiblings) {
+  // "Full concurrent update remains possible on small files" — two sub-files update in
+  // parallel while no super-file update is in progress.
+  std::vector<Capability> subs;
+  Capability super = MakeSuper(2, &subs);
+  auto sv0 = cluster_.fs().CreateVersion(subs[0], kNullPort, false);
+  auto sv1 = cluster_.fs().CreateVersion(subs[1], kNullPort, false);
+  ASSERT_TRUE(sv0.ok());
+  ASSERT_TRUE(sv1.ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*sv0, PagePath::Root(), Bytes("p")).ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*sv1, PagePath::Root(), Bytes("q")).ok());
+  EXPECT_TRUE(cluster_.fs().Commit(*sv0).ok());
+  EXPECT_TRUE(cluster_.fs().Commit(*sv1).ok());
+}
+
+TEST_F(SuperFileTest, SuperUpdateWaitsOnSubFileTopLock) {
+  // "If an update, while descending the page tree, discovers a top lock, it must wait."
+  std::vector<Capability> subs;
+  Capability super = MakeSuper(1, &subs);
+  Port sub_owner = cluster_.net().AllocatePort();
+  auto sub_update = cluster_.fs().CreateVersion(subs[0], sub_owner, false);
+  ASSERT_TRUE(sub_update.ok());
+  // The super update tries to descend into the sub-file whose top lock is set.
+  Port super_owner = cluster_.net().AllocatePort();
+  auto v = cluster_.fs().CreateVersion(super, super_owner, false);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(cluster_.fs().WritePage(*v, PagePath({0}), Bytes("blocked")).code(),
+            ErrorCode::kLocked);
+  // Once the small-file update commits, the super-file update can proceed.
+  ASSERT_TRUE(cluster_.fs().Commit(*sub_update).ok());
+  EXPECT_TRUE(cluster_.fs().WritePage(*v, PagePath({0}), Bytes("through")).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  auto current = cluster_.fs().GetCurrentVersion(subs[0]);
+  EXPECT_EQ(cluster_.fs().ReadPage(*current, PagePath::Root(), false)->data, Bytes("through"));
+}
+
+TEST_F(SuperFileTest, InnerLockBlocksSmallFileUpdate) {
+  // While a super-file update has visited (inner-locked) a sub-file, small-file updates of
+  // that sub-file wait; unvisited sub-files stay updatable.
+  std::vector<Capability> subs;
+  Capability super = MakeSuper(2, &subs);
+  Port owner = cluster_.net().AllocatePort();
+  auto v = cluster_.fs().CreateVersion(super, owner, false);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({0}), Bytes("locking sub0")).ok());
+  // Sub 0 is inner-locked.
+  EXPECT_EQ(cluster_.fs().CreateVersion(subs[0], kNullPort, false).status().code(),
+            ErrorCode::kLocked);
+  // "sub-files, not accessed by an update, are not locked and therefore accessible."
+  auto sv1 = cluster_.fs().CreateVersion(subs[1], kNullPort, false);
+  ASSERT_TRUE(sv1.ok()) << sv1.status();
+  ASSERT_TRUE(cluster_.fs().WritePage(*sv1, PagePath::Root(), Bytes("free")).ok());
+  EXPECT_TRUE(cluster_.fs().Commit(*sv1).ok());
+  ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  // After the super commit, sub 0 is updatable again.
+  EXPECT_TRUE(cluster_.fs().CreateVersion(subs[0], kNullPort, false).ok());
+}
+
+TEST_F(SuperFileTest, AbortClearsAllLocks) {
+  std::vector<Capability> subs;
+  Capability super = MakeSuper(1, &subs);
+  Port owner = cluster_.net().AllocatePort();
+  auto v = cluster_.fs().CreateVersion(super, owner, false);
+  ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({0}), Bytes("nope")).ok());
+  ASSERT_TRUE(cluster_.fs().Abort(*v).ok());
+  // Sub-file and super-file both updatable again.
+  EXPECT_TRUE(cluster_.fs().CreateVersion(subs[0], kNullPort, false).ok());
+  Port owner2 = cluster_.net().AllocatePort();
+  EXPECT_TRUE(cluster_.fs().CreateVersion(super, owner2, false).ok());
+}
+
+TEST_F(SuperFileTest, SoftLockDefersCooperatingUpdate) {
+  // §5.3: "it is possible to use top locks on small files as hints."
+  auto file = cluster_.fs().CreateFile();
+  Port owner = cluster_.net().AllocatePort();
+  auto v1 = cluster_.fs().CreateVersion(*file, owner, false);
+  ASSERT_TRUE(v1.ok());
+  // A respectful update defers; an ordinary one barges ahead (optimistically).
+  EXPECT_EQ(cluster_.fs().CreateVersion(*file, kNullPort, true).status().code(),
+            ErrorCode::kLocked);
+  EXPECT_TRUE(cluster_.fs().CreateVersion(*file, kNullPort, false).ok());
+}
+
+TEST_F(SuperFileTest, RelaxedSuperfileLockingAllowsConcurrentVersions) {
+  // §5.3: "The rules for creating a version may be relaxed... The optimistic concurrency
+  // control which still lurks underneath this locking mechanism will see to it that no
+  // harm is done."
+  FileServerOptions options;
+  options.relaxed_superfile_locking = true;
+  FastCluster relaxed(options);
+  auto super = relaxed.fs().CreateFile();
+  auto v0 = relaxed.fs().CreateVersion(*super, kNullPort, false);
+  auto sub = relaxed.fs().CreateSubFile(*v0, PagePath::Root(), 0);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(relaxed.fs().Commit(*v0).ok());
+
+  Port o1 = relaxed.net().AllocatePort();
+  Port o2 = relaxed.net().AllocatePort();
+  auto v1 = relaxed.fs().CreateVersion(*super, o1, false);
+  ASSERT_TRUE(v1.ok());
+  auto v2 = relaxed.fs().CreateVersion(*super, o2, false);
+  ASSERT_TRUE(v2.ok()) << v2.status();  // would be kLocked under strict rules
+  // Disjoint root-data updates: first committer wins; second merges or conflicts, but
+  // never corrupts.
+  ASSERT_TRUE(relaxed.fs().WritePage(*v1, PagePath::Root(), Bytes("one")).ok());
+  ASSERT_TRUE(relaxed.fs().Commit(*v1).ok());
+  auto second = relaxed.fs().Commit(*v2);
+  if (second.ok()) {
+    SUCCEED();
+  } else {
+    EXPECT_EQ(second.status().code(), ErrorCode::kConflict);
+  }
+}
+
+}  // namespace
+}  // namespace afs

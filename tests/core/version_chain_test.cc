@@ -1,0 +1,125 @@
+// Version family tree tests (paper §5.1, Figure 4): committed versions form a doubly
+// linked list via base and commit references; uncommitted versions hang off committed ones;
+// the current version's commit reference and the oldest version's base reference are nil.
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+class VersionChainTest : public ::testing::Test {
+ protected:
+  FastCluster cluster_;
+
+  uint64_t FileId(const Capability& file) { return file.object; }
+
+  Result<Page> Load(BlockNo head) { return cluster_.fs().page_store()->ReadPage(head); }
+};
+
+TEST_F(VersionChainTest, Figure4_CommittedChainDoublyLinked) {
+  auto file = cluster_.fs().CreateFile();
+  for (int i = 0; i < 4; ++i) {
+    auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath::Root(), Bytes("x")).ok());
+    ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+  }
+  auto chain = cluster_.fs().CommittedChain(FileId(*file));
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->size(), 5u);
+
+  // "Each committed version's base reference points to the version it was based on (its
+  // predecessor) and its commit reference points to the next committed version."
+  for (size_t i = 0; i < chain->size(); ++i) {
+    auto page = Load((*chain)[i]);
+    ASSERT_TRUE(page.ok());
+    if (i == 0) {
+      EXPECT_EQ(page->base_ref, kNilRef);  // "the oldest version's base reference [is] nil"
+    } else {
+      EXPECT_EQ(page->base_ref, (*chain)[i - 1]);
+    }
+    if (i + 1 == chain->size()) {
+      EXPECT_EQ(page->commit_ref, kNilRef);  // "The current version's commit reference is nil"
+    } else {
+      EXPECT_EQ(page->commit_ref, (*chain)[i + 1]);
+    }
+  }
+}
+
+TEST_F(VersionChainTest, UncommittedVersionsAttachViaBaseReference) {
+  auto file = cluster_.fs().CreateFile();
+  auto v1 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  auto v2 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  auto chain = cluster_.fs().CommittedChain(FileId(*file));
+  ASSERT_TRUE(chain.ok());
+  BlockNo current = chain->back();
+  // "note that this is always a committed version."
+  for (const auto& v : {*v1, *v2}) {
+    auto page = Load(static_cast<BlockNo>(v.object));
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->base_ref, current);
+    EXPECT_EQ(page->commit_ref, kNilRef);
+  }
+  // Uncommitted versions are not part of the committed chain.
+  EXPECT_EQ(cluster_.fs().CommittedChain(FileId(*file))->size(), 1u);
+}
+
+TEST_F(VersionChainTest, VersionPageCarriesFileAndVersionCaps) {
+  auto file = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(v.ok());
+  auto page = Load(static_cast<BlockNo>(v->object));
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->IsVersionPage());
+  EXPECT_EQ(page->file_cap.object, file->object);
+  EXPECT_EQ(page->version_cap.object, v->object);
+}
+
+TEST_F(VersionChainTest, CurrentFoundByFollowingCommitRefs) {
+  auto file = cluster_.fs().CreateFile();
+  Capability last;
+  for (int i = 0; i < 3; ++i) {
+    auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath::Root(), Bytes("gen")).ok());
+    ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+    last = *v;
+  }
+  auto current = cluster_.fs().GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->object, last.object);
+}
+
+TEST_F(VersionChainTest, ListUncommittedTracksLiveVersions) {
+  auto file = cluster_.fs().CreateFile();
+  EXPECT_TRUE(cluster_.fs().ListUncommitted().empty());
+  auto v1 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  auto v2 = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  EXPECT_EQ(cluster_.fs().ListUncommitted().size(), 2u);
+  ASSERT_TRUE(cluster_.fs().Commit(*v1).ok());
+  EXPECT_EQ(cluster_.fs().ListUncommitted().size(), 1u);
+  ASSERT_TRUE(cluster_.fs().Abort(*v2).ok());
+  EXPECT_TRUE(cluster_.fs().ListUncommitted().empty());
+}
+
+TEST_F(VersionChainTest, AbortedVersionLeavesChainIntact) {
+  auto file = cluster_.fs().CreateFile();
+  auto v = cluster_.fs().CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath::Root(), Bytes("doomed")).ok());
+  ASSERT_TRUE(cluster_.fs().Abort(*v).ok());
+  auto chain = cluster_.fs().CommittedChain(FileId(*file));
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->size(), 1u);
+  auto page = Load(chain->front());
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->commit_ref, kNilRef);
+}
+
+}  // namespace
+}  // namespace afs

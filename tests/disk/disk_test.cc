@@ -1,0 +1,101 @@
+// Tests of the disk substrate: atomic block semantics, fault injection, write-once media.
+
+#include <gtest/gtest.h>
+
+#include "src/disk/mem_disk.h"
+#include "src/disk/write_once_disk.h"
+
+namespace afs {
+namespace {
+
+TEST(MemDiskTest, WriteReadRoundTrip) {
+  MemDisk disk(512, 16);
+  std::vector<uint8_t> data(512, 0xaa);
+  ASSERT_TRUE(disk.Write(3, data).ok());
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(disk.Read(3, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemDiskTest, GeometryReported) {
+  MemDisk disk(4096, 100);
+  EXPECT_EQ(disk.geometry().block_size, 4096u);
+  EXPECT_EQ(disk.geometry().num_blocks, 100u);
+}
+
+TEST(MemDiskTest, OutOfRangeRejected) {
+  MemDisk disk(512, 4);
+  std::vector<uint8_t> buf(512);
+  EXPECT_FALSE(disk.Read(4, buf).ok());
+  EXPECT_FALSE(disk.Write(4, buf).ok());
+}
+
+TEST(MemDiskTest, WrongBufferSizeRejected) {
+  MemDisk disk(512, 4);
+  std::vector<uint8_t> buf(511);
+  EXPECT_EQ(disk.Read(0, buf).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(disk.Write(0, buf).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MemDiskTest, OfflineFailsAllOps) {
+  MemDisk disk(512, 4);
+  std::vector<uint8_t> buf(512);
+  disk.SetOffline(true);
+  EXPECT_EQ(disk.Read(0, buf).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(disk.Write(0, buf).code(), ErrorCode::kUnavailable);
+  disk.SetOffline(false);
+  EXPECT_TRUE(disk.Write(0, buf).ok());
+}
+
+TEST(MemDiskTest, CorruptionChangesStoredBytes) {
+  MemDisk disk(512, 4);
+  std::vector<uint8_t> data(512, 0x11);
+  ASSERT_TRUE(disk.Write(0, data).ok());
+  disk.CorruptBlock(0);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(disk.Read(0, out).ok());
+  EXPECT_NE(out, data);  // integrity is the block server's job; the disk just returns bytes
+}
+
+TEST(MemDiskTest, CountsOps) {
+  MemDisk disk(512, 4);
+  std::vector<uint8_t> buf(512);
+  EXPECT_TRUE(disk.Write(0, buf).ok());
+  EXPECT_TRUE(disk.Read(0, buf).ok());
+  EXPECT_TRUE(disk.Read(0, buf).ok());
+  EXPECT_EQ(disk.writes(), 1u);
+  EXPECT_EQ(disk.reads(), 2u);
+}
+
+TEST(MemDiskTest, WipeCleanErases) {
+  MemDisk disk(512, 4);
+  std::vector<uint8_t> data(512, 0x22);
+  ASSERT_TRUE(disk.Write(1, data).ok());
+  disk.WipeClean();
+  std::vector<uint8_t> out(512, 0xff);
+  ASSERT_TRUE(disk.Read(1, out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(512, 0));
+}
+
+TEST(WriteOnceDiskTest, SecondWriteRejected) {
+  // "files cannot be overwritten on a write-once device" (§6).
+  WriteOnceDisk disk(512, 8);
+  std::vector<uint8_t> data(512, 0x33);
+  ASSERT_TRUE(disk.Write(2, data).ok());
+  EXPECT_TRUE(disk.IsBurned(2));
+  EXPECT_EQ(disk.Write(2, data).code(), ErrorCode::kReadOnly);
+}
+
+TEST(WriteOnceDiskTest, DistinctBlocksIndependent) {
+  WriteOnceDisk disk(512, 8);
+  std::vector<uint8_t> data(512, 0x44);
+  ASSERT_TRUE(disk.Write(0, data).ok());
+  EXPECT_FALSE(disk.IsBurned(1));
+  ASSERT_TRUE(disk.Write(1, data).ok());
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(disk.Read(0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,253 @@
+// Crash recovery tests (paper §3.1, §5.3, §5.4.1): "the file system is always in a
+// consistent state ... there is no rollback, clients need only redo the update"; waiters
+// recover locks of dead holders; a super-file commit interrupted between the commit point
+// and the sub-file commits is finished by the next waiter.
+
+#include <gtest/gtest.h>
+
+#include "src/client/file_client.h"
+#include "src/client/transaction.h"
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(CrashTest, ServerCrashMidUpdateLeavesFileSystemConsistent) {
+  FullCluster cluster(2);
+  auto file = cluster.fs(0).CreateFile();
+  ASSERT_TRUE(file.ok());
+  {
+    auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(cluster.fs(0).WritePage(*v, PagePath::Root(), Bytes("stable")).ok());
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  // An update is in progress on server 0 when it crashes.
+  auto doomed = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(cluster.fs(0).WritePage(*doomed, PagePath::Root(), Bytes("half-done")).ok());
+  cluster.fs(0).Crash();
+
+  // "Clients do not have to wait until the server is restored, because they can use
+  // another server": server 1 reads the committed state — no rollback, no repair.
+  auto current = cluster.fs(1).GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  auto read = cluster.fs(1).ReadPage(*current, PagePath::Root(), false);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->data, Bytes("stable"));
+
+  // And the client redoes the update through server 1.
+  auto redo = cluster.fs(1).CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(redo.ok());
+  ASSERT_TRUE(cluster.fs(1).WritePage(*redo, PagePath::Root(), Bytes("redone")).ok());
+  ASSERT_TRUE(cluster.fs(1).Commit(*redo).ok());
+}
+
+TEST(CrashTest, RestartedServerServesImmediately) {
+  // Claim C5: an AFS server restart needs no rollback, no lock clearing, no intentions.
+  FullCluster cluster(1);
+  auto file = cluster.fs(0).CreateFile();
+  {
+    auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(cluster.fs(0).WritePage(*v, PagePath::Root(), Bytes("before crash")).ok());
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  cluster.fs(0).Crash();
+  cluster.fs(0).Restart();
+  auto current = cluster.fs(0).GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(cluster.fs(0).ReadPage(*current, PagePath::Root(), false)->data,
+            Bytes("before crash"));
+  // New updates work right away.
+  auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(cluster.fs(0).WritePage(*v, PagePath::Root(), Bytes("after restart")).ok());
+  EXPECT_TRUE(cluster.fs(0).Commit(*v).ok());
+}
+
+TEST(CrashTest, DeadClientsTopLockIsRecoveredByWaiter) {
+  // §5.3: "A server, waiting on a top lock proceeds as follows: If the commit reference is
+  // [unset], the lock can be cleared without further ado."
+  FullCluster cluster(1);
+  auto super = cluster.fs(0).CreateFile();
+  {
+    auto v = cluster.fs(0).CreateVersion(*super, kNullPort, false);
+    auto sub = cluster.fs(0).CreateSubFile(*v, PagePath::Root(), 0);
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  // A client starts a super-file update and dies (its transaction port closes).
+  Port dead_client = cluster.net().AllocatePort();
+  auto orphan = cluster.fs(0).CreateVersion(*super, dead_client, false);
+  ASSERT_TRUE(orphan.ok());
+  cluster.net().ClosePort(dead_client);
+
+  // A second update finds the dead top lock and clears it itself.
+  Port live_client = cluster.net().AllocatePort();
+  auto v2 = cluster.fs(0).CreateVersion(*super, live_client, false);
+  EXPECT_TRUE(v2.ok()) << v2.status();
+  EXPECT_TRUE(cluster.fs(0).Commit(*v2).ok());
+}
+
+TEST(CrashTest, DeadInnerLockHolderRecovered) {
+  FullCluster cluster(1);
+  auto super = cluster.fs(0).CreateFile();
+  Capability sub;
+  {
+    auto v = cluster.fs(0).CreateVersion(*super, kNullPort, false);
+    auto created = cluster.fs(0).CreateSubFile(*v, PagePath::Root(), 0);
+    ASSERT_TRUE(created.ok());
+    sub = *created;
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  // A super-file update inner-locks the sub-file, then its client dies.
+  Port dead_client = cluster.net().AllocatePort();
+  auto orphan = cluster.fs(0).CreateVersion(*super, dead_client, false);
+  ASSERT_TRUE(orphan.ok());
+  ASSERT_TRUE(cluster.fs(0).WritePage(*orphan, PagePath({0}), Bytes("locks sub")).ok());
+  cluster.net().ClosePort(dead_client);
+
+  // A small-file update of the sub-file finds the dead inner lock and proceeds.
+  auto sv = cluster.fs(0).CreateVersion(sub, kNullPort, false);
+  EXPECT_TRUE(sv.ok()) << sv.status();
+  ASSERT_TRUE(cluster.fs(0).WritePage(*sv, PagePath::Root(), Bytes("recovered")).ok());
+  EXPECT_TRUE(cluster.fs(0).Commit(*sv).ok());
+}
+
+TEST(CrashTest, InterruptedSuperCommitFinishedByWaiter) {
+  // §5.3: "If the commit reference is set, the version it refers to is current. The
+  // version with the lock, and the current version are traversed simultaneously, and the
+  // commit references of the sub-files are set, finishing the work of the crashed server."
+  //
+  // We reproduce the torn state directly on the store: a super-file version V.b whose
+  // commit reference IS set on its base, but whose sub-file commit was never performed and
+  // whose top lock is still held by a dead port.
+  FullCluster cluster(1);
+  FileServer& fs = cluster.fs(0);
+  auto super = fs.CreateFile();
+  Capability sub;
+  {
+    auto v = fs.CreateVersion(*super, kNullPort, false);
+    auto created = fs.CreateSubFile(*v, PagePath::Root(), 0);
+    ASSERT_TRUE(created.ok());
+    sub = *created;
+    ASSERT_TRUE(fs.Commit(*v).ok());
+    auto sv = fs.CreateVersion(sub, kNullPort, false);
+    ASSERT_TRUE(fs.WritePage(*sv, PagePath::Root(), Bytes("old sub state")).ok());
+    ASSERT_TRUE(fs.Commit(*sv).ok());
+  }
+
+  // Build the torn commit by hand through the page store.
+  PageStore* pages = fs.page_store();
+  Port dead = cluster.net().AllocatePort();
+  auto chain = fs.CommittedChain(super->object);
+  ASSERT_TRUE(chain.ok());
+  BlockNo base_head = chain->back();
+  auto base = pages->ReadPage(base_head);
+  ASSERT_TRUE(base.ok());
+
+  // V.b: a copy of the super's current version page whose sub-file reference was copied
+  // (the crashed update wrote through the sub-file).
+  auto sub_chain = fs.CommittedChain(sub.object);
+  ASSERT_TRUE(sub_chain.ok());
+  BlockNo sub_current = sub_chain->back();
+  auto sub_page = pages->ReadPage(sub_current);
+  ASSERT_TRUE(sub_page.ok());
+
+  Page new_sub = *sub_page;
+  new_sub.base_ref = sub_current;
+  new_sub.commit_ref = kNilRef;
+  new_sub.inner_lock = kNullPort;
+  new_sub.data = Bytes("new sub state");
+  auto new_sub_head = pages->WritePage(new_sub);
+  ASSERT_TRUE(new_sub_head.ok());
+
+  Page vb = *base;
+  vb.base_ref = base_head;
+  vb.commit_ref = kNilRef;
+  vb.top_lock = kNullPort;
+  for (PageRef& ref : vb.refs) {
+    ref.flags = 0;
+  }
+  vb.refs[0] = PageRef{*new_sub_head,
+                       NormalizeFlags(RefFlag::kCopied | RefFlag::kWritten)};
+  auto vb_head = pages->WritePage(vb);
+  ASSERT_TRUE(vb_head.ok());
+
+  // The crash point: base's commit ref set to V.b, base's top lock held by the dead port,
+  // sub-file commit NOT yet done, inner lock still set on the sub's current version page.
+  base->commit_ref = *vb_head;
+  base->top_lock = dead;
+  ASSERT_TRUE(pages->OverwritePage(base_head, *base).ok());
+  sub_page->inner_lock = dead;
+  ASSERT_TRUE(pages->OverwritePage(sub_current, *sub_page).ok());
+  cluster.net().ClosePort(dead);
+
+  // The next reader of the super-file walks the chain, finds the dead top lock on a
+  // superseded version page, and finishes the crashed server's work.
+  auto current = fs.GetCurrentVersion(*super);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(static_cast<BlockNo>(current->object), *vb_head);
+
+  // The sub-file's commit was finished for the crashed server: its current version is the
+  // new state and its inner lock is clear.
+  auto sub_now = fs.GetCurrentVersion(sub);
+  ASSERT_TRUE(sub_now.ok());
+  EXPECT_EQ(static_cast<BlockNo>(sub_now->object), *new_sub_head);
+  auto read = fs.ReadPage(*sub_now, PagePath::Root(), false);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->data, Bytes("new sub state"));
+  auto sv = fs.CreateVersion(sub, kNullPort, false);
+  EXPECT_TRUE(sv.ok()) << sv.status();  // inner lock cleared
+}
+
+TEST(CrashTest, BlockServerCrashToleratedByFileService) {
+  // §5.4.1: stable storage keeps every committed page accessible while one member of the
+  // pair is down.
+  FullCluster cluster(1);
+  auto file = cluster.fs(0).CreateFile();
+  {
+    auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(cluster.fs(0).WritePage(*v, PagePath::Root(), Bytes("replicated")).ok());
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  cluster.block_a().Crash();
+  auto current = cluster.fs(0).GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(cluster.fs(0).ReadPage(*current, PagePath::Root(), false)->data,
+            Bytes("replicated"));
+  // Updates also proceed (degraded writes recorded for the crashed companion).
+  auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(cluster.fs(0).WritePage(*v, PagePath::Root(), Bytes("degraded")).ok());
+  ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  // The crashed member returns and catches up.
+  cluster.block_a().Restart();
+  auto v2 = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(cluster.fs(0).ReadPage(*v2, PagePath::Root(), false)->data, Bytes("degraded"));
+}
+
+TEST(CrashTest, TransactionHelperRedoesThroughSecondServer) {
+  FullCluster cluster(2);
+  FileClient client(&cluster.net(), cluster.FileServerPorts());
+  auto file = client.CreateFile();
+  ASSERT_TRUE(file.ok());
+
+  // Crash server 0 (the one that minted the file cap); the transaction helper must route
+  // the redo to server 1.
+  cluster.fs(0).Crash();
+  auto stats = RunTransaction(&client, *file, [](FileClient& c, const Capability& v) {
+    return c.WriteString(v, PagePath::Root(), "via failover");
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  auto current = client.GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*client.ReadString(*current, PagePath::Root()), "via failover");
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,191 @@
+// Multi-server tests: several file servers of one service group share the block store
+// (§5.4.1's replicated server processes). Files created at one server are served by
+// another; concurrent commits from different servers serialise through the shared
+// test-and-set; the GC accounts for every live server's uncommitted versions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/client/file_client.h"
+#include "src/client/transaction.h"
+#include "src/core/gc.h"
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(MultiServerTest, FileVisibleAcrossServers) {
+  FullCluster cluster(3);
+  auto file = cluster.fs(0).CreateFile();
+  ASSERT_TRUE(file.ok());
+  {
+    auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(cluster.fs(0).WritePage(*v, PagePath::Root(), Bytes("from fs0")).ok());
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  // Servers 1 and 2 serve the file without ever having seen its creation.
+  for (int i = 1; i < 3; ++i) {
+    auto current = cluster.fs(i).GetCurrentVersion(*file);
+    ASSERT_TRUE(current.ok()) << "server " << i;
+    EXPECT_EQ(cluster.fs(i).ReadPage(*current, PagePath::Root(), false)->data,
+              Bytes("from fs0"));
+  }
+}
+
+TEST(MultiServerTest, UpdatesAlternateAcrossServers) {
+  FullCluster cluster(2);
+  auto file = cluster.fs(0).CreateFile();
+  for (int round = 0; round < 6; ++round) {
+    FileServer& fs = cluster.fs(round % 2);
+    auto v = fs.CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(v.ok()) << "round " << round;
+    ASSERT_TRUE(
+        fs.WritePage(*v, PagePath::Root(), Bytes("round " + std::to_string(round))).ok());
+    ASSERT_TRUE(fs.Commit(*v).ok());
+  }
+  auto stat = cluster.fs(1).FileStat(*file);
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->committed_versions, 7u);
+}
+
+TEST(MultiServerTest, ConcurrentCommitsFromDifferentServersSerialise) {
+  FullCluster cluster(2);
+  auto file = cluster.fs(0).CreateFile();
+  {
+    auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(cluster.fs(0).InsertRef(*v, PagePath::Root(), i).ok());
+      ASSERT_TRUE(cluster.fs(0)
+                      .WritePage(*v, PagePath({static_cast<uint32_t>(i)}), Bytes("0"))
+                      .ok());
+    }
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  std::atomic<int> committed{0};
+  auto worker = [&](int server, uint32_t page) {
+    for (int i = 0; i < 5; ++i) {
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        FileServer& fs = cluster.fs(server);
+        auto v = fs.CreateVersion(*file, kNullPort, false);
+        if (!v.ok()) {
+          continue;
+        }
+        if (!fs.WritePage(*v, PagePath({page}),
+                          Bytes("s" + std::to_string(server) + "i" + std::to_string(i)))
+                 .ok()) {
+          (void)fs.Abort(*v);
+          continue;
+        }
+        if (fs.Commit(*v).ok()) {
+          ++committed;
+          break;
+        }
+      }
+    }
+  };
+  std::thread t0(worker, 0, 0);
+  std::thread t1(worker, 1, 2);
+  t0.join();
+  t1.join();
+  EXPECT_EQ(committed.load(), 10);
+  // Both servers agree on the final state.
+  for (int server = 0; server < 2; ++server) {
+    auto current = cluster.fs(server).GetCurrentVersion(*file);
+    ASSERT_TRUE(current.ok());
+    EXPECT_EQ(cluster.fs(server).ReadPage(*current, PagePath({0}), false)->data,
+              Bytes("s0i4"));
+    EXPECT_EQ(cluster.fs(server).ReadPage(*current, PagePath({2}), false)->data,
+              Bytes("s1i4"));
+  }
+}
+
+TEST(MultiServerTest, GcHonoursAllServersUncommittedVersions) {
+  FullCluster cluster(2);
+  auto file = cluster.fs(0).CreateFile();
+  {
+    auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(cluster.fs(0).WritePage(*v, PagePath::Root(), Bytes("base")).ok());
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  // Server 1 holds an open update while server 0's GC runs.
+  auto open_version = cluster.fs(1).CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(open_version.ok());
+  ASSERT_TRUE(cluster.fs(1).WritePage(*open_version, PagePath::Root(), Bytes("open")).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(cluster.fs(0).WritePage(*v, PagePath::Root(), Bytes("churn")).ok());
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  GarbageCollector gc({&cluster.fs(0), &cluster.fs(1)}, GcOptions{.keep_versions = 1});
+  ASSERT_TRUE(gc.RunCycle().ok());
+  // Server 1's open update still commits (its pages and base chain were roots).
+  auto commit = cluster.fs(1).Commit(*open_version);
+  EXPECT_TRUE(commit.ok()) << commit.status();
+}
+
+TEST(MultiServerTest, ClientTransactionsSpreadAcrossGroup) {
+  FullCluster cluster(3);
+  FileClient client(&cluster.net(), cluster.FileServerPorts());
+  auto file = client.CreateFile();
+  ASSERT_TRUE(RunTransaction(&client, *file, [](FileClient& c, const Capability& v) {
+                return c.WriteString(v, PagePath::Root(), "0");
+              }).ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      // Each worker prefers a different server of the group.
+      std::vector<Port> ports = cluster.FileServerPorts();
+      std::rotate(ports.begin(), ports.begin() + t, ports.end());
+      FileClient local(&cluster.net(), ports);
+      for (int i = 0; i < 4; ++i) {
+        TransactionOptions options;
+        options.backoff_seed = t * 31 + i;
+        options.max_attempts = 200;
+        auto stats = RunTransaction(
+            &local, *file,
+            [](FileClient& c, const Capability& v) -> Status {
+              ASSIGN_OR_RETURN(std::string text, c.ReadString(v, PagePath::Root()));
+              return c.WriteString(v, PagePath::Root(), std::to_string(std::stoi(text) + 1));
+            },
+            options);
+        if (!stats.ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  auto current = client.GetCurrentVersion(*file);
+  EXPECT_EQ(*client.ReadString(*current, PagePath::Root()), "12");
+}
+
+TEST(MultiServerTest, LateAttachingServerSeesExistingFiles) {
+  FullCluster cluster(1);
+  auto file = cluster.fs(0).CreateFile();
+  {
+    auto v = cluster.fs(0).CreateVersion(*file, kNullPort, false);
+    ASSERT_TRUE(cluster.fs(0).WritePage(*v, PagePath::Root(), Bytes("pre-existing")).ok());
+    ASSERT_TRUE(cluster.fs(0).Commit(*v).ok());
+  }
+  // A brand-new server attaches to the shared store (recovery scan finds the file table).
+  auto store = cluster.MakeStableStore();
+  FileServer late(&cluster.net(), "late", store.get());
+  late.Start();
+  ASSERT_TRUE(late.AttachStore().ok());
+  auto current = late.GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(late.ReadPage(*current, PagePath::Root(), false)->data, Bytes("pre-existing"));
+}
+
+}  // namespace
+}  // namespace afs

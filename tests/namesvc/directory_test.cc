@@ -1,0 +1,141 @@
+// Directory service tests: the Figure 1 hierarchy — a name service implemented as a
+// *client* of the file service, inheriting its atomicity and crash properties.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/namesvc/directory_server.h"
+#include "src/rpc/client.h"
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  DirectoryTest() : cluster_(2) {
+    dir_ = std::make_unique<DirectoryServer>(&cluster_.net(), "dir",
+                                             cluster_.FileServerPorts());
+    dir_->Start();
+    Status st = dir_->Init();
+    EXPECT_TRUE(st.ok()) << st;
+  }
+
+  Capability SomeCap(uint64_t n) { return Capability{n, n * 2, 3, n * 7}; }
+
+  FullCluster cluster_;
+  std::unique_ptr<DirectoryServer> dir_;
+};
+
+TEST_F(DirectoryTest, EnterLookupRoundTrip) {
+  ASSERT_TRUE(dir_->Enter("readme.txt", SomeCap(1)).ok());
+  auto cap = dir_->Lookup("readme.txt");
+  ASSERT_TRUE(cap.ok());
+  EXPECT_EQ(*cap, SomeCap(1));
+}
+
+TEST_F(DirectoryTest, LookupMissingFails) {
+  EXPECT_EQ(dir_->Lookup("ghost").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(DirectoryTest, DuplicateEnterRejected) {
+  ASSERT_TRUE(dir_->Enter("name", SomeCap(1)).ok());
+  EXPECT_EQ(dir_->Enter("name", SomeCap(2)).code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(*dir_->Lookup("name"), SomeCap(1));
+}
+
+TEST_F(DirectoryTest, RemoveDeletesEntry) {
+  ASSERT_TRUE(dir_->Enter("tmp", SomeCap(3)).ok());
+  ASSERT_TRUE(dir_->Remove("tmp").ok());
+  EXPECT_EQ(dir_->Lookup("tmp").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(dir_->Remove("tmp").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(DirectoryTest, ListSortedNames) {
+  ASSERT_TRUE(dir_->Enter("b", SomeCap(2)).ok());
+  ASSERT_TRUE(dir_->Enter("a", SomeCap(1)).ok());
+  ASSERT_TRUE(dir_->Enter("c", SomeCap(3)).ok());
+  auto names = dir_->List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(DirectoryTest, RenameIsAtomic) {
+  ASSERT_TRUE(dir_->Enter("old", SomeCap(9)).ok());
+  ASSERT_TRUE(dir_->Rename("old", "new").ok());
+  EXPECT_EQ(dir_->Lookup("old").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(*dir_->Lookup("new"), SomeCap(9));
+  EXPECT_EQ(dir_->Rename("old", "newer").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(DirectoryTest, RenameOntoExistingRejected) {
+  ASSERT_TRUE(dir_->Enter("a", SomeCap(1)).ok());
+  ASSERT_TRUE(dir_->Enter("b", SomeCap(2)).ok());
+  EXPECT_EQ(dir_->Rename("a", "b").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(*dir_->Lookup("a"), SomeCap(1));
+  EXPECT_EQ(*dir_->Lookup("b"), SomeCap(2));
+}
+
+TEST_F(DirectoryTest, ConcurrentEntersAllSurvive) {
+  // Directory updates are AFS transactions: OCC serialises them without any locks in the
+  // directory layer itself.
+  constexpr int kThreads = 4;
+  constexpr int kEntries = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kEntries; ++i) {
+        std::string name = "t" + std::to_string(t) + "-e" + std::to_string(i);
+        if (!dir_->Enter(name, SomeCap(t * 100 + i)).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  auto names = dir_->List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), static_cast<size_t>(kThreads * kEntries));
+}
+
+TEST_F(DirectoryTest, SecondDirectoryServerAdoptsSameDirectory) {
+  ASSERT_TRUE(dir_->Enter("shared", SomeCap(5)).ok());
+  DirectoryServer second(&cluster_.net(), "dir2", cluster_.FileServerPorts());
+  second.Start();
+  ASSERT_TRUE(second.Adopt(dir_->directory_file()).ok());
+  EXPECT_EQ(*second.Lookup("shared"), SomeCap(5));
+  ASSERT_TRUE(second.Enter("from-second", SomeCap(6)).ok());
+  EXPECT_EQ(*dir_->Lookup("from-second"), SomeCap(6));
+}
+
+TEST_F(DirectoryTest, RpcSurfaceWorks) {
+  WireEncoder enter;
+  enter.PutString("rpc-name");
+  enter.PutCapability(SomeCap(11));
+  ASSERT_TRUE(CallAndCheck(&cluster_.net(), dir_->port(),
+                           static_cast<uint32_t>(DirOp::kEnter), std::move(enter))
+                  .ok());
+  WireEncoder lookup;
+  lookup.PutString("rpc-name");
+  auto reply = CallAndCheck(&cluster_.net(), dir_->port(),
+                            static_cast<uint32_t>(DirOp::kLookup), std::move(lookup));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply->GetCapability(), SomeCap(11));
+}
+
+TEST_F(DirectoryTest, FileServiceCrashMidEnterToleratedViaRedo) {
+  // The directory layer inherits crash resilience from the file service: crash one file
+  // server; Enter still succeeds via the other.
+  cluster_.fs(0).Crash();
+  EXPECT_TRUE(dir_->Enter("resilient", SomeCap(12)).ok());
+  EXPECT_EQ(*dir_->Lookup("resilient"), SomeCap(12));
+}
+
+}  // namespace
+}  // namespace afs

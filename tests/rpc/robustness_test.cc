@@ -1,0 +1,112 @@
+// Robustness tests: servers must survive malformed, truncated, and adversarial messages —
+// every decode path fails cleanly with an error reply, never a crash. (A block server on
+// an open network receives arbitrary bytes; the §4 protection model assumes it shrugs
+// them off.)
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/core/protocol.h"
+#include "src/block/protocol.h"
+#include "tests/testing/cluster.h"
+
+namespace afs {
+namespace {
+
+TEST(RobustnessTest, BlockServerSurvivesGarbagePayloads) {
+  FullCluster cluster(1);
+  Rng rng(1234);
+  for (uint32_t opcode = 1; opcode <= 23; ++opcode) {
+    for (int len : {0, 1, 7, 28, 64, 300}) {
+      std::vector<uint8_t> garbage(len);
+      for (auto& byte : garbage) {
+        byte = static_cast<uint8_t>(rng.NextU64());
+      }
+      auto reply = cluster.net().Call(cluster.block_a().port(), Message(opcode, garbage));
+      // Any outcome but a crash is acceptable; the server must still be alive.
+      (void)reply;
+    }
+  }
+  EXPECT_TRUE(cluster.block_a().running());
+  // And still functional.
+  auto bno = cluster.store().AllocWrite(std::vector<uint8_t>(10, 1));
+  EXPECT_TRUE(bno.ok());
+}
+
+TEST(RobustnessTest, FileServerSurvivesGarbagePayloads) {
+  FullCluster cluster(1);
+  Rng rng(77);
+  for (uint32_t opcode = 1; opcode <= 16; ++opcode) {
+    for (int len : {0, 3, 28, 56, 100, 500}) {
+      std::vector<uint8_t> garbage(len);
+      for (auto& byte : garbage) {
+        byte = static_cast<uint8_t>(rng.NextU64());
+      }
+      (void)cluster.net().Call(cluster.fs(0).port(), Message(opcode, garbage));
+    }
+  }
+  EXPECT_TRUE(cluster.fs(0).running());
+  EXPECT_TRUE(cluster.fs(0).CreateFile().ok());
+}
+
+TEST(RobustnessTest, UnknownOpcodesRejected) {
+  FullCluster cluster(1);
+  auto reply = cluster.net().Call(cluster.fs(0).port(), Message(9999, {}));
+  EXPECT_EQ(reply.status().code(), ErrorCode::kInvalidArgument);
+  reply = cluster.net().Call(cluster.block_a().port(), Message(9999, {}));
+  EXPECT_EQ(reply.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(RobustnessTest, FuzzedCapabilitiesNeverAuthenticate) {
+  FullCluster cluster(1);
+  auto file = cluster.fs(0).CreateFile();
+  ASSERT_TRUE(file.ok());
+  Rng rng(42);
+  int accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    Capability forged;
+    forged.port = cluster.fs(0).port();
+    forged.object = rng.NextBool(0.5) ? file->object : rng.NextU64();
+    forged.rights = static_cast<uint32_t>(rng.NextU64());
+    forged.check = rng.NextU64();
+    if (cluster.fs(0).GetCurrentVersion(forged).ok()) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(RobustnessTest, CorruptStoredPageSurfacesAsCorrupt) {
+  // Flip bytes in a committed page's block: reads report corruption (single server, no
+  // companion to repair from) instead of returning garbage.
+  Network net(5);
+  MemDisk disk(kDefaultBlockSize, 256);
+  BlockServer bs(&net, "solo", &disk, 9);
+  bs.Start();
+  Capability account = bs.CreateAccountDirect();
+  BlockClient store(&net, bs.port(), account, bs.payload_capacity());
+  FileServer fs(&net, "fs", &store);
+  fs.Start();
+  ASSERT_TRUE(fs.AttachStore().ok());
+  auto file = fs.CreateFile();
+  auto v = fs.CreateVersion(*file, kNullPort, false);
+  ASSERT_TRUE(fs.WritePage(*v, PagePath::Root(), std::vector<uint8_t>(100, 7)).ok());
+  auto head = fs.Commit(*v);
+  ASSERT_TRUE(head.ok());
+  disk.CorruptBlock(*head);
+  auto current = fs.GetCurrentVersion(*file);
+  if (current.ok()) {
+    auto read = fs.ReadPage(*current, PagePath::Root(), false);
+    EXPECT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), ErrorCode::kCorrupt);
+  } else {
+    // The chain walk hits the damaged version page: surfaced as corrupt or, after the
+    // fall-back re-walk, as the chain being unreadable — never as garbage data.
+    EXPECT_TRUE(current.status().code() == ErrorCode::kCorrupt ||
+                current.status().code() == ErrorCode::kNotFound)
+        << current.status();
+  }
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,202 @@
+// Tests of the RPC substrate: transactions, crash semantics ("the outstanding transactions
+// with the server crash as well"), port liveness for locks-made-of-ports, fault injection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/rpc/client.h"
+#include "src/rpc/network.h"
+#include "src/rpc/service.h"
+
+namespace afs {
+namespace {
+
+// Echo service: opcode 1 echoes payload; opcode 2 blocks until released; opcode 3 errors.
+class EchoService : public Service {
+ public:
+  EchoService(Network* net, std::string name) : Service(net, std::move(name)) {}
+
+  std::atomic<bool> release{false};
+  std::atomic<int> handled{0};
+
+ protected:
+  Result<Message> Handle(const Message& request) override {
+    ++handled;
+    switch (request.opcode) {
+      case 1:
+        return Message(1, request.payload);
+      case 2:
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return Message(2, {});
+      case 3:
+        return ConflictError("handler says no");
+      default:
+        return InvalidArgumentError("bad opcode");
+    }
+  }
+};
+
+TEST(RpcTest, EchoRoundTrip) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  auto reply = net.Call(echo.port(), Message(1, {1, 2, 3}));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->payload, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(RpcTest, HandlerErrorPropagatesToCaller) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  auto reply = net.Call(echo.port(), Message(3, {}));
+  EXPECT_EQ(reply.status().code(), ErrorCode::kConflict);
+}
+
+TEST(RpcTest, UnknownPortIsNotFound) {
+  Network net(1);
+  EXPECT_EQ(net.Call(12345, Message(1, {})).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(RpcTest, CallToCrashedServiceFails) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  echo.Crash();
+  EXPECT_EQ(net.Call(echo.port(), Message(1, {})).status().code(), ErrorCode::kCrashed);
+}
+
+TEST(RpcTest, CrashFailsOutstandingTransactions) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  std::atomic<bool> got_crash{false};
+  std::thread caller([&] {
+    CallOptions opts;
+    opts.timeout = std::chrono::milliseconds(5000);
+    auto reply = net.Call(echo.port(), Message(2, {}), opts);
+    got_crash = reply.status().code() == ErrorCode::kCrashed;
+  });
+  // Wait until the handler is running, then crash underneath it.
+  while (echo.handled.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  echo.Crash();
+  caller.join();
+  echo.release = true;  // let the worker thread finish
+  EXPECT_TRUE(got_crash.load());
+}
+
+TEST(RpcTest, RestartReusesPortAndServes) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  Port port = echo.port();
+  echo.Crash();
+  EXPECT_FALSE(net.IsPortAlive(port));
+  echo.release = true;
+  echo.Restart();
+  EXPECT_EQ(echo.port(), port);
+  EXPECT_TRUE(net.IsPortAlive(port));
+  EXPECT_TRUE(net.Call(port, Message(1, {9})).ok());
+}
+
+TEST(RpcTest, TransactionPortsTrackLiveness) {
+  Network net(1);
+  Port p = net.AllocatePort();
+  EXPECT_TRUE(net.IsPortAlive(p));
+  net.ClosePort(p);
+  EXPECT_FALSE(net.IsPortAlive(p));
+}
+
+TEST(RpcTest, OversizedMessageRejected) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  Message big(1, std::vector<uint8_t>(kMaxMessageBytes + 1, 0));
+  EXPECT_EQ(net.Call(echo.port(), std::move(big)).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(RpcTest, MaxSizeMessageAccepted) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  Message big(1, std::vector<uint8_t>(kMaxMessageBytes, 7));
+  EXPECT_TRUE(net.Call(echo.port(), std::move(big)).ok());
+}
+
+TEST(RpcTest, PartitionMakesServiceUnavailable) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  net.SetPartitioned(echo.port(), true);
+  EXPECT_EQ(net.Call(echo.port(), Message(1, {})).status().code(), ErrorCode::kUnavailable);
+  net.SetPartitioned(echo.port(), false);
+  EXPECT_TRUE(net.Call(echo.port(), Message(1, {})).ok());
+}
+
+TEST(RpcTest, DropProbabilitySurfacesAsTimeout) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  net.set_drop_probability(1.0);
+  EXPECT_EQ(net.Call(echo.port(), Message(1, {})).status().code(), ErrorCode::kTimeout);
+  net.set_drop_probability(0.0);
+  EXPECT_GT(net.dropped_calls(), 0u);
+}
+
+TEST(RpcTest, ConcurrentCallsAllServed) {
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 50; ++j) {
+        if (net.Call(echo.port(), Message(1, {static_cast<uint8_t>(j)})).ok()) {
+          ++ok_count;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(ok_count.load(), 16 * 50);
+}
+
+TEST(RpcTest, ReplyHelpersRoundTrip) {
+  // OkReply/ErrorReply + CallAndCheck against a trivial service.
+  class StatusService : public Service {
+   public:
+    StatusService(Network* net) : Service(net, "status") {}
+
+   protected:
+    Result<Message> Handle(const Message& request) override {
+      if (request.opcode == 1) {
+        WireEncoder payload;
+        payload.PutU32(77);
+        return OkReply(1, std::move(payload));
+      }
+      return ErrorReply(request.opcode, LockedError("busy"));
+    }
+  };
+  Network net(1);
+  StatusService svc(&net);
+  svc.Start();
+  auto ok = CallAndCheck(&net, svc.port(), 1, WireEncoder());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok->GetU32(), 77u);
+  auto err = CallAndCheck(&net, svc.port(), 2, WireEncoder());
+  EXPECT_EQ(err.status().code(), ErrorCode::kLocked);
+  EXPECT_EQ(err.status().message(), "busy");
+}
+
+}  // namespace
+}  // namespace afs
