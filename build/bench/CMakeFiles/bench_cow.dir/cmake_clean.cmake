@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cow.dir/bench_cow.cc.o"
+  "CMakeFiles/bench_cow.dir/bench_cow.cc.o.d"
+  "bench_cow"
+  "bench_cow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

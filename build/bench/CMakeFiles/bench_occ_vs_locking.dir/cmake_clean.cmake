@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_occ_vs_locking.dir/bench_occ_vs_locking.cc.o"
+  "CMakeFiles/bench_occ_vs_locking.dir/bench_occ_vs_locking.cc.o.d"
+  "bench_occ_vs_locking"
+  "bench_occ_vs_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_occ_vs_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

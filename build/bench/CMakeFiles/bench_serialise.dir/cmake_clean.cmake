@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serialise.dir/bench_serialise.cc.o"
+  "CMakeFiles/bench_serialise.dir/bench_serialise.cc.o.d"
+  "bench_serialise"
+  "bench_serialise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serialise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

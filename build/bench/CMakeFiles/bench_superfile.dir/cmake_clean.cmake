@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_superfile.dir/bench_superfile.cc.o"
+  "CMakeFiles/bench_superfile.dir/bench_superfile.cc.o.d"
+  "bench_superfile"
+  "bench_superfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_superfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

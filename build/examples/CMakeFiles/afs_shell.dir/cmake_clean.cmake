@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_shell.dir/afs_shell.cpp.o"
+  "CMakeFiles/afs_shell.dir/afs_shell.cpp.o.d"
+  "afs_shell"
+  "afs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

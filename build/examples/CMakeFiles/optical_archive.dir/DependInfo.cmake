@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/optical_archive.cpp" "examples/CMakeFiles/optical_archive.dir/optical_archive.cpp.o" "gcc" "examples/CMakeFiles/optical_archive.dir/optical_archive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/namesvc/CMakeFiles/afs_namesvc.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/afs_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/afs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/afs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/afs_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/afs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/afs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/afs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_control.dir/source_control.cpp.o"
+  "CMakeFiles/source_control.dir/source_control.cpp.o.d"
+  "source_control"
+  "source_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_base.dir/capability.cc.o"
+  "CMakeFiles/afs_base.dir/capability.cc.o.d"
+  "CMakeFiles/afs_base.dir/crc32.cc.o"
+  "CMakeFiles/afs_base.dir/crc32.cc.o.d"
+  "CMakeFiles/afs_base.dir/rng.cc.o"
+  "CMakeFiles/afs_base.dir/rng.cc.o.d"
+  "CMakeFiles/afs_base.dir/status.cc.o"
+  "CMakeFiles/afs_base.dir/status.cc.o.d"
+  "CMakeFiles/afs_base.dir/wire.cc.o"
+  "CMakeFiles/afs_base.dir/wire.cc.o.d"
+  "libafs_base.a"
+  "libafs_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

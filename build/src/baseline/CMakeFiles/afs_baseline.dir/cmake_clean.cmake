@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_baseline.dir/locking_server.cc.o"
+  "CMakeFiles/afs_baseline.dir/locking_server.cc.o.d"
+  "CMakeFiles/afs_baseline.dir/timestamp_server.cc.o"
+  "CMakeFiles/afs_baseline.dir/timestamp_server.cc.o.d"
+  "libafs_baseline.a"
+  "libafs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

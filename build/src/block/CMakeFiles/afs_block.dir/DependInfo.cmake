@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/block_server.cc" "src/block/CMakeFiles/afs_block.dir/block_server.cc.o" "gcc" "src/block/CMakeFiles/afs_block.dir/block_server.cc.o.d"
+  "/root/repo/src/block/block_store.cc" "src/block/CMakeFiles/afs_block.dir/block_store.cc.o" "gcc" "src/block/CMakeFiles/afs_block.dir/block_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/afs_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/afs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/afs_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

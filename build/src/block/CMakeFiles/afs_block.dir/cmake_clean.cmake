@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_block.dir/block_server.cc.o"
+  "CMakeFiles/afs_block.dir/block_server.cc.o.d"
+  "CMakeFiles/afs_block.dir/block_store.cc.o"
+  "CMakeFiles/afs_block.dir/block_store.cc.o.d"
+  "libafs_block.a"
+  "libafs_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libafs_block.a"
+)

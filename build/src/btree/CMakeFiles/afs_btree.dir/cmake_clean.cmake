@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_btree.dir/btree.cc.o"
+  "CMakeFiles/afs_btree.dir/btree.cc.o.d"
+  "libafs_btree.a"
+  "libafs_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_client.dir/cached_client.cc.o"
+  "CMakeFiles/afs_client.dir/cached_client.cc.o.d"
+  "CMakeFiles/afs_client.dir/file_client.cc.o"
+  "CMakeFiles/afs_client.dir/file_client.cc.o.d"
+  "CMakeFiles/afs_client.dir/transaction.cc.o"
+  "CMakeFiles/afs_client.dir/transaction.cc.o.d"
+  "libafs_client.a"
+  "libafs_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

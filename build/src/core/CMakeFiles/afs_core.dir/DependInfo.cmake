@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cc" "src/core/CMakeFiles/afs_core.dir/cache.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/cache.cc.o.d"
+  "/root/repo/src/core/file_server.cc" "src/core/CMakeFiles/afs_core.dir/file_server.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/file_server.cc.o.d"
+  "/root/repo/src/core/file_server_commit.cc" "src/core/CMakeFiles/afs_core.dir/file_server_commit.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/file_server_commit.cc.o.d"
+  "/root/repo/src/core/file_server_ops.cc" "src/core/CMakeFiles/afs_core.dir/file_server_ops.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/file_server_ops.cc.o.d"
+  "/root/repo/src/core/file_server_rpc.cc" "src/core/CMakeFiles/afs_core.dir/file_server_rpc.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/file_server_rpc.cc.o.d"
+  "/root/repo/src/core/flags.cc" "src/core/CMakeFiles/afs_core.dir/flags.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/flags.cc.o.d"
+  "/root/repo/src/core/fsck.cc" "src/core/CMakeFiles/afs_core.dir/fsck.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/fsck.cc.o.d"
+  "/root/repo/src/core/gc.cc" "src/core/CMakeFiles/afs_core.dir/gc.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/gc.cc.o.d"
+  "/root/repo/src/core/page.cc" "src/core/CMakeFiles/afs_core.dir/page.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/page.cc.o.d"
+  "/root/repo/src/core/page_store.cc" "src/core/CMakeFiles/afs_core.dir/page_store.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/page_store.cc.o.d"
+  "/root/repo/src/core/path.cc" "src/core/CMakeFiles/afs_core.dir/path.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/path.cc.o.d"
+  "/root/repo/src/core/serialise.cc" "src/core/CMakeFiles/afs_core.dir/serialise.cc.o" "gcc" "src/core/CMakeFiles/afs_core.dir/serialise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/afs_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/afs_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/afs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/afs_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_core.dir/cache.cc.o"
+  "CMakeFiles/afs_core.dir/cache.cc.o.d"
+  "CMakeFiles/afs_core.dir/file_server.cc.o"
+  "CMakeFiles/afs_core.dir/file_server.cc.o.d"
+  "CMakeFiles/afs_core.dir/file_server_commit.cc.o"
+  "CMakeFiles/afs_core.dir/file_server_commit.cc.o.d"
+  "CMakeFiles/afs_core.dir/file_server_ops.cc.o"
+  "CMakeFiles/afs_core.dir/file_server_ops.cc.o.d"
+  "CMakeFiles/afs_core.dir/file_server_rpc.cc.o"
+  "CMakeFiles/afs_core.dir/file_server_rpc.cc.o.d"
+  "CMakeFiles/afs_core.dir/flags.cc.o"
+  "CMakeFiles/afs_core.dir/flags.cc.o.d"
+  "CMakeFiles/afs_core.dir/fsck.cc.o"
+  "CMakeFiles/afs_core.dir/fsck.cc.o.d"
+  "CMakeFiles/afs_core.dir/gc.cc.o"
+  "CMakeFiles/afs_core.dir/gc.cc.o.d"
+  "CMakeFiles/afs_core.dir/page.cc.o"
+  "CMakeFiles/afs_core.dir/page.cc.o.d"
+  "CMakeFiles/afs_core.dir/page_store.cc.o"
+  "CMakeFiles/afs_core.dir/page_store.cc.o.d"
+  "CMakeFiles/afs_core.dir/path.cc.o"
+  "CMakeFiles/afs_core.dir/path.cc.o.d"
+  "CMakeFiles/afs_core.dir/serialise.cc.o"
+  "CMakeFiles/afs_core.dir/serialise.cc.o.d"
+  "libafs_core.a"
+  "libafs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

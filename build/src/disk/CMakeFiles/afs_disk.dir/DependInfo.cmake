@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/mem_disk.cc" "src/disk/CMakeFiles/afs_disk.dir/mem_disk.cc.o" "gcc" "src/disk/CMakeFiles/afs_disk.dir/mem_disk.cc.o.d"
+  "/root/repo/src/disk/write_once_disk.cc" "src/disk/CMakeFiles/afs_disk.dir/write_once_disk.cc.o" "gcc" "src/disk/CMakeFiles/afs_disk.dir/write_once_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/afs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_disk.dir/mem_disk.cc.o"
+  "CMakeFiles/afs_disk.dir/mem_disk.cc.o.d"
+  "CMakeFiles/afs_disk.dir/write_once_disk.cc.o"
+  "CMakeFiles/afs_disk.dir/write_once_disk.cc.o.d"
+  "libafs_disk.a"
+  "libafs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

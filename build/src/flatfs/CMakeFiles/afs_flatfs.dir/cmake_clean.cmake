@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_flatfs.dir/flat_file.cc.o"
+  "CMakeFiles/afs_flatfs.dir/flat_file.cc.o.d"
+  "libafs_flatfs.a"
+  "libafs_flatfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_flatfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

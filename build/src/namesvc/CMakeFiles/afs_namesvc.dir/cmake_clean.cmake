@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_namesvc.dir/directory_server.cc.o"
+  "CMakeFiles/afs_namesvc.dir/directory_server.cc.o.d"
+  "libafs_namesvc.a"
+  "libafs_namesvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_namesvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/client.cc" "src/rpc/CMakeFiles/afs_rpc.dir/client.cc.o" "gcc" "src/rpc/CMakeFiles/afs_rpc.dir/client.cc.o.d"
+  "/root/repo/src/rpc/network.cc" "src/rpc/CMakeFiles/afs_rpc.dir/network.cc.o" "gcc" "src/rpc/CMakeFiles/afs_rpc.dir/network.cc.o.d"
+  "/root/repo/src/rpc/service.cc" "src/rpc/CMakeFiles/afs_rpc.dir/service.cc.o" "gcc" "src/rpc/CMakeFiles/afs_rpc.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/afs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_rpc.dir/client.cc.o"
+  "CMakeFiles/afs_rpc.dir/client.cc.o.d"
+  "CMakeFiles/afs_rpc.dir/network.cc.o"
+  "CMakeFiles/afs_rpc.dir/network.cc.o.d"
+  "CMakeFiles/afs_rpc.dir/service.cc.o"
+  "CMakeFiles/afs_rpc.dir/service.cc.o.d"
+  "libafs_rpc.a"
+  "libafs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

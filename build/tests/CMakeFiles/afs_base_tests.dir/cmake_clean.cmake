@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_base_tests.dir/base/base_test.cc.o"
+  "CMakeFiles/afs_base_tests.dir/base/base_test.cc.o.d"
+  "afs_base_tests"
+  "afs_base_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

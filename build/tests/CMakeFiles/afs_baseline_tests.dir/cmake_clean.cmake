@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_baseline_tests.dir/baseline/baseline_test.cc.o"
+  "CMakeFiles/afs_baseline_tests.dir/baseline/baseline_test.cc.o.d"
+  "afs_baseline_tests"
+  "afs_baseline_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_block_tests.dir/block/block_server_test.cc.o"
+  "CMakeFiles/afs_block_tests.dir/block/block_server_test.cc.o.d"
+  "CMakeFiles/afs_block_tests.dir/block/stable_pair_test.cc.o"
+  "CMakeFiles/afs_block_tests.dir/block/stable_pair_test.cc.o.d"
+  "afs_block_tests"
+  "afs_block_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_block_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_btree_tests.dir/btree/btree_test.cc.o"
+  "CMakeFiles/afs_btree_tests.dir/btree/btree_test.cc.o.d"
+  "afs_btree_tests"
+  "afs_btree_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_btree_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

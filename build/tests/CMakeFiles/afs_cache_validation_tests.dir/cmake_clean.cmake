@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_cache_validation_tests.dir/core/cache_validation_test.cc.o"
+  "CMakeFiles/afs_cache_validation_tests.dir/core/cache_validation_test.cc.o.d"
+  "afs_cache_validation_tests"
+  "afs_cache_validation_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_cache_validation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

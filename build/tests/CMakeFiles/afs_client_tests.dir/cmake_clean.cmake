@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_client_tests.dir/client/client_test.cc.o"
+  "CMakeFiles/afs_client_tests.dir/client/client_test.cc.o.d"
+  "afs_client_tests"
+  "afs_client_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_client_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_commit_tests.dir/core/commit_test.cc.o"
+  "CMakeFiles/afs_commit_tests.dir/core/commit_test.cc.o.d"
+  "afs_commit_tests"
+  "afs_commit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_commit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

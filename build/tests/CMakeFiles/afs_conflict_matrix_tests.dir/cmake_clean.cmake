@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_conflict_matrix_tests.dir/core/conflict_matrix_test.cc.o"
+  "CMakeFiles/afs_conflict_matrix_tests.dir/core/conflict_matrix_test.cc.o.d"
+  "afs_conflict_matrix_tests"
+  "afs_conflict_matrix_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_conflict_matrix_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

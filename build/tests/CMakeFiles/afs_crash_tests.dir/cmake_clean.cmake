@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_crash_tests.dir/integration/crash_test.cc.o"
+  "CMakeFiles/afs_crash_tests.dir/integration/crash_test.cc.o.d"
+  "afs_crash_tests"
+  "afs_crash_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_crash_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_directory_tests.dir/namesvc/directory_test.cc.o"
+  "CMakeFiles/afs_directory_tests.dir/namesvc/directory_test.cc.o.d"
+  "afs_directory_tests"
+  "afs_directory_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_directory_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

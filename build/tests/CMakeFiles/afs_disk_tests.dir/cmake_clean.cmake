@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_disk_tests.dir/disk/disk_test.cc.o"
+  "CMakeFiles/afs_disk_tests.dir/disk/disk_test.cc.o.d"
+  "afs_disk_tests"
+  "afs_disk_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_disk_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

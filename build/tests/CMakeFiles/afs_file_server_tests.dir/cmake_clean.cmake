@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_file_server_tests.dir/core/file_server_test.cc.o"
+  "CMakeFiles/afs_file_server_tests.dir/core/file_server_test.cc.o.d"
+  "afs_file_server_tests"
+  "afs_file_server_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_file_server_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

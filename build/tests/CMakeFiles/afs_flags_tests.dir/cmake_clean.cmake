@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_flags_tests.dir/core/flags_test.cc.o"
+  "CMakeFiles/afs_flags_tests.dir/core/flags_test.cc.o.d"
+  "afs_flags_tests"
+  "afs_flags_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_flags_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

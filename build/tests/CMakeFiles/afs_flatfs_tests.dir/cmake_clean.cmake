@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_flatfs_tests.dir/flatfs/flat_file_test.cc.o"
+  "CMakeFiles/afs_flatfs_tests.dir/flatfs/flat_file_test.cc.o.d"
+  "afs_flatfs_tests"
+  "afs_flatfs_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_flatfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_fsck_tests.dir/core/fsck_test.cc.o"
+  "CMakeFiles/afs_fsck_tests.dir/core/fsck_test.cc.o.d"
+  "afs_fsck_tests"
+  "afs_fsck_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_fsck_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_gc_tests.dir/core/gc_test.cc.o"
+  "CMakeFiles/afs_gc_tests.dir/core/gc_test.cc.o.d"
+  "afs_gc_tests"
+  "afs_gc_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_gc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

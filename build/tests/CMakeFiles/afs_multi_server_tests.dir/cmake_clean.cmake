@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_multi_server_tests.dir/integration/multi_server_test.cc.o"
+  "CMakeFiles/afs_multi_server_tests.dir/integration/multi_server_test.cc.o.d"
+  "afs_multi_server_tests"
+  "afs_multi_server_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_multi_server_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

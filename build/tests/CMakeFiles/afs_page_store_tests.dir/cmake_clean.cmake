@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_page_store_tests.dir/core/page_store_test.cc.o"
+  "CMakeFiles/afs_page_store_tests.dir/core/page_store_test.cc.o.d"
+  "afs_page_store_tests"
+  "afs_page_store_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_page_store_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

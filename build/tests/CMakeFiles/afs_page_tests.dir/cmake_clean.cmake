@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_page_tests.dir/core/page_test.cc.o"
+  "CMakeFiles/afs_page_tests.dir/core/page_test.cc.o.d"
+  "afs_page_tests"
+  "afs_page_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_page_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_property_tests.dir/integration/property_test.cc.o"
+  "CMakeFiles/afs_property_tests.dir/integration/property_test.cc.o.d"
+  "afs_property_tests"
+  "afs_property_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_robustness_tests.dir/rpc/robustness_test.cc.o"
+  "CMakeFiles/afs_robustness_tests.dir/rpc/robustness_test.cc.o.d"
+  "afs_robustness_tests"
+  "afs_robustness_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_robustness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_rpc_tests.dir/rpc/rpc_test.cc.o"
+  "CMakeFiles/afs_rpc_tests.dir/rpc/rpc_test.cc.o.d"
+  "afs_rpc_tests"
+  "afs_rpc_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_rpc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

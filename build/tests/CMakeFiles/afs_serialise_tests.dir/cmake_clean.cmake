@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_serialise_tests.dir/core/serialise_unit_test.cc.o"
+  "CMakeFiles/afs_serialise_tests.dir/core/serialise_unit_test.cc.o.d"
+  "afs_serialise_tests"
+  "afs_serialise_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_serialise_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

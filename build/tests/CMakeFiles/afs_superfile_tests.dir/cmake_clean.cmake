@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_superfile_tests.dir/core/superfile_test.cc.o"
+  "CMakeFiles/afs_superfile_tests.dir/core/superfile_test.cc.o.d"
+  "afs_superfile_tests"
+  "afs_superfile_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_superfile_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

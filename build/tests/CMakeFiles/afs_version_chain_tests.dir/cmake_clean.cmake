@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_version_chain_tests.dir/core/version_chain_test.cc.o"
+  "CMakeFiles/afs_version_chain_tests.dir/core/version_chain_test.cc.o.d"
+  "afs_version_chain_tests"
+  "afs_version_chain_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_version_chain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
