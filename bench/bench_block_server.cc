@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "src/block/block_server.h"
 #include "src/block/block_store.h"
 #include "src/block/protocol.h"
@@ -193,4 +194,4 @@ BENCHMARK(BM_AllocWrite)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace afs
 
-BENCHMARK_MAIN();
+AFS_BENCHMARK_MAIN();

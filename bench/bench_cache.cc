@@ -95,4 +95,4 @@ BENCHMARK(BM_ValidateSharedNoFlagCache) SHARED_ARGS;
 }  // namespace
 }  // namespace afs
 
-BENCHMARK_MAIN();
+AFS_BENCHMARK_MAIN();

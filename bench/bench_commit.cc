@@ -84,4 +84,4 @@ BENCHMARK(BM_RawBlockWrite)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace afs
 
-BENCHMARK_MAIN();
+AFS_BENCHMARK_MAIN();

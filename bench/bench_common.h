@@ -4,6 +4,11 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +16,7 @@
 #include "src/block/block_store.h"
 #include "src/client/file_client.h"
 #include "src/core/file_server.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/network.h"
 
 namespace afs {
@@ -76,7 +82,67 @@ struct Rig {
   std::unique_ptr<FileServer> fs;
 };
 
+// Harness entry point shared by every benchmark binary (use via AFS_BENCHMARK_MAIN).
+//
+// Extra flags, consumed before google/benchmark sees argv:
+//   --quick                 run each benchmark for a minimal interval (smoke tests, CI)
+//   --afs_stats_json=PATH   after the run, write {"benchmark":..., "stats":[...]} with the
+//                           process-wide metrics snapshot to PATH ("-" = stdout). Also
+//                           honoured via the AFS_STATS_JSON environment variable.
+//
+// Registries die with the objects that own them (Rigs are destroyed inside each BM_*
+// function), so the end-of-run snapshot leans on the retired aggregate that
+// DumpAllJson() folds destroyed registries into — see src/obs/metrics.h.
+inline int BenchMain(int argc, char** argv) {
+  std::string stats_path;
+  if (const char* env = std::getenv("AFS_STATS_JSON")) {
+    stats_path = env;
+  }
+  std::vector<char*> args;
+  std::string min_time_flag = "--benchmark_min_time=0.001";
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.push_back(min_time_flag.data());
+    } else if (std::strncmp(argv[i], "--afs_stats_json=", 17) == 0) {
+      stats_path = argv[i] + 17;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!stats_path.empty()) {
+    std::string out = "{\"benchmark\":\"";
+    out += argv[0];
+    out += "\",\"stats\":";
+    out += obs::DumpAllJson();
+    out += "}\n";
+    if (stats_path == "-") {
+      std::fwrite(out.data(), 1, out.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(stats_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", stats_path.c_str());
+        return 1;
+      }
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+    }
+  }
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace afs
+
+#define AFS_BENCHMARK_MAIN()                                              \
+  int main(int argc, char** argv) { return afs::bench::BenchMain(argc, argv); }
 
 #endif  // BENCH_BENCH_COMMON_H_

@@ -97,4 +97,4 @@ BENCHMARK(BM_FirstWriteBlockOps)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark
 }  // namespace
 }  // namespace afs
 
-BENCHMARK_MAIN();
+AFS_BENCHMARK_MAIN();

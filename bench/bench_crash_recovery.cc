@@ -102,4 +102,4 @@ BENCHMARK(BM_LockingRestartAfterCrash)->Arg(4)->Arg(32)->Arg(256)
 }  // namespace
 }  // namespace afs
 
-BENCHMARK_MAIN();
+AFS_BENCHMARK_MAIN();

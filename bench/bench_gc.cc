@@ -117,4 +117,4 @@ BENCHMARK(BM_ReshareOff)->Unit(benchmark::kMillisecond)->Iterations(3);
 }  // namespace
 }  // namespace afs
 
-BENCHMARK_MAIN();
+AFS_BENCHMARK_MAIN();

@@ -287,4 +287,4 @@ BENCHMARK(BM_Timestamps) CONFLICT_ARGS;
 }  // namespace
 }  // namespace afs
 
-BENCHMARK_MAIN();
+AFS_BENCHMARK_MAIN();

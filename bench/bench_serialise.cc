@@ -101,4 +101,4 @@ BENCHMARK(BM_SerialiseMergeNoCache) SERIALISE_ARGS;
 }  // namespace
 }  // namespace afs
 
-BENCHMARK_MAIN();
+AFS_BENCHMARK_MAIN();

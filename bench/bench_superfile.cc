@@ -159,4 +159,4 @@ BENCHMARK(BM_SuperFileUpdate)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace afs
 
-BENCHMARK_MAIN();
+AFS_BENCHMARK_MAIN();

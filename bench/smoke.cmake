@@ -1,0 +1,22 @@
+# Bench smoke test: run one benchmark binary in --quick mode with stats emission, then
+# validate that the emitted JSON parses and has the expected shape.
+#
+# Invoked by ctest as:
+#   cmake -DBENCH=<bench binary> -DVALIDATOR=<validate_stats_json> -DOUT=<json path>
+#         -P smoke.cmake
+
+execute_process(
+  COMMAND ${BENCH} --quick --afs_stats_json=${OUT}
+  RESULT_VARIABLE bench_result
+)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "benchmark failed with exit code ${bench_result}")
+endif()
+
+execute_process(
+  COMMAND ${VALIDATOR} ${OUT}
+  RESULT_VARIABLE validate_result
+)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR "stats JSON validation failed with exit code ${validate_result}")
+endif()

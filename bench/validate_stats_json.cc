@@ -1,0 +1,202 @@
+// Validates the stats JSON emitted by BenchMain (--afs_stats_json). A minimal
+// recursive-descent JSON parser — strict enough to catch malformed output (trailing
+// commas, unterminated strings, bad numbers) without pulling in a JSON dependency.
+//
+// Usage: validate_stats_json FILE
+// Exit 0 iff FILE parses as JSON and is an object with a "benchmark" string and a
+// "stats" array.
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(nullptr);
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString(nullptr);
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  // Parses an object; if `keys` is non-null, records the top-level keys seen.
+  bool ParseObject(std::vector<std::string>* keys) {
+    if (!Expect('{')) return false;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (keys != nullptr) keys->push_back(key);
+      SkipWs();
+      if (!Expect(':')) return false;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool ParseArray() {
+    if (!Expect('[')) return false;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        ++pos_;  // accept any escaped char (the emitter only escapes " and \)
+        continue;
+      }
+      if (out != nullptr) out->push_back(c);
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Fail("bad number");
+    }
+    return true;
+  }
+
+  bool ParseLiteral(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return Fail("bad literal");
+    }
+    return true;
+  }
+
+  bool Expect(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s FILE\n", argv[0]);
+    return 2;
+  }
+  std::FILE* f = std::fopen(argv[1], "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  std::vector<std::string> keys;
+  Parser top(text);
+  if (!top.ParseObject(&keys) || !top.AtEnd()) {
+    std::fprintf(stderr, "invalid JSON: %s\n", top.error().c_str());
+    return 1;
+  }
+  bool has_benchmark = false;
+  bool has_stats = false;
+  for (const std::string& k : keys) {
+    if (k == "benchmark") has_benchmark = true;
+    if (k == "stats") has_stats = true;
+  }
+  if (!has_benchmark || !has_stats) {
+    std::fprintf(stderr, "missing required keys (benchmark=%d stats=%d)\n",
+                 has_benchmark ? 1 : 0, has_stats ? 1 : 0);
+    return 1;
+  }
+  std::printf("ok: %zu bytes, %zu top-level keys\n", text.size(), keys.size());
+  return 0;
+}

@@ -14,6 +14,7 @@
 // Commands read from stdin; EOF or `quit` exits.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -28,6 +29,9 @@
 #include "src/core/gc.h"
 #include "src/disk/mem_disk.h"
 #include "src/namesvc/directory_server.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/rpc/client.h"
 #include "src/rpc/network.h"
 
 using namespace afs;
@@ -48,6 +52,10 @@ void PrintHelp() {
       "  restart <fs0|fs1|blockA>    restart it\n"
       "  gc                          run one garbage-collection cycle\n"
       "  fsck                        run the consistency checker\n"
+      "  stats [fs0|fs1|blockA|blockB]\n"
+      "                              process-wide metrics, or scrape one live server's\n"
+      "                              registry over RPC (kGetStats)\n"
+      "  trace [n]                   most recent n trace events (default 40)\n"
       "  help, quit\n");
 }
 
@@ -208,6 +216,35 @@ int main() {
         target->Restart();
       }
       std::printf("%s %sed\n", which.c_str(), cmd.c_str());
+    } else if (cmd == "stats") {
+      std::string which;
+      in >> which;
+      if (which.empty()) {
+        std::printf("%s", obs::DumpAllText().c_str());
+        continue;
+      }
+      Service* target = which == "fs0"      ? static_cast<Service*>(&fs0)
+                        : which == "fs1"    ? static_cast<Service*>(&fs1)
+                        : which == "blockA" ? static_cast<Service*>(&block_a)
+                        : which == "blockB" ? static_cast<Service*>(&block_b)
+                                            : nullptr;
+      if (target == nullptr) {
+        std::printf("unknown server '%s'\n", which.c_str());
+        continue;
+      }
+      auto text = ScrapeStats(&net, target->port());
+      if (text.ok()) {
+        std::printf("%s", text->c_str());
+      } else {
+        std::printf("error: %s\n", text.status().ToString().c_str());
+      }
+    } else if (cmd == "trace") {
+      size_t n = 40;
+      std::string arg;
+      if (in >> arg) {
+        n = static_cast<size_t>(std::strtoull(arg.c_str(), nullptr, 10));
+      }
+      std::printf("%s", obs::DumpTrace(n).c_str());
     } else if (cmd == "gc") {
       Status st = gc.RunCycle();
       std::printf("%s (%llu block(s) swept so far)\n", st.ToString().c_str(),

@@ -210,17 +210,13 @@ uint32_t StableStore::payload_capacity() const { return members_[0]->payload_cap
 // ---------------------------------------------------------------------------
 
 InMemoryBlockStore::InMemoryBlockStore(uint32_t payload_capacity, uint32_t num_blocks)
-    : payload_capacity_(payload_capacity), num_blocks_(num_blocks) {}
-
-void InMemoryBlockStore::ChargeLatency() const {
-  uint32_t us = op_latency_us_.load(std::memory_order_relaxed);
-  if (us > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(us));
-  }
+    : payload_capacity_(payload_capacity), num_blocks_(num_blocks) {
+  latency_.BindMetrics(metrics_.counter("store.charged_ops"),
+                       metrics_.histogram("store.charged_ns"));
 }
 
 Result<BlockNo> InMemoryBlockStore::AllocWrite(std::span<const uint8_t> payload) {
-  ChargeLatency();
+  latency_.Charge();
   if (payload.size() > payload_capacity_) {
     return InvalidArgumentError("payload exceeds block capacity");
   }
@@ -234,12 +230,12 @@ Result<BlockNo> InMemoryBlockStore::AllocWrite(std::span<const uint8_t> payload)
   BlockNo bno = next_;
   next_ = (next_ + 1) & kMaxBlockNo;
   blocks_[bno] = std::vector<uint8_t>(payload.begin(), payload.end());
-  ++writes_;
+  writes_->Inc();
   return bno;
 }
 
 Status InMemoryBlockStore::Write(BlockNo bno, std::span<const uint8_t> payload) {
-  ChargeLatency();
+  latency_.Charge();
   if (payload.size() > payload_capacity_) {
     return InvalidArgumentError("payload exceeds block capacity");
   }
@@ -249,18 +245,18 @@ Status InMemoryBlockStore::Write(BlockNo bno, std::span<const uint8_t> payload) 
     return NotFoundError("write to unallocated block");
   }
   it->second.assign(payload.begin(), payload.end());
-  ++writes_;
+  writes_->Inc();
   return OkStatus();
 }
 
 Result<std::vector<uint8_t>> InMemoryBlockStore::Read(BlockNo bno) {
-  ChargeLatency();
+  latency_.Charge();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(bno);
   if (it == blocks_.end()) {
     return NotFoundError("read of unallocated block");
   }
-  ++reads_;
+  reads_->Inc();
   return it->second;
 }
 
@@ -268,6 +264,7 @@ Status InMemoryBlockStore::Free(BlockNo bno) {
   std::lock_guard<std::mutex> lock(mu_);
   blocks_.erase(bno);
   locks_.erase(bno);
+  frees_->Inc();
   return OkStatus();
 }
 
@@ -275,6 +272,7 @@ Status InMemoryBlockStore::Lock(BlockNo bno, Port owner) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = locks_.find(bno);
   if (it != locks_.end() && it->second != owner) {
+    lock_contended_->Inc();
     return LockedError("block locked");
   }
   locks_[bno] = owner;
@@ -305,16 +303,6 @@ Result<std::vector<BlockNo>> InMemoryBlockStore::ListBlocks() {
 size_t InMemoryBlockStore::allocated_blocks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return blocks_.size();
-}
-
-uint64_t InMemoryBlockStore::total_writes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return writes_;
-}
-
-uint64_t InMemoryBlockStore::total_reads() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return reads_;
 }
 
 }  // namespace afs

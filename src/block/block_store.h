@@ -27,6 +27,7 @@
 #include "src/base/rng.h"
 #include "src/base/status.h"
 #include "src/disk/block_device.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/network.h"
 
 namespace afs {
@@ -121,28 +122,29 @@ class InMemoryBlockStore : public BlockStore {
 
   // Number of blocks currently allocated (GC tests assert exact reclamation).
   size_t allocated_blocks() const;
-  uint64_t total_writes() const;
-  uint64_t total_reads() const;
+  uint64_t total_writes() const { return writes_->value(); }
+  uint64_t total_reads() const { return reads_->value(); }
 
   // Simulated per-operation I/O latency, slept OUTSIDE the internal mutex so that
   // concurrent operations overlap — this is how benchmarks model the disk-bound servers
   // of the paper's era (DESIGN.md substitution table). Zero (the default) disables it.
-  void set_op_latency(std::chrono::microseconds latency) {
-    op_latency_us_.store(static_cast<uint32_t>(latency.count()), std::memory_order_relaxed);
-  }
+  // A thin wrapper over the unified SimulatedLatency knob in src/disk/block_device.h.
+  void set_op_latency(std::chrono::microseconds latency) { latency_.set_sleep(latency); }
+  SimulatedLatency& latency() { return latency_; }
 
  private:
-  void ChargeLatency() const;
-
   const uint32_t payload_capacity_;
   const uint32_t num_blocks_;
-  std::atomic<uint32_t> op_latency_us_{0};
+  SimulatedLatency latency_;
   mutable std::mutex mu_;
   std::unordered_map<BlockNo, std::vector<uint8_t>> blocks_;
   std::unordered_map<BlockNo, Port> locks_;
   BlockNo next_ = 0;
-  uint64_t writes_ = 0;
-  uint64_t reads_ = 0;
+  obs::MetricRegistry metrics_{"blockstore"};
+  obs::Counter* reads_ = metrics_.counter("store.read");
+  obs::Counter* writes_ = metrics_.counter("store.write");
+  obs::Counter* frees_ = metrics_.counter("store.free");
+  obs::Counter* lock_contended_ = metrics_.counter("store.lock_contended");
 };
 
 }  // namespace afs

@@ -1,5 +1,7 @@
 #include "src/core/cache.h"
 
+#include "src/obs/trace.h"
+
 namespace afs {
 
 void PageCache::Put(uint64_t file_id, BlockNo version_head, const PagePath& path,
@@ -15,15 +17,18 @@ std::optional<std::vector<uint8_t>> PageCache::Get(uint64_t file_id,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(file_id);
   if (it == entries_.end()) {
-    ++misses_;
+    misses_->Inc();
+    obs::Trace(obs::TraceEvent::kCacheMiss, file_id);
     return std::nullopt;
   }
   auto page = it->second.pages.find(path);
   if (page == it->second.pages.end()) {
-    ++misses_;
+    misses_->Inc();
+    obs::Trace(obs::TraceEvent::kCacheMiss, file_id);
     return std::nullopt;
   }
-  ++hits_;
+  hits_->Inc();
+  obs::Trace(obs::TraceEvent::kCacheHit, file_id);
   return page->second;
 }
 
@@ -67,16 +72,6 @@ void PageCache::Drop(uint64_t file_id) {
 void PageCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
-}
-
-uint64_t PageCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-uint64_t PageCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
 }
 
 }  // namespace afs

@@ -19,6 +19,7 @@
 
 #include "src/core/flags.h"
 #include "src/core/path.h"
+#include "src/obs/metrics.h"
 
 namespace afs {
 
@@ -50,14 +51,15 @@ class PageCache {
   void Drop(uint64_t file_id);
   void Clear();
 
-  uint64_t hits() const;
-  uint64_t misses() const;
+  uint64_t hits() const { return hits_->value(); }
+  uint64_t misses() const { return misses_->value(); }
 
  private:
   mutable std::mutex mu_;
   std::map<uint64_t, Entry> entries_;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
+  obs::MetricRegistry metrics_{"client.page_cache"};
+  obs::Counter* hits_ = metrics_.counter("cache.hit");
+  obs::Counter* misses_ = metrics_.counter("cache.miss");
 };
 
 }  // namespace afs

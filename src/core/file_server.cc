@@ -8,6 +8,7 @@
 #include "src/base/wire.h"
 #include "src/core/protocol.h"
 #include "src/core/serialise.h"
+#include "src/obs/trace.h"
 #include "src/rpc/client.h"
 
 namespace afs {
@@ -30,7 +31,16 @@ FileServer::FileServer(Network* network, std::string name, BlockStore* blocks,
       options_(options),
       file_signer_(0, Mix64(options.group_secret ^ 0xf11e)),
       version_signer_(0, Mix64(options.group_secret ^ 0x7e55)),
-      rng_(options.group_secret ^ 0x5eed) {}
+      rng_(options.group_secret ^ 0x5eed),
+      commit_fast_path_(metrics()->counter("commit.fast_path")),
+      commit_validated_(metrics()->counter("commit.validated")),
+      commit_merged_(metrics()->counter("commit.merged")),
+      commit_conflicts_(metrics()->counter("commit.conflict_aborted")),
+      serialise_tests_ctr_(metrics()->counter("commit.serialise_tests")),
+      commit_latency_ns_(metrics()->histogram("commit.latency_ns")),
+      cache_hits_(metrics()->counter("cache.hit")),
+      cache_misses_(metrics()->counter("cache.miss")),
+      cache_evictions_(metrics()->counter("cache.eviction")) {}
 
 FileServer::~FileServer() { Shutdown(); }
 
@@ -189,8 +199,14 @@ Result<Page> FileServer::LoadPage(BlockNo head) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = committed_cache_.find(head);
     if (it != committed_cache_.end()) {
+      cache_hits_->Inc();
+      obs::Trace(obs::TraceEvent::kCacheHit, head);
       return it->second;
     }
+  }
+  if (options_.cache_committed_pages) {
+    cache_misses_->Inc();
+    obs::Trace(obs::TraceEvent::kCacheMiss, head);
   }
   ASSIGN_OR_RETURN(Page page, pages_.ReadPage(head));
   // Version pages are mutable in place (commit reference, locks) and must never be served
@@ -206,6 +222,8 @@ void FileServer::CacheCommittedPage(BlockNo head, const Page& page) {
   if (committed_cache_.size() >= options_.committed_cache_capacity && !cache_lru_.empty()) {
     committed_cache_.erase(cache_lru_.front());
     cache_lru_.erase(cache_lru_.begin());
+    cache_evictions_->Inc();
+    obs::Trace(obs::TraceEvent::kCacheEvict, head);
   }
   if (committed_cache_.emplace(head, page).second) {
     cache_lru_.push_back(head);

@@ -139,8 +139,8 @@ class FileServer : public Service {
   // Blocks of the on-disk file table page chain (GC must not sweep them).
   Result<std::vector<BlockNo>> FileTableBlocks();
   const FileServerOptions& options() const { return options_; }
-  uint64_t serialise_tests_run() const;
-  uint64_t commits_fast_path() const;
+  uint64_t serialise_tests_run() const { return serialise_tests_ctr_->value(); }
+  uint64_t commits_fast_path() const { return commit_fast_path_->value(); }
 
  protected:
   Result<Message> Handle(const Message& request) override;
@@ -282,9 +282,17 @@ class FileServer : public Service {
   std::unordered_map<BlockNo, Page> committed_cache_;
   std::vector<BlockNo> cache_lru_;  // simple clock-ish eviction
 
-  mutable std::mutex stats_mu_;
-  uint64_t serialise_tests_ = 0;
-  uint64_t fast_commits_ = 0;
+  // Commit-outcome and cache metrics (Service's registry). Resolved once at construction;
+  // the commit hot path touches them with relaxed atomic increments only — no mutex.
+  obs::Counter* commit_fast_path_;
+  obs::Counter* commit_validated_;   // won after >= 1 serialisability test
+  obs::Counter* commit_merged_;      // successful TestAndMerge passes
+  obs::Counter* commit_conflicts_;   // aborted: not serialisable (or starved)
+  obs::Counter* serialise_tests_ctr_;
+  obs::Histogram* commit_latency_ns_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* cache_evictions_;
 
   friend class Serialiser;
 };

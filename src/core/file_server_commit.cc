@@ -2,6 +2,7 @@
 // reshare rule, cache validation (§5.4), and the RPC surface.
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <unordered_set>
@@ -10,6 +11,7 @@
 #include "src/core/file_server.h"
 #include "src/core/protocol.h"
 #include "src/core/serialise.h"
+#include "src/obs/trace.h"
 #include "src/rpc/client.h"
 
 namespace afs {
@@ -44,6 +46,25 @@ Result<bool> FileServer::TestAndSetCommitRef(BlockNo base_head, BlockNo new_head
 Result<BlockNo> FileServer::Commit(const Capability& version) {
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
+  const auto commit_start = std::chrono::steady_clock::now();
+  // Record outcome + latency on every exit path (including early error returns past this
+  // point). Relaxed atomics only — the commit hot path takes no statistics mutex.
+  struct CommitScope {
+    FileServer* fs;
+    std::chrono::steady_clock::time_point start;
+    obs::Counter* outcome = nullptr;
+    ~CommitScope() {
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      fs->commit_latency_ns_->Record(static_cast<uint64_t>(ns));
+      if (outcome != nullptr) {
+        outcome->Inc();
+      }
+    }
+  } scope{this, commit_start};
+  obs::Trace(obs::TraceEvent::kCommitBegin, head);
+
   ASSIGN_OR_RETURN(VersionOpGuard op, AcquireVersionOp(head));
   if (op.info == nullptr) {
     return AbortedError("version is not managed by this server (already finished?)");
@@ -54,6 +75,8 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
   int attempts = 0;
   for (;;) {
     if (++attempts > 256) {
+      scope.outcome = commit_conflicts_;
+      obs::Trace(obs::TraceEvent::kCommitAbort, head);
       return ConflictError("commit starved by concurrent committers");
     }
     BlockNo successor = kNilRef;
@@ -63,10 +86,8 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
     }
     // The base has a committed successor V.c: run the serialisability test and, on
     // success, merge the two updates and try to succeed V.c instead (§5.2, Figure 6).
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++serialise_tests_;
-    }
+    serialise_tests_ctr_->Inc();
+    obs::Trace(obs::TraceEvent::kCommitSerialise, head, successor);
     Serialiser serialiser(&pages_, [this](BlockNo bno) { return LoadPage(bno); });
     auto mergeable = serialiser.TestAndMerge(head, &root, successor);
     if (!mergeable.ok() || !*mergeable) {
@@ -75,18 +96,22 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
       Status conflict = mergeable.ok()
                             ? ConflictError("update not serialisable with committed version")
                             : mergeable.status();
+      scope.outcome = commit_conflicts_;
+      obs::Trace(obs::TraceEvent::kCommitConflict, head, successor);
       (void)AbortLocked(info);
       return conflict;
     }
+    commit_merged_->Inc();
+    obs::Trace(obs::TraceEvent::kCommitMerge, head, successor);
     root.base_ref = successor;
     RETURN_IF_ERROR(pages_.OverwritePage(head, root));
   }
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (attempts == 1) {
-      ++fast_commits_;
-    }
+  if (attempts == 1) {
+    scope.outcome = commit_fast_path_;
+    obs::Trace(obs::TraceEvent::kCommitFastPath, head);
+  } else {
+    scope.outcome = commit_validated_;
   }
   {
     std::lock_guard<std::mutex> lock(table_mu_);
@@ -399,16 +424,6 @@ std::vector<BlockNo> FileServer::ListUncommitted() const {
     out.push_back(head);
   }
   return out;
-}
-
-uint64_t FileServer::serialise_tests_run() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return serialise_tests_;
-}
-
-uint64_t FileServer::commits_fast_path() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return fast_commits_;
 }
 
 void FileServer::OnRestart() {

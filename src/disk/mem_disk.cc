@@ -2,13 +2,18 @@
 
 #include <cstring>
 
+#include "src/obs/trace.h"
+
 namespace afs {
 
 MemDisk::MemDisk(uint32_t block_size, uint32_t num_blocks)
     : block_size_(block_size),
       num_blocks_(num_blocks),
       data_(static_cast<size_t>(block_size) * num_blocks, 0),
-      written_(num_blocks, false) {}
+      written_(num_blocks, false) {
+  latency_.BindMetrics(metrics_.counter("disk.charged_ops"),
+                       metrics_.histogram("disk.charged_ns"));
+}
 
 DiskGeometry MemDisk::geometry() const { return {block_size_, num_blocks_}; }
 
@@ -25,30 +30,24 @@ Status MemDisk::CheckAccess(BlockNo bno, size_t len, size_t expected_len) const 
   return OkStatus();
 }
 
-void MemDisk::ChargeLatency() const {
-  uint32_t ticks = latency_ticks_.load(std::memory_order_relaxed);
-  volatile uint32_t sink = 0;
-  for (uint32_t i = 0; i < ticks; ++i) {
-    sink = sink + 1;
-  }
-}
-
 Status MemDisk::Read(BlockNo bno, std::span<uint8_t> out) {
   std::lock_guard<std::mutex> lock(mu_);
   RETURN_IF_ERROR(CheckAccess(bno, out.size(), block_size_));
-  ChargeLatency();
+  latency_.Charge();
   std::memcpy(out.data(), data_.data() + static_cast<size_t>(bno) * block_size_, block_size_);
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  reads_->Inc();
+  obs::Trace(obs::TraceEvent::kDiskRead, bno);
   return OkStatus();
 }
 
 Status MemDisk::Write(BlockNo bno, std::span<const uint8_t> data) {
   std::lock_guard<std::mutex> lock(mu_);
   RETURN_IF_ERROR(CheckAccess(bno, data.size(), block_size_));
-  ChargeLatency();
+  latency_.Charge();
   std::memcpy(data_.data() + static_cast<size_t>(bno) * block_size_, data.data(), block_size_);
   written_[bno] = true;
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  writes_->Inc();
+  obs::Trace(obs::TraceEvent::kDiskWrite, bno);
   return OkStatus();
 }
 

@@ -13,11 +13,11 @@
 #ifndef SRC_DISK_MEM_DISK_H_
 #define SRC_DISK_MEM_DISK_H_
 
-#include <atomic>
 #include <mutex>
 #include <vector>
 
 #include "src/disk/block_device.h"
+#include "src/obs/metrics.h"
 
 namespace afs {
 
@@ -29,8 +29,8 @@ class MemDisk : public BlockDevice {
   Status Read(BlockNo bno, std::span<uint8_t> out) override;
   Status Write(BlockNo bno, std::span<const uint8_t> data) override;
 
-  uint64_t reads() const override { return reads_.load(std::memory_order_relaxed); }
-  uint64_t writes() const override { return writes_.load(std::memory_order_relaxed); }
+  uint64_t reads() const override { return reads_->value(); }
+  uint64_t writes() const override { return writes_->value(); }
 
   // -- Fault injection ------------------------------------------------------
 
@@ -45,12 +45,13 @@ class MemDisk : public BlockDevice {
   // recovery tests: the replacement disk is rebuilt from the companion server.
   void WipeClean();
 
-  // Simulated per-operation cost in relative "ticks" (spun, not slept).
-  void set_latency_ticks(uint32_t ticks) { latency_ticks_ = ticks; }
+  // Simulated per-operation cost in relative "ticks" (spun, not slept) — a thin wrapper
+  // over the unified SimulatedLatency knob.
+  void set_latency_ticks(uint32_t ticks) { latency_.set_spin_ticks(ticks); }
+  SimulatedLatency& latency() { return latency_; }
 
  private:
   Status CheckAccess(BlockNo bno, size_t len, size_t expected_len) const;
-  void ChargeLatency() const;
 
   const uint32_t block_size_;
   const uint32_t num_blocks_;
@@ -58,9 +59,10 @@ class MemDisk : public BlockDevice {
   std::vector<uint8_t> data_;
   std::vector<bool> written_;
   bool offline_ = false;
-  std::atomic<uint32_t> latency_ticks_{0};
-  std::atomic<uint64_t> reads_{0};
-  std::atomic<uint64_t> writes_{0};
+  SimulatedLatency latency_;
+  obs::MetricRegistry metrics_{"disk"};
+  obs::Counter* reads_ = metrics_.counter("disk.read");
+  obs::Counter* writes_ = metrics_.counter("disk.write");
 };
 
 }  // namespace afs

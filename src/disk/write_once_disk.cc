@@ -13,6 +13,7 @@ Status WriteOnceDisk::Write(BlockNo bno, std::span<const uint8_t> data) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (bno < burned_.size() && burned_[bno]) {
+      burn_rejected_->Inc();
       return ReadOnlyError("write-once block already burned");
     }
   }

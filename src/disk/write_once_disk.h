@@ -28,12 +28,17 @@ class WriteOnceDisk : public BlockDevice {
   uint64_t reads() const override { return inner_.reads(); }
   uint64_t writes() const override { return inner_.writes(); }
 
+  // Unified simulated-latency knob, charged by the inner device on every op.
+  SimulatedLatency& latency() { return inner_.latency(); }
+
   bool IsBurned(BlockNo bno) const;
 
  private:
   MemDisk inner_;
   mutable std::mutex mu_;
   std::vector<bool> burned_;
+  obs::MetricRegistry metrics_{"disk.once"};
+  obs::Counter* burn_rejected_ = metrics_.counter("disk.burn_rejected");
 };
 
 }  // namespace afs

@@ -1,0 +1,347 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <vector>
+
+namespace afs {
+namespace obs {
+
+namespace {
+
+// Retired aggregate: final values of destroyed registries, keyed by
+// "<registry name>/<metric name>". Guarded by the same mutex as the live-registry list.
+struct RetiredHistogram {
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+};
+
+struct GlobalState {
+  std::mutex mu;
+  std::vector<MetricRegistry*> registries;
+  std::map<std::string, uint64_t> retired_counters;
+  std::map<std::string, int64_t> retired_gauge_max;
+  std::map<std::string, RetiredHistogram> retired_histograms;
+};
+
+GlobalState& Global() {
+  static GlobalState* state = new GlobalState;  // leaked: outlives static registries
+  return *state;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+// Minimal JSON string escaping (names are plain identifiers, but be safe).
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(uint64_t ns) {
+  if (ns < 2) {
+    return 0;
+  }
+  int index = std::bit_width(ns) - 1;
+  return index < kNumBuckets ? index : kNumBuckets - 1;
+}
+
+uint64_t Histogram::BucketLowerBound(int i) { return i == 0 ? 0 : uint64_t{1} << i; }
+
+uint64_t Histogram::ApproxPercentileNs(double p) const {
+  uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (rank >= total) {
+    rank = total - 1;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank) {
+      return (uint64_t{1} << (i + 1)) - 1;  // bucket upper bound
+    }
+  }
+  return (uint64_t{1} << kNumBuckets) - 1;
+}
+
+MetricRegistry::MetricRegistry(std::string name, bool register_global)
+    : name_(std::move(name)), registered_(register_global) {
+  if (registered_) {
+    GlobalState& g = Global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.registries.push_back(this);
+  }
+}
+
+void FoldIntoRetired(const MetricRegistry& registry) {
+  GlobalState& g = Global();
+  std::lock_guard<std::mutex> global_lock(g.mu);
+  g.registries.erase(std::remove(g.registries.begin(), g.registries.end(), &registry),
+                     g.registries.end());
+  std::lock_guard<std::mutex> lock(registry.mu_);
+  for (const auto& [metric, counter] : registry.counters_) {
+    g.retired_counters[registry.name_ + "/" + metric] += counter->value();
+  }
+  for (const auto& [metric, gauge] : registry.gauges_) {
+    int64_t& slot = g.retired_gauge_max[registry.name_ + "/" + metric];
+    slot = std::max(slot, gauge->max());
+  }
+  for (const auto& [metric, histogram] : registry.histograms_) {
+    RetiredHistogram& slot = g.retired_histograms[registry.name_ + "/" + metric];
+    slot.count += histogram->count();
+    slot.sum_ns += histogram->sum_ns();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      slot.buckets[i] += histogram->bucket(i);
+    }
+  }
+}
+
+MetricRegistry::~MetricRegistry() {
+  if (registered_) {
+    FoldIntoRetired(*this);
+  }
+}
+
+Counter* MetricRegistry::counter(std::string_view metric) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(metric);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(metric), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::gauge(std::string_view metric) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(metric);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(metric), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::histogram(std::string_view metric) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(metric);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(metric), std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+void MetricRegistry::DumpText(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out += "# registry " + name_ + "\n";
+  for (const auto& [metric, counter] : counters_) {
+    *out += "counter " + metric + " ";
+    AppendU64(out, counter->value());
+    *out += "\n";
+  }
+  for (const auto& [metric, gauge] : gauges_) {
+    *out += "gauge " + metric + " ";
+    AppendI64(out, gauge->value());
+    *out += " max ";
+    AppendI64(out, gauge->max());
+    *out += "\n";
+  }
+  for (const auto& [metric, histogram] : histograms_) {
+    *out += "histogram " + metric + " count ";
+    AppendU64(out, histogram->count());
+    *out += " sum_ns ";
+    AppendU64(out, histogram->sum_ns());
+    *out += " p50_ns ";
+    AppendU64(out, histogram->ApproxPercentileNs(0.5));
+    *out += " p99_ns ";
+    AppendU64(out, histogram->ApproxPercentileNs(0.99));
+    *out += " buckets ";
+    bool first = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t n = histogram->bucket(i);
+      if (n == 0) {
+        continue;
+      }
+      if (!first) {
+        *out += ",";
+      }
+      first = false;
+      AppendU64(out, static_cast<uint64_t>(i));
+      *out += ":";
+      AppendU64(out, n);
+    }
+    if (first) {
+      *out += "-";
+    }
+    *out += "\n";
+  }
+}
+
+void MetricRegistry::DumpJson(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out += "{\"name\":";
+  AppendJsonString(out, name_);
+  *out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [metric, counter] : counters_) {
+    if (!first) *out += ",";
+    first = false;
+    AppendJsonString(out, metric);
+    *out += ":";
+    AppendU64(out, counter->value());
+  }
+  *out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [metric, gauge] : gauges_) {
+    if (!first) *out += ",";
+    first = false;
+    AppendJsonString(out, metric);
+    *out += ":{\"value\":";
+    AppendI64(out, gauge->value());
+    *out += ",\"max\":";
+    AppendI64(out, gauge->max());
+    *out += "}";
+  }
+  *out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [metric, histogram] : histograms_) {
+    if (!first) *out += ",";
+    first = false;
+    AppendJsonString(out, metric);
+    *out += ":{\"count\":";
+    AppendU64(out, histogram->count());
+    *out += ",\"sum_ns\":";
+    AppendU64(out, histogram->sum_ns());
+    *out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t n = histogram->bucket(i);
+      if (n == 0) {
+        continue;
+      }
+      if (!first_bucket) *out += ",";
+      first_bucket = false;
+      AppendJsonString(out, std::to_string(i));
+      *out += ":";
+      AppendU64(out, n);
+    }
+    *out += "}}";
+  }
+  *out += "}}";
+}
+
+std::string DumpAllText() {
+  // The global lock is held across the whole dump so no registry can be destroyed
+  // mid-iteration; destruction takes the same global-then-registry lock order.
+  GlobalState& g = Global();
+  std::string out;
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (MetricRegistry* registry : g.registries) {
+    registry->DumpText(&out);
+  }
+  if (!g.retired_counters.empty() || !g.retired_gauge_max.empty() ||
+      !g.retired_histograms.empty()) {
+    out += "# registry retired\n";
+    for (const auto& [key, value] : g.retired_counters) {
+      out += "counter " + key + " ";
+      AppendU64(&out, value);
+      out += "\n";
+    }
+    for (const auto& [key, value] : g.retired_gauge_max) {
+      out += "gauge " + key + " max ";
+      AppendI64(&out, value);
+      out += "\n";
+    }
+    for (const auto& [key, h] : g.retired_histograms) {
+      out += "histogram " + key + " count ";
+      AppendU64(&out, h.count);
+      out += " sum_ns ";
+      AppendU64(&out, h.sum_ns);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string DumpAllJson() {
+  GlobalState& g = Global();
+  std::string out = "[";
+  std::lock_guard<std::mutex> lock(g.mu);
+  bool first = true;
+  for (MetricRegistry* registry : g.registries) {
+    if (!first) out += ",";
+    first = false;
+    registry->DumpJson(&out);
+  }
+  if (!first) out += ",";
+  out += "{\"name\":\"retired\",\"counters\":{";
+  first = true;
+  for (const auto& [key, value] : g.retired_counters) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, key);
+    out += ":";
+    AppendU64(&out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, value] : g.retired_gauge_max) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, key);
+    out += ":{\"max\":";
+    AppendI64(&out, value);
+    out += "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, h] : g.retired_histograms) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, key);
+    out += ":{\"count\":";
+    AppendU64(&out, h.count);
+    out += ",\"sum_ns\":";
+    AppendU64(&out, h.sum_ns);
+    out += "}";
+  }
+  out += "}}]";
+  return out;
+}
+
+void ResetRetired() {
+  GlobalState& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.retired_counters.clear();
+  g.retired_gauge_max.clear();
+  g.retired_histograms.clear();
+}
+
+}  // namespace obs
+}  // namespace afs

@@ -1,0 +1,149 @@
+// Unified metrics for every AFS component (the observability layer the paper's claims are
+// judged by: commit outcomes, cache effectiveness, RPC and disk traffic).
+//
+// Design rules:
+//   * Increments on hot paths (Commit, LoadPage, block I/O) are single relaxed atomic
+//     adds — no mutexes, no allocation. Metric pointers are resolved once, at component
+//     construction, and cached as raw pointers.
+//   * A MetricRegistry groups the metrics of one component (one server, one store, one
+//     disk) under a name. Registries self-register in a process-wide list; DumpAllText /
+//     DumpAllJson produce a merged snapshot of every live component.
+//   * A registry that is destroyed folds its final values into a process-wide "retired"
+//     aggregate, so end-of-run snapshots (benchmark JSON output) still account for
+//     components that died mid-run.
+//   * Latency histograms use fixed power-of-two buckets over nanoseconds: bucket i counts
+//     samples in [2^i, 2^(i+1)) ns, covering 1 ns up to ~2 s (the last bucket absorbs
+//     everything slower).
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace afs {
+namespace obs {
+
+// Monotonic event count. Increment is one relaxed atomic add.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (queue depth, open versions) with a high-watermark.
+class Gauge {
+ public:
+  void Add(int64_t delta) {
+    int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (now > seen && !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen && !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Fixed-bucket latency histogram. Record() is two relaxed atomic adds plus one relaxed
+// add into the sample's bucket — lock-free and allocation-free.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 32;
+
+  // Bucket index for a sample: 0 for [0,2) ns, i for [2^i, 2^(i+1)) ns, capped at the last
+  // bucket (~2.1 s and beyond).
+  static int BucketIndex(uint64_t ns);
+  // Inclusive lower bound of bucket i in ns (0 for bucket 0).
+  static uint64_t BucketLowerBound(int i);
+
+  void Record(uint64_t ns) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    buckets_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
+
+  // Upper bound of the bucket containing the p-th percentile sample (p in [0,1]);
+  // 0 if the histogram is empty.
+  uint64_t ApproxPercentileNs(double p) const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+// The named metrics of one component. counter()/gauge()/histogram() lazily create on
+// first lookup (mutex-protected; call once at construction, cache the pointer) and return
+// pointers that stay valid for the registry's lifetime.
+class MetricRegistry {
+ public:
+  // `register_global` adds the registry to the process-wide snapshot; tests that need an
+  // isolated registry pass false.
+  explicit MetricRegistry(std::string name, bool register_global = true);
+  ~MetricRegistry();
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  Counter* counter(std::string_view metric);
+  Gauge* gauge(std::string_view metric);
+  Histogram* histogram(std::string_view metric);
+
+  // Text exposition, deterministic (metrics sorted by name):
+  //   # registry <name>
+  //   counter <metric> <value>
+  //   gauge <metric> <value> max <max>
+  //   histogram <metric> count <n> sum_ns <s> p50_ns <p> p99_ns <p> buckets <i>:<n>,...
+  void DumpText(std::string* out) const;
+
+  // JSON object: {"name":...,"counters":{...},"gauges":{...},"histograms":{...}}
+  void DumpJson(std::string* out) const;
+
+ private:
+  friend void FoldIntoRetired(const MetricRegistry& registry);
+
+  const std::string name_;
+  const bool registered_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Merged process-wide snapshot: every live registry plus the retired aggregate.
+std::string DumpAllText();
+// JSON array of registry objects (retired aggregate last, named "retired").
+std::string DumpAllJson();
+
+// Drop the retired aggregate (test isolation).
+void ResetRetired();
+
+}  // namespace obs
+}  // namespace afs
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,182 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace afs {
+namespace obs {
+
+namespace {
+
+struct TraceRecord {
+  uint64_t seq = 0;  // 0 = empty slot
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t thread_id = 0;
+  TraceEvent event = TraceEvent::kRpcSend;
+};
+
+// Retired (dead-thread) events kept for post-mortems.
+constexpr size_t kRetiredCapacity = 4 * kTraceRingCapacity;
+
+struct ThreadRing;
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<ThreadRing*> rings;
+  std::deque<TraceRecord> retired;
+  std::atomic<uint64_t> next_seq{1};
+  // ClearTrace() raises the floor instead of touching other threads' rings: events with
+  // seq below the floor are ignored by DumpTrace. This keeps writers entirely lock-free.
+  std::atomic<uint64_t> seq_floor{1};
+  std::atomic<uint32_t> next_thread_id{1};
+  std::atomic<bool> enabled{true};
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState;  // leaked: outlives thread-local rings
+  return *state;
+}
+
+struct ThreadRing {
+  std::array<TraceRecord, kTraceRingCapacity> records{};
+  std::atomic<size_t> next{0};
+  uint32_t thread_id;
+
+  ThreadRing() {
+    TraceState& s = State();
+    thread_id = s.next_thread_id.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.rings.push_back(this);
+  }
+
+  ~ThreadRing() {
+    TraceState& s = State();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.rings.erase(std::remove(s.rings.begin(), s.rings.end(), this), s.rings.end());
+    for (const TraceRecord& record : records) {
+      if (record.seq != 0) {
+        s.retired.push_back(record);
+      }
+    }
+    while (s.retired.size() > kRetiredCapacity) {
+      s.retired.pop_front();
+    }
+  }
+};
+
+ThreadRing& LocalRing() {
+  thread_local ThreadRing ring;
+  return ring;
+}
+
+}  // namespace
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kRpcSend:
+      return "rpc.send";
+    case TraceEvent::kRpcHandle:
+      return "rpc.handle";
+    case TraceEvent::kRpcTimeout:
+      return "rpc.timeout";
+    case TraceEvent::kRpcCrashFail:
+      return "rpc.crash_fail";
+    case TraceEvent::kCommitBegin:
+      return "commit.begin";
+    case TraceEvent::kCommitFastPath:
+      return "commit.fast_path";
+    case TraceEvent::kCommitSerialise:
+      return "commit.serialise";
+    case TraceEvent::kCommitMerge:
+      return "commit.merge";
+    case TraceEvent::kCommitAbort:
+      return "commit.abort";
+    case TraceEvent::kCommitConflict:
+      return "commit.conflict";
+    case TraceEvent::kCacheHit:
+      return "cache.hit";
+    case TraceEvent::kCacheMiss:
+      return "cache.miss";
+    case TraceEvent::kCacheEvict:
+      return "cache.evict";
+    case TraceEvent::kDiskRead:
+      return "disk.read";
+    case TraceEvent::kDiskWrite:
+      return "disk.write";
+  }
+  return "unknown";
+}
+
+void SetTraceEnabled(bool enabled) {
+  State().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceEnabled() { return State().enabled.load(std::memory_order_relaxed); }
+
+void Trace(TraceEvent event, uint64_t a, uint64_t b) {
+  TraceState& s = State();
+  if (!s.enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  ThreadRing& ring = LocalRing();
+  size_t slot = ring.next.load(std::memory_order_relaxed);
+  ring.next.store((slot + 1) % kTraceRingCapacity, std::memory_order_relaxed);
+  TraceRecord& record = ring.records[slot];
+  record.thread_id = ring.thread_id;
+  record.event = event;
+  record.a = a;
+  record.b = b;
+  record.seq = s.next_seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string DumpTrace(size_t n) {
+  TraceState& s = State();
+  uint64_t floor = s.seq_floor.load(std::memory_order_relaxed);
+  std::vector<TraceRecord> all;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const ThreadRing* ring : s.rings) {
+      for (const TraceRecord& record : ring->records) {
+        if (record.seq >= floor) {
+          all.push_back(record);
+        }
+      }
+    }
+    for (const TraceRecord& record : s.retired) {
+      if (record.seq >= floor) {
+        all.push_back(record);
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceRecord& x, const TraceRecord& y) { return x.seq < y.seq; });
+  if (all.size() > n) {
+    all.erase(all.begin(), all.end() - static_cast<ptrdiff_t>(n));
+  }
+  std::string out;
+  char line[160];
+  for (const TraceRecord& record : all) {
+    std::snprintf(line, sizeof(line), "%llu t%u %s a=%llu b=%llu\n",
+                  static_cast<unsigned long long>(record.seq), record.thread_id,
+                  TraceEventName(record.event), static_cast<unsigned long long>(record.a),
+                  static_cast<unsigned long long>(record.b));
+    out += line;
+  }
+  return out;
+}
+
+void ClearTrace() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.seq_floor.store(s.next_seq.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  s.retired.clear();
+}
+
+}  // namespace obs
+}  // namespace afs

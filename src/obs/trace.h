@@ -1,0 +1,66 @@
+// Bounded per-thread ring-buffer trace of structured events, for post-mortem debugging of
+// failed tests and stuck workloads.
+//
+// Every interesting transition in the system (RPC send/receive, commit begin / fast-path /
+// serialise / merge / abort, cache hit/miss, disk read/write) records one fixed-size event
+// into the calling thread's private ring. Recording is wait-free after the thread's first
+// event: a relaxed global sequence-number fetch_add plus plain stores into thread-local
+// storage — no locks, safe on the commit hot path. When a thread exits, its ring is folded
+// into a bounded "retired" buffer so a crashed worker's last actions stay visible.
+//
+// DumpTrace(n) merges all rings and formats the most recent n events in global order. The
+// merge is racy by design (writers never stall for readers); an event being written while
+// the dump runs may be missed or torn, which is acceptable for a post-mortem aid.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace afs {
+namespace obs {
+
+enum class TraceEvent : uint8_t {
+  kRpcSend = 0,        // a = target port, b = opcode
+  kRpcHandle = 1,      // a = opcode, b = handle latency ns
+  kRpcTimeout = 2,     // a = target port
+  kRpcCrashFail = 3,   // a = number of calls failed by the crash
+  kCommitBegin = 4,    // a = version head
+  kCommitFastPath = 5, // a = version head
+  kCommitSerialise = 6,// a = version head, b = committed successor head
+  kCommitMerge = 7,    // a = version head, b = new base head
+  kCommitAbort = 8,    // a = version head
+  kCommitConflict = 9, // a = version head
+  kCacheHit = 10,      // a = block number
+  kCacheMiss = 11,     // a = block number
+  kCacheEvict = 12,    // a = block number
+  kDiskRead = 13,      // a = block number
+  kDiskWrite = 14,     // a = block number
+};
+
+const char* TraceEventName(TraceEvent event);
+
+// Events kept per thread; the ring overwrites its oldest entry when full.
+inline constexpr size_t kTraceRingCapacity = 1024;
+
+// Tracing defaults to on (recording is a few nanoseconds); the disabled path is a single
+// relaxed atomic load.
+void SetTraceEnabled(bool enabled);
+bool TraceEnabled();
+
+// Record one event with up to two argument words. No-op when tracing is disabled.
+void Trace(TraceEvent event, uint64_t a = 0, uint64_t b = 0);
+
+// Format the most recent `n` events across all threads (and retired threads), oldest
+// first, one per line: "<seq> t<thread> <event-name> a=<a> b=<b>".
+std::string DumpTrace(size_t n);
+
+// Discard all recorded events (test isolation).
+void ClearTrace();
+
+}  // namespace obs
+}  // namespace afs
+
+#endif  // SRC_OBS_TRACE_H_

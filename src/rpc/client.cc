@@ -1,5 +1,7 @@
 #include "src/rpc/client.h"
 
+#include "src/rpc/service.h"
+
 namespace afs {
 
 Message OkReply(uint32_t opcode, WireEncoder payload) {
@@ -30,6 +32,12 @@ Result<WireDecoder> CallAndCheck(Network* network, Port target, uint32_t opcode,
     return Status(static_cast<ErrorCode>(code), std::move(message));
   }
   return dec;
+}
+
+Result<std::string> ScrapeStats(Network* network, Port target, const CallOptions& options) {
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(network, target, Service::kGetStats, WireEncoder(), options));
+  return reply.GetString();
 }
 
 }  // namespace afs

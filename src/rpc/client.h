@@ -28,6 +28,11 @@ Message ErrorReply(uint32_t opcode, const Status& status);
 Result<WireDecoder> CallAndCheck(Network* network, Port target, uint32_t opcode,
                                  WireEncoder request, const CallOptions& options = {});
 
+// Scrape the metrics of any live server (the Service::kGetStats op): returns the server's
+// MetricRegistry text exposition.
+Result<std::string> ScrapeStats(Network* network, Port target,
+                                const CallOptions& options = {});
+
 }  // namespace afs
 
 #endif  // SRC_RPC_CLIENT_H_

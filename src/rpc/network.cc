@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "src/obs/trace.h"
 #include "src/rpc/service.h"
 
 namespace afs {
@@ -92,13 +93,16 @@ Result<Service*> Network::LookupForCall(Port port) {
     return NotFoundError("no service bound to port");
   }
   if (partitioned_.count(port) > 0) {
+    partition_drops_->Inc();
     return UnavailableError("port partitioned");
   }
   if (live_service_ports_.count(port) == 0) {
+    crashed_calls_->Inc();
     return CrashedError("service is down");
   }
   if (drop_probability_ > 0.0 && rng_.NextBool(drop_probability_)) {
-    dropped_calls_.fetch_add(1, std::memory_order_relaxed);
+    timeouts_->Inc();
+    obs::Trace(obs::TraceEvent::kRpcTimeout, port);
     return TimeoutError("message dropped");
   }
   return it->second;
@@ -115,7 +119,8 @@ std::chrono::microseconds Network::PickLatency() {
 }
 
 Result<Message> Network::Call(Port target, Message request, const CallOptions& options) {
-  total_calls_.fetch_add(1, std::memory_order_relaxed);
+  sends_->Inc();
+  obs::Trace(obs::TraceEvent::kRpcSend, target, request.opcode);
   if (request.payload.size() > kMaxMessageBytes) {
     return InvalidArgumentError("message exceeds 32K transaction limit");
   }

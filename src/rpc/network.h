@@ -26,6 +26,7 @@
 #include "src/base/capability.h"
 #include "src/base/rng.h"
 #include "src/base/status.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/message.h"
 
 namespace afs {
@@ -75,8 +76,9 @@ class Network {
 
   // -- Introspection --------------------------------------------------------
 
-  uint64_t total_calls() const { return total_calls_.load(std::memory_order_relaxed); }
-  uint64_t dropped_calls() const { return dropped_calls_.load(std::memory_order_relaxed); }
+  uint64_t total_calls() const { return sends_->value(); }
+  uint64_t dropped_calls() const { return timeouts_->value(); }
+  obs::MetricRegistry* metrics() { return &metrics_; }
 
  private:
   friend class Service;
@@ -103,8 +105,11 @@ class Network {
   std::chrono::microseconds latency_max_{0};
   Rng rng_;
 
-  std::atomic<uint64_t> total_calls_{0};
-  std::atomic<uint64_t> dropped_calls_{0};
+  obs::MetricRegistry metrics_{"net"};
+  obs::Counter* sends_ = metrics_.counter("net.sends");
+  obs::Counter* timeouts_ = metrics_.counter("net.timeouts");         // injected drops
+  obs::Counter* partition_drops_ = metrics_.counter("net.partition_drops");
+  obs::Counter* crashed_calls_ = metrics_.counter("net.crashed_calls");
 };
 
 }  // namespace afs

@@ -1,11 +1,21 @@
 #include "src/rpc/service.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "src/obs/trace.h"
+#include "src/rpc/client.h"
 
 namespace afs {
 
 Service::Service(Network* network, std::string name, int num_workers)
-    : network_(network), name_(std::move(name)), num_workers_(std::max(1, num_workers)) {}
+    : network_(network),
+      name_(std::move(name)),
+      num_workers_(std::max(1, num_workers)),
+      metrics_(name_),
+      handle_ns_(metrics_.histogram("rpc.handle_ns")),
+      queue_depth_(metrics_.gauge("rpc.queue_depth")),
+      crash_failed_(metrics_.counter("rpc.crash_failed")) {}
 
 Service::~Service() {
   Shutdown();
@@ -67,6 +77,11 @@ void Service::StopWorkers(bool mark_crashed) {
     workers_.clear();
   }
   queue_cv_.notify_all();
+  if (!to_fail.empty()) {
+    crash_failed_->Inc(to_fail.size());
+    obs::Trace(obs::TraceEvent::kRpcCrashFail, to_fail.size());
+  }
+  queue_depth_->Set(0);
   for (auto& state : to_fail) {
     std::lock_guard<std::mutex> lock(state->mu);
     if (!state->done) {
@@ -119,6 +134,7 @@ Result<Message> Service::Submit(Message request, std::chrono::milliseconds timeo
     }
     queue_.emplace_back(std::move(request), state);
   }
+  queue_depth_->Add(1);
   queue_cv_.notify_one();
 
   std::unique_lock<std::mutex> lock(state->mu);
@@ -144,8 +160,20 @@ void Service::WorkerLoop() {
       queue_.pop_front();
       in_flight_.push_back(state);
     }
+    queue_depth_->Add(-1);
 
-    Result<Message> result = Handle(request);
+    const auto start = std::chrono::steady_clock::now();
+    Result<Message> result =
+        request.opcode == kGetStats ? HandleGetStats() : Handle(request);
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             start)
+            .count());
+    handle_ns_->Record(ns);
+    OpStats* op = StatsForOp(request.opcode);
+    op->count->Inc();
+    op->handle_ns->Record(ns);
+    obs::Trace(obs::TraceEvent::kRpcHandle, request.opcode, ns);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -161,6 +189,26 @@ void Service::WorkerLoop() {
       }
     }
   }
+}
+
+Service::OpStats* Service::StatsForOp(uint32_t opcode) {
+  std::lock_guard<std::mutex> lock(op_stats_mu_);
+  OpStats& stats = op_stats_[opcode];
+  if (stats.count == nullptr) {
+    const std::string suffix =
+        opcode == kGetStats ? std::string("stats") : std::to_string(opcode);
+    stats.count = metrics_.counter("rpc.op." + suffix + ".count");
+    stats.handle_ns = metrics_.histogram("rpc.op." + suffix + ".handle_ns");
+  }
+  return &stats;
+}
+
+Result<Message> Service::HandleGetStats() {
+  std::string text;
+  metrics_.DumpText(&text);
+  WireEncoder out;
+  out.PutString(text);
+  return OkReply(kGetStats, std::move(out));
 }
 
 }  // namespace afs

@@ -17,9 +17,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/message.h"
 #include "src/rpc/network.h"
 
@@ -27,6 +29,11 @@ namespace afs {
 
 class Service {
  public:
+  // Reserved opcode intercepted by the Service base itself, never forwarded to Handle():
+  // replies with the text exposition (obs::MetricRegistry::DumpText) of this server's
+  // metrics, so any client can scrape any live server.
+  static constexpr uint32_t kGetStats = 0xAF500001;
+
   // `num_workers` > 1 lets a file server run serialisability tests in parallel with other
   // commits, as §5.2 requires; subclass Handle() implementations must be thread-safe.
   Service(Network* network, std::string name, int num_workers = 4);
@@ -53,6 +60,10 @@ class Service {
   const std::string& name() const { return name_; }
   Network* network() const { return network_; }
   bool running() const;
+
+  // This server's metric registry (named after the service). Subclasses register their
+  // own counters/histograms here so one kGetStats scrape covers the whole server.
+  obs::MetricRegistry* metrics() { return &metrics_; }
 
  protected:
   // Serve one request. Returning a non-ok Status produces an error reply at the caller.
@@ -82,10 +93,25 @@ class Service {
   void StopWorkers(bool mark_crashed);
   void ReapZombies();
 
+  Result<Message> HandleGetStats();
+  // Per-request-type instruments, created lazily on the first request of each type.
+  struct OpStats {
+    obs::Counter* count = nullptr;
+    obs::Histogram* handle_ns = nullptr;
+  };
+  OpStats* StatsForOp(uint32_t opcode);
+
   Network* network_;
   std::string name_;
   int num_workers_;
   Port port_ = kNullPort;
+
+  obs::MetricRegistry metrics_;
+  obs::Histogram* handle_ns_;     // latency of every Handle(), all request types merged
+  obs::Gauge* queue_depth_;       // requests queued but not yet picked up by a worker
+  obs::Counter* crash_failed_;    // calls failed with kCrashed by Crash()/Shutdown()
+  std::mutex op_stats_mu_;
+  std::unordered_map<uint32_t, OpStats> op_stats_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;

@@ -11,6 +11,7 @@
 #include "src/client/file_client.h"
 #include "src/client/transaction.h"
 #include "src/core/gc.h"
+#include "src/rpc/client.h"
 #include "tests/testing/cluster.h"
 
 namespace afs {
@@ -18,6 +19,26 @@ namespace {
 
 std::vector<uint8_t> Bytes(std::string_view s) {
   return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// Parse "counter <name> <value>" from a kGetStats text exposition.
+uint64_t CounterValue(const std::string& text, const std::string& name) {
+  std::string needle = "counter " + name + " ";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    return ~0ull;
+  }
+  return std::stoull(text.substr(pos + needle.size()));
+}
+
+// Parse the sample count of "histogram <name> count <n> ...".
+uint64_t HistogramCount(const std::string& text, const std::string& name) {
+  std::string needle = "histogram " + name + " count ";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    return ~0ull;
+  }
+  return std::stoull(text.substr(pos + needle.size()));
 }
 
 TEST(MultiServerTest, FileVisibleAcrossServers) {
@@ -167,6 +188,65 @@ TEST(MultiServerTest, ClientTransactionsSpreadAcrossGroup) {
   EXPECT_EQ(failures.load(), 0);
   auto current = client.GetCurrentVersion(*file);
   EXPECT_EQ(*client.ReadString(*current, PagePath::Root()), "12");
+}
+
+TEST(MultiServerTest, ScrapedStatsMatchWorkload) {
+  FullCluster cluster(1);
+  FileServer& fs = cluster.fs(0);
+  FileClient client(&cluster.net(), cluster.FileServerPorts());
+  auto file = client.CreateFile();
+  ASSERT_TRUE(file.ok());
+
+  // The first committed version creates a plain data page under the root.
+  {
+    auto v = client.CreateVersion(*file);
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(client.InsertRef(*v, PagePath::Root(), 0).ok());
+    ASSERT_TRUE(client.WriteString(*v, PagePath({0}), "v0").ok());
+    ASSERT_TRUE(client.Commit(*v).ok());
+  }
+  // More uncontended updates over RPC: each commits on the fast path.
+  constexpr int kExtraCommits = 4;
+  for (int i = 0; i < kExtraCommits; ++i) {
+    auto v = client.CreateVersion(*file);
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(client.WriteString(*v, PagePath({0}), "v" + std::to_string(i + 1)).ok());
+    ASSERT_TRUE(client.Commit(*v).ok());
+  }
+  // Repeated committed reads of the same plain page hit the server's committed-page cache.
+  auto current = client.GetCurrentVersion(*file);
+  ASSERT_TRUE(current.ok());
+  for (int i = 0; i < 4; ++i) {
+    auto text = client.ReadString(*current, PagePath({0}));
+    ASSERT_TRUE(text.ok());
+    EXPECT_EQ(*text, "v4");
+  }
+  // Deterministic conflict: both versions are based on the same current version; the
+  // loser READS the page the winner writes (a blind write-write would merge — only a
+  // write-set/read-set intersection violates Kung–Robinson condition (2)).
+  auto winner = client.CreateVersion(*file);
+  auto loser = client.CreateVersion(*file);
+  ASSERT_TRUE(winner.ok());
+  ASSERT_TRUE(loser.ok());
+  ASSERT_TRUE(client.WriteString(*winner, PagePath({0}), "winner").ok());
+  ASSERT_TRUE(client.ReadString(*loser, PagePath({0})).ok());
+  ASSERT_TRUE(client.WriteString(*loser, PagePath({0}), "loser").ok());
+  ASSERT_TRUE(client.Commit(*winner).ok());
+  auto conflict = client.Commit(*loser);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), ErrorCode::kConflict);
+
+  // Scrape the live server's metrics over RPC and cross-check against the workload.
+  auto stats = ScrapeStats(&cluster.net(), fs.port());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(CounterValue(*stats, "commit.fast_path"), fs.commits_fast_path());
+  EXPECT_EQ(CounterValue(*stats, "commit.fast_path"), 1u + kExtraCommits + 1u) << *stats;
+  EXPECT_EQ(CounterValue(*stats, "commit.conflict_aborted"), 1u) << *stats;
+  EXPECT_EQ(CounterValue(*stats, "commit.serialise_tests"), fs.serialise_tests_run());
+  EXPECT_GE(CounterValue(*stats, "commit.serialise_tests"), 1u) << *stats;
+  EXPECT_GT(CounterValue(*stats, "cache.hit"), 0u) << *stats;
+  EXPECT_GT(HistogramCount(*stats, "rpc.handle_ns"), 0u) << *stats;
+  EXPECT_GT(HistogramCount(*stats, "commit.latency_ns"), 0u) << *stats;
 }
 
 TEST(MultiServerTest, LateAttachingServerSeesExistingFiles) {

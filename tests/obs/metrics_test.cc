@@ -1,0 +1,250 @@
+// Unit tests for the observability layer (src/obs): lock-free counters and histograms,
+// registry text exposition, the retired aggregate, and the per-thread trace ring.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace afs {
+namespace obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  MetricRegistry registry("test", /*register_global=*/false);
+  Counter* counter = registry.counter("ops");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Inc();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, IncByDelta) {
+  MetricRegistry registry("test", /*register_global=*/false);
+  Counter* counter = registry.counter("ops");
+  counter->Inc(5);
+  counter->Inc();
+  EXPECT_EQ(counter->value(), 6u);
+}
+
+TEST(GaugeTest, TracksValueAndHighWatermark) {
+  MetricRegistry registry("test", /*register_global=*/false);
+  Gauge* gauge = registry.gauge("depth");
+  gauge->Add(3);
+  gauge->Add(4);
+  gauge->Add(-5);
+  EXPECT_EQ(gauge->value(), 2);
+  EXPECT_EQ(gauge->max(), 7);
+  gauge->Set(0);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(gauge->max(), 7);
+}
+
+TEST(HistogramTest, ConcurrentRecordsSumExactly) {
+  MetricRegistry registry("test", /*register_global=*/false);
+  Histogram* histogram = registry.histogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Record(10);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(histogram->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram->sum_ns(), static_cast<uint64_t>(kThreads) * kPerThread * 10);
+  uint64_t bucket_total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucket_total += histogram->bucket(i);
+  }
+  EXPECT_EQ(bucket_total, histogram->count());
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 is [0, 2); bucket i is [2^i, 2^(i+1)); the last bucket absorbs the tail.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(Histogram::BucketIndex(3), 1);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(Histogram::BucketIndex(7), 2);
+  EXPECT_EQ(Histogram::BucketIndex(8), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 10);
+  EXPECT_EQ(Histogram::BucketIndex(~0ull), Histogram::kNumBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(10), 1024u);
+
+  MetricRegistry registry("test", /*register_global=*/false);
+  Histogram* histogram = registry.histogram("lat");
+  histogram->Record(1);
+  histogram->Record(2);
+  histogram->Record(3);
+  histogram->Record(4);
+  histogram->Record(1ull << 62);
+  EXPECT_EQ(histogram->bucket(0), 1u);
+  EXPECT_EQ(histogram->bucket(1), 2u);
+  EXPECT_EQ(histogram->bucket(2), 1u);
+  EXPECT_EQ(histogram->bucket(Histogram::kNumBuckets - 1), 1u);
+}
+
+TEST(HistogramTest, ApproxPercentile) {
+  MetricRegistry registry("test", /*register_global=*/false);
+  Histogram* histogram = registry.histogram("lat");
+  EXPECT_EQ(histogram->ApproxPercentileNs(0.5), 0u);
+  for (int i = 0; i < 99; ++i) {
+    histogram->Record(10);  // bucket 3: [8, 16)
+  }
+  histogram->Record(1000000);  // bucket 19
+  EXPECT_EQ(histogram->ApproxPercentileNs(0.5), 15u);           // upper bound of bucket 3
+  EXPECT_GE(histogram->ApproxPercentileNs(1.0), 1000000u);      // tail lands past the slow sample
+}
+
+TEST(RegistryTest, DumpTextGolden) {
+  MetricRegistry registry("golden", /*register_global=*/false);
+  registry.counter("b.count")->Inc(3);
+  registry.counter("a.count")->Inc(1);
+  registry.gauge("depth")->Add(2);
+  registry.histogram("lat")->Record(5);
+
+  std::string text;
+  registry.DumpText(&text);
+  std::string expected =
+      "# registry golden\n"
+      "counter a.count 1\n"
+      "counter b.count 3\n"
+      "gauge depth 2 max 2\n"
+      "histogram lat count 1 sum_ns 5 p50_ns 7 p99_ns 7 buckets 2:1\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(RegistryTest, MetricPointersAreStable) {
+  MetricRegistry registry("test", /*register_global=*/false);
+  Counter* first = registry.counter("ops");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.counter("ops"), first);
+}
+
+TEST(RegistryTest, RetiredAggregateSurvivesDestruction) {
+  ResetRetired();
+  {
+    MetricRegistry registry("ephemeral");
+    registry.counter("died.with.me")->Inc(42);
+    registry.histogram("died.lat")->Record(100);
+  }
+  std::string all = DumpAllText();
+  EXPECT_NE(all.find("ephemeral/died.with.me 42"), std::string::npos) << all;
+  EXPECT_NE(all.find("ephemeral/died.lat"), std::string::npos) << all;
+
+  std::string json = DumpAllJson();
+  EXPECT_NE(json.find("\"retired\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ephemeral/died.with.me\":42"), std::string::npos) << json;
+  ResetRetired();
+}
+
+TEST(RegistryTest, RetiredAggregateAccumulatesAcrossInstances) {
+  ResetRetired();
+  for (int i = 0; i < 3; ++i) {
+    MetricRegistry registry("repeat");
+    registry.counter("total")->Inc(10);
+  }
+  std::string all = DumpAllText();
+  EXPECT_NE(all.find("repeat/total 30"), std::string::npos) << all;
+  ResetRetired();
+}
+
+TEST(TraceTest, RecordsAndDumps) {
+  ClearTrace();
+  Trace(TraceEvent::kCommitBegin, 7);
+  Trace(TraceEvent::kCommitFastPath, 7);
+  std::string dump = DumpTrace(16);
+  EXPECT_NE(dump.find("commit.begin a=7"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("commit.fast_path a=7"), std::string::npos) << dump;
+  ClearTrace();
+}
+
+TEST(TraceTest, RingWrapsKeepingMostRecent) {
+  ClearTrace();
+  const size_t total = kTraceRingCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    Trace(TraceEvent::kDiskRead, i);
+  }
+  // Ask for more than the ring holds: only the most recent kTraceRingCapacity survive.
+  std::string dump = DumpTrace(2 * kTraceRingCapacity);
+  EXPECT_EQ(dump.find("disk.read a=0 "), std::string::npos) << "oldest event survived";
+  EXPECT_NE(dump.find("disk.read a=" + std::to_string(total - 1)), std::string::npos) << dump;
+  EXPECT_NE(dump.find("disk.read a=" + std::to_string(total - kTraceRingCapacity)),
+            std::string::npos)
+      << dump;
+
+  // Events come out oldest-first in sequence order.
+  size_t first = dump.find("disk.read a=" + std::to_string(total - kTraceRingCapacity));
+  size_t last = dump.find("disk.read a=" + std::to_string(total - 1));
+  EXPECT_LT(first, last);
+  ClearTrace();
+}
+
+TEST(TraceTest, DumpHonoursLimit) {
+  ClearTrace();
+  for (int i = 0; i < 50; ++i) {
+    Trace(TraceEvent::kCacheHit, i);
+  }
+  std::string dump = DumpTrace(10);
+  int lines = 0;
+  for (char c : dump) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 10);
+  // The 10 most recent events are 40..49.
+  EXPECT_NE(dump.find("cache.hit a=40"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("cache.hit a=39"), std::string::npos) << dump;
+  ClearTrace();
+}
+
+TEST(TraceTest, DisableStopsRecording) {
+  ClearTrace();
+  SetTraceEnabled(false);
+  Trace(TraceEvent::kCacheMiss, 123456789);
+  SetTraceEnabled(true);
+  std::string dump = DumpTrace(16);
+  EXPECT_EQ(dump.find("123456789"), std::string::npos) << dump;
+  ClearTrace();
+}
+
+TEST(TraceTest, RetiredThreadEventsSurvive) {
+  ClearTrace();
+  std::thread worker([] { Trace(TraceEvent::kCommitMerge, 31337); });
+  worker.join();
+  std::string dump = DumpTrace(16);
+  EXPECT_NE(dump.find("commit.merge a=31337"), std::string::npos) << dump;
+  ClearTrace();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace afs
