@@ -12,9 +12,23 @@
 //   afs> help
 //
 // Commands read from stdin; EOF or `quit` exits.
+//
+// With `--store <dir>` the block servers run on two durable FileDisks in <dir> instead of
+// MemDisks, and the directory capability is kept in <dir>/shell.meta — files created in
+// one run are still there in the next:
+//
+//   $ ./afs_shell --store /tmp/afs
+//   afs> create notes
+//   afs> write notes / survives-restarts
+//   afs> quit
+//   $ ./afs_shell --store /tmp/afs
+//   afs> read notes /
+//   survives-restarts
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -33,6 +47,7 @@
 #include "src/obs/trace.h"
 #include "src/rpc/client.h"
 #include "src/rpc/network.h"
+#include "src/store/file_disk.h"
 
 using namespace afs;
 
@@ -56,21 +71,86 @@ void PrintHelp() {
       "                              process-wide metrics, or scrape one live server's\n"
       "                              registry over RPC (kGetStats)\n"
       "  trace [n]                   most recent n trace events (default 40)\n"
+      "  checkpoint                  fold the FileDisk journals into the block areas\n"
+      "                              (--store mode only; happens automatically on quit)\n"
       "  help, quit\n");
+}
+
+// The directory capability is the one piece of state the shell itself must remember
+// between runs (everything else is rediscovered from the disks). Four integers in a
+// text file.
+bool LoadMeta(const std::string& path, Capability* cap) {
+  std::ifstream in(path);
+  uint64_t port = 0;
+  return static_cast<bool>(in >> port >> cap->object >> cap->rights >> cap->check) &&
+         (cap->port = static_cast<Port>(port), true);
+}
+
+void SaveMeta(const std::string& path, const Capability& cap) {
+  std::ofstream out(path);
+  out << cap.port << ' ' << cap.object << ' ' << cap.rights << ' ' << cap.check << '\n';
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string store_dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--store" && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (arg.rfind("--store=", 0) == 0) {
+      store_dir = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "usage: %s [--store <dir>]\n", argv[0]);
+      return 1;
+    }
+  }
+
   Network net(11);
-  MemDisk disk_a(kDefaultBlockSize, 8192);
-  MemDisk disk_b(kDefaultBlockSize, 8192);
-  BlockServer block_a(&net, "block-a", &disk_a, 3);
-  BlockServer block_b(&net, "block-b", &disk_b, 3);
+  // Volatile by default; with --store, two durable FileDisks whose contents (and thus the
+  // whole file service state) survive process exit.
+  std::unique_ptr<BlockDevice> disk_a;
+  std::unique_ptr<BlockDevice> disk_b;
+  FileDisk* fdisk_a = nullptr;
+  FileDisk* fdisk_b = nullptr;
+  if (store_dir.empty()) {
+    disk_a = std::make_unique<MemDisk>(kDefaultBlockSize, 8192);
+    disk_b = std::make_unique<MemDisk>(kDefaultBlockSize, 8192);
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(store_dir, ec);
+    FileDiskOptions options;
+    options.block_size = kDefaultBlockSize;
+    options.num_blocks = 8192;
+    options.group_commit_window = std::chrono::microseconds(200);
+    auto a = FileDisk::Open(store_dir + "/a.afsdisk", options);
+    auto b = FileDisk::Open(store_dir + "/b.afsdisk", options);
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "cannot open store in %s: %s\n", store_dir.c_str(),
+                   (!a.ok() ? a.status() : b.status()).ToString().c_str());
+      return 1;
+    }
+    fdisk_a = a->get();
+    fdisk_b = b->get();
+    disk_a = std::move(a).value();
+    disk_b = std::move(b).value();
+    std::printf("persistent store: %s (mount epoch %llu, %llu journal record(s) replayed)\n",
+                store_dir.c_str(), (unsigned long long)fdisk_a->epoch(),
+                (unsigned long long)(fdisk_a->recovered_records() +
+                                     fdisk_b->recovered_records()));
+  }
+  BlockServer block_a(&net, "block-a", disk_a.get(), 3);
+  BlockServer block_b(&net, "block-b", disk_b.get(), 3);
   block_a.Start();
   block_b.Start();
   block_a.SetCompanion(block_b.port());
   block_b.SetCompanion(block_a.port());
+  if (!store_dir.empty()) {
+    // Adopt whatever a previous run left on the disks before serving anyone.
+    block_a.RecoverFromDisk();
+    block_b.RecoverFromDisk();
+  }
   Capability account = block_a.CreateAccountDirect();
   auto make_store = [&] {
     return std::make_unique<StableStore>(
@@ -92,9 +172,21 @@ int main() {
   }
   DirectoryServer dir(&net, "dir", {fs0.port(), fs1.port()});
   dir.Start();
-  if (!dir.Init().ok()) {
-    std::fprintf(stderr, "directory init failed\n");
-    return 1;
+  const std::string meta_path = store_dir.empty() ? "" : store_dir + "/shell.meta";
+  Capability dir_cap;
+  if (!meta_path.empty() && LoadMeta(meta_path, &dir_cap)) {
+    if (!dir.Adopt(dir_cap).ok()) {
+      std::fprintf(stderr, "cannot adopt directory from %s\n", meta_path.c_str());
+      return 1;
+    }
+  } else {
+    if (!dir.Init().ok()) {
+      std::fprintf(stderr, "directory init failed\n");
+      return 1;
+    }
+    if (!meta_path.empty()) {
+      SaveMeta(meta_path, dir.directory_file());
+    }
   }
   FileClient client(&net, {fs0.port(), fs1.port()});
   GarbageCollector gc({&fs0, &fs1}, GcOptions{.keep_versions = 4});
@@ -245,6 +337,19 @@ int main() {
         n = static_cast<size_t>(std::strtoull(arg.c_str(), nullptr, 10));
       }
       std::printf("%s", obs::DumpTrace(n).c_str());
+    } else if (cmd == "checkpoint") {
+      if (fdisk_a == nullptr) {
+        std::printf("no persistent store (run with --store <dir>)\n");
+        continue;
+      }
+      Status st = fdisk_a->Checkpoint();
+      if (st.ok()) {
+        st = fdisk_b->Checkpoint();
+      }
+      std::printf("%s (%llu checkpoint(s), journals now %llu byte(s))\n",
+                  st.ToString().c_str(),
+                  (unsigned long long)(fdisk_a->checkpoints() + fdisk_b->checkpoints()),
+                  (unsigned long long)(fdisk_a->journal_bytes() + fdisk_b->journal_bytes()));
     } else if (cmd == "gc") {
       Status st = gc.RunCycle();
       std::printf("%s (%llu block(s) swept so far)\n", st.ToString().c_str(),

@@ -1,0 +1,31 @@
+# Acceptance check for `afs_shell --store`: a file written in one process run must be
+# readable in a second, separate run of the shell over the same store directory.
+#
+# Invoked by ctest with -DSHELL=<afs_shell binary> -DDIR=<scratch store dir>.
+
+file(REMOVE_RECURSE "${DIR}")
+file(MAKE_DIRECTORY "${DIR}")
+file(WRITE "${DIR}/run1.txt" "create notes\nwrite notes / hello-from-run-one\nread notes /\nquit\n")
+file(WRITE "${DIR}/run2.txt" "ls\nread notes /\nquit\n")
+
+execute_process(COMMAND "${SHELL}" --store "${DIR}/store"
+  INPUT_FILE "${DIR}/run1.txt" OUTPUT_VARIABLE out1 RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "first shell run failed (rc=${rc1}):\n${out1}")
+endif()
+if(NOT out1 MATCHES "hello-from-run-one")
+  message(FATAL_ERROR "first run could not read its own write:\n${out1}")
+endif()
+
+execute_process(COMMAND "${SHELL}" --store "${DIR}/store"
+  INPUT_FILE "${DIR}/run2.txt" OUTPUT_VARIABLE out2 RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "second shell run failed (rc=${rc2}):\n${out2}")
+endif()
+if(NOT out2 MATCHES "notes")
+  message(FATAL_ERROR "directory entry lost across runs:\n${out2}")
+endif()
+if(NOT out2 MATCHES "hello-from-run-one")
+  message(FATAL_ERROR "file contents lost across runs:\n${out2}")
+endif()
+message(STATUS "shell --store round trip OK")

@@ -261,8 +261,13 @@ Result<std::vector<uint8_t>> BlockServer::ReadPayload(BlockNo bno, uint64_t acco
     return InvalidArgumentError("block number out of range");
   }
   std::vector<uint8_t> raw(block_size);
-  RETURN_IF_ERROR(device_->Read(bno, raw));
-  auto header = DecodeBlock(raw);
+  // A device-level kCorrupt (FileDisk's sector checksum caught a torn or misdirected
+  // write) enters the same companion-repair path as a server-level CRC mismatch.
+  Status read_status = device_->Read(bno, raw);
+  if (!read_status.ok() && read_status.code() != ErrorCode::kCorrupt) {
+    return read_status;
+  }
+  auto header = read_status.ok() ? DecodeBlock(raw) : Result<BlockHeader>(read_status);
   if (!header.ok()) {
     // "the block server need not consult its companion, except when the block on its disk
     // is corrupted." Fetch the good copy and repair the local one.
@@ -642,6 +647,11 @@ void BlockServer::ReplayIntentionsFromCompanion() {
 void BlockServer::OnRestart() {
   // "After a crash, the block server compares notes with its companion, and restores its
   // disk before accepting any requests."
+  RebuildAllocationFromDisk();
+  ReplayIntentionsFromCompanion();
+}
+
+void BlockServer::RecoverFromDisk() {
   RebuildAllocationFromDisk();
   ReplayIntentionsFromCompanion();
 }

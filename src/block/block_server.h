@@ -49,6 +49,12 @@ class BlockServer : public Service {
   // Direct (in-process) account creation for bootstrap; also reachable via kCreateAccount.
   Capability CreateAccountDirect();
 
+  // Cold-start adoption of pre-existing on-disk state (a persistent device, e.g. FileDisk,
+  // opened from a previous process run): the same scan-and-compare-notes recovery that
+  // OnRestart() performs after an in-process crash. Call after Start() (and after
+  // SetCompanion, if any) and before serving clients.
+  void RecoverFromDisk();
+
   // Test hooks / stats.
   uint64_t collisions_detected() const;
   uint64_t degraded_writes() const;  // writes performed while the companion was down

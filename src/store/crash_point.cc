@@ -1,0 +1,29 @@
+#include "src/store/crash_point.h"
+
+namespace afs {
+
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kMidJournalAppend:
+      return "mid_journal_append";
+    case CrashPoint::kAfterJournalAppend:
+      return "after_journal_append";
+    case CrashPoint::kBeforeJournalFsync:
+      return "before_journal_fsync";
+    case CrashPoint::kAfterJournalFsync:
+      return "after_journal_fsync";
+    case CrashPoint::kBeforeCheckpointApply:
+      return "before_checkpoint_apply";
+    case CrashPoint::kMidCheckpointApply:
+      return "mid_checkpoint_apply";
+    case CrashPoint::kAfterCheckpointApply:
+      return "after_checkpoint_apply";
+    case CrashPoint::kAfterSuperblockWrite:
+      return "after_superblock_write";
+    case CrashPoint::kBeforeJournalTruncate:
+      return "before_journal_truncate";
+  }
+  return "unknown";
+}
+
+}  // namespace afs

@@ -1,0 +1,201 @@
+#include "src/store/stable_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace afs {
+namespace {
+
+Status IoError(const char* what, const std::string& path) {
+  return UnavailableError(std::string(what) + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+// Full pwrite loop (pwrite may write short on signals).
+bool PwriteAll(int fd, const uint8_t* data, size_t len, uint64_t offset) {
+  while (len > 0) {
+    ssize_t n = ::pwrite(fd, data, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StableFile>> StableFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return IoError("open", path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoError("fstat", path);
+  }
+  return std::unique_ptr<StableFile>(
+      new StableFile(path, fd, static_cast<uint64_t>(st.st_size)));
+}
+
+StableFile::StableFile(std::string path, int fd, uint64_t durable_size)
+    : path_(std::move(path)), fd_(fd), logical_size_(durable_size) {}
+
+StableFile::~StableFile() { ::close(fd_); }
+
+Status StableFile::WriteAt(uint64_t offset, std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) {
+    return UnavailableError("file lost power");
+  }
+  pending_.push_back(Extent{offset, std::vector<uint8_t>(data.begin(), data.end())});
+  pending_bytes_ += data.size();
+  logical_size_ = std::max(logical_size_, offset + data.size());
+  return OkStatus();
+}
+
+Status StableFile::ReadAt(uint64_t offset, std::span<uint8_t> out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) {
+    return UnavailableError("file lost power");
+  }
+  std::memset(out.data(), 0, out.size());
+  size_t want = out.size();
+  uint8_t* dst = out.data();
+  uint64_t off = offset;
+  while (want > 0) {
+    ssize_t n = ::pread(fd_, dst, want, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return IoError("pread", path_);
+    }
+    if (n == 0) {
+      break;  // beyond durable end: stays zero-filled
+    }
+    dst += n;
+    want -= static_cast<size_t>(n);
+    off += static_cast<uint64_t>(n);
+  }
+  // Overlay staged extents, oldest first, so the newest staged write wins.
+  for (const Extent& e : pending_) {
+    uint64_t lo = std::max(offset, e.offset);
+    uint64_t hi = std::min(offset + out.size(), e.offset + e.data.size());
+    if (lo < hi) {
+      std::memcpy(out.data() + (lo - offset), e.data.data() + (lo - e.offset), hi - lo);
+    }
+  }
+  return OkStatus();
+}
+
+Status StableFile::FlushExtentLocked(uint64_t offset, std::span<const uint8_t> data) {
+  if (!PwriteAll(fd_, data.data(), data.size(), offset)) {
+    return IoError("pwrite", path_);
+  }
+  return OkStatus();
+}
+
+Status StableFile::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) {
+    return UnavailableError("file lost power");
+  }
+  for (const Extent& e : pending_) {
+    RETURN_IF_ERROR(FlushExtentLocked(e.offset, e.data));
+  }
+  if (::fdatasync(fd_) != 0) {
+    return IoError("fdatasync", path_);
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+  return OkStatus();
+}
+
+Status StableFile::Truncate(uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) {
+    return UnavailableError("file lost power");
+  }
+  // Drop (or clip) staged writes past the new end.
+  std::vector<Extent> kept;
+  uint64_t kept_bytes = 0;
+  for (Extent& e : pending_) {
+    if (e.offset >= size) {
+      continue;
+    }
+    if (e.offset + e.data.size() > size) {
+      e.data.resize(size - e.offset);
+    }
+    kept_bytes += e.data.size();
+    kept.push_back(std::move(e));
+  }
+  pending_ = std::move(kept);
+  pending_bytes_ = kept_bytes;
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return IoError("ftruncate", path_);
+  }
+  if (::fdatasync(fd_) != 0) {
+    return IoError("fdatasync", path_);
+  }
+  logical_size_ = size;
+  for (const Extent& e : pending_) {
+    logical_size_ = std::max(logical_size_, e.offset + e.data.size());
+  }
+  return OkStatus();
+}
+
+Status StableFile::RawWriteAt(uint64_t offset, std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) {
+    return UnavailableError("file lost power");
+  }
+  RETURN_IF_ERROR(FlushExtentLocked(offset, data));
+  if (::fdatasync(fd_) != 0) {
+    return IoError("fdatasync", path_);
+  }
+  return OkStatus();
+}
+
+void StableFile::PowerCut(uint64_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) {
+    return;
+  }
+  for (const Extent& e : pending_) {
+    if (keep_bytes == 0) {
+      break;
+    }
+    size_t n = std::min<uint64_t>(keep_bytes, e.data.size());
+    // Best-effort: a failing platter write during a power cut loses data anyway.
+    (void)FlushExtentLocked(e.offset, std::span<const uint8_t>(e.data.data(), n));
+    keep_bytes -= n;
+  }
+  (void)::fdatasync(fd_);
+  pending_.clear();
+  pending_bytes_ = 0;
+  dead_ = true;
+}
+
+uint64_t StableFile::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logical_size_;
+}
+
+uint64_t StableFile::pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_bytes_;
+}
+
+}  // namespace afs

@@ -1,0 +1,89 @@
+// StableFile: a host file with an explicit durability boundary, the primitive under
+// FileDisk and its journal.
+//
+// WriteAt() only *stages* bytes: they are visible to subsequent ReadAt() calls but are not
+// on the platter until Sync() (pwrite + fdatasync) moves the whole staged set across the
+// durability boundary. This mirrors what a real OS page cache does to an application that
+// forgets to fsync — and it is what makes crash-point testing honest: PowerCut() discards
+// the staged set (optionally keeping a prefix, modelling a torn write) and freezes the
+// file, so the bytes on the host filesystem are exactly the image a power failure at that
+// instant would have left. A test then reopens the path and exercises real recovery code
+// against a real post-crash image.
+
+#ifndef SRC_STORE_STABLE_FILE_H_
+#define SRC_STORE_STABLE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace afs {
+
+class StableFile {
+ public:
+  // Opens (or creates) `path` read-write. Fails with kUnavailable on host I/O errors.
+  static Result<std::unique_ptr<StableFile>> Open(const std::string& path);
+
+  // Closes the descriptor. Staged-but-unsynced bytes are deliberately NOT flushed — an
+  // orderly shutdown must Sync() explicitly, exactly like a real application.
+  ~StableFile();
+
+  StableFile(const StableFile&) = delete;
+  StableFile& operator=(const StableFile&) = delete;
+
+  // Stage `data` at `offset`. Durable only after the next Sync().
+  Status WriteAt(uint64_t offset, std::span<const uint8_t> data);
+
+  // Read `out.size()` bytes at `offset`: the durable image overlaid with staged writes.
+  // Reads beyond the logical end are zero-filled (sparse-file semantics).
+  Status ReadAt(uint64_t offset, std::span<uint8_t> out);
+
+  // Push every staged write to the host file and fdatasync it.
+  Status Sync();
+
+  // Immediately truncate the file (and drop staged writes beyond `size`), then sync.
+  Status Truncate(uint64_t size);
+
+  // Bypass staging: pwrite directly into the durable image. Fault injection only
+  // (CorruptBlock flips stored bytes the way a decaying medium would).
+  Status RawWriteAt(uint64_t offset, std::span<const uint8_t> data);
+
+  // Simulate a power cut: of the staged bytes, only the first `keep_bytes` (in staging
+  // order, possibly cutting the last write in half) reach the platter; the rest vanish.
+  // The file then refuses all further I/O with kUnavailable.
+  void PowerCut(uint64_t keep_bytes);
+
+  // Logical size including staged writes.
+  uint64_t size() const;
+  // Total staged-but-unsynced bytes.
+  uint64_t pending_bytes() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  StableFile(std::string path, int fd, uint64_t durable_size);
+
+  struct Extent {
+    uint64_t offset = 0;
+    std::vector<uint8_t> data;
+  };
+
+  Status FlushExtentLocked(uint64_t offset, std::span<const uint8_t> data);
+
+  const std::string path_;
+  const int fd_;
+  mutable std::mutex mu_;
+  std::vector<Extent> pending_;  // staging order = append order, replayed by PowerCut
+  uint64_t pending_bytes_ = 0;
+  uint64_t logical_size_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace afs
+
+#endif  // SRC_STORE_STABLE_FILE_H_

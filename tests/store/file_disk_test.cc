@@ -1,0 +1,265 @@
+// Tests of FileDisk: the durable file-backed BlockDevice with its group-commit journal.
+//
+// Scratch files live under the test binary's working directory (the build tree when run
+// via ctest) and are wiped per test, so repeated runs start from a fresh disk.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "src/store/file_disk.h"
+#include "src/store/stable_file.h"
+
+namespace afs {
+namespace {
+
+std::string ScratchPath(const std::string& name) {
+  std::filesystem::path dir = std::filesystem::path("store_scratch") / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return (dir / "disk.afsdisk").string();
+}
+
+std::vector<uint8_t> Pattern(uint32_t bno, uint32_t size) {
+  std::vector<uint8_t> data(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    data[i] = static_cast<uint8_t>(bno * 31 + i * 7 + 1);
+  }
+  return data;
+}
+
+FileDiskOptions SmallGeometry() {
+  FileDiskOptions options;
+  options.block_size = 512;
+  options.num_blocks = 64;
+  return options;
+}
+
+TEST(FileDiskTest, WriteReadRoundTrip) {
+  const std::string path = ScratchPath("round_trip");
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok()) << disk.status().message();
+  auto data = Pattern(3, 512);
+  ASSERT_TRUE((*disk)->Write(3, data).ok());
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE((*disk)->Read(3, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(FileDiskTest, VirginBlocksReadZero) {
+  const std::string path = ScratchPath("virgin");
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  std::vector<uint8_t> out(512, 0xff);
+  ASSERT_TRUE((*disk)->Read(7, out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(512, 0));
+}
+
+TEST(FileDiskTest, OutOfRangeAndWrongBufferRejected) {
+  const std::string path = ScratchPath("bounds");
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  std::vector<uint8_t> buf(512);
+  EXPECT_FALSE((*disk)->Read(64, buf).ok());
+  EXPECT_FALSE((*disk)->Write(64, buf).ok());
+  std::vector<uint8_t> short_buf(511);
+  EXPECT_EQ((*disk)->Read(0, short_buf).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ((*disk)->Write(0, short_buf).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FileDiskTest, CountsOps) {
+  const std::string path = ScratchPath("counters");
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  std::vector<uint8_t> buf(512);
+  EXPECT_TRUE((*disk)->Write(0, buf).ok());
+  EXPECT_TRUE((*disk)->Read(0, buf).ok());
+  EXPECT_TRUE((*disk)->Read(0, buf).ok());
+  EXPECT_EQ((*disk)->writes(), 1u);
+  EXPECT_EQ((*disk)->reads(), 2u);
+}
+
+TEST(FileDiskTest, PersistsAcrossCleanReopen) {
+  const std::string path = ScratchPath("reopen");
+  {
+    auto disk = FileDisk::Open(path, SmallGeometry());
+    ASSERT_TRUE(disk.ok());
+    for (uint32_t bno = 0; bno < 8; ++bno) {
+      ASSERT_TRUE((*disk)->Write(bno, Pattern(bno, 512)).ok());
+    }
+    ASSERT_TRUE((*disk)->Close().ok());
+  }
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  // A clean close checkpointed everything: the journal replays no records on mount.
+  EXPECT_EQ((*disk)->recovered_records(), 0u);
+  EXPECT_EQ((*disk)->journal_bytes(), 0u);
+  std::vector<uint8_t> out(512);
+  for (uint32_t bno = 0; bno < 8; ++bno) {
+    ASSERT_TRUE((*disk)->Read(bno, out).ok()) << "block " << bno;
+    EXPECT_EQ(out, Pattern(bno, 512)) << "block " << bno;
+  }
+}
+
+TEST(FileDiskTest, GeometryAdoptedFromSuperblock) {
+  const std::string path = ScratchPath("geometry");
+  {
+    auto disk = FileDisk::Open(path, SmallGeometry());
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->Write(1, Pattern(1, 512)).ok());
+  }
+  // Reopen with different requested geometry: the superblock's wins.
+  FileDiskOptions other;
+  other.block_size = 4096;
+  other.num_blocks = 8;
+  auto disk = FileDisk::Open(path, other);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->geometry().block_size, 512u);
+  EXPECT_EQ((*disk)->geometry().num_blocks, 64u);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE((*disk)->Read(1, out).ok());
+  EXPECT_EQ(out, Pattern(1, 512));
+}
+
+TEST(FileDiskTest, EpochBumpsEveryMount) {
+  const std::string path = ScratchPath("epoch");
+  uint64_t first_epoch = 0;
+  {
+    auto disk = FileDisk::Open(path, SmallGeometry());
+    ASSERT_TRUE(disk.ok());
+    first_epoch = (*disk)->epoch();
+  }
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->epoch(), first_epoch + 1);
+}
+
+TEST(FileDiskTest, CorruptJournalCopyDetectedOnRead) {
+  const std::string path = ScratchPath("corrupt_journal");
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->Write(5, Pattern(5, 512)).ok());
+  (*disk)->CorruptBlock(5);  // newest copy lives in the journal
+  std::vector<uint8_t> out(512);
+  EXPECT_EQ((*disk)->Read(5, out).code(), ErrorCode::kCorrupt);
+}
+
+TEST(FileDiskTest, CorruptCheckpointedSectorDetectedOnRead) {
+  const std::string path = ScratchPath("corrupt_sector");
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->Write(5, Pattern(5, 512)).ok());
+  ASSERT_TRUE((*disk)->Checkpoint().ok());
+  (*disk)->CorruptBlock(5);  // newest copy now lives in the block area
+  std::vector<uint8_t> out(512);
+  EXPECT_EQ((*disk)->Read(5, out).code(), ErrorCode::kCorrupt);
+}
+
+TEST(FileDiskTest, MisdirectedWriteDetected) {
+  const std::string path = ScratchPath("misdirect");
+  {
+    auto disk = FileDisk::Open(path, SmallGeometry());
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->Write(2, Pattern(2, 512)).ok());
+    ASSERT_TRUE((*disk)->Write(3, Pattern(3, 512)).ok());
+    ASSERT_TRUE((*disk)->Close().ok());
+  }
+  // Simulate the firmware writing block 2's sector to block 3's address: the payload CRC
+  // is intact but the embedded block number disagrees, which Read must flag as corrupt.
+  {
+    auto file = StableFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    const uint64_t sector = kSectorHeaderBytes + 512ull;
+    std::vector<uint8_t> sector2(sector);
+    ASSERT_TRUE((*file)->ReadAt(kBlockAreaOffset + 2 * sector, sector2).ok());
+    ASSERT_TRUE((*file)->RawWriteAt(kBlockAreaOffset + 3 * sector, sector2).ok());
+  }
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE((*disk)->Read(2, out).ok());
+  EXPECT_EQ(out, Pattern(2, 512));
+  EXPECT_EQ((*disk)->Read(3, out).code(), ErrorCode::kCorrupt);
+}
+
+TEST(FileDiskTest, JournalShadowsStaleSector) {
+  const std::string path = ScratchPath("shadow");
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->Write(4, Pattern(4, 512)).ok());
+  ASSERT_TRUE((*disk)->Checkpoint().ok());
+  auto v2 = Pattern(44, 512);
+  ASSERT_TRUE((*disk)->Write(4, v2).ok());  // newer copy in the journal only
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE((*disk)->Read(4, out).ok());
+  EXPECT_EQ(out, v2);
+  ASSERT_TRUE((*disk)->Checkpoint().ok());
+  ASSERT_TRUE((*disk)->Read(4, out).ok());
+  EXPECT_EQ(out, v2);
+}
+
+TEST(FileDiskTest, AutoCheckpointTriggersAtThreshold) {
+  const std::string path = ScratchPath("auto_checkpoint");
+  FileDiskOptions options = SmallGeometry();
+  options.checkpoint_threshold_bytes = 4096;  // a handful of 512-byte records
+  auto disk = FileDisk::Open(path, options);
+  ASSERT_TRUE(disk.ok());
+  for (uint32_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE((*disk)->Write(i % 16, Pattern(i, 512)).ok());
+  }
+  EXPECT_GE((*disk)->checkpoints(), 1u);
+  EXPECT_LT((*disk)->journal_bytes(), 32ull * (kJournalRecordHeaderBytes + 512));
+}
+
+TEST(FileDiskTest, GroupCommitBatchesConcurrentWriters) {
+  const std::string path = ScratchPath("group_commit");
+  FileDiskOptions options = SmallGeometry();
+  options.group_commit_window = std::chrono::microseconds(500);
+  constexpr int kThreads = 8;
+  constexpr int kWritesPerThread = 20;
+  {
+    auto disk_or = FileDisk::Open(path, options);
+    ASSERT_TRUE(disk_or.ok());
+    FileDisk* disk = disk_or->get();
+    std::vector<std::thread> writers;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([disk, t, &failures] {
+        for (int i = 0; i < kWritesPerThread; ++i) {
+          uint32_t bno = static_cast<uint32_t>(t * kWritesPerThread + i) % 64;
+          if (!disk->Write(bno, Pattern(bno, 512)).ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& w : writers) {
+      w.join();
+    }
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(disk->journal_appends(), static_cast<uint64_t>(kThreads * kWritesPerThread));
+    // The point of group commit: far fewer fsyncs than appends.
+    EXPECT_LT(disk->fsync_batches(), disk->journal_appends());
+    ASSERT_TRUE(disk_or.value()->Close().ok());
+  }
+  auto disk = FileDisk::Open(path, options);
+  ASSERT_TRUE(disk.ok());
+  std::vector<uint8_t> out(512);
+  for (uint32_t bno = 0; bno < 64; ++bno) {
+    ASSERT_TRUE((*disk)->Read(bno, out).ok()) << "block " << bno;
+    EXPECT_EQ(out, Pattern(bno, 512)) << "block " << bno;
+  }
+}
+
+TEST(FileDiskTest, CloseIsIdempotent) {
+  const std::string path = ScratchPath("close_twice");
+  auto disk = FileDisk::Open(path, SmallGeometry());
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->Write(0, Pattern(0, 512)).ok());
+  EXPECT_TRUE((*disk)->Close().ok());
+  EXPECT_TRUE((*disk)->Close().ok());
+}
+
+}  // namespace
+}  // namespace afs
