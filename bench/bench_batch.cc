@@ -1,0 +1,339 @@
+// Vectored block I/O benchmarks (docs/PERF.md): how much do batched multi-block RPCs,
+// pipelined stable-pair replication and sharded block-server locking buy over the
+// one-block-per-transaction baseline?
+//
+// Every benchmark takes a trailing {batch} argument: 1 = vectored paths, 0 = the same
+// binary with batching globally disabled (every vectored entry point degrades to a
+// one-block-per-RPC loop). `--no_batch` forces 0 for every variant, so two whole-process
+// runs can be compared as well. Expected shape:
+//   * tree scans   >= 4x: k pages of depth d cost d vectored RPCs, not k*d single ones
+//   * contended multi-client commit >= 2x: the §5.2 merge prefetches both page trees
+//     level-by-level, and page-chain writes become AllocMulti + one WriteBatch
+//   * sharded locking: concurrent writers on a striped in-process store outrun a single
+//     mutex (the same striping guards BlockServer's handler state)
+// Args are listed per benchmark below.
+//
+// All rigs run with a deterministic 100us simulated wire latency per RPC (Network::
+// set_latency, a LAN-scale round trip) — an in-process call is otherwise free, which would
+// hide exactly the cost vectored I/O removes. The rpcs_per_page / rpcs_per_txn counters
+// report the transport-independent truth alongside the timings.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/block/block_server.h"
+#include "src/block/block_store.h"
+#include "src/block/protocol.h"
+#include "src/core/file_server.h"
+#include "src/core/page_store.h"
+#include "src/disk/mem_disk.h"
+#include "src/rpc/network.h"
+
+namespace afs {
+namespace {
+
+// --no_batch: force the baseline even for batch=1 variants (whole-process comparison).
+bool g_allow_batch = true;
+
+void ApplyBatchMode(int64_t batch_arg) {
+  SetBatchingEnabled(batch_arg != 0 && g_allow_batch);
+}
+
+constexpr std::chrono::microseconds kWireLatency{100};
+
+// RPC-backed block storage: BlockServer on a MemDisk, talked to through a BlockClient —
+// the real transport the file service pays for, minus physical disk latency.
+struct RpcRig {
+  explicit RpcRig(uint32_t num_shards = 16, int num_workers = 4,
+                  std::chrono::microseconds latency = kWireLatency)
+      : net(31),
+        disk(kDefaultBlockSize, 1 << 16),
+        server(&net, "bs", &disk, 7, num_shards, num_workers) {
+    net.set_latency(latency, latency);
+    server.Start();
+    account = server.CreateAccountDirect();
+    client = std::make_unique<BlockClient>(&net, server.port(), account,
+                                           server.payload_capacity());
+    pages = std::make_unique<PageStore>(client.get());
+  }
+
+  Network net;
+  MemDisk disk;
+  BlockServer server;
+  Capability account;
+  std::unique_ptr<BlockClient> client;
+  std::unique_ptr<PageStore> pages;
+};
+
+// ---------------------------------------------------------------------------
+// Tree scan: read k pages through the vectored page reader.
+// Args: {npages, chain_depth, batch}
+// ---------------------------------------------------------------------------
+
+void BM_TreeScan(benchmark::State& state) {
+  const int npages = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  ApplyBatchMode(state.range(2));
+  RpcRig rig;
+  // `depth` chunks per page forces a chain of that depth (chunk_cap bytes per block).
+  const size_t page_bytes =
+      depth == 1 ? 64 : (static_cast<size_t>(depth) * (rig.client->payload_capacity() - 6)) - 32;
+  std::vector<BlockNo> heads;
+  for (int i = 0; i < npages; ++i) {
+    Page page;
+    page.kind = PageKind::kPlain;
+    page.data.assign(page_bytes, static_cast<uint8_t>(i));
+    auto head = rig.pages->WritePage(page);
+    if (!head.ok()) {
+      state.SkipWithError("setup write failed");
+      return;
+    }
+    heads.push_back(*head);
+  }
+
+  uint64_t calls_before = rig.net.total_calls();
+  int64_t scanned = 0;
+  for (auto _ : state) {
+    auto result = rig.pages->ReadPages(heads);
+    if (!result.ok()) {
+      state.SkipWithError("scan failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+    scanned += npages;
+  }
+  state.SetItemsProcessed(scanned);
+  state.counters["rpcs_per_page"] = benchmark::Counter(
+      static_cast<double>(rig.net.total_calls() - calls_before) / scanned);
+  SetBatchingEnabled(true);
+}
+
+BENCHMARK(BM_TreeScan)
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({64, 1, 0})
+    ->Args({64, 1, 1})
+    ->Args({16, 5, 0})
+    ->Args({16, 5, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Multi-client commit: T client threads updating the SAME file with large pages, so almost
+// every commit runs the serialisability test + merge against a concurrent winner.
+// Args: {threads, batch}
+// ---------------------------------------------------------------------------
+
+void BM_MultiClientCommit(benchmark::State& state) {
+  const int nthreads = static_cast<int>(state.range(0));
+  ApplyBatchMode(state.range(1));
+  constexpr int kPagesPerTxn = 8;
+  constexpr size_t kPageBytes = 30 * 1024;  // just under kMaxPageBytes; ~8-block chain
+  constexpr int kTxnsPerThread = 2;
+
+  RpcRig rig;
+  // Default options: committed-page cache on. Version-side chains (the `b` trees the
+  // merge prefetches) are never cached, so batching still does real block I/O.
+  FileServer fs(&rig.net, "fs", rig.client.get());
+  fs.Start();
+  if (!fs.AttachStore().ok()) {
+    state.SkipWithError("attach failed");
+    return;
+  }
+  auto file = fs.CreateFile();
+  {
+    auto v = fs.CreateVersion(*file, kNullPort, false);
+    for (int i = 0; i < kPagesPerTxn; ++i) {
+      (void)fs.InsertRef(*v, PagePath::Root(), i);
+      (void)fs.WritePage(*v, PagePath({static_cast<uint32_t>(i)}),
+                         std::vector<uint8_t>(kPageBytes, 1));
+    }
+    if (!fs.Commit(*v).ok()) {
+      state.SkipWithError("setup commit failed");
+      return;
+    }
+  }
+
+  std::atomic<int64_t> committed{0};
+  std::atomic<int64_t> conflicts{0};
+  const uint64_t calls_before = rig.net.total_calls();
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < nthreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int txn = 0; txn < kTxnsPerThread; ++txn) {
+          // Retry on conflict like a real optimistic client ("redo the update").
+          for (int attempt = 0; attempt < 8; ++attempt) {
+            auto v = fs.CreateVersion(*file, kNullPort, false);
+            if (!v.ok()) {
+              continue;
+            }
+            bool wrote = true;
+            for (int i = 0; i < kPagesPerTxn && wrote; ++i) {
+              wrote = fs.WritePage(*v, PagePath({static_cast<uint32_t>(i)}),
+                                   std::vector<uint8_t>(kPageBytes,
+                                                        static_cast<uint8_t>(t + txn)))
+                          .ok();
+            }
+            if (wrote && fs.Commit(*v).ok()) {
+              committed.fetch_add(1);
+              break;
+            }
+            (void)fs.Abort(*v);
+            conflicts.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  state.SetItemsProcessed(committed.load());
+  state.counters["rpcs_per_txn"] = benchmark::Counter(
+      static_cast<double>(rig.net.total_calls() - calls_before) /
+      static_cast<double>(committed.load() > 0 ? committed.load() : 1));
+  state.counters["conflicts"] = benchmark::Counter(static_cast<double>(conflicts.load()));
+  state.counters["serialise_tests"] =
+      benchmark::Counter(static_cast<double>(fs.serialise_tests_run()));
+  SetBatchingEnabled(true);
+}
+
+BENCHMARK(BM_MultiClientCommit)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Batched stable-pair writes: the pipelined companion replication path.
+// Args: {batch_blocks, batch}
+// ---------------------------------------------------------------------------
+
+void BM_StablePairWriteBatch(benchmark::State& state) {
+  const int nblocks = static_cast<int>(state.range(0));
+  ApplyBatchMode(state.range(1));
+  Network net(32);
+  net.set_latency(kWireLatency, kWireLatency);
+  MemDisk disk_a(kDefaultBlockSize, 1 << 15);
+  MemDisk disk_b(kDefaultBlockSize, 1 << 15);
+  BlockServer a(&net, "A", &disk_a, 7);
+  BlockServer b(&net, "B", &disk_b, 7);
+  a.Start();
+  b.Start();
+  a.SetCompanion(b.port());
+  b.SetCompanion(a.port());
+  Capability account = a.CreateAccountDirect();
+  StableStore store(
+      std::make_unique<BlockClient>(&net, a.port(), account, a.payload_capacity()),
+      std::make_unique<BlockClient>(&net, b.port(), account, b.payload_capacity()), 11);
+
+  auto fresh = store.AllocMulti(static_cast<uint32_t>(nblocks));
+  if (!fresh.ok()) {
+    state.SkipWithError("alloc failed");
+    return;
+  }
+  std::vector<BlockWrite> writes;
+  for (size_t i = 0; i < fresh->size(); ++i) {
+    writes.push_back({(*fresh)[i], std::vector<uint8_t>(4000, static_cast<uint8_t>(i))});
+  }
+
+  int64_t written = 0;
+  for (auto _ : state) {
+    if (!store.WriteBatch(writes).ok()) {
+      state.SkipWithError("batch write failed");
+      return;
+    }
+    written += nblocks;
+  }
+  state.SetItemsProcessed(written);
+  SetBatchingEnabled(true);
+}
+
+BENCHMARK(BM_StablePairWriteBatch)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Lock striping: T threads of single-block writes against one sharded block store, driven
+// in-process (no RPC queue in the way — the same striping guards BlockServer's handlers,
+// but the service submit queue would drown the mutex effect at RPC scale).
+// Args: {num_shards, writer_threads}  (batch-independent)
+// ---------------------------------------------------------------------------
+
+void BM_ShardedWrites(benchmark::State& state) {
+  const uint32_t num_shards = static_cast<uint32_t>(state.range(0));
+  const int nthreads = static_cast<int>(state.range(1));
+  constexpr int kWritesPerThread = 4096;
+
+  InMemoryBlockStore store(/*payload_capacity=*/4068, /*num_blocks=*/1 << 20, num_shards);
+  std::vector<std::vector<BlockNo>> blocks(nthreads);
+  for (int c = 0; c < nthreads; ++c) {
+    for (int i = 0; i < kWritesPerThread; ++i) {
+      auto bno = store.AllocWrite(std::vector<uint8_t>(64, 1));
+      if (!bno.ok()) {
+        state.SkipWithError("setup alloc failed");
+        return;
+      }
+      blocks[c].push_back(*bno);
+    }
+  }
+
+  int64_t writes_done = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> writers;
+    for (int c = 0; c < nthreads; ++c) {
+      writers.emplace_back([&, c] {
+        std::vector<uint8_t> payload(64, static_cast<uint8_t>(c));
+        for (BlockNo bno : blocks[c]) {
+          (void)store.Write(bno, payload);
+        }
+      });
+    }
+    for (auto& t : writers) {
+      t.join();
+    }
+    writes_done += static_cast<int64_t>(nthreads) * kWritesPerThread;
+  }
+  state.SetItemsProcessed(writes_done);
+}
+
+BENCHMARK(BM_ShardedWrites)
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({16, 8})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace afs
+
+int main(int argc, char** argv) {
+  // Strip --no_batch before the shared harness (and google/benchmark) see argv.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no_batch") == 0) {
+      afs::g_allow_batch = false;
+      afs::SetBatchingEnabled(false);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  return afs::bench::BenchMain(static_cast<int>(args.size()), args.data());
+}

@@ -8,6 +8,12 @@
 // and two disk drives"), collisions are detected at the companion, and after a crash the
 // returning server compares notes with the survivor before accepting requests.
 //
+// Internal state is striped into `num_shards` mutex shards keyed by block number — each
+// shard guards its slice of the allocation map, the lock table and the in-flight set — so
+// the multi-worker Service scales instead of convoying on one mutex. Cross-block state
+// (accounts, allocation cursor, intentions list) lives behind its own small mutexes or
+// atomics. Lock order, where two are ever held: alloc_mu_ -> shard.mu.
+//
 // On-disk block format (self-describing, enabling Recover() by scan and CRC integrity):
 //   u32 magic | u64 account_object | u64 write_seq | u32 payload_crc | u32 payload_len | data
 // The header steals 28 bytes of each physical block; payload capacity is block_size - 28.
@@ -15,10 +21,12 @@
 #ifndef SRC_BLOCK_BLOCK_SERVER_H_
 #define SRC_BLOCK_BLOCK_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,7 +45,10 @@ inline constexpr uint32_t kBlockMagic = 0xafb10c05;
 class BlockServer : public Service {
  public:
   // `device` must outlive the server. `secret_seed` keys the capability signer.
-  BlockServer(Network* network, std::string name, BlockDevice* device, uint64_t secret_seed);
+  // `num_shards` (rounded up to a power of two) stripes the lock/allocation state;
+  // `num_workers` sizes the Service worker pool (bench_batch sweeps both).
+  BlockServer(Network* network, std::string name, BlockDevice* device, uint64_t secret_seed,
+              uint32_t num_shards = 16, int num_workers = 4);
 
   // Pair this server with its companion. Both directions must be configured. Until paired
   // (or when `companion == kNullPort`), the server runs standalone and writes only locally.
@@ -56,8 +67,9 @@ class BlockServer : public Service {
   void RecoverFromDisk();
 
   // Test hooks / stats.
-  uint64_t collisions_detected() const;
-  uint64_t degraded_writes() const;  // writes performed while the companion was down
+  uint64_t collisions_detected() const { return collisions_.load(); }
+  uint64_t degraded_writes() const { return degraded_writes_.load(); }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   BlockDevice* device() const { return device_; }
 
  protected:
@@ -75,6 +87,25 @@ class BlockServer : public Service {
     bool in_use = false;
   };
 
+  // One stripe of the block-keyed state. blocks_[bno] (in the flat vector below) is guarded
+  // by ShardFor(bno).mu as well.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<BlockNo, Port> locks;
+    // Blocks with local primary operations currently in flight (value = nesting count); a
+    // companion write that lands on one of these is a collision.
+    std::unordered_map<BlockNo, int> in_flight_primary;
+  };
+
+  // One entry of a batched stable write, after validation and seq assignment.
+  struct PendingWrite {
+    BlockNo bno = 0;
+    uint64_t account = 0;
+    uint64_t seq = 0;
+    std::vector<uint8_t> payload;
+    bool is_alloc = false;
+  };
+
   // -- Request handlers (one per opcode) ------------------------------------
   Result<Message> HandleCreateAccount(const Message& m);
   Result<Message> HandleAllocate(const Message& m);
@@ -82,22 +113,36 @@ class BlockServer : public Service {
   Result<Message> HandleWrite(const Message& m);
   Result<Message> HandleRead(const Message& m);
   Result<Message> HandleFree(const Message& m);
+  Result<Message> HandleReadMulti(const Message& m);
+  Result<Message> HandleWriteMulti(const Message& m);
+  Result<Message> HandleFreeMulti(const Message& m);
+  Result<Message> HandleAllocMulti(const Message& m);
   Result<Message> HandleLock(const Message& m);
   Result<Message> HandleUnlock(const Message& m);
   Result<Message> HandleRecover(const Message& m);
   Result<Message> HandleStat(const Message& m);
   Result<Message> HandleCompanionWrite(const Message& m);
+  Result<Message> HandleCompanionWriteMulti(const Message& m);
   Result<Message> HandleCompanionFree(const Message& m);
   Result<Message> HandleFetchIntentions(const Message& m);
   Result<Message> HandleCompanionRead(const Message& m);
 
   // -- Internals -------------------------------------------------------------
+  Shard& ShardFor(BlockNo bno) { return shards_[bno & shard_mask_]; }
   Status VerifyAccount(const Capability& cap, uint32_t rights, uint64_t* account_out);
   Result<BlockNo> PickFreeBlock();
+  // Validates that `bno` exists, is allocated, and belongs to `account` (shared by the
+  // single and vectored write/free paths). `require_in_use` false = free-style idempotence.
+  Status CheckWritable(BlockNo bno, uint64_t account, bool* in_use_out);
   // Core of Write/AllocWrite: companion-first stable write, with intentions-list fallback
   // when the companion is down.
   Status StableWrite(BlockNo bno, uint64_t account, std::span<const uint8_t> payload,
                      bool is_alloc);
+  // Batched form: ships the batch to the companion in kCompanionWriteMulti chunks (each
+  // under kMaxMessageBytes), pipelining chunk i+1's companion RPC with chunk i's local
+  // writes. Per-block companion-first order is preserved: a block is written locally only
+  // after its chunk was acked (or the companion was found down and an intention recorded).
+  Status StableWriteBatch(std::vector<PendingWrite> writes);
   Status WriteLocal(BlockNo bno, uint64_t account, uint64_t seq,
                     std::span<const uint8_t> payload);
   // Reads the payload; on CRC failure consults the companion and repairs the local copy.
@@ -105,28 +150,33 @@ class BlockServer : public Service {
                                            bool check_account);
   Result<std::vector<uint8_t>> FetchFromCompanion(BlockNo bno);
   void RecordIntention(BlockNo bno);
+  void MarkInFlight(std::span<const PendingWrite> writes, int delta);
   void RebuildAllocationFromDisk();
   void ReplayIntentionsFromCompanion();
 
   BlockDevice* device_;
   CapabilitySigner signer_;
-  Rng rng_;
 
-  mutable std::mutex state_mu_;
+  std::mutex accounts_mu_;  // guards accounts_ and rng_
+  Rng rng_;
   std::unordered_set<uint64_t> accounts_;
-  uint64_t next_account_ = 1;
-  uint64_t next_seq_ = 1;
+
+  std::vector<Shard> shards_;
+  uint32_t shard_mask_ = 0;
+  // blocks_[bno] is guarded by ShardFor(bno).mu; the vector itself is sized once.
   std::vector<BlockMeta> blocks_;
+
+  std::mutex alloc_mu_;  // guards the cursor; PickFreeBlock takes shard locks under it
   BlockNo alloc_cursor_ = 0;
-  std::unordered_map<BlockNo, Port> locks_;
-  // Blocks with local primary operations currently in flight (value = nesting count); a
-  // companion write that lands on one of these is a collision.
-  std::unordered_map<BlockNo, int> in_flight_primary_;
+
+  std::mutex intentions_mu_;
   // Blocks written while the companion was unreachable; shipped to it on its restart.
   std::set<BlockNo> intentions_for_companion_;
-  Port companion_ = kNullPort;
-  uint64_t collisions_ = 0;
-  uint64_t degraded_writes_ = 0;
+
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<Port> companion_{kNullPort};
+  std::atomic<uint64_t> collisions_{0};
+  std::atomic<uint64_t> degraded_writes_{0};
 };
 
 }  // namespace afs

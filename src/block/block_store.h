@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +33,25 @@
 
 namespace afs {
 
+// Global batching kill-switch (default on). When off, the vectored BlockStore entry points
+// fall back to one-block-per-RPC loops — the `--no_batch` baseline of bench_batch, and a
+// safety hatch. Reads are relaxed; flipping it mid-flight only affects new calls.
+void SetBatchingEnabled(bool enabled);
+bool BatchingEnabled();
+
+// One element of a vectored write: overwrite block `bno` with `payload`.
+struct BlockWrite {
+  BlockNo bno = 0;
+  std::vector<uint8_t> payload;
+};
+
+// One element of a vectored read reply: per-block status so a recovery scan can tolerate
+// holes without failing the whole batch.
+struct BlockReadResult {
+  Status status;
+  std::vector<uint8_t> data;  // valid iff status.ok()
+};
+
 class BlockStore {
  public:
   virtual ~BlockStore() = default;
@@ -42,6 +62,24 @@ class BlockStore {
   virtual Status Write(BlockNo bno, std::span<const uint8_t> payload) = 0;
   virtual Result<std::vector<uint8_t>> Read(BlockNo bno) = 0;
   virtual Status Free(BlockNo bno) = 0;
+
+  // --- Vectored I/O ---------------------------------------------------------
+  // Defaults degrade to per-block loops, so every BlockStore supports the vectored API;
+  // BlockClient, StableStore and InMemoryBlockStore override with native batch paths.
+  //
+  // Read many blocks; result[i] corresponds to bnos[i]. The top-level Result fails only on
+  // transport-level errors; per-block failures (missing block, bad account) are reported
+  // per entry.
+  virtual Result<std::vector<BlockReadResult>> ReadMulti(std::span<const BlockNo> bnos);
+  // Overwrite many existing blocks. Chunked under kMaxMessageBytes by RPC-backed stores;
+  // each chunk is applied atomically with respect to collision detection (per-chunk
+  // atomicity — see docs/PERF.md). A single payload too large for any message fails with
+  // kInvalidArgument before anything is written.
+  virtual Status WriteBatch(std::span<const BlockWrite> writes);
+  // Free many blocks (idempotent per block, like Free).
+  virtual Status FreeMulti(std::span<const BlockNo> bnos);
+  // Reserve-and-stamp n fresh blocks in one round trip. Callers fill them with WriteBatch.
+  virtual Result<std::vector<BlockNo>> AllocMulti(uint32_t n);
 
   // Advisory block lock keyed by a port. A lock whose port has died is stealable.
   virtual Status Lock(BlockNo bno, Port owner) = 0;
@@ -54,7 +92,8 @@ class BlockStore {
   virtual uint32_t payload_capacity() const = 0;
 };
 
-// RPC stub bound to (server port, account capability).
+// RPC stub bound to (server port, account capability). The vectored entry points chunk
+// batches so that no request or reply message ever exceeds kMaxMessageBytes.
 class BlockClient : public BlockStore {
  public:
   BlockClient(Network* network, Port server, Capability account, uint32_t payload_capacity);
@@ -63,6 +102,10 @@ class BlockClient : public BlockStore {
   Status Write(BlockNo bno, std::span<const uint8_t> payload) override;
   Result<std::vector<uint8_t>> Read(BlockNo bno) override;
   Status Free(BlockNo bno) override;
+  Result<std::vector<BlockReadResult>> ReadMulti(std::span<const BlockNo> bnos) override;
+  Status WriteBatch(std::span<const BlockWrite> writes) override;
+  Status FreeMulti(std::span<const BlockNo> bnos) override;
+  Result<std::vector<BlockNo>> AllocMulti(uint32_t n) override;
   Status Lock(BlockNo bno, Port owner) override;
   Status Unlock(BlockNo bno, Port owner) override;
   Result<std::vector<BlockNo>> ListBlocks() override;
@@ -70,11 +113,22 @@ class BlockClient : public BlockStore {
 
   Port server_port() const { return server_; }
 
+  // Test-only fault-injection hook: invoked between successive chunk RPCs of one vectored
+  // call (after chunk `completed_chunks` was acked, before the next chunk is sent). Used
+  // to crash the server mid-batch and assert per-chunk atomicity.
+  void set_between_chunks_hook_for_test(std::function<void(size_t completed_chunks)> hook) {
+    between_chunks_hook_ = std::move(hook);
+  }
+
  private:
+  // Largest number of blocks one ReadMulti chunk may request, bounded by the reply size.
+  size_t ReadChunkBlocks() const;
+
   Network* network_;
   Port server_;
   Capability account_;
   uint32_t payload_capacity_;
+  std::function<void(size_t)> between_chunks_hook_;
 };
 
 // Fail-over wrapper over the two members of a stable pair. Requests go to the preferred
@@ -89,6 +143,10 @@ class StableStore : public BlockStore {
   Status Write(BlockNo bno, std::span<const uint8_t> payload) override;
   Result<std::vector<uint8_t>> Read(BlockNo bno) override;
   Status Free(BlockNo bno) override;
+  Result<std::vector<BlockReadResult>> ReadMulti(std::span<const BlockNo> bnos) override;
+  Status WriteBatch(std::span<const BlockWrite> writes) override;
+  Status FreeMulti(std::span<const BlockNo> bnos) override;
+  Result<std::vector<BlockNo>> AllocMulti(uint32_t n) override;
   Status Lock(BlockNo bno, Port owner) override;
   Status Unlock(BlockNo bno, Port owner) override;
   Result<std::vector<BlockNo>> ListBlocks() override;
@@ -106,15 +164,22 @@ class StableStore : public BlockStore {
   Rng rng_;
 };
 
-// Direct in-process store (no RPC, no server). Thread-safe.
+// Direct in-process store (no RPC, no server). Thread-safe; internal state (block map and
+// lock table alike) is striped into `num_shards` mutex shards keyed by block number, so
+// concurrent operations on different blocks proceed in parallel.
 class InMemoryBlockStore : public BlockStore {
  public:
-  explicit InMemoryBlockStore(uint32_t payload_capacity = 4068, uint32_t num_blocks = 1 << 20);
+  explicit InMemoryBlockStore(uint32_t payload_capacity = 4068, uint32_t num_blocks = 1 << 20,
+                              uint32_t num_shards = 16);
 
   Result<BlockNo> AllocWrite(std::span<const uint8_t> payload) override;
   Status Write(BlockNo bno, std::span<const uint8_t> payload) override;
   Result<std::vector<uint8_t>> Read(BlockNo bno) override;
   Status Free(BlockNo bno) override;
+  Result<std::vector<BlockReadResult>> ReadMulti(std::span<const BlockNo> bnos) override;
+  Status WriteBatch(std::span<const BlockWrite> writes) override;
+  Status FreeMulti(std::span<const BlockNo> bnos) override;
+  Result<std::vector<BlockNo>> AllocMulti(uint32_t n) override;
   Status Lock(BlockNo bno, Port owner) override;
   Status Unlock(BlockNo bno, Port owner) override;
   Result<std::vector<BlockNo>> ListBlocks() override;
@@ -124,6 +189,7 @@ class InMemoryBlockStore : public BlockStore {
   size_t allocated_blocks() const;
   uint64_t total_writes() const { return writes_->value(); }
   uint64_t total_reads() const { return reads_->value(); }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
 
   // Simulated per-operation I/O latency, slept OUTSIDE the internal mutex so that
   // concurrent operations overlap — this is how benchmarks model the disk-bound servers
@@ -133,18 +199,30 @@ class InMemoryBlockStore : public BlockStore {
   SimulatedLatency& latency() { return latency_; }
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<BlockNo, std::vector<uint8_t>> blocks;
+    std::unordered_map<BlockNo, Port> locks;
+  };
+  Shard& ShardFor(BlockNo bno) { return shards_[bno & shard_mask_]; }
+  const Shard& ShardFor(BlockNo bno) const { return shards_[bno & shard_mask_]; }
+  // Claim one fresh block number and install `payload` under its shard lock.
+  Result<BlockNo> AllocOne(std::span<const uint8_t> payload);
+
   const uint32_t payload_capacity_;
   const uint32_t num_blocks_;
   SimulatedLatency latency_;
-  mutable std::mutex mu_;
-  std::unordered_map<BlockNo, std::vector<uint8_t>> blocks_;
-  std::unordered_map<BlockNo, Port> locks_;
-  BlockNo next_ = 0;
+  std::vector<Shard> shards_;
+  uint32_t shard_mask_ = 0;
+  std::atomic<BlockNo> next_{0};
+  std::atomic<size_t> allocated_{0};
   obs::MetricRegistry metrics_{"blockstore"};
   obs::Counter* reads_ = metrics_.counter("store.read");
   obs::Counter* writes_ = metrics_.counter("store.write");
   obs::Counter* frees_ = metrics_.counter("store.free");
   obs::Counter* lock_contended_ = metrics_.counter("store.lock_contended");
+  obs::Counter* batch_reads_ = metrics_.counter("store.batch_read");
+  obs::Counter* batch_writes_ = metrics_.counter("store.batch_write");
 };
 
 }  // namespace afs

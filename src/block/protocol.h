@@ -41,6 +41,34 @@ enum class BlockOp : uint32_t {
   // Stat: () -> (u32 free_blocks, u32 total_blocks, u64 reads, u64 writes)
   kStat = 10,
 
+  // --- Vectored (batched) block I/O -----------------------------------------
+  // The paper sizes pages against "the maximum length of a message in a transaction: 32K
+  // bytes"; these opcodes pack as many blocks as fit under kMaxMessageBytes into one
+  // transaction. The client stub chunks larger batches automatically (BlockClient); a
+  // batch therefore never produces an oversized message. Each chunk is one server
+  // transaction: it is applied (and replicated companion-first) as a unit.
+  //
+  // ReadMulti: (capability account, u32 n, n * u32 bno) ->
+  //   (u32 n, n * (u32 error_code, bytes payload))
+  //   Per-block status so one missing block does not fail the batch (recovery scans read
+  //   everything the account owns, tolerating holes). The client stub bounds n by the
+  //   REPLY size: n * (8 + payload_capacity) must stay under kMaxMessageBytes.
+  kReadMulti = 11,
+  // WriteMulti: (capability account, u32 n, n * (u32 bno, bytes payload)) -> ()
+  //   Atomic overwrite of existing blocks. The whole chunk is validated first, shipped to
+  //   the companion in one kCompanionWriteMulti transaction per sub-chunk (companion-first
+  //   order preserved per block), then written locally. A collision anywhere in the chunk
+  //   rejects the chunk before any damage is done.
+  kWriteMulti = 12,
+  // FreeMulti: (capability account, u32 n, n * u32 bno) -> ()
+  //   Batched tombstone writes (account 0), mirrored to the companion per chunk.
+  kFreeMulti = 13,
+  // AllocMulti: (capability account, u32 n) -> (u32 n, n * u32 bno)
+  //   Reserve-and-stamp n blocks in one round trip (one companion transaction for the
+  //   whole stamp batch). Callers follow up with WriteMulti to fill them — two transactions
+  //   where the single-block path needs n.
+  kAllocMulti = 14,
+
   // Companion traffic (only accepted from the configured companion):
   // CompanionWrite: (u32 bno, u64 account_object, bytes payload, u8 is_alloc) -> ()
   //   "B then writes the block to disk at the address indicated by A". Collision detection
@@ -57,6 +85,13 @@ enum class BlockOp : uint32_t {
   // CompanionRead: (u32 bno) -> (u64 account_object, u8 in_use, bytes payload)
   //   Raw read used during compare-notes recovery and corrupt-block repair.
   kCompanionRead = 23,
+  // CompanionWriteMulti: (u32 n, n * (u32 bno, u64 account_object, u64 seq, bytes payload,
+  //   u8 is_alloc)) -> ()
+  //   One companion transaction per batch chunk instead of one per block. Collision
+  //   detection covers the WHOLE chunk before any block is written: if any entry collides
+  //   with an in-flight primary operation (or an allocate collision), the entire chunk is
+  //   rejected with kConflict and the companion disk is untouched.
+  kCompanionWriteMulti = 24,
 };
 
 // Default geometry: 4 KiB physical blocks. The page layer chains blocks for pages larger

@@ -19,6 +19,38 @@ Result<size_t> CachedFileClient::Revalidate(const Capability& file) {
   return check.invalid.size();
 }
 
+void CachedFileClient::Write(const Capability& version, const PagePath& path,
+                             std::vector<uint8_t> data) {
+  std::vector<FileClient::PageWrite>& writes = dirty_[version.object];
+  for (FileClient::PageWrite& w : writes) {
+    if (w.path == path) {
+      w.data = std::move(data);
+      return;
+    }
+  }
+  writes.push_back(FileClient::PageWrite{path, std::move(data)});
+}
+
+Status CachedFileClient::FlushWrites(const Capability& version) {
+  auto it = dirty_.find(version.object);
+  if (it == dirty_.end() || it->second.empty()) {
+    return OkStatus();
+  }
+  std::vector<FileClient::PageWrite> writes = std::move(it->second);
+  dirty_.erase(it);
+  return client_.WritePages(version, writes);
+}
+
+Result<BlockNo> CachedFileClient::Commit(const Capability& version) {
+  RETURN_IF_ERROR(FlushWrites(version));
+  return client_.Commit(version);
+}
+
+size_t CachedFileClient::pending_writes(const Capability& version) const {
+  auto it = dirty_.find(version.object);
+  return it == dirty_.end() ? 0 : it->second.size();
+}
+
 Result<std::vector<uint8_t>> CachedFileClient::Read(const Capability& file,
                                                     const PagePath& path) {
   const uint64_t file_id = file.object;

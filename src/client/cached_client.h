@@ -10,6 +10,8 @@
 #define SRC_CLIENT_CACHED_CLIENT_H_
 
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "src/client/file_client.h"
 #include "src/core/cache.h"
@@ -29,6 +31,21 @@ class CachedFileClient {
   // Returns the number of pages discarded.
   Result<size_t> Revalidate(const Capability& file);
 
+  // Buffer a page write against an open version. Nothing is sent until FlushWrites (or
+  // Commit); repeated writes to the same path coalesce, last one wins — exactly the bytes
+  // WritePage-ing them in order would leave behind.
+  void Write(const Capability& version, const PagePath& path, std::vector<uint8_t> data);
+
+  // Ship every buffered write of `version` in one vectored WritePages call.
+  Status FlushWrites(const Capability& version);
+
+  // Flush, then commit the version. The buffered writes of a version that fails to commit
+  // are already gone — the version itself is removed by the server on conflict.
+  Result<BlockNo> Commit(const Capability& version);
+
+  // Buffered-but-unflushed writes for `version` (test/introspection).
+  size_t pending_writes(const Capability& version) const;
+
   FileClient& client() { return client_; }
   PageCache& cache() { return cache_; }
 
@@ -38,6 +55,8 @@ class CachedFileClient {
   FileClient client_;
   PageCache cache_;
   uint64_t validations_ = 0;
+  // Dirty pages per open version (keyed by the version's head block), in first-write order.
+  std::unordered_map<uint64_t, std::vector<FileClient::PageWrite>> dirty_;
 };
 
 }  // namespace afs

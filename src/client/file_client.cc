@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "src/base/wire.h"
+#include "src/block/block_store.h"
 #include "src/core/protocol.h"
 #include "src/rpc/client.h"
 
@@ -114,6 +115,48 @@ Status FileClient::WritePage(const Capability& version, const PagePath& path,
   return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kWritePage),
                       std::move(req))
       .status();
+}
+
+Status FileClient::WritePages(const Capability& version, std::span<const PageWrite> writes) {
+  if (!BatchingEnabled()) {
+    for (const PageWrite& w : writes) {
+      RETURN_IF_ERROR(WritePage(version, w.path, w.data));
+    }
+    return OkStatus();
+  }
+  // Greedy chunking: pack entries until the next would push the message over the limit.
+  // 96 bytes of slack covers the capability, the count and the transaction framing.
+  const size_t budget = kMaxMessageBytes - 96;
+  size_t i = 0;
+  while (i < writes.size()) {
+    WireEncoder entries;
+    uint32_t n = 0;
+    while (i < writes.size()) {
+      WireEncoder one;
+      writes[i].path.Encode(&one);
+      one.PutBytes(writes[i].data);
+      if (one.size() > budget) {
+        return InvalidArgumentError("single page write exceeds the 32K transaction message limit");
+      }
+      if (n > 0 && entries.size() + one.size() > budget) {
+        break;
+      }
+      std::vector<uint8_t> raw = std::move(one).Take();
+      entries.PutRaw(raw);
+      ++n;
+      ++i;
+    }
+    WireEncoder req;
+    req.PutCapability(version);
+    req.PutU32(n);
+    std::vector<uint8_t> raw = std::move(entries).Take();
+    req.PutRaw(raw);
+    RETURN_IF_ERROR(CallAndCheck(network_, version.port,
+                                 static_cast<uint32_t>(FileOp::kWritePageMulti),
+                                 std::move(req))
+                        .status());
+  }
+  return OkStatus();
 }
 
 Status FileClient::WriteString(const Capability& version, const PagePath& path,

@@ -43,6 +43,16 @@ class FileClient {
                               bool want_refs = false);
   Status WritePage(const Capability& version, const PagePath& path,
                    std::span<const uint8_t> data);
+  // One element of a vectored page write.
+  struct PageWrite {
+    PagePath path;
+    std::vector<uint8_t> data;
+  };
+  // Vectored WritePage: ships the whole batch in kWritePageMulti transactions, chunked so
+  // no message exceeds the 32K limit (one RPC instead of one per page). Entries apply in
+  // order with plain WritePage semantics; a single page too large for any message fails
+  // with kInvalidArgument before anything is sent.
+  Status WritePages(const Capability& version, std::span<const PageWrite> writes);
   Status WriteString(const Capability& version, const PagePath& path, std::string_view text);
   Result<std::string> ReadString(const Capability& version, const PagePath& path);
   Status InsertRef(const Capability& version, const PagePath& parent, uint32_t index);

@@ -82,17 +82,24 @@ Status FileServer::AttachStore() {
   // system after a severe crash."
   ASSIGN_OR_RETURN(std::vector<BlockNo> owned, blocks_->ListBlocks());
   std::sort(owned.begin(), owned.end());
-  for (BlockNo bno : owned) {
-    auto page = pages_.ReadPage(bno);
-    if (!page.ok() || page->kind != PageKind::kPlain || page->base_ref != kNilRef ||
-        !page->refs.empty() || page->data.size() < 8) {
+  // Every owned block is tried as a candidate page head; most are chain tails or version
+  // pages and fail the filter. The vectored read scans the whole account in a handful of
+  // RPCs, tolerating per-block failures (tails often do not decode as pages).
+  ASSIGN_OR_RETURN(std::vector<PageReadResult> scan, pages_.ReadPagesDetailed(owned));
+  for (size_t i = 0; i < owned.size(); ++i) {
+    if (!scan[i].status.ok()) {
       continue;
     }
-    WireDecoder dec(page->data);
+    const Page& page = scan[i].page;
+    if (page.kind != PageKind::kPlain || page.base_ref != kNilRef || !page.refs.empty() ||
+        page.data.size() < 8) {
+      continue;
+    }
+    WireDecoder dec(page.data);
     auto magic = dec.GetU64();
     if (magic.ok() && *magic == kFileTableMagic) {
       std::lock_guard<std::mutex> lock(table_mu_);
-      table_head_ = bno;
+      table_head_ = owned[i];
       return LoadFileTable();
     }
   }
@@ -215,6 +222,45 @@ Result<Page> FileServer::LoadPage(BlockNo head) {
     CacheCommittedPage(head, page);
   }
   return page;
+}
+
+Result<std::vector<Page>> FileServer::LoadPagesCommitted(std::span<const BlockNo> heads) {
+  std::vector<Page> out(heads.size());
+  std::vector<size_t> miss_index;
+  std::vector<BlockNo> miss_heads;
+  if (options_.cache_committed_pages) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (size_t i = 0; i < heads.size(); ++i) {
+      auto it = committed_cache_.find(heads[i]);
+      if (it != committed_cache_.end()) {
+        cache_hits_->Inc();
+        obs::Trace(obs::TraceEvent::kCacheHit, heads[i]);
+        out[i] = it->second;
+      } else {
+        miss_index.push_back(i);
+        miss_heads.push_back(heads[i]);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < heads.size(); ++i) {
+      miss_index.push_back(i);
+      miss_heads.push_back(heads[i]);
+    }
+  }
+  if (miss_heads.empty()) {
+    return out;
+  }
+  if (options_.cache_committed_pages) {
+    cache_misses_->Inc(miss_heads.size());
+  }
+  ASSIGN_OR_RETURN(std::vector<Page> fetched, pages_.ReadPages(miss_heads));
+  for (size_t j = 0; j < miss_index.size(); ++j) {
+    if (options_.cache_committed_pages && fetched[j].kind == PageKind::kPlain) {
+      CacheCommittedPage(miss_heads[j], fetched[j]);
+    }
+    out[miss_index[j]] = std::move(fetched[j]);
+  }
+  return out;
 }
 
 void FileServer::CacheCommittedPage(BlockNo head, const Page& page) {

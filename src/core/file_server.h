@@ -191,6 +191,9 @@ class FileServer : public Service {
   Result<BlockNo> FindCurrentHead(uint64_t file_id);
   Result<Page> LoadPage(BlockNo head);             // with committed-page cache
   Result<Page> LoadPageUncached(BlockNo head);
+  // Vectored LoadPage: serves what it can from the committed-page cache and fetches the
+  // misses with one batched PageStore read. result[i] corresponds to heads[i].
+  Result<std::vector<Page>> LoadPagesCommitted(std::span<const BlockNo> heads);
   void CacheCommittedPage(BlockNo head, const Page& page);
   void UncachePage(BlockNo head);
 

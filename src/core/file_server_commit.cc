@@ -88,7 +88,9 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
     // success, merge the two updates and try to succeed V.c instead (§5.2, Figure 6).
     serialise_tests_ctr_->Inc();
     obs::Trace(obs::TraceEvent::kCommitSerialise, head, successor);
-    Serialiser serialiser(&pages_, [this](BlockNo bno) { return LoadPage(bno); });
+    Serialiser serialiser(
+        &pages_, [this](BlockNo bno) { return LoadPage(bno); },
+        [this](std::span<const BlockNo> bnos) { return LoadPagesCommitted(bnos); });
     auto mergeable = serialiser.TestAndMerge(head, &root, successor);
     if (!mergeable.ok() || !*mergeable) {
       // "When serialise returns FALSE, the concurrent updates are not serialisable, and
@@ -378,12 +380,7 @@ Result<FileServer::CacheCheck> FileServer::ValidateCache(
   // intersection of the set of pages of the version in the cache and the union of the sets
   // of pages in the versions since then." Each intervening version's root is read once;
   // per-path work then descends only parts that version actually wrote.
-  std::vector<Page> roots;
-  roots.reserve(newer.size());
-  for (BlockNo version : newer) {
-    ASSIGN_OR_RETURN(Page root, LoadPageUncached(version));
-    roots.push_back(std::move(root));
-  }
+  ASSIGN_OR_RETURN(std::vector<Page> roots, pages_.ReadPages(newer));
   for (const PagePath& path : cached_paths) {
     for (const Page& root : roots) {
       ASSIGN_OR_RETURN(bool wrote, VersionWrotePathFromRoot(root, path));

@@ -52,6 +52,20 @@ Result<Message> FileServer::Dispatch(const Message& m) {
       RETURN_IF_ERROR(WritePage(version, path, data));
       return OkReply(m.opcode);
     }
+    case FileOp::kWritePageMulti: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(uint32_t n, in.GetU32());
+      // Every entry occupies at least a 2-byte path count plus a 4-byte data length.
+      if (n > in.remaining() / 6) {
+        return CorruptError("write count exceeds message size");
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(PagePath path, PagePath::Decode(&in));
+        ASSIGN_OR_RETURN(std::vector<uint8_t> data, in.GetBytes());
+        RETURN_IF_ERROR(WritePage(version, path, data));
+      }
+      return OkReply(m.opcode);
+    }
     case FileOp::kInsertRef: {
       ASSIGN_OR_RETURN(Capability version, in.GetCapability());
       ASSIGN_OR_RETURN(PagePath parent, PagePath::Decode(&in));

@@ -1,7 +1,8 @@
 #include "src/core/gc.h"
 
 #include <algorithm>
-#include <deque>
+#include <unordered_set>
+#include <vector>
 
 namespace afs {
 
@@ -16,24 +17,32 @@ GarbageCollector::~GarbageCollector() { Stop(); }
 
 Status GarbageCollector::MarkVersionTree(BlockNo head, std::unordered_set<BlockNo>* marked) {
   PageStore* pages = servers_[0]->page_store();
-  std::deque<BlockNo> frontier;
-  frontier.push_back(head);
-  while (!frontier.empty()) {
-    BlockNo page_head = frontier.front();
-    frontier.pop_front();
-    if (marked->count(page_head) > 0) {
-      continue;
+  // Level-synchronous BFS: each wave reads every frontier page in one vectored call, and
+  // the chains output marks their chain blocks from the same reads that decode the pages —
+  // a tree of depth d costs O(d) batched RPCs instead of one per page.
+  std::vector<BlockNo> wave;
+  std::unordered_set<BlockNo> queued;
+  auto enqueue = [&](BlockNo h) {
+    if (h != kNilRef && marked->count(h) == 0 && queued.insert(h).second) {
+      wave.push_back(h);
     }
-    ASSIGN_OR_RETURN(std::vector<BlockNo> chain, pages->ChainBlocks(page_head));
-    for (BlockNo bno : chain) {
-      marked->insert(bno);
-    }
-    ASSIGN_OR_RETURN(Page page, pages->ReadPage(page_head));
-    for (const PageRef& ref : page.refs) {
-      // Follow every reference, copied or shared: a retained version may share pages with
-      // a pruned predecessor, and those shared pages must stay alive.
-      if (ref.block != kNilRef && marked->count(ref.block) == 0) {
-        frontier.push_back(ref.block);
+  };
+  enqueue(head);
+  while (!wave.empty()) {
+    std::vector<BlockNo> batch = std::move(wave);
+    wave.clear();
+    std::vector<std::vector<BlockNo>> chains;
+    ASSIGN_OR_RETURN(std::vector<PageReadResult> results,
+                     pages->ReadPagesDetailed(batch, &chains));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      RETURN_IF_ERROR(results[i].status);
+      for (BlockNo bno : chains[i]) {
+        marked->insert(bno);
+      }
+      for (const PageRef& ref : results[i].page.refs) {
+        // Follow every reference, copied or shared: a retained version may share pages
+        // with a pruned predecessor, and those shared pages must stay alive.
+        enqueue(ref.block);
       }
     }
   }
@@ -162,9 +171,18 @@ Status GarbageCollector::RunCycle() {
     return table_blocks.status();
   }
 
-  uint64_t swept = 0;
+  std::vector<BlockNo> to_free;
   for (BlockNo bno : candidates) {
     if (marked.count(bno) == 0 && born_during_mark.count(bno) == 0) {
+      to_free.push_back(bno);
+    }
+  }
+  uint64_t swept = 0;
+  if (!to_free.empty() && BatchingEnabled() && pages->blocks()->FreeMulti(to_free).ok()) {
+    swept = to_free.size();
+  } else {
+    // Baseline / fallback: free one at a time so a single bad block cannot stall the sweep.
+    for (BlockNo bno : to_free) {
       if (pages->blocks()->Free(bno).ok()) {
         ++swept;
       }

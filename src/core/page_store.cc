@@ -1,5 +1,7 @@
 #include "src/core/page_store.h"
 
+#include <algorithm>
+
 #include "src/base/wire.h"
 
 namespace afs {
@@ -30,35 +32,72 @@ Result<ChainBlock> DecodeChainBlock(std::span<const uint8_t> payload) {
   return out;
 }
 
+std::span<const uint8_t> ChunkAt(std::span<const uint8_t> payload, uint32_t chunk_cap,
+                                 size_t i) {
+  size_t begin = i * chunk_cap;
+  size_t len = std::min<size_t>(chunk_cap, payload.size() - begin);
+  return payload.subspan(begin, len);
+}
+
 }  // namespace
 
 PageStore::PageStore(BlockStore* blocks) : blocks_(blocks) {}
 
 Result<BlockNo> PageStore::AllocBlock(std::span<const uint8_t> payload) {
   ASSIGN_OR_RETURN(BlockNo bno, blocks_->AllocWrite(payload));
+  RecordEpochAllocations({&bno, 1});
+  return bno;
+}
+
+void PageStore::RecordEpochAllocations(std::span<const BlockNo> bnos) {
   std::lock_guard<std::mutex> lock(epoch_mu_);
   if (epoch_open_) {
-    epoch_allocations_.insert(bno);
+    epoch_allocations_.insert(bnos.begin(), bnos.end());
   }
-  return bno;
+}
+
+Result<BlockNo> PageStore::WriteTailChain(std::span<const uint8_t> payload,
+                                          uint32_t chunk_cap, size_t num_chunks) {
+  if (num_chunks <= 1) {
+    return kNilRef;
+  }
+  if (!BatchingEnabled()) {
+    // Baseline: one AllocWrite per tail block, back to front.
+    BlockNo next = kNilRef;
+    for (size_t i = num_chunks; i-- > 1;) {
+      ASSIGN_OR_RETURN(next, AllocBlock(EncodeChainBlock(next, ChunkAt(payload, chunk_cap, i))));
+    }
+    return next;
+  }
+  // Batched: reserve every tail block in one round trip, then fill them in one vectored
+  // write. Safe regardless of write order inside the batch — the chain is unreachable
+  // until the caller links the head, which always happens last and alone.
+  ASSIGN_OR_RETURN(std::vector<BlockNo> bnos,
+                   blocks_->AllocMulti(static_cast<uint32_t>(num_chunks - 1)));
+  RecordEpochAllocations(bnos);
+  std::vector<BlockWrite> writes(bnos.size());
+  for (size_t t = 1; t < num_chunks; ++t) {
+    BlockNo next = (t + 1 < num_chunks) ? bnos[t] : kNilRef;
+    writes[t - 1] = {bnos[t - 1], EncodeChainBlock(next, ChunkAt(payload, chunk_cap, t))};
+  }
+  Status written = blocks_->WriteBatch(writes);
+  if (!written.ok()) {
+    (void)blocks_->FreeMulti(bnos);  // best-effort reclamation of the unreferenced chain
+    return written;
+  }
+  return bnos[0];
 }
 
 Result<BlockNo> PageStore::WritePage(const Page& page) {
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, page.Serialize());
   const uint32_t chunk_cap = blocks_->payload_capacity() - kChainHeaderBytes;
-
-  // Split into chunks; write back-to-front so every block's successor exists before the
-  // block pointing at it does.
   size_t total = payload.size();
   size_t num_chunks = total == 0 ? 1 : (total + chunk_cap - 1) / chunk_cap;
-  BlockNo next = kNilRef;
-  for (size_t i = num_chunks; i-- > 0;) {
-    size_t begin = i * chunk_cap;
-    size_t len = std::min<size_t>(chunk_cap, total - begin);
-    auto chunk = std::span<const uint8_t>(payload.data() + begin, len);
-    ASSIGN_OR_RETURN(next, AllocBlock(EncodeChainBlock(next, chunk)));
-  }
-  return next;  // head
+
+  // Tail chain first (one AllocMulti + one WriteBatch when batching is on), then the head
+  // block — so every block's successor exists before the block pointing at it does.
+  ASSIGN_OR_RETURN(BlockNo next, WriteTailChain(payload, chunk_cap, num_chunks));
+  return AllocBlock(EncodeChainBlock(next, ChunkAt(payload, chunk_cap, 0)));
 }
 
 Status PageStore::OverwritePage(BlockNo head, const Page& page) {
@@ -74,23 +113,78 @@ Status PageStore::OverwritePage(BlockNo head, const Page& page) {
   size_t total = payload.size();
   size_t num_chunks = total == 0 ? 1 : (total + chunk_cap - 1) / chunk_cap;
 
-  // New tail blocks first (back to front), head overwritten last: the head write is the
-  // atomic commit point of the overwrite.
-  BlockNo next = kNilRef;
-  for (size_t i = num_chunks; i-- > 1;) {
-    size_t begin = i * chunk_cap;
-    size_t len = std::min<size_t>(chunk_cap, total - begin);
-    auto chunk = std::span<const uint8_t>(payload.data() + begin, len);
-    ASSIGN_OR_RETURN(next, AllocBlock(EncodeChainBlock(next, chunk)));
-  }
-  size_t head_len = std::min<size_t>(chunk_cap, total);
-  RETURN_IF_ERROR(blocks_->Write(
-      head, EncodeChainBlock(next, std::span<const uint8_t>(payload.data(), head_len))));
+  // New tail blocks first, head overwritten last: the head write is the atomic commit
+  // point of the overwrite.
+  ASSIGN_OR_RETURN(BlockNo next, WriteTailChain(payload, chunk_cap, num_chunks));
+  RETURN_IF_ERROR(blocks_->Write(head, EncodeChainBlock(next, ChunkAt(payload, chunk_cap, 0))));
 
-  for (BlockNo bno : old_tail) {
-    RETURN_IF_ERROR(blocks_->Free(bno));
+  return blocks_->FreeMulti(old_tail);
+}
+
+Status PageStore::OverwritePages(std::vector<PendingOverwrite> pending) {
+  if (pending.empty()) {
+    return OkStatus();
   }
-  return OkStatus();
+  if (!BatchingEnabled()) {
+    for (PendingOverwrite& p : pending) {
+      RETURN_IF_ERROR(OverwritePage(p.head, p.page));
+    }
+    return OkStatus();
+  }
+
+  const uint32_t chunk_cap = blocks_->payload_capacity() - kChainHeaderBytes;
+  std::vector<std::vector<uint8_t>> payloads(pending.size());
+  std::vector<size_t> num_chunks(pending.size());
+  std::vector<BlockNo> old_tails;
+  size_t tails_needed = 0;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    ASSIGN_OR_RETURN(payloads[i], pending[i].page.Serialize());
+    size_t total = payloads[i].size();
+    num_chunks[i] = total == 0 ? 1 : (total + chunk_cap - 1) / chunk_cap;
+    tails_needed += num_chunks[i] - 1;
+    if (pending[i].old_tail_known) {
+      old_tails.insert(old_tails.end(), pending[i].old_tail.begin(), pending[i].old_tail.end());
+    } else {
+      ASSIGN_OR_RETURN(std::vector<BlockNo> chain, ChainBlocks(pending[i].head));
+      old_tails.insert(old_tails.end(), chain.begin() + 1, chain.end());
+    }
+  }
+
+  // Reserve every new tail block across ALL pages in one round trip, fill them in one
+  // vectored write, then switch every head. Unreferenced until their head is linked, the
+  // tails may land in any order; heads only switch after the whole tail batch is durable.
+  std::vector<BlockNo> bnos;
+  if (tails_needed > 0) {
+    ASSIGN_OR_RETURN(bnos, blocks_->AllocMulti(static_cast<uint32_t>(tails_needed)));
+    RecordEpochAllocations(bnos);
+  }
+  std::vector<BlockWrite> tail_writes;
+  tail_writes.reserve(tails_needed);
+  std::vector<BlockWrite> head_writes;
+  head_writes.reserve(pending.size());
+  size_t used = 0;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    std::span<const uint8_t> payload = payloads[i];
+    const size_t n = num_chunks[i];
+    const BlockNo* mine = bnos.data() + used;  // this page's n-1 tail blocks
+    used += n - 1;
+    for (size_t t = 1; t < n; ++t) {
+      BlockNo next = (t + 1 < n) ? mine[t] : kNilRef;
+      tail_writes.push_back({mine[t - 1], EncodeChainBlock(next, ChunkAt(payload, chunk_cap, t))});
+    }
+    BlockNo head_next = n > 1 ? mine[0] : kNilRef;
+    head_writes.push_back(
+        {pending[i].head, EncodeChainBlock(head_next, ChunkAt(payload, chunk_cap, 0))});
+  }
+  if (!tail_writes.empty()) {
+    Status written = blocks_->WriteBatch(tail_writes);
+    if (!written.ok()) {
+      (void)blocks_->FreeMulti(bnos);  // best-effort reclamation of the unreferenced chains
+      return written;
+    }
+  }
+  RETURN_IF_ERROR(blocks_->WriteBatch(head_writes));
+  return blocks_->FreeMulti(old_tails);
 }
 
 Result<Page> PageStore::ReadPage(BlockNo head) {
@@ -107,6 +201,94 @@ Result<Page> PageStore::ReadPage(BlockNo head) {
     bno = cb.next;
   }
   return Page::Deserialize(payload);
+}
+
+Result<std::vector<PageReadResult>> PageStore::ReadPagesDetailed(
+    std::span<const BlockNo> heads, std::vector<std::vector<BlockNo>>* chains) {
+  std::vector<PageReadResult> results(heads.size());
+  if (chains != nullptr) {
+    chains->assign(heads.size(), {});
+  }
+  if (heads.empty()) {
+    return results;
+  }
+
+  // Per-head walk state: the next block to fetch, accumulated payload, cycle guard.
+  std::vector<BlockNo> cursor(heads.begin(), heads.end());
+  std::vector<std::vector<uint8_t>> payloads(heads.size());
+  std::vector<size_t> guards(heads.size(), 0);
+  std::vector<size_t> active;
+  active.reserve(heads.size());
+  for (size_t i = 0; i < heads.size(); ++i) {
+    active.push_back(i);
+  }
+
+  // Level-synchronous walk: each round fetches the current frontier block of EVERY live
+  // chain in one ReadMulti, so k pages of depth d cost d vectored RPCs instead of k*d
+  // single-block ones.
+  while (!active.empty()) {
+    std::vector<BlockNo> frontier;
+    frontier.reserve(active.size());
+    for (size_t i : active) {
+      frontier.push_back(cursor[i]);
+    }
+    ASSIGN_OR_RETURN(std::vector<BlockReadResult> reads, blocks_->ReadMulti(frontier));
+    if (reads.size() != frontier.size()) {
+      return InternalError("ReadMulti returned wrong entry count");
+    }
+
+    std::vector<size_t> still_active;
+    for (size_t j = 0; j < active.size(); ++j) {
+      size_t i = active[j];
+      if (!reads[j].status.ok()) {
+        results[i].status = reads[j].status;
+        continue;
+      }
+      Result<ChainBlock> cb = DecodeChainBlock(reads[j].data);
+      if (!cb.ok()) {
+        results[i].status = cb.status();
+        continue;
+      }
+      if (chains != nullptr) {
+        (*chains)[i].push_back(cursor[i]);
+      }
+      payloads[i].insert(payloads[i].end(), cb->chunk.begin(), cb->chunk.end());
+      if (cb->next == kNilRef) {
+        continue;  // chain complete; deserialized below
+      }
+      if (++guards[i] > 4096) {
+        results[i].status = CorruptError("page chain too long (cycle?)");
+        continue;
+      }
+      cursor[i] = cb->next;
+      still_active.push_back(i);
+    }
+    active = std::move(still_active);
+  }
+
+  for (size_t i = 0; i < heads.size(); ++i) {
+    if (!results[i].status.ok()) {
+      continue;
+    }
+    Result<Page> page = Page::Deserialize(payloads[i]);
+    if (page.ok()) {
+      results[i].page = *std::move(page);
+    } else {
+      results[i].status = page.status();
+    }
+  }
+  return results;
+}
+
+Result<std::vector<Page>> PageStore::ReadPages(std::span<const BlockNo> heads) {
+  ASSIGN_OR_RETURN(std::vector<PageReadResult> detailed, ReadPagesDetailed(heads));
+  std::vector<Page> pages;
+  pages.reserve(detailed.size());
+  for (auto& r : detailed) {
+    RETURN_IF_ERROR(r.status);
+    pages.push_back(std::move(r.page));
+  }
+  return pages;
 }
 
 Result<std::vector<BlockNo>> PageStore::ChainBlocks(BlockNo head) {
@@ -127,10 +309,7 @@ Result<std::vector<BlockNo>> PageStore::ChainBlocks(BlockNo head) {
 
 Status PageStore::FreePage(BlockNo head) {
   ASSIGN_OR_RETURN(std::vector<BlockNo> chain, ChainBlocks(head));
-  for (BlockNo bno : chain) {
-    RETURN_IF_ERROR(blocks_->Free(bno));
-  }
-  return OkStatus();
+  return blocks_->FreeMulti(chain);
 }
 
 void PageStore::BeginAllocationEpoch() {

@@ -13,6 +13,12 @@
 // OverwritePage keeps the head block number (used only for version pages, the one page kind
 // that is written in place): new tail blocks are written first, then the head atomically
 // switches the page to its new contents, then the old tail blocks are freed.
+//
+// Vectored I/O: multi-block chains are built with one AllocMulti + one WriteBatch instead
+// of one AllocWrite per block (safe: a fresh chain is unreachable until its head is linked,
+// and an overwrite's head block is still written last, alone, as the atomic commit point).
+// ReadPages fetches many pages with one ReadMulti per chain *level* — the workhorse of
+// tree scans, recovery scans and the commit merge pass.
 
 #ifndef SRC_CORE_PAGE_STORE_H_
 #define SRC_CORE_PAGE_STORE_H_
@@ -29,6 +35,12 @@
 
 namespace afs {
 
+// One element of a vectored page read; status is per page so scans can tolerate holes.
+struct PageReadResult {
+  Status status;
+  Page page;  // valid iff status.ok()
+};
+
 class PageStore {
  public:
   explicit PageStore(BlockStore* blocks);
@@ -39,7 +51,35 @@ class PageStore {
   // Atomically replace the contents of the page whose head is `head`.
   Status OverwritePage(BlockNo head, const Page& page);
 
+  // One deferred overwrite for OverwritePages. When the caller already walked the page's
+  // chain (ReadPagesDetailed hands it out for free) it can pass the current tail blocks
+  // in `old_tail` and set `old_tail_known`, sparing the store a serial re-walk of the
+  // chain just to learn which blocks to free.
+  struct PendingOverwrite {
+    BlockNo head = kNilRef;
+    Page page;
+    std::vector<BlockNo> old_tail;
+    bool old_tail_known = false;
+  };
+
+  // Overwrite many pages with vectored I/O: one AllocMulti for every new tail block, one
+  // WriteBatch for all tails, then one WriteBatch for all heads, then one FreeMulti for
+  // all replaced tails. Per-page atomicity is unchanged — every page's new tail is
+  // durable before any head switches, and each head write is still a single block write.
+  // Falls back to per-page OverwritePage when batching is disabled.
+  Status OverwritePages(std::vector<PendingOverwrite> pending);
+
   Result<Page> ReadPage(BlockNo head);
+
+  // Read many pages, batching the underlying block reads level-by-level across all chains.
+  // result[i] corresponds to heads[i]; per-page failures do not fail the batch. If `chains`
+  // is non-null it receives each page's full chain (head first) — the GC mark phase marks
+  // chain blocks from the same reads it uses to decode the pages.
+  Result<std::vector<PageReadResult>> ReadPagesDetailed(
+      std::span<const BlockNo> heads, std::vector<std::vector<BlockNo>>* chains = nullptr);
+
+  // Strict wrapper: every page must read cleanly.
+  Result<std::vector<Page>> ReadPages(std::span<const BlockNo> heads);
 
   // Free the whole chain.
   Status FreePage(BlockNo head);
@@ -63,6 +103,13 @@ class PageStore {
 
  private:
   Result<BlockNo> AllocBlock(std::span<const uint8_t> payload);
+  void RecordEpochAllocations(std::span<const BlockNo> bnos);
+  // Allocate and fill a chain for `payload` whose head points at `next_after_head`...
+  // actually: builds the TAIL chain for chunks [1, n) and returns the head's `next`
+  // pointer (kNilRef for single-chunk pages). The head block itself is left to the caller
+  // (WritePage allocates it; OverwritePage overwrites it in place last).
+  Result<BlockNo> WriteTailChain(std::span<const uint8_t> payload, uint32_t chunk_cap,
+                                 size_t num_chunks);
 
   BlockStore* blocks_;
   std::mutex epoch_mu_;

@@ -76,6 +76,12 @@ enum class FileOp : uint32_t {
   //   data from `data_offset` on and the references from `ref_index` on; the original
   //   keeps the prefixes. The root cannot be split (it has no parent to hold the sibling).
   kSplitPage = 17,
+  // WritePageMulti: (capability version, u32 n, n * (path, bytes data)) -> ()
+  //   Vectored WritePage: one transaction carries many page writes of one version, applied
+  //   in order with WritePage semantics (copy-on-write on first touch). The client stub
+  //   chunks batches under the 32K transaction message limit; a batch fails at the first
+  //   failing page, with pages before it applied (same as issuing the writes singly).
+  kWritePageMulti = 18,
 };
 
 }  // namespace afs

@@ -21,16 +21,29 @@ bool FlagsConflict(uint8_t fb, uint8_t fc) {
   return false;
 }
 
-Serialiser::Serialiser(PageStore* pages, std::function<Result<Page>(BlockNo)> load_committed)
-    : pages_(pages), load_committed_(std::move(load_committed)) {}
+Serialiser::Serialiser(PageStore* pages, std::function<Result<Page>(BlockNo)> load_committed,
+                       MultiLoader load_committed_multi)
+    : pages_(pages),
+      load_committed_(std::move(load_committed)),
+      load_committed_multi_(std::move(load_committed_multi)) {}
 
 Result<bool> Serialiser::TestAndMerge(BlockNo b_head, Page* b_root, BlockNo c_head) {
   (void)b_head;
   pages_visited_ = 0;
+  pending_overwrites_.clear();
   ASSIGN_OR_RETURN(Page c_root, load_committed_(c_head));
   // The root page is always copied in both versions; its access flags are the manager-kept
   // root_flags.
-  return MergePages(b_root->root_flags, b_root, c_root.root_flags, c_root, /*is_root=*/true);
+  ASSIGN_OR_RETURN(bool ok, MergePages(b_root->root_flags, b_root, c_root.root_flags, c_root,
+                                       /*is_root=*/true));
+  if (!ok) {
+    pending_overwrites_.clear();  // conflict: nothing was persisted, nothing to undo
+    return false;
+  }
+  // One vectored flush for every merged child (the root is persisted by the caller).
+  RETURN_IF_ERROR(pages_->OverwritePages(std::move(pending_overwrites_)));
+  pending_overwrites_.clear();
+  return true;
 }
 
 Result<bool> Serialiser::MergePages(uint8_t fb, Page* b_page, uint8_t fc, const Page& c_page,
@@ -78,6 +91,7 @@ Result<bool> Serialiser::MergeRefTables(Page* b_page, const Page& c_page) {
     // Neither side has M, so both tables must still have the base version's shape.
     return CorruptError("reference tables differ without modification flags");
   }
+  std::vector<size_t> recurse;
   for (size_t i = 0; i < b_page->refs.size(); ++i) {
     const PageRef b_ref = b_page->refs[i];
     const PageRef c_ref = c_page.refs[i];
@@ -94,15 +108,63 @@ Result<bool> Serialiser::MergeRefTables(Page* b_page, const Page& c_page) {
       b_page->refs[i] = PageRef{c_ref.block, 0};
       continue;
     }
-    // Both sides copied the child: recurse, then persist V.b's merged child in place.
-    ASSIGN_OR_RETURN(Page b_child, pages_->ReadPage(b_ref.block));
-    ASSIGN_OR_RETURN(Page c_child, load_committed_(c_ref.block));
-    ASSIGN_OR_RETURN(bool ok, MergePages(b_ref.flags, &b_child, c_ref.flags, c_child,
-                                         /*is_root=*/false));
+    // Both sides copied the child: recurse below, after prefetching every such pair.
+    recurse.push_back(i);
+  }
+  if (recurse.empty()) {
+    return true;
+  }
+
+  // Prefetch all both-copied children of this ref table — V.b's privately, V.c's through
+  // the committed loader — one vectored read per side instead of one RPC per child.
+  // (A conflict found at child k means children k+1.. were read needlessly, but reads are
+  // side-effect free and the version is discarded on conflict anyway.)
+  std::vector<BlockNo> b_blocks, c_blocks;
+  b_blocks.reserve(recurse.size());
+  c_blocks.reserve(recurse.size());
+  for (size_t i : recurse) {
+    b_blocks.push_back(b_page->refs[i].block);
+    c_blocks.push_back(c_page.refs[i].block);
+  }
+  // Keep the b-side chain lists: the deferred overwrite flush frees each child's old tail
+  // without re-walking its chain.
+  std::vector<std::vector<BlockNo>> b_chains;
+  ASSIGN_OR_RETURN(std::vector<PageReadResult> b_detailed,
+                   pages_->ReadPagesDetailed(b_blocks, &b_chains));
+  std::vector<Page> b_children, c_children;
+  b_children.reserve(b_detailed.size());
+  for (PageReadResult& r : b_detailed) {
+    RETURN_IF_ERROR(r.status);
+    b_children.push_back(std::move(r.page));
+  }
+  if (load_committed_multi_ != nullptr && BatchingEnabled()) {
+    ASSIGN_OR_RETURN(c_children, load_committed_multi_(c_blocks));
+    if (c_children.size() != c_blocks.size()) {
+      return InternalError("committed multi-loader returned wrong page count");
+    }
+  } else {
+    c_children.reserve(c_blocks.size());
+    for (BlockNo bno : c_blocks) {
+      ASSIGN_OR_RETURN(Page c_child, load_committed_(bno));
+      c_children.push_back(std::move(c_child));
+    }
+  }
+
+  for (size_t j = 0; j < recurse.size(); ++j) {
+    const size_t i = recurse[j];
+    const PageRef b_ref = b_page->refs[i];
+    const PageRef c_ref = c_page.refs[i];
+    ASSIGN_OR_RETURN(bool ok, MergePages(b_ref.flags, &b_children[j], c_ref.flags,
+                                         c_children[j], /*is_root=*/false));
     if (!ok) {
       return false;
     }
-    RETURN_IF_ERROR(pages_->OverwritePage(b_ref.block, b_child));
+    PageStore::PendingOverwrite po;
+    po.head = b_ref.block;
+    po.page = std::move(b_children[j]);
+    po.old_tail.assign(b_chains[j].begin() + 1, b_chains[j].end());
+    po.old_tail_known = true;
+    pending_overwrites_.push_back(std::move(po));
     // The reference keeps V.b's own flags only: V.c's accesses are recorded in V.c's tree,
     // which every later committer tests against while walking the chain.
   }

@@ -35,6 +35,8 @@
 #define SRC_CORE_SERIALISE_H_
 
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "src/core/page.h"
 #include "src/core/page_store.h"
@@ -43,16 +45,26 @@ namespace afs {
 
 class Serialiser {
  public:
+  // Vectored form of `load_committed`: result[i] corresponds to blocks[i], all-or-nothing.
+  using MultiLoader = std::function<Result<std::vector<Page>>(std::span<const BlockNo>)>;
+
   // `load_committed` reads committed (immutable) pages, possibly through the server's
   // committed-page cache; V.b's private pages are always read through `pages` directly.
-  Serialiser(PageStore* pages, std::function<Result<Page>(BlockNo)> load_committed);
+  // `load_committed_multi`, when provided, lets the merge prefetch all of a ref table's
+  // both-copied committed children in one vectored read instead of one RPC per child.
+  Serialiser(PageStore* pages, std::function<Result<Page>(BlockNo)> load_committed,
+             MultiLoader load_committed_multi = nullptr);
 
   // Test V.b (root page *b_root, already loaded, at block b_head) against committed
   // successor V.c (at block c_head). On success (returns true) V.b's tree has been merged
   // in place — except the root page itself, which is left modified in *b_root for the
   // caller to persist together with the base-reference update. Returns false on a
-  // serialisability conflict (V.b's tree is then partially merged garbage; the caller
+  // serialisability conflict (V.b's private pages are untouched on disk; the caller
   // removes the version). Errors are I/O or corruption.
+  //
+  // Merged child pages are rewritten with ONE vectored flush at the end of a successful
+  // walk (PageStore::OverwritePages) rather than one OverwritePage per child — and using
+  // the chain lists the prefetch reads already produced, so no chain is walked twice.
   Result<bool> TestAndMerge(BlockNo b_head, Page* b_root, BlockNo c_head);
 
   // Pages visited on both sides during the last TestAndMerge — the paper's claim C3 is
@@ -66,7 +78,10 @@ class Serialiser {
 
   PageStore* pages_;
   std::function<Result<Page>(BlockNo)> load_committed_;
+  MultiLoader load_committed_multi_;
   uint64_t pages_visited_ = 0;
+  // Overwrites of merged V.b children, deferred to one vectored flush on success.
+  std::vector<PageStore::PendingOverwrite> pending_overwrites_;
 };
 
 // True iff the flag pair conflicts under the rule above.

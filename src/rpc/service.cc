@@ -66,6 +66,7 @@ void Service::StopWorkers(bool mark_crashed) {
       to_fail.push_back(state);
     }
     queue_.clear();
+    queue_depth_->Set(0);
     for (auto& state : in_flight_) {
       to_fail.push_back(state);
     }
@@ -81,7 +82,6 @@ void Service::StopWorkers(bool mark_crashed) {
     crash_failed_->Inc(to_fail.size());
     obs::Trace(obs::TraceEvent::kRpcCrashFail, to_fail.size());
   }
-  queue_depth_->Set(0);
   for (auto& state : to_fail) {
     std::lock_guard<std::mutex> lock(state->mu);
     if (!state->done) {
@@ -133,8 +133,10 @@ Result<Message> Service::Submit(Message request, std::chrono::milliseconds timeo
       return CrashedError(name_ + " is down");
     }
     queue_.emplace_back(std::move(request), state);
+    // Published under mu_ so the gauge can never under- or over-count relative to the
+    // queue it describes.
+    queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   }
-  queue_depth_->Add(1);
   queue_cv_.notify_one();
 
   std::unique_lock<std::mutex> lock(state->mu);
@@ -158,9 +160,9 @@ void Service::WorkerLoop() {
       request = std::move(queue_.front().first);
       state = std::move(queue_.front().second);
       queue_.pop_front();
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
       in_flight_.push_back(state);
     }
-    queue_depth_->Add(-1);
 
     const auto start = std::chrono::steady_clock::now();
     Result<Message> result =

@@ -50,7 +50,7 @@ class Service {
   void Crash();
 
   // Graceful stop (drains nothing; like Crash but without the pejorative semantics for
-  // callers — pending calls still fail with kCrashed).
+  // callers — pending calls fail with kUnavailable instead of kCrashed).
   void Shutdown();
 
   // Bring a crashed service back on its old port. Runs OnRestart() before serving.

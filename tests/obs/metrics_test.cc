@@ -10,6 +10,8 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/rpc/network.h"
+#include "src/rpc/service.h"
 
 namespace afs {
 namespace obs {
@@ -234,6 +236,52 @@ TEST(TraceTest, DisableStopsRecording) {
   std::string dump = DumpTrace(16);
   EXPECT_EQ(dump.find("123456789"), std::string::npos) << dump;
   ClearTrace();
+}
+
+// A single-worker service whose handler blocks until released, so requests pile up in the
+// queue and the rpc.queue_depth gauge has something to measure.
+class StallService : public Service {
+ public:
+  explicit StallService(Network* net) : Service(net, "stall", /*num_workers=*/1) {}
+  std::atomic<bool> release{false};
+
+ protected:
+  Result<Message> Handle(const Message& request) override {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Message(request.opcode, {});
+  }
+};
+
+TEST(ServiceMetricsTest, QueueDepthGaugeTracksBacklog) {
+  Network net(9);
+  StallService svc(&net);
+  svc.Start();
+  Gauge* depth = svc.metrics()->gauge("rpc.queue_depth");
+  EXPECT_EQ(depth->value(), 0);
+
+  // One call occupies the lone worker; the rest sit in the queue.
+  constexpr int kCalls = 5;
+  std::vector<std::thread> callers;
+  for (int i = 0; i < kCalls; ++i) {
+    callers.emplace_back([&net, &svc] {
+      CallOptions opts;
+      opts.timeout = std::chrono::milliseconds(10000);
+      (void)net.Call(svc.port(), Message(1, {}), opts);
+    });
+  }
+  // The gauge is published under the queue mutex, so once it reads N the queue really
+  // held N entries at that instant.
+  while (depth->max() < kCalls - 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  svc.release = true;
+  for (auto& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(depth->value(), 0);
+  EXPECT_GE(depth->max(), kCalls - 1);
 }
 
 TEST(TraceTest, RetiredThreadEventsSurvive) {

@@ -91,6 +91,44 @@ TEST(RpcTest, CrashFailsOutstandingTransactions) {
   EXPECT_TRUE(got_crash.load());
 }
 
+TEST(RpcTest, ShutdownFailsOutstandingWithUnavailable) {
+  // Crash() and Shutdown() differ only in the status pending callers see: a crash reports
+  // kCrashed, a graceful stop kUnavailable (so clients can tell "redo your update" from
+  // "this server is being retired").
+  Network net(1);
+  EchoService echo(&net, "echo");
+  echo.Start();
+  std::atomic<bool> got_unavailable{false};
+  std::thread caller([&] {
+    CallOptions opts;
+    opts.timeout = std::chrono::milliseconds(5000);
+    auto reply = net.Call(echo.port(), Message(2, {}), opts);
+    got_unavailable = reply.status().code() == ErrorCode::kUnavailable;
+  });
+  while (echo.handled.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  echo.Shutdown();
+  caller.join();
+  echo.release = true;
+  EXPECT_TRUE(got_unavailable.load());
+}
+
+TEST(RpcTest, CrashAndShutdownStatusesDiffer) {
+  Network net(1);
+  EchoService crashed(&net, "crashed");
+  crashed.Start();
+  crashed.Crash();
+  EXPECT_EQ(net.Call(crashed.port(), Message(1, {})).status().code(), ErrorCode::kCrashed);
+
+  EchoService stopped(&net, "stopped");
+  stopped.Start();
+  stopped.Shutdown();
+  // A call that never reached the queue reports kCrashed (the port is simply dead); the
+  // kUnavailable distinction applies to transactions the server had already accepted.
+  EXPECT_EQ(net.Call(stopped.port(), Message(1, {})).status().code(), ErrorCode::kCrashed);
+}
+
 TEST(RpcTest, RestartReusesPortAndServes) {
   Network net(1);
   EchoService echo(&net, "echo");
