@@ -7,6 +7,7 @@
 
 #include "src/base/wire.h"
 #include "src/block/protocol.h"
+#include "src/obs/trace.h"
 #include "src/rpc/client.h"
 
 namespace afs {
@@ -351,11 +352,21 @@ Result<T> StableStore::WithFailover(const std::function<Result<T>(BlockClient*)>
       // "Clients send requests to the alternative block server if the primary fails to
       // respond."
       int other = 1 - first;
+      Status abandoned = result.status();
       result = op(members_[other].get());
       if (result.ok() || !IsConnectivityError(result.status())) {
+        failovers_->Inc();
+        // Degraded: the pair is operating through one member. Cleared on the next
+        // first-try success at the (new) preferred member; the gauge's max() watermark
+        // lets chaos runs assert the pair really failed over at some point.
+        degraded_->Set(1);
+        obs::Trace(obs::TraceEvent::kStableFailover, static_cast<uint64_t>(first),
+                   static_cast<uint64_t>(abandoned.code()));
         std::lock_guard<std::mutex> lock(mu_);
         preferred_ = other;
       }
+    } else {
+      degraded_->Set(0);
     }
     if (result.ok() || result.status().code() != ErrorCode::kConflict) {
       return result;

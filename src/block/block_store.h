@@ -152,6 +152,13 @@ class StableStore : public BlockStore {
   Result<std::vector<BlockNo>> ListBlocks() override;
   uint32_t payload_capacity() const override;
 
+  // Failover observability: times the preferred member was abandoned on a connectivity
+  // error (kCrashed/kTimeout/kUnavailable), and whether the pair is currently degraded to
+  // single-member operation (gauge; its max() watermark records "ever failed over").
+  uint64_t failovers() const { return failovers_->value(); }
+  bool degraded() const { return degraded_->value() != 0; }
+  obs::MetricRegistry* metrics() { return &metrics_; }
+
  private:
   // Runs `op` against the preferred member, failing over once on connectivity errors and
   // retrying a bounded number of times on collision.
@@ -162,6 +169,10 @@ class StableStore : public BlockStore {
   std::mutex mu_;
   int preferred_ = 0;
   Rng rng_;
+
+  obs::MetricRegistry metrics_{"stablestore"};
+  obs::Counter* failovers_ = metrics_.counter("stable.failover");
+  obs::Gauge* degraded_ = metrics_.gauge("stable.degraded");
 };
 
 // Direct in-process store (no RPC, no server). Thread-safe; internal state (block map and

@@ -28,13 +28,13 @@ FileClient::FileClient(Network* network, std::vector<Port> servers)
 
 template <typename T>
 Result<T> FileClient::WithServer(const std::function<Result<T>(Port)>& op) {
-  size_t start = preferred_;
+  size_t start = preferred_.load(std::memory_order_relaxed);
   Status last = UnavailableError("no file servers configured");
   for (size_t i = 0; i < servers_.size(); ++i) {
     size_t idx = (start + i) % servers_.size();
     Result<T> result = op(servers_[idx]);
     if (result.ok() || !IsConnectivityError(result.status())) {
-      preferred_ = idx;
+      preferred_.store(idx, std::memory_order_relaxed);
       return result;
     }
     last = result.status();

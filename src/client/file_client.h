@@ -9,6 +9,7 @@
 #ifndef SRC_CLIENT_FILE_CLIENT_H_
 #define SRC_CLIENT_FILE_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -94,7 +95,9 @@ class FileClient {
 
   Network* network_;
   std::vector<Port> servers_;
-  size_t preferred_ = 0;
+  // Failover preference hint. Clients are shared across threads (DirectoryServer,
+  // chaos workloads); the hint is advisory, so relaxed atomics suffice.
+  std::atomic<size_t> preferred_{0};
 };
 
 }  // namespace afs

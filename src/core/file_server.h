@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -124,6 +125,14 @@ class FileServer : public Service {
 
   // ----- GC / test support ---------------------------------------------------
 
+  // GC fence: returns once every mutating operation that was in flight at the time of
+  // the call has finished. The collector calls this after opening its allocation epoch
+  // and before snapshotting the root set, so a block allocated before the epoch by an
+  // op that had not yet linked it anywhere is published (or freed) before the roots are
+  // read. Mutating ops hold the shared side of `ops_gate_`; this drains them by taking
+  // the exclusive side once.
+  void QuiesceOps() const { std::unique_lock<std::shared_mutex> gate(ops_gate_); }
+
   PageStore* page_store() { return &pages_; }
   // Snapshot of the file table: (file id -> oldest retained head, is_super).
   struct FileEntry {
@@ -170,6 +179,10 @@ class FileServer : public Service {
   // (node-stable) VersionInfo pointer. A null info means the version is not managed here
   // (a committed snapshot, or lost in a crash).
   struct VersionOpGuard {
+    // Keeps the mutex alive even after the caller erases the VersionInfo that owns it
+    // (Commit/Abort erase while still holding the lock). Declared before `lock` so the
+    // lock is released before the mutex can be destroyed.
+    std::shared_ptr<std::mutex> mu;
     std::unique_lock<std::mutex> lock;
     VersionInfo* info = nullptr;
   };
@@ -280,6 +293,10 @@ class FileServer : public Service {
 
   mutable std::mutex versions_mu_;
   std::unordered_map<BlockNo, VersionInfo> uncommitted_;
+
+  // Held (shared) for the duration of every mutating op; see QuiesceOps(). Acquired
+  // before any other lock and never while one is held.
+  mutable std::shared_mutex ops_gate_;
 
   mutable std::mutex cache_mu_;
   std::unordered_map<BlockNo, Page> committed_cache_;

@@ -44,6 +44,7 @@ Result<bool> FileServer::TestAndSetCommitRef(BlockNo base_head, BlockNo new_head
 }
 
 Result<BlockNo> FileServer::Commit(const Capability& version) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   const auto commit_start = std::chrono::steady_clock::now();
@@ -208,6 +209,7 @@ Status FileServer::AbortLocked(VersionInfo* info) {
 }
 
 Status FileServer::Abort(const Capability& version) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   ASSIGN_OR_RETURN(VersionOpGuard op, AcquireVersionOp(head));

@@ -25,6 +25,7 @@ Result<FileServer::VersionOpGuard> FileServer::AcquireVersionOp(BlockNo head) {
     op_mu = it->second.op_mu;
   }
   VersionOpGuard op;
+  op.mu = op_mu;
   op.lock = std::unique_lock<std::mutex>(*op_mu);
   {
     // Re-validate under the op lock: an abort may have raced us.
@@ -44,6 +45,7 @@ Result<FileServer::VersionOpGuard> FileServer::AcquireVersionOp(BlockNo head) {
 // ---------------------------------------------------------------------------
 
 Result<Capability> FileServer::CreateFile() {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   uint64_t file_id;
   {
     std::lock_guard<std::mutex> lock(table_mu_);
@@ -79,6 +81,7 @@ Result<Capability> FileServer::CreateFile() {
 }
 
 Status FileServer::DeleteFile(const Capability& file) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   uint64_t file_id;
   RETURN_IF_ERROR(VerifyFileCap(file, Rights::kDestroy, &file_id));
   ASSIGN_OR_RETURN(Port block_lock, AcquireBlockLock(table_head_));
@@ -115,6 +118,7 @@ Result<Capability> FileServer::GetCurrentVersion(const Capability& file) {
 
 Result<Capability> FileServer::CreateVersion(const Capability& file, Port owner_port,
                                              bool respect_soft_lock) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   uint64_t file_id;
   RETURN_IF_ERROR(VerifyFileCap(file, Rights::kWrite | Rights::kCreate, &file_id));
   FileEntry entry;
@@ -186,6 +190,7 @@ Result<FileServer::ReadResult> FileServer::ReadPage(const Capability& version,
 
 Status FileServer::WritePage(const Capability& version, const PagePath& path,
                              std::span<const uint8_t> data) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   ASSIGN_OR_RETURN(VersionOpGuard op, AcquireVersionOp(head));
@@ -205,6 +210,7 @@ Status FileServer::WritePage(const Capability& version, const PagePath& path,
 
 Status FileServer::InsertRef(const Capability& version, const PagePath& parent,
                              uint32_t index) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   ASSIGN_OR_RETURN(VersionOpGuard op, AcquireVersionOp(head));
@@ -229,6 +235,7 @@ Status FileServer::InsertRef(const Capability& version, const PagePath& parent,
 
 Status FileServer::RemoveRef(const Capability& version, const PagePath& parent,
                              uint32_t index) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   ASSIGN_OR_RETURN(VersionOpGuard op, AcquireVersionOp(head));
@@ -266,6 +273,7 @@ Result<std::vector<uint8_t>> FileServer::ReadRefs(const Capability& version,
 
 Status FileServer::MoveSubtree(const Capability& version, const PagePath& from,
                                const PagePath& to_parent, uint32_t index) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   if (from.IsRoot()) {
@@ -345,6 +353,7 @@ Status FileServer::MoveSubtree(const Capability& version, const PagePath& from,
 
 Status FileServer::SplitPage(const Capability& version, const PagePath& path,
                              uint32_t data_offset, uint32_t ref_index) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   if (path.IsRoot()) {
@@ -411,6 +420,7 @@ Status FileServer::SplitPage(const Capability& version, const PagePath& path,
 
 Result<Capability> FileServer::CreateSubFile(const Capability& version, const PagePath& parent,
                                              uint32_t index) {
+  std::shared_lock<std::shared_mutex> ops_gate(ops_gate_);
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   ASSIGN_OR_RETURN(VersionOpGuard op, AcquireVersionOp(head));

@@ -111,6 +111,32 @@ Status GarbageCollector::RunCycle() {
   pages->BeginAllocationEpoch();
   ASSIGN_OR_RETURN(std::vector<BlockNo> candidates, pages->blocks()->ListBlocks());
 
+  // Drain in-flight ops: a mutator may have allocated a block just before the epoch
+  // opened but not yet linked it anywhere (a half-built version head, a copy-on-write
+  // page). Such a block is a candidate, is reachable from no root, and would be swept
+  // while live. After the fence every pre-epoch allocation is either published into a
+  // root read below or already freed; ops starting after the epoch only allocate
+  // born-during-mark blocks, which are never swept this cycle.
+  for (FileServer* server : servers_) {
+    server->QuiesceOps();
+  }
+
+  // Snapshot the uncommitted heads BEFORE walking the committed chains. A version that
+  // commits mid-cycle is then covered either way: one that commits before its file's
+  // chain walk appears in the chain; one that commits after was in this snapshot and is
+  // walked as root set 2 (tolerating kNotFound if it aborted instead). Taking this
+  // snapshot after the chain walk leaves a window where a commit is in neither root set
+  // and its pre-epoch blocks would be swept while live.
+  std::vector<BlockNo> uncommitted_heads;
+  for (FileServer* server : servers_) {
+    if (!server->running()) {
+      continue;  // a crashed server's uncommitted versions are garbage by design
+    }
+    for (BlockNo head : server->ListUncommitted()) {
+      uncommitted_heads.push_back(head);
+    }
+  }
+
   std::unordered_set<BlockNo> marked;
   Status mark_status = OkStatus();
 
@@ -132,21 +158,16 @@ Status GarbageCollector::RunCycle() {
       break;
     }
   }
-  // Root set 2: live uncommitted versions of every live server.
+  // Root set 2: the uncommitted versions snapshotted above.
   if (mark_status.ok()) {
-    for (FileServer* server : servers_) {
-      if (!server->running()) {
-        continue;  // a crashed server's uncommitted versions are garbage by design
+    for (BlockNo head : uncommitted_heads) {
+      Status st = MarkVersionTree(head, &marked);
+      if (!st.ok() && st.code() != ErrorCode::kNotFound) {
+        mark_status = st;
+        break;
       }
-      for (BlockNo head : server->ListUncommitted()) {
-        Status st = MarkVersionTree(head, &marked);
-        if (!st.ok() && st.code() != ErrorCode::kNotFound) {
-          mark_status = st;
-          break;
-        }
-        // kNotFound: the version committed or aborted while we walked; its blocks are
-        // covered by the chain roots or are legitimately garbage.
-      }
+      // kNotFound: the version committed or aborted while we walked; its blocks are
+      // covered by the chain roots or are legitimately garbage.
     }
   }
 

@@ -7,9 +7,12 @@
 // Uncommitted versions of crashed servers are deliberately *not* roots — "uncommitted
 // versions need not be salvaged in a server crash" — so their pages are reclaimed.
 //
-// Safety against concurrent operation comes from two mechanisms:
+// Safety against concurrent operation comes from three mechanisms:
 //   * an allocation epoch on the PageStore: blocks allocated while the mark phase runs are
 //     never swept this cycle;
+//   * root-set ordering: the uncommitted heads are snapshotted before the committed
+//     chains are walked, so a version committing mid-cycle is in one root set or the
+//     other — never in neither;
 //   * conservative aborts: if any page read fails mid-mark (e.g. a racing reshare), the
 //     cycle is abandoned — garbage survives to the next cycle, live data is never freed.
 //

@@ -109,6 +109,12 @@ const char* TraceEventName(TraceEvent event) {
       return "disk.read";
     case TraceEvent::kDiskWrite:
       return "disk.write";
+    case TraceEvent::kRpcRetransmit:
+      return "rpc.retransmit";
+    case TraceEvent::kRpcDupReplay:
+      return "rpc.dup_replay";
+    case TraceEvent::kStableFailover:
+      return "stable.failover";
   }
   return "unknown";
 }

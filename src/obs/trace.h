@@ -38,6 +38,9 @@ enum class TraceEvent : uint8_t {
   kCacheEvict = 12,    // a = block number
   kDiskRead = 13,      // a = block number
   kDiskWrite = 14,     // a = block number
+  kRpcRetransmit = 15, // a = target port, b = opcode
+  kRpcDupReplay = 16,  // a = client id, b = txn id
+  kStableFailover = 17,// a = member index abandoned, b = error code observed
 };
 
 const char* TraceEventName(TraceEvent event);

@@ -3,6 +3,12 @@
 // The paper bounds a page by "the maximum length of a message in a transaction: 32K bytes";
 // we enforce the same limit on payloads so that every page really is read or written in one
 // atomic request.
+//
+// Every request carries a (client_id, txn_id) transaction identity, the Birrell & Nelson
+// at-most-once construction: the client stub retransmits a timed-out call under the SAME
+// identity, and the server's reply cache recognises the duplicate and returns the original
+// reply instead of re-executing. client_id 0 means "unstamped" — the request is delivered
+// at most once per send and never retransmitted (CallOptions::at_most_once == false).
 
 #ifndef SRC_RPC_MESSAGE_H_
 #define SRC_RPC_MESSAGE_H_
@@ -18,6 +24,10 @@ inline constexpr size_t kMaxMessageBytes = 32 * 1024;
 
 struct Message {
   uint32_t opcode = 0;
+  // At-most-once transaction identity. Stamped by Network::Call; stable across the
+  // retransmissions of one logical call, unique across distinct calls.
+  uint64_t client_id = 0;  // 0 = unstamped (no retransmission, no reply caching)
+  uint64_t txn_id = 0;
   std::vector<uint8_t> payload;
 
   Message() = default;

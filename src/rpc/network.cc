@@ -1,15 +1,38 @@
 #include "src/rpc/network.h"
 
+#include <algorithm>
 #include <thread>
+#include <vector>
 
 #include "src/obs/trace.h"
 #include "src/rpc/service.h"
 
 namespace afs {
 
-Network::Network(uint64_t seed) : rng_(seed) {}
+namespace {
+std::atomic<uint64_t> g_network_uid{1};
+}  // namespace
+
+Network::Network(uint64_t seed)
+    : rng_(seed), uid_(g_network_uid.fetch_add(1, std::memory_order_relaxed)) {}
 
 Network::~Network() = default;
+
+uint64_t Network::ThreadClientId() {
+  struct Binding {
+    uint64_t net_uid;
+    uint64_t client_id;
+  };
+  thread_local std::vector<Binding> bindings;
+  for (const Binding& b : bindings) {
+    if (b.net_uid == uid_) {
+      return b.client_id;
+    }
+  }
+  uint64_t id = next_client_id_.fetch_add(1, std::memory_order_relaxed);
+  bindings.push_back({uid_, id});
+  return id;
+}
 
 Port Network::AllocatePort(Port parent) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -68,7 +91,30 @@ void Network::SetServiceAlive(Port port, bool alive) {
 
 void Network::set_drop_probability(double p) {
   std::lock_guard<std::mutex> lock(mu_);
-  drop_probability_ = p;
+  faults_.drop_request = p;
+}
+
+void Network::set_fault_injection(const FaultInjection& faults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = faults;
+}
+
+FaultInjection Network::fault_injection() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+bool Network::RollFault(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.NextBool(p);
+}
+
+uint64_t Network::JitterBelow(uint64_t lo, uint64_t hi) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.NextInRange(lo, hi);
 }
 
 void Network::set_latency(std::chrono::microseconds min, std::chrono::microseconds max) {
@@ -100,10 +146,10 @@ Result<Service*> Network::LookupForCall(Port port) {
     crashed_calls_->Inc();
     return CrashedError("service is down");
   }
-  if (drop_probability_ > 0.0 && rng_.NextBool(drop_probability_)) {
+  if (faults_.drop_request > 0.0 && rng_.NextBool(faults_.drop_request)) {
     timeouts_->Inc();
     obs::Trace(obs::TraceEvent::kRpcTimeout, port);
-    return TimeoutError("message dropped");
+    return TimeoutError("request dropped");
   }
   return it->second;
 }
@@ -119,17 +165,78 @@ std::chrono::microseconds Network::PickLatency() {
 }
 
 Result<Message> Network::Call(Port target, Message request, const CallOptions& options) {
-  sends_->Inc();
-  obs::Trace(obs::TraceEvent::kRpcSend, target, request.opcode);
   if (request.payload.size() > kMaxMessageBytes) {
     return InvalidArgumentError("message exceeds 32K transaction limit");
   }
+  if (options.at_most_once && request.client_id == 0) {
+    request.client_id = ThreadClientId();
+    request.txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const int attempts = options.at_most_once ? 1 + std::max(0, options.max_retransmits) : 1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        options.timeout * std::max(1, options.retransmit_deadline_factor);
+  Result<Message> result = TimeoutError("not attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retransmits_->Inc();
+      obs::Trace(obs::TraceEvent::kRpcRetransmit, target, request.opcode);
+      uint64_t hi = static_cast<uint64_t>(options.backoff_base.count())
+                    << std::min(attempt - 1, 20);
+      hi = std::min(hi, static_cast<uint64_t>(options.backoff_cap.count()));
+      if (hi > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(JitterBelow(hi / 2, hi)));
+      }
+    }
+    result = CallOnce(target, request, options);
+    // Only kTimeout is ambiguous (request or reply lost, or handler slow) and safe to
+    // retry under the same identity. kCrashed/kUnavailable are definite and must surface
+    // immediately — the §5.3 automatic crash warning depends on it.
+    if (result.ok() || result.status().code() != ErrorCode::kTimeout) {
+      return result;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+  }
+  if (attempts > 1) {
+    retransmit_exhausted_->Inc();
+  }
+  return result;
+}
+
+Result<Message> Network::CallOnce(Port target, const Message& request,
+                                  const CallOptions& options) {
+  sends_->Inc();
+  obs::Trace(obs::TraceEvent::kRpcSend, target, request.opcode);
+  const FaultInjection faults = fault_injection();
   auto latency = PickLatency();
   if (latency.count() > 0) {
     std::this_thread::sleep_for(latency);
   }
+  if (RollFault(faults.reorder_delay)) {
+    // Bounded reordering: this delivery is held back while later sends from other threads
+    // overtake it. With blocking per-thread calls this is the full extent of reordering the
+    // model can express (see docs/FAULTS.md).
+    reorder_delays_->Inc();
+    uint64_t max_us = static_cast<uint64_t>(faults.reorder_max.count());
+    if (max_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(JitterBelow(0, max_us)));
+    }
+  }
   ASSIGN_OR_RETURN(Service * service, LookupForCall(target));
-  return service->Submit(std::move(request), options.timeout);
+  if (request.client_id != 0 && RollFault(faults.duplicate_request)) {
+    // Duplicate delivery: the same stamped request reaches the server twice. The extra
+    // delivery's reply is lost; the reply cache must make the re-execution invisible.
+    dup_deliveries_->Inc();
+    (void)service->Submit(Message(request), options.timeout);
+  }
+  Result<Message> reply = service->Submit(Message(request), options.timeout);
+  if (reply.ok() && RollFault(faults.drop_reply)) {
+    reply_drops_->Inc();
+    obs::Trace(obs::TraceEvent::kRpcTimeout, target, request.opcode);
+    return TimeoutError("reply dropped");
+  }
+  return reply;
 }
 
 }  // namespace afs

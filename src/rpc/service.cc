@@ -15,7 +15,11 @@ Service::Service(Network* network, std::string name, int num_workers)
       metrics_(name_),
       handle_ns_(metrics_.histogram("rpc.handle_ns")),
       queue_depth_(metrics_.gauge("rpc.queue_depth")),
-      crash_failed_(metrics_.counter("rpc.crash_failed")) {}
+      crash_failed_(metrics_.counter("rpc.crash_failed")),
+      dup_replayed_(metrics_.counter("rpc.dup_replayed")),
+      dup_coalesced_(metrics_.counter("rpc.dup_coalesced")),
+      late_replies_(metrics_.counter("rpc.late_replies")),
+      reply_cache_clients_(metrics_.gauge("rpc.reply_cache_clients")) {}
 
 Service::~Service() {
   Shutdown();
@@ -94,6 +98,14 @@ void Service::StopWorkers(bool mark_crashed) {
   if (port_ != kNullPort) {
     network_->SetServiceAlive(port_, false);
   }
+  // The reply cache is server RAM: it dies with the process. A retransmission arriving
+  // after Restart() misses the cache and re-executes — the documented at-most-once limit
+  // (docs/FAULTS.md); clients are warned by kCrashed in the meantime.
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    reply_cache_.clear();
+    reply_cache_clients_->Set(0);
+  }
 }
 
 void Service::ReapZombies() {
@@ -126,10 +138,27 @@ void Service::Restart() {
 }
 
 Result<Message> Service::Submit(Message request, std::chrono::milliseconds timeout) {
-  auto state = std::make_shared<CallState>();
+  const bool stamped = request.client_id != 0;
+  const uint64_t client_id = request.client_id;
+  const uint64_t txn_id = request.txn_id;
+  std::shared_ptr<CallState> state;
+  if (stamped) {
+    bool fresh = false;
+    state = RegisterCall(request, &fresh);
+    if (!fresh) {
+      return AwaitExisting(state, request, timeout);
+    }
+  } else {
+    state = std::make_shared<CallState>();
+  }
+
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (!running_) {
+      lock.unlock();
+      if (stamped) {
+        ForgetCall(client_id, txn_id);
+      }
       return CrashedError(name_ + " is down");
     }
     queue_.emplace_back(std::move(request), state);
@@ -141,10 +170,115 @@ Result<Message> Service::Submit(Message request, std::chrono::milliseconds timeo
 
   std::unique_lock<std::mutex> lock(state->mu);
   if (!state->cv.wait_for(lock, timeout, [&] { return state->done; })) {
-    state->done = true;  // worker reply, if it ever arrives, is discarded
+    // The handler may still be running. Leave the call registered so its eventual reply
+    // lands in the cache (counted as rpc.late_replies) where the retransmission finds it,
+    // instead of discarding the reply and re-executing a possibly non-idempotent op.
+    state->abandoned = true;
     return TimeoutError(name_ + " transaction timed out");
   }
+  if (stamped) {
+    return state->result;  // copy: the entry stays replayable for retransmissions
+  }
   return std::move(state->result);
+}
+
+Result<Message> Service::AwaitExisting(const std::shared_ptr<CallState>& state,
+                                       const Message& request,
+                                       std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(state->mu);
+  if (state->done) {
+    dup_replayed_->Inc();
+    obs::Trace(obs::TraceEvent::kRpcDupReplay, request.client_id, request.txn_id);
+    return state->result;
+  }
+  // The original delivery is still executing: attach to it instead of enqueueing a second
+  // execution. Handle() runs at most once no matter how many copies arrive.
+  dup_coalesced_->Inc();
+  if (!state->cv.wait_for(lock, timeout, [&] { return state->done; })) {
+    state->abandoned = true;
+    return TimeoutError(name_ + " transaction timed out");
+  }
+  return state->result;
+}
+
+std::shared_ptr<Service::CallState> Service::RegisterCall(const Message& request,
+                                                          bool* fresh) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  ClientWindow& window = reply_cache_[request.client_id];
+  window.last_used = ++cache_tick_;
+  auto it = window.by_txn.find(request.txn_id);
+  if (it != window.by_txn.end()) {
+    *fresh = false;
+    return it->second;
+  }
+  *fresh = true;
+  auto state = std::make_shared<CallState>();
+  window.by_txn.emplace(request.txn_id, state);
+  window.order.push_back(request.txn_id);
+  // Trim this client's window, oldest first, but never evict an in-flight call — a
+  // coalesced duplicate may be waiting on it.
+  while (window.order.size() > kReplyWindowPerClient) {
+    const uint64_t oldest = window.order.front();
+    auto oit = window.by_txn.find(oldest);
+    if (oit != window.by_txn.end()) {
+      std::lock_guard<std::mutex> slock(oit->second->mu);
+      if (!oit->second->done) {
+        break;
+      }
+    }
+    window.order.pop_front();
+    if (oit != window.by_txn.end()) {
+      window.by_txn.erase(oit);
+    }
+  }
+  if (reply_cache_.size() > kReplyCacheMaxClients) {
+    EvictIdlestClientLocked(request.client_id);
+  }
+  reply_cache_clients_->Set(static_cast<int64_t>(reply_cache_.size()));
+  return state;
+}
+
+void Service::EvictIdlestClientLocked(uint64_t keep) {
+  uint64_t victim = 0;
+  uint64_t victim_tick = 0;
+  bool found = false;
+  for (auto& [cid, window] : reply_cache_) {
+    if (cid == keep || (found && window.last_used >= victim_tick)) {
+      continue;
+    }
+    bool all_done = true;
+    for (auto& [txn, state] : window.by_txn) {
+      (void)txn;
+      std::lock_guard<std::mutex> slock(state->mu);
+      if (!state->done) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      victim = cid;
+      victim_tick = window.last_used;
+      found = true;
+    }
+  }
+  if (found) {
+    reply_cache_.erase(victim);
+  }
+}
+
+void Service::ForgetCall(uint64_t client_id, uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = reply_cache_.find(client_id);
+  if (it == reply_cache_.end()) {
+    return;
+  }
+  it->second.by_txn.erase(txn_id);
+  auto& order = it->second.order;
+  order.erase(std::remove(order.begin(), order.end(), txn_id), order.end());
+  if (it->second.by_txn.empty()) {
+    reply_cache_.erase(it);
+  }
+  reply_cache_clients_->Set(static_cast<int64_t>(reply_cache_.size()));
 }
 
 void Service::WorkerLoop() {
@@ -184,9 +318,16 @@ void Service::WorkerLoop() {
     }
     {
       std::lock_guard<std::mutex> lock(state->mu);
+      // done may already be set by StopWorkers (kCrashed/kUnavailable) — that verdict
+      // stands; a crash-era reply must not leak out.
       if (!state->done) {
         state->done = true;
         state->result = std::move(result);
+        if (state->abandoned) {
+          // Every waiter timed out before the handler finished. The reply is not lost:
+          // it sits in the cache entry, where the retransmission will find it.
+          late_replies_->Inc();
+        }
         state->cv.notify_all();
       }
     }

@@ -7,6 +7,15 @@
 // the server crash as well"), and the port goes dead until Restart(). Restart() reuses the
 // same port — an Amoeba service port survives server replacement — and runs the subclass's
 // OnRestart() recovery hook before accepting requests.
+//
+// At-most-once: requests stamped with a (client_id, txn_id) identity are remembered in a
+// bounded per-client reply cache. A retransmission of a completed call replays the cached
+// reply without re-executing Handle(); one arriving while the original is still executing
+// attaches to the in-flight call and waits (coalescing). A handler that completes after its
+// waiter timed out feeds its reply into the cache instead of dropping it, so the eventual
+// retransmission is answered from the cache. The cache lives in server memory only: it is
+// cleared by Crash()/Shutdown(), exactly like a real server losing its RAM, so a retry that
+// spans a crash may re-execute — callers still rely on the kCrashed warning (§5.3).
 
 #ifndef SRC_RPC_SERVICE_H_
 #define SRC_RPC_SERVICE_H_
@@ -80,12 +89,38 @@ class Service {
   struct CallState {
     std::mutex mu;
     std::condition_variable cv;
-    bool done = false;
+    bool done = false;       // result is valid (worker finished, or failed by StopWorkers)
+    bool abandoned = false;  // every waiter gave up; completion counts rpc.late_replies
     Result<Message> result = Status(ErrorCode::kInternal);
   };
 
-  // Network-side entry: enqueue and wait.
+  // Network-side entry: enqueue and wait. For stamped requests the CallState doubles as
+  // the reply-cache entry, so retransmissions find either the in-flight call or its reply.
   Result<Message> Submit(Message request, std::chrono::milliseconds timeout);
+
+  // -- At-most-once reply cache ---------------------------------------------
+
+  // One remembered client: its recent calls by txn_id, in arrival order.
+  struct ClientWindow {
+    std::unordered_map<uint64_t, std::shared_ptr<CallState>> by_txn;
+    std::deque<uint64_t> order;  // oldest first
+    uint64_t last_used = 0;      // cache_tick_ at last lookup (client LRU)
+  };
+  // Per-client replies remembered. A client thread has at most one call outstanding, so a
+  // small window outlives any realistic retransmission race.
+  static constexpr size_t kReplyWindowPerClient = 4;
+  static constexpr size_t kReplyCacheMaxClients = 256;
+
+  // Returns the cache entry for (request.client_id, request.txn_id), creating it when this
+  // is the first delivery (*fresh = true) or returning the existing one for a duplicate.
+  std::shared_ptr<CallState> RegisterCall(const Message& request, bool* fresh);
+  // Drops a just-registered entry that was never enqueued (service found stopped).
+  void ForgetCall(uint64_t client_id, uint64_t txn_id);
+  // Evicts the least-recently-used client whose calls have all completed (never `keep`).
+  void EvictIdlestClientLocked(uint64_t keep);
+  // Duplicate delivery path: replay a completed reply or wait on the in-flight original.
+  Result<Message> AwaitExisting(const std::shared_ptr<CallState>& state,
+                                const Message& request, std::chrono::milliseconds timeout);
 
   void WorkerLoop();
   // Stop serving without waiting for in-flight handlers (a crash does not politely join its
@@ -110,8 +145,17 @@ class Service {
   obs::Histogram* handle_ns_;     // latency of every Handle(), all request types merged
   obs::Gauge* queue_depth_;       // requests queued but not yet picked up by a worker
   obs::Counter* crash_failed_;    // calls failed with kCrashed by Crash()/Shutdown()
+  obs::Counter* dup_replayed_;    // duplicate answered from the reply cache, no re-execution
+  obs::Counter* dup_coalesced_;   // duplicate attached to the in-flight original
+  obs::Counter* late_replies_;    // handler completed after every waiter timed out
+  obs::Gauge* reply_cache_clients_;
   std::mutex op_stats_mu_;
   std::unordered_map<uint32_t, OpStats> op_stats_;
+
+  // Reply cache. Lock order: cache_mu_ before any CallState::mu; never with mu_ held.
+  std::mutex cache_mu_;
+  std::unordered_map<uint64_t, ClientWindow> reply_cache_;
+  uint64_t cache_tick_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;

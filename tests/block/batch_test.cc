@@ -260,6 +260,49 @@ TEST_F(BatchPairTest, CompanionDownDegradesBatchAndRecordsIntentions) {
   }
 }
 
+TEST_F(BatchPairTest, PartitionHealedMidBatchRepairedByCompareNotes) {
+  // Partition the COMPANION between chunks of a kWriteMulti, heal it one chunk later, and
+  // verify compare-notes recovery repairs exactly the chunk it missed. Chunks are [8, 8, 4]:
+  // chunk 1 lands on both members, chunk 2 is written degraded at A (B partitioned, one
+  // intention per block), chunk 3 lands on both again after the heal.
+  auto fresh = store_->AllocMulti(20);
+  ASSERT_TRUE(fresh.ok());
+  std::vector<BlockWrite> writes;
+  for (size_t i = 0; i < fresh->size(); ++i) {
+    writes.push_back({(*fresh)[i], Payload(static_cast<uint8_t>(0x60 + i))});
+  }
+  const uint64_t degraded_before = a_->degraded_writes();
+  auto direct_a = MakeClient(a_.get());
+  direct_a->set_between_chunks_hook_for_test([this](size_t completed_chunks) {
+    if (completed_chunks == 1) {
+      net_.SetPartitioned(b_->port(), true);
+    } else if (completed_chunks == 2) {
+      net_.SetPartitioned(b_->port(), false);
+    }
+  });
+  // The batch as a whole succeeds: A degrades to single-member operation for chunk 2.
+  ASSERT_TRUE(direct_a->WriteBatch(writes).ok());
+  direct_a->set_between_chunks_hook_for_test(nullptr);
+
+  // Exactly the missed chunk (blocks 8..15) was written degraded.
+  constexpr size_t kChunk = 8;
+  EXPECT_EQ(a_->degraded_writes() - degraded_before, kChunk);
+
+  // Before recovery, B is stale for precisely that chunk.
+  BlockClient check_b(&net_, b_->port(), account_, b_->payload_capacity());
+  for (size_t i = kChunk; i < 2 * kChunk; ++i) {
+    EXPECT_NE(*check_b.Read((*fresh)[i]), Payload(static_cast<uint8_t>(0x60 + i))) << i;
+  }
+
+  // Heal is complete once B compares notes with A: the replayed intentions cover the
+  // missed chunk and nothing else needs to change.
+  b_->Crash();
+  b_->Restart();
+  for (size_t i = 0; i < fresh->size(); ++i) {
+    EXPECT_EQ(*check_b.Read((*fresh)[i]), Payload(static_cast<uint8_t>(0x60 + i))) << i;
+  }
+}
+
 TEST_F(BatchPairTest, PrimaryCrashMidBatchLeavesPairConsistent) {
   // Write the batch directly to member A (plain BlockClient, no fail-over) and crash A
   // between chunks. Companion-first order means every acked chunk is on BOTH disks; the

@@ -102,6 +102,27 @@ TEST_F(StablePairTest, FailoverToSurvivorOnCrash) {
   EXPECT_EQ(*store_->Read(*bno), Payload(0x11));
 }
 
+TEST_F(StablePairTest, FailoverIsObservable) {
+  // Chaos runs assert on these: the failover counter ticks when the preferred member is
+  // abandoned on a connectivity error, the degraded gauge is raised while the pair runs
+  // through one member, and it clears once the preferred member answers first-try again.
+  auto bno = store_->AllocWrite(Payload(0x40));
+  ASSERT_TRUE(bno.ok());
+  EXPECT_EQ(store_->failovers(), 0u);
+  EXPECT_FALSE(store_->degraded());
+
+  a_->Crash();
+  EXPECT_EQ(*store_->Read(*bno), Payload(0x40));
+  EXPECT_GE(store_->failovers(), 1u);
+  EXPECT_TRUE(store_->degraded());
+  // The max() watermark on the gauge records "ever degraded" even after recovery.
+  EXPECT_GE(store_->metrics()->gauge("stable.degraded")->max(), 1);
+
+  a_->Restart();
+  EXPECT_EQ(*store_->Read(*bno), Payload(0x40));  // preferred (now B) answers first try
+  EXPECT_FALSE(store_->degraded());
+}
+
 TEST_F(StablePairTest, DegradedWritesAreRememberedAndReplayed) {
   auto bno = store_->AllocWrite(Payload(0x20));
   ASSERT_TRUE(bno.ok());

@@ -35,8 +35,11 @@ class GcTest : public ::testing::Test {
 
   void CommitWrite(const Capability& file, uint32_t page, std::string_view value) {
     auto v = cluster_.fs().CreateVersion(file, kNullPort, false);
-    ASSERT_TRUE(cluster_.fs().WritePage(*v, PagePath({page}), Bytes(value)).ok());
-    ASSERT_TRUE(cluster_.fs().Commit(*v).ok());
+    ASSERT_TRUE(v.ok()) << v.status();
+    Status write = cluster_.fs().WritePage(*v, PagePath({page}), Bytes(value));
+    ASSERT_TRUE(write.ok()) << write;
+    auto commit = cluster_.fs().Commit(*v);
+    ASSERT_TRUE(commit.ok()) << commit.status();
   }
 
   FastCluster cluster_;
@@ -197,7 +200,7 @@ TEST_F(GcTest, RunsInParallelWithUpdates) {
   EXPECT_GT(commits.load(), 0);
   // Final state consistent: everything readable.
   auto current = cluster_.fs().GetCurrentVersion(file);
-  ASSERT_TRUE(current.ok());
+  ASSERT_TRUE(current.ok()) << current.status();
   for (uint32_t i = 0; i < 4; ++i) {
     EXPECT_TRUE(cluster_.fs().ReadPage(*current, PagePath({i}), false).ok());
   }

@@ -44,9 +44,11 @@ class FastCluster {
 
 class FullCluster {
  public:
+  // `net_seed` drives every random event in the deployment (latency, fault injection,
+  // backoff jitter), so a chaos schedule is reproducible from the seed alone.
   explicit FullCluster(int num_file_servers = 1, uint32_t num_blocks = 1 << 14,
-                       FileServerOptions options = {})
-      : net_(7),
+                       FileServerOptions options = {}, uint64_t net_seed = 7)
+      : net_(net_seed),
         disk_a_(kDefaultBlockSize, num_blocks),
         disk_b_(kDefaultBlockSize, num_blocks) {
     // The members of a stable pair share the account-signing secret (same seed), so a
