@@ -1,0 +1,233 @@
+// Tiered storage (src/tier, paper §6): migration throughput onto the write-once archive,
+// cold (archived, uncached) vs hot (magnetic) read latency, promotion-cache effect, and
+// the hot-path toll of routing every magnetic read through the tier's location map —
+// BM_MagneticReadNoTier is the --no_tier baseline the acceptance bound (<5% uncached
+// hot-read regression) is measured against. CI publishes the run as BENCH_tier.json.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/disk/write_once_disk.h"
+#include "src/tier/migrator.h"
+#include "src/tier/tiered_store.h"
+
+namespace afs {
+namespace {
+
+// A file service over a TieredStore, plus a churn workload that leaves most storage as
+// old-version plain pages (the archive-eligible population).
+struct TierRig {
+  explicit TierRig(size_t cache_blocks = 1024)
+      : net(1), magnetic(4068, 1 << 20), platter(4096, 1 << 15) {
+    TieredStoreOptions topt;
+    topt.promotion_cache_blocks = cache_blocks;
+    tiered = std::make_unique<TieredStore>(&magnetic, &platter, topt);
+    if (!tiered->Mount().ok()) {
+      std::abort();
+    }
+    FileServerOptions options;
+    options.cache_committed_pages = false;  // reads hit the store, not the server cache
+    fs = std::make_unique<FileServer>(&net, "bench-fs", tiered.get(), options);
+    fs->Start();
+    if (!fs->AttachStore().ok()) {
+      std::abort();
+    }
+  }
+
+  // `gens` generations over `pages` pages, every page rewritten each generation.
+  Capability Churn(int pages, int gens, size_t page_bytes = 2000) {
+    auto file = fs->CreateFile();
+    auto v = fs->CreateVersion(*file, kNullPort, false);
+    for (int i = 0; i < pages; ++i) {
+      (void)fs->InsertRef(*v, PagePath::Root(), i);
+      (void)fs->WritePage(*v, PagePath({static_cast<uint32_t>(i)}),
+                          std::vector<uint8_t>(page_bytes, static_cast<uint8_t>(i)));
+    }
+    (void)fs->Commit(*v);
+    for (int gen = 0; gen < gens; ++gen) {
+      auto u = fs->CreateVersion(*file, kNullPort, false);
+      for (int i = 0; i < pages; ++i) {
+        (void)fs->WritePage(*u, PagePath({static_cast<uint32_t>(i)}),
+                            std::vector<uint8_t>(page_bytes, static_cast<uint8_t>(gen + i)));
+      }
+      (void)fs->Commit(*u);
+    }
+    return *file;
+  }
+
+  Network net;
+  InMemoryBlockStore magnetic;
+  WriteOnceDisk platter;
+  std::unique_ptr<TieredStore> tiered;
+  std::unique_ptr<FileServer> fs;
+};
+
+// Migration throughput: blocks archived (and their magnetic copies reclaimed) per second.
+void BM_MigrationThroughput(benchmark::State& state) {
+  const int gens = static_cast<int>(state.range(0));
+  int64_t blocks = 0;
+  double reclaimed_fraction = 0;
+  int64_t n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TierRig rig;
+    (void)rig.Churn(8, gens);
+    const size_t before = rig.magnetic.allocated_blocks();
+    Migrator migrator({rig.fs.get()}, rig.tiered.get());
+    state.ResumeTiming();
+    auto migrated = migrator.RunCycle();
+    state.PauseTiming();
+    if (!migrated.ok()) {
+      state.SkipWithError("migration failed");
+      return;
+    }
+    blocks += static_cast<int64_t>(*migrated);
+    const size_t after = rig.magnetic.allocated_blocks();
+    reclaimed_fraction += before > 0 ? static_cast<double>(before - after) / before : 0;
+    ++n;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(blocks);
+  state.counters["blocks_reclaimed_fraction"] =
+      benchmark::Counter(reclaimed_fraction / std::max<int64_t>(1, n));
+}
+BENCHMARK(BM_MigrationThroughput)->Arg(6)->Arg(24)->Unit(benchmark::kMillisecond);
+
+// Cold read: archived block, promotion cache off — every read goes to the medium and
+// re-verifies the record CRC. The latency gap to BM_MagneticReadNoTier is the price of
+// having reclaimed the magnetic copy.
+void BM_ColdArchivedRead(benchmark::State& state) {
+  TierRig rig(/*cache_blocks=*/0);
+  (void)rig.Churn(8, 12);
+  Migrator migrator({rig.fs.get()}, rig.tiered.get());
+  if (!migrator.RunCycle().ok()) {
+    state.SkipWithError("migration failed");
+    return;
+  }
+  auto mapping = rig.tiered->MappingSnapshot();
+  if (mapping.empty()) {
+    state.SkipWithError("nothing archived");
+    return;
+  }
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto data = rig.tiered->Read(mapping[n % mapping.size()].first);
+    if (!data.ok()) {
+      state.SkipWithError("archived read failed");
+      return;
+    }
+    benchmark::DoNotOptimize(data->data());
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+  state.counters["archived_blocks"] =
+      benchmark::Counter(static_cast<double>(rig.tiered->archived_blocks()));
+}
+BENCHMARK(BM_ColdArchivedRead)->Unit(benchmark::kMicrosecond);
+
+// Same reads with the promotion cache on: first touch promotes, the rest hit memory.
+void BM_PromotedArchivedRead(benchmark::State& state) {
+  TierRig rig(/*cache_blocks=*/1 << 14);
+  (void)rig.Churn(8, 12);
+  Migrator migrator({rig.fs.get()}, rig.tiered.get());
+  if (!migrator.RunCycle().ok()) {
+    state.SkipWithError("migration failed");
+    return;
+  }
+  auto mapping = rig.tiered->MappingSnapshot();
+  if (mapping.empty()) {
+    state.SkipWithError("nothing archived");
+    return;
+  }
+  // Prewarm: promote everything once so the timed loop measures cache hits even when the
+  // iteration count is smaller than the archived population (--quick mode).
+  for (const auto& [bno, abno] : mapping) {
+    (void)abno;
+    if (!rig.tiered->Read(bno).ok()) {
+      state.SkipWithError("prewarm read failed");
+      return;
+    }
+  }
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto data = rig.tiered->Read(mapping[n % mapping.size()].first);
+    if (!data.ok()) {
+      state.SkipWithError("archived read failed");
+      return;
+    }
+    benchmark::DoNotOptimize(data->data());
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_PromotedArchivedRead)->Unit(benchmark::kMicrosecond);
+
+// Hot path with the tier in place: reading a block that is NOT archived, while the
+// location map is populated — one shared-lock map miss, then the magnetic store.
+void BM_MagneticReadThroughTier(benchmark::State& state) {
+  TierRig rig;
+  (void)rig.Churn(8, 12);
+  Migrator migrator({rig.fs.get()}, rig.tiered.get());
+  if (!migrator.RunCycle().ok()) {
+    state.SkipWithError("migration failed");
+    return;
+  }
+  // The newest version's pages stayed magnetic; read those.
+  std::vector<BlockNo> hot;
+  auto listed = rig.tiered->ListBlocks();
+  if (!listed.ok()) {
+    state.SkipWithError("list failed");
+    return;
+  }
+  for (BlockNo bno : *listed) {
+    if (!rig.tiered->archived(bno)) {
+      hot.push_back(bno);
+    }
+  }
+  if (hot.empty()) {
+    state.SkipWithError("no magnetic blocks");
+    return;
+  }
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto data = rig.tiered->Read(hot[n % hot.size()]);
+    if (!data.ok()) {
+      state.SkipWithError("magnetic read failed");
+      return;
+    }
+    benchmark::DoNotOptimize(data->data());
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_MagneticReadThroughTier)->Unit(benchmark::kMicrosecond);
+
+// The --no_tier baseline: identical reads against the bare magnetic store. The acceptance
+// bound is BM_MagneticReadThroughTier ≤ 1.05 × this.
+void BM_MagneticReadNoTier(benchmark::State& state) {
+  bench::Rig rig;
+  (void)rig.MakeFile(8, 2000);
+  auto listed = rig.store.ListBlocks();
+  if (!listed.ok() || listed->empty()) {
+    state.SkipWithError("no blocks");
+    return;
+  }
+  std::vector<BlockNo> blocks = *listed;
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto data = rig.store.Read(blocks[n % blocks.size()]);
+    if (!data.ok()) {
+      state.SkipWithError("read failed");
+      return;
+    }
+    benchmark::DoNotOptimize(data->data());
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_MagneticReadNoTier)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace afs
+
+AFS_BENCHMARK_MAIN();

@@ -42,12 +42,17 @@
 #include "src/core/fsck.h"
 #include "src/core/gc.h"
 #include "src/disk/mem_disk.h"
+#include "src/disk/write_once_disk.h"
 #include "src/namesvc/directory_server.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rpc/client.h"
 #include "src/rpc/network.h"
 #include "src/store/file_disk.h"
+#include "src/tier/fsck.h"
+#include "src/tier/migrator.h"
+#include "src/tier/scrubber.h"
+#include "src/tier/tiered_store.h"
 
 using namespace afs;
 
@@ -66,7 +71,12 @@ void PrintHelp() {
       "  crash <fs0|fs1|blockA>      crash a server\n"
       "  restart <fs0|fs1|blockA>    restart it\n"
       "  gc                          run one garbage-collection cycle\n"
-      "  fsck                        run the consistency checker\n"
+      "  migrate                     archive old committed versions to the write-once\n"
+      "                              tier and reclaim their magnetic blocks\n"
+      "  tiers                       storage-tier occupancy and counters\n"
+      "  scrub                       CRC-verify every archived block, repair from\n"
+      "                              magnetic copies where possible\n"
+      "  fsck                        run the consistency checker (both tiers)\n"
       "  stats [fs0|fs1|blockA|blockB]\n"
       "                              process-wide metrics, or scrape one live server's\n"
       "                              registry over RPC (kGetStats)\n"
@@ -108,15 +118,18 @@ int main(int argc, char** argv) {
   }
 
   Network net(11);
-  // Volatile by default; with --store, two durable FileDisks whose contents (and thus the
-  // whole file service state) survive process exit.
+  // Volatile by default; with --store, three durable FileDisks (the stable pair plus the
+  // write-once archive platter) whose contents survive process exit.
   std::unique_ptr<BlockDevice> disk_a;
   std::unique_ptr<BlockDevice> disk_b;
+  std::unique_ptr<BlockDevice> disk_archive;
   FileDisk* fdisk_a = nullptr;
   FileDisk* fdisk_b = nullptr;
+  FileDisk* fdisk_archive = nullptr;
   if (store_dir.empty()) {
     disk_a = std::make_unique<MemDisk>(kDefaultBlockSize, 8192);
     disk_b = std::make_unique<MemDisk>(kDefaultBlockSize, 8192);
+    disk_archive = std::make_unique<MemDisk>(kDefaultBlockSize, 8192);
   } else {
     std::error_code ec;
     std::filesystem::create_directories(store_dir, ec);
@@ -126,19 +139,27 @@ int main(int argc, char** argv) {
     options.group_commit_window = std::chrono::microseconds(200);
     auto a = FileDisk::Open(store_dir + "/a.afsdisk", options);
     auto b = FileDisk::Open(store_dir + "/b.afsdisk", options);
-    if (!a.ok() || !b.ok()) {
+    auto arch = FileDisk::Open(store_dir + "/archive.afsdisk", options);
+    if (!a.ok() || !b.ok() || !arch.ok()) {
       std::fprintf(stderr, "cannot open store in %s: %s\n", store_dir.c_str(),
-                   (!a.ok() ? a.status() : b.status()).ToString().c_str());
+                   (!a.ok()   ? a.status()
+                    : !b.ok() ? b.status()
+                              : arch.status())
+                       .ToString()
+                       .c_str());
       return 1;
     }
     fdisk_a = a->get();
     fdisk_b = b->get();
+    fdisk_archive = arch->get();
     disk_a = std::move(a).value();
     disk_b = std::move(b).value();
+    disk_archive = std::move(arch).value();
     std::printf("persistent store: %s (mount epoch %llu, %llu journal record(s) replayed)\n",
                 store_dir.c_str(), (unsigned long long)fdisk_a->epoch(),
                 (unsigned long long)(fdisk_a->recovered_records() +
-                                     fdisk_b->recovered_records()));
+                                     fdisk_b->recovered_records() +
+                                     fdisk_archive->recovered_records()));
   }
   BlockServer block_a(&net, "block-a", disk_a.get(), 3);
   BlockServer block_b(&net, "block-b", disk_b.get(), 3);
@@ -160,16 +181,31 @@ int main(int argc, char** argv) {
                                       block_b.payload_capacity()),
         1);
   };
-  auto store0 = make_store();
-  auto store1 = make_store();
-  FileServer fs0(&net, "fs0", store0.get());
-  FileServer fs1(&net, "fs1", store1.get());
+  // Both file servers share one TieredStore so they see one block-location map: a block
+  // fs0 migrated to the platter must resolve through the same map when fs1 reads it.
+  auto store = make_store();
+  WriteOnceDisk platter(disk_archive.get());
+  TieredStore tiered(store.get(), &platter);
+  if (Status st = tiered.Mount(); !st.ok()) {
+    std::fprintf(stderr, "tier mount failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  FileServer fs0(&net, "fs0", &tiered);
+  FileServer fs1(&net, "fs1", &tiered);
   fs0.Start();
   fs1.Start();
   if (!fs0.AttachStore().ok() || !fs1.AttachStore().ok()) {
     std::fprintf(stderr, "attach failed\n");
     return 1;
   }
+  Migrator migrator({&fs0, &fs1}, &tiered);
+  Scrubber scrubber(&tiered);
+  FileServer::TierAdminHooks tier_admin{
+      .migrate = [&] { return migrator.RunCycle(); },
+      .scrub = [&] { return tiered.ScrubPass(); },
+      .stat = [&] { return tiered.Stats(); }};
+  fs0.SetTierAdmin(tier_admin);
+  fs1.SetTierAdmin(tier_admin);
   DirectoryServer dir(&net, "dir", {fs0.port(), fs1.port()});
   dir.Start();
   const std::string meta_path = store_dir.empty() ? "" : store_dir + "/shell.meta";
@@ -346,16 +382,53 @@ int main(int argc, char** argv) {
       if (st.ok()) {
         st = fdisk_b->Checkpoint();
       }
+      if (st.ok()) {
+        st = fdisk_archive->Checkpoint();
+      }
       std::printf("%s (%llu checkpoint(s), journals now %llu byte(s))\n",
                   st.ToString().c_str(),
-                  (unsigned long long)(fdisk_a->checkpoints() + fdisk_b->checkpoints()),
-                  (unsigned long long)(fdisk_a->journal_bytes() + fdisk_b->journal_bytes()));
+                  (unsigned long long)(fdisk_a->checkpoints() + fdisk_b->checkpoints() +
+                                       fdisk_archive->checkpoints()),
+                  (unsigned long long)(fdisk_a->journal_bytes() + fdisk_b->journal_bytes() +
+                                       fdisk_archive->journal_bytes()));
     } else if (cmd == "gc") {
       Status st = gc.RunCycle();
       std::printf("%s (%llu block(s) swept so far)\n", st.ToString().c_str(),
                   (unsigned long long)gc.stats().blocks_swept);
+    } else if (cmd == "migrate") {
+      auto migrated = migrator.RunCycle();
+      if (migrated.ok()) {
+        TierStatInfo t = tiered.Stats();
+        std::printf("%llu block(s) archived (%llu magnetic block(s) reclaimed so far)\n",
+                    (unsigned long long)*migrated,
+                    (unsigned long long)t.magnetic_reclaimed);
+      } else {
+        std::printf("error: %s\n", migrated.status().ToString().c_str());
+      }
+    } else if (cmd == "tiers") {
+      TierStatInfo t = tiered.Stats();
+      std::printf(
+          "magnetic: stable pair of 2 block server(s)\n"
+          "archive:  %llu/%llu block(s) burned, %llu payload byte(s)\n"
+          "mapped:   %llu block(s) archived\n"
+          "counters: %llu migrated, %llu reclaimed, %llu promotion(s), %llu repair(s)\n",
+          (unsigned long long)t.archive_used_blocks,
+          (unsigned long long)t.archive_capacity_blocks,
+          (unsigned long long)t.archive_bytes, (unsigned long long)t.archived_blocks,
+          (unsigned long long)t.migrated_total, (unsigned long long)t.magnetic_reclaimed,
+          (unsigned long long)t.promotions, (unsigned long long)t.scrub_repairs);
+    } else if (cmd == "scrub") {
+      auto summary = scrubber.RunPass();
+      if (summary.ok()) {
+        std::printf("%llu checked, %llu repaired, %llu unrecoverable\n",
+                    (unsigned long long)summary->checked,
+                    (unsigned long long)summary->repaired,
+                    (unsigned long long)summary->unrecoverable);
+      } else {
+        std::printf("error: %s\n", summary.status().ToString().c_str());
+      }
     } else if (cmd == "fsck") {
-      FsckReport report = RunFsck(&fs0);
+      FsckReport report = RunTieredFsck(&fs0, &tiered);
       std::printf("%s\n", report.ToString().c_str());
     } else {
       std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());

@@ -1,20 +1,31 @@
 # Acceptance check for `afs_shell --store`: a file written in one process run must be
-# readable in a second, separate run of the shell over the same store directory.
+# readable in a second, separate run of the shell over the same store directory — and the
+# storage tiers must round-trip too: versions migrated onto the write-once archive in run
+# one must still be mapped (and their history readable) after the restart in run two.
 #
 # Invoked by ctest with -DSHELL=<afs_shell binary> -DDIR=<scratch store dir>.
 
 file(REMOVE_RECURSE "${DIR}")
 file(MAKE_DIRECTORY "${DIR}")
-file(WRITE "${DIR}/run1.txt" "create notes\nwrite notes / hello-from-run-one\nread notes /\nquit\n")
-file(WRITE "${DIR}/run2.txt" "ls\nread notes /\nquit\n")
+# Writes go to a plain page under the root: a version's root lives in its version page,
+# which is pinned magnetic (it is overwritten in place); only plain pages of old committed
+# versions are archive-eligible.
+file(WRITE "${DIR}/run1.txt" "create notes\nmkpage notes / 0\nwrite notes /0 hello-from-run-one\nwrite notes /0 hello-again\nwrite notes /0 hello-third\nread notes /0\nmigrate\ntiers\nfsck\nquit\n")
+file(WRITE "${DIR}/run2.txt" "ls\nread notes /0\ntiers\nfsck\nquit\n")
 
 execute_process(COMMAND "${SHELL}" --store "${DIR}/store"
   INPUT_FILE "${DIR}/run1.txt" OUTPUT_VARIABLE out1 RESULT_VARIABLE rc1)
 if(NOT rc1 EQUAL 0)
   message(FATAL_ERROR "first shell run failed (rc=${rc1}):\n${out1}")
 endif()
-if(NOT out1 MATCHES "hello-from-run-one")
+if(NOT out1 MATCHES "hello-third")
   message(FATAL_ERROR "first run could not read its own write:\n${out1}")
+endif()
+if(NOT out1 MATCHES "([1-9][0-9]*) block\\(s\\) archived")
+  message(FATAL_ERROR "first run migrated nothing to the archive tier:\n${out1}")
+endif()
+if(NOT out1 MATCHES "CLEAN:")
+  message(FATAL_ERROR "tiered fsck not clean after migration:\n${out1}")
 endif()
 
 execute_process(COMMAND "${SHELL}" --store "${DIR}/store"
@@ -25,7 +36,13 @@ endif()
 if(NOT out2 MATCHES "notes")
   message(FATAL_ERROR "directory entry lost across runs:\n${out2}")
 endif()
-if(NOT out2 MATCHES "hello-from-run-one")
+if(NOT out2 MATCHES "hello-third")
   message(FATAL_ERROR "file contents lost across runs:\n${out2}")
 endif()
-message(STATUS "shell --store round trip OK")
+if(NOT out2 MATCHES "mapped:   ([1-9][0-9]*) block\\(s\\) archived")
+  message(FATAL_ERROR "archive block-location map lost across runs:\n${out2}")
+endif()
+if(NOT out2 MATCHES "CLEAN:")
+  message(FATAL_ERROR "tiered fsck not clean after remount (archived history unreadable?):\n${out2}")
+endif()
+message(STATUS "shell --store round trip OK (tiers remounted)")

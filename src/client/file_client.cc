@@ -305,4 +305,49 @@ Result<FileClient::FileStatInfo> FileClient::FileStat(const Capability& file) {
   });
 }
 
+Result<uint64_t> FileClient::MigrateNow() {
+  return WithServer<uint64_t>([&](Port server) -> Result<uint64_t> {
+    ASSIGN_OR_RETURN(WireDecoder reply,
+                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kMigrateNow),
+                                  WireEncoder()));
+    return reply.GetU64();
+  });
+}
+
+Result<TierScrubSummary> FileClient::ScrubNow() {
+  return WithServer<TierScrubSummary>([&](Port server) -> Result<TierScrubSummary> {
+    ASSIGN_OR_RETURN(WireDecoder reply,
+                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kScrubNow),
+                                  WireEncoder()));
+    TierScrubSummary s;
+    ASSIGN_OR_RETURN(s.checked, reply.GetU64());
+    ASSIGN_OR_RETURN(s.repaired, reply.GetU64());
+    ASSIGN_OR_RETURN(s.unrecoverable, reply.GetU64());
+    ASSIGN_OR_RETURN(s.reclaimed_redo, reply.GetU64());
+    return s;
+  });
+}
+
+Result<TierStatInfo> FileClient::TierStat() {
+  return WithServer<TierStatInfo>([&](Port server) -> Result<TierStatInfo> {
+    ASSIGN_OR_RETURN(WireDecoder reply,
+                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kTierStat),
+                                  WireEncoder()));
+    TierStatInfo info;
+    ASSIGN_OR_RETURN(uint8_t enabled, reply.GetU8());
+    info.enabled = enabled != 0;
+    if (info.enabled) {
+      ASSIGN_OR_RETURN(info.archived_blocks, reply.GetU64());
+      ASSIGN_OR_RETURN(info.archive_used_blocks, reply.GetU64());
+      ASSIGN_OR_RETURN(info.archive_capacity_blocks, reply.GetU64());
+      ASSIGN_OR_RETURN(info.archive_bytes, reply.GetU64());
+      ASSIGN_OR_RETURN(info.migrated_total, reply.GetU64());
+      ASSIGN_OR_RETURN(info.promotions, reply.GetU64());
+      ASSIGN_OR_RETURN(info.scrub_repairs, reply.GetU64());
+      ASSIGN_OR_RETURN(info.magnetic_reclaimed, reply.GetU64());
+    }
+    return info;
+  });
+}
+
 }  // namespace afs

@@ -20,6 +20,7 @@
 #include "src/base/status.h"
 #include "src/core/flags.h"
 #include "src/core/path.h"
+#include "src/core/protocol.h"
 #include "src/rpc/network.h"
 
 namespace afs {
@@ -84,6 +85,15 @@ class FileClient {
     bool is_super = false;
   };
   Result<FileStatInfo> FileStat(const Capability& file);
+
+  // --- storage-tier admin (§6 optical archival, src/tier) ---
+  // Run one migration cycle on the service's attached tier; returns blocks migrated.
+  // kUnavailable when the deployment has no tier.
+  Result<uint64_t> MigrateNow();
+  // One archive scrub pass: (checked, repaired, unrecoverable, reclaimed_redo).
+  Result<TierScrubSummary> ScrubNow();
+  // Tier snapshot; enabled=false (with zeros) when no tier is attached.
+  Result<TierStatInfo> TierStat();
 
   Network* network() const { return network_; }
   const std::vector<Port>& servers() const { return servers_; }

@@ -28,6 +28,7 @@
 #define SRC_CORE_FILE_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,7 @@
 #include "src/core/page.h"
 #include "src/core/page_store.h"
 #include "src/core/path.h"
+#include "src/core/protocol.h"
 #include "src/rpc/service.h"
 
 namespace afs {
@@ -122,6 +124,18 @@ class FileServer : public Service {
   Result<FileStatInfo> FileStat(const Capability& file);
 
   std::vector<BlockNo> ListUncommitted() const;
+
+  // ----- Tier admin ----------------------------------------------------------
+  // Hooks into an attached storage tier (src/tier), serving the kMigrateNow / kScrubNow /
+  // kTierStat admin ops. std::function indirection keeps the dependency arrow pointing
+  // tier -> core: the deployment wires the hooks up at setup, before serving; a server
+  // with no tier answers migrate/scrub with kUnavailable and stat with enabled=false.
+  struct TierAdminHooks {
+    std::function<Result<uint64_t>()> migrate;          // one migration cycle
+    std::function<Result<TierScrubSummary>()> scrub;    // one scrub pass
+    std::function<TierStatInfo()> stat;
+  };
+  void SetTierAdmin(TierAdminHooks hooks) { tier_admin_ = std::move(hooks); }
 
   // ----- GC / test support ---------------------------------------------------
 
@@ -297,6 +311,9 @@ class FileServer : public Service {
   // Held (shared) for the duration of every mutating op; see QuiesceOps(). Acquired
   // before any other lock and never while one is held.
   mutable std::shared_mutex ops_gate_;
+
+  // Tier admin hooks; installed once at deployment setup, before serving (not guarded).
+  TierAdminHooks tier_admin_;
 
   mutable std::mutex cache_mu_;
   std::unordered_map<BlockNo, Page> committed_cache_;

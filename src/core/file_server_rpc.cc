@@ -175,6 +175,46 @@ Result<Message> FileServer::Dispatch(const Message& m) {
       RETURN_IF_ERROR(SplitPage(version, path, data_offset, ref_index));
       return OkReply(m.opcode);
     }
+    case FileOp::kMigrateNow: {
+      if (!tier_admin_.migrate) {
+        return UnavailableError("no storage tier attached");
+      }
+      ASSIGN_OR_RETURN(uint64_t migrated, tier_admin_.migrate());
+      WireEncoder out;
+      out.PutU64(migrated);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kScrubNow: {
+      if (!tier_admin_.scrub) {
+        return UnavailableError("no storage tier attached");
+      }
+      ASSIGN_OR_RETURN(TierScrubSummary s, tier_admin_.scrub());
+      WireEncoder out;
+      out.PutU64(s.checked);
+      out.PutU64(s.repaired);
+      out.PutU64(s.unrecoverable);
+      out.PutU64(s.reclaimed_redo);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kTierStat: {
+      TierStatInfo info;
+      if (tier_admin_.stat) {
+        info = tier_admin_.stat();
+      }
+      WireEncoder out;
+      out.PutU8(info.enabled ? 1 : 0);
+      if (info.enabled) {
+        out.PutU64(info.archived_blocks);
+        out.PutU64(info.archive_used_blocks);
+        out.PutU64(info.archive_capacity_blocks);
+        out.PutU64(info.archive_bytes);
+        out.PutU64(info.migrated_total);
+        out.PutU64(info.promotions);
+        out.PutU64(info.scrub_repairs);
+        out.PutU64(info.magnetic_reclaimed);
+      }
+      return OkReply(m.opcode, std::move(out));
+    }
   }
   return InvalidArgumentError("unknown file service opcode");
 }

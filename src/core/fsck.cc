@@ -61,6 +61,10 @@ std::string FsckReport::ToString() const {
   os << (clean ? "CLEAN" : "CORRUPT") << ": " << files << " file(s), " << committed_versions
      << " committed version(s), " << pages_checked << " page(s), " << blocks_reachable
      << " block(s) reachable, " << blocks_garbage << " garbage";
+  if (blocks_archived > 0) {
+    os << ", " << blocks_archived << " archived (" << archived_verified << " verified, "
+       << archived_corrupt << " corrupt)";
+  }
   for (const std::string& error : errors) {
     os << "\n  ERROR: " << error;
   }

@@ -40,6 +40,11 @@ struct FsckReport {
   uint64_t pages_checked = 0;
   uint64_t blocks_reachable = 0;
   uint64_t blocks_garbage = 0;
+  // Blocks resident on the archive tier, and how many of them verified / failed their
+  // archive CRC. Filled by RunTieredFsck (src/tier) on tiered deployments; zero otherwise.
+  uint64_t blocks_archived = 0;
+  uint64_t archived_verified = 0;
+  uint64_t archived_corrupt = 0;
 
   std::string ToString() const;
 };

@@ -15,15 +15,16 @@ GarbageCollector::GarbageCollector(std::vector<FileServer*> servers, GcOptions o
 
 GarbageCollector::~GarbageCollector() { Stop(); }
 
-Status GarbageCollector::MarkVersionTree(BlockNo head, std::unordered_set<BlockNo>* marked) {
-  PageStore* pages = servers_[0]->page_store();
+Status WalkVersionTree(PageStore* pages, BlockNo head, std::unordered_set<BlockNo>* visited,
+                       const std::function<void(const Page& page,
+                                                const std::vector<BlockNo>& chain)>& visit) {
   // Level-synchronous BFS: each wave reads every frontier page in one vectored call, and
-  // the chains output marks their chain blocks from the same reads that decode the pages —
-  // a tree of depth d costs O(d) batched RPCs instead of one per page.
+  // the chains output hands each page's chain blocks from the same reads that decode the
+  // pages — a tree of depth d costs O(d) batched RPCs instead of one per page.
   std::vector<BlockNo> wave;
   std::unordered_set<BlockNo> queued;
   auto enqueue = [&](BlockNo h) {
-    if (h != kNilRef && marked->count(h) == 0 && queued.insert(h).second) {
+    if (h != kNilRef && visited->count(h) == 0 && queued.insert(h).second) {
       wave.push_back(h);
     }
   };
@@ -37,16 +38,22 @@ Status GarbageCollector::MarkVersionTree(BlockNo head, std::unordered_set<BlockN
     for (size_t i = 0; i < batch.size(); ++i) {
       RETURN_IF_ERROR(results[i].status);
       for (BlockNo bno : chains[i]) {
-        marked->insert(bno);
+        visited->insert(bno);
       }
+      visit(results[i].page, chains[i]);
       for (const PageRef& ref : results[i].page.refs) {
         // Follow every reference, copied or shared: a retained version may share pages
-        // with a pruned predecessor, and those shared pages must stay alive.
+        // with a pruned predecessor, and those shared pages must stay reachable.
         enqueue(ref.block);
       }
     }
   }
   return OkStatus();
+}
+
+Status GarbageCollector::MarkVersionTree(BlockNo head, std::unordered_set<BlockNo>* marked) {
+  return WalkVersionTree(servers_[0]->page_store(), head, marked,
+                         [](const Page&, const std::vector<BlockNo>&) {});
 }
 
 Status GarbageCollector::PruneOldVersions() {

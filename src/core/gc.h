@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -33,6 +34,17 @@
 #include "src/core/file_server.h"
 
 namespace afs {
+
+// Walk the page tree rooted at `head` level-synchronously — each wave of pages is fetched
+// with one vectored read, so a tree of depth d costs O(d) batched RPCs — invoking `visit`
+// once per page with the decoded page and its full block chain (head first). `visited`
+// carries the blocks already seen: subtrees whose head is in it are skipped, and every
+// visited page's chain is added, so passing one set across several calls walks shared
+// subtrees once (the GC mark phase passes its mark set; the tier Migrator passes its hot
+// set). Fails on the first unreadable page, with `visited`/`visit` reflecting a prefix.
+Status WalkVersionTree(PageStore* pages, BlockNo head, std::unordered_set<BlockNo>* visited,
+                       const std::function<void(const Page& page,
+                                                const std::vector<BlockNo>& chain)>& visit);
 
 struct GcOptions {
   // Committed versions retained per file (>= 1; the current version is always kept).

@@ -82,6 +82,39 @@ enum class FileOp : uint32_t {
   //   chunks batches under the 32K transaction message limit; a batch fails at the first
   //   failing page, with pages before it applied (same as issuing the writes singly).
   kWritePageMulti = 18,
+  // MigrateNow: () -> (u64 blocks_migrated)
+  //   Tier admin (§6 optical archival, src/tier): run one migration cycle of the attached
+  //   Migrator synchronously. kUnavailable if the deployment has no tier attached.
+  kMigrateNow = 19,
+  // ScrubNow: () -> (u64 checked, u64 repaired, u64 unrecoverable, u64 reclaimed_redo)
+  //   Tier admin: one synchronous archive scrub pass (CRC-verify every archived block,
+  //   repair what the magnetic tier still holds, finish interrupted reclamations).
+  kScrubNow = 20,
+  // TierStat: () -> (u8 enabled, then iff enabled the 8 u64s of TierStatInfo in order)
+  //   Tier observability snapshot; enabled=0 when no tier is attached.
+  kTierStat = 21,
+};
+
+// Snapshot of a deployment's storage-tier state, served by kTierStat. Lives here (not in
+// src/tier) so client and server stubs can speak it without depending on the subsystem.
+struct TierStatInfo {
+  bool enabled = false;
+  uint64_t archived_blocks = 0;        // live entries in the block-location map
+  uint64_t archive_used_blocks = 0;    // burned blocks on the write-once medium
+  uint64_t archive_capacity_blocks = 0;
+  uint64_t archive_bytes = 0;          // payload bytes resident on the archive
+  uint64_t migrated_total = 0;         // blocks ever migrated
+  uint64_t promotions = 0;             // archive reads promoted into the cache
+  uint64_t scrub_repairs = 0;
+  uint64_t magnetic_reclaimed = 0;     // magnetic blocks freed by migration
+};
+
+// Result of one scrub pass, served by kScrubNow.
+struct TierScrubSummary {
+  uint64_t checked = 0;        // mappings whose archive copy verified clean
+  uint64_t repaired = 0;       // corrupt archive copies re-burned from the magnetic copy
+  uint64_t unrecoverable = 0;  // corrupt on both tiers
+  uint64_t reclaimed_redo = 0; // interrupted migrations' magnetic frees completed
 };
 
 }  // namespace afs

@@ -1,31 +1,168 @@
 #include "src/disk/write_once_disk.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/crc32.h"
+
 namespace afs {
 
+namespace {
+
+// Bitmap directory block layout: u32 magic | u32 index | u32 crc | u32 nbytes | bytes.
+// crc covers the payload bytes. A block whose header does not parse (fresh medium, or a
+// crash before the first persist) loads as all-unburned for its bit range.
+constexpr uint32_t kBitmapMagic = 0x414f4e43;  // "AONC": AFS Optical Nonvolatile Chart
+constexpr uint32_t kBitmapHeaderBytes = 16;
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+uint32_t WriteOnceDisk::BitmapBlocksFor(uint32_t block_size, uint64_t usable) {
+  const uint64_t capacity = block_size > kBitmapHeaderBytes ? block_size - kBitmapHeaderBytes : 1;
+  const uint64_t bytes = (usable + 7) / 8;
+  const uint64_t blocks = (bytes + capacity - 1) / capacity;
+  return static_cast<uint32_t>(blocks < 1 ? 1 : blocks);
+}
+
 WriteOnceDisk::WriteOnceDisk(uint32_t block_size, uint32_t num_blocks)
-    : inner_(block_size, num_blocks), burned_(num_blocks, false) {}
+    : owned_(std::make_unique<MemDisk>(block_size,
+                                       num_blocks + BitmapBlocksFor(block_size, num_blocks))),
+      inner_(owned_.get()),
+      block_size_(block_size),
+      usable_(num_blocks),
+      reserved_(BitmapBlocksFor(block_size, num_blocks)),
+      burned_(num_blocks, false) {
+  // A fresh MemDisk is all zeros; LoadBitmap would find no directory. Skip it.
+}
 
-DiskGeometry WriteOnceDisk::geometry() const { return inner_.geometry(); }
+WriteOnceDisk::WriteOnceDisk(BlockDevice* inner) : inner_(inner) {
+  const DiskGeometry g = inner_->geometry();
+  block_size_ = g.block_size;
+  // Solve for the smallest directory that covers the rest of the device: with R reserved
+  // blocks the usable region is num_blocks - R, and R must hold its bits.
+  uint32_t reserved = 1;
+  while (reserved < g.num_blocks &&
+         BitmapBlocksFor(block_size_, g.num_blocks - reserved) > reserved) {
+    ++reserved;
+  }
+  reserved_ = reserved;
+  usable_ = g.num_blocks > reserved_ ? g.num_blocks - reserved_ : 0;
+  burned_.assign(usable_, false);
+  LoadBitmap();
+}
 
-Status WriteOnceDisk::Read(BlockNo bno, std::span<uint8_t> out) { return inner_.Read(bno, out); }
+void WriteOnceDisk::LoadBitmap() {
+  std::vector<uint8_t> buf(block_size_);
+  const uint32_t capacity = block_size_ - kBitmapHeaderBytes;
+  for (uint32_t index = 0; index < reserved_; ++index) {
+    if (!inner_->Read(index, buf).ok()) {
+      continue;  // never written (durable devices report this as corrupt) — all unburned
+    }
+    if (GetU32(buf.data()) != kBitmapMagic || GetU32(buf.data() + 4) != index) {
+      continue;
+    }
+    const uint32_t nbytes = GetU32(buf.data() + 12);
+    if (nbytes > capacity ||
+        GetU32(buf.data() + 8) != Crc32c(buf.data() + kBitmapHeaderBytes, nbytes)) {
+      continue;
+    }
+    const uint64_t first_bit = static_cast<uint64_t>(index) * capacity * 8;
+    for (uint32_t byte = 0; byte < nbytes; ++byte) {
+      const uint8_t bits = buf[kBitmapHeaderBytes + byte];
+      if (bits == 0) {
+        continue;
+      }
+      for (uint32_t bit = 0; bit < 8; ++bit) {
+        const uint64_t bno = first_bit + byte * 8 + bit;
+        if ((bits & (1u << bit)) != 0 && bno < usable_) {
+          burned_[bno] = true;
+          ++burned_count_;
+        }
+      }
+    }
+  }
+}
+
+Status WriteOnceDisk::PersistBitmapBlockFor(BlockNo bno) {
+  const uint32_t capacity = block_size_ - kBitmapHeaderBytes;
+  const uint32_t index = bno / (capacity * 8);
+  const uint64_t first_bit = static_cast<uint64_t>(index) * capacity * 8;
+  const uint32_t nbytes = static_cast<uint32_t>(
+      std::min<uint64_t>(capacity, (static_cast<uint64_t>(usable_) - first_bit + 7) / 8));
+  std::vector<uint8_t> buf(block_size_, 0);
+  for (uint32_t byte = 0; byte < nbytes; ++byte) {
+    uint8_t bits = 0;
+    for (uint32_t bit = 0; bit < 8; ++bit) {
+      const uint64_t b = first_bit + byte * 8 + bit;
+      if (b < usable_ && burned_[b]) {
+        bits |= static_cast<uint8_t>(1u << bit);
+      }
+    }
+    buf[kBitmapHeaderBytes + byte] = bits;
+  }
+  PutU32(buf.data(), kBitmapMagic);
+  PutU32(buf.data() + 4, index);
+  PutU32(buf.data() + 8, Crc32c(buf.data() + kBitmapHeaderBytes, nbytes));
+  PutU32(buf.data() + 12, nbytes);
+  return inner_->Write(index, buf);
+}
+
+DiskGeometry WriteOnceDisk::geometry() const { return DiskGeometry{block_size_, usable_}; }
+
+Status WriteOnceDisk::Read(BlockNo bno, std::span<uint8_t> out) {
+  if (bno >= usable_) {
+    return InvalidArgumentError("write-once block out of range");
+  }
+  return inner_->Read(bno + reserved_, out);
+}
 
 Status WriteOnceDisk::Write(BlockNo bno, std::span<const uint8_t> data) {
+  if (bno >= usable_) {
+    return InvalidArgumentError("write-once block out of range");
+  }
+  latency_.Charge();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (bno < burned_.size() && burned_[bno]) {
+    if (burned_[bno]) {
       burn_rejected_->Inc();
       return ReadOnlyError("write-once block already burned");
     }
+    // Mark-then-burn: persist the bit BEFORE the data so a crash can never leave written
+    // data behind a clear bit (which would let a later write violate write-once). A crash
+    // between the two leaves a dead block: bit set, data never written.
+    burned_[bno] = true;
+    Status st = PersistBitmapBlockFor(bno);
+    if (!st.ok()) {
+      // Clean failure (device offline/full): nothing durable changed, so un-mark.
+      burned_[bno] = false;
+      return st;
+    }
+    ++burned_count_;
   }
-  RETURN_IF_ERROR(inner_.Write(bno, data));
-  std::lock_guard<std::mutex> lock(mu_);
-  burned_[bno] = true;
-  return OkStatus();
+  Status st = inner_->Write(bno + reserved_, data);
+  if (st.ok()) {
+    burns_->Inc();
+  }
+  // On data-write failure the bit stays set: the medium's state is unknown, and write-once
+  // safety requires never re-burning a block that may hold data. The block is dead.
+  return st;
 }
 
 bool WriteOnceDisk::IsBurned(BlockNo bno) const {
   std::lock_guard<std::mutex> lock(mu_);
   return bno < burned_.size() && burned_[bno];
+}
+
+uint64_t WriteOnceDisk::burned_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return burned_count_;
 }
 
 }  // namespace afs

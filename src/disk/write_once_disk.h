@@ -2,12 +2,23 @@
 // write-once device. The version mechanism ... seems an ideal file store for optical
 // disks."). Each block may be written exactly once; rewriting fails with kReadOnly. The
 // version mechanism never rewrites committed pages except the version page itself, which the
-// file server places on rewritable media — the optical_archive example demonstrates the
-// split.
+// file server places on rewritable media — src/tier builds the archival tier on top of this
+// device, and the optical_archive example demonstrates the split.
+//
+// The disk is a veneer over any BlockDevice. The burned-block bitmap — the one piece of
+// mutable state a write-once medium needs — is persisted into a directory of reserved blocks
+// at the front of the inner device, so that wrapping a durable device (store::FileDisk)
+// yields an archive whose burned state survives restarts. Burn ordering is mark-then-burn:
+// the bitmap bit is set and persisted BEFORE the data lands, so no crash can leave a block
+// whose data is written but whose bit is clear (which would permit a rewrite, violating the
+// write-once contract). The worst a crash can leave is a "dead" block — bit set, data never
+// written — which readers of the raw medium must tolerate (src/tier's archive scan skips
+// records with an invalid header).
 
 #ifndef SRC_DISK_WRITE_ONCE_DISK_H_
 #define SRC_DISK_WRITE_ONCE_DISK_H_
 
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -17,28 +28,58 @@ namespace afs {
 
 class WriteOnceDisk : public BlockDevice {
  public:
+  // Self-contained medium: owns a fresh MemDisk sized for `num_blocks` usable blocks plus
+  // the bitmap directory. Burned state is volatile (the medium dies with the process).
   WriteOnceDisk(uint32_t block_size, uint32_t num_blocks);
 
+  // Wrap an existing device. The first reserved_blocks() blocks of `inner` hold the burned
+  // bitmap; the constructor reloads it, so a durable inner device (store::FileDisk) gives a
+  // durable archive. A device never touched by a WriteOnceDisk loads as fully unburned.
+  // `inner` must outlive this object.
+  explicit WriteOnceDisk(BlockDevice* inner);
+
+  // Geometry of the usable region (the bitmap directory is not addressable).
   DiskGeometry geometry() const override;
   Status Read(BlockNo bno, std::span<uint8_t> out) override;
 
   // First write to a block burns it; any subsequent write returns kReadOnly.
   Status Write(BlockNo bno, std::span<const uint8_t> data) override;
 
-  uint64_t reads() const override { return inner_.reads(); }
-  uint64_t writes() const override { return inner_.writes(); }
+  uint64_t reads() const override { return inner_->reads(); }
+  uint64_t writes() const override { return inner_->writes(); }
 
-  // Unified simulated-latency knob, charged by the inner device on every op.
-  SimulatedLatency& latency() { return inner_.latency(); }
+  // Unified simulated-latency knob, charged once per user-visible op (bitmap maintenance
+  // I/O is not double-charged).
+  SimulatedLatency& latency() { return latency_; }
 
   bool IsBurned(BlockNo bno) const;
+  uint64_t burned_count() const;
+
+  // Blocks at the front of the inner device reserved for the bitmap directory.
+  uint32_t reserved_blocks() const { return reserved_; }
+  // Inner-device block holding usable block `bno` (tests corrupt the medium through this).
+  BlockNo RawBlockFor(BlockNo bno) const { return bno + reserved_; }
 
  private:
-  MemDisk inner_;
+  // Bitmap directory blocks needed to cover `usable` blocks' bits.
+  static uint32_t BitmapBlocksFor(uint32_t block_size, uint64_t usable);
+  // Reload burned_ from the directory; absent/unreadable directory blocks load as zeros.
+  void LoadBitmap();
+  // Persist the directory block containing `bno`'s bit. Caller holds mu_.
+  Status PersistBitmapBlockFor(BlockNo bno);
+
+  std::unique_ptr<MemDisk> owned_;  // set only by the self-contained constructor
+  BlockDevice* inner_;
+  uint32_t block_size_ = 0;
+  uint32_t usable_ = 0;
+  uint32_t reserved_ = 0;
   mutable std::mutex mu_;
   std::vector<bool> burned_;
+  uint64_t burned_count_ = 0;
+  SimulatedLatency latency_;
   obs::MetricRegistry metrics_{"disk.once"};
   obs::Counter* burn_rejected_ = metrics_.counter("disk.burn_rejected");
+  obs::Counter* burns_ = metrics_.counter("disk.burn");
 };
 
 }  // namespace afs

@@ -115,6 +115,12 @@ const char* TraceEventName(TraceEvent event) {
       return "rpc.dup_replay";
     case TraceEvent::kStableFailover:
       return "stable.failover";
+    case TraceEvent::kTierMigrate:
+      return "tier.migrate";
+    case TraceEvent::kTierPromote:
+      return "tier.promote";
+    case TraceEvent::kTierScrubRepair:
+      return "tier.scrub_repair";
   }
   return "unknown";
 }

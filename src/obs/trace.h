@@ -41,6 +41,9 @@ enum class TraceEvent : uint8_t {
   kRpcRetransmit = 15, // a = target port, b = opcode
   kRpcDupReplay = 16,  // a = client id, b = txn id
   kStableFailover = 17,// a = member index abandoned, b = error code observed
+  kTierMigrate = 18,   // a = magnetic block archived, b = archive block burned
+  kTierPromote = 19,   // a = magnetic block number served (and cached) from the archive
+  kTierScrubRepair = 20,// a = magnetic block number, b = replacement archive block
 };
 
 const char* TraceEventName(TraceEvent event);

@@ -1,0 +1,145 @@
+#include "src/tier/archive.h"
+
+#include <cstring>
+
+#include "src/base/crc32.h"
+
+namespace afs {
+
+namespace {
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Parse one raw archive block. Returns false for dead blocks (bad magic/kind/CRC).
+bool ParseRecord(const std::vector<uint8_t>& block, uint32_t block_size, ArchiveRecord* out) {
+  if (GetU32(block.data()) != kArchiveMagic) {
+    return false;
+  }
+  const uint8_t kind = block[4];
+  if (kind != static_cast<uint8_t>(ArchiveRecordKind::kData) &&
+      kind != static_cast<uint8_t>(ArchiveRecordKind::kUnmap)) {
+    return false;
+  }
+  const uint32_t payload_len = GetU32(block.data() + 20);
+  if (payload_len > block_size - kArchiveHeaderBytes) {
+    return false;
+  }
+  if (GetU32(block.data() + 24) != Crc32c(block.data() + kArchiveHeaderBytes, payload_len)) {
+    return false;
+  }
+  out->kind = static_cast<ArchiveRecordKind>(kind);
+  out->source = GetU32(block.data() + 8);
+  out->seq = GetU64(block.data() + 12);
+  out->payload.assign(block.begin() + kArchiveHeaderBytes,
+                      block.begin() + kArchiveHeaderBytes + payload_len);
+  return true;
+}
+
+}  // namespace
+
+ArchiveTier::ArchiveTier(WriteOnceDisk* disk)
+    : disk_(disk), block_size_(disk->geometry().block_size) {}
+
+Status ArchiveTier::Mount(
+    const std::function<void(BlockNo abno, const ArchiveRecord& record)>& replay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cursor_ = 0;
+  next_seq_ = 1;
+  dead_ = 0;
+  bytes_ = 0;
+  const uint32_t capacity = disk_->geometry().num_blocks;
+  std::vector<uint8_t> block(block_size_);
+  // Burns are strictly sequential, so the burned region is a prefix; scan it in order. A
+  // dead block (burned bit set by mark-then-burn, data lost to the crash) is skipped.
+  while (cursor_ < capacity && disk_->IsBurned(cursor_)) {
+    ArchiveRecord record;
+    if (disk_->Read(cursor_, block).ok() && ParseRecord(block, block_size_, &record)) {
+      if (record.seq >= next_seq_) {
+        next_seq_ = record.seq + 1;
+      }
+      bytes_ += record.payload.size();
+      replay(cursor_, record);
+    } else {
+      ++dead_;
+    }
+    ++cursor_;
+  }
+  return OkStatus();
+}
+
+Result<BlockNo> ArchiveTier::Burn(ArchiveRecordKind kind, BlockNo source,
+                                  std::span<const uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (payload.size() > block_size_ - kArchiveHeaderBytes) {
+    return InvalidArgumentError("archive record payload too large");
+  }
+  if (cursor_ >= disk_->geometry().num_blocks) {
+    return NoSpaceError("archive medium full");
+  }
+  std::vector<uint8_t> block(block_size_, 0);
+  PutU32(block.data(), kArchiveMagic);
+  block[4] = static_cast<uint8_t>(kind);
+  PutU32(block.data() + 8, source);
+  PutU64(block.data() + 12, next_seq_);
+  PutU32(block.data() + 20, static_cast<uint32_t>(payload.size()));
+  if (!payload.empty()) {
+    std::memcpy(block.data() + kArchiveHeaderBytes, payload.data(), payload.size());
+  }
+  PutU32(block.data() + 24, Crc32c(block.data() + kArchiveHeaderBytes, payload.size()));
+  const BlockNo abno = cursor_;
+  Status st = disk_->Write(abno, block);
+  if (!st.ok()) {
+    if (disk_->IsBurned(abno)) {
+      // The bit persisted but the data did not: the block is dead. Skip past it — write-once
+      // media never retry in place.
+      ++cursor_;
+      ++dead_;
+    }
+    return st;
+  }
+  ++cursor_;
+  ++next_seq_;
+  bytes_ += payload.size();
+  return abno;
+}
+
+Result<std::vector<uint8_t>> ArchiveTier::ReadRecord(BlockNo abno, BlockNo expect_source) {
+  std::vector<uint8_t> block(block_size_);
+  RETURN_IF_ERROR(disk_->Read(abno, block));
+  ArchiveRecord record;
+  if (!ParseRecord(block, block_size_, &record)) {
+    return CorruptError("archive record failed CRC");
+  }
+  if (record.kind != ArchiveRecordKind::kData || record.source != expect_source) {
+    return CorruptError("archive record names a different source block");
+  }
+  return std::move(record.payload);
+}
+
+uint64_t ArchiveTier::used_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cursor_;
+}
+
+uint64_t ArchiveTier::dead_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+uint64_t ArchiveTier::bytes_burned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace afs

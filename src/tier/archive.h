@@ -1,0 +1,89 @@
+// ArchiveTier: the write-once record log under the tiered store.
+//
+// The archive is a WriteOnceDisk burned sequentially from block 0. Every burned block is a
+// self-describing record: a CRC-guarded header naming the magnetic block it archives (or,
+// for unmap records, the mappings it retracts) plus the payload. That makes the medium its
+// own persistent block-location map — mounting is one sequential scan of the burned prefix,
+// replaying records in burn order, with no separate map structure that could diverge from
+// the data it indexes. (This is the optical analogue of FileDisk's self-describing journal.)
+//
+// Record kinds:
+//   * kData  — payload is the archived copy of magnetic block `source`. A later kData for
+//              the same source supersedes the earlier one (scrub repair re-burns).
+//   * kUnmap — payload is a list of magnetic block numbers whose mappings are retracted
+//              (the block was freed, or its number was reallocated on the magnetic tier).
+//
+// Burn ordering (mark-then-burn, see WriteOnceDisk) means a crash can leave dead blocks:
+// burned per the bitmap but never written, or written torn on real media. The mount scan
+// tolerates them — a block whose header fails magic/CRC is skipped, costing one archive
+// block and nothing else.
+
+#ifndef SRC_TIER_ARCHIVE_H_
+#define SRC_TIER_ARCHIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/disk/write_once_disk.h"
+
+namespace afs {
+
+enum class ArchiveRecordKind : uint8_t {
+  kData = 1,
+  kUnmap = 2,
+};
+
+// Record header: u32 magic | u8 kind | u8[3] zero | u32 source | u64 seq | u32 payload_len
+// | u32 payload_crc. 28 bytes — the same as the block server's header, so an archive with
+// 4096-byte blocks holds the magnetic tier's 4068-byte payloads exactly.
+inline constexpr uint32_t kArchiveHeaderBytes = 28;
+inline constexpr uint32_t kArchiveMagic = 0x41524348;  // "ARCH"
+
+struct ArchiveRecord {
+  ArchiveRecordKind kind = ArchiveRecordKind::kData;
+  BlockNo source = 0;           // kData: the archived magnetic block; kUnmap: 0
+  uint64_t seq = 0;             // burn sequence number, strictly increasing
+  std::vector<uint8_t> payload;
+};
+
+class ArchiveTier {
+ public:
+  explicit ArchiveTier(WriteOnceDisk* disk);
+
+  // Payload bytes one record holds.
+  uint32_t payload_capacity() const { return block_size_ - kArchiveHeaderBytes; }
+
+  // Scan the burned prefix in block order, invoking `replay` for every valid record (dead
+  // blocks are skipped and counted). Positions the burn cursor after the scanned prefix.
+  // Must be called before Burn()/ReadRecord(); calling it again rescans from zero.
+  Status Mount(const std::function<void(BlockNo abno, const ArchiveRecord& record)>& replay);
+
+  // Burn one record at the cursor; returns the archive block it landed on.
+  // kNoSpace when the medium is full, kInvalidArgument when the payload does not fit.
+  Result<BlockNo> Burn(ArchiveRecordKind kind, BlockNo source, std::span<const uint8_t> payload);
+
+  // Read and verify the record at `abno`. kCorrupt if the header or payload CRC fails or
+  // the record's source is not `expect_source` (a misdirected mapping).
+  Result<std::vector<uint8_t>> ReadRecord(BlockNo abno, BlockNo expect_source);
+
+  uint64_t used_blocks() const;
+  uint64_t capacity_blocks() const { return disk_->geometry().num_blocks; }
+  uint64_t dead_blocks() const;   // burned but unreadable (crash leftovers)
+  uint64_t bytes_burned() const;  // payload bytes of valid records burned or replayed
+
+ private:
+  WriteOnceDisk* disk_;
+  uint32_t block_size_;
+  mutable std::mutex mu_;
+  BlockNo cursor_ = 0;    // next block to burn
+  uint64_t next_seq_ = 1;
+  uint64_t dead_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace afs
+
+#endif  // SRC_TIER_ARCHIVE_H_

@@ -1,0 +1,84 @@
+// TierCrashPoint: fault-injection sites inside the migrate → record-location →
+// free-magnetic sequence of TieredStore::MigrateBlocks.
+//
+// Each point names one instant at which a power cut would leave the two tiers in a distinct
+// intermediate state. The migration protocol's invariant — every committed version stays
+// readable from one tier or the other — must hold at every point; tests arm an injector,
+// drive a migration until it fires, simulate a restart (fresh WriteOnceDisk + TieredStore
+// over the same media), and assert every committed version still reads back byte-identical.
+// The per-point media states are catalogued in docs/TIERING.md's crash matrix.
+
+#ifndef SRC_TIER_CRASH_POINT_H_
+#define SRC_TIER_CRASH_POINT_H_
+
+#include <mutex>
+#include <optional>
+
+namespace afs {
+
+enum class TierCrashPoint : int {
+  kBeforeBurn = 0,  // batch read from magnetic done, nothing burned: pure magnetic state
+  kMidBurn,         // some blocks burned (location recorded), the rest still magnetic-only
+  kAfterBurn,       // every block burned + location durable, magnetic copies all still live
+  kMidFree,         // half the magnetic copies freed, the rest doubly resident
+  kAfterFree,       // frees complete; the cut lands before stats are finalised
+};
+
+inline constexpr TierCrashPoint kAllTierCrashPoints[] = {
+    TierCrashPoint::kBeforeBurn, TierCrashPoint::kMidBurn, TierCrashPoint::kAfterBurn,
+    TierCrashPoint::kMidFree,    TierCrashPoint::kAfterFree,
+};
+
+// "before_burn" etc., for parameterised test names and logs.
+inline const char* TierCrashPointName(TierCrashPoint point) {
+  switch (point) {
+    case TierCrashPoint::kBeforeBurn:
+      return "before_burn";
+    case TierCrashPoint::kMidBurn:
+      return "mid_burn";
+    case TierCrashPoint::kAfterBurn:
+      return "after_burn";
+    case TierCrashPoint::kMidFree:
+      return "mid_free";
+    case TierCrashPoint::kAfterFree:
+      return "after_free";
+  }
+  return "unknown";
+}
+
+// Arms at most one crash point; the first migration visit to that site fires it (exactly
+// once) and MigrateBlocks abandons the cycle as if the power had been cut. Same shape as
+// CrashPointInjector so the two catalogues read alike.
+class TierCrashInjector {
+ public:
+  void Arm(TierCrashPoint point) {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = point;
+    fired_ = false;
+  }
+
+  // True exactly once, when `point` is the armed site. Consumes the arming.
+  bool Fire(TierCrashPoint point) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.has_value() || *armed_ != point) {
+      return false;
+    }
+    armed_.reset();
+    fired_ = true;
+    return true;
+  }
+
+  bool fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::optional<TierCrashPoint> armed_;
+  bool fired_ = false;
+};
+
+}  // namespace afs
+
+#endif  // SRC_TIER_CRASH_POINT_H_

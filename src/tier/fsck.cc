@@ -1,0 +1,49 @@
+#include "src/tier/fsck.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace afs {
+
+FsckReport RunTieredFsck(FileServer* server, TieredStore* tiered, const FsckOptions& options) {
+  FsckReport report = RunFsck(server, options);
+
+  std::unordered_set<BlockNo> magnetic;
+  auto allocated = tiered->magnetic()->ListBlocks();
+  if (allocated.ok()) {
+    magnetic.insert(allocated->begin(), allocated->end());
+  } else {
+    report.clean = false;
+    report.errors.push_back("tier: magnetic block list unreadable: " +
+                            allocated.status().ToString());
+  }
+
+  for (const auto& [bno, abno] : tiered->MappingSnapshot()) {
+    ++report.blocks_archived;
+    const bool doubly_resident = magnetic.count(bno) > 0;
+    if (tiered->archive()->ReadRecord(abno, bno).ok()) {
+      ++report.archived_verified;
+    } else {
+      ++report.archived_corrupt;
+      if (doubly_resident) {
+        // T1: repairable — the magnetic copy survives, a scrub pass re-burns it.
+        report.warnings.push_back("tier: archive record for block " + std::to_string(bno) +
+                                  " at archive block " + std::to_string(abno) +
+                                  " failed verification (magnetic copy present; scrub repairs)");
+      } else {
+        report.clean = false;
+        report.errors.push_back("tier: block " + std::to_string(bno) +
+                                " unreadable on BOTH tiers (archive block " +
+                                std::to_string(abno) + " corrupt, magnetic copy freed)");
+      }
+    }
+    if (doubly_resident) {
+      // T2: the legal burn-to-free crash window; Mount()/ScrubPass() reconcile it.
+      report.warnings.push_back("tier: block " + std::to_string(bno) +
+                                " doubly resident (archived and still magnetic)");
+    }
+  }
+  return report;
+}
+
+}  // namespace afs

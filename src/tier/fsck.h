@@ -1,0 +1,27 @@
+// RunTieredFsck: the core fsck invariants plus the archival ones.
+//
+//   T1  Every entry of the block-location map points at an archive record that parses,
+//       CRC-verifies, and names that magnetic block as its source. A violation is an error
+//       only when the magnetic tier no longer holds a copy either — then a committed block
+//       is on neither tier; repairable rot is a warning (ScrubPass fixes it).
+//   T2  Double residence (a block both mapped and still magnetically allocated) is a
+//       warning: it is the legal crash window between burn and free, and Mount()/ScrubPass
+//       reconcile it.
+//
+// The core invariants (I1..I6) run unchanged over the TieredStore: ListBlocks reports the
+// union of both tiers and reads resolve through the location map, so reachability and
+// accounting see archived blocks exactly as they saw magnetic ones.
+
+#ifndef SRC_TIER_FSCK_H_
+#define SRC_TIER_FSCK_H_
+
+#include "src/core/fsck.h"
+#include "src/tier/tiered_store.h"
+
+namespace afs {
+
+FsckReport RunTieredFsck(FileServer* server, TieredStore* tiered, const FsckOptions& options = {});
+
+}  // namespace afs
+
+#endif  // SRC_TIER_FSCK_H_

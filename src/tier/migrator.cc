@@ -1,0 +1,127 @@
+#include "src/tier/migrator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace afs {
+
+Migrator::Migrator(std::vector<FileServer*> servers, TieredStore* tiered, MigratorOptions options)
+    : servers_(std::move(servers)), tiered_(tiered), options_(options) {
+  if (options_.keep_hot_versions == 0) {
+    options_.keep_hot_versions = 1;
+  }
+}
+
+Migrator::~Migrator() { Stop(); }
+
+Result<std::vector<BlockNo>> Migrator::CollectEligible() {
+  FileServer* fs = servers_[0];
+  PageStore* pages = fs->page_store();
+
+  std::unordered_set<BlockNo> hot;
+  std::unordered_set<BlockNo> walked;      // dedup across the old-version walks
+  std::unordered_set<BlockNo> candidates;  // plain page chains of old versions
+  auto keep_hot = [&hot](const Page&, const std::vector<BlockNo>& chain) {
+    for (BlockNo bno : chain) {
+      hot.insert(bno);
+    }
+  };
+  auto classify = [&](const Page& page, const std::vector<BlockNo>& chain) {
+    if (page.IsVersionPage()) {
+      // Version pages (file roots and nested sub-file roots alike) are overwritten in
+      // place by commit's test-and-set and by GC pruning: rewritable media only.
+      return;
+    }
+    for (BlockNo bno : chain) {
+      candidates.insert(bno);
+    }
+  };
+
+  // The file table chain is rewritten on every create/delete/prune.
+  ASSIGN_OR_RETURN(std::vector<BlockNo> table_blocks, fs->FileTableBlocks());
+  hot.insert(table_blocks.begin(), table_blocks.end());
+
+  // Uncommitted trees, snapshotted before the chain walks (GC's root-set ordering: a
+  // version committing mid-cycle is in its file's re-read chain or in this snapshot —
+  // never in neither).
+  for (FileServer* server : servers_) {
+    if (!server->running()) {
+      continue;
+    }
+    for (BlockNo head : server->ListUncommitted()) {
+      Status st = WalkVersionTree(pages, head, &hot, keep_hot);
+      if (!st.ok() && st.code() != ErrorCode::kNotFound) {
+        return st;  // kNotFound: committed/aborted under us — covered by its chain
+      }
+    }
+  }
+
+  for (const FileServer::FileEntry& entry : fs->SnapshotFileTable()) {
+    ASSIGN_OR_RETURN(std::vector<BlockNo> chain, fs->CommittedChain(entry.file_id));
+    const size_t keep = std::min<size_t>(chain.size(), options_.keep_hot_versions);
+    for (size_t i = chain.size() - keep; i < chain.size(); ++i) {
+      RETURN_IF_ERROR(WalkVersionTree(pages, chain[i], &hot, keep_hot));
+    }
+    for (size_t i = 0; i + keep < chain.size(); ++i) {
+      RETURN_IF_ERROR(WalkVersionTree(pages, chain[i], &walked, classify));
+    }
+  }
+
+  // Copy-on-write shares unmodified subtrees between old and newer versions, so the cold
+  // walk sees hot blocks too; subtract. MigrateBlocks itself skips already-archived ones.
+  std::vector<BlockNo> eligible;
+  eligible.reserve(candidates.size());
+  for (BlockNo bno : candidates) {
+    if (hot.count(bno) == 0) {
+      eligible.push_back(bno);
+    }
+  }
+  std::sort(eligible.begin(), eligible.end());
+  return eligible;
+}
+
+Result<uint64_t> Migrator::RunCycle() {
+  auto eligible = CollectEligible();
+  if (!eligible.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cycles_aborted;
+    return eligible.status();
+  }
+  uint64_t migrated = 0;
+  Status st = tiered_->MigrateBlocks(*eligible, &migrated);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.blocks_migrated += migrated;
+  if (!st.ok()) {
+    ++stats_.cycles_aborted;
+    return st;
+  }
+  ++stats_.cycles;
+  return migrated;
+}
+
+void Migrator::Start(std::chrono::milliseconds interval) {
+  Stop();
+  stop_.store(false);
+  background_ = std::thread([this, interval] {
+    while (!stop_.load()) {
+      (void)RunCycle();
+      for (int i = 0; i < 100 && !stop_.load(); ++i) {
+        std::this_thread::sleep_for(interval / 100);
+      }
+    }
+  });
+}
+
+void Migrator::Stop() {
+  stop_.store(true);
+  if (background_.joinable()) {
+    background_.join();
+  }
+}
+
+MigratorStats Migrator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace afs

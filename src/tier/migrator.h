@@ -1,0 +1,89 @@
+// Migrator: the background archival policy over a TieredStore (paper §6: "the version
+// mechanism ... seems an ideal file store for optical disks").
+//
+// Each cycle walks the committed version trees of every file — the same level-synchronous
+// vectored traversal the GC mark phase uses (WalkVersionTree) — and partitions blocks:
+//
+//   hot (never archived):
+//     * the file table page chain (rewritten on every create/delete/prune);
+//     * every version PAGE chain, current or old — version pages are the one page kind
+//       overwritten in place (commit's test-and-set, GC pruning, sub-file version pages
+//       nested in super-file trees), so they must stay on rewritable media;
+//     * the full tree of each file's newest `keep_hot_versions` committed versions (the
+//       working set clients read and base updates on);
+//     * every live uncommitted version's tree (snapshotted before the chain walks, the
+//       GC's root-set ordering argument).
+//   eligible (archive + reclaim):
+//     * plain page chains of older committed versions — immutable by the version
+//       mechanism's construction — minus anything also reachable hot (copy-on-write means
+//       old and current trees share unmodified subtrees).
+//
+// Eligible blocks are handed to TieredStore::MigrateBlocks, whose burn → record-location →
+// free-magnetic ordering keeps every committed version readable at any crash point.
+// Safety against concurrent commits mirrors the GC: a version that commits mid-cycle is
+// either in the re-read chain (walked hot) or was uncommitted at the snapshot (walked
+// hot); blocks it allocated are in neither walk and are never candidates. A failed page
+// read aborts the cycle conservatively — cold data survives to the next cycle.
+
+#ifndef SRC_TIER_MIGRATOR_H_
+#define SRC_TIER_MIGRATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/gc.h"
+#include "src/tier/tiered_store.h"
+
+namespace afs {
+
+struct MigratorOptions {
+  // Newest committed versions per file whose whole tree stays magnetic (>= 1; the current
+  // version is always hot).
+  uint32_t keep_hot_versions = 1;
+};
+
+struct MigratorStats {
+  uint64_t cycles = 0;
+  uint64_t blocks_migrated = 0;
+  uint64_t cycles_aborted = 0;
+};
+
+class Migrator {
+ public:
+  // `servers` are the live file servers of the deployment (the first one's file table and
+  // page store drive the walk; all share `tiered` as their block store).
+  Migrator(std::vector<FileServer*> servers, TieredStore* tiered, MigratorOptions options = {});
+  ~Migrator();
+
+  // One full cycle: classify, then migrate. Returns the number of blocks newly archived.
+  // Safe to run while the system serves requests and while the GC runs.
+  Result<uint64_t> RunCycle();
+
+  // Background operation.
+  void Start(std::chrono::milliseconds interval);
+  void Stop();
+
+  MigratorStats stats() const;
+
+ private:
+  // Classify every committed block; returns the eligible (cold, unarchived) set.
+  Result<std::vector<BlockNo>> CollectEligible();
+
+  std::vector<FileServer*> servers_;
+  TieredStore* tiered_;
+  MigratorOptions options_;
+
+  mutable std::mutex mu_;
+  MigratorStats stats_;
+
+  std::atomic<bool> stop_{false};
+  std::thread background_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_TIER_MIGRATOR_H_

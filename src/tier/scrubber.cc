@@ -1,0 +1,41 @@
+#include "src/tier/scrubber.h"
+
+namespace afs {
+
+Result<TierScrubSummary> Scrubber::RunPass() {
+  ASSIGN_OR_RETURN(TierScrubSummary summary, tiered_->ScrubPass());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.passes;
+  stats_.checked += summary.checked;
+  stats_.repaired += summary.repaired;
+  stats_.unrecoverable += summary.unrecoverable;
+  stats_.reclaimed_redo += summary.reclaimed_redo;
+  return summary;
+}
+
+void Scrubber::Start(std::chrono::milliseconds interval) {
+  Stop();
+  stop_.store(false);
+  background_ = std::thread([this, interval] {
+    while (!stop_.load()) {
+      (void)RunPass();
+      for (int i = 0; i < 100 && !stop_.load(); ++i) {
+        std::this_thread::sleep_for(interval / 100);
+      }
+    }
+  });
+}
+
+void Scrubber::Stop() {
+  stop_.store(true);
+  if (background_.joinable()) {
+    background_.join();
+  }
+}
+
+ScrubberStats Scrubber::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace afs

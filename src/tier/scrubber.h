@@ -1,0 +1,55 @@
+// Scrubber: periodic archive integrity pass over a TieredStore.
+//
+// Write-once media rot silently; the paper's stable-pair answer — "consult the companion
+// when the block ... is corrupted" — has an archival inverse here: each pass CRC-verifies
+// every archived block's record, re-burns records whose magnetic source still exists
+// (interrupted migrations leave one), and completes interrupted magnetic reclamations.
+// See TieredStore::ScrubPass for the per-mapping rules.
+
+#ifndef SRC_TIER_SCRUBBER_H_
+#define SRC_TIER_SCRUBBER_H_
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "src/tier/tiered_store.h"
+
+namespace afs {
+
+struct ScrubberStats {
+  uint64_t passes = 0;
+  uint64_t checked = 0;
+  uint64_t repaired = 0;
+  uint64_t unrecoverable = 0;
+  uint64_t reclaimed_redo = 0;
+};
+
+class Scrubber {
+ public:
+  explicit Scrubber(TieredStore* tiered) : tiered_(tiered) {}
+  ~Scrubber() { Stop(); }
+
+  // One synchronous pass.
+  Result<TierScrubSummary> RunPass();
+
+  // Background operation.
+  void Start(std::chrono::milliseconds interval);
+  void Stop();
+
+  ScrubberStats stats() const;
+
+ private:
+  TieredStore* tiered_;
+
+  mutable std::mutex mu_;
+  ScrubberStats stats_;
+
+  std::atomic<bool> stop_{false};
+  std::thread background_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_TIER_SCRUBBER_H_

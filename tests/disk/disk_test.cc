@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "src/disk/mem_disk.h"
 #include "src/disk/write_once_disk.h"
+#include "src/store/file_disk.h"
 
 namespace afs {
 namespace {
@@ -95,6 +99,70 @@ TEST(WriteOnceDiskTest, DistinctBlocksIndependent) {
   std::vector<uint8_t> out(512);
   ASSERT_TRUE(disk.Read(0, out).ok());
   EXPECT_EQ(out, data);
+}
+
+TEST(WriteOnceDiskTest, BurnedBitmapSurvivesRewrap) {
+  // The bitmap lives in reserved blocks at the front of the inner device; a fresh wrapper
+  // over the same device must reload it — the write-once contract outlives any process.
+  MemDisk inner(512, 64);
+  std::vector<uint8_t> data(512, 0x55);
+  {
+    WriteOnceDisk disk(&inner);
+    ASSERT_GE(disk.reserved_blocks(), 1u);
+    ASSERT_TRUE(disk.Write(5, data).ok());
+    ASSERT_TRUE(disk.Write(6, data).ok());
+    EXPECT_EQ(disk.burned_count(), 2u);
+  }
+  WriteOnceDisk again(&inner);
+  EXPECT_TRUE(again.IsBurned(5));
+  EXPECT_TRUE(again.IsBurned(6));
+  EXPECT_FALSE(again.IsBurned(7));
+  EXPECT_EQ(again.burned_count(), 2u);
+  EXPECT_EQ(again.Write(5, data).code(), ErrorCode::kReadOnly);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(again.Read(5, out).ok());
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(again.Write(7, data).ok());
+}
+
+TEST(WriteOnceDiskTest, WrappedGeometryExcludesBitmapDirectory) {
+  MemDisk inner(512, 64);
+  WriteOnceDisk disk(&inner);
+  EXPECT_EQ(disk.geometry().block_size, 512u);
+  EXPECT_EQ(disk.geometry().num_blocks + disk.reserved_blocks(), 64u);
+  // Usable block numbers address past the directory on the inner device.
+  EXPECT_EQ(disk.RawBlockFor(0), disk.reserved_blocks());
+  // The last usable block is addressable, one past it is not.
+  std::vector<uint8_t> data(512, 0x66);
+  ASSERT_TRUE(disk.Write(disk.geometry().num_blocks - 1, data).ok());
+  EXPECT_FALSE(disk.Write(disk.geometry().num_blocks, data).ok());
+}
+
+TEST(WriteOnceDiskTest, BurnsSurviveFileDiskReopen) {
+  // Wrapping a durable FileDisk yields an archive whose burned state survives a real
+  // process restart: close the file, reopen it, and the burns are still rejected.
+  std::string path = ::testing::TempDir() + "/write_once_archive.afsdisk";
+  std::remove(path.c_str());
+  FileDiskOptions options;
+  options.block_size = 512;
+  options.num_blocks = 64;
+  std::vector<uint8_t> data(512, 0x77);
+  {
+    auto fdisk = FileDisk::Open(path, options);
+    ASSERT_TRUE(fdisk.ok()) << fdisk.status();
+    WriteOnceDisk disk(fdisk->get());
+    ASSERT_TRUE(disk.Write(3, data).ok());
+    EXPECT_EQ(disk.Write(3, data).code(), ErrorCode::kReadOnly);
+  }
+  auto fdisk = FileDisk::Open(path, options);
+  ASSERT_TRUE(fdisk.ok()) << fdisk.status();
+  WriteOnceDisk disk(fdisk->get());
+  EXPECT_TRUE(disk.IsBurned(3));
+  EXPECT_EQ(disk.Write(3, data).code(), ErrorCode::kReadOnly);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(disk.Read(3, out).ok());
+  EXPECT_EQ(out, data);
+  std::remove(path.c_str());
 }
 
 }  // namespace

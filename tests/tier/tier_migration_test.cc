@@ -1,0 +1,267 @@
+// Migrator tests over a live file service: eligibility classification (version pages and
+// hot trees stay magnetic), byte-identical history after migration, the reclamation floor,
+// tiered fsck, GC interoperation, and the tier admin RPCs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/client/file_client.h"
+#include "src/core/gc.h"
+#include "src/disk/mem_disk.h"
+#include "src/disk/write_once_disk.h"
+#include "src/tier/fsck.h"
+#include "src/tier/migrator.h"
+#include "src/tier/scrubber.h"
+#include "src/tier/tiered_store.h"
+
+namespace afs {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// One FileServer on a TieredStore over (InMemoryBlockStore, WriteOnceDisk-on-MemDisk).
+// The committed-page cache is off so every read is answered by the store — the tier's
+// read-through path, not the server cache, is what serves archived history.
+class TierMigrationTest : public ::testing::Test {
+ protected:
+  TierMigrationTest() : net_(3), magnetic_(4068, 1 << 20), media_(4096, 2048) {
+    platter_ = std::make_unique<WriteOnceDisk>(&media_);
+    tiered_ = std::make_unique<TieredStore>(&magnetic_, platter_.get());
+    EXPECT_TRUE(tiered_->Mount().ok());
+    FileServerOptions options;
+    options.cache_committed_pages = false;
+    fs_ = std::make_unique<FileServer>(&net_, "fs0", tiered_.get(), options);
+    fs_->Start();
+    EXPECT_TRUE(fs_->AttachStore().ok());
+  }
+
+  Capability MakeFile(int pages) {
+    auto file = fs_->CreateFile();
+    auto v = fs_->CreateVersion(*file, kNullPort, false);
+    for (int i = 0; i < pages; ++i) {
+      (void)fs_->InsertRef(*v, PagePath::Root(), i);
+      (void)fs_->WritePage(*v, PagePath({static_cast<uint32_t>(i)}),
+                           std::vector<uint8_t>(2000, static_cast<uint8_t>(i)));
+    }
+    (void)fs_->Commit(*v);
+    return *file;
+  }
+
+  void CommitGeneration(const Capability& file, int pages, int gen) {
+    auto v = fs_->CreateVersion(file, kNullPort, false);
+    ASSERT_TRUE(v.ok()) << v.status();
+    for (int i = 0; i < pages; ++i) {
+      std::vector<uint8_t> data(2000, static_cast<uint8_t>(gen * 16 + i));
+      ASSERT_TRUE(fs_->WritePage(*v, PagePath({static_cast<uint32_t>(i)}), data).ok());
+    }
+    auto commit = fs_->Commit(*v);
+    ASSERT_TRUE(commit.ok()) << commit.status();
+  }
+
+  // Every block reachable from any committed version of `file`, with its raw payload as
+  // served by the tiered store right now.
+  std::unordered_map<BlockNo, std::vector<uint8_t>> SnapshotHistory(const Capability& file) {
+    std::unordered_map<BlockNo, std::vector<uint8_t>> contents;
+    auto chain = fs_->CommittedChain(file.object);
+    EXPECT_TRUE(chain.ok());
+    std::unordered_set<BlockNo> reachable;
+    for (BlockNo head : *chain) {
+      EXPECT_TRUE(WalkVersionTree(fs_->page_store(), head, &reachable,
+                                  [](const Page&, const std::vector<BlockNo>&) {})
+                      .ok());
+    }
+    for (BlockNo bno : reachable) {
+      auto data = tiered_->Read(bno);
+      EXPECT_TRUE(data.ok()) << "block " << bno << ": " << data.status();
+      if (data.ok()) {
+        contents[bno] = std::move(*data);
+      }
+    }
+    return contents;
+  }
+
+  Network net_;
+  InMemoryBlockStore magnetic_;
+  MemDisk media_;
+  std::unique_ptr<WriteOnceDisk> platter_;
+  std::unique_ptr<TieredStore> tiered_;
+  std::unique_ptr<FileServer> fs_;
+};
+
+TEST_F(TierMigrationTest, HistoryBytesIdenticalAfterMigration) {
+  Capability file = MakeFile(4);
+  for (int gen = 0; gen < 8; ++gen) {
+    CommitGeneration(file, 4, gen);
+  }
+  auto before = SnapshotHistory(file);
+  ASSERT_FALSE(before.empty());
+
+  Migrator migrator({fs_.get()}, tiered_.get());
+  auto migrated = migrator.RunCycle();
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  EXPECT_GT(*migrated, 0u);
+
+  // Every block of every committed version — archived or magnetic — reads back
+  // byte-identical through the tier.
+  tiered_->DropPromotions();
+  auto after = SnapshotHistory(file);
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(TierMigrationTest, MigrationReclaimsAtLeastHalfTheMagneticBlocks) {
+  // The acceptance workload: one file, many generations, every page rewritten each time,
+  // so almost all storage is old-version plain pages. keep_hot_versions=1 leaves only the
+  // newest tree (plus version pages and the file table) magnetic.
+  Capability file = MakeFile(4);
+  for (int gen = 0; gen < 12; ++gen) {
+    CommitGeneration(file, 4, gen);
+  }
+  const size_t before = magnetic_.allocated_blocks();
+  Migrator migrator({fs_.get()}, tiered_.get());
+  auto migrated = migrator.RunCycle();
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  const size_t after = magnetic_.allocated_blocks();
+  EXPECT_EQ(before - after, *migrated);  // every archived block's magnetic copy reclaimed
+  EXPECT_GE(before - after, (before + 1) / 2)
+      << "reclaimed " << (before - after) << " of " << before << " magnetic blocks";
+  EXPECT_EQ(tiered_->Stats().magnetic_reclaimed, before - after);
+}
+
+TEST_F(TierMigrationTest, VersionPagesAndHotTreeStayMagnetic) {
+  Capability file = MakeFile(3);
+  for (int gen = 0; gen < 5; ++gen) {
+    CommitGeneration(file, 3, gen);
+  }
+  Migrator migrator({fs_.get()}, tiered_.get());
+  ASSERT_TRUE(migrator.RunCycle().ok());
+
+  // Every version page of the chain is still magnetic (they are overwritten in place by
+  // commit and GC), and so is the whole newest tree.
+  auto chain = fs_->CommittedChain(file.object);
+  ASSERT_TRUE(chain.ok());
+  for (BlockNo head : *chain) {
+    EXPECT_FALSE(tiered_->archived(head)) << "version page " << head << " archived";
+  }
+  std::unordered_set<BlockNo> newest;
+  ASSERT_TRUE(WalkVersionTree(fs_->page_store(), chain->back(), &newest,
+                              [](const Page&, const std::vector<BlockNo>&) {})
+                  .ok());
+  for (BlockNo bno : newest) {
+    EXPECT_FALSE(tiered_->archived(bno)) << "hot block " << bno << " archived";
+  }
+  // And something older genuinely was archived.
+  EXPECT_GT(tiered_->archived_blocks(), 0u);
+}
+
+TEST_F(TierMigrationTest, UncommittedVersionsAreNeverArchived) {
+  Capability file = MakeFile(2);
+  CommitGeneration(file, 2, 0);
+  // A live uncommitted version based on the current tree.
+  auto v = fs_->CreateVersion(file, kNullPort, false);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(fs_->WritePage(*v, PagePath({0}), Bytes("work in progress")).ok());
+
+  Migrator migrator({fs_.get()}, tiered_.get());
+  ASSERT_TRUE(migrator.RunCycle().ok());
+  for (BlockNo head : fs_->ListUncommitted()) {
+    std::unordered_set<BlockNo> tree;
+    ASSERT_TRUE(WalkVersionTree(fs_->page_store(), head, &tree,
+                                [](const Page&, const std::vector<BlockNo>&) {})
+                    .ok());
+    for (BlockNo bno : tree) {
+      EXPECT_FALSE(tiered_->archived(bno)) << "uncommitted block " << bno << " archived";
+    }
+  }
+  // The version still commits cleanly after the cycle.
+  auto commit = fs_->Commit(*v);
+  EXPECT_TRUE(commit.ok()) << commit.status();
+}
+
+TEST_F(TierMigrationTest, TieredFsckCleanAfterMigration) {
+  Capability file = MakeFile(4);
+  for (int gen = 0; gen < 6; ++gen) {
+    CommitGeneration(file, 4, gen);
+  }
+  Migrator migrator({fs_.get()}, tiered_.get());
+  ASSERT_TRUE(migrator.RunCycle().ok());
+  FsckReport report = RunTieredFsck(fs_.get(), tiered_.get());
+  EXPECT_TRUE(report.clean) << report.ToString();
+  EXPECT_GT(report.blocks_archived, 0u);
+  EXPECT_EQ(report.archived_verified, report.blocks_archived);
+  EXPECT_EQ(report.archived_corrupt, 0u);
+}
+
+TEST_F(TierMigrationTest, GcPruneFreesArchivedBlocksThroughTheTier) {
+  Capability file = MakeFile(3);
+  for (int gen = 0; gen < 6; ++gen) {
+    CommitGeneration(file, 3, gen);
+  }
+  Migrator migrator({fs_.get()}, tiered_.get());
+  ASSERT_TRUE(migrator.RunCycle().ok());
+  const size_t archived_before = tiered_->archived_blocks();
+  ASSERT_GT(archived_before, 0u);
+
+  // Pruning drops the old versions whose pages were archived; their frees travel through
+  // the tier as durable unmap records, so the mappings are gone — and stay gone after a
+  // remount of the archive.
+  GarbageCollector gc({fs_.get()}, GcOptions{.keep_versions = 1});
+  ASSERT_TRUE(gc.RunCycle().ok());
+  EXPECT_LT(tiered_->archived_blocks(), archived_before);
+  FsckReport report = RunTieredFsck(fs_.get(), tiered_.get());
+  EXPECT_TRUE(report.clean) << report.ToString();
+
+  const size_t mapped = tiered_->archived_blocks();
+  auto platter2 = std::make_unique<WriteOnceDisk>(&media_);
+  TieredStore remounted(&magnetic_, platter2.get());
+  ASSERT_TRUE(remounted.Mount().ok());
+  EXPECT_EQ(remounted.archived_blocks(), mapped);
+}
+
+TEST_F(TierMigrationTest, AdminRpcsDriveMigrationAndScrub) {
+  Migrator migrator({fs_.get()}, tiered_.get());
+  Scrubber scrubber(tiered_.get());
+  fs_->SetTierAdmin({.migrate = [&] { return migrator.RunCycle(); },
+                     .scrub = [&] { return scrubber.RunPass(); },
+                     .stat = [&] { return tiered_->Stats(); }});
+  FileClient client(&net_, {fs_->port()});
+
+  Capability file = MakeFile(3);
+  for (int gen = 0; gen < 5; ++gen) {
+    CommitGeneration(file, 3, gen);
+  }
+  auto migrated = client.MigrateNow();
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  EXPECT_GT(*migrated, 0u);
+
+  auto stat = client.TierStat();
+  ASSERT_TRUE(stat.ok());
+  EXPECT_TRUE(stat->enabled);
+  EXPECT_EQ(stat->archived_blocks, tiered_->archived_blocks());
+  EXPECT_EQ(stat->migrated_total, *migrated);
+  EXPECT_GT(stat->magnetic_reclaimed, 0u);
+
+  auto scrub = client.ScrubNow();
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_EQ(scrub->checked, tiered_->archived_blocks());
+  EXPECT_EQ(scrub->unrecoverable, 0u);
+}
+
+TEST_F(TierMigrationTest, AdminRpcsUnavailableWithoutATier) {
+  // A server with no tier attached answers migrate/scrub with kUnavailable and stat with
+  // enabled=false — clients can probe for the feature.
+  FileClient client(&net_, {fs_->port()});
+  EXPECT_EQ(client.MigrateNow().status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(client.ScrubNow().status().code(), ErrorCode::kUnavailable);
+  auto stat = client.TierStat();
+  ASSERT_TRUE(stat.ok());
+  EXPECT_FALSE(stat->enabled);
+}
+
+}  // namespace
+}  // namespace afs
