@@ -217,6 +217,95 @@ BENCHMARK(BM_MultiClientCommit)
     ->UseRealTime();
 
 // ---------------------------------------------------------------------------
+// Traced contended commit: one commit that must run the full §5.2 machinery — the flip
+// fails against a concurrent winner, so the serialisability walk and the merge both
+// execute — driven through the RPC FileClient with span collection ON. After the timing
+// loop the span ring is analysed: `phase_sum_ratio` is the fraction of the slowest
+// server-side "commit" span accounted for by its instrumented direct phases
+// (begin/flip/validate/merge/finish); the acceptance bar is >= 0.9 (phases within 10% of
+// commit.latency_ns — see docs/OBSERVABILITY.md). Also declares the SLO targets the
+// --afs_slo_json report is scored against.
+// Args: {batch}
+// ---------------------------------------------------------------------------
+
+void BM_TracedCommit(benchmark::State& state) {
+  ApplyBatchMode(state.range(0));
+  const bool spans_were_on = obs::SpanEnabled();
+  obs::SetSpanEnabled(true);
+  // Declared SLOs for the classes this benchmark exercises. The bounds are deliberately
+  // loose (sanitizer CI, shared runners): they catch order-of-magnitude regressions, not
+  // jitter. kWireLatency=100us per RPC puts a contended commit in the low milliseconds.
+  obs::SloTracker* slo = obs::SloTracker::Global();
+  slo->DeclareTarget("commit", {/*p50=*/250'000'000, /*p99=*/2'000'000'000,
+                                /*p999=*/4'000'000'000});
+  slo->DeclareTarget("client.commit", {/*p50=*/500'000'000, /*p99=*/4'000'000'000,
+                                       /*p999=*/8'000'000'000});
+
+  RpcRig rig;
+  FileServer fs(&rig.net, "fs", rig.client.get());
+  fs.Start();
+  if (!fs.AttachStore().ok()) {
+    state.SkipWithError("attach failed");
+    return;
+  }
+  FileClient client(&rig.net, {fs.port()});
+  constexpr int kPages = 4;
+  constexpr size_t kPageBytes = 8 * 1024;
+  auto file = client.CreateFile();
+  if (!file.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  {
+    auto v = client.CreateVersion(*file);
+    for (int i = 0; i < kPages; ++i) {
+      (void)client.InsertRef(*v, PagePath::Root(), i);
+      (void)client.WritePage(*v, PagePath({static_cast<uint32_t>(i)}),
+                             std::vector<uint8_t>(kPageBytes, 1));
+    }
+    if (!v.ok() || !client.Commit(*v).ok()) {
+      state.SkipWithError("setup commit failed");
+      return;
+    }
+  }
+
+  int64_t committed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Both versions branch from the same committed base; the winner commits first so the
+    // loser's flip fails and it must validate + merge. They touch disjoint pages, so the
+    // serialisability test passes and the contended commit succeeds.
+    auto loser = client.CreateVersion(*file);
+    auto winner = client.CreateVersion(*file);
+    bool setup_ok = loser.ok() && winner.ok() &&
+                    client.WritePage(*winner, PagePath({0}),
+                                     std::vector<uint8_t>(kPageBytes, 2)).ok() &&
+                    client.Commit(*winner).ok() &&
+                    client.WritePage(*loser, PagePath({1}),
+                                     std::vector<uint8_t>(kPageBytes, 3)).ok();
+    state.ResumeTiming();
+    if (!setup_ok || !client.Commit(*loser).ok()) {
+      state.SkipWithError("contended commit failed");
+      return;
+    }
+    ++committed;
+  }
+  state.SetItemsProcessed(committed);
+
+  obs::PhaseBreakdown breakdown = obs::AnalyzePhases(obs::SnapshotSpans(), "commit");
+  if (breakdown.found && breakdown.total_ns > 0) {
+    state.counters["phase_sum_ratio"] = benchmark::Counter(
+        static_cast<double>(breakdown.attributed_ns) / static_cast<double>(breakdown.total_ns));
+    state.counters["commit_phases"] =
+        benchmark::Counter(static_cast<double>(breakdown.phases.size()));
+  }
+  obs::SetSpanEnabled(spans_were_on);
+  SetBatchingEnabled(true);
+}
+
+BENCHMARK(BM_TracedCommit)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
 // Batched stable-pair writes: the pipelined companion replication path.
 // Args: {batch_blocks, batch}
 // ---------------------------------------------------------------------------

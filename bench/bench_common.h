@@ -17,6 +17,8 @@
 #include "src/client/file_client.h"
 #include "src/core/file_server.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/span.h"
 #include "src/rpc/network.h"
 
 namespace afs {
@@ -89,14 +91,43 @@ struct Rig {
 //   --afs_stats_json=PATH   after the run, write {"benchmark":..., "stats":[...]} with the
 //                           process-wide metrics snapshot to PATH ("-" = stdout). Also
 //                           honoured via the AFS_STATS_JSON environment variable.
+//   --afs_slo_json=PATH     write the SloTracker report (per-class p50/p99/p999 vs declared
+//                           targets + overall verdict) to PATH ("-" = stdout). Env:
+//                           AFS_SLO_JSON.
+//   --afs_spans_json=PATH   enable span collection for the whole run and export the span
+//                           ring as Chrome trace_event JSON to PATH ("-" = stdout) — load
+//                           it in chrome://tracing or Perfetto. Env: AFS_SPANS_JSON.
 //
 // Registries die with the objects that own them (Rigs are destroyed inside each BM_*
 // function), so the end-of-run snapshot leans on the retired aggregate that
 // DumpAllJson() folds destroyed registries into — see src/obs/metrics.h.
+inline int WriteTextFile(const std::string& path, const std::string& out) {
+  if (path == "-") {
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return 0;
+}
+
 inline int BenchMain(int argc, char** argv) {
   std::string stats_path;
+  std::string slo_path;
+  std::string spans_path;
   if (const char* env = std::getenv("AFS_STATS_JSON")) {
     stats_path = env;
+  }
+  if (const char* env = std::getenv("AFS_SLO_JSON")) {
+    slo_path = env;
+  }
+  if (const char* env = std::getenv("AFS_SPANS_JSON")) {
+    spans_path = env;
   }
   std::vector<char*> args;
   std::string min_time_flag = "--benchmark_min_time=0.001";
@@ -106,9 +137,16 @@ inline int BenchMain(int argc, char** argv) {
       args.push_back(min_time_flag.data());
     } else if (std::strncmp(argv[i], "--afs_stats_json=", 17) == 0) {
       stats_path = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--afs_slo_json=", 15) == 0) {
+      slo_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--afs_spans_json=", 17) == 0) {
+      spans_path = argv[i] + 17;
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (!spans_path.empty()) {
+    obs::SetSpanEnabled(true);
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
@@ -124,16 +162,19 @@ inline int BenchMain(int argc, char** argv) {
     out += "\",\"stats\":";
     out += obs::DumpAllJson();
     out += "}\n";
-    if (stats_path == "-") {
-      std::fwrite(out.data(), 1, out.size(), stdout);
-    } else {
-      std::FILE* f = std::fopen(stats_path.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s\n", stats_path.c_str());
-        return 1;
-      }
-      std::fwrite(out.data(), 1, out.size(), f);
-      std::fclose(f);
+    if (WriteTextFile(stats_path, out) != 0) {
+      return 1;
+    }
+  }
+  if (!slo_path.empty()) {
+    if (WriteTextFile(slo_path, obs::SloTracker::Global()->DumpJson() + "\n") != 0) {
+      return 1;
+    }
+  }
+  if (!spans_path.empty()) {
+    if (WriteTextFile(spans_path, obs::DumpSpansChromeJson(obs::kSpanRingCapacity) + "\n") !=
+        0) {
+      return 1;
     }
   }
   return 0;

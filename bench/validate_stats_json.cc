@@ -1,13 +1,16 @@
-// Validates the stats JSON emitted by BenchMain (--afs_stats_json). A minimal
-// recursive-descent JSON parser — strict enough to catch malformed output (trailing
-// commas, unterminated strings, bad numbers) without pulling in a JSON dependency.
+// Validates the JSON artifacts emitted by BenchMain. A minimal recursive-descent JSON
+// parser — strict enough to catch malformed output (trailing commas, unterminated
+// strings, bad numbers) without pulling in a JSON dependency.
 //
-// Usage: validate_stats_json FILE
-// Exit 0 iff FILE parses as JSON and is an object with a "benchmark" string and a
-// "stats" array.
+// Usage: validate_stats_json [--mode=stats|slo|spans] FILE
+//   stats (default)  --afs_stats_json output: object with "benchmark" and "stats" keys
+//   slo              --afs_slo_json output (BENCH_slo.json): "classes" and "verdict" keys
+//   spans            --afs_spans_json output (Chrome trace): a "traceEvents" key
+// Exit 0 iff FILE parses as JSON and has the mode's required top-level keys.
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -163,13 +166,25 @@ class Parser {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s FILE\n", argv[0]);
+  std::string mode = "stats";
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      mode = argv[i] + 7;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr || (mode != "stats" && mode != "slo" && mode != "spans")) {
+    std::fprintf(stderr, "usage: %s [--mode=stats|slo|spans] FILE\n", argv[0]);
     return 2;
   }
-  std::FILE* f = std::fopen(argv[1], "rb");
+  std::FILE* f = std::fopen(path, "rb");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", path);
     return 2;
   }
   std::string text;
@@ -186,17 +201,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid JSON: %s\n", top.error().c_str());
     return 1;
   }
-  bool has_benchmark = false;
-  bool has_stats = false;
-  for (const std::string& k : keys) {
-    if (k == "benchmark") has_benchmark = true;
-    if (k == "stats") has_stats = true;
+  std::vector<std::string> required;
+  if (mode == "stats") {
+    required = {"benchmark", "stats"};
+  } else if (mode == "slo") {
+    required = {"classes", "verdict"};
+  } else {
+    required = {"traceEvents"};
   }
-  if (!has_benchmark || !has_stats) {
-    std::fprintf(stderr, "missing required keys (benchmark=%d stats=%d)\n",
-                 has_benchmark ? 1 : 0, has_stats ? 1 : 0);
-    return 1;
+  for (const std::string& want : required) {
+    bool found = false;
+    for (const std::string& k : keys) {
+      if (k == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "missing required key \"%s\" (mode=%s)\n", want.c_str(),
+                   mode.c_str());
+      return 1;
+    }
   }
-  std::printf("ok: %zu bytes, %zu top-level keys\n", text.size(), keys.size());
+  std::printf("ok (%s): %zu bytes, %zu top-level keys\n", mode.c_str(), text.size(),
+              keys.size());
   return 0;
 }

@@ -45,6 +45,8 @@
 #include "src/disk/write_once_disk.h"
 #include "src/namesvc/directory_server.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/rpc/client.h"
 #include "src/rpc/network.h"
@@ -81,6 +83,12 @@ void PrintHelp() {
       "                              process-wide metrics, or scrape one live server's\n"
       "                              registry over RPC (kGetStats)\n"
       "  trace [n]                   most recent n trace events (default 40)\n"
+      "  spans [n]                   most recent n finished spans (default 40); with a\n"
+      "  spans <server> [n]          server name, scrape them over RPC (kGetSpans)\n"
+      "  spans tree <trace_id>       indented span tree of one trace\n"
+      "  slow [n]                    slow-transaction log: span trees of the slowest\n"
+      "                              recent root spans (threshold 20ms)\n"
+      "  slo                         per-op-class p50/p99/p999 vs declared targets\n"
       "  checkpoint                  fold the FileDisk journals into the block areas\n"
       "                              (--store mode only; happens automatically on quit)\n"
       "  help, quit\n");
@@ -226,6 +234,11 @@ int main(int argc, char** argv) {
   }
   FileClient client(&net, {fs0.port(), fs1.port()});
   GarbageCollector gc({&fs0, &fs1}, GcOptions{.keep_versions = 4});
+
+  // Interactive session: span collection on so `spans`/`slow` have something to show; any
+  // transaction slower than 20ms gets its whole span tree captured in the slow log.
+  obs::SetSpanEnabled(true);
+  obs::SetSlowTraceThresholdNs(20'000'000);
 
   std::printf("Amoeba File Service shell — 'help' for commands\n");
   std::string line;
@@ -373,6 +386,56 @@ int main(int argc, char** argv) {
         n = static_cast<size_t>(std::strtoull(arg.c_str(), nullptr, 10));
       }
       std::printf("%s", obs::DumpTrace(n).c_str());
+    } else if (cmd == "spans") {
+      std::string arg;
+      in >> arg;
+      if (arg == "tree") {
+        std::string id;
+        in >> id;
+        uint64_t trace_id = std::strtoull(id.c_str(), nullptr, 10);
+        std::string tree = obs::FormatSpanTree(trace_id);
+        std::printf("%s", tree.empty() ? "no spans for that trace\n" : tree.c_str());
+        continue;
+      }
+      Service* target = arg == "fs0"      ? static_cast<Service*>(&fs0)
+                        : arg == "fs1"    ? static_cast<Service*>(&fs1)
+                        : arg == "blockA" ? static_cast<Service*>(&block_a)
+                        : arg == "blockB" ? static_cast<Service*>(&block_b)
+                                          : nullptr;
+      std::string count;
+      if (target != nullptr) {
+        in >> count;
+      } else {
+        count = arg;
+      }
+      size_t n = count.empty() ? 40 : std::strtoull(count.c_str(), nullptr, 10);
+      if (target != nullptr) {
+        auto text = ScrapeSpans(&net, target->port(), static_cast<uint32_t>(n),
+                                /*chrome_json=*/false);
+        if (text.ok()) {
+          std::printf("%s", text->c_str());
+        } else {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+        }
+      } else {
+        std::printf("%s", obs::DumpSpansText(n).c_str());
+      }
+    } else if (cmd == "slow") {
+      size_t n = 5;
+      std::string arg;
+      if (in >> arg) {
+        n = static_cast<size_t>(std::strtoull(arg.c_str(), nullptr, 10));
+      }
+      std::vector<std::string> dumps = obs::SlowTraceDumps(n);
+      if (dumps.empty()) {
+        std::printf("no transactions over %llu ms yet\n",
+                    (unsigned long long)(obs::SlowTraceThresholdNs() / 1'000'000));
+      }
+      for (const std::string& d : dumps) {
+        std::printf("%s", d.c_str());
+      }
+    } else if (cmd == "slo") {
+      std::printf("%s", obs::SloTracker::Global()->DumpText().c_str());
     } else if (cmd == "checkpoint") {
       if (fdisk_a == nullptr) {
         std::printf("no persistent store (run with --store <dir>)\n");

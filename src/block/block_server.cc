@@ -10,6 +10,7 @@
 #include "src/base/crc32.h"
 #include "src/base/wire.h"
 #include "src/block/protocol.h"
+#include "src/obs/span.h"
 #include "src/rpc/client.h"
 
 namespace afs {
@@ -290,6 +291,9 @@ Status BlockServer::StableWriteBatch(std::vector<PendingWrite> writes) {
     return OkStatus();
   }
   const Port companion = companion_.load();
+  // b distinguishes replicated (1) from standalone (0) batches in the trace.
+  obs::ScopedSpan span("bs.stable_write_batch", obs::SpanKind::kStore, writes.size(),
+                       companion == kNullPort ? 0 : 1);
   MarkInFlight(writes, +1);
 
   Status result = OkStatus();

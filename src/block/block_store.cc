@@ -7,6 +7,7 @@
 
 #include "src/base/wire.h"
 #include "src/block/protocol.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/rpc/client.h"
 
@@ -412,6 +413,7 @@ Status StableStore::Free(BlockNo bno) {
 }
 
 Result<std::vector<BlockReadResult>> StableStore::ReadMulti(std::span<const BlockNo> bnos) {
+  obs::ScopedSpan span("stable.read_multi", obs::SpanKind::kStore, bnos.size());
   return WithFailover<std::vector<BlockReadResult>>(
       [&](BlockClient* c) { return c->ReadMulti(bnos); });
 }
@@ -419,6 +421,7 @@ Result<std::vector<BlockReadResult>> StableStore::ReadMulti(std::span<const Bloc
 Status StableStore::WriteBatch(std::span<const BlockWrite> writes) {
   // Overwrites are idempotent, so retrying the whole batch after a collision or a
   // mid-batch fail-over is safe: re-sent chunks simply overwrite identically.
+  obs::ScopedSpan span("stable.write_batch", obs::SpanKind::kStore, writes.size());
   return WithFailover<Unit>([&](BlockClient* c) -> Result<Unit> {
            RETURN_IF_ERROR(c->WriteBatch(writes));
            return Unit{};
@@ -427,6 +430,7 @@ Status StableStore::WriteBatch(std::span<const BlockWrite> writes) {
 }
 
 Status StableStore::FreeMulti(std::span<const BlockNo> bnos) {
+  obs::ScopedSpan span("stable.free_multi", obs::SpanKind::kStore, bnos.size());
   return WithFailover<Unit>([&](BlockClient* c) -> Result<Unit> {
            RETURN_IF_ERROR(c->FreeMulti(bnos));
            return Unit{};
@@ -435,6 +439,7 @@ Status StableStore::FreeMulti(std::span<const BlockNo> bnos) {
 }
 
 Result<std::vector<BlockNo>> StableStore::AllocMulti(uint32_t n) {
+  obs::ScopedSpan span("stable.alloc_multi", obs::SpanKind::kStore, n);
   return WithFailover<std::vector<BlockNo>>([&](BlockClient* c) { return c->AllocMulti(n); });
 }
 

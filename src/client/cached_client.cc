@@ -1,5 +1,7 @@
 #include "src/client/cached_client.h"
 
+#include "src/obs/span.h"
+
 namespace afs {
 
 CachedFileClient::CachedFileClient(Network* network, std::vector<Port> servers)
@@ -38,10 +40,14 @@ Status CachedFileClient::FlushWrites(const Capability& version) {
   }
   std::vector<FileClient::PageWrite> writes = std::move(it->second);
   dirty_.erase(it);
+  obs::ScopedSpan span("client.flush", obs::SpanKind::kClient, version.port, writes.size());
   return client_.WritePages(version, writes);
 }
 
 Result<BlockNo> CachedFileClient::Commit(const Capability& version) {
+  // One span over flush + commit: the write-behind flush is latency the caller's commit
+  // actually paid, and this keeps it attributed inside the same tree.
+  obs::ScopedSpan span("client.cached_commit", obs::SpanKind::kClient, version.port);
   RETURN_IF_ERROR(FlushWrites(version));
   return client_.Commit(version);
 }

@@ -5,6 +5,8 @@
 #include "src/base/wire.h"
 #include "src/block/block_store.h"
 #include "src/core/protocol.h"
+#include "src/obs/slo.h"
+#include "src/obs/span.h"
 #include "src/rpc/client.h"
 
 namespace afs {
@@ -24,7 +26,13 @@ bool IsConnectivityError(const Status& s) {
 }  // namespace
 
 FileClient::FileClient(Network* network, std::vector<Port> servers)
-    : network_(network), servers_(std::move(servers)) {}
+    : network_(network),
+      servers_(std::move(servers)),
+      slo_commit_(obs::SloTracker::Global()->ClassHistogram("client.commit")),
+      slo_read_(obs::SloTracker::Global()->ClassHistogram("client.read")),
+      slo_write_(obs::SloTracker::Global()->ClassHistogram("client.write")),
+      slo_create_version_(
+          obs::SloTracker::Global()->ClassHistogram("client.create_version")) {}
 
 template <typename T>
 Result<T> FileClient::WithServer(const std::function<Result<T>(Port)>& op) {
@@ -78,6 +86,8 @@ Result<Capability> FileClient::GetCurrentVersion(const Capability& file) {
 
 Result<Capability> FileClient::CreateVersion(const Capability& file, Port owner_port,
                                              bool respect_soft_lock) {
+  obs::ScopedSpan span("client.create_version", obs::SpanKind::kClient);
+  obs::SloTimer slo(slo_create_version_);
   return WithServer<Capability>([&](Port server) -> Result<Capability> {
     WireEncoder req;
     req.PutCapability(file);
@@ -93,6 +103,8 @@ Result<Capability> FileClient::CreateVersion(const Capability& file, Port owner_
 
 Result<FileClient::ReadResult> FileClient::ReadPage(const Capability& version,
                                                     const PagePath& path, bool want_refs) {
+  obs::ScopedSpan span("client.read_page", obs::SpanKind::kClient, version.port);
+  obs::SloTimer slo(slo_read_);
   WireEncoder req;
   req.PutCapability(version);
   path.Encode(&req);
@@ -108,6 +120,9 @@ Result<FileClient::ReadResult> FileClient::ReadPage(const Capability& version,
 
 Status FileClient::WritePage(const Capability& version, const PagePath& path,
                              std::span<const uint8_t> data) {
+  obs::ScopedSpan span("client.write_page", obs::SpanKind::kClient, version.port,
+                       data.size());
+  obs::SloTimer slo(slo_write_);
   WireEncoder req;
   req.PutCapability(version);
   path.Encode(&req);
@@ -118,6 +133,12 @@ Status FileClient::WritePage(const Capability& version, const PagePath& path,
 }
 
 Status FileClient::WritePages(const Capability& version, std::span<const PageWrite> writes) {
+  // One span for the whole batch: the chunked kWritePageMulti RPCs — or, with batching
+  // disabled, the per-page fallback calls — all become children of this span, so the
+  // batch stays one causal unit either way.
+  obs::ScopedSpan span("client.write_pages", obs::SpanKind::kClient, version.port,
+                       writes.size());
+  obs::SloTimer slo(slo_write_);
   if (!BatchingEnabled()) {
     for (const PageWrite& w : writes) {
       RETURN_IF_ERROR(WritePage(version, w.path, w.data));
@@ -236,6 +257,8 @@ Status FileClient::SplitPage(const Capability& version, const PagePath& path,
 }
 
 Result<BlockNo> FileClient::Commit(const Capability& version) {
+  obs::ScopedSpan span("client.commit", obs::SpanKind::kClient, version.port);
+  obs::SloTimer slo(slo_commit_);
   WireEncoder req;
   req.PutCapability(version);
   ASSIGN_OR_RETURN(WireDecoder reply,

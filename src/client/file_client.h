@@ -21,6 +21,7 @@
 #include "src/core/flags.h"
 #include "src/core/path.h"
 #include "src/core/protocol.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/network.h"
 
 namespace afs {
@@ -108,6 +109,13 @@ class FileClient {
   // Failover preference hint. Clients are shared across threads (DirectoryServer,
   // chaos workloads); the hint is advisory, so relaxed atomics suffice.
   std::atomic<size_t> preferred_{0};
+
+  // Client-observed SLO classes (global SloTracker), resolved once: what the user of the
+  // file service actually waited, including retransmissions and failover.
+  obs::Histogram* slo_commit_;
+  obs::Histogram* slo_read_;
+  obs::Histogram* slo_write_;
+  obs::Histogram* slo_create_version_;
 };
 
 }  // namespace afs

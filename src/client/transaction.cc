@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "src/base/rng.h"
+#include "src/obs/span.h"
 
 namespace afs {
 namespace {
@@ -30,6 +31,10 @@ Result<TransactionStats> RunTransaction(FileClient* client, const Capability& fi
   Rng rng(options.backoff_seed);
   Network* net = client->network();
 
+  // The per-transaction root span: every attempt's create/update/commit spans hang below
+  // it, so one slow transaction dumps as one tree (the slow-transaction log keys off root
+  // spans like this one). a = attempts, b = conflicts, filled in before each return.
+  obs::ScopedSpan txn_span("client.txn", obs::SpanKind::kClient);
   Status last = InternalError("transaction never attempted");
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
     ++stats.attempts;
@@ -46,6 +51,8 @@ Result<TransactionStats> RunTransaction(FileClient* client, const Capability& fi
         if (committed.ok()) {
           net->ClosePort(tx_port);
           stats.committed_head = *committed;
+          txn_span.set_args(static_cast<uint64_t>(stats.attempts),
+                            static_cast<uint64_t>(stats.conflicts));
           return stats;
         }
         step = committed.status();
@@ -56,6 +63,9 @@ Result<TransactionStats> RunTransaction(FileClient* client, const Capability& fi
     net->ClosePort(tx_port);
     last = step;
     if (!ShouldRedo(step)) {
+      txn_span.set_args(static_cast<uint64_t>(stats.attempts),
+                        static_cast<uint64_t>(stats.conflicts));
+      txn_span.set_status(static_cast<uint8_t>(step.code()));
       return step;
     }
     switch (step.code()) {
@@ -75,6 +85,9 @@ Result<TransactionStats> RunTransaction(FileClient* client, const Capability& fi
     uint64_t wait = options.initial_backoff.count() << shift;
     std::this_thread::sleep_for(std::chrono::microseconds(rng.NextInRange(wait / 2, wait)));
   }
+  txn_span.set_args(static_cast<uint64_t>(stats.attempts),
+                    static_cast<uint64_t>(stats.conflicts));
+  txn_span.set_status(static_cast<uint8_t>(last.code()));
   return last;
 }
 

@@ -8,6 +8,7 @@
 #include "src/base/wire.h"
 #include "src/core/protocol.h"
 #include "src/core/serialise.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 #include "src/rpc/client.h"
 
@@ -40,7 +41,8 @@ FileServer::FileServer(Network* network, std::string name, BlockStore* blocks,
       commit_latency_ns_(metrics()->histogram("commit.latency_ns")),
       cache_hits_(metrics()->counter("cache.hit")),
       cache_misses_(metrics()->counter("cache.miss")),
-      cache_evictions_(metrics()->counter("cache.eviction")) {}
+      cache_evictions_(metrics()->counter("cache.eviction")),
+      slo_commit_(obs::SloTracker::Global()->ClassHistogram("commit")) {}
 
 FileServer::~FileServer() { Shutdown(); }
 

@@ -330,6 +330,9 @@ class FileServer : public Service {
   obs::Counter* cache_hits_;
   obs::Counter* cache_misses_;
   obs::Counter* cache_evictions_;
+  // The global SLO tracker's "commit" class: commit latency scored against declared
+  // p50/p99/p999 targets (BENCH_slo.json). Resolved once, recorded with relaxed adds.
+  obs::Histogram* slo_commit_;
 
   friend class Serialiser;
 };

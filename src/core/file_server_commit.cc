@@ -11,6 +11,7 @@
 #include "src/core/file_server.h"
 #include "src/core/protocol.h"
 #include "src/core/serialise.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/rpc/client.h"
 
@@ -48,6 +49,11 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   const auto commit_start = std::chrono::steady_clock::now();
+  // The whole-commit span: phase spans below it (commit.begin / commit.flip /
+  // commit.validate / commit.merge / commit.finish) tile its duration, so the critical-path
+  // analyzer can attribute commit.latency_ns to phases. Lives exactly as long as the
+  // CommitScope latency measurement.
+  obs::ScopedSpan commit_span("commit", obs::SpanKind::kPhase, head, 0);
   // Record outcome + latency on every exit path (including early error returns past this
   // point). Relaxed atomics only — the commit hot path takes no statistics mutex.
   struct CommitScope {
@@ -59,6 +65,7 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
                     std::chrono::steady_clock::now() - start)
                     .count();
       fs->commit_latency_ns_->Record(static_cast<uint64_t>(ns));
+      fs->slo_commit_->Record(static_cast<uint64_t>(ns));
       if (outcome != nullptr) {
         outcome->Inc();
       }
@@ -66,27 +73,37 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
   } scope{this, commit_start};
   obs::Trace(obs::TraceEvent::kCommitBegin, head);
 
+  // commit.begin: admission (version-op guard) plus the root page read.
+  obs::ScopedSpan begin_span("commit.begin", obs::SpanKind::kPhase, head, 0);
   ASSIGN_OR_RETURN(VersionOpGuard op, AcquireVersionOp(head));
   if (op.info == nullptr) {
     return AbortedError("version is not managed by this server (already finished?)");
   }
   VersionInfo* info = op.info;
   ASSIGN_OR_RETURN(Page root, LoadPageUncached(head));
+  begin_span.End();
 
   int attempts = 0;
   for (;;) {
     if (++attempts > 256) {
       scope.outcome = commit_conflicts_;
+      commit_span.set_status(static_cast<uint8_t>(ErrorCode::kConflict));
       obs::Trace(obs::TraceEvent::kCommitAbort, head);
       return ConflictError("commit starved by concurrent committers");
     }
+    // commit.flip: the §4 critical section — lock the base's block, test-and-set the
+    // commit reference, unlock. Block-lock contention shows up here.
     BlockNo successor = kNilRef;
+    obs::ScopedSpan flip_span("commit.flip", obs::SpanKind::kPhase, root.base_ref, 0);
     ASSIGN_OR_RETURN(bool won, TestAndSetCommitRef(root.base_ref, head, &successor));
+    flip_span.End();
     if (won) {
       break;
     }
     // The base has a committed successor V.c: run the serialisability test and, on
     // success, merge the two updates and try to succeed V.c instead (§5.2, Figure 6).
+    // The serialiser emits the commit.validate (tree walk) and commit.merge (vectored
+    // flush) phase spans from inside TestAndMerge.
     serialise_tests_ctr_->Inc();
     obs::Trace(obs::TraceEvent::kCommitSerialise, head, successor);
     Serialiser serialiser(
@@ -100,12 +117,15 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
                             ? ConflictError("update not serialisable with committed version")
                             : mergeable.status();
       scope.outcome = commit_conflicts_;
+      commit_span.set_status(static_cast<uint8_t>(conflict.code()));
       obs::Trace(obs::TraceEvent::kCommitConflict, head, successor);
+      obs::ScopedSpan abort_span("commit.abort", obs::SpanKind::kPhase, head, successor);
       (void)AbortLocked(info);
       return conflict;
     }
     commit_merged_->Inc();
     obs::Trace(obs::TraceEvent::kCommitMerge, head, successor);
+    obs::ScopedSpan merge_span("commit.merge", obs::SpanKind::kPhase, head, successor);
     root.base_ref = successor;
     RETURN_IF_ERROR(pages_.OverwritePage(head, root));
   }
@@ -116,6 +136,10 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
   } else {
     scope.outcome = commit_validated_;
   }
+  // commit.finish: current-version bookkeeping, §5.3 sub-file commit completion, and the
+  // §5.1 reshare pass.
+  obs::ScopedSpan finish_span("commit.finish", obs::SpanKind::kPhase, head,
+                              static_cast<uint64_t>(attempts));
   {
     std::lock_guard<std::mutex> lock(table_mu_);
     current_cache_[info->file_id] = head;

@@ -1,5 +1,7 @@
 #include "src/core/serialise.h"
 
+#include "src/obs/span.h"
+
 namespace afs {
 
 bool FlagsConflict(uint8_t fb, uint8_t fc) {
@@ -28,9 +30,13 @@ Serialiser::Serialiser(PageStore* pages, std::function<Result<Page>(BlockNo)> lo
       load_committed_multi_(std::move(load_committed_multi)) {}
 
 Result<bool> Serialiser::TestAndMerge(BlockNo b_head, Page* b_root, BlockNo c_head) {
-  (void)b_head;
   pages_visited_ = 0;
   pending_overwrites_.clear();
+  // commit.validate covers the in-memory walk (test + merge planning); commit.merge the
+  // vectored flush of the merged children. validate is Ended explicitly so the two are
+  // SIBLING phases under the commit span, not nested — the critical-path analyzer sums
+  // direct children only.
+  obs::ScopedSpan validate_span("commit.validate", obs::SpanKind::kPhase, b_head, c_head);
   ASSIGN_OR_RETURN(Page c_root, load_committed_(c_head));
   // The root page is always copied in both versions; its access flags are the manager-kept
   // root_flags.
@@ -40,7 +46,10 @@ Result<bool> Serialiser::TestAndMerge(BlockNo b_head, Page* b_root, BlockNo c_he
     pending_overwrites_.clear();  // conflict: nothing was persisted, nothing to undo
     return false;
   }
+  validate_span.set_args(pages_visited_, pending_overwrites_.size());
+  validate_span.End();
   // One vectored flush for every merged child (the root is persisted by the caller).
+  obs::ScopedSpan merge_span("commit.merge", obs::SpanKind::kPhase, b_head, c_head);
   RETURN_IF_ERROR(pages_->OverwritePages(std::move(pending_overwrites_)));
   pending_overwrites_.clear();
   return true;

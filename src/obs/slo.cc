@@ -1,0 +1,114 @@
+#include "src/obs/slo.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace afs {
+namespace obs {
+
+namespace {
+
+bool MeetsTarget(uint64_t measured, uint64_t target) {
+  return target == 0 || measured <= target;
+}
+
+}  // namespace
+
+SloTracker* SloTracker::Global() {
+  static SloTracker* tracker = new SloTracker;  // leaked: recorded into from any thread
+  return tracker;
+}
+
+void SloTracker::DeclareTarget(const std::string& op_class, SloTarget target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[op_class];
+  entry.target = target;
+  entry.has_target = true;
+}
+
+Histogram* SloTracker::ClassHistogram(const std::string& op_class) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_[op_class].hist.get();
+}
+
+std::vector<SloTracker::ClassReport> SloTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ClassReport> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    ClassReport r;
+    r.name = name;
+    r.count = entry.hist->count();
+    r.p50 = entry.hist->ApproxPercentileNs(0.50);
+    r.p99 = entry.hist->ApproxPercentileNs(0.99);
+    r.p999 = entry.hist->ApproxPercentileNs(0.999);
+    r.target = entry.target;
+    r.has_target = entry.has_target;
+    // A declared target with zero samples fails: an unmeasured SLO is not a met SLO.
+    r.pass = !entry.has_target ||
+             (r.count > 0 && MeetsTarget(r.p50, entry.target.p50_ns) &&
+              MeetsTarget(r.p99, entry.target.p99_ns) &&
+              MeetsTarget(r.p999, entry.target.p999_ns));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string SloTracker::DumpJson() const {
+  std::vector<ClassReport> classes = Snapshot();
+  std::string out = "{\"classes\":[";
+  char buf[512];
+  bool all_pass = true;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    const ClassReport& r = classes[i];
+    all_pass = all_pass && r.pass;
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"class\":\"%s\",\"count\":%llu,\"p50_ns\":%llu,\"p99_ns\":%llu,"
+                  "\"p999_ns\":%llu,\"target_p50_ns\":%llu,\"target_p99_ns\":%llu,"
+                  "\"target_p999_ns\":%llu,\"has_target\":%s,\"pass\":%s}",
+                  i == 0 ? "" : ",", r.name.c_str(), static_cast<unsigned long long>(r.count),
+                  static_cast<unsigned long long>(r.p50),
+                  static_cast<unsigned long long>(r.p99),
+                  static_cast<unsigned long long>(r.p999),
+                  static_cast<unsigned long long>(r.target.p50_ns),
+                  static_cast<unsigned long long>(r.target.p99_ns),
+                  static_cast<unsigned long long>(r.target.p999_ns),
+                  r.has_target ? "true" : "false", r.pass ? "true" : "false");
+    out += buf;
+  }
+  out += "],\"verdict\":\"";
+  out += all_pass ? "pass" : "fail";
+  out += "\"}";
+  return out;
+}
+
+std::string SloTracker::DumpText() const {
+  std::string out;
+  char buf[256];
+  for (const ClassReport& r : Snapshot()) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-24s count %-8llu p50 %.3fms p99 %.3fms p999 %.3fms %s\n", r.name.c_str(),
+                  static_cast<unsigned long long>(r.count), static_cast<double>(r.p50) / 1e6,
+                  static_cast<double>(r.p99) / 1e6, static_cast<double>(r.p999) / 1e6,
+                  !r.has_target ? "(no target)" : (r.pass ? "PASS" : "FAIL"));
+    out += buf;
+  }
+  return out;
+}
+
+bool SloTracker::AllPass() const {
+  for (const ClassReport& r : Snapshot()) {
+    if (!r.pass) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SloTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace obs
+}  // namespace afs

@@ -1,0 +1,114 @@
+// SLO accounting: score measured p50/p99/p999 latencies per operation class against
+// declared targets, and emit a machine-readable pass/fail verdict (BENCH_slo.json).
+//
+// An "op class" is a coarse, client-meaningful operation name ("commit", "client.read",
+// ...), not an RPC opcode: the classes are what a service-level objective is written
+// against. Recording is one Histogram::Record (three relaxed atomic adds) through a
+// pointer resolved once — same discipline as every other hot-path instrument. Classes
+// without a declared target are reported but never fail the verdict; a class with a
+// target but no samples fails it (an SLO nobody measured is not being met).
+
+#ifndef SRC_OBS_SLO_H_
+#define SRC_OBS_SLO_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace afs {
+namespace obs {
+
+// Latency ceilings in ns; 0 = no bound at that percentile.
+struct SloTarget {
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+};
+
+class SloTracker {
+ public:
+  // The process-wide tracker every component records into (like DumpAllText for metrics).
+  static SloTracker* Global();
+
+  SloTracker() = default;
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  // Declare (or replace) the target for one op class. Creates the class if needed.
+  void DeclareTarget(const std::string& op_class, SloTarget target);
+
+  // The class's latency histogram, created on first use. The pointer stays valid for the
+  // tracker's lifetime — resolve once at construction, record through the raw pointer.
+  Histogram* ClassHistogram(const std::string& op_class);
+
+  // Convenience for cold paths (mutex-protected name lookup per call).
+  void Record(const std::string& op_class, uint64_t ns) { ClassHistogram(op_class)->Record(ns); }
+
+  // {"classes":[{"class":...,"count":...,"p50_ns":...,"p99_ns":...,"p999_ns":...,
+  //   "target_p50_ns":...,"target_p99_ns":...,"target_p999_ns":...,"pass":...},...],
+  //  "verdict":"pass"|"fail"}
+  // Percentiles are the containing bucket's upper bound (see Histogram); classes sorted
+  // by name for deterministic output.
+  std::string DumpJson() const;
+
+  // Human-oriented table, one class per line.
+  std::string DumpText() const;
+
+  // False iff some class with a declared target misses it (or has no samples).
+  bool AllPass() const;
+
+  // Drop every class and target (test isolation). Invalidates ClassHistogram pointers.
+  void Reset();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Histogram> hist = std::make_unique<Histogram>();
+    SloTarget target;
+    bool has_target = false;
+  };
+  struct ClassReport {
+    std::string name;
+    uint64_t count, p50, p99, p999;
+    SloTarget target;
+    bool has_target;
+    bool pass;
+  };
+  std::vector<ClassReport> Snapshot() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+// RAII latency sample: records the elapsed time into `hist` on destruction (and, when
+// tracing is enabled, callers typically pair it with a ScopedSpan). Null hist = no-op.
+class SloTimer {
+ public:
+  explicit SloTimer(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~SloTimer() {
+    if (hist_ != nullptr) {
+      hist_->Record(static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                              std::chrono::steady_clock::now() - start_)
+                                              .count()));
+    }
+  }
+
+  SloTimer(const SloTimer&) = delete;
+  SloTimer& operator=(const SloTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace afs
+
+#endif  // SRC_OBS_SLO_H_

@@ -1,0 +1,465 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace afs {
+namespace obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// One ring slot. Every field is a relaxed atomic word so concurrent writers/readers are
+// race-free at the language level; the seq word (odd while a write is in progress, derived
+// from the writer's global index otherwise) lets readers detect torn or in-progress slots.
+// Layout: [0]=trace [1]=span [2]=parent [3]=start [4]=end [5]=a [6]=b
+//         [7]=kind | status<<8 | thread_id<<32   [8..10]=name bytes
+constexpr size_t kSlotWords = 11;
+
+struct Slot {
+  std::atomic<uint64_t> seq{0};  // 0 = never written
+  std::atomic<uint64_t> f[kSlotWords];
+};
+
+struct SlowDump {
+  uint64_t duration_ns;
+  std::string text;
+};
+constexpr size_t kSlowLogCapacity = 32;
+
+struct SpanState {
+  Slot* ring;  // kSpanRingCapacity slots
+  std::atomic<uint64_t> next_slot{0};
+  std::atomic<uint64_t> next_trace_id{1};
+  std::atomic<uint64_t> next_span_id{1};
+  std::atomic<uint32_t> next_thread_id{1};
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> slow_threshold_ns{0};
+
+  std::mutex slow_mu;
+  std::deque<SlowDump> slow;  // newest last
+
+  SpanState() { ring = new Slot[kSpanRingCapacity]; }
+};
+
+SpanState& State() {
+  static SpanState* state = new SpanState;  // leaked: outlives every thread
+  return *state;
+}
+
+uint32_t LocalThreadId() {
+  thread_local uint32_t id = State().next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local SpanContext t_current;
+
+void EncodeSlot(Slot* slot, const Span& span, uint64_t writer_index) {
+  // Odd seq marks the write in progress; the final seq is unique per writer index so a
+  // reader that raced a wrap-around overwrite sees a changed seq and discards its copy.
+  slot->seq.store(writer_index * 2 + 1, std::memory_order_release);
+  slot->f[0].store(span.trace_id, std::memory_order_relaxed);
+  slot->f[1].store(span.span_id, std::memory_order_relaxed);
+  slot->f[2].store(span.parent_span_id, std::memory_order_relaxed);
+  slot->f[3].store(span.start_ns, std::memory_order_relaxed);
+  slot->f[4].store(span.end_ns, std::memory_order_relaxed);
+  slot->f[5].store(span.a, std::memory_order_relaxed);
+  slot->f[6].store(span.b, std::memory_order_relaxed);
+  slot->f[7].store(static_cast<uint64_t>(span.kind) |
+                       (static_cast<uint64_t>(span.status) << 8) |
+                       (static_cast<uint64_t>(span.thread_id) << 32),
+                   std::memory_order_relaxed);
+  uint64_t name_words[3] = {0, 0, 0};
+  std::memcpy(name_words, span.name, kSpanNameBytes);
+  slot->f[8].store(name_words[0], std::memory_order_relaxed);
+  slot->f[9].store(name_words[1], std::memory_order_relaxed);
+  slot->f[10].store(name_words[2], std::memory_order_relaxed);
+  slot->seq.store(writer_index * 2 + 2, std::memory_order_release);
+}
+
+bool DecodeSlot(const Slot& slot, Span* out) {
+  const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+  if (seq_before == 0 || (seq_before & 1) != 0) {
+    return false;  // empty, or a write is in progress
+  }
+  Span span;
+  span.trace_id = slot.f[0].load(std::memory_order_relaxed);
+  span.span_id = slot.f[1].load(std::memory_order_relaxed);
+  span.parent_span_id = slot.f[2].load(std::memory_order_relaxed);
+  span.start_ns = slot.f[3].load(std::memory_order_relaxed);
+  span.end_ns = slot.f[4].load(std::memory_order_relaxed);
+  span.a = slot.f[5].load(std::memory_order_relaxed);
+  span.b = slot.f[6].load(std::memory_order_relaxed);
+  const uint64_t meta = slot.f[7].load(std::memory_order_relaxed);
+  span.kind = static_cast<SpanKind>(meta & 0xff);
+  span.status = static_cast<uint8_t>((meta >> 8) & 0xff);
+  span.thread_id = static_cast<uint32_t>(meta >> 32);
+  uint64_t name_words[3];
+  name_words[0] = slot.f[8].load(std::memory_order_relaxed);
+  name_words[1] = slot.f[9].load(std::memory_order_relaxed);
+  name_words[2] = slot.f[10].load(std::memory_order_relaxed);
+  std::memcpy(span.name, name_words, kSpanNameBytes);
+  span.name[kSpanNameBytes - 1] = '\0';
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != seq_before || span.trace_id == 0) {
+    return false;  // torn by a concurrent overwrite
+  }
+  *out = span;
+  return true;
+}
+
+void MaybeLogSlowTrace(const Span& root) {
+  SpanState& s = State();
+  const uint64_t threshold = s.slow_threshold_ns.load(std::memory_order_relaxed);
+  if (threshold == 0 || root.parent_span_id != 0 || root.duration_ns() < threshold) {
+    return;
+  }
+  // The root ended last (RAII), so its whole tree is already in the ring; render it now,
+  // before later traffic can evict the children.
+  std::string text = FormatSpanTree(root.trace_id);
+  std::lock_guard<std::mutex> lock(s.slow_mu);
+  s.slow.push_back(SlowDump{root.duration_ns(), std::move(text)});
+  while (s.slow.size() > kSlowLogCapacity) {
+    s.slow.pop_front();
+  }
+}
+
+void AppendSpanLine(std::string* out, const Span& span) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "trace=%llu span=%llu parent=%llu %s %s start=%llu dur=%llu status=%u "
+                "a=%llu b=%llu t%u\n",
+                static_cast<unsigned long long>(span.trace_id),
+                static_cast<unsigned long long>(span.span_id),
+                static_cast<unsigned long long>(span.parent_span_id), SpanKindName(span.kind),
+                span.name, static_cast<unsigned long long>(span.start_ns),
+                static_cast<unsigned long long>(span.duration_ns()), span.status,
+                static_cast<unsigned long long>(span.a),
+                static_cast<unsigned long long>(span.b), span.thread_id);
+  *out += line;
+}
+
+void FormatSubtree(const std::unordered_map<uint64_t, std::vector<const Span*>>& children,
+                   const Span& span, int depth, bool orphan, std::string* out) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%*s%s%s %.3fms span=%llu status=%u a=%llu b=%llu\n",
+                depth * 2, "", orphan ? "~" : "", span.name,
+                static_cast<double>(span.duration_ns()) / 1e6,
+                static_cast<unsigned long long>(span.span_id), span.status,
+                static_cast<unsigned long long>(span.a),
+                static_cast<unsigned long long>(span.b));
+  *out += line;
+  auto it = children.find(span.span_id);
+  if (it == children.end()) {
+    return;
+  }
+  for (const Span* child : it->second) {
+    FormatSubtree(children, *child, depth + 1, /*orphan=*/false, out);
+  }
+}
+
+}  // namespace
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kClient:
+      return "client";
+    case SpanKind::kServer:
+      return "server";
+    case SpanKind::kPhase:
+      return "phase";
+    case SpanKind::kStore:
+      return "store";
+    case SpanKind::kTier:
+      return "tier";
+    case SpanKind::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+void SetSpanEnabled(bool enabled) {
+  State().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool SpanEnabled() { return State().enabled.load(std::memory_order_relaxed); }
+
+uint64_t NewTraceId() {
+  return State().next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanContext CurrentSpanContext() { return t_current; }
+
+SpanContextScope::SpanContextScope(uint64_t trace_id, uint64_t parent_span_id) {
+  if (!SpanEnabled() || trace_id == 0) {
+    return;
+  }
+  saved_ = t_current;
+  t_current = SpanContext{trace_id, parent_span_id};
+  installed_ = true;
+}
+
+SpanContextScope::~SpanContextScope() {
+  if (installed_) {
+    t_current = saved_;
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* name, SpanKind kind, uint64_t a, uint64_t b) {
+  if (!SpanEnabled()) {
+    return;
+  }
+  SpanState& s = State();
+  saved_ = t_current;
+  span_.trace_id = saved_.trace_id != 0 ? saved_.trace_id : NewTraceId();
+  span_.span_id = s.next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span_.parent_span_id = saved_.trace_id != 0 ? saved_.span_id : 0;
+  span_.start_ns = NowNs();
+  span_.a = a;
+  span_.b = b;
+  span_.kind = kind;
+  span_.thread_id = LocalThreadId();
+  std::snprintf(span_.name, sizeof(span_.name), "%s", name);
+  t_current = SpanContext{span_.trace_id, span_.span_id};
+  active_ = true;
+}
+
+void ScopedSpan::End() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  span_.end_ns = NowNs();
+  t_current = saved_;
+  RecordSpan(span_);
+}
+
+ScopedSpan::~ScopedSpan() { End(); }
+
+void RecordSpan(const Span& span) {
+  if (span.trace_id == 0) {
+    return;
+  }
+  SpanState& s = State();
+  const uint64_t index = s.next_slot.fetch_add(1, std::memory_order_relaxed);
+  EncodeSlot(&s.ring[index % kSpanRingCapacity], span, index + 1);
+  MaybeLogSlowTrace(span);
+}
+
+std::vector<Span> SnapshotSpans() {
+  SpanState& s = State();
+  std::vector<Span> out;
+  out.reserve(kSpanRingCapacity);
+  for (size_t i = 0; i < kSpanRingCapacity; ++i) {
+    Span span;
+    if (DecodeSlot(s.ring[i], &span)) {
+      out.push_back(span);
+    }
+  }
+  return out;
+}
+
+std::vector<Span> SpansForTrace(uint64_t trace_id) {
+  std::vector<Span> spans = SnapshotSpans();
+  spans.erase(std::remove_if(spans.begin(), spans.end(),
+                             [&](const Span& s) { return s.trace_id != trace_id; }),
+              spans.end());
+  std::sort(spans.begin(), spans.end(), [](const Span& x, const Span& y) {
+    return x.start_ns != y.start_ns ? x.start_ns < y.start_ns : x.span_id < y.span_id;
+  });
+  return spans;
+}
+
+void ClearSpans() {
+  SpanState& s = State();
+  for (size_t i = 0; i < kSpanRingCapacity; ++i) {
+    s.ring[i].seq.store(0, std::memory_order_relaxed);
+  }
+  s.next_slot.store(0, std::memory_order_relaxed);
+  ClearSlowTraces();
+}
+
+std::string DumpSpansText(size_t n) {
+  std::vector<Span> spans = SnapshotSpans();
+  std::sort(spans.begin(), spans.end(), [](const Span& x, const Span& y) {
+    return x.end_ns != y.end_ns ? x.end_ns < y.end_ns : x.span_id < y.span_id;
+  });
+  if (spans.size() > n) {
+    spans.erase(spans.begin(), spans.end() - static_cast<ptrdiff_t>(n));
+  }
+  std::string out;
+  for (const Span& span : spans) {
+    AppendSpanLine(&out, span);
+  }
+  return out;
+}
+
+std::string DumpSpansChromeJson(size_t max_events) {
+  std::vector<Span> spans = SnapshotSpans();
+  std::sort(spans.begin(), spans.end(), [](const Span& x, const Span& y) {
+    return x.end_ns != y.end_ns ? x.end_ns < y.end_ns : x.span_id < y.span_id;
+  });
+  if (spans.size() > max_events) {
+    spans.erase(spans.begin(), spans.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  // Chrome's JSON wants events sorted by timestamp; ts/dur are microseconds.
+  std::sort(spans.begin(), spans.end(), [](const Span& x, const Span& y) {
+    return x.start_ns != y.start_ns ? x.start_ns < y.start_ns : x.span_id < y.span_id;
+  });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[512];
+  bool first = true;
+  for (const Span& span : spans) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":1,\"tid\":%u,\"args\":{\"trace_id\":%llu,\"span_id\":%llu,"
+        "\"parent_span_id\":%llu,\"status\":%u,\"a\":%llu,\"b\":%llu}}",
+        first ? "" : ",", span.name, SpanKindName(span.kind),
+        static_cast<double>(span.start_ns) / 1e3,
+        static_cast<double>(span.duration_ns()) / 1e3, span.thread_id,
+        static_cast<unsigned long long>(span.trace_id),
+        static_cast<unsigned long long>(span.span_id),
+        static_cast<unsigned long long>(span.parent_span_id), span.status,
+        static_cast<unsigned long long>(span.a), static_cast<unsigned long long>(span.b));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FormatSpanTree(uint64_t trace_id) {
+  std::vector<Span> spans = SpansForTrace(trace_id);
+  std::string out;
+  char header[64];
+  std::snprintf(header, sizeof(header), "[trace %llu] %zu spans\n",
+                static_cast<unsigned long long>(trace_id), spans.size());
+  out += header;
+  std::unordered_map<uint64_t, std::vector<const Span*>> children;
+  std::unordered_map<uint64_t, const Span*> by_id;
+  for (const Span& span : spans) {
+    by_id[span.span_id] = &span;
+  }
+  for (const Span& span : spans) {
+    if (span.parent_span_id != 0 && by_id.count(span.parent_span_id) > 0) {
+      children[span.parent_span_id].push_back(&span);
+    }
+  }
+  for (const Span& span : spans) {  // already start-time sorted
+    if (span.parent_span_id == 0) {
+      FormatSubtree(children, span, 1, /*orphan=*/false, &out);
+    } else if (by_id.count(span.parent_span_id) == 0) {
+      // Parent evicted from the ring: show the fragment rather than dropping it.
+      FormatSubtree(children, span, 1, /*orphan=*/true, &out);
+    }
+  }
+  return out;
+}
+
+void SetSlowTraceThresholdNs(uint64_t ns) {
+  State().slow_threshold_ns.store(ns, std::memory_order_relaxed);
+}
+
+uint64_t SlowTraceThresholdNs() {
+  return State().slow_threshold_ns.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> SlowTraceDumps(size_t n) {
+  SpanState& s = State();
+  std::lock_guard<std::mutex> lock(s.slow_mu);
+  std::vector<std::string> out;
+  for (auto it = s.slow.rbegin(); it != s.slow.rend() && out.size() < n; ++it) {
+    out.push_back(it->text);
+  }
+  return out;
+}
+
+void ClearSlowTraces() {
+  SpanState& s = State();
+  std::lock_guard<std::mutex> lock(s.slow_mu);
+  s.slow.clear();
+}
+
+PhaseBreakdown AnalyzePhases(const std::vector<Span>& spans, std::string_view root_name) {
+  PhaseBreakdown out;
+  const Span* root = nullptr;
+  for (const Span& span : spans) {
+    if (root_name == span.name &&
+        (root == nullptr || span.duration_ns() > root->duration_ns())) {
+      root = &span;
+    }
+  }
+  if (root == nullptr) {
+    return out;
+  }
+  out.found = true;
+  out.trace_id = root->trace_id;
+  out.root_span_id = root->span_id;
+  out.total_ns = root->duration_ns();
+  std::unordered_map<std::string, PhaseStat> by_name;
+  for (const Span& span : spans) {
+    if (span.parent_span_id != root->span_id || span.trace_id != root->trace_id) {
+      continue;
+    }
+    PhaseStat& stat = by_name[span.name];
+    stat.name = span.name;
+    stat.total_ns += span.duration_ns();
+    stat.count += 1;
+    out.attributed_ns += span.duration_ns();
+  }
+  for (auto& [name, stat] : by_name) {
+    (void)name;
+    out.phases.push_back(std::move(stat));
+  }
+  std::sort(out.phases.begin(), out.phases.end(),
+            [](const PhaseStat& x, const PhaseStat& y) { return x.total_ns > y.total_ns; });
+  return out;
+}
+
+PhaseBreakdown AnalyzePhases(uint64_t trace_id, std::string_view root_name) {
+  return AnalyzePhases(SpansForTrace(trace_id), root_name);
+}
+
+std::string FormatBreakdown(const PhaseBreakdown& breakdown) {
+  if (!breakdown.found) {
+    return "no matching root span\n";
+  }
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line), "total %.3fms (trace %llu, span %llu)\n",
+                static_cast<double>(breakdown.total_ns) / 1e6,
+                static_cast<unsigned long long>(breakdown.trace_id),
+                static_cast<unsigned long long>(breakdown.root_span_id));
+  out += line;
+  const double total = breakdown.total_ns > 0 ? static_cast<double>(breakdown.total_ns) : 1.0;
+  for (const PhaseStat& stat : breakdown.phases) {
+    std::snprintf(line, sizeof(line), "  %-20s %10.3fms x%-4llu (%4.1f%%)\n",
+                  stat.name.c_str(), static_cast<double>(stat.total_ns) / 1e6,
+                  static_cast<unsigned long long>(stat.count),
+                  100.0 * static_cast<double>(stat.total_ns) / total);
+    out += line;
+  }
+  const uint64_t residue = breakdown.total_ns > breakdown.attributed_ns
+                               ? breakdown.total_ns - breakdown.attributed_ns
+                               : 0;
+  std::snprintf(line, sizeof(line), "  %-20s %10.3fms       (%4.1f%%)\n", "(unattributed)",
+                static_cast<double>(residue) / 1e6,
+                100.0 * static_cast<double>(residue) / total);
+  out += line;
+  return out;
+}
+
+}  // namespace obs
+}  // namespace afs

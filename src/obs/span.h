@@ -1,0 +1,194 @@
+// Causal distributed tracing: structured spans with a propagated (trace_id, span_id,
+// parent_span_id) context, collected in a bounded lock-free ring.
+//
+// A span is one timed region of one thread — an RPC as seen by the client, a Handle() as
+// seen by the server, one commit phase, one journal fsync. Spans form a tree: each span's
+// parent is whatever span was current on the thread when it started, and the context rides
+// across the wire in the Message envelope so a server-side span hangs under the client-side
+// RPC span that caused it. One transaction therefore yields one connected tree even when it
+// fans out across file servers, block servers and the journal, and even across
+// retransmissions: a retransmitted request carries the ORIGINAL context, and a reply played
+// back from the reply cache creates no span at all, so duplicates never fork the tree.
+//
+// Recording discipline matches src/obs/metrics.h: the disabled path is a single relaxed
+// atomic load (tracing is OFF by default; benches and the shell opt in), and recording a
+// finished span is a handful of relaxed atomic stores into a fixed global ring — no locks,
+// no allocation, safe on the commit hot path. Readers (scrapes, dumps) are racy by design:
+// a per-slot sequence number detects torn reads, and a span being overwritten mid-read is
+// simply skipped, which is acceptable for a post-mortem/profiling aid.
+
+#ifndef SRC_OBS_SPAN_H_
+#define SRC_OBS_SPAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afs {
+namespace obs {
+
+enum class SpanKind : uint8_t {
+  kClient = 0,    // client side of an RPC (Network::Call) or a client-library op
+  kServer = 1,    // server side of an RPC (Service::Handle)
+  kPhase = 2,     // one phase of a larger operation (commit.validate, commit.flip, ...)
+  kStore = 3,     // storage work: journal append/fsync, stable-pair batch I/O
+  kTier = 4,      // background tier migration / scrubbing
+  kInternal = 5,  // anything else
+};
+
+const char* SpanKindName(SpanKind kind);
+
+// Spans kept process-wide; the ring overwrites its oldest entry when full.
+inline constexpr size_t kSpanRingCapacity = 16384;
+// Fixed name storage per span (longer names are truncated, always NUL-terminated).
+inline constexpr size_t kSpanNameBytes = 24;
+
+// The propagated causal identity. trace_id groups one logical transaction's spans;
+// span_id names one span within it. Zero means "no trace".
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+// One finished span, as stored in (and snapshotted from) the ring.
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root of its trace
+  uint64_t start_ns = 0;        // steady-clock, process-relative
+  uint64_t end_ns = 0;
+  uint64_t a = 0;  // two free annotation words, meaning depends on the span name
+  uint64_t b = 0;
+  uint32_t thread_id = 0;
+  SpanKind kind = SpanKind::kInternal;
+  uint8_t status = 0;  // ErrorCode numeric value; 0 = ok
+
+  char name[kSpanNameBytes] = {};
+
+  uint64_t duration_ns() const { return end_ns > start_ns ? end_ns - start_ns : 0; }
+};
+
+// Span recording defaults to OFF; the disabled path everywhere is one relaxed atomic load.
+void SetSpanEnabled(bool enabled);
+bool SpanEnabled();
+
+// Allocate a fresh trace id (never 0). ScopedSpan does this implicitly when it starts with
+// no current context; exposed for tests and synthetic span construction.
+uint64_t NewTraceId();
+
+// The calling thread's current context (what a new ScopedSpan would use as its parent).
+SpanContext CurrentSpanContext();
+
+// RAII: adopt a remote parent context for the current thread — the server side of an RPC
+// installs the request's (trace_id, span_id) so its Handle() span joins the caller's tree.
+// Restores the previous context on destruction. No-op when tracing is disabled.
+class SpanContextScope {
+ public:
+  SpanContextScope(uint64_t trace_id, uint64_t parent_span_id);
+  ~SpanContextScope();
+
+  SpanContextScope(const SpanContextScope&) = delete;
+  SpanContextScope& operator=(const SpanContextScope&) = delete;
+
+ private:
+  SpanContext saved_;
+  bool installed_ = false;
+};
+
+// RAII span: starts on construction (allocating a span_id and becoming the thread's
+// current context), records itself into the ring on End()/destruction and restores the
+// previous context. When tracing is disabled the constructor is one relaxed load and
+// everything else is a no-op.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, SpanKind kind = SpanKind::kInternal, uint64_t a = 0,
+                      uint64_t b = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Finish the span early (idempotent): records it and pops it off the thread's context
+  // stack, so a sibling span opened afterwards shares this span's parent.
+  void End();
+
+  bool active() const { return active_; }
+  uint64_t trace_id() const { return span_.trace_id; }
+  uint64_t span_id() const { return span_.span_id; }
+  uint64_t parent_span_id() const { return span_.parent_span_id; }
+  SpanContext context() const { return SpanContext{span_.trace_id, span_.span_id}; }
+
+  void set_status(uint8_t code) { span_.status = code; }
+  void set_args(uint64_t a, uint64_t b) {
+    span_.a = a;
+    span_.b = b;
+  }
+
+ private:
+  Span span_;
+  SpanContext saved_;
+  bool active_ = false;
+};
+
+// Record a finished span directly (ScopedSpan's backend; exposed for tests and for
+// replaying externally-built spans). Ignores spans with trace_id 0.
+void RecordSpan(const Span& span);
+
+// Racy snapshot of every live slot, unordered. Torn or empty slots are skipped.
+std::vector<Span> SnapshotSpans();
+
+// Every snapshot span belonging to `trace_id`, sorted by start time.
+std::vector<Span> SpansForTrace(uint64_t trace_id);
+
+// Reset the ring and the slow-trace log (test isolation; callers must quiesce writers).
+void ClearSpans();
+
+// The most recent `n` finished spans, oldest first, one per line:
+//   "trace=<t> span=<s> parent=<p> <kind> <name> start=<ns> dur=<ns> status=<c> a=<a> b=<b>"
+std::string DumpSpansText(size_t n);
+
+// Chrome trace_event JSON ({"traceEvents":[{"ph":"X",...},...]}): load the output in
+// chrome://tracing or Perfetto. At most `max_events` most-recent spans are exported.
+std::string DumpSpansChromeJson(size_t max_events);
+
+// Indented text rendering of one trace's span tree (children sorted by start time; spans
+// whose parent fell out of the ring are shown at top level, marked "~").
+std::string FormatSpanTree(uint64_t trace_id);
+
+// -- Slow-transaction log ---------------------------------------------------
+// When a ROOT span (parent_span_id == 0) finishes slower than the threshold, its whole
+// span tree is rendered and kept in a small bounded log. 0 disables (the default).
+void SetSlowTraceThresholdNs(uint64_t ns);
+uint64_t SlowTraceThresholdNs();
+// Most recent slow-trace dumps, newest first, at most `n`.
+std::vector<std::string> SlowTraceDumps(size_t n);
+void ClearSlowTraces();
+
+// -- Critical-path analysis -------------------------------------------------
+// Attribute a root operation's latency to its direct child phases, grouped by span name.
+// Built for the commit path ("where do the ~26ms of a contended commit go?") but generic:
+// pick the slowest span named `root_name` in the trace and sum its direct children.
+struct PhaseStat {
+  std::string name;
+  uint64_t total_ns = 0;
+  uint64_t count = 0;
+};
+struct PhaseBreakdown {
+  bool found = false;
+  uint64_t trace_id = 0;
+  uint64_t root_span_id = 0;
+  uint64_t total_ns = 0;       // the root span's own duration
+  uint64_t attributed_ns = 0;  // sum over phases (the rest is uninstrumented glue)
+  std::vector<PhaseStat> phases;  // sorted by total_ns, largest first
+};
+PhaseBreakdown AnalyzePhases(const std::vector<Span>& spans, std::string_view root_name);
+PhaseBreakdown AnalyzePhases(uint64_t trace_id, std::string_view root_name);
+// "commit 26.312ms = validate 12.100ms (46%) + ..." — one line per phase plus the residue.
+std::string FormatBreakdown(const PhaseBreakdown& breakdown);
+
+}  // namespace obs
+}  // namespace afs
+
+#endif  // SRC_OBS_SPAN_H_

@@ -40,4 +40,14 @@ Result<std::string> ScrapeStats(Network* network, Port target, const CallOptions
   return reply.GetString();
 }
 
+Result<std::string> ScrapeSpans(Network* network, Port target, uint32_t max_spans,
+                                bool chrome_json, const CallOptions& options) {
+  WireEncoder req;
+  req.PutU32(max_spans);
+  req.PutU8(chrome_json ? 1 : 0);
+  ASSIGN_OR_RETURN(WireDecoder reply, CallAndCheck(network, target, Service::kGetSpans,
+                                                   std::move(req), options));
+  return reply.GetString();
+}
+
 }  // namespace afs

@@ -33,6 +33,12 @@ Result<WireDecoder> CallAndCheck(Network* network, Port target, uint32_t opcode,
 Result<std::string> ScrapeStats(Network* network, Port target,
                                 const CallOptions& options = {});
 
+// Scrape recent spans from any live server (the Service::kGetSpans op). `chrome_json`
+// selects the Chrome trace_event export over the one-line-per-span text form. The span
+// collector is process-wide, so any server answers for the whole deployment.
+Result<std::string> ScrapeSpans(Network* network, Port target, uint32_t max_spans,
+                                bool chrome_json, const CallOptions& options = {});
+
 }  // namespace afs
 
 #endif  // SRC_RPC_CLIENT_H_

@@ -28,6 +28,15 @@ struct Message {
   // retransmissions of one logical call, unique across distinct calls.
   uint64_t client_id = 0;  // 0 = unstamped (no retransmission, no reply caching)
   uint64_t txn_id = 0;
+  // Causal trace context, riding next to the identity: the caller's trace and the
+  // client-side RPC span that issued this request (which becomes the parent of the
+  // server's handle span). Stamped once by Network::Call and held constant across the
+  // retransmissions of one logical call, so a reply replayed from the server's cache
+  // always references the original span — a duplicate delivery can never fork the span
+  // tree. All zero = untraced (span recording disabled at the caller).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
   std::vector<uint8_t> payload;
 
   Message() = default;

@@ -1,9 +1,11 @@
 #include "src/rpc/network.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/rpc/service.h"
 
@@ -172,6 +174,19 @@ Result<Message> Network::Call(Port target, Message request, const CallOptions& o
     request.client_id = ThreadClientId();
     request.txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   }
+  // One client span per LOGICAL call: retransmissions stay inside it (counted in its `b`
+  // annotation), and the request carries this span's context on every attempt so the
+  // server's handle span — original or replayed — hangs under one node.
+  char span_name[obs::kSpanNameBytes] = "rpc.call";
+  if (obs::SpanEnabled()) {
+    std::snprintf(span_name, sizeof(span_name), "rpc.call:%u", request.opcode);
+  }
+  obs::ScopedSpan rpc_span(span_name, obs::SpanKind::kClient, target, 0);
+  if (rpc_span.active()) {
+    request.trace_id = rpc_span.trace_id();
+    request.span_id = rpc_span.span_id();
+    request.parent_span_id = rpc_span.parent_span_id();
+  }
   const int attempts = options.at_most_once ? 1 + std::max(0, options.max_retransmits) : 1;
   const auto deadline = std::chrono::steady_clock::now() +
                         options.timeout * std::max(1, options.retransmit_deadline_factor);
@@ -192,6 +207,12 @@ Result<Message> Network::Call(Port target, Message request, const CallOptions& o
     // retry under the same identity. kCrashed/kUnavailable are definite and must surface
     // immediately — the §5.3 automatic crash warning depends on it.
     if (result.ok() || result.status().code() != ErrorCode::kTimeout) {
+      if (rpc_span.active()) {
+        rpc_span.set_args(target, static_cast<uint64_t>(attempt));  // b = retransmits used
+        if (!result.ok()) {
+          rpc_span.set_status(static_cast<uint8_t>(result.status().code()));
+        }
+      }
       return result;
     }
     if (std::chrono::steady_clock::now() >= deadline) {
@@ -200,6 +221,12 @@ Result<Message> Network::Call(Port target, Message request, const CallOptions& o
   }
   if (attempts > 1) {
     retransmit_exhausted_->Inc();
+  }
+  if (rpc_span.active()) {
+    rpc_span.set_args(target, static_cast<uint64_t>(attempts - 1));
+    if (!result.ok()) {
+      rpc_span.set_status(static_cast<uint8_t>(result.status().code()));
+    }
   }
   return result;
 }

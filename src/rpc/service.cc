@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/rpc/client.h"
 
@@ -187,6 +189,9 @@ Result<Message> Service::AwaitExisting(const std::shared_ptr<CallState>& state,
                                        std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(state->mu);
   if (state->done) {
+    // Replay increments ONLY rpc.dup_replayed: the handler does not re-run, so the per-op
+    // count/latency instruments and the handle span all stay at exactly one per logical
+    // call — the cached reply still references the original span via its trace context.
     dup_replayed_->Inc();
     obs::Trace(obs::TraceEvent::kRpcDupReplay, request.client_id, request.txn_id);
     return state->result;
@@ -299,12 +304,38 @@ void Service::WorkerLoop() {
     }
 
     const auto start = std::chrono::steady_clock::now();
-    Result<Message> result =
-        request.opcode == kGetStats ? HandleGetStats() : Handle(request);
+    Result<Message> result = Status(ErrorCode::kInternal);
+    {
+      // Adopt the caller's trace context so this handle span — and every span the handler
+      // opens below it (commit phases, nested block RPCs, journal work) — joins the
+      // caller's tree. This block runs at most once per logical call: a retransmission of
+      // a completed call is answered from the reply cache (AwaitExisting) without ever
+      // reaching a worker, so no duplicate handle span can exist.
+      obs::SpanContextScope rpc_ctx(request.trace_id, request.span_id);
+      char span_name[obs::kSpanNameBytes] = "handle";
+      if (obs::SpanEnabled()) {
+        if (request.opcode == kGetStats) {
+          std::snprintf(span_name, sizeof(span_name), "handle:stats");
+        } else if (request.opcode == kGetSpans) {
+          std::snprintf(span_name, sizeof(span_name), "handle:spans");
+        } else {
+          std::snprintf(span_name, sizeof(span_name), "handle:%u", request.opcode);
+        }
+      }
+      obs::ScopedSpan handle_span(span_name, obs::SpanKind::kServer, request.opcode, 0);
+      result = request.opcode == kGetStats   ? HandleGetStats()
+               : request.opcode == kGetSpans ? HandleGetSpans(request)
+                                             : Handle(request);
+      if (!result.ok()) {
+        handle_span.set_status(static_cast<uint8_t>(result.status().code()));
+      }
+    }
     const uint64_t ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
                                                              start)
             .count());
+    // Primary per-op instruments: recorded here, on the one fresh execution, and nowhere
+    // else — the dup-replay path must never touch them (see AwaitExisting).
     handle_ns_->Record(ns);
     OpStats* op = StatsForOp(request.opcode);
     op->count->Inc();
@@ -338,8 +369,9 @@ Service::OpStats* Service::StatsForOp(uint32_t opcode) {
   std::lock_guard<std::mutex> lock(op_stats_mu_);
   OpStats& stats = op_stats_[opcode];
   if (stats.count == nullptr) {
-    const std::string suffix =
-        opcode == kGetStats ? std::string("stats") : std::to_string(opcode);
+    const std::string suffix = opcode == kGetStats   ? std::string("stats")
+                               : opcode == kGetSpans ? std::string("spans")
+                                                     : std::to_string(opcode);
     stats.count = metrics_.counter("rpc.op." + suffix + ".count");
     stats.handle_ns = metrics_.histogram("rpc.op." + suffix + ".handle_ns");
   }
@@ -352,6 +384,31 @@ Result<Message> Service::HandleGetStats() {
   WireEncoder out;
   out.PutString(text);
   return OkReply(kGetStats, std::move(out));
+}
+
+Result<Message> Service::HandleGetSpans(const Message& request) {
+  WireDecoder req(std::vector<uint8_t>(request.payload));
+  ASSIGN_OR_RETURN(uint32_t max_spans, req.GetU32());
+  ASSIGN_OR_RETURN(uint8_t format, req.GetU8());
+  max_spans = std::min<uint32_t>(max_spans, obs::kSpanRingCapacity);
+  std::string text = format == 1 ? obs::DumpSpansChromeJson(max_spans)
+                                 : obs::DumpSpansText(max_spans);
+  // The reply must itself fit in one transaction message; drop whole lines from the OLD
+  // end (text dumps are oldest-first) until it does. The Chrome export cannot be cut at a
+  // line boundary, so it is retried with ever fewer events instead.
+  const size_t budget = kMaxMessageBytes - 256;
+  if (format == 1) {
+    uint32_t n = max_spans;
+    while (text.size() > budget && n > 1) {
+      n /= 2;
+      text = obs::DumpSpansChromeJson(n);
+    }
+  } else if (text.size() > budget) {
+    text.erase(0, text.find('\n', text.size() - budget) + 1);
+  }
+  WireEncoder out;
+  out.PutString(text);
+  return OkReply(kGetSpans, std::move(out));
 }
 
 }  // namespace afs

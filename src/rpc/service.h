@@ -42,6 +42,10 @@ class Service {
   // replies with the text exposition (obs::MetricRegistry::DumpText) of this server's
   // metrics, so any client can scrape any live server.
   static constexpr uint32_t kGetStats = 0xAF500001;
+  // Reserved opcode: scrape recent spans (request: u32 max_spans, u8 format 0=text
+  // 1=chrome-json; reply: string, truncated to fit one transaction message). The span
+  // collector is process-wide, so any live server answers for the whole deployment.
+  static constexpr uint32_t kGetSpans = 0xAF500002;
 
   // `num_workers` > 1 lets a file server run serialisability tests in parallel with other
   // commits, as §5.2 requires; subclass Handle() implementations must be thread-safe.
@@ -129,6 +133,7 @@ class Service {
   void ReapZombies();
 
   Result<Message> HandleGetStats();
+  Result<Message> HandleGetSpans(const Message& request);
   // Per-request-type instruments, created lazily on the first request of each type.
   struct OpStats {
     obs::Counter* count = nullptr;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/base/crc32.h"
+#include "src/obs/span.h"
 
 namespace afs {
 namespace {
@@ -44,7 +45,8 @@ Journal::Journal(StableFile* file, JournalOptions options, obs::MetricRegistry* 
       injector_(injector),
       append_ctr_(metrics->counter("journal.append")),
       fsync_ctr_(metrics->counter("journal.fsync")),
-      group_size_hist_(metrics->histogram("journal.group_size")),
+      queue_depth_(metrics->gauge("journal.queue_depth")),
+      flush_batch_hist_(metrics->histogram("journal.flush.batch_size")),
       batch_bytes_hist_(metrics->histogram("journal.batch_bytes")),
       commit_ns_hist_(metrics->histogram("journal.commit_ns")) {}
 
@@ -120,6 +122,7 @@ bool Journal::MaybeCrashLocked(CrashPoint point, uint64_t keep_bytes) {
 Result<Journal::ReplayedRecord> Journal::Append(BlockNo bno,
                                                 std::span<const uint8_t> payload) {
   const auto start = std::chrono::steady_clock::now();
+  obs::ScopedSpan append_span("journal.append", obs::SpanKind::kStore, bno, payload.size());
   std::unique_lock<std::mutex> lk(mu_);
   if (dead_) {
     return UnavailableError("journal device lost power");
@@ -139,6 +142,9 @@ Result<Journal::ReplayedRecord> Journal::Append(BlockNo bno,
   end_offset_ += record.size();
   staged_lsn_ = lsn;
   append_ctr_->Inc();
+  // Published under mu_, like the LSNs it derives from: how many records are waiting for
+  // the flusher right now (its max is the deepest group commit ever coalesced).
+  queue_depth_->Set(static_cast<int64_t>(staged_lsn_ - durable_lsn_));
 
   // A power cut here tears the record in half...
   if (MaybeCrashLocked(CrashPoint::kMidJournalAppend,
@@ -187,7 +193,12 @@ void Journal::FlusherLoop() {
       return;
     }
     lk.unlock();
-    Status st = file_->Sync();
+    Status st;
+    {
+      obs::ScopedSpan fsync_span("journal.fsync", obs::SpanKind::kStore, batch_records,
+                                 target_end - durable_end_);
+      st = file_->Sync();
+    }
     lk.lock();
     if (!st.ok()) {
       dead_ = true;
@@ -198,10 +209,11 @@ void Journal::FlusherLoop() {
       return;  // batch durable, but no writer ever hears the acknowledgement
     }
     fsync_ctr_->Inc();
-    group_size_hist_->Record(batch_records);
+    flush_batch_hist_->Record(batch_records);
     batch_bytes_hist_->Record(target_end - durable_end_);
     durable_lsn_ = target_lsn;
     durable_end_ = target_end;
+    queue_depth_->Set(static_cast<int64_t>(staged_lsn_ - durable_lsn_));
     waiters_cv_.notify_all();
   }
 }

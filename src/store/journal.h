@@ -119,7 +119,8 @@ class Journal {
 
   obs::Counter* append_ctr_;
   obs::Counter* fsync_ctr_;
-  obs::Histogram* group_size_hist_;   // records per fsync batch
+  obs::Gauge* queue_depth_;           // records staged but not yet durable (max = worst)
+  obs::Histogram* flush_batch_hist_;  // journal.flush.batch_size: records per fsync batch
   obs::Histogram* batch_bytes_hist_;  // bytes per fsync batch
   obs::Histogram* commit_ns_hist_;    // Append latency: stage -> durable
 };

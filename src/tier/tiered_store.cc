@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 
 namespace afs {
@@ -331,6 +332,7 @@ bool TieredStore::CrashCut(TierCrashPoint point) {
 
 Status TieredStore::MigrateBlocks(std::span<const BlockNo> bnos, uint64_t* migrated) {
   std::lock_guard<std::mutex> lock(migrate_mu_);
+  obs::ScopedSpan span("tier.migrate", obs::SpanKind::kTier, bnos.size());
   if (migrated != nullptr) {
     *migrated = 0;
   }
@@ -411,6 +413,7 @@ Status TieredStore::MigrateBlocks(std::span<const BlockNo> bnos, uint64_t* migra
 
 Result<TierScrubSummary> TieredStore::ScrubPass() {
   std::lock_guard<std::mutex> lock(migrate_mu_);
+  obs::ScopedSpan span("tier.scrub", obs::SpanKind::kTier);
   TierScrubSummary summary;
   std::vector<std::pair<BlockNo, BlockNo>> snapshot;
   {

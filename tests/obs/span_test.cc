@@ -1,0 +1,347 @@
+// Tests of the causal-tracing core (src/obs/span.h) and SLO accounting (src/obs/slo.h):
+// context propagation, the lock-free ring, exports, the critical-path analyzer, the
+// slow-transaction log, and the pass/fail verdict semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/slo.h"
+#include "src/obs/span.h"
+
+namespace afs {
+namespace obs {
+namespace {
+
+// Every test runs with a clean ring and spans enabled; the previous global state is
+// restored afterwards so the suite composes with tests that expect tracing off.
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = SpanEnabled();
+    prev_threshold_ = SlowTraceThresholdNs();
+    SetSpanEnabled(true);
+    SetSlowTraceThresholdNs(0);
+    ClearSpans();
+  }
+  void TearDown() override {
+    ClearSpans();
+    SetSlowTraceThresholdNs(prev_threshold_);
+    SetSpanEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+  uint64_t prev_threshold_ = 0;
+};
+
+TEST_F(SpanTest, DisabledRecordsNothing) {
+  SetSpanEnabled(false);
+  {
+    ScopedSpan span("noop", SpanKind::kInternal);
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.trace_id(), 0u);
+  }
+  EXPECT_TRUE(SnapshotSpans().empty());
+  SetSpanEnabled(true);
+}
+
+TEST_F(SpanTest, RootSpanGetsFreshTrace) {
+  uint64_t trace = 0;
+  {
+    ScopedSpan span("root", SpanKind::kClient, 7, 9);
+    ASSERT_TRUE(span.active());
+    trace = span.trace_id();
+    EXPECT_NE(trace, 0u);
+    EXPECT_EQ(span.parent_span_id(), 0u);
+  }
+  std::vector<Span> spans = SpansForTrace(trace);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].a, 7u);
+  EXPECT_EQ(spans[0].b, 9u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kClient);
+}
+
+TEST_F(SpanTest, NestingBuildsParentChain) {
+  uint64_t trace = 0;
+  {
+    ScopedSpan outer("outer");
+    trace = outer.trace_id();
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(inner.trace_id(), trace);
+      EXPECT_EQ(inner.parent_span_id(), outer.span_id());
+    }
+  }
+  std::vector<Span> spans = SpansForTrace(trace);
+  ASSERT_EQ(spans.size(), 2u);  // sorted by start: outer first
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent_span_id, spans[0].span_id);
+}
+
+TEST_F(SpanTest, EndMakesSiblingsNotChildren) {
+  // The commit path uses End() so validate and merge are siblings under commit even
+  // though they execute sequentially in the same scope.
+  uint64_t trace = 0;
+  {
+    ScopedSpan root("op");
+    trace = root.trace_id();
+    ScopedSpan first("phase.one");
+    first.End();
+    ScopedSpan second("phase.two");
+    EXPECT_EQ(second.parent_span_id(), root.span_id());
+  }
+  std::vector<Span> spans = SpansForTrace(trace);
+  ASSERT_EQ(spans.size(), 3u);
+  uint64_t root_id = 0;
+  for (const Span& s : spans) {
+    if (std::string(s.name) == "op") root_id = s.span_id;
+  }
+  for (const Span& s : spans) {
+    if (std::string(s.name) != "op") {
+      EXPECT_EQ(s.parent_span_id, root_id) << s.name;
+    }
+  }
+}
+
+TEST_F(SpanTest, EndIsIdempotent) {
+  ScopedSpan span("once");
+  uint64_t trace = span.trace_id();
+  span.End();
+  span.End();
+  EXPECT_EQ(SpansForTrace(trace).size(), 1u);
+}
+
+TEST_F(SpanTest, ContextScopeAdoptsRemoteParent) {
+  // The server side of an RPC: adopt the request's (trace_id, span_id) so the handle
+  // span joins the caller's tree.
+  const uint64_t remote_trace = NewTraceId();
+  const uint64_t remote_span = 424242;
+  {
+    SpanContextScope scope(remote_trace, remote_span);
+    ScopedSpan handle("handle");
+    EXPECT_EQ(handle.trace_id(), remote_trace);
+    EXPECT_EQ(handle.parent_span_id(), remote_span);
+  }
+  // Context restored: a new span after the scope starts a fresh trace.
+  ScopedSpan after("after");
+  EXPECT_NE(after.trace_id(), remote_trace);
+}
+
+TEST_F(SpanTest, RingOverwritesOldestWhenFull) {
+  for (size_t i = 0; i < kSpanRingCapacity + 100; ++i) {
+    ScopedSpan span("fill");
+  }
+  std::vector<Span> spans = SnapshotSpans();
+  EXPECT_LE(spans.size(), kSpanRingCapacity);
+  EXPECT_GE(spans.size(), kSpanRingCapacity - 2);  // racy reader may skip a torn slot
+}
+
+TEST_F(SpanTest, ConcurrentWritersProduceValidSpans) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan span("stress", SpanKind::kInternal, static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Every decoded span must be internally consistent — no torn half-written entries.
+  for (const Span& s : SnapshotSpans()) {
+    EXPECT_NE(s.trace_id, 0u);
+    EXPECT_STREQ(s.name, "stress");
+    EXPECT_GE(s.end_ns, s.start_ns);
+  }
+}
+
+TEST_F(SpanTest, LongNamesTruncatedWithNulTerminator) {
+  uint64_t trace = 0;
+  {
+    ScopedSpan span("this.name.is.much.longer.than.the.fixed.slot");
+    trace = span.trace_id();
+  }
+  std::vector<Span> spans = SpansForTrace(trace);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_LT(std::string(spans[0].name).size(), kSpanNameBytes);
+}
+
+TEST_F(SpanTest, ChromeJsonExportShape) {
+  {
+    ScopedSpan root("parent");
+    ScopedSpan child("child");
+  }
+  std::string json = DumpSpansChromeJson(100);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\""), std::string::npos);
+  EXPECT_NE(json.find("\"child\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\""), std::string::npos);
+}
+
+TEST_F(SpanTest, TextDumpOneLinePerSpan) {
+  {
+    ScopedSpan a("alpha");
+  }
+  {
+    ScopedSpan b("beta");
+  }
+  std::string text = DumpSpansText(10);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_EQ(static_cast<size_t>(std::count(text.begin(), text.end(), '\n')), 2u);
+}
+
+TEST_F(SpanTest, FormatSpanTreeIndentsChildren) {
+  uint64_t trace = 0;
+  {
+    ScopedSpan root("txn");
+    trace = root.trace_id();
+    ScopedSpan child("commit");
+  }
+  std::string tree = FormatSpanTree(trace);
+  EXPECT_NE(tree.find("txn"), std::string::npos);
+  EXPECT_NE(tree.find("  "), std::string::npos);  // the child is indented
+  EXPECT_NE(tree.find("commit"), std::string::npos);
+}
+
+TEST_F(SpanTest, AnalyzePhasesAttributesDirectChildren) {
+  // Synthetic tree: root (100us) with direct phases A (40us), B (30us, two spans), and a
+  // grandchild under A that must NOT be double-counted.
+  const uint64_t trace = NewTraceId();
+  auto mk = [&](const char* name, uint64_t id, uint64_t parent, uint64_t start_us,
+                uint64_t dur_us) {
+    Span s;
+    s.trace_id = trace;
+    s.span_id = id;
+    s.parent_span_id = parent;
+    s.start_ns = start_us * 1000;
+    s.end_ns = (start_us + dur_us) * 1000;
+    std::snprintf(s.name, sizeof(s.name), "%s", name);
+    RecordSpan(s);
+  };
+  mk("commit", 1, 0, 0, 100);
+  mk("commit.validate", 2, 1, 5, 40);
+  mk("commit.merge", 3, 1, 50, 20);
+  mk("commit.merge", 4, 1, 75, 10);
+  mk("nested.read", 5, 2, 10, 35);  // child of validate, not of commit
+
+  PhaseBreakdown b = AnalyzePhases(trace, "commit");
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(b.total_ns, 100'000u);
+  EXPECT_EQ(b.attributed_ns, 70'000u);
+  ASSERT_EQ(b.phases.size(), 2u);
+  EXPECT_EQ(b.phases[0].name, "commit.validate");  // largest first
+  EXPECT_EQ(b.phases[0].total_ns, 40'000u);
+  EXPECT_EQ(b.phases[1].name, "commit.merge");
+  EXPECT_EQ(b.phases[1].total_ns, 30'000u);
+  EXPECT_EQ(b.phases[1].count, 2u);
+
+  std::string text = FormatBreakdown(b);
+  EXPECT_NE(text.find("commit.validate"), std::string::npos);
+}
+
+TEST_F(SpanTest, AnalyzePhasesMissingRoot) {
+  PhaseBreakdown b = AnalyzePhases(NewTraceId(), "no.such.op");
+  EXPECT_FALSE(b.found);
+}
+
+TEST_F(SpanTest, SlowTraceLogCapturesRootTrees) {
+  SetSlowTraceThresholdNs(1);  // everything is slow
+  ClearSlowTraces();
+  {
+    ScopedSpan root("slow.txn");
+    ScopedSpan child("slow.phase");
+  }
+  std::vector<std::string> dumps = SlowTraceDumps(10);
+  ASSERT_FALSE(dumps.empty());
+  EXPECT_NE(dumps[0].find("slow.txn"), std::string::npos);
+  EXPECT_NE(dumps[0].find("slow.phase"), std::string::npos);
+}
+
+TEST_F(SpanTest, NonRootSpansNeverTriggerSlowDump) {
+  SetSlowTraceThresholdNs(1);
+  ClearSlowTraces();
+  {
+    ScopedSpan root("quiet.root");
+    {
+      ScopedSpan child("noisy.child");
+      // child ends slow, but it has a parent -> not a root -> no dump yet
+    }
+    EXPECT_TRUE(SlowTraceDumps(10).empty());
+    SetSlowTraceThresholdNs(0);  // root ends below threshold -> still no dump
+  }
+  EXPECT_TRUE(SlowTraceDumps(10).empty());
+}
+
+TEST(SloTrackerTest, VerdictSemantics) {
+  SloTracker tracker;
+  // Class without a target: reported, never fails.
+  tracker.Record("untargeted", 50'000'000);
+  EXPECT_TRUE(tracker.AllPass());
+
+  // Target met.
+  tracker.DeclareTarget("fast", {1'000'000, 10'000'000, 0});
+  for (int i = 0; i < 100; ++i) {
+    tracker.Record("fast", 1000);
+  }
+  EXPECT_TRUE(tracker.AllPass());
+
+  // Target missed at p99.
+  tracker.DeclareTarget("slow", {0, 1000, 0});
+  for (int i = 0; i < 100; ++i) {
+    tracker.Record("slow", 1'000'000);
+  }
+  EXPECT_FALSE(tracker.AllPass());
+}
+
+TEST(SloTrackerTest, UnmeasuredTargetFails) {
+  SloTracker tracker;
+  tracker.DeclareTarget("never.measured", {1'000'000, 0, 0});
+  EXPECT_FALSE(tracker.AllPass()) << "an unmeasured SLO is not a met SLO";
+  tracker.Record("never.measured", 10);
+  EXPECT_TRUE(tracker.AllPass());
+}
+
+TEST(SloTrackerTest, JsonShapeAndReset) {
+  SloTracker tracker;
+  tracker.DeclareTarget("commit", {0, 2'000'000'000, 0});
+  tracker.Record("commit", 5'000'000);
+  std::string json = tracker.DumpJson();
+  EXPECT_NE(json.find("\"classes\""), std::string::npos);
+  EXPECT_NE(json.find("\"commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"pass\""), std::string::npos);
+
+  std::string text = tracker.DumpText();
+  EXPECT_NE(text.find("commit"), std::string::npos);
+
+  tracker.Reset();
+  EXPECT_EQ(tracker.DumpJson().find("\"commit\""), std::string::npos);
+}
+
+TEST(SloTrackerTest, TimerRecordsIntoHistogram) {
+  SloTracker tracker;
+  Histogram* hist = tracker.ClassHistogram("timed");
+  {
+    SloTimer timer(hist);
+  }
+  EXPECT_EQ(hist->count(), 1u);
+  {
+    SloTimer null_timer(nullptr);  // no-op, must not crash
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace afs

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <thread>
+#include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/store/file_disk.h"
+#include "src/store/journal.h"
 #include "src/store/stable_file.h"
 
 namespace afs {
@@ -250,6 +254,56 @@ TEST(FileDiskTest, GroupCommitBatchesConcurrentWriters) {
     ASSERT_TRUE((*disk)->Read(bno, out).ok()) << "block " << bno;
     EXPECT_EQ(out, Pattern(bno, 512)) << "block " << bno;
   }
+}
+
+TEST(FileDiskTest, JournalQueueDepthAndBatchSizeInstruments) {
+  // The journal exports journal.queue_depth (staged-but-not-durable records; its max is
+  // the worst backlog seen) and journal.flush.batch_size (records per fsync). Drive a
+  // Journal directly over a private registry so the assertions see only this journal.
+  const std::string path = ScratchPath("journal_metrics");
+  auto file = StableFile::Open(path + ".journal");
+  ASSERT_TRUE(file.ok());
+  obs::MetricRegistry metrics("journal_test", /*register_global=*/false);
+  JournalOptions options;
+  options.group_commit_window = std::chrono::microseconds(300);
+  Journal journal(file->get(), options, &metrics, nullptr);
+  uint64_t torn = 0;
+  ASSERT_TRUE(journal.Recover(512, &torn).ok());
+  journal.Start();
+
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 25;
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&journal, t, &failures] {
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        auto payload = Pattern(static_cast<uint32_t>(t * 100 + i), 256);
+        if (!journal.Append(static_cast<BlockNo>(i), payload).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  journal.Stop();
+  ASSERT_EQ(failures.load(), 0);
+
+  constexpr uint64_t kTotal = static_cast<uint64_t>(kThreads) * kWritesPerThread;
+  obs::Gauge* depth = metrics.gauge("journal.queue_depth");
+  obs::Histogram* batch = metrics.histogram("journal.flush.batch_size");
+  // Every acked append was flushed, so the queue drained to empty...
+  EXPECT_EQ(depth->value(), 0);
+  // ...and with a 300us window and 4 concurrent writers, some batch held > 1 record.
+  EXPECT_GE(depth->max(), 1);
+  // The batch-size samples partition the appends exactly: one sample per fsync, values
+  // (stored in the histogram's sum) adding up to the total record count.
+  EXPECT_EQ(batch->count(), journal.fsync_batches());
+  EXPECT_EQ(batch->sum_ns(), kTotal);
+  EXPECT_GT(batch->count(), 0u);
+  EXPECT_LE(batch->count(), kTotal);
 }
 
 TEST(FileDiskTest, CloseIsIdempotent) {
