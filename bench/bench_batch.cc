@@ -34,13 +34,26 @@
 #include "src/core/file_server.h"
 #include "src/core/page_store.h"
 #include "src/disk/mem_disk.h"
+#include "src/net/tcp_server.h"
+#include "src/net/tcp_transport.h"
 #include "src/rpc/network.h"
 
 namespace afs {
 namespace {
 
+using net::ServiceKind;
+using net::TcpServer;
+using net::TcpTransport;
+
 // --no_batch: force the baseline even for batch=1 variants (whole-process comparison).
 bool g_allow_batch = true;
+
+// --transport=tcp: every RpcRig-based benchmark routes its client traffic through a
+// loopback TcpServer/TcpTransport pair instead of the simulated network. The simulated
+// wire latency is then OFF — the kernel provides the real thing — so the same run over
+// both flags compares simulated-latency numbers against a kernel-networking baseline
+// (BENCH_net.json; docs/NET.md). Default inproc keeps the historical numbers comparable.
+bool g_tcp_transport = false;
 
 void ApplyBatchMode(int64_t batch_arg) {
   SetBatchingEnabled(batch_arg != 0 && g_allow_batch);
@@ -56,10 +69,19 @@ struct RpcRig {
       : net(31),
         disk(kDefaultBlockSize, 1 << 16),
         server(&net, "bs", &disk, 7, num_shards, num_workers) {
-    net.set_latency(latency, latency);
     server.Start();
+    if (g_tcp_transport) {
+      tcp_server = std::make_unique<TcpServer>(&net);
+      tcp_server->Expose(&server, "bs", ServiceKind::kBlockServer);
+      (void)tcp_server->Start();
+      tcp = std::make_unique<TcpTransport>("127.0.0.1", tcp_server->port());
+      transport = tcp.get();
+    } else {
+      net.set_latency(latency, latency);
+      transport = &net;
+    }
     account = server.CreateAccountDirect();
-    client = std::make_unique<BlockClient>(&net, server.port(), account,
+    client = std::make_unique<BlockClient>(transport, server.port(), account,
                                            server.payload_capacity());
     pages = std::make_unique<PageStore>(client.get());
   }
@@ -67,6 +89,9 @@ struct RpcRig {
   Network net;
   MemDisk disk;
   BlockServer server;
+  std::unique_ptr<TcpServer> tcp_server;
+  std::unique_ptr<TcpTransport> tcp;
+  Transport* transport = nullptr;
   Capability account;
   std::unique_ptr<BlockClient> client;
   std::unique_ptr<PageStore> pages;
@@ -98,7 +123,7 @@ void BM_TreeScan(benchmark::State& state) {
     heads.push_back(*head);
   }
 
-  uint64_t calls_before = rig.net.total_calls();
+  uint64_t calls_before = rig.transport->total_calls();
   int64_t scanned = 0;
   for (auto _ : state) {
     auto result = rig.pages->ReadPages(heads);
@@ -111,7 +136,7 @@ void BM_TreeScan(benchmark::State& state) {
   }
   state.SetItemsProcessed(scanned);
   state.counters["rpcs_per_page"] = benchmark::Counter(
-      static_cast<double>(rig.net.total_calls() - calls_before) / scanned);
+      static_cast<double>(rig.transport->total_calls() - calls_before) / scanned);
   SetBatchingEnabled(true);
 }
 
@@ -162,7 +187,7 @@ void BM_MultiClientCommit(benchmark::State& state) {
 
   std::atomic<int64_t> committed{0};
   std::atomic<int64_t> conflicts{0};
-  const uint64_t calls_before = rig.net.total_calls();
+  const uint64_t calls_before = rig.transport->total_calls();
   for (auto _ : state) {
     std::vector<std::thread> workers;
     for (int t = 0; t < nthreads; ++t) {
@@ -197,7 +222,7 @@ void BM_MultiClientCommit(benchmark::State& state) {
   }
   state.SetItemsProcessed(committed.load());
   state.counters["rpcs_per_txn"] = benchmark::Counter(
-      static_cast<double>(rig.net.total_calls() - calls_before) /
+      static_cast<double>(rig.transport->total_calls() - calls_before) /
       static_cast<double>(committed.load() > 0 ? committed.load() : 1));
   state.counters["conflicts"] = benchmark::Counter(static_cast<double>(conflicts.load()));
   state.counters["serialise_tests"] =
@@ -248,7 +273,7 @@ void BM_TracedCommit(benchmark::State& state) {
     state.SkipWithError("attach failed");
     return;
   }
-  FileClient client(&rig.net, {fs.port()});
+  FileClient client(rig.transport, {fs.port()});
   constexpr int kPages = 4;
   constexpr size_t kPageBytes = 8 * 1024;
   auto file = client.CreateFile();
@@ -420,6 +445,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--no_batch") == 0) {
       afs::g_allow_batch = false;
       afs::SetBatchingEnabled(false);
+    } else if (std::strcmp(argv[i], "--transport=tcp") == 0) {
+      afs::g_tcp_transport = true;
+    } else if (std::strcmp(argv[i], "--transport=inproc") == 0) {
+      afs::g_tcp_transport = false;
     } else {
       args.push_back(argv[i]);
     }

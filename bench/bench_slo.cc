@@ -1,0 +1,199 @@
+// Client-visible latency SLOs over either transport backend (ISSUE 7, docs/NET.md):
+// the same FileClient workload — single RPC round trip, two-RPC read, full optimistic
+// write/commit transaction — driven once over the simulated in-process network (with its
+// standard 100us simulated wire latency) and once over real TCP loopback sockets through
+// TcpServer/TcpTransport. The in-process numbers have carried the perf story since PR 1;
+// this benchmark gives them a kernel-networking baseline, and CI publishes the comparison
+// as BENCH_net.json.
+//
+//   --transport=inproc|tcp|both   which backend variants to register (default both)
+//
+// SLO targets for the client.* classes are declared here, so --afs_slo_json reports are
+// scored (loose bounds: shared CI runners, both transports share one bar).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/block/block_server.h"
+#include "src/block/protocol.h"
+#include "src/client/file_client.h"
+#include "src/client/transaction.h"
+#include "src/core/file_server.h"
+#include "src/disk/mem_disk.h"
+#include "src/net/tcp_server.h"
+#include "src/net/tcp_transport.h"
+#include "src/rpc/network.h"
+
+namespace afs {
+namespace {
+
+constexpr std::chrono::microseconds kSimulatedWireLatency{100};
+
+// One deployment per benchmark variant: block server + file server on the inner network,
+// reached either directly (transport() == the Network, simulated latency on) or through a
+// loopback TcpServer/TcpTransport pair (no simulated latency — the kernel provides it).
+struct TransportRig {
+  explicit TransportRig(bool tcp)
+      : network(17), disk(kDefaultBlockSize, 1 << 14),
+        server(&network, "bs", &disk, 7) {
+    server.Start();
+    account = server.CreateAccountDirect();
+    block_client = std::make_unique<BlockClient>(&network, server.port(), account,
+                                                 server.payload_capacity());
+    fs = std::make_unique<FileServer>(&network, "fs", block_client.get());
+    fs->Start();
+    ok = fs->AttachStore().ok();
+    if (tcp) {
+      tcp_server = std::make_unique<net::TcpServer>(&network);
+      tcp_server->Expose(fs.get(), "fs", net::ServiceKind::kFileServer);
+      ok = ok && tcp_server->Start().ok();
+      tcp_transport =
+          std::make_unique<net::TcpTransport>("127.0.0.1", tcp_server->port());
+    } else {
+      network.set_latency(kSimulatedWireLatency, kSimulatedWireLatency);
+    }
+  }
+
+  Transport* transport() {
+    return tcp_transport ? tcp_transport.get() : static_cast<Transport*>(&network);
+  }
+
+  Network network;
+  MemDisk disk;
+  BlockServer server;
+  Capability account;
+  std::unique_ptr<BlockClient> block_client;
+  std::unique_ptr<FileServer> fs;
+  std::unique_ptr<net::TcpServer> tcp_server;
+  std::unique_ptr<net::TcpTransport> tcp_transport;
+  bool ok = false;
+};
+
+// One RPC round trip (GetCurrentVersion): the floor any transaction pays per message.
+void BM_RpcRoundTrip(benchmark::State& state, bool tcp) {
+  TransportRig rig(tcp);
+  FileClient client(rig.transport(), {rig.fs->port()});
+  auto file = rig.ok ? client.CreateFile() : Result<Capability>(InternalError("rig"));
+  if (!file.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  int64_t calls = 0;
+  for (auto _ : state) {
+    auto current = client.GetCurrentVersion(*file);
+    if (!current.ok()) {
+      state.SkipWithError("call failed");
+      return;
+    }
+    benchmark::DoNotOptimize(current);
+    ++calls;
+  }
+  state.SetItemsProcessed(calls);
+}
+
+// Client-visible read: resolve the current version, then read the root page.
+void BM_ClientRead(benchmark::State& state, bool tcp) {
+  TransportRig rig(tcp);
+  FileClient client(rig.transport(), {rig.fs->port()});
+  auto file = rig.ok ? client.CreateFile() : Result<Capability>(InternalError("rig"));
+  bool ready = file.ok();
+  if (ready) {
+    ready = RunTransaction(&client, *file, [](FileClient& c, const Capability& v) {
+              return c.WriteString(v, PagePath::Root(), std::string(512, 'x'));
+            }).ok();
+  }
+  if (!ready) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  int64_t reads = 0;
+  for (auto _ : state) {
+    auto current = client.GetCurrentVersion(*file);
+    auto text = current.ok() ? client.ReadString(*current, PagePath::Root())
+                             : Result<std::string>(current.status());
+    if (!text.ok()) {
+      state.SkipWithError("read failed");
+      return;
+    }
+    benchmark::DoNotOptimize(text);
+    ++reads;
+  }
+  state.SetItemsProcessed(reads);
+}
+
+// The full optimistic transaction: create version, write, commit (client.commit SLO).
+void BM_ClientCommit(benchmark::State& state, bool tcp) {
+  TransportRig rig(tcp);
+  FileClient client(rig.transport(), {rig.fs->port()});
+  auto file = rig.ok ? client.CreateFile() : Result<Capability>(InternalError("rig"));
+  if (!file.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  int64_t commits = 0;
+  for (auto _ : state) {
+    auto stats = RunTransaction(&client, *file, [&](FileClient& c, const Capability& v) {
+      return c.WriteString(v, PagePath::Root(),
+                           std::to_string(commits));
+    });
+    if (!stats.ok()) {
+      state.SkipWithError("commit failed");
+      return;
+    }
+    ++commits;
+  }
+  state.SetItemsProcessed(commits);
+}
+
+}  // namespace
+}  // namespace afs
+
+int main(int argc, char** argv) {
+  bool want_inproc = true;
+  bool want_tcp = true;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport=inproc") == 0) {
+      want_tcp = false;
+    } else if (std::strcmp(argv[i], "--transport=tcp") == 0) {
+      want_inproc = false;
+    } else if (std::strcmp(argv[i], "--transport=both") == 0) {
+      // the default
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  afs::obs::SloTracker* slo = afs::obs::SloTracker::Global();
+  slo->DeclareTarget("client.read", {/*p50=*/100'000'000, /*p99=*/1'000'000'000,
+                                     /*p999=*/4'000'000'000});
+  slo->DeclareTarget("client.commit", {/*p50=*/500'000'000, /*p99=*/4'000'000'000,
+                                       /*p999=*/8'000'000'000});
+
+  struct Variant {
+    const char* name;
+    bool tcp;
+    bool enabled;
+  };
+  const Variant variants[] = {{"inproc", false, want_inproc}, {"tcp", true, want_tcp}};
+  for (const Variant& v : variants) {
+    if (!v.enabled) {
+      continue;
+    }
+    benchmark::RegisterBenchmark((std::string("BM_RpcRoundTrip/") + v.name).c_str(),
+                                 afs::BM_RpcRoundTrip, v.tcp)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark((std::string("BM_ClientRead/") + v.name).c_str(),
+                                 afs::BM_ClientRead, v.tcp)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark((std::string("BM_ClientCommit/") + v.name).c_str(),
+                                 afs::BM_ClientCommit, v.tcp)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  return afs::bench::BenchMain(static_cast<int>(args.size()), args.data());
+}

@@ -1,0 +1,218 @@
+// afs_server: a complete AFS deployment served over real TCP sockets.
+//
+// Hosts the stable block-server pair, two file servers sharing one tiered store, and a
+// directory server, and exposes them through a net::TcpServer so separate processes —
+// afs_shell --connect, the multi-process integration test — reach them over the wire:
+//
+//   $ ./afs_server --port 7450 --store /tmp/afs &
+//   LISTENING 7450
+//   $ ./afs_shell --connect 127.0.0.1:7450
+//   afs> create notes
+//   afs> write notes / hello over tcp
+//
+// With --port 0 (the default) the kernel picks a free port; the chosen port is printed as
+// "LISTENING <port>" on stdout once the server accepts connections, which is what the
+// integration test parses. With --store <dir> the block servers run on durable FileDisks
+// and the directory capability is kept in <dir>/server.meta, so a kill -9'd server restarts
+// into the same namespace (the §5.3 crash/recovery story, now across real processes).
+//
+// The process serves until stdin reports "quit" or closes AND --idle-exit is given;
+// otherwise it serves until killed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/block/block_server.h"
+#include "src/block/block_store.h"
+#include "src/block/protocol.h"
+#include "src/client/file_client.h"
+#include "src/core/file_server.h"
+#include "src/disk/mem_disk.h"
+#include "src/disk/write_once_disk.h"
+#include "src/namesvc/directory_server.h"
+#include "src/net/tcp_server.h"
+#include "src/obs/span.h"
+#include "src/rpc/network.h"
+#include "src/store/file_disk.h"
+#include "src/tier/tiered_store.h"
+
+using namespace afs;
+
+namespace {
+
+bool LoadMeta(const std::string& path, Capability* cap) {
+  std::ifstream in(path);
+  uint64_t port = 0;
+  return static_cast<bool>(in >> port >> cap->object >> cap->rights >> cap->check) &&
+         (cap->port = static_cast<Port>(port), true);
+}
+
+void SaveMeta(const std::string& path, const Capability& cap) {
+  std::ofstream out(path);
+  out << cap.port << ' ' << cap.object << ' ' << cap.rights << ' ' << cap.check << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_dir;
+  std::string host = "127.0.0.1";
+  uint16_t listen_port = 0;
+  uint64_t seed = 11;
+  int idle_timeout_ms = 0;
+  int max_conns = 64;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (arg == flag && i + 1 < argc) {
+        return argv[++i];
+      }
+      std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        return arg.c_str() + prefix.size();
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--store")) {
+      store_dir = v;
+    } else if (const char* v = value("--port")) {
+      listen_port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--host")) {
+      host = v;
+    } else if (const char* v = value("--seed")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--idle-timeout-ms")) {
+      idle_timeout_ms = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--max-conns")) {
+      max_conns = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--host H] [--store <dir>] [--seed N]\n"
+                   "          [--idle-timeout-ms N] [--max-conns N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  Network net(seed);
+  std::unique_ptr<BlockDevice> disk_a;
+  std::unique_ptr<BlockDevice> disk_b;
+  std::unique_ptr<BlockDevice> disk_archive;
+  if (store_dir.empty()) {
+    disk_a = std::make_unique<MemDisk>(kDefaultBlockSize, 8192);
+    disk_b = std::make_unique<MemDisk>(kDefaultBlockSize, 8192);
+    disk_archive = std::make_unique<MemDisk>(kDefaultBlockSize, 8192);
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(store_dir, ec);
+    FileDiskOptions options;
+    options.block_size = kDefaultBlockSize;
+    options.num_blocks = 8192;
+    options.group_commit_window = std::chrono::microseconds(200);
+    auto a = FileDisk::Open(store_dir + "/a.afsdisk", options);
+    auto b = FileDisk::Open(store_dir + "/b.afsdisk", options);
+    auto arch = FileDisk::Open(store_dir + "/archive.afsdisk", options);
+    if (!a.ok() || !b.ok() || !arch.ok()) {
+      std::fprintf(stderr, "cannot open store in %s\n", store_dir.c_str());
+      return 1;
+    }
+    disk_a = std::move(a).value();
+    disk_b = std::move(b).value();
+    disk_archive = std::move(arch).value();
+  }
+  BlockServer block_a(&net, "block-a", disk_a.get(), 3);
+  BlockServer block_b(&net, "block-b", disk_b.get(), 3);
+  block_a.Start();
+  block_b.Start();
+  block_a.SetCompanion(block_b.port());
+  block_b.SetCompanion(block_a.port());
+  if (!store_dir.empty()) {
+    block_a.RecoverFromDisk();
+    block_b.RecoverFromDisk();
+  }
+  Capability account = block_a.CreateAccountDirect();
+  StableStore store(std::make_unique<BlockClient>(&net, block_a.port(), account,
+                                                  block_a.payload_capacity()),
+                    std::make_unique<BlockClient>(&net, block_b.port(), account,
+                                                  block_b.payload_capacity()),
+                    1);
+  WriteOnceDisk platter(disk_archive.get());
+  TieredStore tiered(&store, &platter);
+  if (Status st = tiered.Mount(); !st.ok()) {
+    std::fprintf(stderr, "tier mount failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  FileServer fs0(&net, "fs0", &tiered);
+  FileServer fs1(&net, "fs1", &tiered);
+  fs0.Start();
+  fs1.Start();
+  if (!fs0.AttachStore().ok() || !fs1.AttachStore().ok()) {
+    std::fprintf(stderr, "attach failed\n");
+    return 1;
+  }
+  DirectoryServer dir(&net, "dir", {fs0.port(), fs1.port()});
+  dir.Start();
+  const std::string meta_path = store_dir.empty() ? "" : store_dir + "/server.meta";
+  Capability dir_cap;
+  if (!meta_path.empty() && LoadMeta(meta_path, &dir_cap)) {
+    if (!dir.Adopt(dir_cap).ok()) {
+      std::fprintf(stderr, "cannot adopt directory from %s\n", meta_path.c_str());
+      return 1;
+    }
+  } else {
+    if (!dir.Init().ok()) {
+      std::fprintf(stderr, "directory init failed\n");
+      return 1;
+    }
+    if (!meta_path.empty()) {
+      SaveMeta(meta_path, dir.directory_file());
+    }
+  }
+
+  // Span recording on, so remote `spans <server>` scrapes (and the cross-process trace
+  // assertions of the integration test) see the server-side span tree.
+  obs::SetSpanEnabled(true);
+
+  net::TcpServer::Options options;
+  options.host = host;
+  options.port = listen_port;
+  options.max_connections = max_conns;
+  if (idle_timeout_ms > 0) {
+    options.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
+  }
+  net::TcpServer server(&net, options);
+  server.Expose(&fs0, "fs0", net::ServiceKind::kFileServer);
+  server.Expose(&fs1, "fs1", net::ServiceKind::kFileServer);
+  server.Expose(&block_a, "block-a", net::ServiceKind::kBlockServer);
+  server.Expose(&block_b, "block-b", net::ServiceKind::kBlockServer);
+  server.Expose(&dir, "dir", net::ServiceKind::kDirectoryServer);
+  server.set_root_capability(dir.directory_file());
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "cannot listen on %s:%u: %s\n", host.c_str(), listen_port,
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  // Serve until told to quit; a closed stdin (detached run) serves until killed.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") {
+      break;
+    }
+  }
+  if (!std::cin) {
+    // stdin closed: park this thread, keep serving.
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+  }
+  server.Stop();
+  return 0;
+}

@@ -24,12 +24,24 @@
 //   $ ./afs_shell --store /tmp/afs
 //   afs> read notes /
 //   survives-restarts
+//
+// With `--connect host:port` the shell runs no servers of its own: it dials an afs_server
+// process over TCP, discovers the deployment from the hello manifest, and runs the same
+// write/commit/read session over real sockets (a reduced command set — the commands that
+// poke at in-process objects need the servers in-process):
+//
+//   $ ./afs_server --port 7450 &
+//   LISTENING 7450
+//   $ ./afs_shell --connect 127.0.0.1:7450
+//   afs> create notes
+//   afs> write notes / hello over tcp
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -43,7 +55,11 @@
 #include "src/core/gc.h"
 #include "src/disk/mem_disk.h"
 #include "src/disk/write_once_disk.h"
+#include "src/namesvc/directory_client.h"
 #include "src/namesvc/directory_server.h"
+#include "src/net/socket.h"
+#include "src/net/tcp_server.h"
+#include "src/net/tcp_transport.h"
 #include "src/obs/metrics.h"
 #include "src/obs/slo.h"
 #include "src/obs/span.h"
@@ -109,20 +125,243 @@ void SaveMeta(const std::string& path, const Capability& cap) {
   out << cap.port << ' ' << cap.object << ' ' << cap.rights << ' ' << cap.check << '\n';
 }
 
+void PrintRemoteHelp() {
+  std::printf(
+      "remote commands (afs_shell --connect):\n"
+      "  ls                          list named files\n"
+      "  create <name>               create and name a file\n"
+      "  write <name> <path> <text>  atomic write of a page over TCP\n"
+      "  mkpage <name> <path> <idx>  insert a reference slot under <path>\n"
+      "  read <name> <path>          read a page of the current version\n"
+      "  history <name>              committed version count\n"
+      "  rm <name>                   remove the directory entry and delete the file\n"
+      "  servers                     the server's hello manifest\n"
+      "  stats <server>              scrape a remote server's metrics (kGetStats)\n"
+      "  spans <server> [n]          scrape a remote server's spans (kGetSpans)\n"
+      "  spans [n]                   this process's recent spans\n"
+      "  trace [n]                   this process's recent trace events\n"
+      "  net                         client transport counters (sends, retransmits...)\n"
+      "  help, quit\n");
+}
+
+// The --connect mode: everything goes over one TcpTransport; the deployment is discovered
+// from the hello manifest. Returns the process exit code.
+int RunRemoteShell(const std::string& hostport) {
+  auto split = net::SplitHostPort(hostport);
+  if (!split.ok()) {
+    std::fprintf(stderr, "bad --connect argument: %s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  net::TcpTransport transport(split->first, split->second);
+  auto hello = transport.SayHello();
+  if (!hello.ok()) {
+    std::fprintf(stderr, "cannot reach afs_server at %s: %s\n", hostport.c_str(),
+                 hello.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Port> file_servers;
+  std::map<std::string, Port> by_name;
+  Port dir_port = kNullPort;
+  for (const auto& entry : hello->services) {
+    by_name[entry.name] = entry.port;
+    if (entry.kind == static_cast<uint8_t>(net::ServiceKind::kFileServer)) {
+      file_servers.push_back(entry.port);
+    } else if (entry.kind == static_cast<uint8_t>(net::ServiceKind::kDirectoryServer) &&
+               dir_port == kNullPort) {
+      dir_port = entry.port;
+    }
+  }
+  if (file_servers.empty() || dir_port == kNullPort) {
+    std::fprintf(stderr, "server manifest has no file or directory servers\n");
+    return 1;
+  }
+  FileClient client(&transport, file_servers);
+  DirectoryClient dir(&transport, dir_port);
+  obs::SetSpanEnabled(true);
+
+  std::printf("Amoeba File Service shell — connected to %s (%zu service(s))\n",
+              hostport.c_str(), hello->services.size());
+  std::string line;
+  while (std::printf("afs> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) {
+      continue;
+    }
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    }
+    if (cmd == "help") {
+      PrintRemoteHelp();
+    } else if (cmd == "ls") {
+      auto names = dir.List();
+      if (!names.ok()) {
+        std::printf("error: %s\n", names.status().ToString().c_str());
+        continue;
+      }
+      for (const std::string& name : *names) {
+        std::printf("  %s\n", name.c_str());
+      }
+    } else if (cmd == "servers") {
+      for (const auto& entry : hello->services) {
+        const char* kind = entry.kind == 1   ? "file server"
+                           : entry.kind == 2 ? "block server"
+                           : entry.kind == 3 ? "directory server"
+                                             : "service";
+        std::printf("  %-10s port %llu  (%s)\n", entry.name.c_str(),
+                    (unsigned long long)entry.port, kind);
+      }
+    } else if (cmd == "create") {
+      std::string name;
+      in >> name;
+      auto file = client.CreateFile();
+      Status st = file.ok() ? dir.Enter(name, *file) : file.status();
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "write" || cmd == "read" || cmd == "mkpage" || cmd == "history" ||
+               cmd == "rm") {
+      std::string name;
+      in >> name;
+      auto cap = dir.Lookup(name);
+      if (!cap.ok()) {
+        std::printf("error: %s\n", cap.status().ToString().c_str());
+        continue;
+      }
+      if (cmd == "history") {
+        auto stat = client.FileStat(*cap);
+        if (stat.ok()) {
+          std::printf("%u committed version(s)%s\n", stat->committed_versions,
+                      stat->is_super ? " (super-file)" : "");
+        } else {
+          std::printf("error: %s\n", stat.status().ToString().c_str());
+        }
+        continue;
+      }
+      if (cmd == "rm") {
+        Status st = dir.Remove(name);
+        if (st.ok()) {
+          st = client.DeleteFile(*cap);
+        }
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      std::string path_text;
+      in >> path_text;
+      auto path = PagePath::Parse(path_text);
+      if (!path.ok()) {
+        std::printf("bad path: %s\n", path.status().ToString().c_str());
+        continue;
+      }
+      if (cmd == "read") {
+        auto current = client.GetCurrentVersion(*cap);
+        if (!current.ok()) {
+          std::printf("error: %s\n", current.status().ToString().c_str());
+          continue;
+        }
+        auto text = client.ReadString(*current, *path);
+        if (text.ok()) {
+          std::printf("%s\n", text->c_str());
+        } else {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+        }
+        continue;
+      }
+      if (cmd == "mkpage") {
+        uint32_t index = 0;
+        in >> index;
+        auto stats =
+            RunTransaction(&client, *cap, [&](FileClient& c, const Capability& v) {
+              return c.InsertRef(v, *path, index);
+            });
+        std::printf("%s\n", stats.status().ToString().c_str());
+        continue;
+      }
+      std::string text;
+      std::getline(in, text);
+      if (!text.empty() && text[0] == ' ') {
+        text.erase(0, 1);
+      }
+      auto stats = RunTransaction(&client, *cap, [&](FileClient& c, const Capability& v) {
+        return c.WriteString(v, *path, text);
+      });
+      if (stats.ok()) {
+        std::printf("committed in %d attempt(s)\n", stats->attempts);
+      } else {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+      }
+    } else if (cmd == "stats") {
+      std::string which;
+      in >> which;
+      auto it = by_name.find(which);
+      if (it == by_name.end()) {
+        std::printf("unknown server '%s' — try 'servers'\n", which.c_str());
+        continue;
+      }
+      auto text = ScrapeStats(&transport, it->second);
+      if (text.ok()) {
+        std::printf("%s", text->c_str());
+      } else {
+        std::printf("error: %s\n", text.status().ToString().c_str());
+      }
+    } else if (cmd == "spans") {
+      std::string arg;
+      in >> arg;
+      auto it = by_name.find(arg);
+      if (it != by_name.end()) {
+        std::string count;
+        in >> count;
+        size_t n = count.empty() ? 40 : std::strtoull(count.c_str(), nullptr, 10);
+        auto text = ScrapeSpans(&transport, it->second, static_cast<uint32_t>(n),
+                                /*chrome_json=*/false);
+        if (text.ok()) {
+          std::printf("%s", text->c_str());
+        } else {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+        }
+      } else {
+        size_t n = arg.empty() ? 40 : std::strtoull(arg.c_str(), nullptr, 10);
+        std::printf("%s", obs::DumpSpansText(n).c_str());
+      }
+    } else if (cmd == "trace") {
+      size_t n = 40;
+      std::string arg;
+      if (in >> arg) {
+        n = static_cast<size_t>(std::strtoull(arg.c_str(), nullptr, 10));
+      }
+      std::printf("%s", obs::DumpTrace(n).c_str());
+    } else if (cmd == "net") {
+      std::string text;
+      transport.metrics()->DumpText(&text);
+      std::printf("%s", text.c_str());
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string store_dir;
+  std::string connect;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--store" && i + 1 < argc) {
       store_dir = argv[++i];
     } else if (arg.rfind("--store=", 0) == 0) {
       store_dir = arg.substr(8);
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect = arg.substr(10);
     } else {
-      std::fprintf(stderr, "usage: %s [--store <dir>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--store <dir>] [--connect host:port]\n", argv[0]);
       return 1;
     }
+  }
+  if (!connect.empty()) {
+    return RunRemoteShell(connect);
   }
 
   Network net(11);

@@ -84,9 +84,9 @@ Result<std::vector<BlockNo>> BlockStore::AllocMulti(uint32_t n) {
 // BlockClient
 // ---------------------------------------------------------------------------
 
-BlockClient::BlockClient(Network* network, Port server, Capability account,
+BlockClient::BlockClient(Transport* transport, Port server, Capability account,
                          uint32_t payload_capacity)
-    : network_(network),
+    : transport_(transport),
       server_(server),
       account_(account),
       payload_capacity_(payload_capacity) {}
@@ -96,7 +96,7 @@ Result<BlockNo> BlockClient::AllocWrite(std::span<const uint8_t> payload) {
   req.PutCapability(account_);
   req.PutBytes(payload);
   ASSIGN_OR_RETURN(WireDecoder reply,
-                   CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kAllocWrite),
+                   CallAndCheck(transport_, server_, static_cast<uint32_t>(BlockOp::kAllocWrite),
                                 std::move(req)));
   return reply.GetU32();
 }
@@ -106,7 +106,7 @@ Status BlockClient::Write(BlockNo bno, std::span<const uint8_t> payload) {
   req.PutCapability(account_);
   req.PutU32(bno);
   req.PutBytes(payload);
-  return CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kWrite), std::move(req))
+  return CallAndCheck(transport_, server_, static_cast<uint32_t>(BlockOp::kWrite), std::move(req))
       .status();
 }
 
@@ -115,7 +115,7 @@ Result<std::vector<uint8_t>> BlockClient::Read(BlockNo bno) {
   req.PutCapability(account_);
   req.PutU32(bno);
   ASSIGN_OR_RETURN(WireDecoder reply,
-                   CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kRead),
+                   CallAndCheck(transport_, server_, static_cast<uint32_t>(BlockOp::kRead),
                                 std::move(req)));
   return reply.GetBytes();
 }
@@ -124,7 +124,7 @@ Status BlockClient::Free(BlockNo bno) {
   WireEncoder req;
   req.PutCapability(account_);
   req.PutU32(bno);
-  return CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kFree), std::move(req))
+  return CallAndCheck(transport_, server_, static_cast<uint32_t>(BlockOp::kFree), std::move(req))
       .status();
 }
 
@@ -154,7 +154,7 @@ Result<std::vector<BlockReadResult>> BlockClient::ReadMulti(std::span<const Bloc
       req.PutU32(bnos[begin + i]);
     }
     ASSIGN_OR_RETURN(WireDecoder reply,
-                     CallAndCheck(network_, server_,
+                     CallAndCheck(transport_, server_,
                                   static_cast<uint32_t>(BlockOp::kReadMulti), std::move(req)));
     ASSIGN_OR_RETURN(uint32_t count, reply.GetU32());
     if (count != n) {
@@ -206,7 +206,7 @@ Status BlockClient::WriteBatch(std::span<const BlockWrite> writes) {
       req.PutU32(writes[i].bno);
       req.PutBytes(writes[i].payload);
     }
-    RETURN_IF_ERROR(CallAndCheck(network_, server_,
+    RETURN_IF_ERROR(CallAndCheck(transport_, server_,
                                  static_cast<uint32_t>(BlockOp::kWriteMulti), std::move(req))
                         .status());
     ++completed_chunks;
@@ -232,7 +232,7 @@ Status BlockClient::FreeMulti(std::span<const BlockNo> bnos) {
     for (size_t i = 0; i < n; ++i) {
       req.PutU32(bnos[begin + i]);
     }
-    RETURN_IF_ERROR(CallAndCheck(network_, server_,
+    RETURN_IF_ERROR(CallAndCheck(transport_, server_,
                                  static_cast<uint32_t>(BlockOp::kFreeMulti), std::move(req))
                         .status());
     ++completed_chunks;
@@ -258,7 +258,7 @@ Result<std::vector<BlockNo>> BlockClient::AllocMulti(uint32_t n) {
     WireEncoder req;
     req.PutCapability(account_);
     req.PutU32(want);
-    auto reply = CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kAllocMulti),
+    auto reply = CallAndCheck(transport_, server_, static_cast<uint32_t>(BlockOp::kAllocMulti),
                               std::move(req));
     if (!reply.ok()) {
       for (BlockNo allocated : out) {
@@ -284,7 +284,7 @@ Status BlockClient::Lock(BlockNo bno, Port owner) {
   req.PutCapability(account_);
   req.PutU32(bno);
   req.PutU64(owner);
-  return CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kLock), std::move(req))
+  return CallAndCheck(transport_, server_, static_cast<uint32_t>(BlockOp::kLock), std::move(req))
       .status();
 }
 
@@ -293,7 +293,7 @@ Status BlockClient::Unlock(BlockNo bno, Port owner) {
   req.PutCapability(account_);
   req.PutU32(bno);
   req.PutU64(owner);
-  return CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kUnlock), std::move(req))
+  return CallAndCheck(transport_, server_, static_cast<uint32_t>(BlockOp::kUnlock), std::move(req))
       .status();
 }
 
@@ -301,7 +301,7 @@ Result<std::vector<BlockNo>> BlockClient::ListBlocks() {
   WireEncoder req;
   req.PutCapability(account_);
   ASSIGN_OR_RETURN(WireDecoder reply,
-                   CallAndCheck(network_, server_, static_cast<uint32_t>(BlockOp::kRecover),
+                   CallAndCheck(transport_, server_, static_cast<uint32_t>(BlockOp::kRecover),
                                 std::move(req)));
   ASSIGN_OR_RETURN(uint32_t n, reply.GetU32());
   std::vector<BlockNo> out;

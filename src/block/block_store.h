@@ -29,7 +29,7 @@
 #include "src/base/status.h"
 #include "src/disk/block_device.h"
 #include "src/obs/metrics.h"
-#include "src/rpc/network.h"
+#include "src/rpc/transport.h"
 
 namespace afs {
 
@@ -96,7 +96,7 @@ class BlockStore {
 // batches so that no request or reply message ever exceeds kMaxMessageBytes.
 class BlockClient : public BlockStore {
  public:
-  BlockClient(Network* network, Port server, Capability account, uint32_t payload_capacity);
+  BlockClient(Transport* transport, Port server, Capability account, uint32_t payload_capacity);
 
   Result<BlockNo> AllocWrite(std::span<const uint8_t> payload) override;
   Status Write(BlockNo bno, std::span<const uint8_t> payload) override;
@@ -124,7 +124,7 @@ class BlockClient : public BlockStore {
   // Largest number of blocks one ReadMulti chunk may request, bounded by the reply size.
   size_t ReadChunkBlocks() const;
 
-  Network* network_;
+  Transport* transport_;
   Port server_;
   Capability account_;
   uint32_t payload_capacity_;

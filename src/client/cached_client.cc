@@ -4,8 +4,8 @@
 
 namespace afs {
 
-CachedFileClient::CachedFileClient(Network* network, std::vector<Port> servers)
-    : client_(network, std::move(servers)) {}
+CachedFileClient::CachedFileClient(Transport* transport, std::vector<Port> servers)
+    : client_(transport, std::move(servers)) {}
 
 Result<size_t> CachedFileClient::Revalidate(const Capability& file) {
   const uint64_t file_id = file.object;

@@ -20,7 +20,7 @@ namespace afs {
 
 class CachedFileClient {
  public:
-  CachedFileClient(Network* network, std::vector<Port> servers);
+  CachedFileClient(Transport* transport, std::vector<Port> servers);
 
   // Read a page of the file's current version, serving from cache when the cached entry
   // validates. Exactly one ValidateCache round-trip happens per call when the cache holds

@@ -25,8 +25,8 @@ bool IsConnectivityError(const Status& s) {
 
 }  // namespace
 
-FileClient::FileClient(Network* network, std::vector<Port> servers)
-    : network_(network),
+FileClient::FileClient(Transport* transport, std::vector<Port> servers)
+    : transport_(transport),
       servers_(std::move(servers)),
       slo_commit_(obs::SloTracker::Global()->ClassHistogram("client.commit")),
       slo_read_(obs::SloTracker::Global()->ClassHistogram("client.read")),
@@ -53,7 +53,7 @@ Result<T> FileClient::WithServer(const std::function<Result<T>(Port)>& op) {
 Result<Capability> FileClient::CreateFile() {
   return WithServer<Capability>([&](Port server) -> Result<Capability> {
     ASSIGN_OR_RETURN(WireDecoder reply,
-                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kCreateFile),
+                     CallAndCheck(transport_, server, static_cast<uint32_t>(FileOp::kCreateFile),
                                   WireEncoder()));
     return reply.GetCapability();
   });
@@ -63,7 +63,7 @@ Status FileClient::DeleteFile(const Capability& file) {
   return WithServer<bool>([&](Port server) -> Result<bool> {
            WireEncoder req;
            req.PutCapability(file);
-           RETURN_IF_ERROR(CallAndCheck(network_, server,
+           RETURN_IF_ERROR(CallAndCheck(transport_, server,
                                         static_cast<uint32_t>(FileOp::kDeleteFile),
                                         std::move(req))
                                .status());
@@ -77,7 +77,7 @@ Result<Capability> FileClient::GetCurrentVersion(const Capability& file) {
     WireEncoder req;
     req.PutCapability(file);
     ASSIGN_OR_RETURN(WireDecoder reply,
-                     CallAndCheck(network_, server,
+                     CallAndCheck(transport_, server,
                                   static_cast<uint32_t>(FileOp::kGetCurrentVersion),
                                   std::move(req)));
     return reply.GetCapability();
@@ -94,7 +94,7 @@ Result<Capability> FileClient::CreateVersion(const Capability& file, Port owner_
     req.PutU64(owner_port);
     req.PutU8(respect_soft_lock ? 1 : 0);
     ASSIGN_OR_RETURN(WireDecoder reply,
-                     CallAndCheck(network_, server,
+                     CallAndCheck(transport_, server,
                                   static_cast<uint32_t>(FileOp::kCreateVersion),
                                   std::move(req)));
     return reply.GetCapability();
@@ -110,7 +110,7 @@ Result<FileClient::ReadResult> FileClient::ReadPage(const Capability& version,
   path.Encode(&req);
   req.PutU8(want_refs ? 1 : 0);
   ASSIGN_OR_RETURN(WireDecoder reply,
-                   CallAndCheck(network_, version.port,
+                   CallAndCheck(transport_, version.port,
                                 static_cast<uint32_t>(FileOp::kReadPage), std::move(req)));
   ReadResult out;
   ASSIGN_OR_RETURN(out.nrefs, reply.GetU32());
@@ -127,7 +127,7 @@ Status FileClient::WritePage(const Capability& version, const PagePath& path,
   req.PutCapability(version);
   path.Encode(&req);
   req.PutBytes(data);
-  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kWritePage),
+  return CallAndCheck(transport_, version.port, static_cast<uint32_t>(FileOp::kWritePage),
                       std::move(req))
       .status();
 }
@@ -172,7 +172,7 @@ Status FileClient::WritePages(const Capability& version, std::span<const PageWri
     req.PutU32(n);
     std::vector<uint8_t> raw = std::move(entries).Take();
     req.PutRaw(raw);
-    RETURN_IF_ERROR(CallAndCheck(network_, version.port,
+    RETURN_IF_ERROR(CallAndCheck(transport_, version.port,
                                  static_cast<uint32_t>(FileOp::kWritePageMulti),
                                  std::move(req))
                         .status());
@@ -198,7 +198,7 @@ Status FileClient::InsertRef(const Capability& version, const PagePath& parent,
   req.PutCapability(version);
   parent.Encode(&req);
   req.PutU32(index);
-  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kInsertRef),
+  return CallAndCheck(transport_, version.port, static_cast<uint32_t>(FileOp::kInsertRef),
                       std::move(req))
       .status();
 }
@@ -209,7 +209,7 @@ Status FileClient::RemoveRef(const Capability& version, const PagePath& parent,
   req.PutCapability(version);
   parent.Encode(&req);
   req.PutU32(index);
-  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kRemoveRef),
+  return CallAndCheck(transport_, version.port, static_cast<uint32_t>(FileOp::kRemoveRef),
                       std::move(req))
       .status();
 }
@@ -220,7 +220,7 @@ Result<std::vector<uint8_t>> FileClient::ReadRefs(const Capability& version,
   req.PutCapability(version);
   path.Encode(&req);
   ASSIGN_OR_RETURN(WireDecoder reply,
-                   CallAndCheck(network_, version.port,
+                   CallAndCheck(transport_, version.port,
                                 static_cast<uint32_t>(FileOp::kReadRefs), std::move(req)));
   ASSIGN_OR_RETURN(uint32_t n, reply.GetU32());
   std::vector<uint8_t> masks;
@@ -239,7 +239,7 @@ Status FileClient::MoveSubtree(const Capability& version, const PagePath& from,
   from.Encode(&req);
   to_parent.Encode(&req);
   req.PutU32(index);
-  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kMoveSubtree),
+  return CallAndCheck(transport_, version.port, static_cast<uint32_t>(FileOp::kMoveSubtree),
                       std::move(req))
       .status();
 }
@@ -251,7 +251,7 @@ Status FileClient::SplitPage(const Capability& version, const PagePath& path,
   path.Encode(&req);
   req.PutU32(data_offset);
   req.PutU32(ref_index);
-  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kSplitPage),
+  return CallAndCheck(transport_, version.port, static_cast<uint32_t>(FileOp::kSplitPage),
                       std::move(req))
       .status();
 }
@@ -262,7 +262,7 @@ Result<BlockNo> FileClient::Commit(const Capability& version) {
   WireEncoder req;
   req.PutCapability(version);
   ASSIGN_OR_RETURN(WireDecoder reply,
-                   CallAndCheck(network_, version.port,
+                   CallAndCheck(transport_, version.port,
                                 static_cast<uint32_t>(FileOp::kCommit), std::move(req)));
   return reply.GetU32();
 }
@@ -270,7 +270,7 @@ Result<BlockNo> FileClient::Commit(const Capability& version) {
 Status FileClient::Abort(const Capability& version) {
   WireEncoder req;
   req.PutCapability(version);
-  return CallAndCheck(network_, version.port, static_cast<uint32_t>(FileOp::kAbort),
+  return CallAndCheck(transport_, version.port, static_cast<uint32_t>(FileOp::kAbort),
                       std::move(req))
       .status();
 }
@@ -282,7 +282,7 @@ Result<Capability> FileClient::CreateSubFile(const Capability& version, const Pa
   parent.Encode(&req);
   req.PutU32(index);
   ASSIGN_OR_RETURN(WireDecoder reply,
-                   CallAndCheck(network_, version.port,
+                   CallAndCheck(transport_, version.port,
                                 static_cast<uint32_t>(FileOp::kCreateSubFile), std::move(req)));
   return reply.GetCapability();
 }
@@ -298,7 +298,7 @@ Result<FileClient::CacheCheck> FileClient::ValidateCache(
       path.Encode(&req);
     }
     ASSIGN_OR_RETURN(WireDecoder reply,
-                     CallAndCheck(network_, server,
+                     CallAndCheck(transport_, server,
                                   static_cast<uint32_t>(FileOp::kValidateCache),
                                   std::move(req)));
     CacheCheck out;
@@ -317,7 +317,7 @@ Result<FileClient::FileStatInfo> FileClient::FileStat(const Capability& file) {
     WireEncoder req;
     req.PutCapability(file);
     ASSIGN_OR_RETURN(WireDecoder reply,
-                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kFileStat),
+                     CallAndCheck(transport_, server, static_cast<uint32_t>(FileOp::kFileStat),
                                   std::move(req)));
     FileStatInfo info;
     ASSIGN_OR_RETURN(info.current_head, reply.GetU32());
@@ -331,7 +331,7 @@ Result<FileClient::FileStatInfo> FileClient::FileStat(const Capability& file) {
 Result<uint64_t> FileClient::MigrateNow() {
   return WithServer<uint64_t>([&](Port server) -> Result<uint64_t> {
     ASSIGN_OR_RETURN(WireDecoder reply,
-                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kMigrateNow),
+                     CallAndCheck(transport_, server, static_cast<uint32_t>(FileOp::kMigrateNow),
                                   WireEncoder()));
     return reply.GetU64();
   });
@@ -340,7 +340,7 @@ Result<uint64_t> FileClient::MigrateNow() {
 Result<TierScrubSummary> FileClient::ScrubNow() {
   return WithServer<TierScrubSummary>([&](Port server) -> Result<TierScrubSummary> {
     ASSIGN_OR_RETURN(WireDecoder reply,
-                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kScrubNow),
+                     CallAndCheck(transport_, server, static_cast<uint32_t>(FileOp::kScrubNow),
                                   WireEncoder()));
     TierScrubSummary s;
     ASSIGN_OR_RETURN(s.checked, reply.GetU64());
@@ -354,7 +354,7 @@ Result<TierScrubSummary> FileClient::ScrubNow() {
 Result<TierStatInfo> FileClient::TierStat() {
   return WithServer<TierStatInfo>([&](Port server) -> Result<TierStatInfo> {
     ASSIGN_OR_RETURN(WireDecoder reply,
-                     CallAndCheck(network_, server, static_cast<uint32_t>(FileOp::kTierStat),
+                     CallAndCheck(transport_, server, static_cast<uint32_t>(FileOp::kTierStat),
                                   WireEncoder()));
     TierStatInfo info;
     ASSIGN_OR_RETURN(uint8_t enabled, reply.GetU8());

@@ -22,13 +22,13 @@
 #include "src/core/path.h"
 #include "src/core/protocol.h"
 #include "src/obs/metrics.h"
-#include "src/rpc/network.h"
+#include "src/rpc/transport.h"
 
 namespace afs {
 
 class FileClient {
  public:
-  FileClient(Network* network, std::vector<Port> servers);
+  FileClient(Transport* transport, std::vector<Port> servers);
 
   // --- file lifecycle ---
   Result<Capability> CreateFile();
@@ -96,7 +96,7 @@ class FileClient {
   // Tier snapshot; enabled=false (with zeros) when no tier is attached.
   Result<TierStatInfo> TierStat();
 
-  Network* network() const { return network_; }
+  Transport* transport() const { return transport_; }
   const std::vector<Port>& servers() const { return servers_; }
 
  private:
@@ -104,7 +104,7 @@ class FileClient {
   template <typename T>
   Result<T> WithServer(const std::function<Result<T>(Port)>& op);
 
-  Network* network_;
+  Transport* transport_;
   std::vector<Port> servers_;
   // Failover preference hint. Clients are shared across threads (DirectoryServer,
   // chaos workloads); the hint is advisory, so relaxed atomics suffice.

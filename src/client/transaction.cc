@@ -29,7 +29,7 @@ Result<TransactionStats> RunTransaction(FileClient* client, const Capability& fi
                                         const TransactionOptions& options) {
   TransactionStats stats;
   Rng rng(options.backoff_seed);
-  Network* net = client->network();
+  Transport* net = client->transport();
 
   // The per-transaction root span: every attempt's create/update/commit spans hang below
   // it, so one slow transaction dumps as one tree (the slow-transaction log keys off root

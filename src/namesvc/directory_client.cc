@@ -1,0 +1,58 @@
+#include "src/namesvc/directory_client.h"
+
+#include "src/base/wire.h"
+#include "src/namesvc/directory_server.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+
+Status DirectoryClient::Enter(const std::string& name, const Capability& target) {
+  WireEncoder req;
+  req.PutString(name);
+  req.PutCapability(target);
+  return CallAndCheck(transport_, directory_, static_cast<uint32_t>(DirOp::kEnter),
+                      std::move(req))
+      .status();
+}
+
+Result<Capability> DirectoryClient::Lookup(const std::string& name) {
+  WireEncoder req;
+  req.PutString(name);
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(transport_, directory_,
+                                static_cast<uint32_t>(DirOp::kLookup), std::move(req)));
+  return reply.GetCapability();
+}
+
+Status DirectoryClient::Remove(const std::string& name) {
+  WireEncoder req;
+  req.PutString(name);
+  return CallAndCheck(transport_, directory_, static_cast<uint32_t>(DirOp::kRemove),
+                      std::move(req))
+      .status();
+}
+
+Result<std::vector<std::string>> DirectoryClient::List() {
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(transport_, directory_,
+                                static_cast<uint32_t>(DirOp::kList), WireEncoder()));
+  ASSIGN_OR_RETURN(uint32_t n, reply.GetU32());
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::string name, reply.GetString());
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+Status DirectoryClient::Rename(const std::string& old_name, const std::string& new_name) {
+  WireEncoder req;
+  req.PutString(old_name);
+  req.PutString(new_name);
+  return CallAndCheck(transport_, directory_, static_cast<uint32_t>(DirOp::kRename),
+                      std::move(req))
+      .status();
+}
+
+}  // namespace afs

@@ -1,0 +1,38 @@
+// DirectoryClient: client-side stub of the DirectoryServer RPC protocol (DirOp).
+//
+// The in-process deployments talk to DirectoryServer through its direct API; a remote
+// client (afs_shell --connect) only has the directory's port, so it speaks the same DirOp
+// wire protocol the server's Handle() serves. Works over any Transport backend.
+
+#ifndef SRC_NAMESVC_DIRECTORY_CLIENT_H_
+#define SRC_NAMESVC_DIRECTORY_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/status.h"
+#include "src/rpc/transport.h"
+
+namespace afs {
+
+class DirectoryClient {
+ public:
+  DirectoryClient(Transport* transport, Port directory) : transport_(transport), directory_(directory) {}
+
+  Status Enter(const std::string& name, const Capability& target);
+  Result<Capability> Lookup(const std::string& name);
+  Status Remove(const std::string& name);
+  Result<std::vector<std::string>> List();
+  Status Rename(const std::string& old_name, const std::string& new_name);
+
+  Port directory_port() const { return directory_; }
+
+ private:
+  Transport* transport_;
+  Port directory_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_NAMESVC_DIRECTORY_CLIENT_H_

@@ -1,0 +1,131 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+#include "src/base/wire.h"
+
+namespace afs {
+namespace net {
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  WireEncoder body;
+  body.PutU8(static_cast<uint8_t>(frame.type));
+  body.PutU64(frame.seq);
+  body.PutU64(frame.target);
+  body.PutU32(frame.message.opcode);
+  body.PutU32(frame.deadline_ms);
+  body.PutU64(frame.message.client_id);
+  body.PutU64(frame.message.txn_id);
+  body.PutU64(frame.message.trace_id);
+  body.PutU64(frame.message.span_id);
+  body.PutU64(frame.message.parent_span_id);
+  if (frame.type == FrameType::kReplyError) {
+    body.PutU32(static_cast<uint32_t>(frame.error.code()));
+    body.PutString(frame.error.message());
+  } else {
+    body.PutRaw(frame.message.payload);
+  }
+  WireEncoder out;
+  out.PutU32(kFrameMagic);
+  out.PutU32(static_cast<uint32_t>(body.size()));
+  out.PutRaw(body.buffer());
+  return std::move(out).Take();
+}
+
+Frame MakeRequestFrame(uint64_t seq, Port target, Message message, uint32_t deadline_ms) {
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.seq = seq;
+  frame.target = target;
+  frame.deadline_ms = deadline_ms;
+  frame.message = std::move(message);
+  return frame;
+}
+
+Frame MakeReplyFrame(uint64_t seq, Message message) {
+  Frame frame;
+  frame.type = FrameType::kReplyOk;
+  frame.seq = seq;
+  frame.message = std::move(message);
+  return frame;
+}
+
+Frame MakeErrorFrame(uint64_t seq, uint32_t opcode, const Status& status) {
+  Frame frame;
+  frame.type = FrameType::kReplyError;
+  frame.seq = seq;
+  frame.message.opcode = opcode;
+  frame.error = status;
+  return frame;
+}
+
+void FrameReader::Feed(const uint8_t* data, size_t n) {
+  // Compact once the consumed prefix dominates, so the buffer cannot grow without bound
+  // across a long-lived connection.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+Result<bool> FrameReader::Next(Frame* out) {
+  if (buffered() < kFrameHeaderBytes) {
+    return false;  // torn header: wait for more bytes
+  }
+  const uint8_t* p = buf_.data() + pos_;
+  uint32_t magic = 0;
+  uint32_t body_len = 0;
+  std::memcpy(&magic, p, 4);
+  std::memcpy(&body_len, p + 4, 4);
+  if (magic != kFrameMagic) {
+    return InvalidArgumentError("bad frame magic (garbage on stream)");
+  }
+  if (body_len < kMinFrameBody) {
+    return InvalidArgumentError(body_len == 0 ? "zero-length frame"
+                                              : "frame body below minimum");
+  }
+  if (body_len > kMaxFrameBody) {
+    return InvalidArgumentError("frame exceeds maximum message size");
+  }
+  if (buffered() < kFrameHeaderBytes + body_len) {
+    return false;  // torn body: wait for more bytes
+  }
+  WireDecoder dec(std::span<const uint8_t>(p + kFrameHeaderBytes, body_len));
+  ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kReplyError)) {
+    return InvalidArgumentError("unknown frame type");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  ASSIGN_OR_RETURN(frame.seq, dec.GetU64());
+  ASSIGN_OR_RETURN(frame.target, dec.GetU64());
+  ASSIGN_OR_RETURN(frame.message.opcode, dec.GetU32());
+  ASSIGN_OR_RETURN(frame.deadline_ms, dec.GetU32());
+  ASSIGN_OR_RETURN(frame.message.client_id, dec.GetU64());
+  ASSIGN_OR_RETURN(frame.message.txn_id, dec.GetU64());
+  ASSIGN_OR_RETURN(frame.message.trace_id, dec.GetU64());
+  ASSIGN_OR_RETURN(frame.message.span_id, dec.GetU64());
+  ASSIGN_OR_RETURN(frame.message.parent_span_id, dec.GetU64());
+  if (frame.type == FrameType::kReplyError) {
+    ASSIGN_OR_RETURN(uint32_t code, dec.GetU32());
+    ASSIGN_OR_RETURN(std::string text, dec.GetString());
+    if (code == static_cast<uint32_t>(ErrorCode::kOk) ||
+        code > static_cast<uint32_t>(ErrorCode::kInternal)) {
+      return InvalidArgumentError("error frame with invalid status code");
+    }
+    frame.error = Status(static_cast<ErrorCode>(code), std::move(text));
+  } else {
+    ASSIGN_OR_RETURN(frame.message.payload, dec.GetRaw(dec.remaining()));
+    if (frame.message.payload.size() > kMaxMessageBytes) {
+      return InvalidArgumentError("frame payload exceeds 32K transaction limit");
+    }
+  }
+  pos_ += kFrameHeaderBytes + body_len;
+  *out = std::move(frame);
+  return true;
+}
+
+}  // namespace net
+}  // namespace afs

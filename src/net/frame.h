@@ -1,0 +1,111 @@
+// Length-prefixed binary framing of the AFS Message codec for stream transports.
+//
+// A frame is one transaction message on a TCP byte stream (docs/NET.md §1):
+//
+//   u32 magic        0xAF534E31 ("AFS N1")
+//   u32 body_len     bytes following, in [kMinFrameBody, kMaxFrameBody]
+//   body:
+//     u8  type       1=request, 2=reply-ok, 3=reply-error
+//     u64 seq        connection-local correlation id (reply echoes its request's seq)
+//     u64 target     AFS port the request addresses (kNullPort = transport control plane)
+//     u32 opcode
+//     u32 deadline_ms  request: the client's per-attempt timeout, so the server bounds its
+//                      reply-cache wait the same way the in-process Submit() does; 0 in
+//                      replies
+//     u64 client_id, txn_id        at-most-once identity (PR 4) — rides the wire unchanged
+//     u64 trace_id, span_id, parent_span_id   causal trace context — ditto
+//     then: payload bytes (request / reply-ok), or u32 code + string message (reply-error)
+//
+// Reply-error frames carry transport- and service-level Status failures (kCrashed from a
+// dead Service, kNotFound for an unexposed port, kTimeout from an overrun handler); the
+// application-level status header INSIDE reply payloads (src/rpc/client.h) is untouched.
+//
+// FrameReader is an incremental parser over arbitrary read() chunk boundaries. Malformed
+// input — bad magic (garbage prefix), zero-length or undersized body, body over
+// kMaxFrameBody, truncated fields, unknown type — fails with a clean kInvalidArgument and
+// never undefined behaviour; the connection must then be closed (the stream cannot be
+// resynchronised). Torn frames (clean prefix of a valid frame) simply wait for more bytes.
+
+#ifndef SRC_NET_FRAME_H_
+#define SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/status.h"
+#include "src/rpc/message.h"
+
+namespace afs {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0xAF534E31;
+inline constexpr size_t kFrameHeaderBytes = 8;  // magic + body_len
+
+// Transport control plane: requests addressed to target == kNullPort are handled by the
+// TcpServer itself, not forwarded to a Service. This is how a remote client reaches the
+// server-side port table — transaction ports are allocated in the SERVER's Network, scoped
+// to the client connection that allocated them, so a dead client's ports (and therefore its
+// locks, §5.3) die with its connection. Control requests are exempt from the socket fault
+// shim, matching the simulated backend where AllocatePort is a local table operation.
+inline constexpr uint32_t kNetHello = 0xAF5E0001;      // -> service manifest + root cap
+inline constexpr uint32_t kNetAllocPort = 0xAF5E0002;  // u64 parent -> u64 port
+inline constexpr uint32_t kNetClosePort = 0xAF5E0003;  // u64 port -> ()
+inline constexpr uint32_t kNetPortAlive = 0xAF5E0004;  // u64 port -> u8 alive
+// () -> u64 client-id base. Every remote transport stamps its at-most-once identities
+// from a server-allocated base so two client PROCESSES can never collide in a service's
+// reply cache (each base is a disjoint 2^32-wide namespace; in-process stubs use small
+// transport-local ids, below any base).
+inline constexpr uint32_t kNetClientId = 0xAF5E0005;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kReplyOk = 2,
+  kReplyError = 3,
+};
+
+// Fixed body fields: type(1) seq(8) target(8) opcode(4) deadline_ms(4) + 5 u64 ids.
+inline constexpr size_t kMinFrameBody = 1 + 8 + 8 + 4 + 4 + 5 * 8;
+// One transaction message plus framing slack (error strings, length prefixes).
+inline constexpr size_t kMaxFrameBody = kMaxMessageBytes + 1024;
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint64_t seq = 0;
+  Port target = kNullPort;
+  uint32_t deadline_ms = 0;
+  // opcode, at-most-once identity, trace context, and payload (unused for kReplyError).
+  Message message;
+  // kReplyError only (message.payload stays empty).
+  Status error = OkStatus();
+};
+
+// Serialise a frame, header included.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+// Convenience constructors.
+Frame MakeRequestFrame(uint64_t seq, Port target, Message message, uint32_t deadline_ms);
+Frame MakeReplyFrame(uint64_t seq, Message message);
+Frame MakeErrorFrame(uint64_t seq, uint32_t opcode, const Status& status);
+
+class FrameReader {
+ public:
+  // Append raw bytes read from the socket.
+  void Feed(const uint8_t* data, size_t n);
+
+  // Extract the next complete frame. Returns true and fills *out when one is available,
+  // false when more bytes are needed (torn frame), or kInvalidArgument when the stream is
+  // malformed — the caller must close the connection.
+  Result<bool> Next(Frame* out);
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace net
+}  // namespace afs
+
+#endif  // SRC_NET_FRAME_H_

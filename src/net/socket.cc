@@ -1,0 +1,244 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace afs {
+namespace net {
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return UnavailableError("fcntl(O_NONBLOCK) failed");
+  }
+  return OkStatus();
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("unparsable IPv4 address: " + host);
+  }
+  return addr;
+}
+
+// Remaining time for poll(), clamped at zero.
+int MillisUntil(std::chrono::steady_clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) {
+    return 0;
+  }
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError("socket() failed");
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = UnavailableError(std::string("bind failed: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, backlog) < 0) {
+    close(fd);
+    return UnavailableError("listen failed");
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return UnavailableError("getsockname failed");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<int> DialTcp(const std::string& host, uint16_t port,
+                    std::chrono::milliseconds timeout) {
+  ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError("socket() failed");
+  }
+  Status st = PrepareConnection(fd);
+  if (!st.ok()) {
+    close(fd);
+    return st;
+  }
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    int err = errno;
+    close(fd);
+    if (err == ECONNREFUSED) {
+      return CrashedError("connection refused: no server at " + host);
+    }
+    return UnavailableError(std::string("connect failed: ") + std::strerror(err));
+  }
+  if (rc < 0) {
+    // In progress: wait for writability, then read the final disposition.
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    pollfd pfd{fd, POLLOUT, 0};
+    while (true) {
+      int ready = poll(&pfd, 1, MillisUntil(deadline));
+      if (ready > 0) {
+        break;
+      }
+      if (ready == 0) {
+        close(fd);
+        return TimeoutError("dial timeout to " + host);
+      }
+      if (errno != EINTR) {
+        close(fd);
+        return UnavailableError("poll failed during connect");
+      }
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      close(fd);
+      if (err == ECONNREFUSED) {
+        return CrashedError("connection refused: no server at " + host);
+      }
+      if (err == ETIMEDOUT) {
+        return TimeoutError("dial timeout to " + host);
+      }
+      return UnavailableError(std::string("connect failed: ") + std::strerror(err));
+    }
+  }
+  return fd;
+}
+
+Status PrepareConnection(int fd) {
+  RETURN_IF_ERROR(SetNonBlocking(fd));
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return OkStatus();
+}
+
+Status SendAll(int fd, const uint8_t* data, size_t n,
+               std::chrono::steady_clock::time_point deadline) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return CrashedError("peer closed connection mid-send");
+    }
+    if (rc < 0 && errno == EINTR) {
+      continue;
+    }
+    if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return UnavailableError(std::string("send failed: ") + std::strerror(errno));
+    }
+    int wait = MillisUntil(deadline);
+    if (wait == 0) {
+      return TimeoutError("send deadline expired");
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = poll(&pfd, 1, wait);
+    if (ready == 0) {
+      return TimeoutError("send deadline expired");
+    }
+    if (ready < 0 && errno != EINTR) {
+      return UnavailableError("poll failed during send");
+    }
+  }
+  return OkStatus();
+}
+
+Result<size_t> RecvSome(int fd, uint8_t* buf, size_t n,
+                        std::chrono::steady_clock::time_point deadline) {
+  while (true) {
+    ssize_t rc = recv(fd, buf, n, 0);
+    if (rc > 0) {
+      return static_cast<size_t>(rc);
+    }
+    if (rc == 0) {
+      return static_cast<size_t>(0);  // clean EOF
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return UnavailableError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    int wait = MillisUntil(deadline);
+    if (wait == 0) {
+      return TimeoutError("recv deadline expired");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = poll(&pfd, 1, wait);
+    if (ready == 0) {
+      return TimeoutError("recv deadline expired");
+    }
+    if (ready < 0 && errno != EINTR) {
+      return UnavailableError("poll failed during recv");
+    }
+  }
+}
+
+bool PeerClosed(int fd) {
+  uint8_t byte;
+  ssize_t rc = recv(fd, &byte, 1, MSG_PEEK);
+  if (rc == 0) {
+    return true;  // FIN already received
+  }
+  if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return false;  // alive, nothing buffered
+  }
+  return rc < 0;  // reset or other hard error
+}
+
+Result<std::pair<std::string, uint16_t>> SplitHostPort(const std::string& hostport) {
+  size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == hostport.size()) {
+    return InvalidArgumentError("expected host:port, got: " + hostport);
+  }
+  unsigned long port = 0;
+  for (size_t i = colon + 1; i < hostport.size(); ++i) {
+    char c = hostport[i];
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("non-numeric port in: " + hostport);
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) {
+      return InvalidArgumentError("port out of range in: " + hostport);
+    }
+  }
+  if (port == 0) {
+    return InvalidArgumentError("port 0 in: " + hostport);
+  }
+  return std::make_pair(hostport.substr(0, colon), static_cast<uint16_t>(port));
+}
+
+}  // namespace net
+}  // namespace afs

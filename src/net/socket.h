@@ -1,0 +1,62 @@
+// Thin POSIX TCP helpers shared by the server core and the client transport.
+//
+// Everything is non-blocking: sockets are put in O_NONBLOCK at creation and progress is
+// driven either by the server's epoll loop or, on the client side, by the poll()-based
+// deadline helpers below. Failures map onto AFS Status codes at the call site; these
+// helpers only report errno-level facts (kUnavailable for dial/IO failure, kTimeout for an
+// expired deadline) and never block past their deadline.
+
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/base/status.h"
+
+namespace afs {
+namespace net {
+
+// Create a non-blocking listening socket bound to host:port (port 0 = kernel-assigned;
+// read it back with LocalPort). SO_REUSEADDR is set so test servers can rebind quickly.
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog = 128);
+
+// The locally bound port of a socket (after ListenTcp with port 0).
+Result<uint16_t> LocalPort(int fd);
+
+// Non-blocking connect with a deadline. Returns a connected non-blocking fd.
+// A refused connection (nobody listening — the TCP crash warning) fails with kCrashed;
+// an expired deadline fails with kTimeout; anything else with kUnavailable.
+Result<int> DialTcp(const std::string& host, uint16_t port, std::chrono::milliseconds timeout);
+
+// Put an accepted fd in non-blocking mode and disable Nagle (frames are small and
+// latency-sensitive).
+Status PrepareConnection(int fd);
+
+// Write all n bytes before the deadline, polling for writability as needed.
+// kTimeout on deadline expiry; kCrashed on EPIPE/ECONNRESET (peer died mid-write);
+// kUnavailable on any other socket error.
+Status SendAll(int fd, const uint8_t* data, size_t n,
+               std::chrono::steady_clock::time_point deadline);
+
+// Read at least one byte (up to n) before the deadline. Returns the byte count; 0 means
+// the peer closed the stream cleanly (EOF). kTimeout on deadline expiry; kUnavailable on
+// socket error (ECONNRESET included — the caller maps close/reset to kCrashed itself,
+// since EOF and RST both mean "the server went away").
+Result<size_t> RecvSome(int fd, uint8_t* buf, size_t n,
+                        std::chrono::steady_clock::time_point deadline);
+
+// True if the peer already closed or reset the connection (a non-destructive peek used to
+// discard stale pooled connections before reusing them). Buffered unread bytes do not
+// count as dead.
+bool PeerClosed(int fd);
+
+// Split "host:port" (e.g. "127.0.0.1:7001"). The port must parse and be non-zero.
+Result<std::pair<std::string, uint16_t>> SplitHostPort(const std::string& hostport);
+
+}  // namespace net
+}  // namespace afs
+
+#endif  // SRC_NET_SOCKET_H_

@@ -1,0 +1,494 @@
+#include "src/net/tcp_server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/base/wire.h"
+#include "src/net/socket.h"
+#include "src/rpc/service.h"
+
+namespace afs {
+namespace net {
+namespace {
+
+// epoll user-data slots below the first connection id.
+constexpr uint64_t kListenSlot = 0;
+constexpr uint64_t kWakeSlot = 1;
+
+int64_t NowNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Network* network) : TcpServer(network, Options()) {}
+
+TcpServer::TcpServer(Network* network, Options options)
+    : network_(network), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::Expose(Service* service, const std::string& name, ServiceKind kind) {
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  manifest_.push_back(ManifestEntry{name, service->port(), kind});
+}
+
+void TcpServer::set_root_capability(const Capability& root) {
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  root_ = root;
+  has_root_ = true;
+}
+
+Status TcpServer::Start() {
+  if (running_) {
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.host, options_.port));
+  ASSIGN_OR_RETURN(listen_port_, LocalPort(listen_fd_));
+  epoll_fd_ = epoll_create1(0);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return UnavailableError("epoll/eventfd creation failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenSlot;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeSlot;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  running_ = true;
+  work_stop_ = false;
+  loop_ = std::thread([this] { LoopThread(); });
+  for (int i = 0; i < options_.num_dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherThread(); });
+  }
+  return OkStatus();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  uint64_t one = 1;
+  (void)!write(wake_fd_, &one, sizeof(one));
+  loop_.join();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : dispatchers_) {
+    t.join();
+  }
+  dispatchers_.clear();
+  close(listen_fd_);
+  close(epoll_fd_);
+  close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+void TcpServer::LoopThread() {
+  // Poll granularity: short enough to run idle sweeps on time, long enough to stay quiet.
+  int wait_ms = 200;
+  if (options_.idle_timeout.count() > 0) {
+    wait_ms = std::min<int>(wait_ms, std::max<int>(
+        1, static_cast<int>(options_.idle_timeout.count() / 2)));
+  }
+  epoll_event events[64];
+  while (running_) {
+    int n = epoll_wait(epoll_fd_, events, 64, wait_ms);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    bool wake = false;
+    for (int i = 0; i < n; ++i) {
+      uint64_t slot = events[i].data.u64;
+      if (slot == kListenSlot) {
+        AcceptReady();
+      } else if (slot == kWakeSlot) {
+        uint64_t drain;
+        while (read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        wake = true;
+      } else {
+        std::shared_ptr<Conn> conn = FindConn(slot);
+        if (!conn) {
+          continue;
+        }
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          CloseConn(conn);
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) {
+          FlushConn(conn);
+        }
+        if (events[i].events & EPOLLIN) {
+          ReadReady(conn);
+        }
+      }
+    }
+    if (wake) {
+      // A dispatcher queued reply bytes on some connection(s); flush whatever is pending.
+      std::vector<std::shared_ptr<Conn>> snapshot;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        snapshot.reserve(conns_.size());
+        for (auto& [id, conn] : conns_) {
+          snapshot.push_back(conn);
+        }
+      }
+      for (auto& conn : snapshot) {
+        FlushConn(conn);
+      }
+    }
+    if (options_.idle_timeout.count() > 0) {
+      SweepIdle();
+    }
+  }
+  // Teardown: close every connection (freeing its transaction ports).
+  std::vector<std::shared_ptr<Conn>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      snapshot.push_back(conn);
+    }
+  }
+  for (auto& conn : snapshot) {
+    CloseConn(conn);
+  }
+}
+
+void TcpServer::AcceptReady() {
+  while (true) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN (or transient error): back to the loop
+    }
+    size_t live;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      live = conns_.size();
+    }
+    if (live >= static_cast<size_t>(options_.max_connections)) {
+      limit_rejects_->Inc();
+      close(fd);
+      continue;
+    }
+    if (!PrepareConnection(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->last_active_ns = NowNs();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn->id = next_conn_id_++;
+      conns_[conn->id] = conn;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    accepts_->Inc();
+    conns_gauge_->Add(1);
+  }
+}
+
+void TcpServer::ReadReady(const std::shared_ptr<Conn>& conn) {
+  uint8_t buf[64 * 1024];
+  while (true) {
+    ssize_t rc = recv(conn->fd, buf, sizeof(buf), 0);
+    if (rc > 0) {
+      conn->last_active_ns = NowNs();
+      conn->reader.Feed(buf, static_cast<size_t>(rc));
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    if (rc < 0 && errno == EINTR) {
+      continue;
+    }
+    CloseConn(conn);  // EOF or hard error
+    return;
+  }
+  while (true) {
+    Frame frame;
+    Result<bool> got = conn->reader.Next(&frame);
+    if (!got.ok()) {
+      // Malformed stream (bad magic, oversized frame, truncated fields): the connection
+      // cannot be resynchronised — drop it.
+      frame_errors_->Inc();
+      CloseConn(conn);
+      return;
+    }
+    if (!*got) {
+      return;  // torn frame: wait for more bytes
+    }
+    if (frame.type != FrameType::kRequest) {
+      frame_errors_->Inc();
+      CloseConn(conn);
+      return;
+    }
+    frames_in_->Inc();
+    conn->inflight.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      work_.push_back(WorkItem{conn, std::move(frame)});
+    }
+    work_cv_.notify_one();
+  }
+}
+
+void TcpServer::FlushConn(const std::shared_ptr<Conn>& conn) {
+  bool fail = false;
+  bool need_write = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) {
+      return;
+    }
+    while (conn->out_pos < conn->out.size()) {
+      ssize_t rc = send(conn->fd, conn->out.data() + conn->out_pos,
+                        conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+      if (rc > 0) {
+        conn->out_pos += static_cast<size_t>(rc);
+        continue;
+      }
+      if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        need_write = true;
+        break;
+      }
+      if (rc < 0 && errno == EINTR) {
+        continue;
+      }
+      fail = true;
+      break;
+    }
+    if (conn->out_pos == conn->out.size()) {
+      conn->out.clear();
+      conn->out_pos = 0;
+    }
+  }
+  if (fail) {
+    CloseConn(conn);
+    return;
+  }
+  if (need_write != conn->want_write) {
+    epoll_event ev{};
+    ev.events = need_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    ev.data.u64 = conn->id;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->want_write = need_write;
+  }
+}
+
+void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (conns_.erase(conn->id) == 0) {
+      return;  // already closed
+    }
+  }
+  std::unordered_set<Port> ports;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->closed = true;
+    ports.swap(conn->ports);
+  }
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  conns_gauge_->Add(-1);
+  // The connection's transaction ports die with it: a remote client that crashed (or was
+  // partitioned away long enough to be idle-closed) is now observably dead to every lock
+  // waiter polling IsPortAlive — the TCP analog of the §5.3 machine-crash assumption.
+  for (Port port : ports) {
+    network_->ClosePort(port);
+  }
+}
+
+void TcpServer::SweepIdle() {
+  int64_t now = NowNs();
+  int64_t limit =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(options_.idle_timeout).count();
+  std::vector<std::shared_ptr<Conn>> idle;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      if (conn->inflight.load() == 0 && now - conn->last_active_ns.load() > limit) {
+        idle.push_back(conn);
+      }
+    }
+  }
+  for (auto& conn : idle) {
+    bool pending;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      pending = conn->out_pos < conn->out.size();
+    }
+    if (!pending) {
+      idle_closes_->Inc();
+      CloseConn(conn);
+    }
+  }
+}
+
+void TcpServer::DispatcherThread() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] { return work_stop_ || !work_.empty(); });
+      if (work_stop_ && work_.empty()) {
+        return;
+      }
+      item = std::move(work_.front());
+      work_.pop_front();
+    }
+    Dispatch(item);
+  }
+}
+
+void TcpServer::Dispatch(const WorkItem& item) {
+  auto start = std::chrono::steady_clock::now();
+  Frame reply;
+  if (item.frame.target == kNullPort) {
+    reply = HandleControl(item.conn, item.frame);
+  } else {
+    // Same timeout the client used for this attempt, bounded so a hostile frame cannot
+    // park a dispatcher indefinitely.
+    int64_t ms = item.frame.deadline_ms == 0 ? 1000 : item.frame.deadline_ms;
+    ms = std::min<int64_t>(ms, options_.max_request_timeout.count());
+    Result<Service*> service = network_->LookupForCall(item.frame.target);
+    if (!service.ok()) {
+      reply = MakeErrorFrame(item.frame.seq, item.frame.message.opcode, service.status());
+    } else {
+      Result<Message> result =
+          (*service)->Submit(Message(item.frame.message), std::chrono::milliseconds(ms));
+      if (result.ok()) {
+        reply = MakeReplyFrame(item.frame.seq, std::move(result).value());
+      } else {
+        reply = MakeErrorFrame(item.frame.seq, item.frame.message.opcode, result.status());
+      }
+    }
+  }
+  if (reply.type == FrameType::kReplyError) {
+    error_replies_->Inc();
+  }
+  AppendReply(item.conn, reply);
+  item.conn->inflight.fetch_sub(1);
+  dispatch_ns_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count()));
+}
+
+Frame TcpServer::HandleControl(const std::shared_ptr<Conn>& conn, const Frame& request) {
+  control_calls_->Inc();
+  const uint64_t seq = request.seq;
+  const uint32_t opcode = request.message.opcode;
+  switch (opcode) {
+    case kNetHello: {
+      WireEncoder enc;
+      std::lock_guard<std::mutex> lock(manifest_mu_);
+      enc.PutU32(static_cast<uint32_t>(manifest_.size()));
+      for (const ManifestEntry& entry : manifest_) {
+        enc.PutString(entry.name);
+        enc.PutU64(entry.port);
+        enc.PutU8(static_cast<uint8_t>(entry.kind));
+      }
+      enc.PutU8(has_root_ ? 1 : 0);
+      if (has_root_) {
+        enc.PutCapability(root_);
+      }
+      return MakeReplyFrame(seq, Message(opcode, std::move(enc).Take()));
+    }
+    case kNetAllocPort: {
+      WireDecoder dec(std::span<const uint8_t>(request.message.payload));
+      auto parent = dec.GetU64();
+      if (!parent.ok()) {
+        return MakeErrorFrame(seq, opcode, parent.status());
+      }
+      Port port = network_->AllocatePort(*parent);
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        if (conn->closed) {
+          // Lost the race with teardown: the allocating client is already gone.
+          network_->ClosePort(port);
+          return MakeErrorFrame(seq, opcode, UnavailableError("connection closing"));
+        }
+        conn->ports.insert(port);
+      }
+      WireEncoder enc;
+      enc.PutU64(port);
+      return MakeReplyFrame(seq, Message(opcode, std::move(enc).Take()));
+    }
+    case kNetClosePort: {
+      WireDecoder dec(std::span<const uint8_t>(request.message.payload));
+      auto port = dec.GetU64();
+      if (!port.ok()) {
+        return MakeErrorFrame(seq, opcode, port.status());
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        conn->ports.erase(*port);
+      }
+      network_->ClosePort(*port);
+      return MakeReplyFrame(seq, Message(opcode, {}));
+    }
+    case kNetClientId: {
+      // Disjoint 2^32-wide namespaces, starting above anything an in-process transport
+      // hands out, so remote and server-internal client ids can never meet.
+      uint64_t base = next_client_base_.fetch_add(1, std::memory_order_relaxed) << 32;
+      WireEncoder enc;
+      enc.PutU64(base);
+      return MakeReplyFrame(seq, Message(opcode, std::move(enc).Take()));
+    }
+    case kNetPortAlive: {
+      WireDecoder dec(std::span<const uint8_t>(request.message.payload));
+      auto port = dec.GetU64();
+      if (!port.ok()) {
+        return MakeErrorFrame(seq, opcode, port.status());
+      }
+      WireEncoder enc;
+      enc.PutU8(network_->IsPortAlive(*port) ? 1 : 0);
+      return MakeReplyFrame(seq, Message(opcode, std::move(enc).Take()));
+    }
+    default:
+      return MakeErrorFrame(seq, opcode, InvalidArgumentError("unknown control opcode"));
+  }
+}
+
+void TcpServer::AppendReply(const std::shared_ptr<Conn>& conn, const Frame& reply) {
+  std::vector<uint8_t> bytes = EncodeFrame(reply);
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) {
+      return;  // client gave up and the connection is gone; the reply cache remembers
+    }
+    conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+  }
+  conn->last_active_ns = NowNs();
+  frames_out_->Inc();
+  uint64_t one = 1;
+  (void)!write(wake_fd_, &one, sizeof(one));
+}
+
+std::shared_ptr<TcpServer::Conn> TcpServer::FindConn(uint64_t id) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second;
+}
+
+}  // namespace net
+}  // namespace afs

@@ -1,0 +1,191 @@
+// TcpServer: the async server core that exposes an in-process AFS deployment over TCP.
+//
+// One epoll event-loop thread owns every socket: it accepts connections (rejecting past
+// the connection limit), reads bytes into per-connection FrameReaders, flushes per-
+// connection write buffers, and sweeps idle connections. Decoded request frames are handed
+// to a small dispatcher pool which performs the blocking Service::Submit() — the SAME entry
+// the simulated Network uses, so the at-most-once reply cache, duplicate coalescing, and
+// kCrashed semantics are identical over sockets. Dispatchers never touch sockets: a
+// finished reply is appended to the connection's write buffer and the loop is woken with an
+// eventfd. Threading model details in docs/NET.md §3.
+//
+// Requests addressed to kNullPort form the control plane (port allocation, liveness,
+// the hello manifest — opcodes in frame.h). Ports a connection allocates are closed when
+// the connection dies, which is what makes a crashed REMOTE client's locks stealable: its
+// transaction ports die with its TCP connection, and IsPortAlive turns false for every
+// lock waiter polling them.
+
+#ifndef SRC_NET_TCP_SERVER_H_
+#define SRC_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/status.h"
+#include "src/net/frame.h"
+#include "src/obs/metrics.h"
+#include "src/rpc/network.h"
+
+namespace afs {
+
+class Service;
+
+namespace net {
+
+// Manifest entry kinds, part of the hello reply wire format.
+enum class ServiceKind : uint8_t {
+  kOther = 0,
+  kFileServer = 1,
+  kBlockServer = 2,
+  kDirectoryServer = 3,
+};
+
+class TcpServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = kernel-assigned; read back with port()
+    int max_connections = 64;
+    // Idle connections are closed after this long without traffic; 0 disables the sweep.
+    std::chrono::milliseconds idle_timeout{0};
+    int num_dispatchers = 4;
+    // Upper bound on the per-request Submit() wait, whatever deadline the frame claims
+    // (a hostile frame must not park a dispatcher for an hour).
+    std::chrono::milliseconds max_request_timeout{10000};
+  };
+
+  // `network` is the server process's in-process Network; every Service reachable over this
+  // TcpServer is bound there. The server resolves target ports through it, so inner
+  // crash/partition state surfaces to remote callers exactly as it does in-process.
+  explicit TcpServer(Network* network);
+  TcpServer(Network* network, Options options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Add a service to the hello manifest (it must already be Start()ed on the inner
+  // network). Exposure is advisory — any port bound in the inner network is reachable once
+  // the server runs; the manifest just tells clients which port is which.
+  void Expose(Service* service, const std::string& name, ServiceKind kind);
+  // Root directory capability handed out in the hello reply (afs_server sets this so a
+  // fresh shell can find the namespace).
+  void set_root_capability(const Capability& root);
+
+  Status Start();
+  void Stop();
+
+  bool running() const { return running_; }
+  uint16_t port() const { return listen_port_; }
+  const std::string& host() const { return options_.host; }
+
+  obs::MetricRegistry* metrics() { return &metrics_; }
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameReader reader;
+    // steady_clock nanos of the last traffic; atomic because dispatchers refresh it when
+    // they finish a reply while the loop thread reads it in the idle sweep.
+    std::atomic<int64_t> last_active_ns{0};
+    // Requests decoded but not yet replied to; an idle sweep never closes a connection
+    // with work in flight.
+    std::atomic<int> inflight{0};
+
+    // out_mu guards everything below. Dispatchers append reply bytes under it; `closed`
+    // stops late appends after the loop tears the connection down; `ports` holds the
+    // transaction ports this connection allocated via kNetAllocPort, closed (and thus
+    // observable as dead by lock waiters) when the connection goes away.
+    std::mutex out_mu;
+    std::vector<uint8_t> out;
+    size_t out_pos = 0;
+    bool closed = false;
+    std::unordered_set<Port> ports;
+    bool want_write = false;  // loop-thread only: EPOLLOUT currently armed
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Conn> conn;
+    Frame frame;
+  };
+
+  void LoopThread();
+  void DispatcherThread();
+
+  void AcceptReady();
+  void ReadReady(const std::shared_ptr<Conn>& conn);
+  // Flush as much buffered output as the socket accepts; arms/disarms EPOLLOUT.
+  void FlushConn(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void SweepIdle();
+
+  // Dispatcher side: run one request and append its reply.
+  void Dispatch(const WorkItem& item);
+  Frame HandleControl(const std::shared_ptr<Conn>& conn, const Frame& request);
+  void AppendReply(const std::shared_ptr<Conn>& conn, const Frame& reply);
+
+  std::shared_ptr<Conn> FindConn(uint64_t id);
+
+  Network* network_;
+  Options options_;
+
+  obs::MetricRegistry metrics_{"net.tcp"};
+  obs::Counter* accepts_ = metrics_.counter("net.tcp.accepts");
+  obs::Counter* limit_rejects_ = metrics_.counter("net.tcp.conn_limit_rejects");
+  obs::Counter* idle_closes_ = metrics_.counter("net.tcp.idle_closes");
+  obs::Counter* frames_in_ = metrics_.counter("net.tcp.frames_in");
+  obs::Counter* frames_out_ = metrics_.counter("net.tcp.frames_out");
+  obs::Counter* frame_errors_ = metrics_.counter("net.tcp.frame_errors");
+  obs::Counter* control_calls_ = metrics_.counter("net.tcp.control_calls");
+  obs::Counter* error_replies_ = metrics_.counter("net.tcp.error_replies");
+  obs::Gauge* conns_gauge_ = metrics_.gauge("net.tcp.connections");
+  obs::Histogram* dispatch_ns_ = metrics_.histogram("net.tcp.dispatch_ns");
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: dispatchers wake the loop to flush replies
+  uint16_t listen_port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::thread loop_;
+  std::vector<std::thread> dispatchers_;
+
+  std::mutex conns_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = wake fd in epoll user data
+  // Client-id bases handed to remote transports (kNetClientId); base 0 is never issued,
+  // keeping the low 2^32 ids for the server process's own in-process stubs.
+  std::atomic<uint64_t> next_client_base_{1};
+
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<WorkItem> work_;
+  bool work_stop_ = false;
+
+  std::mutex manifest_mu_;
+  struct ManifestEntry {
+    std::string name;
+    Port port;
+    ServiceKind kind;
+  };
+  std::vector<ManifestEntry> manifest_;
+  bool has_root_ = false;
+  Capability root_{};
+};
+
+}  // namespace net
+}  // namespace afs
+
+#endif  // SRC_NET_TCP_SERVER_H_

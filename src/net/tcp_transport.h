@@ -1,0 +1,153 @@
+// TcpTransport: the real-socket Transport backend (client side of src/net).
+//
+// One TcpTransport speaks to one TcpServer (host:port). The at-most-once machinery —
+// stamping, retransmission, backoff — lives in the Transport base class and is untouched;
+// this backend supplies one network attempt: check out a pooled connection (dialling with a
+// timeout if the pool is dry), send one request frame, await the matching reply by
+// connection-local seq. Failure mapping is the paper's crash-warning analog over TCP:
+// a refused dial, a clean EOF, or an RST all mean "the server process went away" and
+// surface as kCrashed immediately (never retransmitted); an expired deadline surfaces as
+// kTimeout, the connection is closed, and the base class's retransmission dials a fresh
+// one (reconnect-on-retransmit).
+//
+// Port management goes over the wire: transaction ports are allocated in the SERVER's
+// Network via control requests (frame.h), scoped to this transport's control connection.
+// If this process dies, the server closes the control connection's ports, so remote lock
+// waiters see the §5.3 liveness transition exactly as local ones do.
+//
+// Fault shim: the same FaultInjection knobs as the simulated Network, applied at the
+// socket boundary per attempt (drop-before-send, reply consumed-then-dropped, duplicate
+// frame send, bounded reorder sleep, per-target partitions), all drawn from one seeded
+// Rng. Control requests are exempt, matching the simulated backend where port management
+// is a local table operation. docs/NET.md §4 defines the exact roll order.
+
+#ifndef SRC_NET_TCP_TRANSPORT_H_
+#define SRC_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/net/frame.h"
+#include "src/rpc/transport.h"
+
+namespace afs {
+namespace net {
+
+class TcpTransport : public Transport {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    std::chrono::milliseconds dial_timeout{1000};
+    // Deadline for control-plane requests (port management, hello).
+    std::chrono::milliseconds control_timeout{1000};
+    size_t max_pooled_connections = 8;
+  };
+
+  TcpTransport(std::string host, uint16_t port);
+  TcpTransport(std::string host, uint16_t port, Options options);
+  ~TcpTransport() override;
+
+  // -- Port management (remote; see header comment) -------------------------
+
+  Port AllocatePort(Port parent = kNullPort) override;  // kNullPort if the server is gone
+  void ClosePort(Port port) override;
+  // False when the port is dead OR the server is unreachable — either way the holder is
+  // not there to honour its locks, so waiters may steal.
+  bool IsPortAlive(Port port) const override;
+
+  // -- Fault shim -----------------------------------------------------------
+
+  void set_fault_injection(const FaultInjection& faults) override;
+  FaultInjection fault_injection() const override;
+  void SetPartitioned(Port port, bool partitioned) override;
+
+  // -- Discovery ------------------------------------------------------------
+
+  struct HelloEntry {
+    std::string name;
+    Port port = kNullPort;
+    uint8_t kind = 0;  // net::ServiceKind
+  };
+  struct HelloInfo {
+    std::vector<HelloEntry> services;
+    bool has_root = false;
+    Capability root{};
+  };
+  // The server's manifest: which inner port is which service, plus the root directory
+  // capability if the server published one.
+  Result<HelloInfo> SayHello();
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ protected:
+  Result<Message> CallOnce(Port target, const Message& request,
+                           const CallOptions& options) override;
+  uint64_t JitterBelow(uint64_t lo, uint64_t hi) override;
+  // At-most-once identities come from a server-allocated base (kNetClientId): many client
+  // processes share one server's reply caches, so transport-local counters would collide
+  // and one client could be answered with another's cached reply.
+  uint64_t NewClientId() override;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t next_seq = 1;
+    FrameReader reader;
+    ~Conn();
+  };
+
+  // Pool checkout/checkin. Checkout discards pooled connections whose peer already closed
+  // them (the server's idle sweep), so a stale connection never masquerades as a crash.
+  Result<std::unique_ptr<Conn>> Checkout(std::chrono::steady_clock::time_point deadline);
+  void Checkin(std::unique_ptr<Conn> conn);
+
+  // Send one frame (optionally twice, for duplicate injection) and await the reply with a
+  // matching seq, discarding stale replies left over from earlier duplicate sends. On a
+  // non-frame failure the connection is dead and *conn_broken is set.
+  Result<Message> RoundTrip(Conn* conn, const Frame& frame, bool duplicate,
+                            std::chrono::steady_clock::time_point deadline,
+                            bool* conn_broken);
+
+  // One unstamped, fault-exempt request on the dedicated control connection, with a single
+  // redial on a broken connection.
+  Result<Message> ControlCall(uint32_t opcode, std::vector<uint8_t> payload) const;
+
+  bool RollFault(double p);
+
+  const std::string host_;
+  const uint16_t port_;
+  const Options options_;
+
+  mutable std::mutex mu_;  // faults, partitions, rng
+  FaultInjection faults_;
+  std::unordered_set<Port> partitioned_;
+  mutable Rng rng_;
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<Conn>> pool_;
+
+  // Control connection: serialised (port management is rare and cheap), lazily dialled,
+  // redialled on failure. Const methods (IsPortAlive) use it, hence mutable.
+  mutable std::mutex control_mu_;
+  mutable std::unique_ptr<Conn> control_;
+
+  // Server-allocated client-id namespace (0 = not yet fetched) and the local sequence
+  // within it.
+  std::atomic<uint64_t> client_id_base_{0};
+  std::atomic<uint64_t> local_client_seq_{1};
+};
+
+}  // namespace net
+}  // namespace afs
+
+#endif  // SRC_NET_TCP_TRANSPORT_H_

@@ -21,10 +21,10 @@ Message ErrorReply(uint32_t opcode, const Status& status) {
   return Message(opcode, std::move(out).Take());
 }
 
-Result<WireDecoder> CallAndCheck(Network* network, Port target, uint32_t opcode,
+Result<WireDecoder> CallAndCheck(Transport* transport, Port target, uint32_t opcode,
                                  WireEncoder request, const CallOptions& options) {
   Message req(opcode, std::move(request).Take());
-  ASSIGN_OR_RETURN(Message reply, network->Call(target, std::move(req), options));
+  ASSIGN_OR_RETURN(Message reply, transport->Call(target, std::move(req), options));
   WireDecoder dec(std::move(reply.payload));
   ASSIGN_OR_RETURN(uint32_t code, dec.GetU32());
   ASSIGN_OR_RETURN(std::string message, dec.GetString());
@@ -34,18 +34,18 @@ Result<WireDecoder> CallAndCheck(Network* network, Port target, uint32_t opcode,
   return dec;
 }
 
-Result<std::string> ScrapeStats(Network* network, Port target, const CallOptions& options) {
+Result<std::string> ScrapeStats(Transport* transport, Port target, const CallOptions& options) {
   ASSIGN_OR_RETURN(WireDecoder reply,
-                   CallAndCheck(network, target, Service::kGetStats, WireEncoder(), options));
+                   CallAndCheck(transport, target, Service::kGetStats, WireEncoder(), options));
   return reply.GetString();
 }
 
-Result<std::string> ScrapeSpans(Network* network, Port target, uint32_t max_spans,
+Result<std::string> ScrapeSpans(Transport* transport, Port target, uint32_t max_spans,
                                 bool chrome_json, const CallOptions& options) {
   WireEncoder req;
   req.PutU32(max_spans);
   req.PutU8(chrome_json ? 1 : 0);
-  ASSIGN_OR_RETURN(WireDecoder reply, CallAndCheck(network, target, Service::kGetSpans,
+  ASSIGN_OR_RETURN(WireDecoder reply, CallAndCheck(transport, target, Service::kGetSpans,
                                                    std::move(req), options));
   return reply.GetString();
 }

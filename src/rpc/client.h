@@ -12,7 +12,7 @@
 #include "src/base/status.h"
 #include "src/base/wire.h"
 #include "src/rpc/message.h"
-#include "src/rpc/network.h"
+#include "src/rpc/transport.h"
 
 namespace afs {
 
@@ -25,18 +25,18 @@ Message ErrorReply(uint32_t opcode, const Status& status);
 
 // Client-side: perform the call and peel the status header. On success the returned decoder
 // owns the reply buffer and is positioned at the service-specific payload.
-Result<WireDecoder> CallAndCheck(Network* network, Port target, uint32_t opcode,
+Result<WireDecoder> CallAndCheck(Transport* transport, Port target, uint32_t opcode,
                                  WireEncoder request, const CallOptions& options = {});
 
 // Scrape the metrics of any live server (the Service::kGetStats op): returns the server's
 // MetricRegistry text exposition.
-Result<std::string> ScrapeStats(Network* network, Port target,
+Result<std::string> ScrapeStats(Transport* transport, Port target,
                                 const CallOptions& options = {});
 
 // Scrape recent spans from any live server (the Service::kGetSpans op). `chrome_json`
 // selects the Chrome trace_event export over the one-line-per-span text form. The span
 // collector is process-wide, so any server answers for the whole deployment.
-Result<std::string> ScrapeSpans(Network* network, Port target, uint32_t max_spans,
+Result<std::string> ScrapeSpans(Transport* transport, Port target, uint32_t max_spans,
                                 bool chrome_json, const CallOptions& options = {});
 
 }  // namespace afs

@@ -1,7 +1,8 @@
 // The simulated network: a registry of ports and the request/reply transaction primitive.
 //
-// This stands in for the Amoeba kernel's transaction layer (DESIGN.md substitution table).
-// Semantics preserved from the paper:
+// This stands in for the Amoeba kernel's transaction layer (DESIGN.md substitution table);
+// it is the in-process Transport backend — see src/rpc/transport.h for the interface and
+// src/net/tcp_transport.h for the real-socket sibling. Semantics preserved from the paper:
 //   * A client sends a request to a port and blocks for the reply (one transaction).
 //   * If the server crashes while a transaction is outstanding, the transaction fails
 //     immediately with kCrashed — this is the "automatic warning mechanism" that lock
@@ -9,10 +10,10 @@
 //   * Ports are unforgeable names. Besides service ports, clients allocate *transaction
 //     ports* whose liveness other parties can observe; locks store such ports.
 //   * A request/reply pair "either completes or fails detectably" (at most once, §2):
-//     Call() stamps each request with a (client_id, txn_id) identity and retransmits on
-//     timeout with capped exponential jittered backoff; the Service reply cache suppresses
-//     re-execution of a retransmitted request whose original already ran. kCrashed and
-//     kUnavailable are never retransmitted — the crash warning stays immediate.
+//     Transport::Call stamps each request with a (client_id, txn_id) identity and
+//     retransmits on timeout with capped exponential jittered backoff; the Service reply
+//     cache suppresses re-execution of a retransmitted request whose original already ran.
+//     kCrashed and kUnavailable are never retransmitted — the crash warning stays immediate.
 // Fault injection (all independent, all drawn from the seeded Rng, see docs/FAULTS.md):
 // request drop and reply drop (each surfaces as kTimeout), duplicate delivery, bounded
 // reorder delay, per-message latency bounds, and per-port partitions (kUnavailable).
@@ -20,59 +21,30 @@
 #ifndef SRC_RPC_NETWORK_H_
 #define SRC_RPC_NETWORK_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <memory>
 #include <mutex>
-#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/base/capability.h"
 #include "src/base/rng.h"
 #include "src/base/status.h"
-#include "src/obs/metrics.h"
 #include "src/rpc/message.h"
+#include "src/rpc/transport.h"
 
 namespace afs {
 
 class Service;
 
-struct CallOptions {
-  std::chrono::milliseconds timeout{1000};
-  // At-most-once retransmission (Birrell & Nelson, PAPERS.md). When true, Call() stamps the
-  // request with a fresh (client_id, txn_id) and retries kTimeout failures under the same
-  // identity, so the server can tell a retransmission from a new request. Injected drops
-  // fail fast, so a retransmission burst costs microseconds, not multiples of `timeout`;
-  // genuine handler timeouts are additionally bounded by `retransmit_deadline_factor`.
-  bool at_most_once = true;
-  int max_retransmits = 16;
-  // Backoff between retransmissions: jittered exponential, backoff_base << attempt, capped.
-  std::chrono::microseconds backoff_base{100};
-  std::chrono::microseconds backoff_cap{2000};
-  // Stop retransmitting once total elapsed time exceeds timeout * this factor (guards the
-  // slow-handler case, where every attempt burns a full `timeout`).
-  int retransmit_deadline_factor = 3;
-};
+namespace net {
+class TcpServer;
+}  // namespace net
 
-// Independent message-level fault probabilities, rolled per attempt from the network's
-// seeded Rng. The legacy set_drop_probability(p) sets drop_request only.
-struct FaultInjection {
-  double drop_request = 0.0;    // lost before the server sees it -> kTimeout
-  double drop_reply = 0.0;      // handler executed, reply lost -> kTimeout
-  double duplicate_request = 0.0;  // request delivered twice (extra delivery's reply lost)
-  double reorder_delay = 0.0;      // delivery delayed by up to reorder_max (bounded reorder)
-  std::chrono::microseconds reorder_max{500};
-};
-
-class Network {
+class Network : public Transport {
  public:
   explicit Network(uint64_t seed = 1);
-  ~Network();
-
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
+  ~Network() override;
 
   // -- Port management ------------------------------------------------------
 
@@ -81,42 +53,30 @@ class Network {
   // parent-linked to a service port: it is then only alive while the parent is — the
   // mechanism a server uses to mint per-operation lock identities that die with it, so
   // waiters can steal the locks of a crashed server.
-  Port AllocatePort(Port parent = kNullPort);
-  void ClosePort(Port port);
+  Port AllocatePort(Port parent = kNullPort) override;
+  void ClosePort(Port port) override;
 
   // True if the port currently accepts transactions: either a running service's port or an
   // open transaction port. Lock waiters poll this to detect crashed lock holders.
-  bool IsPortAlive(Port port) const;
-
-  // -- Transactions ---------------------------------------------------------
-
-  // Perform one request/reply transaction against `target`.
-  // Failure modes: kNotFound (no such port ever), kCrashed (service down or crashed
-  // mid-call), kTimeout (message dropped or handler exceeded the timeout),
-  // kUnavailable (partitioned).
-  Result<Message> Call(Port target, Message request, const CallOptions& options = {});
+  bool IsPortAlive(Port port) const override;
 
   // -- Fault injection ------------------------------------------------------
 
-  // Legacy knob: whole-request drop only (equivalent to FaultInjection{.drop_request = p}).
-  void set_drop_probability(double p);
-  void set_fault_injection(const FaultInjection& faults);
-  FaultInjection fault_injection() const;
+  void set_fault_injection(const FaultInjection& faults) override;
+  FaultInjection fault_injection() const override;
   void set_latency(std::chrono::microseconds min, std::chrono::microseconds max);
-  // While partitioned, calls to `port` fail with kUnavailable.
-  void SetPartitioned(Port port, bool partitioned);
+  void SetPartitioned(Port port, bool partitioned) override;
 
-  // -- Introspection --------------------------------------------------------
-
-  uint64_t total_calls() const { return sends_->value(); }
-  uint64_t dropped_calls() const { return timeouts_->value(); }
-  uint64_t dropped_replies() const { return reply_drops_->value(); }
-  uint64_t retransmits() const { return retransmits_->value(); }
-  uint64_t duplicate_deliveries() const { return dup_deliveries_->value(); }
-  obs::MetricRegistry* metrics() { return &metrics_; }
+ protected:
+  Result<Message> CallOnce(Port target, const Message& request,
+                           const CallOptions& options) override;
+  uint64_t JitterBelow(uint64_t lo, uint64_t hi) override;
 
  private:
   friend class Service;
+  // The TCP server core resolves remote targets through LookupForCall, so inner
+  // crash/partition state surfaces to remote callers exactly as it does in-process.
+  friend class net::TcpServer;
 
   // Called by Service::Start / Service::Shutdown.
   Port BindService(Service* service);
@@ -128,16 +88,8 @@ class Network {
 
   Result<Service*> LookupForCall(Port port);
   std::chrono::microseconds PickLatency();
-  // One network attempt of Call(): latency + faults + Submit. Retransmission lives above.
-  Result<Message> CallOnce(Port target, const Message& request, const CallOptions& options);
   // True with probability p, drawn from the seeded rng_ (under mu_).
   bool RollFault(double p);
-  // Jittered value in [lo, hi], drawn from the seeded rng_ (under mu_).
-  uint64_t JitterBelow(uint64_t lo, uint64_t hi);
-  // Stable per-(network, thread) client identity for at-most-once stamping. One client
-  // thread performs one blocking transaction at a time, so the server's per-client reply
-  // window can stay tiny.
-  uint64_t ThreadClientId();
 
   mutable std::mutex mu_;
   uint64_t next_port_ = 1;
@@ -149,23 +101,6 @@ class Network {
   std::chrono::microseconds latency_min_{0};
   std::chrono::microseconds latency_max_{0};
   Rng rng_;
-
-  // Process-unique incarnation id, so thread-local client-id bindings can never leak from
-  // a destroyed Network into a new one allocated at the same address.
-  const uint64_t uid_;
-  std::atomic<uint64_t> next_client_id_{1};
-  std::atomic<uint64_t> next_txn_id_{1};
-
-  obs::MetricRegistry metrics_{"net"};
-  obs::Counter* sends_ = metrics_.counter("net.sends");
-  obs::Counter* timeouts_ = metrics_.counter("net.timeouts");  // injected request drops
-  obs::Counter* reply_drops_ = metrics_.counter("net.reply_drops");
-  obs::Counter* dup_deliveries_ = metrics_.counter("net.dup_deliveries");
-  obs::Counter* reorder_delays_ = metrics_.counter("net.reorder_delays");
-  obs::Counter* retransmits_ = metrics_.counter("net.retransmits");
-  obs::Counter* retransmit_exhausted_ = metrics_.counter("net.retransmit_exhausted");
-  obs::Counter* partition_drops_ = metrics_.counter("net.partition_drops");
-  obs::Counter* crashed_calls_ = metrics_.counter("net.crashed_calls");
 };
 
 }  // namespace afs

@@ -36,6 +36,10 @@
 
 namespace afs {
 
+namespace net {
+class TcpServer;
+}  // namespace net
+
 class Service {
  public:
   // Reserved opcode intercepted by the Service base itself, never forwarded to Handle():
@@ -89,6 +93,9 @@ class Service {
 
  private:
   friend class Network;
+  // The TCP server core delivers remote requests through the same Submit() entry, so the
+  // reply cache, duplicate coalescing, and crash semantics are identical over sockets.
+  friend class net::TcpServer;
 
   struct CallState {
     std::mutex mu;

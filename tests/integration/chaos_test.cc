@@ -27,6 +27,8 @@
 #include "src/block/block_store.h"
 #include "src/client/file_client.h"
 #include "src/client/transaction.h"
+#include "src/net/tcp_server.h"
+#include "src/net/tcp_transport.h"
 #include "src/rpc/network.h"
 #include "tests/testing/cluster.h"
 
@@ -280,6 +282,162 @@ TEST(ChaosTest, StablePairConvergesAfterCrashRecovery) {
     cluster.block_a().Crash();
     EXPECT_EQ(ReadCounter(cluster, *file), "12");
     cluster.net().set_fault_injection(FaultInjection{});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The same harness over REAL sockets: a TcpServer in front of the cluster, faults
+// injected by the TcpTransport's socket-path shim instead of the simulated network.
+// Same seed banks, same invariants — the wire must not change the story (ISSUE 7).
+// ---------------------------------------------------------------------------
+
+// TCP flavour of RunIncrementBatch: each thread drives its own FileClient over the shared
+// transport (client identities are per (transport, thread), so this also soaks the
+// at-most-once stamping under concurrency).
+int RunTcpIncrementBatch(Transport* transport, const std::vector<Port>& server_ports,
+                         const Capability& file, int threads, int per_thread,
+                         uint64_t seed) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<Port> ports = server_ports;
+      std::rotate(ports.begin(), ports.begin() + (t % ports.size()), ports.end());
+      FileClient local(transport, ports);
+      for (int i = 0; i < per_thread; ++i) {
+        TransactionOptions options;
+        options.max_attempts = 200;
+        options.backoff_seed = seed * 131 + t * 31 + i;
+        if (!RunTransaction(&local, file, IncrementCounter, options).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  return failures.load();
+}
+
+TEST(ChaosTest, TcpShimDropsAndDuplicatesAreInvisible) {
+  for (uint64_t seed : SeedBank({1,  2,  3,  4,  5,  6,  7,  8,  9,  10,
+                                 11, 12, 13, 14, 15, 16, 17, 18, 19, 20})) {
+    FaultInjection faults;
+    faults.drop_request = 0.10;
+    faults.drop_reply = 0.10;
+    faults.duplicate_request = 0.05;
+    faults.reorder_delay = 0.05;
+    SCOPED_TRACE(Repro("TcpShimDropsAndDuplicatesAreInvisible", seed, faults,
+                       "2 clients x 5 txns over TCP, faults on the socket shim"));
+
+    // The inner network stays clean: every injected fault below happens at the socket
+    // boundary, so what's being proven is the SHIM + at-most-once over real frames.
+    FullCluster cluster(2, 1 << 12, {}, seed);
+    net::TcpServer server(&cluster.net());
+    for (int i = 0; i < cluster.num_file_servers(); ++i) {
+      server.Expose(&cluster.fs(i), "fs" + std::to_string(i),
+                    net::ServiceKind::kFileServer);
+    }
+    ASSERT_TRUE(server.Start().ok());
+    net::TcpTransport::Options topt;
+    topt.seed = seed;
+    net::TcpTransport transport("127.0.0.1", server.port(), topt);
+
+    FileClient client(&transport, cluster.FileServerPorts());
+    auto file = client.CreateFile();
+    ASSERT_TRUE(file.ok()) << file.status();
+    transport.set_fault_injection(faults);
+
+    TransactionOptions options;
+    options.backoff_seed = seed;
+    ASSERT_TRUE(RunTransaction(
+                    &client, *file,
+                    [](FileClient& c, const Capability& v) {
+                      return c.WriteString(v, PagePath::Root(), "0");
+                    },
+                    options)
+                    .ok());
+
+    constexpr int kThreads = 2;
+    constexpr int kPerThread = 5;
+    EXPECT_EQ(RunTcpIncrementBatch(&transport, cluster.FileServerPorts(), *file, kThreads,
+                                   kPerThread, seed),
+              0);
+    // Exactly-once across the wire: every increment committed once, despite the shim
+    // dropping and duplicating real frames.
+    transport.set_fault_injection(FaultInjection{});
+    FileClient reader(&transport, cluster.FileServerPorts());
+    auto current = reader.GetCurrentVersion(*file);
+    ASSERT_TRUE(current.ok()) << current.status();
+    auto text = reader.ReadString(*current, PagePath::Root());
+    ASSERT_TRUE(text.ok()) << text.status();
+    EXPECT_EQ(*text, std::to_string(kThreads * kPerThread));
+
+    // The shim demonstrably fired on this schedule.
+    EXPECT_GT(transport.retransmits(), 0u);
+    EXPECT_GT(transport.dropped_calls() + transport.dropped_replies(), 0u);
+  }
+}
+
+// Shim partitions: while a file server's port is partitioned at the socket boundary the
+// client sees kUnavailable (never a retransmission storm); after healing, the workload
+// resumes with nothing lost.
+TEST(ChaosTest, TcpShimPartitionHealsCleanly) {
+  for (uint64_t seed : SeedBank({301, 302, 303, 304})) {
+    FaultInjection faults;
+    faults.drop_request = 0.05;
+    faults.drop_reply = 0.05;
+    SCOPED_TRACE(Repro("TcpShimPartitionHealsCleanly", seed, faults,
+                       "txns -> partition fs0 at the shim -> heal -> txns over TCP"));
+
+    FullCluster cluster(2, 1 << 12, {}, seed);
+    net::TcpServer server(&cluster.net());
+    for (int i = 0; i < cluster.num_file_servers(); ++i) {
+      server.Expose(&cluster.fs(i), "fs" + std::to_string(i),
+                    net::ServiceKind::kFileServer);
+    }
+    ASSERT_TRUE(server.Start().ok());
+    net::TcpTransport::Options topt;
+    topt.seed = seed;
+    net::TcpTransport transport("127.0.0.1", server.port(), topt);
+
+    FileClient client(&transport, cluster.FileServerPorts());
+    auto file = client.CreateFile();
+    ASSERT_TRUE(file.ok()) << file.status();
+    ASSERT_TRUE(RunTransaction(&client, *file, [](FileClient& c, const Capability& v) {
+                  return c.WriteString(v, PagePath::Root(), "0");
+                }).ok());
+
+    transport.set_fault_injection(faults);
+    EXPECT_EQ(RunTcpIncrementBatch(&transport, cluster.FileServerPorts(), *file, 2, 2,
+                                   seed + 1),
+              0);
+
+    // Partition fs0 at the shim: a DIRECT call to it is kUnavailable, immediately.
+    Port fs0 = cluster.fs(0).port();
+    transport.SetPartitioned(fs0, true);
+    uint64_t retransmits_before = transport.retransmits();
+    auto cut_off = FileClient(&transport, {fs0}).GetCurrentVersion(*file);
+    EXPECT_EQ(cut_off.status().code(), ErrorCode::kUnavailable);
+    EXPECT_EQ(transport.retransmits(), retransmits_before);
+    // The multi-server client fails over to the other file server and carries on.
+    EXPECT_EQ(RunTcpIncrementBatch(&transport, cluster.FileServerPorts(), *file, 2, 2,
+                                   seed + 2),
+              0);
+
+    transport.SetPartitioned(fs0, false);
+    EXPECT_EQ(RunTcpIncrementBatch(&transport, cluster.FileServerPorts(), *file, 2, 2,
+                                   seed + 3),
+              0);
+
+    transport.set_fault_injection(FaultInjection{});
+    FileClient reader(&transport, cluster.FileServerPorts());
+    auto current = reader.GetCurrentVersion(*file);
+    ASSERT_TRUE(current.ok()) << current.status();
+    auto text = reader.ReadString(*current, PagePath::Root());
+    ASSERT_TRUE(text.ok()) << text.status();
+    EXPECT_EQ(*text, "12");
   }
 }
 

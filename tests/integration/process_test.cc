@@ -1,0 +1,380 @@
+// Multi-process integration: launch the real afs_server binary (path in AFS_SERVER_BIN,
+// set by CMake), talk to it over genuine TCP from this process, and exercise the full
+// §5.3 story across a process boundary — optimistic writes and commits, at-most-once
+// retransmission through the socket fault shim, cross-process trace propagation,
+// kill -9 mid-transaction with the immediate crash warning, and restart from --store.
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/client/file_client.h"
+#include "src/client/transaction.h"
+#include "src/namesvc/directory_client.h"
+#include "src/net/tcp_server.h"
+#include "src/net/tcp_transport.h"
+#include "src/obs/span.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+namespace {
+
+// One afs_server child process. Stdout is piped so we can parse "LISTENING <port>";
+// stdin is piped so Quit() can ask for a clean exit (KillHard never does).
+class ServerProcess {
+ public:
+  ServerProcess(const std::string& store_dir, std::vector<std::string> extra_args = {}) {
+    Launch(store_dir, std::move(extra_args));  // ASSERTs live in a void helper
+  }
+
+  ~ServerProcess() { KillHard(); }
+
+  void Launch(const std::string& store_dir, std::vector<std::string> extra_args) {
+    const char* bin = std::getenv("AFS_SERVER_BIN");
+    if (bin == nullptr) {
+      ADD_FAILURE() << "AFS_SERVER_BIN not set (run via ctest)";
+      return;
+    }
+    int out_pipe[2];
+    int in_pipe[2];
+    ASSERT_EQ(pipe(out_pipe), 0);
+    ASSERT_EQ(pipe(in_pipe), 0);
+    pid_ = fork();
+    ASSERT_GE(pid_, 0);
+    if (pid_ == 0) {
+      dup2(out_pipe[1], STDOUT_FILENO);
+      dup2(in_pipe[0], STDIN_FILENO);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+      std::vector<std::string> args = {bin, "--port", "0"};
+      if (!store_dir.empty()) {
+        args.push_back("--store");
+        args.push_back(store_dir);
+      }
+      for (const auto& a : extra_args) {
+        args.push_back(a);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) {
+        argv.push_back(a.data());
+      }
+      argv.push_back(nullptr);
+      execv(bin, argv.data());
+      _exit(127);
+    }
+    close(out_pipe[1]);
+    close(in_pipe[0]);
+    out_fd_ = out_pipe[0];
+    in_fd_ = in_pipe[1];
+    port_ = ParseListeningPort();
+  }
+
+  uint16_t port() const { return port_; }
+  bool running() const { return pid_ > 0; }
+
+  // The crash under test: SIGKILL, no cleanup, exactly what §5.3's "server crashes while
+  // clients hold uncommitted versions" means across processes.
+  void KillHard() {
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    CloseFds();
+  }
+
+  void Quit() {
+    if (pid_ > 0 && in_fd_ >= 0) {
+      (void)!write(in_fd_, "quit\n", 5);
+      close(in_fd_);
+      in_fd_ = -1;
+      waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    CloseFds();
+  }
+
+ private:
+  uint16_t ParseListeningPort() {
+    std::string text;
+    char buf[256];
+    for (int spin = 0; spin < 200; ++spin) {  // up to 20 s for a slow sanitizer build
+      struct pollfd pfd = {out_fd_, POLLIN, 0};
+      int ready = poll(&pfd, 1, 100);
+      if (ready <= 0) {
+        continue;
+      }
+      ssize_t n = read(out_fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        break;  // child died before listening
+      }
+      text.append(buf, static_cast<size_t>(n));
+      unsigned port = 0;
+      if (std::sscanf(text.c_str(), "LISTENING %u", &port) == 1 && port != 0) {
+        return static_cast<uint16_t>(port);
+      }
+    }
+    ADD_FAILURE() << "afs_server never reported LISTENING; output: " << text;
+    return 0;
+  }
+
+  void CloseFds() {
+    if (out_fd_ >= 0) {
+      close(out_fd_);
+      out_fd_ = -1;
+    }
+    if (in_fd_ >= 0) {
+      close(in_fd_);
+      in_fd_ = -1;
+    }
+  }
+
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  int in_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// The client half of a session: transport, manifest, file + directory clients.
+struct RemoteClient {
+  explicit RemoteClient(uint16_t port, uint64_t seed = 1) { Connect(port, seed); }
+
+  void Connect(uint16_t port, uint64_t seed) {
+    net::TcpTransport::Options topt;
+    topt.seed = seed;
+    transport = std::make_unique<net::TcpTransport>("127.0.0.1", port, topt);
+    auto hello = transport->SayHello();
+    ASSERT_TRUE(hello.ok()) << hello.status();
+    for (const auto& entry : hello->services) {
+      if (entry.kind == static_cast<uint8_t>(net::ServiceKind::kFileServer)) {
+        file_servers.push_back(entry.port);
+      } else if (entry.kind == static_cast<uint8_t>(net::ServiceKind::kDirectoryServer)) {
+        dir_port = entry.port;
+      }
+    }
+    ASSERT_FALSE(file_servers.empty());
+    ASSERT_NE(dir_port, kNullPort);
+    files = std::make_unique<FileClient>(transport.get(), file_servers);
+    dir = std::make_unique<DirectoryClient>(transport.get(), dir_port);
+  }
+
+  std::unique_ptr<net::TcpTransport> transport;
+  std::vector<Port> file_servers;
+  Port dir_port = kNullPort;
+  std::unique_ptr<FileClient> files;
+  std::unique_ptr<DirectoryClient> dir;
+};
+
+std::string MakeScratchDir() {
+  char tmpl[] = "/tmp/afs_process_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+Status WriteText(RemoteClient& c, const Capability& file, const std::string& text) {
+  auto path = PagePath::Parse("/");
+  EXPECT_TRUE(path.ok());
+  auto stats = RunTransaction(c.files.get(), file, [&](FileClient& fc, const Capability& v) {
+    return fc.WriteString(v, *path, text);
+  });
+  return stats.status();
+}
+
+Result<std::string> ReadText(RemoteClient& c, const Capability& file) {
+  auto path = PagePath::Parse("/");
+  EXPECT_TRUE(path.ok());
+  ASSIGN_OR_RETURN(Capability current, c.files->GetCurrentVersion(file));
+  return c.files->ReadString(current, *path);
+}
+
+// The acceptance session of ISSUE 7: create, write, commit, read back — every byte of it
+// over a real socket to a separate server process.
+TEST(ProcessTest, FullSessionAgainstSeparateServerProcess) {
+  ServerProcess server(/*store_dir=*/"");
+  ASSERT_NE(server.port(), 0);
+  RemoteClient client(server.port());
+
+  auto file = client.files->CreateFile();
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_TRUE(client.dir->Enter("notes", *file).ok());
+
+  ASSERT_TRUE(WriteText(client, *file, "hello across processes").ok());
+  auto text = ReadText(client, *file);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_EQ(*text, "hello across processes");
+
+  auto names = client.dir->List();
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "notes");
+
+  auto looked_up = client.dir->Lookup("notes");
+  ASSERT_TRUE(looked_up.ok());
+  EXPECT_EQ(looked_up->object, file->object);
+
+  server.Quit();
+}
+
+// At-most-once over the wire: with the socket fault shim dropping replies, every commit
+// retransmission must be answered from the server's reply cache — the committed version
+// count stays exactly one per logical write, never one per delivery.
+TEST(ProcessTest, RetransmissionOverFaultShimExecutesEachCommitOnce) {
+  ServerProcess server(/*store_dir=*/"");
+  ASSERT_NE(server.port(), 0);
+  RemoteClient client(server.port(), /*seed=*/42);
+
+  auto file = client.files->CreateFile();
+  ASSERT_TRUE(file.ok()) << file.status();
+
+  client.transport->set_fault_injection(FaultInjection{.drop_reply = 0.4});
+  const int kWrites = 8;
+  for (int i = 0; i < kWrites; ++i) {
+    ASSERT_TRUE(WriteText(client, *file, "draft " + std::to_string(i)).ok());
+  }
+  client.transport->set_fault_injection(FaultInjection{});
+
+  EXPECT_GT(client.transport->retransmits(), 0u)
+      << "shim dropped no replies; the test proved nothing";
+  auto stat = client.files->FileStat(*file);
+  ASSERT_TRUE(stat.ok()) << stat.status();
+  // CreateFile commits the initial empty version, then exactly one version per logical
+  // write — a re-executed (rather than replayed) retransmission would add extras.
+  EXPECT_EQ(stat->committed_versions, static_cast<uint32_t>(kWrites) + 1);
+  auto text = ReadText(client, *file);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "draft " + std::to_string(kWrites - 1));
+
+  server.Quit();
+}
+
+// Trace context rides the frame: a client-side root span's trace id must appear in the
+// SERVER process's span collector, scraped back over the same wire.
+TEST(ProcessTest, TraceIdIsSharedAcrossProcessBoundary) {
+  ServerProcess server(/*store_dir=*/"");
+  ASSERT_NE(server.port(), 0);
+  RemoteClient client(server.port());
+
+  obs::SetSpanEnabled(true);
+  uint64_t trace_id = 0;
+  {
+    obs::ScopedSpan root("test.session", obs::SpanKind::kClient);
+    trace_id = root.trace_id();
+    auto file = client.files->CreateFile();
+    ASSERT_TRUE(file.ok()) << file.status();
+    ASSERT_TRUE(WriteText(client, *file, "traced write").ok());
+  }
+  ASSERT_NE(trace_id, 0u);
+
+  char needle[64];
+  std::snprintf(needle, sizeof(needle), "trace=%llu", (unsigned long long)trace_id);
+  std::string remote_spans;
+  for (Port fs : client.file_servers) {
+    auto scraped = ScrapeSpans(client.transport.get(), fs, 4096, /*chrome_json=*/false);
+    ASSERT_TRUE(scraped.ok()) << scraped.status();
+    remote_spans += *scraped;
+  }
+  EXPECT_NE(remote_spans.find(needle), std::string::npos)
+      << "server-side spans never joined client trace " << trace_id;
+  obs::SetSpanEnabled(false);
+
+  server.Quit();
+}
+
+// kill -9 mid-transaction: the client holds an uncommitted version when the server dies.
+// The next call must surface the §5.3 crash warning (kCrashed, immediately — no
+// retransmission storm), and a restart from the same --store must recover all committed
+// state while the orphaned uncommitted version is simply gone.
+TEST(ProcessTest, KillNineMidTransactionThenRecoverFromStore) {
+  std::string store = MakeScratchDir();
+  ASSERT_FALSE(store.empty());
+
+  Capability file_cap;
+  {
+    ServerProcess server(store);
+    ASSERT_NE(server.port(), 0);
+    RemoteClient client(server.port());
+
+    auto file = client.files->CreateFile();
+    ASSERT_TRUE(file.ok()) << file.status();
+    ASSERT_TRUE(client.dir->Enter("ledger", *file).ok());
+    ASSERT_TRUE(WriteText(client, *file, "committed before crash").ok());
+    file_cap = *file;
+
+    // Open a transaction: a private uncommitted version with a dirty page.
+    auto version = client.files->CreateVersion(*file);
+    ASSERT_TRUE(version.ok()) << version.status();
+    auto path = PagePath::Parse("/");
+    ASSERT_TRUE(path.ok());
+    ASSERT_TRUE(client.files->WriteString(*version, *path, "doomed uncommitted data").ok());
+
+    server.KillHard();
+
+    // §5.3 crash warning, across a real process boundary: immediate kCrashed, no retries.
+    uint64_t retransmits_before = client.transport->retransmits();
+    auto commit = client.files->Commit(*version);
+    EXPECT_EQ(commit.status().code(), ErrorCode::kCrashed) << commit.status();
+    EXPECT_EQ(client.transport->retransmits(), retransmits_before);
+  }
+
+  // Restart from the same store: committed state survives, the orphan version does not.
+  {
+    ServerProcess server(store);
+    ASSERT_NE(server.port(), 0);
+    RemoteClient client(server.port());
+
+    auto looked_up = client.dir->Lookup("ledger");
+    ASSERT_TRUE(looked_up.ok()) << looked_up.status();
+    EXPECT_EQ(looked_up->object, file_cap.object);
+    auto text = ReadText(client, *looked_up);
+    ASSERT_TRUE(text.ok()) << text.status();
+    EXPECT_EQ(*text, "committed before crash");
+
+    auto stat = client.files->FileStat(*looked_up);
+    ASSERT_TRUE(stat.ok());
+    // Initial version + the one committed write; the doomed uncommitted version left no
+    // trace.
+    EXPECT_EQ(stat->committed_versions, 2u);
+
+    server.Quit();
+  }
+}
+
+// Two client processes' worth of transports against one server: a second connection sees
+// the first one's directory entries (shared namespace, not per-connection state).
+TEST(ProcessTest, TwoClientsShareOneNamespace) {
+  ServerProcess server(/*store_dir=*/"");
+  ASSERT_NE(server.port(), 0);
+
+  RemoteClient alice(server.port(), /*seed=*/1);
+  RemoteClient bob(server.port(), /*seed=*/2);
+
+  auto file = alice.files->CreateFile();
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(alice.dir->Enter("shared", *file).ok());
+  ASSERT_TRUE(WriteText(alice, *file, "from alice").ok());
+
+  auto found = bob.dir->Lookup("shared");
+  ASSERT_TRUE(found.ok()) << found.status();
+  auto text = ReadText(bob, *found);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_EQ(*text, "from alice");
+
+  server.Quit();
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,241 @@
+// Frame-codec hardening: the FrameReader must survive arbitrary chunking of the byte
+// stream (partial reads, torn frames) and fail *cleanly* on malformed input — oversized
+// frames, zero-length frames, garbage prefixes, truncated fields — never with undefined
+// behaviour. This is the satellite test surface of docs/NET.md §1.
+
+#include "src/net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/wire.h"
+
+namespace afs {
+namespace net {
+namespace {
+
+Message SampleRequest() {
+  Message m(0x1234, {1, 2, 3, 4, 5});
+  m.client_id = 7;
+  m.txn_id = 9;
+  m.trace_id = 11;
+  m.span_id = 13;
+  m.parent_span_id = 15;
+  return m;
+}
+
+TEST(FrameCodec, RequestRoundTrip) {
+  Frame frame = MakeRequestFrame(42, /*target=*/17, SampleRequest(), /*deadline_ms=*/250);
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(out.type, FrameType::kRequest);
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.target, 17u);
+  EXPECT_EQ(out.deadline_ms, 250u);
+  EXPECT_EQ(out.message.opcode, 0x1234u);
+  EXPECT_EQ(out.message.client_id, 7u);
+  EXPECT_EQ(out.message.txn_id, 9u);
+  EXPECT_EQ(out.message.trace_id, 11u);
+  EXPECT_EQ(out.message.span_id, 13u);
+  EXPECT_EQ(out.message.parent_span_id, 15u);
+  EXPECT_EQ(out.message.payload, std::vector<uint8_t>({1, 2, 3, 4, 5}));
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameCodec, ErrorReplyRoundTrip) {
+  Frame frame = MakeErrorFrame(8, 0x77, CrashedError("service is down"));
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(out.type, FrameType::kReplyError);
+  EXPECT_EQ(out.seq, 8u);
+  EXPECT_EQ(out.message.opcode, 0x77u);
+  EXPECT_EQ(out.error.code(), ErrorCode::kCrashed);
+  EXPECT_EQ(out.error.message(), "service is down");
+}
+
+// Every possible split point of a valid frame: feeding the prefix must report "need more
+// bytes" (not an error), and feeding the rest must complete the frame.
+TEST(FrameCodec, TornFramesAtEverySplitPoint) {
+  Frame frame = MakeRequestFrame(1, 3, SampleRequest(), 100);
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  for (size_t split = 0; split < bytes.size(); ++split) {
+    FrameReader reader;
+    reader.Feed(bytes.data(), split);
+    Frame out;
+    auto first = reader.Next(&out);
+    ASSERT_TRUE(first.ok()) << "split at " << split << ": " << first.status();
+    EXPECT_FALSE(*first) << "split at " << split;
+    reader.Feed(bytes.data() + split, bytes.size() - split);
+    auto second = reader.Next(&out);
+    ASSERT_TRUE(second.ok()) << "split at " << split << ": " << second.status();
+    EXPECT_TRUE(*second) << "split at " << split;
+    EXPECT_EQ(out.seq, 1u);
+  }
+}
+
+// Byte-at-a-time delivery of several back-to-back frames (the worst-case read chunking).
+TEST(FrameCodec, ByteAtATimeStream) {
+  std::vector<uint8_t> stream;
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    std::vector<uint8_t> bytes = EncodeFrame(MakeRequestFrame(seq, 5, SampleRequest(), 50));
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  FrameReader reader;
+  uint64_t next_seq = 1;
+  for (uint8_t byte : stream) {
+    reader.Feed(&byte, 1);
+    Frame out;
+    auto got = reader.Next(&out);
+    ASSERT_TRUE(got.ok()) << got.status();
+    if (*got) {
+      EXPECT_EQ(out.seq, next_seq++);
+    }
+  }
+  EXPECT_EQ(next_seq, 4u);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameCodec, GarbagePrefixFailsCleanly) {
+  const uint8_t garbage[] = "GET / HTTP/1.1\r\nHost: not-afs\r\n\r\n";
+  FrameReader reader;
+  reader.Feed(garbage, sizeof(garbage));
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FrameCodec, ZeroLengthBodyFailsCleanly) {
+  WireEncoder enc;
+  enc.PutU32(kFrameMagic);
+  enc.PutU32(0);  // body_len = 0: no room for even the fixed fields
+  std::vector<uint8_t> bytes = std::move(enc).Take();
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FrameCodec, UndersizedBodyFailsCleanly) {
+  WireEncoder enc;
+  enc.PutU32(kFrameMagic);
+  enc.PutU32(static_cast<uint32_t>(kMinFrameBody - 1));
+  std::vector<uint8_t> bytes = std::move(enc).Take();
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kInvalidArgument);
+}
+
+// A length prefix over kMaxFrameBody must be rejected from the header alone — before any
+// attempt to buffer the claimed body (a 4 GiB length must not allocate 4 GiB).
+TEST(FrameCodec, OversizedFrameRejectedFromHeader) {
+  WireEncoder enc;
+  enc.PutU32(kFrameMagic);
+  enc.PutU32(0xFFFFFFFFu);
+  std::vector<uint8_t> bytes = std::move(enc).Take();
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kInvalidArgument);
+}
+
+// A payload larger than one transaction message is over-limit even when the frame body
+// itself is within framing bounds.
+TEST(FrameCodec, OverLimitPayloadRejected) {
+  Message big(1, std::vector<uint8_t>(kMaxMessageBytes + 1, 0xAB));
+  std::vector<uint8_t> bytes = EncodeFrame(MakeRequestFrame(1, 2, std::move(big), 100));
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FrameCodec, UnknownFrameTypeFailsCleanly) {
+  Frame frame = MakeRequestFrame(1, 2, SampleRequest(), 100);
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  bytes[kFrameHeaderBytes] = 0x7F;  // clobber the type byte
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kInvalidArgument);
+}
+
+// An error frame whose status code is out of the ErrorCode range (or claims OK) is
+// malformed — a reply-error must carry a real error.
+TEST(FrameCodec, ErrorFrameWithBadCodeFailsCleanly) {
+  Frame frame = MakeErrorFrame(1, 2, TimeoutError("x"));
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  // The u32 code sits right after the fixed body fields.
+  size_t code_offset = kFrameHeaderBytes + kMinFrameBody;
+  uint32_t bogus = 0xDEAD;
+  std::memcpy(bytes.data() + code_offset, &bogus, sizeof(bogus));
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kInvalidArgument);
+}
+
+// A truncated error-frame body (string length prefix promising more bytes than the body
+// holds) must fail via the bounds-checked decoder, not read out of bounds.
+TEST(FrameCodec, TruncatedErrorStringFailsCleanly) {
+  Frame frame = MakeErrorFrame(1, 2, TimeoutError("a long enough message"));
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  // Shrink the frame: chop the last 10 bytes off the body and fix up body_len so the
+  // header is self-consistent but the string inside is truncated.
+  bytes.resize(bytes.size() - 10);
+  uint32_t new_len = static_cast<uint32_t>(bytes.size() - kFrameHeaderBytes);
+  std::memcpy(bytes.data() + 4, &new_len, sizeof(new_len));
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  Frame out;
+  auto got = reader.Next(&out);
+  ASSERT_FALSE(got.ok());
+  // The bounds-checked decoder reports truncation as kCorrupt; either way, a clean error.
+  EXPECT_TRUE(got.status().code() == ErrorCode::kInvalidArgument ||
+              got.status().code() == ErrorCode::kCorrupt)
+      << got.status();
+}
+
+// After the reader consumes many frames its internal buffer must not grow without bound.
+TEST(FrameCodec, BufferCompactsAcrossManyFrames) {
+  FrameReader reader;
+  std::vector<uint8_t> bytes = EncodeFrame(MakeRequestFrame(1, 2, SampleRequest(), 50));
+  for (int i = 0; i < 10000; ++i) {
+    reader.Feed(bytes.data(), bytes.size());
+    Frame out;
+    auto got = reader.Next(&out);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(*got);
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace afs

@@ -182,9 +182,9 @@ TEST(RpcTest, DropProbabilitySurfacesAsTimeout) {
   Network net(1);
   EchoService echo(&net, "echo");
   echo.Start();
-  net.set_drop_probability(1.0);
+  net.set_fault_injection(FaultInjection{.drop_request = 1.0});
   EXPECT_EQ(net.Call(echo.port(), Message(1, {})).status().code(), ErrorCode::kTimeout);
-  net.set_drop_probability(0.0);
+  net.set_fault_injection(FaultInjection{});
   EXPECT_GT(net.dropped_calls(), 0u);
 }
 
@@ -352,7 +352,7 @@ TEST(AtMostOnceTest, UnstampedCallsAreNeverRetransmitted) {
   Network net(48);
   EchoService echo(&net, "echo");
   echo.Start();
-  net.set_drop_probability(1.0);
+  net.set_fault_injection(FaultInjection{.drop_request = 1.0});
   CallOptions opts;
   opts.at_most_once = false;
   const uint64_t sends_before = net.total_calls();
