@@ -117,6 +117,15 @@ inline int WriteTextFile(const std::string& path, const std::string& out) {
 }
 
 inline int BenchMain(int argc, char** argv) {
+  // Provenance stamp from THIS binary's compile flags. google/benchmark's own
+  // `library_build_type` only describes how the (system-installed) benchmark library was
+  // built; it says nothing about the code under test. validate_stats_json --mode=bench
+  // refuses perf artifacts whose afs_build_type is not "release".
+#ifdef NDEBUG
+  benchmark::AddCustomContext("afs_build_type", "release");
+#else
+  benchmark::AddCustomContext("afs_build_type", "debug");
+#endif
   std::string stats_path;
   std::string slo_path;
   std::string spans_path;

@@ -1,48 +1,81 @@
-// Validates the JSON artifacts emitted by BenchMain. A minimal recursive-descent JSON
-// parser — strict enough to catch malformed output (trailing commas, unterminated
-// strings, bad numbers) without pulling in a JSON dependency.
+// Validates the JSON artifacts emitted by BenchMain and google/benchmark. A minimal
+// recursive-descent JSON parser — strict enough to catch malformed output (trailing
+// commas, unterminated strings, bad numbers) without pulling in a JSON dependency.
 //
-// Usage: validate_stats_json [--mode=stats|slo|spans] FILE
+// Usage: validate_stats_json [--mode=stats|slo|spans|bench] [bench options] FILE
 //   stats (default)  --afs_stats_json output: object with "benchmark" and "stats" keys
 //   slo              --afs_slo_json output (BENCH_slo.json): "classes" and "verdict" keys
 //   spans            --afs_spans_json output (Chrome trace): a "traceEvents" key
-// Exit 0 iff FILE parses as JSON and has the mode's required top-level keys.
+//   bench            google/benchmark --benchmark_out JSON (BENCH_batch.json et al.):
+//                    HARD-FAILS unless context.library_build_type == "release", so a
+//                    debug binary can never masquerade as a perf baseline again. With
+//                    --baseline=FILE it additionally prints a per-row speedup table for
+//                    BM_MultiClientCommit (markdown, suitable for $GITHUB_STEP_SUMMARY)
+//                    and enforces --min_speedup / --min_rpc_ratio on the most contended
+//                    row (highest threads, files=1): items_per_second must be at least
+//                    min_speedup x the baseline's, and the baseline's rpcs_per_txn must
+//                    be at least min_rpc_ratio x the current run's.
+// Exit 0 iff FILE parses as JSON and satisfies the mode's checks.
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 namespace {
 
+// A tiny JSON DOM: only what the bench mode needs (strings, numbers, nesting).
+struct Value {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  const Value* Find(const char* key) const {
+    if (kind != kObject) return nullptr;
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
 
-  bool ParseValue() {
+  bool ParseValue(Value* out) {
     SkipWs();
     if (pos_ >= text_.size()) return Fail("unexpected end of input");
     switch (text_[pos_]) {
       case '{':
-        return ParseObject(nullptr);
+        return ParseObject(out);
       case '[':
-        return ParseArray();
+        return ParseArray(out);
       case '"':
-        return ParseString(nullptr);
+        out->kind = Value::kString;
+        return ParseString(&out->str);
       case 't':
+        out->kind = Value::kBool;
+        out->b = true;
         return ParseLiteral("true");
       case 'f':
+        out->kind = Value::kBool;
         return ParseLiteral("false");
       case 'n':
         return ParseLiteral("null");
       default:
-        return ParseNumber();
+        return ParseNumber(out);
     }
   }
 
-  // Parses an object; if `keys` is non-null, records the top-level keys seen.
-  bool ParseObject(std::vector<std::string>* keys) {
+  bool ParseObject(Value* out) {
+    out->kind = Value::kObject;
     if (!Expect('{')) return false;
     SkipWs();
     if (Peek() == '}') {
@@ -53,10 +86,11 @@ class Parser {
       SkipWs();
       std::string key;
       if (!ParseString(&key)) return false;
-      if (keys != nullptr) keys->push_back(key);
       SkipWs();
       if (!Expect(':')) return false;
-      if (!ParseValue()) return false;
+      Value child;
+      if (!ParseValue(&child)) return false;
+      out->obj.emplace_back(std::move(key), std::move(child));
       SkipWs();
       if (Peek() == ',') {
         ++pos_;
@@ -74,7 +108,8 @@ class Parser {
   const std::string& error() const { return error_; }
 
  private:
-  bool ParseArray() {
+  bool ParseArray(Value* out) {
+    out->kind = Value::kArray;
     if (!Expect('[')) return false;
     SkipWs();
     if (Peek() == ']') {
@@ -82,7 +117,9 @@ class Parser {
       return true;
     }
     for (;;) {
-      if (!ParseValue()) return false;
+      Value child;
+      if (!ParseValue(&child)) return false;
+      out->arr.push_back(std::move(child));
       SkipWs();
       if (Peek() == ',') {
         ++pos_;
@@ -99,15 +136,15 @@ class Parser {
       if (c == '"') return true;
       if (c == '\\') {
         if (pos_ >= text_.size()) break;
-        ++pos_;  // accept any escaped char (the emitter only escapes " and \)
+        out->push_back(text_[pos_++]);  // accept any escape (emitters escape " and \)
         continue;
       }
-      if (out != nullptr) out->push_back(c);
+      out->push_back(c);
     }
     return Fail("unterminated string");
   }
 
-  bool ParseNumber() {
+  bool ParseNumber(Value* out) {
     size_t start = pos_;
     if (Peek() == '-') ++pos_;
     while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
@@ -123,6 +160,8 @@ class Parser {
     if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
       return Fail("bad number");
     }
+    out->kind = Value::kNumber;
+    out->num = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
     return true;
   }
 
@@ -163,29 +202,11 @@ class Parser {
   std::string error_;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string mode = "stats";
-  const char* path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--mode=", 7) == 0) {
-      mode = argv[i] + 7;
-    } else if (path == nullptr) {
-      path = argv[i];
-    } else {
-      path = nullptr;
-      break;
-    }
-  }
-  if (path == nullptr || (mode != "stats" && mode != "slo" && mode != "spans")) {
-    std::fprintf(stderr, "usage: %s [--mode=stats|slo|spans] FILE\n", argv[0]);
-    return 2;
-  }
+bool LoadJson(const char* path, Value* out) {
   std::FILE* f = std::fopen(path, "rb");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
-    return 2;
+    return false;
   }
   std::string text;
   char buf[4096];
@@ -194,11 +215,188 @@ int main(int argc, char** argv) {
     text.append(buf, n);
   }
   std::fclose(f);
+  Parser parser(text);
+  if (!parser.ParseValue(out) || !parser.AtEnd()) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", path, parser.error().c_str());
+    return false;
+  }
+  return true;
+}
 
-  std::vector<std::string> keys;
-  Parser top(text);
-  if (!top.ParseObject(&keys) || !top.AtEnd()) {
-    std::fprintf(stderr, "invalid JSON: %s\n", top.error().c_str());
+// One BM_MultiClientCommit row: name suffix after the benchmark name, plus the metrics
+// the gates consume.
+struct CommitRow {
+  double items_per_second = 0.0;
+  double rpcs_per_txn = 0.0;
+};
+
+// Enforce release provenance and pull the BM_MultiClientCommit rows out of a
+// google/benchmark JSON document. Returns false (with a message) on any gate failure.
+bool CheckBenchFile(const char* path, const Value& root,
+                    std::map<std::string, CommitRow>* rows) {
+  // Provenance: `afs_build_type` is stamped by BenchMain from the bench binary's own
+  // compile flags (NDEBUG). google/benchmark's `library_build_type` only describes the
+  // benchmark LIBRARY's build — on systems with a debug-built libbenchmark it reads
+  // "debug" even for a -O3 bench binary — so it is used only as a fallback for artifacts
+  // that predate the stamp (those were genuinely debug builds).
+  const Value* context = root.Find("context");
+  const Value* build_type = context != nullptr ? context->Find("afs_build_type") : nullptr;
+  const char* key = "afs_build_type";
+  if (build_type == nullptr || build_type->kind != Value::kString) {
+    build_type = context != nullptr ? context->Find("library_build_type") : nullptr;
+    key = "library_build_type";
+  }
+  if (build_type == nullptr || build_type->kind != Value::kString) {
+    std::fprintf(stderr, "%s: missing context.afs_build_type\n", path);
+    return false;
+  }
+  if (build_type->str != "release") {
+    std::fprintf(stderr,
+                 "%s: %s is \"%s\", not \"release\" — refusing to treat a "
+                 "non-release binary's numbers as a perf artifact\n",
+                 path, key, build_type->str.c_str());
+    return false;
+  }
+  const Value* benchmarks = root.Find("benchmarks");
+  if (benchmarks == nullptr || benchmarks->kind != Value::kArray) {
+    std::fprintf(stderr, "%s: missing benchmarks array\n", path);
+    return false;
+  }
+  for (const Value& b : benchmarks->arr) {
+    const Value* name = b.Find("name");
+    if (name == nullptr || name->kind != Value::kString ||
+        name->str.rfind("BM_MultiClientCommit/", 0) != 0) {
+      continue;
+    }
+    CommitRow row;
+    if (const Value* ips = b.Find("items_per_second"); ips != nullptr) {
+      row.items_per_second = ips->num;
+    }
+    if (const Value* rpcs = b.Find("rpcs_per_txn"); rpcs != nullptr) {
+      row.rpcs_per_txn = rpcs->num;
+    }
+    (*rows)[name->str] = row;
+  }
+  return true;
+}
+
+int RunBenchMode(const char* path, const char* baseline_path, double min_speedup,
+                 double min_rpc_ratio) {
+  Value current_doc;
+  std::map<std::string, CommitRow> current;
+  if (!LoadJson(path, &current_doc) || !CheckBenchFile(path, current_doc, &current)) {
+    return 1;
+  }
+  if (baseline_path == nullptr) {
+    std::printf("ok (bench): %s is a release-build artifact\n", path);
+    return 0;
+  }
+
+  Value baseline_doc;
+  std::map<std::string, CommitRow> baseline;
+  if (!LoadJson(baseline_path, &baseline_doc) ||
+      !CheckBenchFile(baseline_path, baseline_doc, &baseline)) {
+    return 1;
+  }
+
+  // Markdown speedup table over every row present in both files; piped into the CI job
+  // summary. The gated row is the most contended single-file one (highest thread count
+  // with files=1, vectored batch on) — that is where group commit + the version index
+  // must earn their keep.
+  std::printf("| benchmark | baseline txn/s | current txn/s | speedup | baseline rpcs/txn "
+              "| current rpcs/txn | rpc ratio |\n");
+  std::printf("|---|---|---|---|---|---|---|\n");
+  std::string gated_name;
+  long gated_threads = -1;
+  for (const auto& [name, cur] : current) {
+    auto it = baseline.find(name);
+    if (it == baseline.end()) {
+      continue;
+    }
+    const CommitRow& base = it->second;
+    double speedup = base.items_per_second > 0 ? cur.items_per_second / base.items_per_second : 0;
+    double rpc_ratio = cur.rpcs_per_txn > 0 ? base.rpcs_per_txn / cur.rpcs_per_txn : 0;
+    std::printf("| %s | %.1f | %.1f | %.2fx | %.1f | %.1f | %.2fx |\n", name.c_str(),
+                base.items_per_second, cur.items_per_second, speedup, base.rpcs_per_txn,
+                cur.rpcs_per_txn, rpc_ratio);
+    // Row names are BM_MultiClientCommit/<threads>/<files>/<batch>[/...]; gate on the
+    // single-file batched row with the highest thread count.
+    long threads = 0;
+    long files = 0;
+    long batch = 0;
+    if (std::sscanf(name.c_str(), "BM_MultiClientCommit/%ld/%ld/%ld", &threads, &files,
+                    &batch) == 3 &&
+        files == 1 && batch == 1 && threads > gated_threads) {
+      gated_threads = threads;
+      gated_name = name;
+    }
+  }
+  if (gated_name.empty()) {
+    std::fprintf(stderr, "no common contended BM_MultiClientCommit row to gate on\n");
+    return 1;
+  }
+  const CommitRow& cur = current[gated_name];
+  const CommitRow& base = baseline[gated_name];
+  double speedup = base.items_per_second > 0 ? cur.items_per_second / base.items_per_second : 0;
+  double rpc_ratio = cur.rpcs_per_txn > 0 ? base.rpcs_per_txn / cur.rpcs_per_txn : 0;
+  std::printf("\ngated row %s: speedup %.2fx (floor %.2fx), rpc ratio %.2fx (floor %.2fx)\n",
+              gated_name.c_str(), speedup, min_speedup, rpc_ratio, min_rpc_ratio);
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: %s speedup %.2fx < required %.2fx\n", gated_name.c_str(),
+                 speedup, min_speedup);
+    return 1;
+  }
+  if (rpc_ratio < min_rpc_ratio) {
+    std::fprintf(stderr, "FAIL: %s rpcs_per_txn ratio %.2fx < required %.2fx\n",
+                 gated_name.c_str(), rpc_ratio, min_rpc_ratio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "stats";
+  const char* path = nullptr;
+  const char* baseline = nullptr;
+  double min_speedup = 0.0;  // informational unless the caller sets a floor
+  double min_rpc_ratio = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      mode = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--min_speedup=", 14) == 0) {
+      min_speedup = std::strtod(argv[i] + 14, nullptr);
+    } else if (std::strncmp(argv[i], "--min_rpc_ratio=", 16) == 0) {
+      min_rpc_ratio = std::strtod(argv[i] + 16, nullptr);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr ||
+      (mode != "stats" && mode != "slo" && mode != "spans" && mode != "bench")) {
+    std::fprintf(stderr,
+                 "usage: %s [--mode=stats|slo|spans|bench] [--baseline=FILE] "
+                 "[--min_speedup=X] [--min_rpc_ratio=X] FILE\n",
+                 argv[0]);
+    return 2;
+  }
+
+  if (mode == "bench") {
+    return RunBenchMode(path, baseline, min_speedup, min_rpc_ratio);
+  }
+
+  Value root;
+  if (!LoadJson(path, &root)) {
+    return 1;
+  }
+  if (root.kind != Value::kObject) {
+    std::fprintf(stderr, "top-level JSON value is not an object\n");
     return 1;
   }
   std::vector<std::string> required;
@@ -210,20 +408,12 @@ int main(int argc, char** argv) {
     required = {"traceEvents"};
   }
   for (const std::string& want : required) {
-    bool found = false;
-    for (const std::string& k : keys) {
-      if (k == want) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
+    if (root.Find(want.c_str()) == nullptr) {
       std::fprintf(stderr, "missing required key \"%s\" (mode=%s)\n", want.c_str(),
                    mode.c_str());
       return 1;
     }
   }
-  std::printf("ok (%s): %zu bytes, %zu top-level keys\n", mode.c_str(), text.size(),
-              keys.size());
+  std::printf("ok (%s): %zu top-level keys\n", mode.c_str(), root.obj.size());
   return 0;
 }

@@ -1,0 +1,29 @@
+#include "src/core/commit_tuning.h"
+
+#include <atomic>
+
+namespace afs {
+namespace {
+
+std::atomic<bool> g_group_commit{true};
+std::atomic<bool> g_version_index{true};
+std::atomic<bool> g_parallel_validate{true};
+
+}  // namespace
+
+void SetGroupCommitEnabled(bool enabled) {
+  g_group_commit.store(enabled, std::memory_order_relaxed);
+}
+bool GroupCommitEnabled() { return g_group_commit.load(std::memory_order_relaxed); }
+
+void SetVersionIndexEnabled(bool enabled) {
+  g_version_index.store(enabled, std::memory_order_relaxed);
+}
+bool VersionIndexEnabled() { return g_version_index.load(std::memory_order_relaxed); }
+
+void SetParallelValidateEnabled(bool enabled) {
+  g_parallel_validate.store(enabled, std::memory_order_relaxed);
+}
+bool ParallelValidateEnabled() { return g_parallel_validate.load(std::memory_order_relaxed); }
+
+}  // namespace afs

@@ -1,0 +1,34 @@
+// Global kill switches for the three commit-path mechanisms (docs/PERF.md §5):
+//
+//   * group commit       — FileServer coalesces concurrent Commit() calls into one
+//                          validation + flip round (leader/followers, like the journal's
+//                          fsync group commit).
+//   * version index      — the in-memory index over committed version heads, their access
+//                          signatures and root pages, so validation stops re-walking page
+//                          chains through the block store.
+//   * parallel validate  — validation of non-overlapping transactions in a commit group
+//                          runs concurrently across a small worker pool.
+//
+// All three default ON. Each has its own switch so benchmarks can attribute the win per
+// mechanism (`--no_group_commit`, `--no_version_index`, `--serial_validate` in
+// bench_batch), mirroring SetBatchingEnabled for vectored I/O. The switches are process
+// globals (relaxed atomics): flipping one mid-flight only changes which path future
+// commits take — both paths preserve the §5.2 serialisability guarantees.
+
+#ifndef SRC_CORE_COMMIT_TUNING_H_
+#define SRC_CORE_COMMIT_TUNING_H_
+
+namespace afs {
+
+void SetGroupCommitEnabled(bool enabled);
+bool GroupCommitEnabled();
+
+void SetVersionIndexEnabled(bool enabled);
+bool VersionIndexEnabled();
+
+void SetParallelValidateEnabled(bool enabled);
+bool ParallelValidateEnabled();
+
+}  // namespace afs
+
+#endif  // SRC_CORE_COMMIT_TUNING_H_

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/base/wire.h"
+#include "src/core/commit_tuning.h"
 #include "src/core/protocol.h"
 #include "src/core/serialise.h"
 #include "src/obs/slo.h"
@@ -38,6 +39,12 @@ FileServer::FileServer(Network* network, std::string name, BlockStore* blocks,
       commit_merged_(metrics()->counter("commit.merged")),
       commit_conflicts_(metrics()->counter("commit.conflict_aborted")),
       serialise_tests_ctr_(metrics()->counter("commit.serialise_tests")),
+      commit_sig_fast_(metrics()->counter("commit.sig_fast_path")),
+      index_hits_(metrics()->counter("commit.index_hit")),
+      index_misses_(metrics()->counter("commit.index_miss")),
+      group_fallbacks_(metrics()->counter("commit.group_fallback")),
+      commit_group_size_(metrics()->histogram("commit.group_size")),
+      commit_rpcs_(metrics()->histogram("commit.rpcs")),
       commit_latency_ns_(metrics()->histogram("commit.latency_ns")),
       cache_hits_(metrics()->counter("cache.hit")),
       cache_misses_(metrics()->counter("cache.miss")),
@@ -100,9 +107,13 @@ Status FileServer::AttachStore() {
     WireDecoder dec(page.data);
     auto magic = dec.GetU64();
     if (magic.ok() && *magic == kFileTableMagic) {
-      std::lock_guard<std::mutex> lock(table_mu_);
-      table_head_ = owned[i];
-      return LoadFileTable();
+      {
+        std::lock_guard<std::mutex> lock(table_mu_);
+        table_head_ = owned[i];
+        RETURN_IF_ERROR(LoadFileTable());
+      }
+      RebuildVersionIndex();
+      return OkStatus();
     }
   }
   // Fresh store: create an empty table.
@@ -117,6 +128,26 @@ Status FileServer::AttachStore() {
   table_head_ = head;
   files_.clear();
   return OkStatus();
+}
+
+void FileServer::RebuildVersionIndex() {
+  index_.Clear();
+  if (!VersionIndexEnabled()) {
+    return;
+  }
+  // Heads only: signatures and root snapshots belong to the server instance that ran the
+  // commits and are not recoverable. Validation against re-seeded records falls back to
+  // the serialiser's tree walk, exactly as for another server's commits.
+  for (const FileEntry& entry : SnapshotFileTable()) {
+    auto chain = CommittedChain(entry.file_id);
+    if (chain.ok()) {
+      index_.SeedChain(entry.file_id, *chain);
+    }
+  }
+}
+
+void FileServer::OnVersionsPruned(uint64_t file_id, const std::vector<BlockNo>& pruned_heads) {
+  index_.Forget(file_id, pruned_heads);
 }
 
 Status FileServer::LoadFileTable() {
@@ -572,6 +603,9 @@ Result<BlockNo> FileServer::CopyChild(VersionInfo* info, WalkStep* parent, uint3
     RETURN_IF_ERROR(SetInnerLock(shared_bno, info->owner));
     info->locked_subfiles.push_back(shared_bno);
     info->is_super_update = true;
+    // Sub-file flags live in the sub-file's own version pages; the flat path signature
+    // cannot represent them, so this update's signature stops being usable.
+    info->sig.valid = false;
     // Re-read under the lock to pick up a racing commit.
     ASSIGN_OR_RETURN(shared, LoadPageUncached(shared_bno));
   }
@@ -682,8 +716,35 @@ Result<std::vector<FileServer::WalkStep>> FileServer::WalkPath(VersionInfo* info
 
   if (mutating) {
     RETURN_IF_ERROR(PersistSteps(&steps));
+    RecordWalkSig(info, path, final_access);
   }
   return steps;
+}
+
+void FileServer::RecordWalkSig(VersionInfo* info, const PagePath& path, uint8_t final_access) {
+  AccessSig& sig = info->sig;
+  if (!sig.valid) {
+    return;
+  }
+  // Mirror the flag ORs the walk just persisted, keyed by path prefix. The root reference
+  // carries the file's root_flags; deeper prefixes carry the parent-table entry flags.
+  const auto record = [&sig](std::string key, uint8_t flags) {
+    uint8_t& slot = sig.refs[std::move(key)];
+    slot = NormalizeFlags(slot | flags);
+    if (slot & RefFlag::kModified) {
+      sig.has_modified = true;
+    }
+  };
+  record(std::string(), path.IsRoot() ? final_access : RefFlag::kSearched);
+  for (size_t depth = 0; depth < path.depth(); ++depth) {
+    const bool last = depth + 1 == path.depth();
+    record(SigKey(path, depth + 1),
+           static_cast<uint8_t>((last ? final_access : RefFlag::kSearched) | RefFlag::kCopied));
+  }
+  if (sig.refs.size() > kMaxSigEntries) {
+    sig.valid = false;
+    sig.refs.clear();
+  }
 }
 
 Status FileServer::PersistSteps(std::vector<WalkStep>* steps) {

@@ -27,6 +27,7 @@
 #ifndef SRC_CORE_FILE_SERVER_H_
 #define SRC_CORE_FILE_SERVER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -44,6 +45,7 @@
 #include "src/core/page_store.h"
 #include "src/core/path.h"
 #include "src/core/protocol.h"
+#include "src/core/version_index.h"
 #include "src/rpc/service.h"
 
 namespace afs {
@@ -164,6 +166,17 @@ class FileServer : public Service {
   const FileServerOptions& options() const { return options_; }
   uint64_t serialise_tests_run() const { return serialise_tests_ctr_->value(); }
   uint64_t commits_fast_path() const { return commit_fast_path_->value(); }
+  uint64_t commits_sig_fast_path() const { return commit_sig_fast_->value(); }
+  uint64_t index_hits() const { return index_hits_->value(); }
+  // Total transport calls sampled into the commit.rpcs histogram (sum over all Commit()
+  // calls, every outcome) — the measured commit-path RPC cost.
+  uint64_t commit_rpcs_total() const { return commit_rpcs_->sum_ns(); }
+
+  // The in-memory version index (a cache over committed chains; version_index.h). fsck
+  // verifies it against the on-disk chains (invariant I7).
+  const VersionIndex& version_index() const { return index_; }
+  // GC pruning hook: drop index records for pruned versions of `file_id`.
+  void OnVersionsPruned(uint64_t file_id, const std::vector<BlockNo>& pruned_heads);
 
  protected:
   Result<Message> Handle(const Message& request) override;
@@ -187,6 +200,10 @@ class FileServer : public Service {
     std::vector<BlockNo> locked_subfiles;
     // Files created inside this (uncommitted) version; removed again on abort.
     std::vector<uint64_t> created_subfiles;
+    // Exact page-set signature of this update, maintained by WalkPath alongside the
+    // on-disk flag bookkeeping (version_index.h). Drops to valid=false on super-file
+    // sub-tree entry or entry-cap overflow; the commit path then walks trees as before.
+    AccessSig sig;
   };
 
   // Guard for operating on one uncommitted version: holds the per-version mutex and the
@@ -209,6 +226,9 @@ class FileServer : public Service {
   Status VerifyVersionCap(const Capability& cap, uint32_t rights, BlockNo* head);
 
   // --- file table ---
+  // Re-seed the version index from the on-disk chains (heads only; signatures and root
+  // snapshots cannot be recovered). Called after (re-)attaching to the store.
+  void RebuildVersionIndex();
   Status LoadFileTable();
   Status PersistFileTableLocked();  // requires table_mu_
   Result<FileEntry> LookupFileLocked(uint64_t file_id);
@@ -241,6 +261,8 @@ class FileServer : public Service {
   // which case no mutation is permitted (kReadOnly if the walk would need to copy).
   Result<std::vector<WalkStep>> WalkPath(VersionInfo* info, BlockNo head, const PagePath& path,
                                          uint8_t final_access, bool materialize_target);
+  // Mirror the flag updates a mutating walk made into the version's access signature.
+  void RecordWalkSig(VersionInfo* info, const PagePath& path, uint8_t final_access);
 
   // Copy-on-first-access of the child at refs[index] of `parent` (whose own head is
   // parent_bno). Handles sub-file version pages: sets the inner lock on the shared current
@@ -271,6 +293,35 @@ class FileServer : public Service {
   //   ok(true)   — commit reference set, V.b is now current.
   //   ok(false)  — base already superseded; *successor receives the next version.
   Result<bool> TestAndSetCommitRef(BlockNo base_head, BlockNo new_head, BlockNo* successor);
+
+  // --- group commit (docs/PERF.md §5a) ---
+  // One staged Commit() request. The requester loads the root and parks here; the group
+  // leader validates, links, persists and flips on its behalf, then posts the result.
+  struct PendingCommit {
+    VersionInfo* info = nullptr;
+    Page root;              // version page; leader rewrites base/commit references
+    bool done = false;      // written only under commit_mu_; the follower's wake condition
+    bool fast_path = true;  // no real merge ran: tree is this update's own, reshare is safe
+    Status validation = OkStatus();  // first validation failure (conflict or I/O)
+    Result<BlockNo> result = InternalError("commit not processed");
+    obs::Counter* outcome = nullptr;  // outcome counter for the requester's CommitScope
+    uint64_t group_size = 1;
+  };
+  // The flip-free §5.2 loop body: validate `req` against ONE committed successor c and
+  // merge on success (signature fast path first — version_index.h — then the serialiser
+  // walk). kConflict means not serialisable; the caller aborts the version.
+  Status ValidateAgainstSuccessor(PendingCommit* req, BlockNo c_head, const AccessSig* c_sig,
+                                  const Page* c_root);
+  // Classic serial commit (the per-version §5.2 flip/validate/merge loop). Also the
+  // fallback when a group flip loses to a foreign committer. Requires the version op lock.
+  Result<BlockNo> CommitSerialLocked(VersionInfo* info, Page root, obs::Counter** outcome_ctr);
+  // Stage into the commit combiner; leader election + batch processing.
+  Result<BlockNo> CommitGrouped(VersionInfo* info, Page root, obs::Counter** outcome_ctr);
+  void ProcessCommitBatch(std::vector<PendingCommit*>* batch);
+  void ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCommit*>* group);
+  // Record a committed version in the index (+ current-version hint). `reshared` commits
+  // cache no root snapshot (the reshare pass rewrites it after commit).
+  void IndexCommitted(VersionInfo* info, BlockNo base, const Page& root, bool reshared);
   // After a super-file version committed: descend, commit the copied sub-files ("these
   // commits always succeed"), clear remaining inner locks.
   Status FinishSuperCommit(VersionInfo* info);
@@ -308,6 +359,18 @@ class FileServer : public Service {
   mutable std::mutex versions_mu_;
   std::unordered_map<BlockNo, VersionInfo> uncommitted_;
 
+  // Commit combiner (group commit). Commit() stages a PendingCommit here; the first
+  // stager becomes leader and drains the queue as one batch, followers park on the
+  // condition variable until their result is posted (or they are elected leader for the
+  // next batch). Same leader/followers shape as the journal's fsync group commit.
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::vector<PendingCommit*> commit_queue_;
+  bool commit_leader_active_ = false;
+
+  // In-memory index over committed chains (cache only; see version_index.h).
+  VersionIndex index_;
+
   // Held (shared) for the duration of every mutating op; see QuiesceOps(). Acquired
   // before any other lock and never while one is held.
   mutable std::shared_mutex ops_gate_;
@@ -326,6 +389,12 @@ class FileServer : public Service {
   obs::Counter* commit_merged_;      // successful TestAndMerge passes
   obs::Counter* commit_conflicts_;   // aborted: not serialisable (or starved)
   obs::Counter* serialise_tests_ctr_;
+  obs::Counter* commit_sig_fast_;    // successor hops decided by signatures alone
+  obs::Counter* index_hits_;         // commit.index_hit: chain/root served from the index
+  obs::Counter* index_misses_;       // commit.index_miss: fell back to the chain walk
+  obs::Counter* group_fallbacks_;    // group flip lost to a foreign committer
+  obs::Histogram* commit_group_size_;
+  obs::Histogram* commit_rpcs_;      // transport calls issued by one Commit() call
   obs::Histogram* commit_latency_ns_;
   obs::Counter* cache_hits_;
   obs::Counter* cache_misses_;

@@ -2,20 +2,56 @@
 // reshare rule, cache validation (§5.4), and the RPC surface.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <mutex>
+#include <optional>
+#include <thread>
 #include <unordered_set>
 
 #include "src/base/wire.h"
+#include "src/core/commit_tuning.h"
 #include "src/core/file_server.h"
 #include "src/core/protocol.h"
 #include "src/core/serialise.h"
 #include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/rpc/client.h"
+#include "src/rpc/transport.h"
 
 namespace afs {
+namespace {
+
+// Run `tasks` with up to `max_threads` on-demand workers (the calling thread is one of
+// them). Used by the commit combiner to validate independent transactions concurrently;
+// spawn cost is microseconds against the 100µs-scale wire latency each walk pays.
+void RunParallel(std::vector<std::function<void()>>* tasks, size_t max_threads) {
+  if (tasks->size() <= 1 || max_threads <= 1) {
+    for (auto& task : *tasks) {
+      task();
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < tasks->size();) {
+      (*tasks)[i]();
+    }
+  };
+  const size_t nthreads = std::min(max_threads, tasks->size());
+  std::vector<std::thread> extra;
+  extra.reserve(nthreads - 1);
+  for (size_t t = 1; t < nthreads; ++t) {
+    extra.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& t : extra) {
+    t.join();
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Commit (§5.2)
@@ -49,16 +85,20 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
   BlockNo head;
   RETURN_IF_ERROR(VerifyVersionCap(version, Rights::kWrite, &head));
   const auto commit_start = std::chrono::steady_clock::now();
+  const uint64_t rpcs_before = Transport::ThreadCalls();
   // The whole-commit span: phase spans below it (commit.begin / commit.flip /
-  // commit.validate / commit.merge / commit.finish) tile its duration, so the critical-path
-  // analyzer can attribute commit.latency_ns to phases. Lives exactly as long as the
-  // CommitScope latency measurement.
+  // commit.validate / commit.merge / commit.finish / commit.wait) tile its duration, so the
+  // critical-path analyzer can attribute commit.latency_ns to phases. Lives exactly as long
+  // as the CommitScope latency measurement.
   obs::ScopedSpan commit_span("commit", obs::SpanKind::kPhase, head, 0);
-  // Record outcome + latency on every exit path (including early error returns past this
-  // point). Relaxed atomics only — the commit hot path takes no statistics mutex.
+  // Record outcome + latency + RPC cost on every exit path (including early error returns
+  // past this point). Relaxed atomics only — the commit hot path takes no statistics mutex.
+  // commit.rpcs counts transport calls issued by THIS thread; work a group leader performs
+  // on a parked follower's behalf lands in the leader's own sample.
   struct CommitScope {
     FileServer* fs;
     std::chrono::steady_clock::time_point start;
+    uint64_t rpcs_before;
     obs::Counter* outcome = nullptr;
     ~CommitScope() {
       auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -66,11 +106,12 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
                     .count();
       fs->commit_latency_ns_->Record(static_cast<uint64_t>(ns));
       fs->slo_commit_->Record(static_cast<uint64_t>(ns));
+      fs->commit_rpcs_->Record(Transport::ThreadCalls() - rpcs_before);
       if (outcome != nullptr) {
         outcome->Inc();
       }
     }
-  } scope{this, commit_start};
+  } scope{this, commit_start, rpcs_before};
   obs::Trace(obs::TraceEvent::kCommitBegin, head);
 
   // commit.begin: admission (version-op guard) plus the root page read.
@@ -83,11 +124,28 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
   ASSIGN_OR_RETURN(Page root, LoadPageUncached(head));
   begin_span.End();
 
+  // Super-file updates keep the classic serial path: their sub-file commit completion and
+  // lock discipline (§5.3) do not batch. Everything else goes through the combiner.
+  Result<BlockNo> result = (GroupCommitEnabled() && !info->is_super_update)
+                               ? CommitGrouped(info, std::move(root), &scope.outcome)
+                               : CommitSerialLocked(info, std::move(root), &scope.outcome);
+  if (!result.ok()) {
+    commit_span.set_status(static_cast<uint8_t>(result.status().code()));
+  }
+  return result;
+}
+
+Result<BlockNo> FileServer::CommitSerialLocked(VersionInfo* info, Page root,
+                                               obs::Counter** outcome_ctr) {
+  const BlockNo head = info->head;
+  // True while no real merge has run: the tree is exactly this update's own pages, so the
+  // §5.1 reshare pass is safe. Signature-decided no-op hops keep it (they adopt nothing);
+  // a serialiser merge clears it (grafted content must not be reshared away).
+  bool fast_path = true;
   int attempts = 0;
   for (;;) {
     if (++attempts > 256) {
-      scope.outcome = commit_conflicts_;
-      commit_span.set_status(static_cast<uint8_t>(ErrorCode::kConflict));
+      *outcome_ctr = commit_conflicts_;
       obs::Trace(obs::TraceEvent::kCommitAbort, head);
       return ConflictError("commit starved by concurrent committers");
     }
@@ -102,54 +160,56 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
     }
     // The base has a committed successor V.c: run the serialisability test and, on
     // success, merge the two updates and try to succeed V.c instead (§5.2, Figure 6).
-    // The serialiser emits the commit.validate (tree walk) and commit.merge (vectored
-    // flush) phase spans from inside TestAndMerge.
-    serialise_tests_ctr_->Inc();
-    obs::Trace(obs::TraceEvent::kCommitSerialise, head, successor);
-    Serialiser serialiser(
-        &pages_, [this](BlockNo bno) { return LoadPage(bno); },
-        [this](std::span<const BlockNo> bnos) { return LoadPagesCommitted(bnos); });
-    auto mergeable = serialiser.TestAndMerge(head, &root, successor);
-    if (!mergeable.ok() || !*mergeable) {
+    // When the index knows V.c's access signature, the test (and a no-op merge) runs
+    // entirely in memory; otherwise the serialiser walks the trees.
+    PendingCommit req;
+    req.info = info;
+    req.root = std::move(root);
+    req.fast_path = fast_path;
+    const AccessSig* c_sig = nullptr;
+    const Page* c_root = nullptr;
+    std::vector<VersionIndex::CommittedRec> recs;
+    if (VersionIndexEnabled() &&
+        index_.SuccessorsAfter(info->file_id, req.root.base_ref, &recs) && !recs.empty() &&
+        recs.front().head == successor) {
+      index_hits_->Inc();
+      c_sig = recs.front().sig.get();
+      c_root = recs.front().root.get();
+    } else if (VersionIndexEnabled()) {
+      index_misses_->Inc();
+    }
+    Status st = ValidateAgainstSuccessor(&req, successor, c_sig, c_root);
+    root = std::move(req.root);
+    fast_path = req.fast_path;
+    if (!st.ok()) {
       // "When serialise returns FALSE, the concurrent updates are not serialisable, and
       // V.b is removed, and its owner notified."
-      Status conflict = mergeable.ok()
-                            ? ConflictError("update not serialisable with committed version")
-                            : mergeable.status();
-      scope.outcome = commit_conflicts_;
-      commit_span.set_status(static_cast<uint8_t>(conflict.code()));
+      *outcome_ctr = commit_conflicts_;
       obs::Trace(obs::TraceEvent::kCommitConflict, head, successor);
       obs::ScopedSpan abort_span("commit.abort", obs::SpanKind::kPhase, head, successor);
       (void)AbortLocked(info);
-      return conflict;
+      return st;
     }
-    commit_merged_->Inc();
-    obs::Trace(obs::TraceEvent::kCommitMerge, head, successor);
-    obs::ScopedSpan merge_span("commit.merge", obs::SpanKind::kPhase, head, successor);
     root.base_ref = successor;
     RETURN_IF_ERROR(pages_.OverwritePage(head, root));
   }
 
   if (attempts == 1) {
-    scope.outcome = commit_fast_path_;
+    *outcome_ctr = commit_fast_path_;
     obs::Trace(obs::TraceEvent::kCommitFastPath, head);
   } else {
-    scope.outcome = commit_validated_;
+    *outcome_ctr = commit_validated_;
   }
   // commit.finish: current-version bookkeeping, §5.3 sub-file commit completion, and the
   // §5.1 reshare pass.
   obs::ScopedSpan finish_span("commit.finish", obs::SpanKind::kPhase, head,
                               static_cast<uint64_t>(attempts));
-  {
-    std::lock_guard<std::mutex> lock(table_mu_);
-    current_cache_[info->file_id] = head;
-  }
+  const bool reshare = options_.reshare_on_commit && fast_path;
+  IndexCommitted(info, root.base_ref, root, reshare);
   if (info->is_super_update) {
     RETURN_IF_ERROR(FinishSuperCommit(info));
   }
-  // §5.1 reshare, fast-path commits only: a merged tree contains grafted content its flags
-  // do not mark as written (see serialise.h), which resharing would silently undo.
-  if (options_.reshare_on_commit && attempts == 1) {
+  if (reshare) {
     (void)ReshareCleanPages(head);  // best effort; failures leave extra garbage for the GC
   }
   {
@@ -157,6 +217,344 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
     uncommitted_.erase(head);
   }
   return head;
+}
+
+Status FileServer::ValidateAgainstSuccessor(PendingCommit* req, BlockNo c_head,
+                                            const AccessSig* c_sig, const Page* c_root) {
+  serialise_tests_ctr_->Inc();
+  obs::Trace(obs::TraceEvent::kCommitSerialise, req->info->head, c_head);
+  if (c_sig != nullptr) {
+    switch (TestSigs(req->info->sig, *c_sig)) {
+      case SigVerdict::kConflict:
+        return ConflictError("update not serialisable with committed version");
+      case SigVerdict::kNoopMerge:
+        // Serialisable, and the merge adopts nothing: V.b's tree is already the merged
+        // tree. The successor hop costs zero page I/O.
+        commit_sig_fast_->Inc();
+        return OkStatus();
+      case SigVerdict::kUnknown:
+        break;
+    }
+  }
+  Serialiser serialiser(
+      &pages_, [this](BlockNo bno) { return LoadPage(bno); },
+      [this](std::span<const BlockNo> bnos) { return LoadPagesCommitted(bnos); });
+  auto mergeable = serialiser.TestAndMerge(req->info->head, &req->root, c_head, c_root);
+  if (!mergeable.ok()) {
+    return mergeable.status();
+  }
+  if (!*mergeable) {
+    return ConflictError("update not serialisable with committed version");
+  }
+  commit_merged_->Inc();
+  obs::Trace(obs::TraceEvent::kCommitMerge, req->info->head, c_head);
+  req->fast_path = false;  // merged trees contain grafted content; never reshared
+  return OkStatus();
+}
+
+void FileServer::IndexCommitted(VersionInfo* info, BlockNo base, const Page& root,
+                                bool reshared) {
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    current_cache_[info->file_id] = info->head;
+  }
+  if (!VersionIndexEnabled()) {
+    return;
+  }
+  VersionIndex::CommittedRec rec;
+  rec.head = info->head;
+  if (info->sig.valid) {
+    // The signature stays sound even when the commit merged or reshares: it records this
+    // update's OWN flags, which is exactly what the on-disk tree keeps (grafts enter
+    // flags-cleared; reshare only drops flags, making signature tests conservative).
+    rec.sig = std::make_shared<const AccessSig>(info->sig);
+  }
+  if (!reshared) {
+    // Reshared commits get no root snapshot: the §5.1 pass rewrites the reference table
+    // right after commit and the superseded copies become garbage, so a stale snapshot
+    // could point at freed blocks.
+    rec.root = std::make_shared<const Page>(root);
+  }
+  index_.OnCommit(info->file_id, base, std::move(rec));
+}
+
+Result<BlockNo> FileServer::CommitGrouped(VersionInfo* info, Page root,
+                                          obs::Counter** outcome_ctr) {
+  PendingCommit req;
+  req.info = info;
+  req.root = std::move(root);
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_queue_.push_back(&req);
+  for (;;) {
+    if (!req.done && commit_leader_active_) {
+      // Follower: park until the leader posts our result — or hands leadership over, in
+      // which case a not-yet-done waiter becomes the next leader.
+      obs::ScopedSpan wait_span("commit.wait", obs::SpanKind::kPhase, info->head, 0);
+      commit_cv_.wait(lock, [&] { return req.done || !commit_leader_active_; });
+    }
+    if (req.done) {
+      break;
+    }
+    // Leader: drain everything staged so far (including our own request) as one batch.
+    commit_leader_active_ = true;
+    std::vector<PendingCommit*> batch;
+    batch.swap(commit_queue_);
+    lock.unlock();
+    ProcessCommitBatch(&batch);
+    lock.lock();
+    for (PendingCommit* staged : batch) {
+      staged->done = true;
+    }
+    commit_leader_active_ = false;
+    commit_cv_.notify_all();
+  }
+  lock.unlock();
+  *outcome_ctr = req.outcome;
+  return req.result;
+}
+
+void FileServer::ProcessCommitBatch(std::vector<PendingCommit*>* batch) {
+  for (PendingCommit* req : *batch) {
+    req->group_size = batch->size();
+  }
+  // Group by file, preserving arrival order within each file.
+  std::vector<std::pair<uint64_t, std::vector<PendingCommit*>>> groups;
+  for (PendingCommit* req : *batch) {
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == req->info->file_id; });
+    if (it == groups.end()) {
+      groups.emplace_back(req->info->file_id, std::vector<PendingCommit*>{req});
+    } else {
+      it->second.push_back(req);
+    }
+  }
+  // Different files share no version-chain state, so their groups validate and flip
+  // concurrently when parallel validation is on.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(groups.size());
+  for (auto& [file_id, group] : groups) {
+    uint64_t fid = file_id;
+    std::vector<PendingCommit*>* grp = &group;
+    tasks.emplace_back([this, fid, grp] { ProcessFileCommitGroup(fid, grp); });
+  }
+  RunParallel(&tasks, ParallelValidateEnabled() ? 4 : 1);
+}
+
+void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCommit*>* group) {
+  commit_group_size_->Record(group->size());
+  // No wrapping span here: the serialiser's commit.validate / commit.merge spans must stay
+  // DIRECT children of the leader's commit span (the critical-path analyzer sums direct
+  // children only). Everything else this function does off the serialiser is in-memory and
+  // nanosecond-scale.
+
+  // Current tip of the file's committed chain. The index hint is trusted without
+  // verification — the one test-and-set below arbitrates; a stale hint just loses the
+  // flip and falls back to the serial path.
+  BlockNo tip = kNilRef;
+  if (VersionIndexEnabled()) {
+    if (auto hint = index_.CurrentHint(file_id)) {
+      index_hits_->Inc();
+      tip = *hint;
+    }
+  }
+  if (tip == kNilRef) {
+    if (VersionIndexEnabled()) {
+      index_misses_->Inc();
+    }
+    auto cur = FindCurrentHead(file_id);
+    if (!cur.ok()) {
+      for (PendingCommit* req : *group) {
+        req->result = cur.status();
+      }
+      return;
+    }
+    tip = *cur;
+  }
+
+  // Phase 1: validate every request against the committed successors of its base, up to
+  // the chain's end. Requests only touch their own private trees here, so they validate
+  // concurrently when parallel validation is on.
+  auto validate_request = [this, file_id](PendingCommit* req) {
+    const BlockNo base = req->root.base_ref;
+    std::vector<VersionIndex::CommittedRec> recs;
+    bool from_index = false;
+    if (VersionIndexEnabled() && index_.SuccessorsAfter(file_id, base, &recs)) {
+      from_index = true;
+      index_hits_->Inc();
+    }
+    if (!from_index) {
+      if (VersionIndexEnabled()) {
+        index_misses_->Inc();
+      }
+      BlockNo cur = base;
+      for (int step = 0; step < 4096; ++step) {
+        auto page = LoadPageUncached(cur);
+        if (!page.ok()) {
+          req->validation = page.status();
+          return;
+        }
+        if (page->commit_ref == kNilRef) {
+          break;
+        }
+        cur = page->commit_ref;
+        recs.push_back(VersionIndex::CommittedRec{cur, nullptr, nullptr});
+      }
+    }
+    for (const VersionIndex::CommittedRec& rec : recs) {
+      Status st = ValidateAgainstSuccessor(req, rec.head, rec.sig.get(), rec.root.get());
+      if (!st.ok()) {
+        req->validation = st;
+        return;
+      }
+    }
+  };
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(group->size());
+    for (PendingCommit* req : *group) {
+      tasks.emplace_back([&validate_request, req] { validate_request(req); });
+    }
+    RunParallel(&tasks, ParallelValidateEnabled() ? 4 : 1);
+  }
+
+  // Phase 2 (serial, arrival order): test each survivor against the group-mates accepted
+  // before it — they will be serialised between its base and its commit. Signatures decide
+  // in memory; kConflict is exact (abort), kUnknown defers the request to the serial path
+  // after the flip (a mate-merge here would graft references to pages that are still
+  // uncommitted, which the flip-failure fallback could leave dangling).
+  std::vector<PendingCommit*> accepted;
+  std::unordered_set<PendingCommit*> deferred;
+  for (PendingCommit* req : *group) {
+    if (!req->validation.ok()) {
+      continue;
+    }
+    bool defer = false;
+    for (PendingCommit* mate : accepted) {
+      serialise_tests_ctr_->Inc();
+      switch (TestSigs(req->info->sig, mate->info->sig)) {
+        case SigVerdict::kConflict:
+          req->validation = ConflictError("update not serialisable with committed version");
+          break;
+        case SigVerdict::kNoopMerge:
+          commit_sig_fast_->Inc();
+          continue;
+        case SigVerdict::kUnknown:
+          defer = true;
+          break;
+      }
+      break;
+    }
+    if (!req->validation.ok()) {
+      continue;
+    }
+    if (defer) {
+      deferred.insert(req);
+      continue;
+    }
+    if (!accepted.empty()) {
+      req->fast_path = false;  // group predecessors exist; skip reshare conservatively
+    }
+    accepted.push_back(req);
+  }
+
+  // Pre-link the winners into one chain segment w1 -> ... -> wn (base references forward,
+  // commit references backward), persist all roots in one vectored write, then publish the
+  // WHOLE segment with a single test-and-set on the old tip. Before the flip the segment
+  // is unreachable from the chain, so a crash here only leaves garbage for the GC.
+  bool flipped = false;
+  Status flip_st = OkStatus();
+  std::vector<BlockNo> heads;
+  heads.reserve(accepted.size());
+  for (PendingCommit* req : accepted) {
+    heads.push_back(req->info->head);
+  }
+  if (!accepted.empty()) {
+    for (size_t i = 0; i < accepted.size(); ++i) {
+      accepted[i]->root.base_ref = i == 0 ? tip : heads[i - 1];
+      accepted[i]->root.commit_ref = i + 1 < accepted.size() ? heads[i + 1] : kNilRef;
+    }
+    std::vector<PageStore::PendingOverwrite> writes;
+    writes.reserve(accepted.size());
+    for (PendingCommit* req : accepted) {
+      PageStore::PendingOverwrite po;
+      po.head = req->info->head;
+      po.page = req->root;
+      writes.push_back(std::move(po));
+    }
+    flip_st = pages_.OverwritePages(std::move(writes));
+    if (flip_st.ok()) {
+      obs::ScopedSpan flip_span("commit.flip", obs::SpanKind::kPhase, tip, accepted.size());
+      BlockNo foreign = kNilRef;
+      auto won = TestAndSetCommitRef(tip, heads[0], &foreign);
+      if (!won.ok()) {
+        flip_st = won.status();
+      } else {
+        flipped = *won;
+      }
+    }
+  }
+
+  if (!accepted.empty() && flipped) {
+    obs::ScopedSpan finish_span("commit.finish", obs::SpanKind::kPhase, file_id,
+                                accepted.size());
+    for (size_t i = 0; i < accepted.size(); ++i) {
+      PendingCommit* req = accepted[i];
+      const BlockNo base = i == 0 ? tip : heads[i - 1];
+      const bool reshare = options_.reshare_on_commit && req->fast_path;
+      IndexCommitted(req->info, base, req->root, reshare);
+      if (reshare) {
+        (void)ReshareCleanPages(heads[i]);  // best effort
+      }
+      req->outcome = req->fast_path ? commit_fast_path_ : commit_validated_;
+      if (req->fast_path) {
+        obs::Trace(obs::TraceEvent::kCommitFastPath, heads[i]);
+      }
+      req->result = heads[i];
+      std::lock_guard<std::mutex> lock(versions_mu_);
+      uncommitted_.erase(heads[i]);  // destroys req->info; nothing touches it past here
+    }
+  } else if (!accepted.empty()) {
+    // The flip lost to a foreign committer (or persisting failed). Un-link the segment in
+    // memory and push every winner through the classic serial path, which re-persists each
+    // root (nil commit reference, real base) before the version can become reachable: its
+    // first flip lands on the superseded `tip` and always merges before winning.
+    group_fallbacks_->Inc();
+    if (VersionIndexEnabled()) {
+      index_.ForgetFile(file_id);  // the index missed a foreign commit; drop the suffix
+    }
+    for (PendingCommit* req : accepted) {
+      req->root.commit_ref = kNilRef;
+      req->root.base_ref = tip;
+      if (!flip_st.ok()) {
+        req->validation = flip_st;  // persisting failed: abort rather than risk stale links
+      } else {
+        deferred.insert(req);
+      }
+    }
+  }
+
+  // Deferred requests (sig-undecidable against mates, or flip-fallback) run the classic
+  // serial loop now, in arrival order, against the freshly extended on-disk chain.
+  for (PendingCommit* req : *group) {
+    if (deferred.count(req) == 0) {
+      continue;
+    }
+    obs::Counter* outcome = nullptr;
+    req->result = CommitSerialLocked(req->info, std::move(req->root), &outcome);
+    req->outcome = outcome;
+  }
+
+  // Validation failures: remove the version and notify the owner (§5.2).
+  for (PendingCommit* req : *group) {
+    if (req->validation.ok()) {
+      continue;
+    }
+    req->outcome = req->validation.code() == ErrorCode::kConflict ? commit_conflicts_ : nullptr;
+    obs::Trace(obs::TraceEvent::kCommitConflict, req->info->head, 0);
+    obs::ScopedSpan abort_span("commit.abort", obs::SpanKind::kPhase, req->info->head, 0);
+    (void)AbortLocked(req->info);
+    req->result = req->validation;
+  }
 }
 
 Status FileServer::FinishSuperCommit(VersionInfo* info) {
@@ -465,6 +863,7 @@ void FileServer::OnRestart() {
     std::lock_guard<std::mutex> lock(table_mu_);
     current_cache_.clear();
   }
+  index_.Clear();  // AttachStore re-seeds it (heads only) from the on-disk chains
   (void)AttachStore();
 }
 

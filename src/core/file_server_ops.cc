@@ -99,6 +99,9 @@ Status FileServer::DeleteFile(const Capability& file) {
     }
   }
   ReleaseBlockLock(table_head_, block_lock);
+  if (st.ok()) {
+    index_.ForgetFile(file_id);
+  }
   return st;  // pages become unreachable; the garbage collector reclaims them
 }
 

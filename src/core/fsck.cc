@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace afs {
@@ -61,6 +62,9 @@ std::string FsckReport::ToString() const {
   os << (clean ? "CLEAN" : "CORRUPT") << ": " << files << " file(s), " << committed_versions
      << " committed version(s), " << pages_checked << " page(s), " << blocks_reachable
      << " block(s) reachable, " << blocks_garbage << " garbage";
+  if (index_records > 0) {
+    os << ", " << index_records << " index record(s) verified";
+  }
   if (blocks_archived > 0) {
     os << ", " << blocks_archived << " archived (" << archived_verified << " verified, "
        << archived_corrupt << " corrupt)";
@@ -88,6 +92,17 @@ FsckReport RunFsck(FileServer* server, const FsckOptions& options) {
   }
   for (BlockNo bno : *table_blocks) {
     reachable.insert(bno);
+  }
+
+  // I7: snapshot the version index up front, BEFORE the chain walks. A commit landing in
+  // between then only makes the snapshot lag the disk — a state the check tolerates (a
+  // suffix may stop short of the tip) — never the reverse.
+  std::unordered_map<uint64_t, std::vector<VersionIndex::CommittedRec>> index_suffixes;
+  if (options.verify_version_index) {
+    std::vector<VersionIndex::FileSnapshot> snaps = server->version_index().Snapshot();
+    for (VersionIndex::FileSnapshot& snap : snaps) {
+      index_suffixes.emplace(snap.file_id, std::move(snap.suffix));
+    }
   }
 
   for (const FileServer::FileEntry& entry : server->SnapshotFileTable()) {
@@ -143,6 +158,94 @@ FsckReport RunFsck(FileServer* server, const FsckOptions& options) {
         }
       }
     }
+    // I7: the server's version index must agree with the on-disk chain it caches.
+    if (auto idx_it = index_suffixes.find(entry.file_id); idx_it != index_suffixes.end()) {
+      std::unordered_map<BlockNo, size_t> chain_pos;
+      for (size_t i = 0; i < chain->size(); ++i) {
+        chain_pos[(*chain)[i]] = i;
+      }
+      size_t prev_pos = 0;
+      for (size_t i = 0; i < idx_it->second.size(); ++i) {
+        const VersionIndex::CommittedRec& rec = idx_it->second[i];
+        ++report.index_records;
+        auto at = chain_pos.find(rec.head);
+        if (at == chain_pos.end()) {
+          report.clean = false;
+          report.errors.push_back(file_tag + ": version index references head " +
+                                  std::to_string(rec.head) +
+                                  " that is not on the committed chain");
+          break;
+        }
+        if (i > 0 && at->second != prev_pos + 1) {
+          report.clean = false;
+          report.errors.push_back(file_tag +
+                                  ": version index suffix is not a contiguous run of the "
+                                  "chain at head " +
+                                  std::to_string(rec.head));
+          break;
+        }
+        prev_pos = at->second;
+        if (rec.root == nullptr) {
+          continue;  // heads-only record (reshared or re-seeded after recovery)
+        }
+        auto disk = pages->ReadPage(rec.head);
+        if (!disk.ok()) {
+          continue;  // the I2 pass above already reported the unreadable page
+        }
+        // Only the fields the serialiser consumes from a snapshot are compared: kind,
+        // reference table and data. Header fields that legitimately mutate after commit
+        // (commit reference, locks, the base reference the GC rewrites) are excluded.
+        bool match = disk->kind == rec.root->kind && disk->data == rec.root->data &&
+                     disk->refs.size() == rec.root->refs.size();
+        for (size_t r = 0; match && r < disk->refs.size(); ++r) {
+          match = disk->refs[r].block == rec.root->refs[r].block &&
+                  disk->refs[r].flags == rec.root->refs[r].flags;
+        }
+        if (!match) {
+          report.clean = false;
+          report.errors.push_back(file_tag + ": version index root snapshot for head " +
+                                  std::to_string(rec.head) +
+                                  " disagrees with the persisted version page");
+          continue;
+        }
+        // A valid no-Modified signature records the flags this update set; every flag it
+        // claims must be present in the persisted tables (disk may hold MORE — flags that
+        // predate the update — but never less).
+        if (rec.sig != nullptr && rec.sig->valid && !rec.sig->has_modified) {
+          for (const auto& [key, sig_flags] : rec.sig->refs) {
+            uint8_t disk_flags = 0;
+            bool comparable = false;
+            if (key.empty()) {
+              disk_flags = disk->root_flags;
+              comparable = true;
+            } else if (key.size() == 4) {  // depth 1: resolvable from the root snapshot
+              uint32_t slot = static_cast<uint32_t>(static_cast<uint8_t>(key[0])) |
+                              static_cast<uint32_t>(static_cast<uint8_t>(key[1])) << 8 |
+                              static_cast<uint32_t>(static_cast<uint8_t>(key[2])) << 16 |
+                              static_cast<uint32_t>(static_cast<uint8_t>(key[3])) << 24;
+              if (slot >= disk->refs.size()) {
+                report.clean = false;
+                report.errors.push_back(file_tag +
+                                        ": version index signature names reference slot " +
+                                        std::to_string(slot) +
+                                        " beyond the persisted table of head " +
+                                        std::to_string(rec.head));
+                continue;
+              }
+              disk_flags = disk->refs[slot].flags;
+              comparable = true;
+            }
+            if (comparable && (sig_flags & ~disk_flags) != 0) {
+              report.clean = false;
+              report.errors.push_back(
+                  file_tag + ": version index signature claims flags the persisted page " +
+                  std::to_string(rec.head) + " does not carry");
+            }
+          }
+        }
+      }
+    }
+
     // I3/I4: walk every retained version tree.
     std::unordered_set<BlockNo> base_pages;
     for (size_t i = 0; i < chain->size(); ++i) {

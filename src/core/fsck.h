@@ -14,6 +14,13 @@
 //       from the file table, a retained version tree, a reported uncommitted version, or
 //       is explicitly tolerated garbage (awaiting GC).
 //   I6  Locks in current version pages are either clear or held by live ports.
+//   I7  The server's in-memory version index (version_index.h) agrees with the on-disk
+//       chains: every indexed suffix is a contiguous run of its file's committed chain,
+//       cached root snapshots match the persisted version pages (excluding the header
+//       fields that mutate after commit: commit reference, locks, and the base reference
+//       the GC rewrites on the oldest version), and access signatures without a Modified
+//       flag match the persisted root-level flag table. The index may lag the disk (a
+//       suffix may stop short of the current tip) — it must never contradict it.
 
 #ifndef SRC_CORE_FSCK_H_
 #define SRC_CORE_FSCK_H_
@@ -29,6 +36,11 @@ struct FsckOptions {
   // Garbage (unreachable blocks) is normal between GC cycles; fail on it only when a
   // quiescent, freshly collected store is expected.
   bool fail_on_garbage = false;
+  // I7: cross-check the server's in-memory version index against the on-disk chains.
+  // On by default (cheap: the chains are already in hand); only meaningful on a quiescent
+  // server — a commit in flight between the index snapshot and the chain walk can show up
+  // as a spurious mismatch.
+  bool verify_version_index = true;
 };
 
 struct FsckReport {
@@ -40,6 +52,9 @@ struct FsckReport {
   uint64_t pages_checked = 0;
   uint64_t blocks_reachable = 0;
   uint64_t blocks_garbage = 0;
+  // I7: version-index records cross-checked against the disk (0 when the check is off or
+  // the index is empty).
+  uint64_t index_records = 0;
   // Blocks resident on the archive tier, and how many of them verified / failed their
   // archive CRC. Filled by RunTieredFsck (src/tier) on tiered deployments; zero otherwise.
   uint64_t blocks_archived = 0;

@@ -99,6 +99,13 @@ Status GarbageCollector::PruneOldVersions() {
     RETURN_IF_ERROR(pages->UnlockBlock(new_oldest, fs->port()));
     RETURN_IF_ERROR(st);
     RETURN_IF_ERROR(fs->SetOldestHead(entry.file_id, new_oldest));
+    // Every server's in-memory version index must drop the pruned records before the sweep
+    // can free their pages (a stale cached root could otherwise reference freed blocks).
+    std::vector<BlockNo> pruned_heads(chain->begin(),
+                                      chain->begin() + static_cast<ptrdiff_t>(cut));
+    for (FileServer* server : servers_) {
+      server->OnVersionsPruned(entry.file_id, pruned_heads);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     stats_.versions_pruned += cut;
   }

@@ -29,7 +29,8 @@ Serialiser::Serialiser(PageStore* pages, std::function<Result<Page>(BlockNo)> lo
       load_committed_(std::move(load_committed)),
       load_committed_multi_(std::move(load_committed_multi)) {}
 
-Result<bool> Serialiser::TestAndMerge(BlockNo b_head, Page* b_root, BlockNo c_head) {
+Result<bool> Serialiser::TestAndMerge(BlockNo b_head, Page* b_root, BlockNo c_head,
+                                      const Page* c_root_hint) {
   pages_visited_ = 0;
   pending_overwrites_.clear();
   // commit.validate covers the in-memory walk (test + merge planning); commit.merge the
@@ -37,7 +38,12 @@ Result<bool> Serialiser::TestAndMerge(BlockNo b_head, Page* b_root, BlockNo c_he
   // SIBLING phases under the commit span, not nested — the critical-path analyzer sums
   // direct children only.
   obs::ScopedSpan validate_span("commit.validate", obs::SpanKind::kPhase, b_head, c_head);
-  ASSIGN_OR_RETURN(Page c_root, load_committed_(c_head));
+  Page c_root;
+  if (c_root_hint != nullptr) {
+    c_root = *c_root_hint;
+  } else {
+    ASSIGN_OR_RETURN(c_root, load_committed_(c_head));
+  }
   // The root page is always copied in both versions; its access flags are the manager-kept
   // root_flags.
   ASSIGN_OR_RETURN(bool ok, MergePages(b_root->root_flags, b_root, c_root.root_flags, c_root,

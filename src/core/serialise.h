@@ -65,7 +65,13 @@ class Serialiser {
   // Merged child pages are rewritten with ONE vectored flush at the end of a successful
   // walk (PageStore::OverwritePages) rather than one OverwritePage per child — and using
   // the chain lists the prefetch reads already produced, so no chain is walked twice.
-  Result<bool> TestAndMerge(BlockNo b_head, Page* b_root, BlockNo c_head);
+  //
+  // `c_root_hint`, when non-null, is V.c's root page as persisted at its commit; the walk
+  // uses it instead of reading c_head, saving the root RPC. Only the flags, references and
+  // data of the hint are consulted (mutable header fields — commit reference, locks — play
+  // no role in the test), so a snapshot taken at commit time stays valid.
+  Result<bool> TestAndMerge(BlockNo b_head, Page* b_root, BlockNo c_head,
+                            const Page* c_root_hint = nullptr);
 
   // Pages visited on both sides during the last TestAndMerge — the paper's claim C3 is
   // that this tracks accessed-set size, not file size.

@@ -1,0 +1,158 @@
+#include "src/core/version_index.h"
+
+#include <algorithm>
+
+#include "src/core/serialise.h"
+
+namespace afs {
+
+std::string SigKey(const PagePath& path, size_t depth) {
+  std::string key;
+  key.reserve(depth * 4);
+  for (size_t d = 0; d < depth; ++d) {
+    uint32_t index = path.at(d);
+    key.push_back(static_cast<char>(index & 0xff));
+    key.push_back(static_cast<char>((index >> 8) & 0xff));
+    key.push_back(static_cast<char>((index >> 16) & 0xff));
+    key.push_back(static_cast<char>((index >> 24) & 0xff));
+  }
+  return key;
+}
+
+SigVerdict TestSigs(const AccessSig& b, const AccessSig& c) {
+  if (!b.valid || !c.valid) {
+    return SigVerdict::kUnknown;
+  }
+  // Any Modified flag restructures a reference table, so path keys below it no longer
+  // align between the two trees; only the walk (which recurses through the actual tables)
+  // can compare them.
+  if (b.has_modified || c.has_modified) {
+    return SigVerdict::kUnknown;
+  }
+  // Conflict scan over the smaller signature: a path present in both sides corresponds
+  // exactly to a both-copied reference pair in the aligned tree walk (no M anywhere, so
+  // the tables kept the base version's shape), and the flags here are the flags the walk
+  // would read from disk. A path present on one side only has zero flags on the other,
+  // which never conflicts.
+  const AccessSig& outer = b.refs.size() <= c.refs.size() ? b : c;
+  const AccessSig& inner = (&outer == &b) ? c : b;
+  for (const auto& [key, flags] : outer.refs) {
+    auto it = inner.refs.find(key);
+    if (it == inner.refs.end()) {
+      continue;
+    }
+    const uint8_t fb = (&outer == &b) ? flags : it->second;
+    const uint8_t fc = (&outer == &b) ? it->second : flags;
+    if (FlagsConflict(fb, fc)) {
+      return SigVerdict::kConflict;
+    }
+  }
+  // Serialisable. The merge is a no-op iff it would adopt nothing from c:
+  //   * every page c WROTE is also written by b (b serialises after c, so b's data wins
+  //     and the walk's adoption `b.data = c.data` never fires);
+  //   * c paths b never copied carry no writes, so the walk's graft would share content
+  //     b's tree already shares via its base — skipping it preserves every byte. (It also
+  //     sidesteps grafting copies the §5.1 reshare pass may later redirect to garbage.)
+  // Anything else needs the real merge.
+  for (const auto& [key, fc] : c.refs) {
+    if ((fc & RefFlag::kWritten) == 0) {
+      continue;
+    }
+    auto it = b.refs.find(key);
+    if (it == b.refs.end() || (it->second & RefFlag::kWritten) == 0) {
+      return SigVerdict::kUnknown;
+    }
+  }
+  return SigVerdict::kNoopMerge;
+}
+
+void VersionIndex::OnCommit(uint64_t file_id, BlockNo base, CommittedRec rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::deque<CommittedRec>& suffix = files_[file_id];
+  if (!suffix.empty() && suffix.back().head != base) {
+    // The flip succeeded a head this index never saw (another server's commit landed in
+    // between): the suffix is no longer a contiguous chain segment. Restart it.
+    suffix.clear();
+  }
+  suffix.push_back(std::move(rec));
+  while (suffix.size() > kMaxRecordsPerFile) {
+    suffix.pop_front();
+  }
+}
+
+void VersionIndex::SeedChain(uint64_t file_id, const std::vector<BlockNo>& chain) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::deque<CommittedRec>& suffix = files_[file_id];
+  suffix.clear();
+  const size_t start = chain.size() > kMaxRecordsPerFile ? chain.size() - kMaxRecordsPerFile : 0;
+  for (size_t i = start; i < chain.size(); ++i) {
+    suffix.push_back(CommittedRec{chain[i], nullptr, nullptr});
+  }
+}
+
+std::optional<BlockNo> VersionIndex::CurrentHint(uint64_t file_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(file_id);
+  if (it == files_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  return it->second.back().head;
+}
+
+bool VersionIndex::SuccessorsAfter(uint64_t file_id, BlockNo base,
+                                   std::vector<CommittedRec>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return false;
+  }
+  const std::deque<CommittedRec>& suffix = it->second;
+  for (size_t i = 0; i < suffix.size(); ++i) {
+    if (suffix[i].head == base) {
+      out->assign(suffix.begin() + static_cast<ptrdiff_t>(i) + 1, suffix.end());
+      return true;
+    }
+  }
+  return false;
+}
+
+void VersionIndex::Forget(uint64_t file_id, const std::vector<BlockNo>& pruned_heads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return;
+  }
+  std::deque<CommittedRec>& suffix = it->second;
+  // Pruned versions are always the oldest of the chain, so they can only be a prefix of
+  // the suffix window.
+  while (!suffix.empty() &&
+         std::find(pruned_heads.begin(), pruned_heads.end(), suffix.front().head) !=
+             pruned_heads.end()) {
+    suffix.pop_front();
+  }
+}
+
+void VersionIndex::ForgetFile(uint64_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(file_id);
+}
+
+void VersionIndex::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+}
+
+std::vector<VersionIndex::FileSnapshot> VersionIndex::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FileSnapshot> out;
+  out.reserve(files_.size());
+  for (const auto& [file_id, suffix] : files_) {
+    FileSnapshot snap;
+    snap.file_id = file_id;
+    snap.suffix.assign(suffix.begin(), suffix.end());
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace afs

@@ -12,7 +12,10 @@ namespace afs {
 
 namespace {
 std::atomic<uint64_t> g_transport_uid{1};
+thread_local uint64_t t_thread_calls = 0;
 }  // namespace
+
+uint64_t Transport::ThreadCalls() { return t_thread_calls; }
 
 Transport::Transport(std::string metrics_name)
     : metrics_(std::move(metrics_name)),
@@ -37,6 +40,7 @@ uint64_t Transport::ThreadClientId() {
 }
 
 Result<Message> Transport::Call(Port target, Message request, const CallOptions& options) {
+  ++t_thread_calls;
   if (request.payload.size() > kMaxMessageBytes) {
     return InvalidArgumentError("message exceeds 32K transaction limit");
   }

@@ -106,6 +106,10 @@ class Transport {
   // -- Introspection --------------------------------------------------------
 
   uint64_t total_calls() const { return sends_->value(); }
+  // Logical Call()s issued by the CURRENT THREAD across all transports, monotonically
+  // increasing. Delta around a code region = that region's RPC cost on this thread (used
+  // by the commit path's commit.rpcs histogram). Counts logical calls, not retransmits.
+  static uint64_t ThreadCalls();
   uint64_t dropped_calls() const { return timeouts_->value(); }
   uint64_t dropped_replies() const { return reply_drops_->value(); }
   uint64_t retransmits() const { return retransmits_->value(); }

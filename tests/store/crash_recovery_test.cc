@@ -8,6 +8,11 @@
 
 #include <filesystem>
 
+#include "src/block/block_server.h"
+#include "src/block/block_store.h"
+#include "src/core/file_server.h"
+#include "src/core/fsck.h"
+#include "src/rpc/network.h"
 #include "src/store/crash_point.h"
 #include "src/store/file_disk.h"
 
@@ -166,6 +171,89 @@ TEST(CrashRecoveryTest, TornTailNeverResurfacesAcrossGenerations) {
     EXPECT_EQ(out, std::vector<uint8_t>(kBlockSize, 0)) << "block " << bno;
   }
 }
+
+// The whole file service over every crash point: a FileServer commits through a
+// BlockServer backed by one crash-injected FileDisk, the power goes out at the
+// parameterised point (inside a doomed update for journal points, inside a checkpoint
+// otherwise), and after remount + recovery the re-attached server must (a) serve the
+// acknowledged commit and (b) pass fsck I1–I7 — including I7, which cross-checks the
+// version index RebuildVersionIndex re-seeded from the recovered chains.
+class FileServiceCrashPointTest : public ::testing::TestWithParam<CrashPoint> {};
+
+TEST_P(FileServiceCrashPointTest, RecoveredStorePassesFsckWithVersionIndex) {
+  const CrashPoint point = GetParam();
+  const std::string path = ScratchPath(std::string("fs_crash_") + CrashPointName(point));
+  FileDiskOptions options;
+  options.block_size = 4096;
+  options.num_blocks = 1 << 12;
+  CrashPointInjector injector;
+  Capability file_cap;
+  const std::vector<uint8_t> payload = Pattern(3);
+  {
+    auto disk = FileDisk::Open(path, options, &injector);
+    ASSERT_TRUE(disk.ok()) << disk.status().message();
+    Network net(7);
+    BlockServer bs(&net, "bs", disk->get(), 101);
+    bs.Start();
+    Capability account = bs.CreateAccountDirect();
+    BlockClient client(&net, bs.port(), account, bs.payload_capacity());
+    FileServer fs(&net, "fs0", &client);
+    fs.Start();
+    ASSERT_TRUE(fs.AttachStore().ok());
+    auto file = fs.CreateFile();
+    ASSERT_TRUE(file.ok());
+    file_cap = *file;
+    auto v = fs.CreateVersion(file_cap, kNullPort, false);
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(fs.WritePage(*v, PagePath::Root(), payload).ok());
+    ASSERT_TRUE(fs.Commit(*v).ok());
+
+    injector.Arm(point);
+    if (IsJournalPoint(point)) {
+      // The cut fires inside this doomed second update, well before its flip could
+      // execute — so whatever block writes leak to disk are unreachable garbage.
+      auto doomed = fs.CreateVersion(file_cap, kNullPort, false);
+      bool survived = doomed.ok() &&
+                      fs.WritePage(*doomed, PagePath::Root(), Pattern(9)).ok() &&
+                      fs.Commit(*doomed).ok();
+      EXPECT_FALSE(survived);
+    } else {
+      EXPECT_FALSE((*disk)->Checkpoint().ok());
+    }
+    ASSERT_TRUE(injector.fired()) << "crash point never reached: " << CrashPointName(point);
+  }
+
+  // Reboot: remount the post-crash image, recover, re-attach the file service.
+  auto disk = FileDisk::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().message();
+  Network net(7);
+  BlockServer bs(&net, "bs", disk->get(), 101);
+  bs.Start();
+  bs.RecoverFromDisk();
+  Capability account = bs.CreateAccountDirect();
+  BlockClient client(&net, bs.port(), account, bs.payload_capacity());
+  FileServer fs(&net, "fs0", &client);
+  fs.Start();
+  ASSERT_TRUE(fs.AttachStore().ok());
+
+  auto current = fs.GetCurrentVersion(file_cap);
+  ASSERT_TRUE(current.ok()) << current.status().message();
+  auto read = fs.ReadPage(*current, PagePath::Root(), false);
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  EXPECT_EQ(read->data, payload);
+
+  // I1–I7 on the recovered store; the doomed update's leaked blocks are garbage, which
+  // stays a warning. index_records > 0 proves I7 checked the re-seeded index.
+  FsckReport report = RunFsck(&fs);
+  EXPECT_TRUE(report.clean) << report.ToString();
+  EXPECT_GT(report.index_records, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCrashPoints, FileServiceCrashPointTest,
+                         ::testing::ValuesIn(kAllCrashPoints),
+                         [](const ::testing::TestParamInfo<CrashPoint>& info) {
+                           return CrashPointName(info.param);
+                         });
 
 // Crash during an *automatic* checkpoint (triggered by the journal-size threshold from
 // inside a Write) must preserve every previously acknowledged write too.
