@@ -302,6 +302,14 @@ class FileServer : public Service {
     Page root;              // version page; leader rewrites base/commit references
     bool done = false;      // written only under commit_mu_; the follower's wake condition
     bool fast_path = true;  // no real merge ran: tree is this update's own, reshare is safe
+    // Validation could not run to the chain end against a trusted tip (successor walk hit
+    // its step cap, or the index's tip hint is not a successor of this base): skip the
+    // group flip and run the classic serial loop, which walks one successor at a time.
+    bool defer_serial = false;
+    // Last committed head this request's phase-1 validation covered (its base when the
+    // chain had no successors). The flip-loss fallback re-bases onto this, never onto a
+    // tip that could sit BEHIND the request's own base.
+    BlockNo validated_end = kNilRef;
     Status validation = OkStatus();  // first validation failure (conflict or I/O)
     Result<BlockNo> result = InternalError("commit not processed");
     obs::Counter* outcome = nullptr;  // outcome counter for the requester's CommitScope

@@ -42,13 +42,22 @@ void RunParallel(std::vector<std::function<void()>>* tasks, size_t max_threads) 
   const size_t nthreads = std::min(max_threads, tasks->size());
   std::vector<std::thread> extra;
   extra.reserve(nthreads - 1);
+  // Fold each worker's transport-call count back into the calling thread at join, so the
+  // leader's commit.rpcs sample (a Transport::ThreadCalls delta) keeps counting RPCs the
+  // workers issued on its behalf. A fresh thread's counter starts at zero, so its final
+  // value IS its delta — and nested RunParallel calls compose the same way.
+  std::atomic<uint64_t> worker_calls{0};
   for (size_t t = 1; t < nthreads; ++t) {
-    extra.emplace_back(worker);
+    extra.emplace_back([&worker, &worker_calls] {
+      worker();
+      worker_calls.fetch_add(Transport::ThreadCalls(), std::memory_order_relaxed);
+    });
   }
   worker();
   for (std::thread& t : extra) {
     t.join();
   }
+  Transport::AddThreadCalls(worker_calls.load(std::memory_order_relaxed));
 }
 
 }  // namespace
@@ -94,7 +103,8 @@ Result<BlockNo> FileServer::Commit(const Capability& version) {
   // Record outcome + latency + RPC cost on every exit path (including early error returns
   // past this point). Relaxed atomics only — the commit hot path takes no statistics mutex.
   // commit.rpcs counts transport calls issued by THIS thread; work a group leader performs
-  // on a parked follower's behalf lands in the leader's own sample.
+  // on a parked follower's behalf lands in the leader's own sample, and RunParallel folds
+  // its worker threads' calls back into the leader so parallel validation is not lost.
   struct CommitScope {
     FileServer* fs;
     std::chrono::steady_clock::time_point start;
@@ -347,9 +357,9 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
   // children only). Everything else this function does off the serialiser is in-memory and
   // nanosecond-scale.
 
-  // Current tip of the file's committed chain. The index hint is trusted without
-  // verification — the one test-and-set below arbitrates; a stale hint just loses the
-  // flip and falls back to the serial path.
+  // Current tip of the file's committed chain. The hint needs no up-front verification —
+  // the one test-and-set below arbitrates, and phase 1 defers any request whose base the
+  // hint does not dominate — but a stale hint costs a lost flip and the serial fallback.
   BlockNo tip = kNilRef;
   if (VersionIndexEnabled()) {
     if (auto hint = index_.CurrentHint(file_id)) {
@@ -374,7 +384,7 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
   // Phase 1: validate every request against the committed successors of its base, up to
   // the chain's end. Requests only touch their own private trees here, so they validate
   // concurrently when parallel validation is on.
-  auto validate_request = [this, file_id](PendingCommit* req) {
+  auto validate_request = [this, file_id, tip](PendingCommit* req) {
     const BlockNo base = req->root.base_ref;
     std::vector<VersionIndex::CommittedRec> recs;
     bool from_index = false;
@@ -387,6 +397,7 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
         index_misses_->Inc();
       }
       BlockNo cur = base;
+      bool reached_end = false;
       for (int step = 0; step < 4096; ++step) {
         auto page = LoadPageUncached(cur);
         if (!page.ok()) {
@@ -394,11 +405,34 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
           return;
         }
         if (page->commit_ref == kNilRef) {
+          reached_end = true;
           break;
         }
         cur = page->commit_ref;
         recs.push_back(VersionIndex::CommittedRec{cur, nullptr, nullptr});
       }
+      if (!reached_end) {
+        // Step cap hit before the chain end: `recs` is a truncated view and validating
+        // against it alone would silently skip successors. Defer to the serial loop,
+        // which validates one flip at a time and aborts loudly if it starves.
+        req->defer_serial = true;
+        return;
+      }
+    }
+    // The segment will be based on `tip`, so `tip` must be at-or-after this base on the
+    // chain (base itself, or one of its successors). A hint that lags — e.g. a commit the
+    // index never saw — would otherwise re-base this request onto an ANCESTOR of its own
+    // base and the fallback would validate it against its own history. Defer instead.
+    bool tip_at_or_after_base = base == tip;
+    for (const VersionIndex::CommittedRec& rec : recs) {
+      if (rec.head == tip) {
+        tip_at_or_after_base = true;
+        break;
+      }
+    }
+    if (!tip_at_or_after_base) {
+      req->defer_serial = true;
+      return;
     }
     for (const VersionIndex::CommittedRec& rec : recs) {
       Status st = ValidateAgainstSuccessor(req, rec.head, rec.sig.get(), rec.root.get());
@@ -407,6 +441,7 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
         return;
       }
     }
+    req->validated_end = recs.empty() ? base : recs.back().head;
   };
   {
     std::vector<std::function<void()>> tasks;
@@ -426,6 +461,10 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
   std::unordered_set<PendingCommit*> deferred;
   for (PendingCommit* req : *group) {
     if (!req->validation.ok()) {
+      continue;
+    }
+    if (req->defer_serial) {
+      deferred.insert(req);  // phase 1 could not cover its chain; classic loop instead
       continue;
     }
     bool defer = false;
@@ -462,7 +501,9 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
   // WHOLE segment with a single test-and-set on the old tip. Before the flip the segment
   // is unreachable from the chain, so a crash here only leaves garbage for the GC.
   bool flipped = false;
-  Status flip_st = OkStatus();
+  bool persisted = false;
+  Status persist_st = OkStatus();  // pre-flip failure: the segment is still unreachable
+  Status flip_err = OkStatus();    // flip RPC error: the flip MAY have been applied
   std::vector<BlockNo> heads;
   heads.reserve(accepted.size());
   for (PendingCommit* req : accepted) {
@@ -481,13 +522,14 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
       po.page = req->root;
       writes.push_back(std::move(po));
     }
-    flip_st = pages_.OverwritePages(std::move(writes));
-    if (flip_st.ok()) {
+    persist_st = pages_.OverwritePages(std::move(writes));
+    persisted = persist_st.ok();
+    if (persisted) {
       obs::ScopedSpan flip_span("commit.flip", obs::SpanKind::kPhase, tip, accepted.size());
       BlockNo foreign = kNilRef;
       auto won = TestAndSetCommitRef(tip, heads[0], &foreign);
       if (!won.ok()) {
-        flip_st = won.status();
+        flip_err = won.status();
       } else {
         flipped = *won;
       }
@@ -513,20 +555,40 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
       std::lock_guard<std::mutex> lock(versions_mu_);
       uncommitted_.erase(heads[i]);  // destroys req->info; nothing touches it past here
     }
+  } else if (!accepted.empty() && !persisted) {
+    // Persisting the segment roots failed BEFORE the flip: nothing made the segment
+    // reachable, so aborting (which frees the versions' blocks) is safe.
+    for (PendingCommit* req : accepted) {
+      req->validation = persist_st;
+    }
+  } else if (!accepted.empty() && !flip_err.ok()) {
+    // The flip call itself errored. Over a lossy transport the commit-reference write may
+    // have been APPLIED even though the call reported failure (reply dropped, timeout), so
+    // the segment could already be published. Do NOT abort — that would free blocks a
+    // committed chain might reference. Return the error to each requester, exactly as the
+    // serial path propagates a flip error, and leave cleanup to explicit abort/GC.
+    if (VersionIndexEnabled()) {
+      index_.ForgetFile(file_id);  // tip state is unknown now; drop the suffix
+    }
+    for (PendingCommit* req : accepted) {
+      req->result = flip_err;
+    }
   } else if (!accepted.empty()) {
-    // The flip lost to a foreign committer (or persisting failed). Un-link the segment in
-    // memory and push every winner through the classic serial path, which re-persists each
-    // root (nil commit reference, real base) before the version can become reachable: its
-    // first flip lands on the superseded `tip` and always merges before winning.
+    // The flip cleanly lost to a foreign committer. Un-link the segment in memory,
+    // re-base each winner onto the chain end its own validation covered (NEVER `tip`,
+    // which under a stale hint can sit behind a member's base), re-persist the corrected
+    // root — the on-disk copy still carries the segment links, and the serial loop may
+    // win its first flip without rewriting it — then run the classic serial path.
     group_fallbacks_->Inc();
     if (VersionIndexEnabled()) {
       index_.ForgetFile(file_id);  // the index missed a foreign commit; drop the suffix
     }
     for (PendingCommit* req : accepted) {
       req->root.commit_ref = kNilRef;
-      req->root.base_ref = tip;
-      if (!flip_st.ok()) {
-        req->validation = flip_st;  // persisting failed: abort rather than risk stale links
+      req->root.base_ref = req->validated_end;
+      Status st = pages_.OverwritePage(req->info->head, req->root);
+      if (!st.ok()) {
+        req->validation = st;  // root state uncertain but unreachable: abort is safe
       } else {
         deferred.insert(req);
       }
@@ -577,8 +639,21 @@ Status FileServer::FinishSuperCommit(VersionInfo* info) {
     // Keep the current-version hint warm for the sub-file.
     auto new_page = LoadPageUncached(new_head);
     if (new_page.ok()) {
-      std::lock_guard<std::mutex> lock(table_mu_);
-      current_cache_[new_page->file_cap.object] = new_head;
+      {
+        std::lock_guard<std::mutex> lock(table_mu_);
+        current_cache_[new_page->file_cap.object] = new_head;
+      }
+      if (VersionIndexEnabled()) {
+        // Index the sub-file commit too: a commit the index misses leaves CurrentHint
+        // pointing BEHIND the sub-file's chain tip, and the group combiner must never
+        // adopt such a tip as a segment base. No signature (the super update's signature
+        // covers the super tree, not this sub-file); the root snapshot is safe because
+        // sub-file version pages are never reshared.
+        VersionIndex::CommittedRec rec;
+        rec.head = new_head;
+        rec.root = std::make_shared<const Page>(*new_page);
+        index_.OnCommit(new_page->file_cap.object, old_head, std::move(rec));
+      }
     }
   }
   for (BlockNo sub_head : info->locked_subfiles) {

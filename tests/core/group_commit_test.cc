@@ -237,6 +237,91 @@ TEST(GroupCommitTest, KillSwitchedCommitPathMatchesToo) {
   }
 }
 
+TEST(GroupCommitTest, StaleIndexTipDoesNotAbortValidCommit) {
+  // Regression: toggle the version-index kill switch off across one commit, so the
+  // index's current-tip hint lags the real chain tip, then commit an update based on the
+  // REAL tip through the group path. The combiner must never re-base the request onto the
+  // stale hint — an ANCESTOR of its own base — which used to make the flip-loss fallback
+  // validate the transaction against its own base and abort it as a spurious conflict.
+  TuningGuard guard;
+  SetGroupCommitEnabled(true);
+  SetVersionIndexEnabled(true);
+  SetParallelValidateEnabled(true);
+  FastCluster cluster;
+  FileServer& fs = cluster.fs();
+  Capability file = MakeFile(fs);
+
+  SetVersionIndexEnabled(false);  // the index misses this commit...
+  auto v2 = fs.CreateVersion(file, kNullPort, false);
+  ASSERT_TRUE(v2.ok());
+  ASSERT_TRUE(fs.ReadPage(*v2, PagePath({0}), false).ok());
+  ASSERT_TRUE(fs.WritePage(*v2, PagePath({0}), Bytes("second")).ok());
+  ASSERT_TRUE(fs.Commit(*v2).ok());
+  SetVersionIndexEnabled(true);  // ...so its tip hint now lags the chain
+
+  // Based on the true current version, and touching exactly the page v2 wrote: testing it
+  // against v2 (its own base) would report a conflict that does not exist.
+  auto v3 = fs.CreateVersion(file, kNullPort, false);
+  ASSERT_TRUE(v3.ok());
+  ASSERT_TRUE(fs.ReadPage(*v3, PagePath({0}), false).ok());
+  ASSERT_TRUE(fs.WritePage(*v3, PagePath({0}), Bytes("third")).ok());
+  auto committed = fs.Commit(*v3);
+  EXPECT_TRUE(committed.ok()) << committed.status();
+  EXPECT_EQ(ReadCurrent(fs, file, 0), "third");
+
+  FsckReport report = RunFsck(&fs);
+  EXPECT_TRUE(report.clean) << report.ToString();
+}
+
+TEST(GroupCommitTest, SuperFileSubCommitKeepsIndexTipFresh) {
+  // Regression: FinishSuperCommit advances a sub-file's chain without going through the
+  // grouped commit path. The version index must record that commit too — a sub-file tip
+  // hint left behind its chain would otherwise send every later grouped commit of the
+  // sub-file into the stale-tip scenario above — and fsck I7 must stay clean.
+  TuningGuard guard;
+  SetGroupCommitEnabled(true);
+  SetVersionIndexEnabled(true);
+  SetParallelValidateEnabled(true);
+  FastCluster cluster;
+  FileServer& fs = cluster.fs();
+
+  auto super = fs.CreateFile();
+  ASSERT_TRUE(super.ok());
+  auto v = fs.CreateVersion(*super, kNullPort, false);
+  ASSERT_TRUE(v.ok());
+  auto sub = fs.CreateSubFile(*v, PagePath::Root(), 0);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(fs.Commit(*v).ok());
+  auto sv = fs.CreateVersion(*sub, kNullPort, false);
+  ASSERT_TRUE(sv.ok());
+  ASSERT_TRUE(fs.WritePage(*sv, PagePath::Root(), Bytes("own")).ok());
+  ASSERT_TRUE(fs.Commit(*sv).ok());
+
+  // A super-file update writes through the sub-file; FinishSuperCommit commits the copy.
+  auto sup2 = fs.CreateVersion(*super, kNullPort, false);
+  ASSERT_TRUE(sup2.ok());
+  ASSERT_TRUE(fs.WritePage(*sup2, PagePath({0}), Bytes("via super")).ok());
+  ASSERT_TRUE(fs.Commit(*sup2).ok());
+
+  // The index's tip hint for the sub-file tracks the FinishSuperCommit-advanced chain.
+  auto stat = fs.FileStat(*sub);
+  ASSERT_TRUE(stat.ok());
+  auto hint = fs.version_index().CurrentHint(sub->object);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, stat->current_head);
+
+  // And a grouped read-modify-write of the sub-file commits cleanly on top of it.
+  auto sv2 = fs.CreateVersion(*sub, kNullPort, false);
+  ASSERT_TRUE(sv2.ok());
+  ASSERT_TRUE(fs.ReadPage(*sv2, PagePath::Root(), false).ok());
+  ASSERT_TRUE(fs.WritePage(*sv2, PagePath::Root(), Bytes("after")).ok());
+  auto committed = fs.Commit(*sv2);
+  EXPECT_TRUE(committed.ok()) << committed.status();
+
+  FsckReport report = RunFsck(&fs);
+  EXPECT_TRUE(report.clean) << report.ToString();
+}
+
 TEST(GroupCommitTest, GroupedCommitsAreObservable) {
   // Sanity that the concurrent storm actually exercises the new machinery: the version
   // index serves hits, and the signature fast path or serialiser tests ran.
