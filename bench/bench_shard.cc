@@ -1,0 +1,251 @@
+// Sharded commit throughput (docs/SHARDING.md §6). Three claims:
+//
+//   * BM_ShardedCommitUniform/N — a fixed offered load (8 writers) spread uniformly over
+//     N shards. At N=1 all of it lands on one file and the §5.2 validation turns most of
+//     it into redo; every added shard dissolves a slice of that contention, so aggregate
+//     commits/s scales near-linearly. Acceptance: >= 3x at 4 shards vs 1.
+//   * BM_ShardedCommitHotShard/N — 2 writers per shard plus 4 extra hammering shard 0:
+//     the hot shard conflict-collapses, and the per-shard rate counters show the others
+//     keep their uniform-row throughput (acceptance: >= 80%).
+//   * BM_CrossShardCommit — the two-phase cross-shard commit's latency premium over a
+//     plain single-shard commit of the same write set.
+//
+// Per-shard rates are exported as shard<k>_commits_per_sec next to the aggregate
+// commits_per_sec, so the acceptance ratios are computable from the benchmark JSON alone.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/client/file_client.h"
+#include "src/shard/coordinator.h"
+#include "src/shard/decision_log.h"
+#include "src/shard/router.h"
+
+namespace afs {
+namespace {
+
+constexpr int kTotalWorkers = 8;     // uniform row: fixed offered load spread over N shards
+constexpr int kHotExtraWorkers = 4;  // hot row: extra writers hammering shard 0
+constexpr auto kWindow = std::chrono::milliseconds(150);  // per-iteration measuring window
+
+// N single-server shards on one simulated network, with the router/coordinator wiring of
+// examples/afs_server and one contended counter file per shard. The network carries a
+// LAN-like per-message latency so transactions are latency-bound, as in the paper's
+// deployment — without it every RPC is a function call and the benchmark would measure
+// the host's core count instead of the commit pipeline.
+struct ShardRig {
+  explicit ShardRig(uint32_t num_shards) : net(1) {
+    net.set_latency(std::chrono::microseconds(80), std::chrono::microseconds(120));
+    for (uint32_t k = 0; k < num_shards; ++k) {
+      stores.push_back(std::make_unique<InMemoryBlockStore>(4068, 1 << 20));
+      FileServerOptions options;
+      options.shard_id = k;
+      options.num_shards = num_shards;
+      servers.push_back(std::make_unique<FileServer>(
+          &net, "bench-shard" + std::to_string(k), stores.back().get(), options));
+      servers.back()->Start();
+      if (!servers.back()->AttachStore().ok()) {
+        std::abort();
+      }
+    }
+    ShardMap map;
+    map.epoch = 1;
+    for (uint32_t k = 0; k < num_shards; ++k) {
+      ShardEntry entry;
+      entry.shard_id = k;
+      entry.name = "shard" + std::to_string(k);
+      entry.file_servers = {servers[k]->port()};
+      map.shards.push_back(std::move(entry));
+    }
+    auto made = ShardRouter::Make(std::move(map), &net);
+    if (!made.ok()) {
+      std::abort();
+    }
+    router = std::move(*made);
+    log = std::make_unique<MemoryDecisionLog>();
+    coord = std::make_unique<ShardCoordinator>(router.get(), log.get());
+    for (auto& fs : servers) {
+      coord->Serve(fs.get());
+    }
+    for (uint32_t k = 0; k < num_shards; ++k) {
+      auto file = router->CreateFileOn(k);
+      FileClient client(&net, {servers[k]->port()});
+      auto v = client.CreateVersion(*file);
+      (void)client.WriteString(*v, PagePath::Root(), "0");
+      (void)client.Commit(*v);
+      counters.push_back(*file);
+    }
+  }
+
+  Network net;
+  std::vector<std::unique_ptr<InMemoryBlockStore>> stores;
+  std::vector<std::unique_ptr<FileServer>> servers;
+  std::unique_ptr<ShardRouter> router;
+  std::unique_ptr<MemoryDecisionLog> log;
+  std::unique_ptr<ShardCoordinator> coord;
+  std::vector<Capability> counters;
+};
+
+// One read-increment-write transaction: the contended workload whose throughput is bounded
+// by the file's serial commit chain (blind writes would merge and hide the contention).
+bool IncrementOnce(FileClient& client, const Capability& file) {
+  auto v = client.CreateVersion(file);
+  if (!v.ok()) {
+    return false;
+  }
+  auto text = client.ReadString(*v, PagePath::Root());
+  if (!text.ok() ||
+      !client.WriteString(*v, PagePath::Root(), std::to_string(std::stoi(*text) + 1))
+           .ok()) {
+    (void)client.Abort(*v);
+    return false;
+  }
+  return client.Commit(*v).ok();
+}
+
+// A worker commits increments against its shard's counter for a fixed wall-clock window
+// (time-boxed, so every shard's rate covers the same interval and rows are comparable).
+// On conflict it backs off like the §6 redo loop; the backoff grows with consecutive
+// failures so a contention-collapsed file parks its writers instead of letting their
+// retries consume the machine — that parking is what keeps a hot shard from dragging down
+// its neighbours.
+void Worker(ShardRig* rig, uint32_t shard, uint64_t seed,
+            std::chrono::steady_clock::time_point deadline,
+            std::atomic<uint64_t>* shard_commits, std::atomic<int>* barrier) {
+  FileClient client(&rig->net, {rig->servers[shard]->port()});
+  const Capability file = rig->counters[shard];
+  barrier->fetch_sub(1);
+  while (barrier->load() > 0) {
+  }
+  int streak = 0;  // consecutive conflicts
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (IncrementOnce(client, file)) {
+      shard_commits[shard].fetch_add(1, std::memory_order_relaxed);
+      streak = 0;
+      continue;
+    }
+    ++streak;
+    const int cap = streak < 6 ? (1 << streak) : 64;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(100 * (1 + (seed * 131 + streak * 31) % cap)));
+  }
+}
+
+// `hot` == false: the uniform row — kTotalWorkers spread round-robin over the shards, so
+// the offered load is constant and the 1-shard row concentrates all of it on one file
+// (the contention the sharding exists to dissolve). `hot` == true: 2 workers per shard
+// plus kHotExtraWorkers all hammering shard 0.
+void RunShardedCommit(benchmark::State& state, bool hot) {
+  const uint32_t num_shards = static_cast<uint32_t>(state.range(0));
+  ShardRig rig(num_shards);
+  std::vector<std::atomic<uint64_t>> shard_commits(num_shards);
+  for (auto& c : shard_commits) {
+    c.store(0);
+  }
+
+  for (auto _ : state) {
+    std::vector<std::pair<uint32_t, uint64_t>> plan;  // (shard, seed)
+    if (hot) {
+      for (uint32_t k = 0; k < num_shards; ++k) {
+        for (int w = 0; w < 2; ++w) {
+          plan.emplace_back(k, state.iterations() * 977 + k * 131 + w);
+        }
+      }
+      for (int w = 0; w < kHotExtraWorkers; ++w) {
+        plan.emplace_back(0u, state.iterations() * 977 + 9001 + w);
+      }
+    } else {
+      for (int w = 0; w < kTotalWorkers; ++w) {
+        plan.emplace_back(static_cast<uint32_t>(w) % num_shards,
+                          state.iterations() * 977 + w);
+      }
+    }
+    std::atomic<int> barrier{static_cast<int>(plan.size())};
+    const auto deadline = std::chrono::steady_clock::now() + kWindow;
+    std::vector<std::thread> workers;
+    workers.reserve(plan.size());
+    for (const auto& [shard, seed] : plan) {
+      workers.emplace_back(Worker, &rig, shard, seed, deadline, shard_commits.data(),
+                           &barrier);
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+
+  uint64_t total = 0;
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    uint64_t n = shard_commits[k].load();
+    total += n;
+    state.counters["shard" + std::to_string(k) + "_commits_per_sec"] =
+        benchmark::Counter(static_cast<double>(n), benchmark::Counter::kIsRate);
+  }
+  state.counters["commits_per_sec"] =
+      benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+
+void BM_ShardedCommitUniform(benchmark::State& state) {
+  RunShardedCommit(state, /*hot=*/false);
+}
+BENCHMARK(BM_ShardedCommitUniform)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedCommitHotShard(benchmark::State& state) {
+  RunShardedCommit(state, /*hot=*/true);
+}
+BENCHMARK(BM_ShardedCommitHotShard)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Latency of one 2-of-2-shard transaction through the coordinator (prepare on both, log,
+// decide on both) against the same write pair committed shard-locally, one by one.
+void BM_CrossShardCommit(benchmark::State& state) {
+  ShardRig rig(2);
+  auto a = rig.router->CreateFileOn(0);
+  auto b = rig.router->CreateFileOn(1);
+  uint64_t committed = 0;
+  for (auto _ : state) {
+    CrossTransaction xt(rig.router.get());
+    auto va = xt.CreateVersion(*a);
+    auto vb = xt.CreateVersion(*b);
+    auto ca = xt.Client(*a);
+    auto cb = xt.Client(*b);
+    (void)(*ca)->WriteString(*va, PagePath::Root(), "x");
+    (void)(*cb)->WriteString(*vb, PagePath::Root(), "x");
+    if (xt.Commit().ok()) {
+      ++committed;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+}
+BENCHMARK(BM_CrossShardCommit)->Unit(benchmark::kMicrosecond);
+
+void BM_SingleShardPairCommit(benchmark::State& state) {
+  ShardRig rig(2);
+  auto a = rig.router->CreateFileOn(0);
+  auto b = rig.router->CreateFileOn(1);
+  auto ca = rig.router->ClientForFile(*a);
+  auto cb = rig.router->ClientForFile(*b);
+  uint64_t committed = 0;
+  for (auto _ : state) {
+    auto va = (*ca)->CreateVersion(*a);
+    auto vb = (*cb)->CreateVersion(*b);
+    (void)(*ca)->WriteString(*va, PagePath::Root(), "x");
+    (void)(*cb)->WriteString(*vb, PagePath::Root(), "x");
+    if ((*ca)->Commit(*va).ok() && (*cb)->Commit(*vb).ok()) {
+      ++committed;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+}
+BENCHMARK(BM_SingleShardPairCommit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace afs
+
+AFS_BENCHMARK_MAIN();

@@ -18,9 +18,21 @@
 //
 // The process serves until stdin reports "quit" or closes AND --idle-exit is given;
 // otherwise it serves until killed.
+//
+// With --shard k/N the process is shard k of an N-shard deployment (docs/SHARDING.md):
+// its file servers mint file ids congruent to k mod N, and once every shard is up the
+// launcher writes "peers host:port,host:port,..." (all N addresses, in shard order) to
+// each server's stdin. The server then discovers its peers, publishes the shard map
+// through its directory server, attaches a cross-shard commit coordinator (durable
+// decision log in <store>/decision.log when --store is given), and resolves any prepares
+// left in doubt by a previous incarnation. "SHARDED <commits> <aborts>" on stdout
+// acknowledges, reporting what recovery resolved. The AFS_SHARD_CRASH environment
+// variable ("prepared" or "logged") makes the coordinator die at that point of its next
+// cross-shard commit — the chaos suite's coordinator-crash lever.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -38,6 +50,10 @@
 #include "src/net/tcp_server.h"
 #include "src/obs/span.h"
 #include "src/rpc/network.h"
+#include "src/shard/coordinator.h"
+#include "src/shard/decision_log.h"
+#include "src/shard/discovery.h"
+#include "src/shard/router.h"
 #include "src/store/file_disk.h"
 #include "src/tier/tiered_store.h"
 
@@ -66,6 +82,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 11;
   int idle_timeout_ms = 0;
   int max_conns = 64;
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -90,10 +108,22 @@ int main(int argc, char** argv) {
       idle_timeout_ms = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (const char* v = value("--max-conns")) {
       max_conns = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--shard")) {
+      char* slash = nullptr;
+      shard_id = static_cast<uint32_t>(std::strtoul(v, &slash, 10));
+      if (slash == nullptr || *slash != '/') {
+        std::fprintf(stderr, "--shard wants k/N, got '%s'\n", v);
+        return 1;
+      }
+      num_shards = static_cast<uint32_t>(std::strtoul(slash + 1, nullptr, 10));
+      if (num_shards == 0 || shard_id >= num_shards) {
+        std::fprintf(stderr, "--shard %u/%u out of range\n", shard_id, num_shards);
+        return 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--host H] [--store <dir>] [--seed N]\n"
-                   "          [--idle-timeout-ms N] [--max-conns N]\n",
+                   "          [--idle-timeout-ms N] [--max-conns N] [--shard k/N]\n",
                    argv[0]);
       return 1;
     }
@@ -147,8 +177,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "tier mount failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  FileServer fs0(&net, "fs0", &tiered);
-  FileServer fs1(&net, "fs1", &tiered);
+  FileServerOptions fs_options;
+  fs_options.shard_id = shard_id;
+  fs_options.num_shards = num_shards;
+  FileServer fs0(&net, "fs0", &tiered, fs_options);
+  FileServer fs1(&net, "fs1", &tiered, fs_options);
   fs0.Start();
   fs1.Start();
   if (!fs0.AttachStore().ok() || !fs1.AttachStore().ok()) {
@@ -200,11 +233,98 @@ int main(int argc, char** argv) {
   std::printf("LISTENING %u\n", server.port());
   std::fflush(stdout);
 
+  // Shard-mode state, built when the launcher hands us the peer list.
+  std::vector<std::unique_ptr<net::TcpTransport>> peer_transports;
+  std::unique_ptr<ShardRouter> router;
+  std::unique_ptr<DecisionLog> decision_log;
+  std::unique_ptr<ShardCoordinator> coordinator;
+
   // Serve until told to quit; a closed stdin (detached run) serves until killed.
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line == "quit" || line == "exit") {
       break;
+    }
+    if (line.rfind("peers ", 0) == 0) {
+      std::vector<std::string> addresses;
+      std::string rest = line.substr(6);
+      for (size_t pos = 0; pos < rest.size();) {
+        size_t comma = rest.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = rest.size();
+        }
+        addresses.push_back(rest.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+      if (addresses.size() != num_shards) {
+        std::printf("ERROR peer list has %zu address(es), deployment has %u shard(s)\n",
+                    addresses.size(), num_shards);
+        std::fflush(stdout);
+        continue;
+      }
+      auto map = DiscoverShardMap(addresses, &peer_transports);
+      if (!map.ok()) {
+        std::printf("ERROR %s\n", map.status().ToString().c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      auto made = ShardRouter::Make(*map, [&](const ShardEntry& entry) -> Transport* {
+        return peer_transports[entry.shard_id].get();
+      });
+      if (!made.ok()) {
+        std::printf("ERROR %s\n", made.status().ToString().c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      router = std::move(made).value();
+      if (store_dir.empty()) {
+        decision_log = std::make_unique<MemoryDecisionLog>();
+      } else {
+        auto log = JournalDecisionLog::Open(store_dir + "/decision.log");
+        if (!log.ok()) {
+          std::printf("ERROR %s\n", log.status().ToString().c_str());
+          std::fflush(stdout);
+          continue;
+        }
+        decision_log = std::move(log).value();
+      }
+      coordinator = std::make_unique<ShardCoordinator>(router.get(), decision_log.get(),
+                                                       fs0.metrics());
+      if (const char* crash = std::getenv("AFS_SHARD_CRASH");
+          crash != nullptr && *crash != '\0') {
+        std::string point = crash;
+        coordinator->set_crash_hook([point](const char* at) {
+          if (point == at) {
+            // kill -9 semantics: no destructors, no flushes — the decision log's
+            // durability contract is what recovery leans on.
+            std::_Exit(137);
+          }
+        });
+      }
+      coordinator->Serve(&fs0);
+      coordinator->Serve(&fs1);
+      dir.SetShardMapBlob(map->Encode());
+      // Finish whatever a previous incarnation of this deployment left in doubt.
+      auto recovered = coordinator->RecoverInDoubt();
+      if (recovered.ok()) {
+        std::printf("SHARDED %llu %llu\n", (unsigned long long)recovered->resolved_commit,
+                    (unsigned long long)recovered->resolved_abort);
+      } else {
+        std::printf("SHARDED 0 0\n");
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    if (line == "recover" && coordinator != nullptr) {
+      auto recovered = coordinator->RecoverInDoubt();
+      if (recovered.ok()) {
+        std::printf("RECOVERED %llu %llu\n", (unsigned long long)recovered->resolved_commit,
+                    (unsigned long long)recovered->resolved_abort);
+      } else {
+        std::printf("ERROR %s\n", recovered.status().ToString().c_str());
+      }
+      std::fflush(stdout);
+      continue;
     }
   }
   if (!std::cin) {

@@ -57,6 +57,7 @@
 #include "src/disk/write_once_disk.h"
 #include "src/namesvc/directory_client.h"
 #include "src/namesvc/directory_server.h"
+#include "src/shard/shard_map.h"
 #include "src/net/socket.h"
 #include "src/net/tcp_server.h"
 #include "src/net/tcp_transport.h"
@@ -95,6 +96,7 @@ void PrintHelp() {
       "  scrub                       CRC-verify every archived block, repair from\n"
       "                              magnetic copies where possible\n"
       "  fsck                        run the consistency checker (both tiers)\n"
+      "  shards                      per-file-server commit/2PC shard counters\n"
       "  stats [fs0|fs1|blockA|blockB]\n"
       "                              process-wide metrics, or scrape one live server's\n"
       "                              registry over RPC (kGetStats)\n"
@@ -125,6 +127,19 @@ void SaveMeta(const std::string& path, const Capability& cap) {
   out << cap.port << ' ' << cap.object << ' ' << cap.rights << ' ' << cap.check << '\n';
 }
 
+// The shard/commit slice of a kGetStats exposition: the lines an operator inspecting the
+// two-phase machinery cares about.
+void PrintShardStats(const std::string& text) {
+  std::istringstream lines(text);
+  std::string stat_line;
+  while (std::getline(lines, stat_line)) {
+    if (stat_line.find("shard.") != std::string::npos ||
+        stat_line.find("commit.") != std::string::npos) {
+      std::printf("    %s\n", stat_line.c_str());
+    }
+  }
+}
+
 void PrintRemoteHelp() {
   std::printf(
       "remote commands (afs_shell --connect):\n"
@@ -136,6 +151,8 @@ void PrintRemoteHelp() {
       "  history <name>              committed version count\n"
       "  rm <name>                   remove the directory entry and delete the file\n"
       "  servers                     the server's hello manifest\n"
+      "  shards                      the deployment's shard map, with each shard's\n"
+      "                              commit/2PC counters scraped over RPC\n"
       "  stats <server>              scrape a remote server's metrics (kGetStats)\n"
       "  spans <server> [n]          scrape a remote server's spans (kGetSpans)\n"
       "  spans [n]                   this process's recent spans\n"
@@ -211,6 +228,46 @@ int RunRemoteShell(const std::string& hostport) {
                                              : "service";
         std::printf("  %-10s port %llu  (%s)\n", entry.name.c_str(),
                     (unsigned long long)entry.port, kind);
+      }
+    } else if (cmd == "shards") {
+      auto blob = dir.GetShardMap();
+      if (!blob.ok()) {
+        std::printf("no shard map published (%s) — single-shard deployment\n",
+                    blob.status().ToString().c_str());
+        for (Port fs_port : file_servers) {
+          std::printf("  file server port %llu:\n", (unsigned long long)fs_port);
+          auto text = ScrapeStats(&transport, fs_port);
+          if (text.ok()) {
+            PrintShardStats(*text);
+          }
+        }
+        continue;
+      }
+      auto map = ShardMap::Decode(*blob);
+      if (!map.ok()) {
+        std::printf("error: %s\n", map.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%u shard(s), map epoch %u\n", map->num_shards(), map->epoch);
+      for (const ShardEntry& entry : map->shards) {
+        std::printf("shard %u (%s) at %s — %zu file server(s)\n", entry.shard_id,
+                    entry.name.c_str(), entry.address.c_str(),
+                    entry.file_servers.size());
+        auto split_addr = net::SplitHostPort(entry.address);
+        if (!split_addr.ok()) {
+          std::printf("  bad address: %s\n", split_addr.status().ToString().c_str());
+          continue;
+        }
+        net::TcpTransport shard_transport(split_addr->first, split_addr->second);
+        for (Port fs_port : entry.file_servers) {
+          std::printf("  file server port %llu:\n", (unsigned long long)fs_port);
+          auto text = ScrapeStats(&shard_transport, fs_port);
+          if (text.ok()) {
+            PrintShardStats(*text);
+          } else {
+            std::printf("    unreachable: %s\n", text.status().ToString().c_str());
+          }
+        }
       }
     } else if (cmd == "create") {
       std::string name;
@@ -617,6 +674,18 @@ int main(int argc, char** argv) {
         std::printf("%s", text->c_str());
       } else {
         std::printf("error: %s\n", text.status().ToString().c_str());
+      }
+    } else if (cmd == "shards") {
+      std::printf("local shell runs one shard; per-file-server counters:\n");
+      for (Service* fs :
+           {static_cast<Service*>(&fs0), static_cast<Service*>(&fs1)}) {
+        std::printf("  file server port %llu:\n", (unsigned long long)fs->port());
+        auto text = ScrapeStats(&net, fs->port());
+        if (text.ok()) {
+          PrintShardStats(*text);
+        } else {
+          std::printf("    error: %s\n", text.status().ToString().c_str());
+        }
       }
     } else if (cmd == "trace") {
       size_t n = 40;

@@ -49,7 +49,28 @@ FileServer::FileServer(Network* network, std::string name, BlockStore* blocks,
       cache_hits_(metrics()->counter("cache.hit")),
       cache_misses_(metrics()->counter("cache.miss")),
       cache_evictions_(metrics()->counter("cache.eviction")),
-      slo_commit_(obs::SloTracker::Global()->ClassHistogram("commit")) {}
+      shard_prepares_(metrics()->counter("shard.prepare")),
+      shard_prepare_conflicts_(metrics()->counter("shard.prepare_conflict")),
+      shard_decide_commits_(metrics()->counter("shard.decide_commit")),
+      shard_decide_aborts_(metrics()->counter("shard.decide_abort")),
+      slo_commit_(obs::SloTracker::Global()->ClassHistogram("commit")) {
+  if (options_.num_shards == 0) {
+    options_.num_shards = 1;
+  }
+}
+
+uint64_t FileServer::MintFileIdLocked() {
+  uint64_t id = rng_.NextU64() | 1;
+  const uint64_t n = options_.num_shards;
+  if (n > 1) {
+    id -= id % n;
+    id += options_.shard_id;
+    if (id == 0) {
+      id = options_.shard_id == 0 ? n : options_.shard_id;
+    }
+  }
+  return id;
+}
 
 FileServer::~FileServer() { Shutdown(); }
 
@@ -113,6 +134,7 @@ Status FileServer::AttachStore() {
         RETURN_IF_ERROR(LoadFileTable());
       }
       RebuildVersionIndex();
+      RecoverPreparedTips();
       return OkStatus();
     }
   }
@@ -333,12 +355,23 @@ Result<BlockNo> FileServer::FindCurrentHead(uint64_t file_id) {
   }
   for (int attempt = 0; attempt < 2; ++attempt) {
     BlockNo cur = head;
+    BlockNo prev = kNilRef;
     bool broken = false;
     for (int step = 0; step < kMaxChainSteps; ++step) {
       auto page = LoadPageUncached(cur);
       if (!page.ok()) {
         broken = true;  // stale hint (GC pruned it); fall back to the table
         break;
+      }
+      if (page->prepare_txn != 0) {
+        // An in-doubt cross-shard tip (docs/SHARDING.md): staged at the chain's end but
+        // not committed. Its predecessor stays current until the coordinator decides.
+        // Never cached — the decision may publish the tip at any moment.
+        if (prev == kNilRef) {
+          broken = true;  // stale hint landed on the staged page itself; retry from table
+          break;
+        }
+        return prev;
       }
       if (page->commit_ref == kNilRef) {
         std::lock_guard<std::mutex> lock(table_mu_);
@@ -350,6 +383,7 @@ Result<BlockNo> FileServer::FindCurrentHead(uint64_t file_id) {
       if (page->top_lock != kNullPort && !network()->IsPortAlive(page->top_lock)) {
         RETURN_IF_ERROR(RecoverDeadTopLock(cur, *page));
       }
+      prev = cur;
       cur = page->commit_ref;
     }
     if (!broken) {
@@ -382,8 +416,11 @@ Result<std::vector<BlockNo>> FileServer::CommittedChain(uint64_t file_id) {
   std::vector<BlockNo> chain;
   BlockNo cur = head;
   for (int step = 0; step < kMaxChainSteps && cur != kNilRef; ++step) {
-    chain.push_back(cur);
     ASSIGN_OR_RETURN(Page page, LoadPageUncached(cur));
+    if (page.prepare_txn != 0) {
+      break;  // in-doubt cross-shard tip: not committed until the coordinator decides
+    }
+    chain.push_back(cur);
     cur = page.commit_ref;
   }
   return chain;
@@ -621,6 +658,7 @@ Result<BlockNo> FileServer::CopyChild(VersionInfo* info, WalkStep* parent, uint3
     copy.commit_ref = kNilRef;
     copy.top_lock = kNullPort;
     copy.inner_lock = kNullPort;
+    copy.prepare_txn = 0;
     copy.parent_ref = info->head;
     copy.root_flags = RefFlag::kCopied;
   }

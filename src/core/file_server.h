@@ -64,6 +64,12 @@ struct FileServerOptions {
   // set; "the optimistic concurrency control which still lurks underneath this locking
   // mechanism will see to it that no harm is done".
   bool relaxed_superfile_locking = false;
+  // Sharded deployments (src/shard): this server is shard `shard_id` of `num_shards`.
+  // CreateFile then mints file ids congruent to shard_id mod num_shards, so any router can
+  // place a capability without a lookup (docs/SHARDING.md). num_shards = 1 (the default)
+  // is the unsharded service, bit-for-bit as before.
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
 };
 
 class FileServer : public Service {
@@ -127,6 +133,24 @@ class FileServer : public Service {
 
   std::vector<BlockNo> ListUncommitted() const;
 
+  // ----- Cross-shard two-phase commit (participant side; docs/SHARDING.md) ---
+  // Phase 1: validate `version` exactly like Commit() would, link it at the end of its
+  // chain with the in-doubt marker (prepare_txn = txn_id) persisted BEFORE the base's
+  // commit reference flips, and hold it there until Decide. The staged version is invisible
+  // to readers (FindCurrentHead stops short of in-doubt tips) and conflicts any concurrent
+  // §5.2 commit of the same file. Idempotent per txn_id. kConflict removes the version.
+  Result<BlockNo> Prepare(const Capability& version, uint64_t txn_id);
+  // Phase 2: apply the coordinator's decision. Commit clears the marker and publishes the
+  // staged version as current; abort unlinks it from the chain and frees its private
+  // pages. Idempotent — deciding an unknown txn_id succeeds without effect.
+  Status Decide(uint64_t txn_id, bool commit);
+  struct InDoubtEntry {
+    BlockNo head = kNilRef;
+    uint64_t txn_id = 0;
+  };
+  // Prepared-but-undecided versions held by this server (recovery + fsck support).
+  std::vector<InDoubtEntry> ListInDoubt() const;
+
   // ----- Tier admin ----------------------------------------------------------
   // Hooks into an attached storage tier (src/tier), serving the kMigrateNow / kScrubNow /
   // kTierStat admin ops. std::function indirection keeps the dependency arrow pointing
@@ -138,6 +162,21 @@ class FileServer : public Service {
     std::function<TierStatInfo()> stat;
   };
   void SetTierAdmin(TierAdminHooks hooks) { tier_admin_ = std::move(hooks); }
+
+  // ----- Shard admin ---------------------------------------------------------
+  // Coordinator hooks for the cross-shard two-phase commit (src/shard), serving the
+  // kCrossCommit / kResolveTxn ops. Same dependency discipline as the tier hooks: the
+  // deployment wires a ShardCoordinator in at setup; a server with no coordinator answers
+  // kUnavailable.
+  struct ShardAdminHooks {
+    // Commit an n-participant transaction atomically; returns heads in participant order.
+    std::function<Result<std::vector<BlockNo>>(
+        const std::vector<std::pair<uint32_t, Capability>>& participants)>
+        cross_commit;
+    // Decision-log lookup (presumed abort): true = committed, false = aborted.
+    std::function<Result<bool>(uint64_t txn_id)> resolve;
+  };
+  void SetShardAdmin(ShardAdminHooks hooks) { shard_admin_ = std::move(hooks); }
 
   // ----- GC / test support ---------------------------------------------------
 
@@ -226,9 +265,15 @@ class FileServer : public Service {
   Status VerifyVersionCap(const Capability& cap, uint32_t rights, BlockNo* head);
 
   // --- file table ---
+  // Mint a fresh file id (requires table_mu_). Sharded servers stripe the id space:
+  // the result is always congruent to shard_id mod num_shards, and never 0.
+  uint64_t MintFileIdLocked();
   // Re-seed the version index from the on-disk chains (heads only; signatures and root
   // snapshots cannot be recovered). Called after (re-)attaching to the store.
   void RebuildVersionIndex();
+  // Repopulate prepared_ from on-disk in-doubt markers (crash recovery: a version staged
+  // by Prepare whose decision never arrived). Called from AttachStore.
+  void RecoverPreparedTips();
   Status LoadFileTable();
   Status PersistFileTableLocked();  // requires table_mu_
   Result<FileEntry> LookupFileLocked(uint64_t file_id);
@@ -367,6 +412,23 @@ class FileServer : public Service {
   mutable std::mutex versions_mu_;
   std::unordered_map<BlockNo, VersionInfo> uncommitted_;
 
+  // Prepared (in-doubt) cross-shard versions, by transaction id. An entry's version has
+  // left uncommitted_ — ordinary ops on it fail "not managed" — but its head is still
+  // reported by ListUncommitted() so the GC root set and pruning pins protect it until
+  // the coordinator's decision arrives. Rebuilt from the on-disk prepare_txn markers on
+  // AttachStore (allocated_blocks is then unknown; abort falls back to FreePrivatePages).
+  struct PreparedRec {
+    uint64_t file_id = 0;
+    BlockNo head = kNilRef;
+    BlockNo base_head = kNilRef;
+    std::vector<BlockNo> allocated_blocks;
+    bool know_allocations = false;  // false after restart: free by tree walk instead
+    // Carried from the VersionInfo so a decide-commit can index the version with its
+    // signature. Recovered entries set valid = false (the signature is unrecoverable).
+    AccessSig sig;
+  };
+  std::unordered_map<uint64_t, PreparedRec> prepared_;  // guarded by versions_mu_
+
   // Commit combiner (group commit). Commit() stages a PendingCommit here; the first
   // stager becomes leader and drains the queue as one batch, followers park on the
   // condition variable until their result is posted (or they are elected leader for the
@@ -385,6 +447,8 @@ class FileServer : public Service {
 
   // Tier admin hooks; installed once at deployment setup, before serving (not guarded).
   TierAdminHooks tier_admin_;
+  // Shard coordinator hooks; same installation discipline.
+  ShardAdminHooks shard_admin_;
 
   mutable std::mutex cache_mu_;
   std::unordered_map<BlockNo, Page> committed_cache_;
@@ -407,6 +471,11 @@ class FileServer : public Service {
   obs::Counter* cache_hits_;
   obs::Counter* cache_misses_;
   obs::Counter* cache_evictions_;
+  // Cross-shard participant counters (shard.* namespace; docs/OBSERVABILITY.md).
+  obs::Counter* shard_prepares_;          // shard.prepare: phase-1 validations staged
+  obs::Counter* shard_prepare_conflicts_; // shard.prepare_conflict: phase-1 aborts
+  obs::Counter* shard_decide_commits_;    // shard.decide_commit
+  obs::Counter* shard_decide_aborts_;     // shard.decide_abort
   // The global SLO tracker's "commit" class: commit latency scored against declared
   // p50/p99/p999 targets (BENCH_slo.json). Resolved once, recorded with relaxed adds.
   obs::Histogram* slo_commit_;

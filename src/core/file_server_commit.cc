@@ -188,6 +188,20 @@ Result<BlockNo> FileServer::CommitSerialLocked(VersionInfo* info, Page root,
     } else if (VersionIndexEnabled()) {
       index_misses_->Inc();
     }
+    if (c_sig == nullptr && c_root == nullptr) {
+      // The successor was not served by the index, so it may be an in-doubt cross-shard
+      // tip (the index only learns of those at decide time). A prepared successor is not
+      // committed: this update can neither validate against it nor chain behind it, so
+      // the only §5.2-faithful outcome is a conflict abort — the client redoes the update
+      // once the coordinator's decision lands.
+      auto succ = LoadPageUncached(successor);
+      if (succ.ok() && succ->prepare_txn != 0) {
+        *outcome_ctr = commit_conflicts_;
+        obs::Trace(obs::TraceEvent::kCommitConflict, head, successor);
+        (void)AbortLocked(info);
+        return ConflictError("file has an in-doubt cross-shard commit in progress");
+      }
+    }
     Status st = ValidateAgainstSuccessor(&req, successor, c_sig, c_root);
     root = std::move(req.root);
     fast_path = req.fast_path;
@@ -402,6 +416,13 @@ void FileServer::ProcessFileCommitGroup(uint64_t file_id, std::vector<PendingCom
         auto page = LoadPageUncached(cur);
         if (!page.ok()) {
           req->validation = page.status();
+          return;
+        }
+        if (page->prepare_txn != 0) {
+          // In-doubt cross-shard tip: not committed, cannot be validated against or
+          // chained behind. Conflict-abort; the client retries after the decision.
+          req->validation =
+              ConflictError("file has an in-doubt cross-shard commit in progress");
           return;
         }
         if (page->commit_ref == kNilRef) {
@@ -786,7 +807,8 @@ Status FileServer::ReshareCleanPages(BlockNo head) {
 }
 
 Status FileServer::FreePrivatePages(BlockNo head) {
-  // Only used for orphan cleanup in tests; normal aborts free via allocated_blocks.
+  // Orphan cleanup (tests, and aborting a prepared cross-shard version recovered after a
+  // restart, where allocated_blocks is unknown); normal aborts free via allocated_blocks.
   ASSIGN_OR_RETURN(Page root, LoadPageUncached(head));
   std::deque<PageRef> frontier(root.refs.begin(), root.refs.end());
   while (!frontier.empty()) {
@@ -914,10 +936,16 @@ Result<FileServer::FileStatInfo> FileServer::FileStat(const Capability& file) {
 std::vector<BlockNo> FileServer::ListUncommitted() const {
   std::lock_guard<std::mutex> lock(versions_mu_);
   std::vector<BlockNo> out;
-  out.reserve(uncommitted_.size());
+  out.reserve(uncommitted_.size() + prepared_.size());
   for (const auto& [head, info] : uncommitted_) {
     (void)info;
     out.push_back(head);
+  }
+  // Prepared cross-shard versions are no longer in uncommitted_ but their pages must stay
+  // protected (GC root set, pruning pins) until the coordinator's decision arrives.
+  for (const auto& [txn, rec] : prepared_) {
+    (void)txn;
+    out.push_back(rec.head);
   }
   return out;
 }
@@ -928,6 +956,7 @@ void FileServer::OnRestart() {
   {
     std::lock_guard<std::mutex> lock(versions_mu_);
     uncommitted_.clear();
+    prepared_.clear();  // AttachStore re-discovers in-doubt tips from their disk markers
   }
   {
     std::lock_guard<std::mutex> lock(cache_mu_);

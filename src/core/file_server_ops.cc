@@ -49,7 +49,7 @@ Result<Capability> FileServer::CreateFile() {
   uint64_t file_id;
   {
     std::lock_guard<std::mutex> lock(table_mu_);
-    file_id = rng_.NextU64() | 1;
+    file_id = MintFileIdLocked();
   }
   Capability file_cap = SignFileCap(file_id);
 
@@ -150,6 +150,7 @@ Result<Capability> FileServer::CreateVersion(const Capability& file, Port owner_
   fresh.commit_ref = kNilRef;
   fresh.top_lock = kNullPort;
   fresh.inner_lock = kNullPort;
+  fresh.prepare_txn = 0;
   fresh.root_flags = RefFlag::kCopied;
   fresh.file_cap = SignFileCap(file_id);
   ASSIGN_OR_RETURN(BlockNo head, pages_.WritePage(fresh));
@@ -442,7 +443,7 @@ Result<Capability> FileServer::CreateSubFile(const Capability& version, const Pa
   uint64_t sub_id;
   {
     std::lock_guard<std::mutex> lock(table_mu_);
-    sub_id = rng_.NextU64() | 1;
+    sub_id = MintFileIdLocked();
   }
   Capability sub_cap = SignFileCap(sub_id);
   Page sub_root;

@@ -215,6 +215,64 @@ Result<Message> FileServer::Dispatch(const Message& m) {
       }
       return OkReply(m.opcode, std::move(out));
     }
+    case FileOp::kPrepare: {
+      ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+      ASSIGN_OR_RETURN(uint64_t txn_id, in.GetU64());
+      ASSIGN_OR_RETURN(BlockNo head, Prepare(version, txn_id));
+      WireEncoder out;
+      out.PutU32(head);
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kDecide: {
+      ASSIGN_OR_RETURN(uint64_t txn_id, in.GetU64());
+      ASSIGN_OR_RETURN(uint8_t commit, in.GetU8());
+      RETURN_IF_ERROR(Decide(txn_id, commit != 0));
+      return OkReply(m.opcode);
+    }
+    case FileOp::kListInDoubt: {
+      std::vector<InDoubtEntry> entries = ListInDoubt();
+      WireEncoder out;
+      out.PutU32(static_cast<uint32_t>(entries.size()));
+      for (const InDoubtEntry& e : entries) {
+        out.PutU32(e.head);
+        out.PutU64(e.txn_id);
+      }
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kCrossCommit: {
+      if (!shard_admin_.cross_commit) {
+        return UnavailableError("no shard coordinator attached");
+      }
+      ASSIGN_OR_RETURN(uint32_t n, in.GetU32());
+      // A participant entry is at least a 4-byte shard id plus the capability bytes.
+      if (n > in.remaining() / 5) {
+        return CorruptError("participant count exceeds message size");
+      }
+      std::vector<std::pair<uint32_t, Capability>> participants;
+      participants.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(uint32_t shard, in.GetU32());
+        ASSIGN_OR_RETURN(Capability version, in.GetCapability());
+        participants.emplace_back(shard, version);
+      }
+      ASSIGN_OR_RETURN(std::vector<BlockNo> heads, shard_admin_.cross_commit(participants));
+      WireEncoder out;
+      out.PutU32(static_cast<uint32_t>(heads.size()));
+      for (BlockNo head : heads) {
+        out.PutU32(head);
+      }
+      return OkReply(m.opcode, std::move(out));
+    }
+    case FileOp::kResolveTxn: {
+      if (!shard_admin_.resolve) {
+        return UnavailableError("no shard coordinator attached");
+      }
+      ASSIGN_OR_RETURN(uint64_t txn_id, in.GetU64());
+      ASSIGN_OR_RETURN(bool committed, shard_admin_.resolve(txn_id));
+      WireEncoder out;
+      out.PutU8(committed ? 1 : 0);
+      return OkReply(m.opcode, std::move(out));
+    }
   }
   return InvalidArgumentError("unknown file service opcode");
 }

@@ -65,6 +65,9 @@ std::string FsckReport::ToString() const {
   if (index_records > 0) {
     os << ", " << index_records << " index record(s) verified";
   }
+  if (in_doubt > 0) {
+    os << ", " << in_doubt << " in-doubt cross-shard tip(s)";
+  }
   if (blocks_archived > 0) {
     os << ", " << blocks_archived << " archived (" << archived_verified << " verified, "
        << archived_corrupt << " corrupt)";
@@ -143,8 +146,43 @@ FsckReport RunFsck(FileServer* server, const FsckOptions& options) {
         report.errors.push_back(file_tag + ": base reference does not point to predecessor");
       }
       if (i + 1 == chain->size() && page->commit_ref != kNilRef) {
+        // I8: the only legal successor of the current version is an in-doubt cross-shard
+        // tip — a prepared version the coordinator has not yet decided.
+        auto tip = pages->ReadPage(page->commit_ref);
+        if (!tip.ok() || tip->prepare_txn == 0) {
+          report.clean = false;
+          report.errors.push_back(file_tag +
+                                  ": current version's commit reference is not nil");
+        } else {
+          ++report.in_doubt;
+          std::string note = file_tag + ": in-doubt cross-shard tip at block " +
+                             std::to_string(page->commit_ref) + " (txn " +
+                             std::to_string(tip->prepare_txn) + ")";
+          if (options.fail_on_in_doubt) {
+            report.clean = false;
+            report.errors.push_back(note);
+          } else {
+            report.warnings.push_back(note);
+          }
+          if (tip->base_ref != (*chain)[i]) {
+            report.clean = false;
+            report.errors.push_back(file_tag +
+                                    ": in-doubt tip's base reference does not point to "
+                                    "the current version");
+          }
+          if (tip->commit_ref != kNilRef) {
+            report.clean = false;
+            report.errors.push_back(file_tag + ": in-doubt tip has a successor");
+          }
+          // The staged tree is live until the decision; account its blocks as reachable.
+          WalkTree(pages, page->commit_ref, &reachable, &report,
+                   file_tag + " in-doubt tip");
+        }
+      }
+      if (i + 1 < chain->size() && page->prepare_txn != 0) {
         report.clean = false;
-        report.errors.push_back(file_tag + ": current version's commit reference is not nil");
+        report.errors.push_back(file_tag +
+                                ": interior chain element carries a prepare marker");
       }
       // I6: locks in the current version page must name live ports.
       if (i + 1 == chain->size()) {

@@ -21,6 +21,11 @@
 //       the GC rewrites on the oldest version), and access signatures without a Modified
 //       flag match the persisted root-level flag table. The index may lag the disk (a
 //       suffix may stop short of the current tip) — it must never contradict it.
+//   I8  Cross-shard in-doubt tips (docs/SHARDING.md): a version carrying a prepare marker
+//       may hang off the current version's commit reference, but it must back-reference
+//       the current version, carry a non-zero transaction id, and have no successor of
+//       its own. In-doubt tips are tolerated by default (the coordinator resolves them);
+//       fail_on_in_doubt turns them into errors for post-recovery checks.
 
 #ifndef SRC_CORE_FSCK_H_
 #define SRC_CORE_FSCK_H_
@@ -41,6 +46,10 @@ struct FsckOptions {
   // server — a commit in flight between the index snapshot and the chain walk can show up
   // as a spurious mismatch.
   bool verify_version_index = true;
+  // I8: treat in-doubt cross-shard tips as errors. Off by default — an in-doubt tip is a
+  // legitimate transient state awaiting the coordinator's decision; turn this on after
+  // recovery has resolved every transaction, when none may remain.
+  bool fail_on_in_doubt = false;
 };
 
 struct FsckReport {
@@ -55,6 +64,8 @@ struct FsckReport {
   // I7: version-index records cross-checked against the disk (0 when the check is off or
   // the index is empty).
   uint64_t index_records = 0;
+  // I8: chain tips found holding a cross-shard prepare marker (awaiting a decision).
+  uint64_t in_doubt = 0;
   // Blocks resident on the archive tier, and how many of them verified / failed their
   // archive CRC. Filled by RunTieredFsck (src/tier) on tiered deployments; zero otherwise.
   uint64_t blocks_archived = 0;

@@ -8,8 +8,8 @@ namespace {
 // kind(1) + base_ref(4) + nrefs(2) + dsize(4)
 constexpr size_t kPlainHeaderBytes = 11;
 // file_cap(28) + version_cap(28) + commit_ref(4) + top_lock(8) + inner_lock(8) +
-// parent_ref(4) + root_flags(1)
-constexpr size_t kVersionExtraBytes = 81;
+// parent_ref(4) + root_flags(1) + prepare_txn(8)
+constexpr size_t kVersionExtraBytes = 89;
 
 }  // namespace
 
@@ -38,6 +38,7 @@ Result<std::vector<uint8_t>> Page::Serialize() const {
       return InvalidArgumentError("invalid root flags");
     }
     enc.PutU8(root_flags);
+    enc.PutU64(prepare_txn);
   }
   enc.PutU32(base_ref);
   enc.PutU16(static_cast<uint16_t>(refs.size()));
@@ -70,6 +71,7 @@ Result<Page> Page::Deserialize(std::span<const uint8_t> payload) {
     if (!FlagsValid(page.root_flags)) {
       return CorruptError("invalid root flags");
     }
+    ASSIGN_OR_RETURN(page.prepare_txn, dec.GetU64());
   }
   ASSIGN_OR_RETURN(page.base_ref, dec.GetU32());
   ASSIGN_OR_RETURN(uint16_t nrefs, dec.GetU16());

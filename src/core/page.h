@@ -49,6 +49,11 @@ struct Page {
   Port inner_lock = kNullPort;
   BlockNo parent_ref = kNilRef;  // version page of the enclosing super-file, if any
   uint8_t root_flags = 0;        // manager-kept C/R/W/S/M of the root page itself
+  // Cross-shard two-phase commit marker (docs/SHARDING.md). Non-zero on a version that has
+  // been PREPARED by a distributed transaction: its base's commit_ref already points here,
+  // but the version is not yet committed — readers must treat the base as current until the
+  // coordinator's decision clears this field (commit) or unlinks the version (abort).
+  uint64_t prepare_txn = 0;
 
   // --- all pages ---
   BlockNo base_ref = kNilRef;  // block this page was copied from

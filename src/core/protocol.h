@@ -93,6 +93,31 @@ enum class FileOp : uint32_t {
   // TierStat: () -> (u8 enabled, then iff enabled the 8 u64s of TierStatInfo in order)
   //   Tier observability snapshot; enabled=0 when no tier is attached.
   kTierStat = 21,
+
+  // --- Cross-shard two-phase commit (src/shard, docs/SHARDING.md) ------------
+  // Prepare: (capability version, u64 txn_id) -> (u32 head)
+  //   Phase 1 of the optimistic two-phase commit: run the §5.2 serialisability validation
+  //   for this participant's version, stage it at the end of its chain with the in-doubt
+  //   marker (prepare_txn = txn_id) set, and hold the slot until Decide. Idempotent for the
+  //   same txn_id. kConflict aborts the participant locally (the coordinator then aborts
+  //   the whole transaction).
+  kPrepare = 22,
+  // Decide: (u64 txn_id, u8 commit) -> ()
+  //   Phase 2: commit clears the in-doubt marker and publishes the staged version as
+  //   current; abort unlinks it and frees its private pages. Idempotent; unknown txn_ids
+  //   succeed (the decision may have been applied before a coordinator retransmission).
+  kDecide = 23,
+  // CrossCommit: (u32 n, n * (u32 shard_id, capability version)) -> (n * u32 head)
+  //   Coordinator entry point: commit an n-participant transaction atomically across
+  //   shards. Served by the shard that hosts the coordinator role for this transaction.
+  kCrossCommit = 24,
+  // ResolveTxn: (u64 txn_id) -> (u8 outcome)  outcome: 0 = aborted, 1 = committed
+  //   Recovery query: ask the coordinator's decision log what happened to txn_id.
+  //   Presumed abort: a transaction with no logged decision is reported aborted.
+  kResolveTxn = 25,
+  // ListInDoubt: () -> (u32 n, n * (u32 head, u64 txn_id))
+  //   Recovery support: the prepared-but-undecided versions this server still holds.
+  kListInDoubt = 26,
 };
 
 // Snapshot of a deployment's storage-tier state, served by kTierStat. Lives here (not in

@@ -46,6 +46,13 @@ Result<std::vector<std::string>> DirectoryClient::List() {
   return names;
 }
 
+Result<std::vector<uint8_t>> DirectoryClient::GetShardMap() {
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(transport_, directory_,
+                                static_cast<uint32_t>(DirOp::kGetShardMap), WireEncoder()));
+  return reply.GetBytes();
+}
+
 Status DirectoryClient::Rename(const std::string& old_name, const std::string& new_name) {
   WireEncoder req;
   req.PutString(old_name);

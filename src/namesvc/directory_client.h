@@ -25,6 +25,9 @@ class DirectoryClient {
   Status Remove(const std::string& name);
   Result<std::vector<std::string>> List();
   Status Rename(const std::string& old_name, const std::string& new_name);
+  // The deployment's encoded ShardMap (decode with ShardMap::Decode); kNotFound when the
+  // deployment is unsharded.
+  Result<std::vector<uint8_t>> GetShardMap();
 
   Port directory_port() const { return directory_; }
 

@@ -1,14 +1,62 @@
 #include "src/namesvc/directory_server.h"
 
+#include <chrono>
+
 #include "src/base/wire.h"
 #include "src/client/transaction.h"
+#include "src/obs/span.h"
 #include "src/rpc/client.h"
 
 namespace afs {
+namespace {
+
+// Times one direct-API handler: a named span for the trace tree plus the per-op latency
+// histogram, recorded whether the call arrived over RPC or in-process.
+class ScopedOp {
+ public:
+  ScopedOp(const char* span_name, obs::Counter* count, obs::Histogram* handle_ns)
+      : span_(span_name, obs::SpanKind::kServer),
+        handle_ns_(handle_ns),
+        start_(std::chrono::steady_clock::now()) {
+    count->Inc();
+  }
+  ~ScopedOp() {
+    handle_ns_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+  void set_status(const Status& st) {
+    if (!st.ok()) {
+      span_.set_status(static_cast<uint8_t>(st.code()));
+    }
+  }
+
+ private:
+  obs::ScopedSpan span_;
+  obs::Histogram* handle_ns_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 DirectoryServer::DirectoryServer(Network* network, std::string name,
                                  std::vector<Port> file_servers)
-    : Service(network, std::move(name)), files_(network, std::move(file_servers)) {}
+    : Service(network, std::move(name)), files_(network, std::move(file_servers)) {
+  op_enter_ = MakeInstrument("enter");
+  op_lookup_ = MakeInstrument("lookup");
+  op_remove_ = MakeInstrument("remove");
+  op_list_ = MakeInstrument("list");
+  op_rename_ = MakeInstrument("rename");
+  op_shard_map_ = MakeInstrument("shard_map");
+}
+
+DirectoryServer::OpInstrument DirectoryServer::MakeInstrument(const std::string& op) {
+  OpInstrument instrument;
+  instrument.count = metrics()->counter("ns." + op + ".count");
+  instrument.handle_ns = metrics()->histogram("ns." + op + ".handle_ns");
+  return instrument;
+}
 
 Status DirectoryServer::Init() {
   ASSIGN_OR_RETURN(dir_file_, files_.CreateFile());
@@ -67,34 +115,43 @@ Result<DirectoryServer::Entries> DirectoryServer::Snapshot() {
 }
 
 Status DirectoryServer::Enter(const std::string& name, const Capability& target) {
-  return Mutate([&](Entries* entries) -> Status {
+  ScopedOp op("ns.enter", op_enter_.count, op_enter_.handle_ns);
+  Status st = Mutate([&](Entries* entries) -> Status {
     if (entries->count(name) > 0) {
       return AlreadyExistsError("directory entry exists: " + name);
     }
     (*entries)[name] = target;
     return OkStatus();
   });
+  op.set_status(st);
+  return st;
 }
 
 Result<Capability> DirectoryServer::Lookup(const std::string& name) {
+  ScopedOp op("ns.lookup", op_lookup_.count, op_lookup_.handle_ns);
   ASSIGN_OR_RETURN(Entries entries, Snapshot());
   auto it = entries.find(name);
   if (it == entries.end()) {
+    op.set_status(NotFoundError(""));
     return NotFoundError("no directory entry: " + name);
   }
   return it->second;
 }
 
 Status DirectoryServer::Remove(const std::string& name) {
-  return Mutate([&](Entries* entries) -> Status {
+  ScopedOp op("ns.remove", op_remove_.count, op_remove_.handle_ns);
+  Status st = Mutate([&](Entries* entries) -> Status {
     if (entries->erase(name) == 0) {
       return NotFoundError("no directory entry: " + name);
     }
     return OkStatus();
   });
+  op.set_status(st);
+  return st;
 }
 
 Result<std::vector<std::string>> DirectoryServer::List() {
+  ScopedOp op("ns.list", op_list_.count, op_list_.handle_ns);
   ASSIGN_OR_RETURN(Entries entries, Snapshot());
   std::vector<std::string> names;
   names.reserve(entries.size());
@@ -106,7 +163,8 @@ Result<std::vector<std::string>> DirectoryServer::List() {
 }
 
 Status DirectoryServer::Rename(const std::string& old_name, const std::string& new_name) {
-  return Mutate([&](Entries* entries) -> Status {
+  ScopedOp op("ns.rename", op_rename_.count, op_rename_.handle_ns);
+  Status st = Mutate([&](Entries* entries) -> Status {
     auto it = entries->find(old_name);
     if (it == entries->end()) {
       return NotFoundError("no directory entry: " + old_name);
@@ -118,6 +176,23 @@ Status DirectoryServer::Rename(const std::string& old_name, const std::string& n
     entries->erase(it);
     return OkStatus();
   });
+  op.set_status(st);
+  return st;
+}
+
+void DirectoryServer::SetShardMapBlob(std::vector<uint8_t> blob) {
+  std::lock_guard<std::mutex> lock(shard_map_mu_);
+  shard_map_blob_ = std::move(blob);
+}
+
+Result<std::vector<uint8_t>> DirectoryServer::ShardMapBlob() const {
+  ScopedOp op("ns.shard_map", op_shard_map_.count, op_shard_map_.handle_ns);
+  std::lock_guard<std::mutex> lock(shard_map_mu_);
+  if (shard_map_blob_.empty()) {
+    op.set_status(NotFoundError(""));
+    return NotFoundError("this deployment publishes no shard map");
+  }
+  return shard_map_blob_;
 }
 
 Result<Message> DirectoryServer::Handle(const Message& m) {
@@ -155,6 +230,12 @@ Result<Message> DirectoryServer::Handle(const Message& m) {
       ASSIGN_OR_RETURN(std::string new_name, in.GetString());
       RETURN_IF_ERROR(Rename(old_name, new_name));
       return OkReply(m.opcode);
+    }
+    case DirOp::kGetShardMap: {
+      ASSIGN_OR_RETURN(std::vector<uint8_t> blob, ShardMapBlob());
+      WireEncoder out;
+      out.PutBytes(blob);
+      return OkReply(m.opcode, std::move(out));
     }
   }
   return InvalidArgumentError("unknown directory opcode");

@@ -1,0 +1,186 @@
+#include "src/shard/coordinator.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "src/base/wire.h"
+#include "src/core/protocol.h"
+#include "src/obs/span.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+
+ShardCoordinator::ShardCoordinator(ShardRouter* router, DecisionLog* log,
+                                   obs::MetricRegistry* metrics)
+    : router_(router),
+      log_(log),
+      // Transaction ids must not collide across coordinator incarnations: seed from the
+      // object identity, then never reuse (NextU64 stream).
+      rng_(Mix64(reinterpret_cast<uint64_t>(this)) | 1) {
+  obs::MetricRegistry* reg = metrics != nullptr ? metrics : &own_metrics_;
+  cross_commits_ = reg->counter("shard.cross_commit");
+  cross_aborts_ = reg->counter("shard.cross_abort");
+  cross_prepare_fails_ = reg->counter("shard.cross_prepare_fail");
+  recovered_commits_ = reg->counter("shard.cross_recovered_commit");
+  recovered_aborts_ = reg->counter("shard.cross_recovered_abort");
+  cross_latency_ns_ = reg->histogram("shard.cross_latency_ns");
+}
+
+void ShardCoordinator::Serve(FileServer* server) {
+  FileServer::ShardAdminHooks hooks;
+  hooks.cross_commit =
+      [this](const std::vector<std::pair<uint32_t, Capability>>& participants) {
+        return CommitCross(participants);
+      };
+  hooks.resolve = [this](uint64_t txn_id) { return Resolve(txn_id); };
+  server->SetShardAdmin(std::move(hooks));
+}
+
+Result<BlockNo> ShardCoordinator::CallPrepare(uint32_t shard, const Capability& version,
+                                              uint64_t txn_id) {
+  ASSIGN_OR_RETURN(std::shared_ptr<FileClient> client, router_->ClientFor(shard));
+  WireEncoder req;
+  req.PutCapability(version);
+  req.PutU64(txn_id);
+  // Version operations go to the version's managing server, like every FileClient op.
+  ASSIGN_OR_RETURN(WireDecoder reply,
+                   CallAndCheck(client->transport(), version.port,
+                                static_cast<uint32_t>(FileOp::kPrepare), std::move(req)));
+  return reply.GetU32();
+}
+
+Status ShardCoordinator::CallDecide(uint32_t shard, Port server, uint64_t txn_id,
+                                    bool commit) {
+  ASSIGN_OR_RETURN(std::shared_ptr<FileClient> client, router_->ClientFor(shard));
+  WireEncoder req;
+  req.PutU64(txn_id);
+  req.PutU8(commit ? 1 : 0);
+  return CallAndCheck(client->transport(), server,
+                      static_cast<uint32_t>(FileOp::kDecide), std::move(req))
+      .status();
+}
+
+Result<std::vector<BlockNo>> ShardCoordinator::CommitCross(
+    const std::vector<std::pair<uint32_t, Capability>>& participants) {
+  if (participants.empty()) {
+    return InvalidArgumentError("cross-shard commit has no participants");
+  }
+  if (participants.size() == 1) {
+    // Degenerate transaction: the plain single-shard commit, no staging.
+    ASSIGN_OR_RETURN(std::shared_ptr<FileClient> client,
+                     router_->ClientFor(participants.front().first));
+    ASSIGN_OR_RETURN(BlockNo head, client->Commit(participants.front().second));
+    return std::vector<BlockNo>{head};
+  }
+  std::unordered_set<uint32_t> distinct;
+  for (const auto& [shard, version] : participants) {
+    if (!distinct.insert(shard).second) {
+      return InvalidArgumentError(
+          "cross-shard commit needs one participant per shard (shard " +
+          std::to_string(shard) + " appears twice)");
+    }
+  }
+
+  uint64_t txn_id;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    txn_id = rng_.NextU64() | 1;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  obs::ScopedSpan span("shard.coordinate", obs::SpanKind::kPhase, txn_id,
+                       participants.size());
+
+  // Phase 1: every participant validates and stages. First failure aborts the whole
+  // transaction — participants already staged get the abort verdict immediately.
+  std::vector<BlockNo> heads;
+  heads.reserve(participants.size());
+  for (size_t i = 0; i < participants.size(); ++i) {
+    const auto& [shard, version] = participants[i];
+    Result<BlockNo> head = CallPrepare(shard, version, txn_id);
+    if (!head.ok()) {
+      cross_prepare_fails_->Inc();
+      for (size_t j = 0; j < i; ++j) {
+        (void)CallDecide(participants[j].first, participants[j].second.port, txn_id,
+                         /*commit=*/false);
+      }
+      cross_aborts_->Inc();
+      span.set_status(static_cast<uint8_t>(head.status().code()));
+      return head.status();
+    }
+    heads.push_back(*head);
+  }
+  if (crash_hook_) {
+    crash_hook_("prepared");
+  }
+
+  // The commit point: durable before any participant may flip.
+  if (Status st = log_->LogCommit(txn_id, [&] {
+        std::vector<uint32_t> shards;
+        shards.reserve(participants.size());
+        for (const auto& [shard, version] : participants) {
+          shards.push_back(shard);
+        }
+        return shards;
+      }());
+      !st.ok()) {
+    for (const auto& [shard, version] : participants) {
+      (void)CallDecide(shard, version.port, txn_id, /*commit=*/false);
+    }
+    cross_aborts_->Inc();
+    span.set_status(static_cast<uint8_t>(st.code()));
+    return st;
+  }
+  if (crash_hook_) {
+    crash_hook_("logged");
+  }
+
+  // Phase 2: the verdict. A participant that misses it (crash, partition) stays in doubt
+  // and is finished by RecoverInDoubt — the decision is already durable.
+  for (const auto& [shard, version] : participants) {
+    (void)CallDecide(shard, version.port, txn_id, /*commit=*/true);
+  }
+  cross_commits_->Inc();
+  cross_latency_ns_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count()));
+  return heads;
+}
+
+Result<bool> ShardCoordinator::Resolve(uint64_t txn_id) const {
+  return log_->Committed(txn_id);
+}
+
+Result<ShardCoordinator::RecoveryStats> ShardCoordinator::RecoverInDoubt() {
+  RecoveryStats stats;
+  ShardMap map = router_->map();
+  for (const ShardEntry& entry : map.shards) {
+    ASSIGN_OR_RETURN(std::shared_ptr<FileClient> client, router_->ClientFor(entry.shard_id));
+    // Servers of one group share a store, so after a restart several may list the same
+    // rediscovered tip: the verdict goes to each of them (each holds its own in-memory
+    // prepared entry), but the transaction counts once per shard.
+    std::unordered_set<uint64_t> counted;
+    for (Port server : entry.file_servers) {
+      auto reply = CallAndCheck(client->transport(), server,
+                                static_cast<uint32_t>(FileOp::kListInDoubt), WireEncoder());
+      if (!reply.ok()) {
+        continue;  // a down server recovers its own tips on restart; nothing to do now
+      }
+      ASSIGN_OR_RETURN(uint32_t n, reply->GetU32());
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(BlockNo head, reply->GetU32());
+        (void)head;
+        ASSIGN_OR_RETURN(uint64_t txn_id, reply->GetU64());
+        const bool commit = log_->Committed(txn_id);
+        if (CallDecide(entry.shard_id, server, txn_id, commit).ok() &&
+            counted.insert(txn_id).second) {
+          (commit ? stats.resolved_commit : stats.resolved_abort) += 1;
+          (commit ? recovered_commits_ : recovered_aborts_)->Inc();
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace afs

@@ -1,0 +1,88 @@
+// ShardCoordinator: the optimistic two-phase commit driver (docs/SHARDING.md §3).
+//
+// Phase 1 sends kPrepare to every participant's managing server: each runs the full §5.2
+// Kung–Robinson validation and, on success, stages its version at the end of the chain
+// behind an on-disk in-doubt marker. Phase 2 sends the verdict: commit iff every
+// participant prepared. Between the phases the coordinator durably logs the commit
+// decision (DecisionLog, presumed abort) — the classic 2PC commit point, here guarding an
+// optimistically validated transaction rather than a lock-based one.
+//
+// Crash accounting (the chaos suite drives each arm):
+//   - die before the log record:  no participant may commit; recovery presumes abort.
+//   - die after the log record:   every participant must commit; recovery finishes phase 2.
+// RecoverInDoubt scrapes every shard's in-doubt list (kListInDoubt) and applies exactly
+// that rule.
+
+#ifndef SRC_SHARD_COORDINATOR_H_
+#define SRC_SHARD_COORDINATOR_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/file_server.h"
+#include "src/obs/metrics.h"
+#include "src/shard/decision_log.h"
+#include "src/shard/router.h"
+
+namespace afs {
+
+class ShardCoordinator {
+ public:
+  // `router` and `log` must outlive the coordinator. `metrics` (optional) hosts the
+  // coordinator's instruments — pass the serving file server's registry so remote stats
+  // scrapes see them; defaults to a private registry.
+  ShardCoordinator(ShardRouter* router, DecisionLog* log,
+                   obs::MetricRegistry* metrics = nullptr);
+
+  // Expose this coordinator through `server`'s RPC surface (kCrossCommit, kResolveTxn).
+  void Serve(FileServer* server);
+
+  // The two-phase commit. Participants must be on pairwise distinct shards (one staged
+  // version per transaction per shard — the in-doubt marker names one transaction).
+  // Returns committed heads in participant order.
+  Result<std::vector<BlockNo>> CommitCross(
+      const std::vector<std::pair<uint32_t, Capability>>& participants);
+
+  // Presumed-abort resolution: the logged verdict for `txn_id`.
+  Result<bool> Resolve(uint64_t txn_id) const;
+
+  struct RecoveryStats {
+    uint64_t resolved_commit = 0;
+    uint64_t resolved_abort = 0;
+  };
+  // Finish every in-doubt transaction visible on any shard. Idempotent; run after a
+  // coordinator restart, or by an operator via afs_shell.
+  Result<RecoveryStats> RecoverInDoubt();
+
+  // Test hook: called at the named point inside CommitCross ("prepared" = all participants
+  // staged, decision not yet logged; "logged" = decision durable, phase 2 not yet sent).
+  // afs_server wires this to the AFS_SHARD_CRASH kill switch for the chaos suite.
+  void set_crash_hook(std::function<void(const char*)> hook) {
+    crash_hook_ = std::move(hook);
+  }
+
+ private:
+  Result<BlockNo> CallPrepare(uint32_t shard, const Capability& version, uint64_t txn_id);
+  Status CallDecide(uint32_t shard, Port server, uint64_t txn_id, bool commit);
+
+  ShardRouter* router_;
+  DecisionLog* log_;
+  std::function<void(const char*)> crash_hook_;
+
+  std::mutex rng_mu_;
+  Rng rng_;
+
+  obs::MetricRegistry own_metrics_{"shard.coord"};
+  obs::Counter* cross_commits_;
+  obs::Counter* cross_aborts_;
+  obs::Counter* cross_prepare_fails_;
+  obs::Counter* recovered_commits_;
+  obs::Counter* recovered_aborts_;
+  obs::Histogram* cross_latency_ns_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_SHARD_COORDINATOR_H_

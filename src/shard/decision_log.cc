@@ -1,0 +1,79 @@
+#include "src/shard/decision_log.h"
+
+#include "src/base/wire.h"
+
+namespace afs {
+namespace {
+
+// Record payload: u64 txn_id | u32 n | n * u32 shard id. Bounded so Recover can cap reads.
+constexpr uint32_t kMaxDecisionPayload = 4 * 1024;
+
+std::vector<uint8_t> EncodeDecision(uint64_t txn_id, const std::vector<uint32_t>& shards) {
+  WireEncoder enc;
+  enc.PutU64(txn_id);
+  enc.PutU32(static_cast<uint32_t>(shards.size()));
+  for (uint32_t shard : shards) {
+    enc.PutU32(shard);
+  }
+  return std::move(enc).Take();
+}
+
+}  // namespace
+
+Status MemoryDecisionLog::LogCommit(uint64_t txn_id, const std::vector<uint32_t>& shards) {
+  (void)shards;
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_.insert(txn_id);
+  return OkStatus();
+}
+
+bool MemoryDecisionLog::Committed(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_.count(txn_id) > 0;
+}
+
+Result<std::unique_ptr<JournalDecisionLog>> JournalDecisionLog::Open(
+    const std::string& path) {
+  std::unique_ptr<JournalDecisionLog> log(new JournalDecisionLog());
+  ASSIGN_OR_RETURN(log->file_, StableFile::Open(path));
+  log->journal_ = std::make_unique<Journal>(log->file_.get(), JournalOptions{},
+                                            &log->metrics_, nullptr);
+  uint64_t torn_bytes = 0;
+  ASSIGN_OR_RETURN(std::vector<Journal::ReplayedRecord> records,
+                   log->journal_->Recover(kMaxDecisionPayload, &torn_bytes));
+  for (const Journal::ReplayedRecord& rec : records) {
+    std::vector<uint8_t> payload(rec.payload_len);
+    RETURN_IF_ERROR(log->file_->ReadAt(rec.payload_offset, payload));
+    WireDecoder dec(payload);
+    ASSIGN_OR_RETURN(uint64_t txn_id, dec.GetU64());
+    log->committed_.insert(txn_id);
+  }
+  log->journal_->Start();
+  return log;
+}
+
+JournalDecisionLog::~JournalDecisionLog() {
+  if (journal_ != nullptr) {
+    journal_->Stop();
+  }
+}
+
+Status JournalDecisionLog::LogCommit(uint64_t txn_id,
+                                     const std::vector<uint32_t>& shards) {
+  RETURN_IF_ERROR(journal_->Append(0, EncodeDecision(txn_id, shards)).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_.insert(txn_id);
+  return OkStatus();
+}
+
+bool JournalDecisionLog::Committed(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_.count(txn_id) > 0;
+}
+
+uint64_t JournalDecisionLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_.size();
+}
+
+}  // namespace afs

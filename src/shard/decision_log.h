@@ -1,0 +1,72 @@
+// DecisionLog: the coordinator's durable commit record for cross-shard transactions.
+//
+// The protocol is presumed-abort: the ONLY durable state the coordinator keeps is a commit
+// record, written (and fsynced, via the src/store journal's group commit) after every
+// participant prepared and before any participant is told to commit. Resolution of an
+// in-doubt prepare is then a lookup: a logged transaction committed; an unlogged one —
+// including every transaction the coordinator died inside before logging — aborted.
+
+#ifndef SRC_SHARD_DECISION_LOG_H_
+#define SRC_SHARD_DECISION_LOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/obs/metrics.h"
+#include "src/store/journal.h"
+#include "src/store/stable_file.h"
+
+namespace afs {
+
+class DecisionLog {
+ public:
+  virtual ~DecisionLog() = default;
+  // Durably record that `txn_id` committed on `shards`. Must not return until the record
+  // is across the durability boundary (the phase-2 sends ride on this guarantee).
+  virtual Status LogCommit(uint64_t txn_id, const std::vector<uint32_t>& shards) = 0;
+  // Presumed abort: true iff a commit record for `txn_id` exists.
+  virtual bool Committed(uint64_t txn_id) const = 0;
+};
+
+// In-memory log for in-process deployments and tests that do not model coordinator loss.
+class MemoryDecisionLog : public DecisionLog {
+ public:
+  Status LogCommit(uint64_t txn_id, const std::vector<uint32_t>& shards) override;
+  bool Committed(uint64_t txn_id) const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_set<uint64_t> committed_;
+};
+
+// Durable log over a src/store Journal on a StableFile: records survive kill -9 of the
+// coordinator process, which is what makes recovery able to finish a logged transaction.
+class JournalDecisionLog : public DecisionLog {
+ public:
+  // Opens (or creates) the log at `path`, replays existing records, starts the flusher.
+  static Result<std::unique_ptr<JournalDecisionLog>> Open(const std::string& path);
+  ~JournalDecisionLog() override;
+
+  Status LogCommit(uint64_t txn_id, const std::vector<uint32_t>& shards) override;
+  bool Committed(uint64_t txn_id) const override;
+
+  uint64_t records() const;
+
+ private:
+  JournalDecisionLog() = default;
+
+  std::unique_ptr<StableFile> file_;
+  obs::MetricRegistry metrics_{"shard.dlog"};
+  std::unique_ptr<Journal> journal_;
+
+  mutable std::mutex mu_;
+  std::unordered_set<uint64_t> committed_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_SHARD_DECISION_LOG_H_

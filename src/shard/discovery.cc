@@ -1,0 +1,38 @@
+#include "src/shard/discovery.h"
+
+#include "src/net/socket.h"
+#include "src/net/tcp_server.h"
+
+namespace afs {
+
+Result<ShardMap> DiscoverShardMap(
+    const std::vector<std::string>& addresses,
+    std::vector<std::unique_ptr<net::TcpTransport>>* transports) {
+  ShardMap map;
+  map.epoch = 1;
+  transports->clear();
+  for (size_t i = 0; i < addresses.size(); ++i) {
+    ASSIGN_OR_RETURN(auto hostport, net::SplitHostPort(addresses[i]));
+    auto transport =
+        std::make_unique<net::TcpTransport>(hostport.first, hostport.second);
+    ASSIGN_OR_RETURN(net::TcpTransport::HelloInfo hello, transport->SayHello());
+    ShardEntry entry;
+    entry.shard_id = static_cast<uint32_t>(i);
+    entry.name = "shard" + std::to_string(i);
+    entry.address = addresses[i];
+    for (const net::TcpTransport::HelloEntry& svc : hello.services) {
+      if (svc.kind == static_cast<uint8_t>(net::ServiceKind::kFileServer)) {
+        entry.file_servers.push_back(svc.port);
+      } else if (svc.kind == static_cast<uint8_t>(net::ServiceKind::kDirectoryServer) &&
+                 entry.directory == kNullPort) {
+        entry.directory = svc.port;
+      }
+    }
+    map.shards.push_back(std::move(entry));
+    transports->push_back(std::move(transport));
+  }
+  RETURN_IF_ERROR(map.Validate());
+  return map;
+}
+
+}  // namespace afs

@@ -1,0 +1,25 @@
+// Multi-process shard bootstrap: dial every shard's afs_server, read its hello manifest,
+// and assemble the ShardMap + per-shard transports a ShardRouter needs. Shard ids are
+// positional — address i is shard i, matching the --shard i/N each server was started with.
+
+#ifndef SRC_SHARD_DISCOVERY_H_
+#define SRC_SHARD_DISCOVERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/tcp_transport.h"
+#include "src/shard/shard_map.h"
+
+namespace afs {
+
+// On success, transports->at(i) is the dialled transport for shard i; the caller owns
+// them and must keep them alive for the lifetime of any router built over the map.
+Result<ShardMap> DiscoverShardMap(
+    const std::vector<std::string>& addresses,
+    std::vector<std::unique_ptr<net::TcpTransport>>* transports);
+
+}  // namespace afs
+
+#endif  // SRC_SHARD_DISCOVERY_H_

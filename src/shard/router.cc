@@ -1,0 +1,186 @@
+#include "src/shard/router.h"
+
+#include <utility>
+
+#include "src/base/wire.h"
+#include "src/core/protocol.h"
+#include "src/obs/span.h"
+#include "src/rpc/client.h"
+
+namespace afs {
+
+ShardRouter::ShardRouter(ShardMap map,
+                         std::function<Transport*(const ShardEntry&)> transport_for)
+    : transport_for_(std::move(transport_for)), map_(std::move(map)) {}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Make(
+    ShardMap map, std::function<Transport*(const ShardEntry&)> transport_for) {
+  RETURN_IF_ERROR(map.Validate());
+  std::unique_ptr<ShardRouter> router(
+      new ShardRouter(std::move(map), std::move(transport_for)));
+  std::unique_lock<std::shared_mutex> lock(router->mu_);
+  RETURN_IF_ERROR(router->RebuildLocked());
+  lock.unlock();
+  return router;
+}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Make(ShardMap map, Transport* shared) {
+  return Make(std::move(map), [shared](const ShardEntry&) { return shared; });
+}
+
+Status ShardRouter::RebuildLocked() {
+  std::vector<std::shared_ptr<FileClient>> clients(map_.shards.size());
+  for (const ShardEntry& entry : map_.shards) {
+    Transport* transport = transport_for_(entry);
+    if (transport == nullptr) {
+      return UnavailableError("no transport for shard " + std::to_string(entry.shard_id));
+    }
+    clients[entry.shard_id] = std::make_shared<FileClient>(transport, entry.file_servers);
+  }
+  clients_ = std::move(clients);
+  return OkStatus();
+}
+
+uint32_t ShardRouter::num_shards() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.num_shards();
+}
+
+ShardMap ShardRouter::map() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_;
+}
+
+Status ShardRouter::Reload(ShardMap map) {
+  RETURN_IF_ERROR(map.Validate());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (map.epoch <= map_.epoch) {
+    return InvalidArgumentError("stale shard map (epoch " + std::to_string(map.epoch) +
+                                " <= " + std::to_string(map_.epoch) + ")");
+  }
+  ShardMap previous = std::move(map_);
+  map_ = std::move(map);
+  Status st = RebuildLocked();
+  if (!st.ok()) {
+    map_ = std::move(previous);  // clients_ for the old map are still intact
+    return st;
+  }
+  reloads_->Inc();
+  return OkStatus();
+}
+
+uint32_t ShardRouter::ShardOf(const Capability& file) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.ShardOfFile(file.object);
+}
+
+Result<std::shared_ptr<FileClient>> ShardRouter::ClientFor(uint32_t shard_id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (shard_id >= clients_.size() || clients_[shard_id] == nullptr) {
+    route_errors_->Inc();
+    return NotFoundError("no shard " + std::to_string(shard_id) + " in the map");
+  }
+  routes_->Inc();
+  return clients_[shard_id];
+}
+
+Result<std::shared_ptr<FileClient>> ShardRouter::ClientForFile(const Capability& file) {
+  uint32_t shard = ShardOf(file);
+  obs::ScopedSpan span("shard.route", obs::SpanKind::kClient, file.object, shard);
+  return ClientFor(shard);
+}
+
+Result<Capability> ShardRouter::CreateFileOn(uint32_t shard_id) {
+  ASSIGN_OR_RETURN(std::shared_ptr<FileClient> client, ClientFor(shard_id));
+  return client->CreateFile();
+}
+
+Result<Capability> ShardRouter::CreateFile() {
+  uint64_t next = next_placement_.fetch_add(1, std::memory_order_relaxed);
+  return CreateFileOn(static_cast<uint32_t>(next % num_shards()));
+}
+
+// ----- CrossTransaction ---------------------------------------------------------------
+
+Result<Capability> CrossTransaction::CreateVersion(const Capability& file) {
+  Participant p;
+  p.shard = router_->ShardOf(file);
+  p.file = file;
+  ASSIGN_OR_RETURN(std::shared_ptr<FileClient> client, router_->ClientFor(p.shard));
+  ASSIGN_OR_RETURN(p.version, client->CreateVersion(file));
+  Capability version = p.version;
+  participants_.push_back(std::move(p));
+  return version;
+}
+
+Result<std::shared_ptr<FileClient>> CrossTransaction::Client(const Capability& file) {
+  return router_->ClientForFile(file);
+}
+
+Result<std::vector<BlockNo>> CrossTransaction::Commit() {
+  if (participants_.empty()) {
+    return InvalidArgumentError("transaction has no participants");
+  }
+  if (participants_.size() == 1) {
+    // Single-shard fast path: the ordinary optimistic commit, untouched.
+    const Participant& p = participants_.front();
+    ASSIGN_OR_RETURN(std::shared_ptr<FileClient> client, router_->ClientFor(p.shard));
+    ASSIGN_OR_RETURN(BlockNo head, client->Commit(p.version));
+    return std::vector<BlockNo>{head};
+  }
+  // Two-phase path, coordinated by the first participant's shard.
+  obs::ScopedSpan span("shard.cross_commit", obs::SpanKind::kClient,
+                       participants_.size(), participants_.front().shard);
+  ASSIGN_OR_RETURN(std::shared_ptr<FileClient> coord,
+                   router_->ClientFor(participants_.front().shard));
+  WireEncoder req;
+  req.PutU32(static_cast<uint32_t>(participants_.size()));
+  for (const Participant& p : participants_) {
+    req.PutU32(p.shard);
+    req.PutCapability(p.version);
+  }
+  Status last = UnavailableError("no file servers configured");
+  for (Port server : coord->servers()) {
+    auto reply = CallAndCheck(coord->transport(), server,
+                              static_cast<uint32_t>(FileOp::kCrossCommit), std::move(req));
+    if (reply.ok()) {
+      ASSIGN_OR_RETURN(uint32_t n, reply->GetU32());
+      std::vector<BlockNo> heads;
+      heads.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(BlockNo head, reply->GetU32());
+        heads.push_back(head);
+      }
+      return heads;
+    }
+    last = reply.status();
+    if (last.code() != ErrorCode::kCrashed && last.code() != ErrorCode::kTimeout &&
+        last.code() != ErrorCode::kUnavailable) {
+      break;  // a real verdict (conflict, invalid), not connectivity — do not fail over
+    }
+    // Re-encode for the next server: CallAndCheck consumed the encoder.
+    req = WireEncoder();
+    req.PutU32(static_cast<uint32_t>(participants_.size()));
+    for (const Participant& p : participants_) {
+      req.PutU32(p.shard);
+      req.PutCapability(p.version);
+    }
+  }
+  span.set_status(static_cast<uint8_t>(last.code()));
+  return last;
+}
+
+Status CrossTransaction::Abort() {
+  Status first = OkStatus();
+  for (const Participant& p : participants_) {
+    auto client = router_->ClientFor(p.shard);
+    Status st = client.ok() ? (*client)->Abort(p.version) : client.status();
+    if (!st.ok() && first.ok()) {
+      first = st;
+    }
+  }
+  participants_.clear();
+  return first;
+}
+
+}  // namespace afs

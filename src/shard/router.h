@@ -1,0 +1,110 @@
+// ShardRouter: client-side resolution of capabilities to shards, plus CrossTransaction,
+// the multi-shard analogue of the client redo loop.
+//
+// The router holds a ShardMap and one FileClient per shard. Resolution is pure arithmetic
+// (file id modulo shard count — see shard_map.h), so routing adds no RPCs; the map is
+// reloadable (epoch-guarded) for deployments that republish it through the name service.
+// Transports are supplied by the caller: an in-process deployment passes one shared
+// Transport for every shard, a multi-process one passes each shard's TcpTransport.
+//
+// A CrossTransaction tracks the versions a client opened across shards. Committing one
+// participant takes the ordinary §5.2 single-shard commit — byte-for-byte the PR 8 fast
+// path, no coordination; committing several routes a kCrossCommit through the first
+// participant's shard, whose coordinator runs the optimistic two-phase protocol of
+// docs/SHARDING.md.
+
+#ifndef SRC_SHARD_ROUTER_H_
+#define SRC_SHARD_ROUTER_H_
+
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/client/file_client.h"
+#include "src/obs/metrics.h"
+#include "src/shard/shard_map.h"
+
+namespace afs {
+
+class ShardRouter {
+ public:
+  // `transport_for` maps a shard entry to the Transport its FileClient should use; the
+  // transports must outlive the router. Fails if the map does not validate.
+  static Result<std::unique_ptr<ShardRouter>> Make(
+      ShardMap map, std::function<Transport*(const ShardEntry&)> transport_for);
+  // Every shard reachable through one shared transport (in-process deployments).
+  static Result<std::unique_ptr<ShardRouter>> Make(ShardMap map, Transport* shared);
+
+  uint32_t num_shards() const;
+  ShardMap map() const;
+
+  // Swap in a newer map (epoch must advance); clients are rebuilt. In-flight operations
+  // on the old clients finish on them — they are shared_ptr-held until the last user goes.
+  Status Reload(ShardMap map);
+
+  // The owning shard of a FILE capability (version capabilities do not carry the file id;
+  // track their shard from the file they were opened on).
+  uint32_t ShardOf(const Capability& file) const;
+
+  Result<std::shared_ptr<FileClient>> ClientFor(uint32_t shard_id);
+  Result<std::shared_ptr<FileClient>> ClientForFile(const Capability& file);
+
+  // Placement: create a file on an explicit shard, or round-robin across shards.
+  Result<Capability> CreateFileOn(uint32_t shard_id);
+  Result<Capability> CreateFile();
+
+  obs::MetricRegistry* metrics() { return &metrics_; }
+
+ private:
+  ShardRouter(ShardMap map, std::function<Transport*(const ShardEntry&)> transport_for);
+  Status RebuildLocked();
+
+  std::function<Transport*(const ShardEntry&)> transport_for_;
+
+  mutable std::shared_mutex mu_;
+  ShardMap map_;
+  std::vector<std::shared_ptr<FileClient>> clients_;  // indexed by shard id
+
+  std::atomic<uint64_t> next_placement_{0};
+
+  obs::MetricRegistry metrics_{"shard.router"};
+  obs::Counter* routes_ = metrics_.counter("shard.route");
+  obs::Counter* route_errors_ = metrics_.counter("shard.route_error");
+  obs::Counter* reloads_ = metrics_.counter("shard.map_reload");
+};
+
+// One multi-shard transaction attempt. Not a retry loop: on kConflict the caller discards
+// the object and redoes the whole update, exactly like the single-shard RunTransaction
+// discipline (§6 "redoing an operation now and then is acceptable").
+class CrossTransaction {
+ public:
+  explicit CrossTransaction(ShardRouter* router) : router_(router) {}
+
+  // Open a version of `file` on its owning shard and track it as a participant.
+  Result<Capability> CreateVersion(const Capability& file);
+  // The client to use for page I/O on `file` (and the version opened on it).
+  Result<std::shared_ptr<FileClient>> Client(const Capability& file);
+
+  // Commit all participants atomically. One participant: the plain single-shard commit.
+  // Several: the two-phase kCrossCommit through the first participant's shard. Returns
+  // committed heads in participant order.
+  Result<std::vector<BlockNo>> Commit();
+  // Abort every participant (best effort; in-doubt cleanup is the coordinator's job).
+  Status Abort();
+
+  size_t num_participants() const { return participants_.size(); }
+
+ private:
+  struct Participant {
+    uint32_t shard = 0;
+    Capability file;
+    Capability version;
+  };
+  ShardRouter* router_;
+  std::vector<Participant> participants_;
+};
+
+}  // namespace afs
+
+#endif  // SRC_SHARD_ROUTER_H_

@@ -1,0 +1,61 @@
+#include "src/shard/shard_fsck.h"
+
+#include <sstream>
+
+namespace afs {
+
+std::string ShardFsckReport::ToString() const {
+  std::ostringstream os;
+  os << (clean ? "CLEAN" : "CORRUPT") << ": " << shards.size() << " shard(s), " << in_doubt
+     << " in-doubt transaction(s)";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    os << "\nshard " << i << ": " << shards[i].ToString();
+  }
+  for (const std::string& note : notes) {
+    os << "\n  note: " << note;
+  }
+  for (const std::string& error : errors) {
+    os << "\n  ERROR: " << error;
+  }
+  return os.str();
+}
+
+ShardFsckReport RunShardFsck(std::span<FileServer* const> shards, const DecisionLog* log,
+                             const FsckOptions& options) {
+  ShardFsckReport report;
+  report.shards.reserve(shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    FsckReport shard_report = RunFsck(shards[i], options);
+    report.clean = report.clean && shard_report.clean;
+    report.in_doubt += shard_report.in_doubt;
+    report.shards.push_back(std::move(shard_report));
+
+    // Cross-shard invariant: every in-doubt prepare names a transaction the decision log
+    // can classify. An unresolvable record is fine (presumed abort), but classify it so
+    // the report says which way recovery will go.
+    if (log != nullptr) {
+      for (const FileServer::InDoubtEntry& e : shards[i]->ListInDoubt()) {
+        report.notes.push_back("shard " + std::to_string(i) + ": txn " +
+                                std::to_string(e.txn_id) + " in doubt at head " +
+                                std::to_string(e.head) + " -> " +
+                                (log->Committed(e.txn_id) ? "will commit" : "will abort"));
+      }
+    }
+  }
+  return report;
+}
+
+Result<ResolveStats> ResolveInDoubt(std::span<FileServer* const> shards,
+                                    const DecisionLog& log) {
+  ResolveStats stats;
+  for (FileServer* server : shards) {
+    for (const FileServer::InDoubtEntry& e : server->ListInDoubt()) {
+      const bool commit = log.Committed(e.txn_id);
+      RETURN_IF_ERROR(server->Decide(e.txn_id, commit));
+      (commit ? stats.committed : stats.aborted) += 1;
+    }
+  }
+  return stats;
+}
+
+}  // namespace afs

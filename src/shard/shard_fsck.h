@@ -1,0 +1,49 @@
+// Sharded fsck: the single-store checker of src/core/fsck.h, run per shard, plus the
+// cross-shard invariant — every in-doubt prepare must be resolvable against the
+// coordinator's decision log, and a logged-committed transaction must not have been
+// aborted anywhere (nor vice versa, which the per-shard I8 checks make structural).
+
+#ifndef SRC_SHARD_SHARD_FSCK_H_
+#define SRC_SHARD_SHARD_FSCK_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/fsck.h"
+#include "src/shard/decision_log.h"
+
+namespace afs {
+
+struct ShardFsckReport {
+  bool clean = true;
+  std::vector<FsckReport> shards;  // indexed like the input span
+  // In-doubt transactions found across all shards, after the per-shard walks.
+  uint64_t in_doubt = 0;
+  // Per-transaction classification against the decision log ("will commit"/"will abort").
+  std::vector<std::string> notes;
+  std::vector<std::string> errors;
+
+  std::string ToString() const;
+};
+
+// Run RunFsck on every shard's server and evaluate the cross-shard invariant. With a
+// decision log, each in-doubt transaction is classified (will-commit / will-abort); without
+// one, in-doubt tips are reported but not classified.
+ShardFsckReport RunShardFsck(std::span<FileServer* const> shards, const DecisionLog* log,
+                             const FsckOptions& options = {});
+
+struct ResolveStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+};
+// Offline in-doubt resolution, directly against the servers (no coordinator RPC): apply
+// the presumed-abort rule to every in-doubt prepare. Used by recovery paths that hold the
+// stores locally — the multi-process deployments resolve through
+// ShardCoordinator::RecoverInDoubt instead.
+Result<ResolveStats> ResolveInDoubt(std::span<FileServer* const> shards,
+                                    const DecisionLog& log);
+
+}  // namespace afs
+
+#endif  // SRC_SHARD_SHARD_FSCK_H_

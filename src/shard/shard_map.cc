@@ -1,0 +1,97 @@
+#include "src/shard/shard_map.h"
+
+#include "src/base/wire.h"
+
+namespace afs {
+
+namespace {
+// Encoded-map version tag, so a future layout change can coexist with old blobs.
+constexpr uint32_t kShardMapVersion = 1;
+}  // namespace
+
+const ShardEntry* ShardMap::Find(uint32_t shard_id) const {
+  for (const ShardEntry& entry : shards) {
+    if (entry.shard_id == shard_id) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+Status ShardMap::Validate() const {
+  if (shards.empty()) {
+    return InvalidArgumentError("shard map has no shards");
+  }
+  std::vector<bool> seen(shards.size(), false);
+  for (const ShardEntry& entry : shards) {
+    if (entry.shard_id >= shards.size()) {
+      return InvalidArgumentError("shard id " + std::to_string(entry.shard_id) +
+                                  " out of range for " + std::to_string(shards.size()) +
+                                  " shard(s)");
+    }
+    if (seen[entry.shard_id]) {
+      return InvalidArgumentError("duplicate shard id " + std::to_string(entry.shard_id));
+    }
+    seen[entry.shard_id] = true;
+    if (entry.file_servers.empty()) {
+      return InvalidArgumentError("shard " + std::to_string(entry.shard_id) +
+                                  " has no file servers");
+    }
+  }
+  return OkStatus();
+}
+
+std::vector<uint8_t> ShardMap::Encode() const {
+  WireEncoder enc;
+  enc.PutU32(kShardMapVersion);
+  enc.PutU32(epoch);
+  enc.PutU32(num_shards());
+  for (const ShardEntry& entry : shards) {
+    enc.PutU32(entry.shard_id);
+    enc.PutString(entry.name);
+    enc.PutString(entry.address);
+    enc.PutU32(static_cast<uint32_t>(entry.file_servers.size()));
+    for (Port port : entry.file_servers) {
+      enc.PutU64(port);
+    }
+    enc.PutU64(entry.directory);
+  }
+  return std::move(enc).Take();
+}
+
+Result<ShardMap> ShardMap::Decode(std::span<const uint8_t> blob) {
+  WireDecoder dec(blob);
+  ASSIGN_OR_RETURN(uint32_t version, dec.GetU32());
+  if (version != kShardMapVersion) {
+    return CorruptError("unknown shard map version " + std::to_string(version));
+  }
+  ShardMap map;
+  ASSIGN_OR_RETURN(map.epoch, dec.GetU32());
+  ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+  // Each shard entry is at least its id plus two string counts and two counts/ports.
+  if (n > dec.remaining() / 8) {
+    return CorruptError("shard count exceeds blob size");
+  }
+  map.shards.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ShardEntry entry;
+    ASSIGN_OR_RETURN(entry.shard_id, dec.GetU32());
+    ASSIGN_OR_RETURN(entry.name, dec.GetString());
+    ASSIGN_OR_RETURN(entry.address, dec.GetString());
+    ASSIGN_OR_RETURN(uint32_t nports, dec.GetU32());
+    if (nports > dec.remaining() / 8) {
+      return CorruptError("file server count exceeds blob size");
+    }
+    entry.file_servers.reserve(nports);
+    for (uint32_t p = 0; p < nports; ++p) {
+      ASSIGN_OR_RETURN(Port port, dec.GetU64());
+      entry.file_servers.push_back(port);
+    }
+    ASSIGN_OR_RETURN(entry.directory, dec.GetU64());
+    map.shards.push_back(std::move(entry));
+  }
+  RETURN_IF_ERROR(map.Validate());
+  return map;
+}
+
+}  // namespace afs

@@ -1,0 +1,57 @@
+// ShardMap: the routing table of a sharded AFS deployment (docs/SHARDING.md).
+//
+// A deployment of N shards runs N independent file-service groups, each with its own block
+// servers and store. Placement is by file id: every server of shard k mints file ids
+// congruent to k modulo N (FileServerOptions::shard_id/num_shards), so the owning shard of
+// any file capability is computable from the capability alone — no lookup service on the
+// read or commit path. The map itself carries the per-shard connection details (service
+// ports, and the TCP address for multi-process deployments) plus an epoch so a reloaded
+// map can be told apart from a stale one. The name service publishes the encoded map
+// (DirOp::kGetShardMap), which is how remote clients bootstrap a ShardRouter.
+
+#ifndef SRC_SHARD_SHARD_MAP_H_
+#define SRC_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/capability.h"
+#include "src/base/status.h"
+
+namespace afs {
+
+struct ShardEntry {
+  uint32_t shard_id = 0;
+  std::string name;        // display name, e.g. "shard0"
+  std::string address;     // "host:port" of the shard's TcpServer; empty for in-process
+  std::vector<Port> file_servers;  // the shard's file-service group
+  Port directory = kNullPort;      // the shard's directory server, if it runs one
+};
+
+struct ShardMap {
+  uint32_t epoch = 0;
+  std::vector<ShardEntry> shards;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards.size()); }
+
+  // The owning shard of a file id, by the placement congruence.
+  static uint32_t ShardOfFile(uint64_t file_id, uint32_t num_shards) {
+    return num_shards <= 1 ? 0 : static_cast<uint32_t>(file_id % num_shards);
+  }
+  uint32_t ShardOfFile(uint64_t file_id) const { return ShardOfFile(file_id, num_shards()); }
+
+  const ShardEntry* Find(uint32_t shard_id) const;
+
+  // Structural validity: shard ids are exactly 0..n-1 (any order), each with at least one
+  // file server. A map that fails this would silently misroute, so routers reject it.
+  Status Validate() const;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ShardMap> Decode(std::span<const uint8_t> blob);
+};
+
+}  // namespace afs
+
+#endif  // SRC_SHARD_SHARD_MAP_H_

@@ -1,0 +1,179 @@
+// Cross-shard atomicity chaos: seeded fault schedules against a 2-shard deployment
+// driving 2-of-2-shard transactions, asserting the all-or-nothing invariant the two-phase
+// commit exists for — two counters updated only together can NEVER read differently, no
+// matter what the network drops, duplicates, or delays, and no matter which participant
+// process bounces mid-run. Every schedule is reproducible from its seed alone (the network
+// seed drives all random events).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/client/file_client.h"
+#include "src/core/fsck.h"
+#include "src/shard/router.h"
+#include "src/shard/shard_fsck.h"
+#include "tests/testing/shard_cluster.h"
+
+namespace afs {
+namespace {
+
+Status CommitText(ShardCluster& cluster, const Capability& file, const std::string& text) {
+  auto client = cluster.router().ClientForFile(file);
+  RETURN_IF_ERROR(client.status());
+  ASSIGN_OR_RETURN(Capability v, (*client)->CreateVersion(file));
+  RETURN_IF_ERROR((*client)->WriteString(v, PagePath::Root(), text));
+  return (*client)->Commit(v).status();
+}
+
+Result<int> ReadCounter(ShardCluster& cluster, const Capability& file) {
+  auto client = cluster.router().ClientForFile(file);
+  RETURN_IF_ERROR(client.status());
+  ASSIGN_OR_RETURN(Capability current, (*client)->GetCurrentVersion(file));
+  ASSIGN_OR_RETURN(std::string text, (*client)->ReadString(current, PagePath::Root()));
+  return std::stoi(text);
+}
+
+// One 2-of-2-shard increment attempt: read both counters inside the transaction's private
+// versions, write both +1, commit atomically. kConflict means redo (§6 discipline).
+Status IncrementBoth(ShardCluster& cluster, const Capability& a, const Capability& b) {
+  CrossTransaction xt(&cluster.router());
+  ASSIGN_OR_RETURN(Capability va, xt.CreateVersion(a));
+  ASSIGN_OR_RETURN(Capability vb, xt.CreateVersion(b));
+  ASSIGN_OR_RETURN(auto ca, xt.Client(a));
+  ASSIGN_OR_RETURN(auto cb, xt.Client(b));
+  ASSIGN_OR_RETURN(std::string ta, ca->ReadString(va, PagePath::Root()));
+  ASSIGN_OR_RETURN(std::string tb, cb->ReadString(vb, PagePath::Root()));
+  RETURN_IF_ERROR(ca->WriteString(va, PagePath::Root(), std::to_string(std::stoi(ta) + 1)));
+  RETURN_IF_ERROR(cb->WriteString(vb, PagePath::Root(), std::to_string(std::stoi(tb) + 1)));
+  Result<std::vector<BlockNo>> heads = xt.Commit();
+  if (!heads.ok()) {
+    (void)xt.Abort();  // best effort; staged state is the coordinator's to clean up
+    return heads.status();
+  }
+  return OkStatus();
+}
+
+// Runs `per_thread` cross-shard increments on each of `threads` workers, redoing each
+// logical update until it commits. Returns the number that never committed (expected 0).
+int RunCrossIncrementBatch(ShardCluster& cluster, const Capability& a, const Capability& b,
+                           int threads, int per_thread, uint64_t seed) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        bool committed = false;
+        for (int attempt = 0; attempt < 300 && !committed; ++attempt) {
+          committed = IncrementBoth(cluster, a, b).ok();
+          if (!committed) {
+            // Seeded jittered backoff, so contending workers desynchronise.
+            uint64_t jitter = (seed * 1315423911u + t * 2654435761u + attempt) % 97;
+            std::this_thread::sleep_for(std::chrono::microseconds(50 + jitter * 10));
+          }
+        }
+        if (!committed) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  return failures.load();
+}
+
+void ExpectAllOrNothing(ShardCluster& cluster, const Capability& a, const Capability& b,
+                        int expected) {
+  auto ca = ReadCounter(cluster, a);
+  auto cb = ReadCounter(cluster, b);
+  ASSERT_TRUE(ca.ok()) << ca.status();
+  ASSERT_TRUE(cb.ok()) << cb.status();
+  // The invariant under test: the counters move only together. A mismatch is a
+  // half-committed cross-shard transaction — the exact failure 2PC must exclude.
+  EXPECT_EQ(*ca, *cb) << "half-commit: shard0=" << *ca << " shard1=" << *cb;
+  EXPECT_EQ(*ca, expected);
+}
+
+// The 20-seed fault bank: drops, duplicates, and reorder delays live under every prepare,
+// decide, and data RPC while 2-of-2-shard transactions hammer both shards.
+TEST(ShardChaosTest, FaultsNeverSplitACrossShardCommit) {
+  for (uint64_t seed : {1,  2,  3,  4,  5,  6,  7,  8,  9,  10,
+                        11, 12, 13, 14, 15, 16, 17, 18, 19, 20}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ShardCluster cluster(2, seed);
+    auto a = cluster.router().CreateFileOn(0);
+    auto b = cluster.router().CreateFileOn(1);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_TRUE(CommitText(cluster, *a, "0").ok());
+    ASSERT_TRUE(CommitText(cluster, *b, "0").ok());
+
+    FaultInjection faults;
+    faults.drop_request = 0.08;
+    faults.drop_reply = 0.08;
+    faults.duplicate_request = 0.04;
+    faults.reorder_delay = 0.04;
+    cluster.net().set_fault_injection(faults);
+
+    constexpr int kThreads = 2;
+    constexpr int kPerThread = 3;
+    EXPECT_EQ(RunCrossIncrementBatch(cluster, *a, *b, kThreads, kPerThread, seed), 0);
+
+    cluster.net().set_fault_injection(FaultInjection{});
+    ExpectAllOrNothing(cluster, *a, *b, kThreads * kPerThread);
+
+    // Every decision reached both shards: nothing is left staged, fsck is clean on each
+    // shard even with the strict in-doubt gate.
+    auto servers = cluster.Servers();
+    ShardFsckReport report =
+        RunShardFsck(servers, &cluster.log(), {.fail_on_in_doubt = true});
+    EXPECT_TRUE(report.clean) << report.ToString();
+    EXPECT_EQ(report.in_doubt, 0u);
+  }
+}
+
+// Participant restarts between batches, layered over message faults: a bounced shard
+// rejoins (re-discovering any in-doubt tips from disk) and the invariant holds across
+// every round. In-doubt leftovers from transactions caught mid-flight by the bounce are
+// resolved by the coordinator's recovery sweep, after which strict fsck must pass.
+TEST(ShardChaosTest, ParticipantBouncesNeverSplitACrossShardCommit) {
+  for (uint64_t seed : {31, 32, 33, 34, 35, 36}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ShardCluster cluster(2, seed);
+    auto a = cluster.router().CreateFileOn(0);
+    auto b = cluster.router().CreateFileOn(1);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_TRUE(CommitText(cluster, *a, "0").ok());
+    ASSERT_TRUE(CommitText(cluster, *b, "0").ok());
+
+    FaultInjection faults;
+    faults.drop_request = 0.05;
+    faults.drop_reply = 0.05;
+    cluster.net().set_fault_injection(faults);
+
+    int committed = 0;
+    for (int round = 0; round < 3; ++round) {
+      EXPECT_EQ(RunCrossIncrementBatch(cluster, *a, *b, 2, 2, seed * 31 + round), 0);
+      committed += 4;
+      cluster.RestartShard(round % 2 == 0 ? 1 : 0);
+      // Finish anything the bounce left in doubt before the next round's traffic.
+      auto recovered = cluster.coord().RecoverInDoubt();
+      ASSERT_TRUE(recovered.ok()) << recovered.status();
+    }
+
+    cluster.net().set_fault_injection(FaultInjection{});
+    ExpectAllOrNothing(cluster, *a, *b, committed);
+    auto servers = cluster.Servers();
+    ShardFsckReport report =
+        RunShardFsck(servers, &cluster.log(), {.fail_on_in_doubt = true});
+    EXPECT_TRUE(report.clean) << report.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace afs

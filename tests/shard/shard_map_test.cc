@@ -1,0 +1,96 @@
+// ShardMap unit tests: placement arithmetic, structural validation, wire roundtrip.
+
+#include "src/shard/shard_map.h"
+
+#include <gtest/gtest.h>
+
+namespace afs {
+namespace {
+
+ShardMap MakeMap(uint32_t n) {
+  ShardMap map;
+  map.epoch = 3;
+  for (uint32_t k = 0; k < n; ++k) {
+    ShardEntry entry;
+    entry.shard_id = k;
+    entry.name = "shard" + std::to_string(k);
+    entry.address = "127.0.0.1:" + std::to_string(7000 + k);
+    entry.file_servers = {static_cast<Port>(10 + 2 * k), static_cast<Port>(11 + 2 * k)};
+    entry.directory = static_cast<Port>(100 + k);
+    map.shards.push_back(std::move(entry));
+  }
+  return map;
+}
+
+TEST(ShardMapTest, PlacementCongruence) {
+  // One shard owns everything; otherwise the owning shard is file id mod shard count.
+  EXPECT_EQ(ShardMap::ShardOfFile(12345, 1), 0u);
+  EXPECT_EQ(ShardMap::ShardOfFile(0, 1), 0u);
+  for (uint64_t id = 1; id < 100; ++id) {
+    EXPECT_EQ(ShardMap::ShardOfFile(id, 4), id % 4);
+  }
+  ShardMap map = MakeMap(3);
+  EXPECT_EQ(map.ShardOfFile(7), 7u % 3u);
+}
+
+TEST(ShardMapTest, FindByShardId) {
+  ShardMap map = MakeMap(3);
+  ASSERT_NE(map.Find(2), nullptr);
+  EXPECT_EQ(map.Find(2)->name, "shard2");
+  EXPECT_EQ(map.Find(9), nullptr);
+}
+
+TEST(ShardMapTest, ValidateAcceptsDenseIds) {
+  EXPECT_TRUE(MakeMap(1).Validate().ok());
+  EXPECT_TRUE(MakeMap(4).Validate().ok());
+  // Order does not matter, only the id set.
+  ShardMap shuffled = MakeMap(3);
+  std::swap(shuffled.shards[0], shuffled.shards[2]);
+  EXPECT_TRUE(shuffled.Validate().ok());
+}
+
+TEST(ShardMapTest, ValidateRejectsBrokenMaps) {
+  EXPECT_FALSE(ShardMap{}.Validate().ok());  // empty
+
+  ShardMap dup = MakeMap(2);
+  dup.shards[1].shard_id = 0;  // duplicate id → id 1 missing
+  EXPECT_FALSE(dup.Validate().ok());
+
+  ShardMap sparse = MakeMap(2);
+  sparse.shards[1].shard_id = 5;  // ids must be exactly 0..n-1
+  EXPECT_FALSE(sparse.Validate().ok());
+
+  ShardMap no_fs = MakeMap(2);
+  no_fs.shards[0].file_servers.clear();  // a shard no client can reach
+  EXPECT_FALSE(no_fs.Validate().ok());
+}
+
+TEST(ShardMapTest, EncodeDecodeRoundtrip) {
+  ShardMap map = MakeMap(4);
+  auto decoded = ShardMap::Decode(map.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->epoch, map.epoch);
+  ASSERT_EQ(decoded->num_shards(), 4u);
+  for (uint32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(decoded->shards[k].shard_id, map.shards[k].shard_id);
+    EXPECT_EQ(decoded->shards[k].name, map.shards[k].name);
+    EXPECT_EQ(decoded->shards[k].address, map.shards[k].address);
+    EXPECT_EQ(decoded->shards[k].file_servers, map.shards[k].file_servers);
+    EXPECT_EQ(decoded->shards[k].directory, map.shards[k].directory);
+  }
+}
+
+TEST(ShardMapTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(ShardMap::Decode({}).ok());
+
+  std::vector<uint8_t> blob = MakeMap(2).Encode();
+  std::vector<uint8_t> truncated(blob.begin(), blob.begin() + blob.size() / 2);
+  EXPECT_FALSE(ShardMap::Decode(truncated).ok());
+
+  std::vector<uint8_t> bad_version = blob;
+  bad_version[0] = 0xee;  // unknown format tag
+  EXPECT_FALSE(ShardMap::Decode(bad_version).ok());
+}
+
+}  // namespace
+}  // namespace afs

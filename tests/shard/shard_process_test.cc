@@ -1,0 +1,335 @@
+// Multi-process sharding: two real afs_server --shard k/2 processes wired into one
+// deployment over genuine TCP, driven from this process through DiscoverShardMap +
+// ShardRouter + CrossTransaction. Covers the happy cross-shard commit and the two kill -9
+// coordinator arms of docs/SHARDING.md §5: SIGKILL between prepare and the decision-log
+// write must abort everywhere on recovery; SIGKILL between the log write and phase 2 must
+// commit everywhere.
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/file_client.h"
+#include "src/net/tcp_transport.h"
+#include "src/shard/discovery.h"
+#include "src/shard/router.h"
+
+namespace afs {
+namespace {
+
+// One afs_server --shard child. Stdout is line-parsed (LISTENING, SHARDED); stdin stays
+// open for the peers line. `crash_point` sets AFS_SHARD_CRASH in the child's environment.
+class ShardServerProcess {
+ public:
+  ShardServerProcess(const std::string& store_dir, uint32_t shard_id, uint32_t num_shards,
+                     const std::string& crash_point = "") {
+    Launch(store_dir, shard_id, num_shards, crash_point);
+  }
+
+  ~ShardServerProcess() { KillHard(); }
+
+  void Launch(const std::string& store_dir, uint32_t shard_id, uint32_t num_shards,
+              const std::string& crash_point) {
+    const char* bin = std::getenv("AFS_SERVER_BIN");
+    if (bin == nullptr) {
+      ADD_FAILURE() << "AFS_SERVER_BIN not set (run via ctest)";
+      return;
+    }
+    int out_pipe[2];
+    int in_pipe[2];
+    ASSERT_EQ(pipe(out_pipe), 0);
+    ASSERT_EQ(pipe(in_pipe), 0);
+    pid_ = fork();
+    ASSERT_GE(pid_, 0);
+    if (pid_ == 0) {
+      dup2(out_pipe[1], STDOUT_FILENO);
+      dup2(in_pipe[0], STDIN_FILENO);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+      if (!crash_point.empty()) {
+        setenv("AFS_SHARD_CRASH", crash_point.c_str(), 1);
+      } else {
+        unsetenv("AFS_SHARD_CRASH");
+      }
+      std::string shard_arg =
+          std::to_string(shard_id) + "/" + std::to_string(num_shards);
+      std::vector<std::string> args = {bin,       "--port",  "0",
+                                       "--store", store_dir, "--shard",
+                                       shard_arg};
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) {
+        argv.push_back(a.data());
+      }
+      argv.push_back(nullptr);
+      execv(bin, argv.data());
+      _exit(127);
+    }
+    close(out_pipe[1]);
+    close(in_pipe[0]);
+    out_fd_ = out_pipe[0];
+    in_fd_ = in_pipe[1];
+    std::string line = WaitForLine("LISTENING ");
+    unsigned port = 0;
+    if (std::sscanf(line.c_str(), "LISTENING %u", &port) != 1 || port == 0) {
+      ADD_FAILURE() << "no LISTENING line; got: " << line;
+    }
+    port_ = static_cast<uint16_t>(port);
+  }
+
+  uint16_t port() const { return port_; }
+  std::string address() const { return "127.0.0.1:" + std::to_string(port_); }
+
+  void SendPeers(const std::string& peers) {
+    std::string line = "peers " + peers + "\n";
+    ASSERT_EQ(write(in_fd_, line.data(), line.size()),
+              static_cast<ssize_t>(line.size()));
+  }
+
+  // Blocks until a stdout line starting with `prefix` arrives (or ~20 s pass).
+  std::string WaitForLine(const std::string& prefix) {
+    for (int spin = 0; spin < 200; ++spin) {
+      size_t nl;
+      while ((nl = buffer_.find('\n')) != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        if (line.rfind(prefix, 0) == 0) {
+          return line;
+        }
+      }
+      struct pollfd pfd = {out_fd_, POLLIN, 0};
+      if (poll(&pfd, 1, 100) <= 0) {
+        continue;
+      }
+      char buf[512];
+      ssize_t n = read(out_fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        break;  // child died
+      }
+      buffer_.append(buf, static_cast<size_t>(n));
+    }
+    ADD_FAILURE() << "no '" << prefix << "' line; buffered: " << buffer_;
+    return "";
+  }
+
+  // Wait for the child to exit on its own (the AFS_SHARD_CRASH _Exit path).
+  bool WaitForExit() {
+    if (pid_ <= 0) {
+      return false;
+    }
+    int status = 0;
+    for (int spin = 0; spin < 200; ++spin) {
+      pid_t done = waitpid(pid_, &status, WNOHANG);
+      if (done == pid_) {
+        pid_ = -1;
+        CloseFds();
+        return true;
+      }
+      usleep(100 * 1000);
+    }
+    return false;
+  }
+
+  void KillHard() {
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    CloseFds();
+  }
+
+  void Quit() {
+    if (pid_ > 0 && in_fd_ >= 0) {
+      (void)!write(in_fd_, "quit\n", 5);
+      close(in_fd_);
+      in_fd_ = -1;
+      waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    CloseFds();
+  }
+
+ private:
+  void CloseFds() {
+    if (out_fd_ >= 0) {
+      close(out_fd_);
+      out_fd_ = -1;
+    }
+    if (in_fd_ >= 0) {
+      close(in_fd_);
+      in_fd_ = -1;
+    }
+  }
+
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  int in_fd_ = -1;
+  uint16_t port_ = 0;
+  std::string buffer_;
+};
+
+std::string MakeScratchDir() {
+  char tmpl[] = "/tmp/afs_shard_process_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+// The client half: one transport per shard (from discovery) and a router over them.
+struct ShardedClient {
+  Status Connect(const std::vector<std::string>& addresses) {
+    ASSIGN_OR_RETURN(ShardMap map, DiscoverShardMap(addresses, &transports));
+    ASSIGN_OR_RETURN(router, ShardRouter::Make(std::move(map), [this](const ShardEntry& e) {
+                       return static_cast<Transport*>(transports[e.shard_id].get());
+                     }));
+    return OkStatus();
+  }
+
+  std::vector<std::unique_ptr<net::TcpTransport>> transports;
+  std::unique_ptr<ShardRouter> router;
+};
+
+Result<std::string> ReadText(ShardedClient& c, const Capability& file) {
+  ASSIGN_OR_RETURN(auto client, c.router->ClientForFile(file));
+  ASSIGN_OR_RETURN(Capability current, client->GetCurrentVersion(file));
+  return client->ReadString(current, PagePath::Root());
+}
+
+Status CommitText(ShardedClient& c, const Capability& file, const std::string& text) {
+  ASSIGN_OR_RETURN(auto client, c.router->ClientForFile(file));
+  ASSIGN_OR_RETURN(Capability v, client->CreateVersion(file));
+  RETURN_IF_ERROR(client->WriteString(v, PagePath::Root(), text));
+  return client->Commit(v).status();
+}
+
+// Stages a 2-of-2-shard transaction writing `text` to both files and commits it.
+Result<std::vector<BlockNo>> CommitBoth(ShardedClient& c, const Capability& a,
+                                        const Capability& b, const std::string& text) {
+  CrossTransaction xt(c.router.get());
+  ASSIGN_OR_RETURN(Capability va, xt.CreateVersion(a));
+  ASSIGN_OR_RETURN(Capability vb, xt.CreateVersion(b));
+  ASSIGN_OR_RETURN(auto ca, xt.Client(a));
+  ASSIGN_OR_RETURN(auto cb, xt.Client(b));
+  RETURN_IF_ERROR(ca->WriteString(va, PagePath::Root(), text));
+  RETURN_IF_ERROR(cb->WriteString(vb, PagePath::Root(), text));
+  return xt.Commit();
+}
+
+void FormDeployment(ShardServerProcess& s0, ShardServerProcess& s1) {
+  std::string peers = s0.address() + "," + s1.address();
+  s0.SendPeers(peers);
+  s1.SendPeers(peers);
+  EXPECT_NE(s0.WaitForLine("SHARDED"), "");
+  EXPECT_NE(s1.WaitForLine("SHARDED"), "");
+}
+
+TEST(ShardProcessTest, CrossShardCommitAcrossRealProcesses) {
+  std::string store0 = MakeScratchDir();
+  std::string store1 = MakeScratchDir();
+  ShardServerProcess s0(store0, 0, 2);
+  ShardServerProcess s1(store1, 1, 2);
+  ASSERT_NE(s0.port(), 0);
+  ASSERT_NE(s1.port(), 0);
+  FormDeployment(s0, s1);
+
+  ShardedClient client;
+  ASSERT_TRUE(client.Connect({s0.address(), s1.address()}).ok());
+  auto a = client.router->CreateFileOn(0);
+  auto b = client.router->CreateFileOn(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // The placement congruence holds across processes.
+  EXPECT_EQ(a->object % 2, 0u);
+  EXPECT_EQ(b->object % 2, 1u);
+  ASSERT_TRUE(CommitText(client, *a, "0").ok());
+  ASSERT_TRUE(CommitText(client, *b, "0").ok());
+
+  auto heads = CommitBoth(client, *a, *b, "both");
+  ASSERT_TRUE(heads.ok()) << heads.status();
+  EXPECT_EQ(heads->size(), 2u);
+  EXPECT_EQ(*ReadText(client, *a), "both");
+  EXPECT_EQ(*ReadText(client, *b), "both");
+
+  s0.Quit();
+  s1.Quit();
+}
+
+// The crash matrix, one arm per test. `crash_point` is where the coordinator process dies
+// (via AFS_SHARD_CRASH → _Exit, i.e. kill -9 semantics: no destructors, no flushes);
+// `expect_committed` is what BOTH shards must read after recovery.
+void RunCoordinatorCrashArm(const std::string& crash_point, bool expect_committed) {
+  std::string store0 = MakeScratchDir();
+  std::string store1 = MakeScratchDir();
+  auto s0 = std::make_unique<ShardServerProcess>(store0, 0, 2, crash_point);
+  ShardServerProcess s1(store1, 1, 2);
+  ASSERT_NE(s0->port(), 0);
+  ASSERT_NE(s1.port(), 0);
+  FormDeployment(*s0, s1);
+
+  ShardedClient client;
+  ASSERT_TRUE(client.Connect({s0->address(), s1.address()}).ok());
+  auto a = client.router->CreateFileOn(0);
+  auto b = client.router->CreateFileOn(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(CommitText(client, *a, "0").ok());
+  ASSERT_TRUE(CommitText(client, *b, "0").ok());
+
+  // The cross commit routes to shard 0's coordinator, which dies at the crash point —
+  // after both participants staged their in-doubt versions. The client sees a failure.
+  auto heads = CommitBoth(client, *a, *b, "1");
+  EXPECT_FALSE(heads.ok());
+  ASSERT_TRUE(s0->WaitForExit()) << "coordinator never died at " << crash_point;
+
+  // Restart the coordinator process on the same stores and re-form the deployment; its
+  // recovery sweep must resolve the in-doubt prepare on BOTH shards by the presumed-abort
+  // rule: no decision record → abort everywhere; durable record → commit everywhere.
+  s0 = std::make_unique<ShardServerProcess>(store0, 0, 2);
+  ASSERT_NE(s0->port(), 0);
+  std::string peers = s0->address() + "," + s1.address();
+  s0->SendPeers(peers);
+  std::string sharded = s0->WaitForLine("SHARDED");
+  unsigned long long commits = 0, aborts = 0;
+  ASSERT_EQ(std::sscanf(sharded.c_str(), "SHARDED %llu %llu", &commits, &aborts), 2)
+      << sharded;
+  if (expect_committed) {
+    EXPECT_EQ(commits, 2u) << sharded;
+    EXPECT_EQ(aborts, 0u) << sharded;
+  } else {
+    EXPECT_EQ(commits, 0u) << sharded;
+    EXPECT_EQ(aborts, 2u) << sharded;
+  }
+
+  ShardedClient after;
+  ASSERT_TRUE(after.Connect({s0->address(), s1.address()}).ok());
+  const std::string expected = expect_committed ? "1" : "0";
+  // All-or-nothing across the crash: both shards agree, whichever arm this is.
+  EXPECT_EQ(*ReadText(after, *a), expected);
+  EXPECT_EQ(*ReadText(after, *b), expected);
+
+  s0->Quit();
+  s1.Quit();
+}
+
+TEST(ShardProcessTest, KillNineBeforeDecisionLogAbortsEverywhere) {
+  RunCoordinatorCrashArm("prepared", /*expect_committed=*/false);
+}
+
+TEST(ShardProcessTest, KillNineAfterDecisionLogCommitsEverywhere) {
+  RunCoordinatorCrashArm("logged", /*expect_committed=*/true);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,99 @@
+// ShardCluster: an N-shard AFS deployment on one simulated Network — N independent
+// single-server shards (own InMemoryBlockStore each), a ShardRouter over the shared
+// network, a MemoryDecisionLog, and a ShardCoordinator served through every shard's RPC
+// surface, wired the way examples/afs_server wires a multi-process deployment. Used by the
+// cross-shard commit and chaos tests.
+
+#ifndef TESTS_TESTING_SHARD_CLUSTER_H_
+#define TESTS_TESTING_SHARD_CLUSTER_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/block/block_store.h"
+#include "src/core/file_server.h"
+#include "src/rpc/network.h"
+#include "src/shard/coordinator.h"
+#include "src/shard/decision_log.h"
+#include "src/shard/router.h"
+
+namespace afs {
+
+class ShardCluster {
+ public:
+  explicit ShardCluster(uint32_t num_shards, uint64_t net_seed = 7) : net_(net_seed) {
+    for (uint32_t k = 0; k < num_shards; ++k) {
+      auto store = std::make_unique<InMemoryBlockStore>(4068, 1 << 20);
+      FileServerOptions options;
+      options.shard_id = k;
+      options.num_shards = num_shards;
+      auto fs = std::make_unique<FileServer>(&net_, "fs-shard" + std::to_string(k),
+                                             store.get(), options);
+      fs->Start();
+      if (!fs->AttachStore().ok()) {
+        std::abort();
+      }
+      stores_.push_back(std::move(store));
+      servers_.push_back(std::move(fs));
+    }
+    ShardMap map;
+    map.epoch = 1;
+    for (uint32_t k = 0; k < num_shards; ++k) {
+      ShardEntry entry;
+      entry.shard_id = k;
+      entry.name = "shard" + std::to_string(k);
+      entry.file_servers = {servers_[k]->port()};
+      map.shards.push_back(std::move(entry));
+    }
+    auto router = ShardRouter::Make(std::move(map), &net_);
+    if (!router.ok()) {
+      std::abort();
+    }
+    router_ = std::move(*router);
+    log_ = std::make_unique<MemoryDecisionLog>();
+    // Coordinator instruments live in shard 0's registry, as in examples/afs_server, so
+    // tests (and remote scrapes) read shard.cross_* counters off fs(0).
+    coord_ = std::make_unique<ShardCoordinator>(router_.get(), log_.get(),
+                                                servers_[0]->metrics());
+    for (auto& fs : servers_) {
+      coord_->Serve(fs.get());
+    }
+  }
+
+  // A shard-server process restart: in-memory state (uncommitted versions, the prepared_
+  // table) is lost, AttachStore re-discovers in-doubt prepares from their disk markers.
+  void RestartShard(uint32_t k) {
+    servers_[k]->Crash();
+    servers_[k]->Restart();
+  }
+
+  std::vector<FileServer*> Servers() {
+    std::vector<FileServer*> out;
+    for (auto& fs : servers_) {
+      out.push_back(fs.get());
+    }
+    return out;
+  }
+
+  Network& net() { return net_; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(servers_.size()); }
+  FileServer& fs(uint32_t k) { return *servers_[k]; }
+  InMemoryBlockStore& store(uint32_t k) { return *stores_[k]; }
+  ShardRouter& router() { return *router_; }
+  MemoryDecisionLog& log() { return *log_; }
+  ShardCoordinator& coord() { return *coord_; }
+
+ private:
+  Network net_;
+  std::vector<std::unique_ptr<InMemoryBlockStore>> stores_;
+  std::vector<std::unique_ptr<FileServer>> servers_;
+  std::unique_ptr<ShardRouter> router_;
+  std::unique_ptr<MemoryDecisionLog> log_;
+  std::unique_ptr<ShardCoordinator> coord_;
+};
+
+}  // namespace afs
+
+#endif  // TESTS_TESTING_SHARD_CLUSTER_H_
