@@ -68,7 +68,7 @@ struct ShardRig {
     }
     router = std::move(*made);
     log = std::make_unique<MemoryDecisionLog>();
-    coord = std::make_unique<ShardCoordinator>(router.get(), log.get());
+    coord = std::make_unique<ShardCoordinator>(/*self_shard=*/0, router.get(), log.get());
     for (auto& fs : servers) {
       coord->Serve(fs.get());
     }

@@ -288,8 +288,8 @@ int main(int argc, char** argv) {
         }
         decision_log = std::move(log).value();
       }
-      coordinator = std::make_unique<ShardCoordinator>(router.get(), decision_log.get(),
-                                                       fs0.metrics());
+      coordinator = std::make_unique<ShardCoordinator>(shard_id, router.get(),
+                                                       decision_log.get(), fs0.metrics());
       if (const char* crash = std::getenv("AFS_SHARD_CRASH");
           crash != nullptr && *crash != '\0') {
         std::string point = crash;

@@ -11,6 +11,15 @@ constexpr size_t kPlainHeaderBytes = 11;
 // parent_ref(4) + root_flags(1) + prepare_txn(8)
 constexpr size_t kVersionExtraBytes = 89;
 
+// Wire tags for the kind byte — the page format's version marker. Version pages gained
+// the prepare_txn field (the cross-shard in-doubt marker) in a header growth from 81 to
+// 89 bytes; a page written before that carries tag 2 and still decodes, with
+// prepare_txn = 0 (a pre-sharding store cannot hold an in-doubt tip). New pages always
+// serialize as tag 3.
+constexpr uint8_t kWirePlain = 1;
+constexpr uint8_t kWireVersionV1 = 2;  // version header without prepare_txn
+constexpr uint8_t kWireVersionV2 = 3;  // version header with prepare_txn
+
 }  // namespace
 
 size_t Page::SerializedSize() const {
@@ -26,7 +35,7 @@ Result<std::vector<uint8_t>> Page::Serialize() const {
     return InvalidArgumentError("page exceeds 32K transaction limit");
   }
   WireEncoder enc;
-  enc.PutU8(static_cast<uint8_t>(kind));
+  enc.PutU8(kind == PageKind::kVersion ? kWireVersionV2 : kWirePlain);
   if (kind == PageKind::kVersion) {
     enc.PutCapability(file_cap);
     enc.PutCapability(version_cap);
@@ -55,11 +64,10 @@ Result<Page> Page::Deserialize(std::span<const uint8_t> payload) {
   WireDecoder dec(payload);
   Page page;
   ASSIGN_OR_RETURN(uint8_t kind_raw, dec.GetU8());
-  if (kind_raw != static_cast<uint8_t>(PageKind::kPlain) &&
-      kind_raw != static_cast<uint8_t>(PageKind::kVersion)) {
+  if (kind_raw != kWirePlain && kind_raw != kWireVersionV1 && kind_raw != kWireVersionV2) {
     return CorruptError("bad page kind");
   }
-  page.kind = static_cast<PageKind>(kind_raw);
+  page.kind = kind_raw == kWirePlain ? PageKind::kPlain : PageKind::kVersion;
   if (page.kind == PageKind::kVersion) {
     ASSIGN_OR_RETURN(page.file_cap, dec.GetCapability());
     ASSIGN_OR_RETURN(page.version_cap, dec.GetCapability());
@@ -71,7 +79,11 @@ Result<Page> Page::Deserialize(std::span<const uint8_t> payload) {
     if (!FlagsValid(page.root_flags)) {
       return CorruptError("invalid root flags");
     }
-    ASSIGN_OR_RETURN(page.prepare_txn, dec.GetU64());
+    if (kind_raw == kWireVersionV2) {
+      ASSIGN_OR_RETURN(page.prepare_txn, dec.GetU64());
+    } else {
+      page.prepare_txn = 0;  // pre-sharding page: no in-doubt marker existed to set
+    }
   }
   ASSIGN_OR_RETURN(page.base_ref, dec.GetU32());
   ASSIGN_OR_RETURN(uint16_t nrefs, dec.GetU16());

@@ -33,6 +33,9 @@ namespace afs {
 // length of a message in a transaction: 32K bytes."
 inline constexpr size_t kMaxPageBytes = 32 * 1024;
 
+// In-memory discriminator. On the wire the kind byte doubles as the page-format version:
+// plain pages encode 1, version pages encode 3 (header with prepare_txn) and still decode
+// from the pre-sharding tag 2 (header without it) — see page.cc.
 enum class PageKind : uint8_t {
   kPlain = 1,    // interior or leaf page of a page tree
   kVersion = 2,  // root page of a version (a "version page" / "version block")

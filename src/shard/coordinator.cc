@@ -7,16 +7,37 @@
 #include "src/core/protocol.h"
 #include "src/obs/span.h"
 #include "src/rpc/client.h"
+#include "src/shard/txn_id.h"
 
 namespace afs {
+namespace {
 
-ShardCoordinator::ShardCoordinator(ShardRouter* router, DecisionLog* log,
-                                   obs::MetricRegistry* metrics)
-    : router_(router),
-      log_(log),
-      // Transaction ids must not collide across coordinator incarnations: seed from the
-      // object identity, then never reuse (NextU64 stream).
-      rng_(Mix64(reinterpret_cast<uint64_t>(this)) | 1) {
+// Removes a transaction from the in-flight set on every exit from CommitCross.
+class InFlightGuard {
+ public:
+  InFlightGuard(std::mutex* mu, std::unordered_set<uint64_t>* set, uint64_t txn_id)
+      : mu_(mu), set_(set), txn_id_(txn_id) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    set_->insert(txn_id_);
+  }
+  ~InFlightGuard() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    set_->erase(txn_id_);
+  }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::mutex* mu_;
+  std::unordered_set<uint64_t>* set_;
+  uint64_t txn_id_;
+};
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(uint32_t self_shard, ShardRouter* router,
+                                   DecisionLog* log, obs::MetricRegistry* metrics)
+    : self_shard_(self_shard), router_(router), log_(log) {
   obs::MetricRegistry* reg = metrics != nullptr ? metrics : &own_metrics_;
   cross_commits_ = reg->counter("shard.cross_commit");
   cross_aborts_ = reg->counter("shard.cross_abort");
@@ -60,6 +81,11 @@ Status ShardCoordinator::CallDecide(uint32_t shard, Port server, uint64_t txn_id
       .status();
 }
 
+bool ShardCoordinator::InFlight(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(in_flight_mu_);
+  return in_flight_.count(txn_id) > 0;
+}
+
 Result<std::vector<BlockNo>> ShardCoordinator::CommitCross(
     const std::vector<std::pair<uint32_t, Capability>>& participants) {
   if (participants.empty()) {
@@ -81,11 +107,12 @@ Result<std::vector<BlockNo>> ShardCoordinator::CommitCross(
     }
   }
 
-  uint64_t txn_id;
-  {
-    std::lock_guard<std::mutex> lock(rng_mu_);
-    txn_id = rng_.NextU64() | 1;
-  }
+  // The id names this coordinator (owner shard) and this incarnation of its decision
+  // log, so it can never collide with an id from a previous incarnation — and recovery
+  // sweeps elsewhere can tell at a glance the transaction is not theirs to resolve.
+  const uint64_t txn_id =
+      MakeTxnId(self_shard_, log_->incarnation(), next_sequence_.fetch_add(1) + 1);
+  InFlightGuard in_flight(&in_flight_mu_, &in_flight_, txn_id);
   const auto start = std::chrono::steady_clock::now();
   obs::ScopedSpan span("shard.coordinate", obs::SpanKind::kPhase, txn_id,
                        participants.size());
@@ -136,8 +163,16 @@ Result<std::vector<BlockNo>> ShardCoordinator::CommitCross(
 
   // Phase 2: the verdict. A participant that misses it (crash, partition) stays in doubt
   // and is finished by RecoverInDoubt — the decision is already durable.
+  size_t acked = 0;
   for (const auto& [shard, version] : participants) {
-    (void)CallDecide(shard, version.port, txn_id, /*commit=*/true);
+    if (CallDecide(shard, version.port, txn_id, /*commit=*/true).ok()) {
+      ++acked;
+    }
+  }
+  if (acked == participants.size()) {
+    // Everyone has the verdict: the commit record can never be asked about again, so
+    // retire it (presumed-abort GC keeps the decision log from growing forever).
+    (void)log_->Forget(txn_id);
   }
   cross_commits_->Inc();
   cross_latency_ns_->Record(static_cast<uint64_t>(
@@ -148,6 +183,12 @@ Result<std::vector<BlockNo>> ShardCoordinator::CommitCross(
 }
 
 Result<bool> ShardCoordinator::Resolve(uint64_t txn_id) const {
+  if (TxnOwnerShard(txn_id) != self_shard_) {
+    return InvalidArgumentError("transaction " + std::to_string(txn_id) +
+                                " is owned by shard " +
+                                std::to_string(TxnOwnerShard(txn_id)) +
+                                "; ask that shard's coordinator");
+  }
   return log_->Committed(txn_id);
 }
 
@@ -166,14 +207,38 @@ Result<ShardCoordinator::RecoveryStats> ShardCoordinator::RecoverInDoubt() {
       if (!reply.ok()) {
         continue;  // a down server recovers its own tips on restart; nothing to do now
       }
-      ASSIGN_OR_RETURN(uint32_t n, reply->GetU32());
-      for (uint32_t i = 0; i < n; ++i) {
-        ASSIGN_OR_RETURN(BlockNo head, reply->GetU32());
-        (void)head;
-        ASSIGN_OR_RETURN(uint64_t txn_id, reply->GetU64());
-        const bool commit = log_->Committed(txn_id);
-        if (CallDecide(entry.shard_id, server, txn_id, commit).ok() &&
-            counted.insert(txn_id).second) {
+      // A malformed or truncated reply is treated like an unreachable server: skip it
+      // and keep sweeping — one bad answer must not strand every other shard's in-doubt
+      // transactions until the next run.
+      Result<uint32_t> n = reply->GetU32();
+      if (!n.ok()) {
+        continue;
+      }
+      for (uint32_t i = 0; i < *n; ++i) {
+        Result<BlockNo> head = reply->GetU32();
+        if (!head.ok()) {
+          break;  // truncated mid-list: abandon this server's reply, not the sweep
+        }
+        Result<uint64_t> txn_id = reply->GetU64();
+        if (!txn_id.ok()) {
+          break;
+        }
+        if (TxnOwnerShard(*txn_id) != self_shard_) {
+          // Not ours: only the owning coordinator's decision log can say how this
+          // transaction ended. Presuming abort from OUR log's silence would tear a
+          // transaction the owner durably committed.
+          stats.skipped_foreign += 1;
+          continue;
+        }
+        const bool commit = log_->Committed(*txn_id);
+        if (!commit && InFlight(*txn_id)) {
+          // Between its prepares and its commit point in this very process (an operator
+          // sweep raced a live CommitCross): not decided yet, so not ours to abort.
+          stats.skipped_live += 1;
+          continue;
+        }
+        if (CallDecide(entry.shard_id, server, *txn_id, commit).ok() &&
+            counted.insert(*txn_id).second) {
           (commit ? stats.resolved_commit : stats.resolved_abort) += 1;
           (commit ? recovered_commits_ : recovered_aborts_)->Inc();
         }

@@ -7,20 +7,30 @@
 // decision (DecisionLog, presumed abort) — the classic 2PC commit point, here guarding an
 // optimistically validated transaction rather than a lock-based one.
 //
+// Every coordinator has an identity: the shard it serves, embedded (with the decision
+// log's incarnation) in each transaction id it mints (src/shard/txn_id.h). Recovery is
+// scoped by that identity — RecoverInDoubt decides only transactions this coordinator
+// owns, because only the owner's decision log can distinguish "committed" from "presumed
+// abort"; everyone else's in-doubt prepares are left for their own coordinators.
+//
 // Crash accounting (the chaos suite drives each arm):
 //   - die before the log record:  no participant may commit; recovery presumes abort.
 //   - die after the log record:   every participant must commit; recovery finishes phase 2.
 // RecoverInDoubt scrapes every shard's in-doubt list (kListInDoubt) and applies exactly
-// that rule.
+// that rule to owned transactions, skipping ones still in flight in this process (a
+// concurrent operator-triggered sweep must not presume-abort a transaction that is
+// between its prepares and its commit point).
 
 #ifndef SRC_SHARD_COORDINATOR_H_
 #define SRC_SHARD_COORDINATOR_H_
 
+#include <atomic>
 #include <functional>
+#include <mutex>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
-#include "src/base/rng.h"
 #include "src/core/file_server.h"
 #include "src/obs/metrics.h"
 #include "src/shard/decision_log.h"
@@ -30,10 +40,11 @@ namespace afs {
 
 class ShardCoordinator {
  public:
-  // `router` and `log` must outlive the coordinator. `metrics` (optional) hosts the
-  // coordinator's instruments — pass the serving file server's registry so remote stats
-  // scrapes see them; defaults to a private registry.
-  ShardCoordinator(ShardRouter* router, DecisionLog* log,
+  // `self_shard` is the shard this coordinator serves — the owner stamped into every
+  // transaction id it mints. `router` and `log` must outlive the coordinator. `metrics`
+  // (optional) hosts the coordinator's instruments — pass the serving file server's
+  // registry so remote stats scrapes see them; defaults to a private registry.
+  ShardCoordinator(uint32_t self_shard, ShardRouter* router, DecisionLog* log,
                    obs::MetricRegistry* metrics = nullptr);
 
   // Expose this coordinator through `server`'s RPC surface (kCrossCommit, kResolveTxn).
@@ -45,16 +56,26 @@ class ShardCoordinator {
   Result<std::vector<BlockNo>> CommitCross(
       const std::vector<std::pair<uint32_t, Capability>>& participants);
 
-  // Presumed-abort resolution: the logged verdict for `txn_id`.
+  // Presumed-abort resolution: the logged verdict for `txn_id`. Refuses transactions
+  // owned by another shard's coordinator — this log's silence says nothing about them.
   Result<bool> Resolve(uint64_t txn_id) const;
 
   struct RecoveryStats {
     uint64_t resolved_commit = 0;
     uint64_t resolved_abort = 0;
+    // In-doubt entries left alone: owned by another shard's coordinator, or still in
+    // flight in this process. (Counted per listing server, like the resolutions are
+    // counted per shard.)
+    uint64_t skipped_foreign = 0;
+    uint64_t skipped_live = 0;
   };
-  // Finish every in-doubt transaction visible on any shard. Idempotent; run after a
-  // coordinator restart, or by an operator via afs_shell.
+  // Finish every in-doubt transaction THIS coordinator owns, on any shard in the map.
+  // Idempotent; run after a coordinator restart, or by an operator via afs_shell. A
+  // server that is down or answers garbage is skipped — the sweep keeps going and the
+  // next run picks the stragglers up.
   Result<RecoveryStats> RecoverInDoubt();
+
+  uint32_t self_shard() const { return self_shard_; }
 
   // Test hook: called at the named point inside CommitCross ("prepared" = all participants
   // staged, decision not yet logged; "logged" = decision durable, phase 2 not yet sent).
@@ -66,13 +87,19 @@ class ShardCoordinator {
  private:
   Result<BlockNo> CallPrepare(uint32_t shard, const Capability& version, uint64_t txn_id);
   Status CallDecide(uint32_t shard, Port server, uint64_t txn_id, bool commit);
+  bool InFlight(uint64_t txn_id) const;
 
+  const uint32_t self_shard_;
   ShardRouter* router_;
   DecisionLog* log_;
   std::function<void(const char*)> crash_hook_;
 
-  std::mutex rng_mu_;
-  Rng rng_;
+  std::atomic<uint32_t> next_sequence_{0};
+  // Transactions between id mint and CommitCross return: the fence that keeps a
+  // concurrent RecoverInDoubt from presume-aborting a prepare whose commit point is
+  // still ahead.
+  mutable std::mutex in_flight_mu_;
+  std::unordered_set<uint64_t> in_flight_;
 
   obs::MetricRegistry own_metrics_{"shard.coord"};
   obs::Counter* cross_commits_;

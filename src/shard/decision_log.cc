@@ -1,5 +1,10 @@
 #include "src/shard/decision_log.h"
 
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <utility>
+
 #include "src/base/wire.h"
 
 namespace afs {
@@ -7,6 +12,17 @@ namespace {
 
 // Record payload: u64 txn_id | u32 n | n * u32 shard id. Bounded so Recover can cap reads.
 constexpr uint32_t kMaxDecisionPayload = 4 * 1024;
+
+// Record kinds, carried in the journal record's bno field. Logs written before forget
+// records existed hold only kind-0 records, which replay unchanged.
+constexpr BlockNo kCommitRecord = 0;       // u64 txn_id | u32 n | n * u32 shard
+constexpr BlockNo kIncarnationRecord = 1;  // u64 incarnation
+constexpr BlockNo kForgetRecord = 2;       // u64 txn_id
+
+// Compact once this many retired records sit in the journal. Small enough that the file
+// stays within a few hundred records of its live set, large enough that compaction cost
+// (one rewrite) amortises over many commits.
+constexpr uint64_t kCompactAfterRetired = 128;
 
 std::vector<uint8_t> EncodeDecision(uint64_t txn_id, const std::vector<uint32_t>& shards) {
   WireEncoder enc;
@@ -18,12 +34,23 @@ std::vector<uint8_t> EncodeDecision(uint64_t txn_id, const std::vector<uint32_t>
   return std::move(enc).Take();
 }
 
+std::vector<uint8_t> EncodeU64(uint64_t v) {
+  WireEncoder enc;
+  enc.PutU64(v);
+  return std::move(enc).Take();
+}
+
 }  // namespace
 
+MemoryDecisionLog::MemoryDecisionLog()
+    : incarnation_([] {
+        static std::atomic<uint64_t> next{0};
+        return next.fetch_add(1) + 1;
+      }()) {}
+
 Status MemoryDecisionLog::LogCommit(uint64_t txn_id, const std::vector<uint32_t>& shards) {
-  (void)shards;
   std::lock_guard<std::mutex> lock(mu_);
-  committed_.insert(txn_id);
+  committed_.emplace(txn_id, shards);
   return OkStatus();
 }
 
@@ -32,23 +59,64 @@ bool MemoryDecisionLog::Committed(uint64_t txn_id) const {
   return committed_.count(txn_id) > 0;
 }
 
+Status MemoryDecisionLog::Forget(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_.erase(txn_id);
+  return OkStatus();
+}
+
 Result<std::unique_ptr<JournalDecisionLog>> JournalDecisionLog::Open(
     const std::string& path) {
   std::unique_ptr<JournalDecisionLog> log(new JournalDecisionLog());
+  log->path_ = path;
   ASSIGN_OR_RETURN(log->file_, StableFile::Open(path));
   log->journal_ = std::make_unique<Journal>(log->file_.get(), JournalOptions{},
                                             &log->metrics_, nullptr);
   uint64_t torn_bytes = 0;
   ASSIGN_OR_RETURN(std::vector<Journal::ReplayedRecord> records,
                    log->journal_->Recover(kMaxDecisionPayload, &torn_bytes));
+  uint64_t max_incarnation = 0;
   for (const Journal::ReplayedRecord& rec : records) {
     std::vector<uint8_t> payload(rec.payload_len);
     RETURN_IF_ERROR(log->file_->ReadAt(rec.payload_offset, payload));
     WireDecoder dec(payload);
-    ASSIGN_OR_RETURN(uint64_t txn_id, dec.GetU64());
-    log->committed_.insert(txn_id);
+    switch (rec.bno) {
+      case kCommitRecord: {
+        ASSIGN_OR_RETURN(uint64_t txn_id, dec.GetU64());
+        ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+        std::vector<uint32_t> shards;
+        shards.reserve(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          ASSIGN_OR_RETURN(uint32_t shard, dec.GetU32());
+          shards.push_back(shard);
+        }
+        log->committed_[txn_id] = std::move(shards);
+        break;
+      }
+      case kIncarnationRecord: {
+        ASSIGN_OR_RETURN(uint64_t incarnation, dec.GetU64());
+        max_incarnation = std::max(max_incarnation, incarnation);
+        break;
+      }
+      case kForgetRecord: {
+        ASSIGN_OR_RETURN(uint64_t txn_id, dec.GetU64());
+        log->committed_.erase(txn_id);
+        log->retired_ += 1;
+        break;
+      }
+      default:
+        return CorruptError("decision log holds a record of unknown kind " +
+                            std::to_string(rec.bno));
+    }
   }
   log->journal_->Start();
+  // Claim the next incarnation durably before any id is minted against this instance.
+  log->incarnation_ = max_incarnation + 1;
+  RETURN_IF_ERROR(
+      log->journal_->Append(kIncarnationRecord, EncodeU64(log->incarnation_)).status());
+  if (log->retired_ >= kCompactAfterRetired) {
+    RETURN_IF_ERROR(log->Compact());
+  }
   return log;
 }
 
@@ -60,9 +128,12 @@ JournalDecisionLog::~JournalDecisionLog() {
 
 Status JournalDecisionLog::LogCommit(uint64_t txn_id,
                                      const std::vector<uint32_t>& shards) {
-  RETURN_IF_ERROR(journal_->Append(0, EncodeDecision(txn_id, shards)).status());
+  {
+    std::shared_lock<std::shared_mutex> journal_lock(journal_mu_);
+    RETURN_IF_ERROR(journal_->Append(kCommitRecord, EncodeDecision(txn_id, shards)).status());
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  committed_.insert(txn_id);
+  committed_.emplace(txn_id, shards);
   return OkStatus();
 }
 
@@ -71,9 +142,72 @@ bool JournalDecisionLog::Committed(uint64_t txn_id) const {
   return committed_.count(txn_id) > 0;
 }
 
+Status JournalDecisionLog::Forget(uint64_t txn_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (committed_.erase(txn_id) == 0) {
+      return OkStatus();
+    }
+  }
+  // Crash between the erase and this append re-surfaces the commit record on replay —
+  // harmless: re-delivering a commit verdict is idempotent on every participant.
+  {
+    std::shared_lock<std::shared_mutex> journal_lock(journal_mu_);
+    RETURN_IF_ERROR(journal_->Append(kForgetRecord, EncodeU64(txn_id)).status());
+  }
+  bool compact = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_ += 1;
+    compact = retired_ >= kCompactAfterRetired;
+  }
+  return compact ? Compact() : OkStatus();
+}
+
 uint64_t JournalDecisionLog::records() const {
   std::lock_guard<std::mutex> lock(mu_);
   return committed_.size();
+}
+
+uint64_t JournalDecisionLog::journal_bytes() const {
+  std::shared_lock<std::shared_mutex> journal_lock(journal_mu_);
+  return journal_->tail_bytes();
+}
+
+Status JournalDecisionLog::Compact() {
+  std::unique_lock<std::shared_mutex> journal_lock(journal_mu_);
+  // Build the compacted image beside the live log. Appends are excluded for the duration;
+  // compaction is rare (every kCompactAfterRetired retirements) and the live set small.
+  const std::string scratch_path = path_ + ".compact";
+  ASSIGN_OR_RETURN(std::unique_ptr<StableFile> scratch, StableFile::Open(scratch_path));
+  RETURN_IF_ERROR(scratch->Truncate(0));
+  auto rewritten =
+      std::make_unique<Journal>(scratch.get(), JournalOptions{}, &metrics_, nullptr);
+  uint64_t torn_bytes = 0;
+  RETURN_IF_ERROR(rewritten->Recover(kMaxDecisionPayload, &torn_bytes).status());
+  rewritten->Start();
+  RETURN_IF_ERROR(rewritten->Append(kIncarnationRecord, EncodeU64(incarnation_)).status());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [txn_id, shards] : committed_) {
+      RETURN_IF_ERROR(rewritten->Append(kCommitRecord, EncodeDecision(txn_id, shards))
+                          .status());
+    }
+  }
+  // The swap: rename is atomic, so a crash leaves either the old complete log or the new
+  // one — never a torn mixture. The open descriptors follow the inodes, not the names.
+  std::error_code ec;
+  std::filesystem::rename(scratch_path, path_, ec);
+  if (ec) {
+    rewritten->Stop();
+    return UnavailableError("decision log compaction rename failed: " + ec.message());
+  }
+  journal_->Stop();
+  journal_ = std::move(rewritten);  // destroys the old journal first...
+  file_ = std::move(scratch);       // ...then the old (now unlinked) file
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_ = 0;
+  return OkStatus();
 }
 
 }  // namespace afs

@@ -5,14 +5,27 @@
 // participant prepared and before any participant is told to commit. Resolution of an
 // in-doubt prepare is then a lookup: a logged transaction committed; an unlogged one —
 // including every transaction the coordinator died inside before logging — aborted.
+//
+// Two more duties ride on the log:
+//   - Incarnations. Each open of a durable log draws a fresh, durably recorded
+//     incarnation number; the coordinator folds it into every transaction id
+//     (src/shard/txn_id.h), so ids provably never repeat across restarts — a reused id
+//     whose previous life was logged committed would make resolution flip an undecided
+//     prepare.
+//   - Garbage collection. Once every participant has acknowledged a commit verdict the
+//     record can never be asked about again; Forget() retires it (the classic
+//     presumed-abort GC of commit records). Retired records are dropped from memory at
+//     once and compacted out of the journal when enough of them accumulate, so neither
+//     the in-memory set nor the on-disk file grows with the lifetime commit count.
 
 #ifndef SRC_SHARD_DECISION_LOG_H_
 #define SRC_SHARD_DECISION_LOG_H_
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/status.h"
@@ -30,41 +43,73 @@ class DecisionLog {
   virtual Status LogCommit(uint64_t txn_id, const std::vector<uint32_t>& shards) = 0;
   // Presumed abort: true iff a commit record for `txn_id` exists.
   virtual bool Committed(uint64_t txn_id) const = 0;
+  // Retire `txn_id`'s commit record: every participant has acknowledged the verdict, so
+  // no resolution will ever ask about it again. No-op for unknown ids.
+  virtual Status Forget(uint64_t txn_id) = 0;
+  // This log instance's incarnation, folded into minted transaction ids. Strictly
+  // increases across reopenings of the same durable log; never zero.
+  virtual uint64_t incarnation() const = 0;
 };
 
 // In-memory log for in-process deployments and tests that do not model coordinator loss.
+// Incarnations are drawn from a process-wide counter: unique per log instance, which is
+// as much as a non-durable log can promise.
 class MemoryDecisionLog : public DecisionLog {
  public:
+  MemoryDecisionLog();
+
   Status LogCommit(uint64_t txn_id, const std::vector<uint32_t>& shards) override;
   bool Committed(uint64_t txn_id) const override;
+  Status Forget(uint64_t txn_id) override;
+  uint64_t incarnation() const override { return incarnation_; }
 
  private:
+  const uint64_t incarnation_;
   mutable std::mutex mu_;
-  std::unordered_set<uint64_t> committed_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> committed_;
 };
 
 // Durable log over a src/store Journal on a StableFile: records survive kill -9 of the
 // coordinator process, which is what makes recovery able to finish a logged transaction.
 class JournalDecisionLog : public DecisionLog {
  public:
-  // Opens (or creates) the log at `path`, replays existing records, starts the flusher.
+  // Opens (or creates) the log at `path`, replays existing records, durably claims the
+  // next incarnation, compacts if retirements dominate, and starts the flusher.
   static Result<std::unique_ptr<JournalDecisionLog>> Open(const std::string& path);
   ~JournalDecisionLog() override;
 
   Status LogCommit(uint64_t txn_id, const std::vector<uint32_t>& shards) override;
   bool Committed(uint64_t txn_id) const override;
+  Status Forget(uint64_t txn_id) override;
+  uint64_t incarnation() const override { return incarnation_; }
 
+  // Live (unretired) commit records.
   uint64_t records() const;
+  // Current journal length, for tests asserting compaction actually shrinks the file.
+  uint64_t journal_bytes() const;
 
  private:
   JournalDecisionLog() = default;
 
-  std::unique_ptr<StableFile> file_;
+  // Rewrites the journal with only the incarnation record and live commit records: the
+  // compacted image is built in a sibling file and atomically renamed over the old one,
+  // so a crash at any instant leaves either the old or the new complete log.
+  Status Compact();
+
+  std::string path_;
+  uint64_t incarnation_ = 0;
   obs::MetricRegistry metrics_{"shard.dlog"};
+
+  // journal_mu_ guards the journal/file *objects* across compaction swaps: appends hold
+  // it shared (the Journal itself is thread-safe and group-commits concurrent appends),
+  // Compact holds it exclusive while it replaces them.
+  mutable std::shared_mutex journal_mu_;
+  std::unique_ptr<StableFile> file_;
   std::unique_ptr<Journal> journal_;
 
-  mutable std::mutex mu_;
-  std::unordered_set<uint64_t> committed_;
+  mutable std::mutex mu_;  // guards committed_ and retired_
+  std::unordered_map<uint64_t, std::vector<uint32_t>> committed_;
+  uint64_t retired_ = 0;  // forget records in the journal since the last compaction
 };
 
 }  // namespace afs

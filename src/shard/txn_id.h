@@ -1,0 +1,44 @@
+// Cross-shard transaction id layout (docs/SHARDING.md §3).
+//
+// A transaction id names its coordinator, not just the transaction:
+//
+//   bits 63..48  owner shard id          — the shard whose coordinator minted the id
+//   bits 47..32  coordinator incarnation — from the durable decision log, bumped per open
+//   bits 31..0   sequence                — per-incarnation counter, starting at 1
+//
+// Ownership is what makes in-doubt resolution safe when EVERY shard runs a recovery
+// sweep: presumed abort reads an *absence* from a decision log, and an absence only means
+// "aborted" in the one log the commit record would have been written to — the owner's.
+// A recovering shard therefore resolves only transactions it owns and leaves the rest to
+// their coordinators. The incarnation makes ids unique across coordinator restarts, so a
+// committed id from a dead incarnation can never collide with a fresh prepare and be
+// mistaken for already-committed. (The 16-bit incarnation wraps after 65,535 restarts of
+// one shard; a collision additionally needs the same 32-bit sequence and a commit record
+// that survived that many compactions — accepted.)
+
+#ifndef SRC_SHARD_TXN_ID_H_
+#define SRC_SHARD_TXN_ID_H_
+
+#include <cstdint>
+
+namespace afs {
+
+inline constexpr uint64_t MakeTxnId(uint32_t owner_shard, uint64_t incarnation,
+                                    uint32_t sequence) {
+  return (static_cast<uint64_t>(owner_shard & 0xffff) << 48) |
+         ((incarnation & 0xffff) << 32) | sequence;
+}
+
+inline constexpr uint32_t TxnOwnerShard(uint64_t txn_id) {
+  return static_cast<uint32_t>(txn_id >> 48);
+}
+
+inline constexpr uint64_t TxnIncarnation(uint64_t txn_id) { return (txn_id >> 32) & 0xffff; }
+
+inline constexpr uint32_t TxnSequence(uint64_t txn_id) {
+  return static_cast<uint32_t>(txn_id);
+}
+
+}  // namespace afs
+
+#endif  // SRC_SHARD_TXN_ID_H_

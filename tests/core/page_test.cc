@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/wire.h"
 #include "src/core/page.h"
 #include "src/core/path.h"
 
@@ -45,6 +46,42 @@ TEST(PageTest, VersionPageRoundTripsEveryField) {
   EXPECT_EQ(back->refs[0], page.refs[0]);
   EXPECT_EQ(back->refs[1], page.refs[1]);
   EXPECT_EQ(back->data, page.data);
+}
+
+TEST(PageTest, DeserializesPreShardingVersionPages) {
+  // A store written before version pages carried prepare_txn encodes the kind byte as 2
+  // and an 81-byte version header. Upgrading must not brick it: the old image decodes
+  // field for field, with no in-doubt marker.
+  Page page = MakeVersionPage();
+  WireEncoder enc;
+  enc.PutU8(2);  // pre-sharding wire tag
+  enc.PutCapability(page.file_cap);
+  enc.PutCapability(page.version_cap);
+  enc.PutU32(page.commit_ref);
+  enc.PutU64(page.top_lock);
+  enc.PutU64(page.inner_lock);
+  enc.PutU32(page.parent_ref);
+  enc.PutU8(page.root_flags);
+  // no prepare_txn field in the old format
+  enc.PutU32(page.base_ref);
+  enc.PutU16(0);
+  enc.PutU32(static_cast<uint32_t>(page.data.size()));
+  enc.PutRaw(page.data);
+  auto back = Page::Deserialize(std::move(enc).Take());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->kind, PageKind::kVersion);
+  EXPECT_EQ(back->file_cap, page.file_cap);
+  EXPECT_EQ(back->version_cap, page.version_cap);
+  EXPECT_EQ(back->commit_ref, page.commit_ref);
+  EXPECT_EQ(back->root_flags, page.root_flags);
+  EXPECT_EQ(back->base_ref, page.base_ref);
+  EXPECT_EQ(back->data, page.data);
+  EXPECT_EQ(back->prepare_txn, 0u);
+  // Re-serializing writes the current format, which round-trips.
+  auto rewritten = back->Serialize();
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)[0], 3);  // current wire tag
+  EXPECT_TRUE(Page::Deserialize(*rewritten).ok());
 }
 
 TEST(PageTest, PlainPageOmitsVersionHeader) {

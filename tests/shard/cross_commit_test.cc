@@ -14,6 +14,7 @@
 #include "src/core/gc.h"
 #include "src/shard/router.h"
 #include "src/shard/shard_fsck.h"
+#include "src/shard/txn_id.h"
 #include "tests/testing/shard_cluster.h"
 
 namespace afs {
@@ -305,6 +306,80 @@ TEST(CrossCommitTest, CoordinatorDeathIsResolvedByPresumedAbort) {
   for (FileServer* fs : cluster.Servers()) {
     EXPECT_TRUE(RunFsck(fs, {.fail_on_in_doubt = true}).clean);
   }
+}
+
+TEST(CrossCommitTest, RecoveryLeavesForeignTransactionsAlone) {
+  // Every shard in a deployment runs its own recovery sweep against its own decision
+  // log. A transaction coordinated by shard 1 must not be presumed aborted by shard 0's
+  // coordinator: shard 0's log never saw it, so its silence means nothing.
+  ShardCluster cluster(2);
+  auto b = cluster.router().CreateFileOn(1);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(CommitText(cluster, *b, "0").ok());
+  auto client = cluster.router().ClientForFile(*b);
+  ASSERT_TRUE(client.ok());
+
+  // An in-doubt prepare whose txn id names shard 1 as its coordinator — as if shard 1's
+  // coordinator durably logged a commit and died before phase 2.
+  const uint64_t foreign = MakeTxnId(/*owner_shard=*/1, /*incarnation=*/1, /*sequence=*/9);
+  auto v = (*client)->CreateVersion(*b);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE((*client)->WriteString(*v, PagePath::Root(), "theirs").ok());
+  ASSERT_TRUE(cluster.fs(1).Prepare(*v, foreign).ok());
+
+  // The cluster's coordinator serves shard 0: its sweep must skip the foreign prepare,
+  // not abort it.
+  auto stats = cluster.coord().RecoverInDoubt();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->resolved_abort, 0u);
+  EXPECT_EQ(stats->resolved_commit, 0u);
+  EXPECT_GE(stats->skipped_foreign, 1u);
+  EXPECT_EQ(cluster.fs(1).ListInDoubt().size(), 1u);
+
+  // The coordinator also refuses to answer kResolveTxn for it — only the owner's log
+  // can distinguish "committed" from "presumed abort".
+  EXPECT_FALSE(cluster.coord().Resolve(foreign).ok());
+
+  // The owner's verdict (here delivered by hand) still lands normally.
+  ASSERT_TRUE(cluster.fs(1).Decide(foreign, /*commit=*/false).ok());
+  EXPECT_EQ(*ReadText(cluster, *b), "0");
+}
+
+TEST(CrossCommitTest, RecoverySkipsTransactionsStillInFlight) {
+  // An operator-triggered sweep racing a live CommitCross must not presume-abort a
+  // transaction that sits between its prepares and its commit point. The crash hook
+  // fires exactly there ("prepared": all participants staged, decision not yet logged) —
+  // run a recovery sweep from inside it and the commit must still succeed.
+  ShardCluster cluster(2);
+  auto a = cluster.router().CreateFileOn(0);
+  auto b = cluster.router().CreateFileOn(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(CommitText(cluster, *a, "0").ok());
+  ASSERT_TRUE(CommitText(cluster, *b, "0").ok());
+
+  ShardCoordinator::RecoveryStats mid_flight;
+  cluster.coord().set_crash_hook([&](const char* at) {
+    if (std::string(at) == "prepared") {
+      auto stats = cluster.coord().RecoverInDoubt();
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      mid_flight = *stats;
+    }
+  });
+
+  CrossTransaction xt(&cluster.router());
+  auto va = xt.CreateVersion(*a);
+  auto vb = xt.CreateVersion(*b);
+  ASSERT_TRUE(va.ok() && vb.ok());
+  ASSERT_TRUE((*xt.Client(*a))->WriteString(*va, PagePath::Root(), "fenced").ok());
+  ASSERT_TRUE((*xt.Client(*b))->WriteString(*vb, PagePath::Root(), "fenced").ok());
+  auto heads = xt.Commit();
+  ASSERT_TRUE(heads.ok()) << heads.status();
+
+  // The sweep saw the staged prepares on both shards and left them alone.
+  EXPECT_EQ(mid_flight.resolved_abort, 0u);
+  EXPECT_EQ(mid_flight.skipped_live, 2u);
+  EXPECT_EQ(*ReadText(cluster, *a), "fenced");
+  EXPECT_EQ(*ReadText(cluster, *b), "fenced");
 }
 
 TEST(CrossCommitTest, GcDoesNotSweepPreparedTips) {

@@ -53,10 +53,11 @@ class ShardCluster {
     }
     router_ = std::move(*router);
     log_ = std::make_unique<MemoryDecisionLog>();
-    // Coordinator instruments live in shard 0's registry, as in examples/afs_server, so
-    // tests (and remote scrapes) read shard.cross_* counters off fs(0).
-    coord_ = std::make_unique<ShardCoordinator>(router_.get(), log_.get(),
-                                                servers_[0]->metrics());
+    // The cluster's coordinator serves shard 0 (it owns the txn ids it mints), and its
+    // instruments live in shard 0's registry, as in examples/afs_server, so tests (and
+    // remote scrapes) read shard.cross_* counters off fs(0).
+    coord_ = std::make_unique<ShardCoordinator>(/*self_shard=*/0, router_.get(),
+                                                log_.get(), servers_[0]->metrics());
     for (auto& fs : servers_) {
       coord_->Serve(fs.get());
     }
